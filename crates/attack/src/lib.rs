@@ -1,0 +1,31 @@
+//! The remote-attestation **reuse attack** (§3) and its SinClave
+//! defense validation.
+//!
+//! The adversary's two components (§3.2):
+//!
+//! * a **report server** — the *user's own trusted enclave*,
+//!   reconfigured (via an adversary-controlled verifier and volume)
+//!   into a service that emits SGX reports with adversary-chosen
+//!   `reportdata`;
+//! * a **TEE impersonator** — ordinary host code that speaks the
+//!   verifier's attestation protocol, outsourcing only the report
+//!   generation to the report server.
+//!
+//! Together they defeat baseline attestation: the verifier sees a
+//! valid quote for the expected enclave, correctly bound to the secure
+//! channel — yet the channel terminates in the impersonator, and the
+//! provisioned secrets land with the adversary.
+//!
+//! * [`malicious`] — the adversary's verifier and report-server
+//!   payloads (configuration flavor and dynamic-import flavor).
+//! * [`impersonator`] — SCONE- and SGX-LKL-flavored impersonators.
+//! * [`scone_attack`] — full §3.3.1 procedure + defense checks.
+//! * [`lkl_attack`] — full §3.3.2 procedure + defense checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod impersonator;
+pub mod lkl_attack;
+pub mod malicious;
+pub mod scone_attack;

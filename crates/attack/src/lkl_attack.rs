@@ -1,0 +1,152 @@
+//! The §3.3.2 attack against the SGX-LKL-like stack.
+//!
+//! The adversary intercepts the user's `sgx-lkl-run` invocation:
+//! instead of the user's disk image under the user's wireguard key,
+//! they boot their *report-server disk image* under their own key and
+//! configure it themselves. An impersonator then occupies the service
+//! address; the user's `sgx-lkl-ctl` sees a valid quote for the
+//! expected SGX-LKL framework — produced by the genuine enclave, bound
+//! to the impersonator's channel — trusts it, and sends the
+//! configuration with the disk encryption key to the adversary.
+
+use crate::impersonator::lkl_impersonate;
+use crate::malicious::report_server_script;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave::AppConfig;
+use sinclave_crypto::aead::AeadKey;
+use sinclave_crypto::rsa::RsaPrivateKey;
+use sinclave_fs::Volume;
+use sinclave_runtime::exec::SharedVolume;
+use sinclave_runtime::lkl::{LklController, LklHost, LklInvocation, DISK_ENTRY};
+use sinclave_runtime::scone::PackagedApp;
+use sinclave_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Builds the adversary's report-server disk image.
+#[must_use]
+pub fn report_server_disk(listen_addr: &str) -> (SharedVolume, [u8; 32]) {
+    let key_bytes = [0xad; 32];
+    let key = AeadKey::new(key_bytes);
+    let mut disk = Volume::format(&key, "adversary-disk");
+    disk.write_file(&key, DISK_ENTRY, report_server_script(listen_addr).as_bytes())
+        .expect("write");
+    (Arc::new(Mutex::new(disk)), key_bytes)
+}
+
+/// What the user wanted to deploy (and what the adversary intercepts).
+pub struct UserDeployment {
+    /// The user's encrypted application disk.
+    pub disk: SharedVolume,
+    /// The user's disk key — inside the configuration their controller
+    /// will send after (what they believe is) successful attestation.
+    pub config: AppConfig,
+    /// Address the user's controller dials.
+    pub service_addr: String,
+}
+
+/// Runs the complete §3.3.2 interception attack against a baseline
+/// SGX-LKL deployment. Returns the configuration the user's
+/// controller leaked to the adversary (containing the disk key).
+///
+/// # Errors
+///
+/// Returns controller-side failures when the attack is defeated.
+///
+/// # Panics
+///
+/// Panics if adversary-side infrastructure fails (their own machine).
+pub fn run_lkl_interception(
+    lkl: &LklHost,
+    controller: &LklController,
+    framework: &PackagedApp,
+    user: &UserDeployment,
+    seed: u64,
+) -> Result<Option<AppConfig>, RuntimeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let network = lkl.network.clone();
+    let rs_addr = format!("lkl-rs:{seed}");
+
+    // The adversary boots the report-server disk under *their* key, on
+    // a side address, configuring it themselves.
+    let (evil_disk, evil_disk_key) = report_server_disk(&rs_addr);
+    let adversary_wg = RsaPrivateKey::generate(&mut rng, 1024).expect("keygen");
+    let side_addr = format!("lkl-side:{seed}");
+    let invocation = LklInvocation {
+        service_addr: side_addr.clone(),
+        channel_key: adversary_wg,
+        disk: evil_disk,
+        rng_seed: seed ^ 1,
+    };
+    let framework_clone = framework.clone();
+    let lkl_host = LklHost::new(lkl.platform.clone(), lkl.qe.clone(), network.clone());
+    let enclave_thread = std::thread::spawn(move || {
+        lkl_host.run_baseline(&framework_clone, &invocation)
+    });
+    // Adversary configures their own enclave (they are the controller
+    // of the side deployment).
+    let expected = framework.signed.common_measurement();
+    let adversary_controller = LklController {
+        network: network.clone(),
+        attestation_root: controller.attestation_root.clone(),
+    };
+    crate::impersonator::wait_for(
+        || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 2);
+            adversary_controller
+                .attest_and_configure(
+                    &side_addr,
+                    [0xaa; 16],
+                    &AppConfig { volume_key: Some(evil_disk_key), ..AppConfig::default() },
+                    |body| body.mrenclave == expected,
+                    None,
+                    &mut rng,
+                )
+                .ok()
+        },
+        std::time::Duration::from_secs(5),
+    )
+    .expect("adversary configures their own enclave");
+
+    // The impersonator occupies the address the user will dial.
+    let impersonator_wg = RsaPrivateKey::generate(&mut rng, 1024).expect("keygen");
+    let steal_handle = lkl_impersonate(
+        &network,
+        &user.service_addr,
+        impersonator_wg,
+        &rs_addr,
+        lkl.qe.clone(),
+        seed ^ 3,
+    );
+
+    // The user's controller attests and — if satisfied — configures.
+    let mut user_rng = StdRng::seed_from_u64(seed ^ 4);
+    let user_result = controller.attest_and_configure(
+        &user.service_addr,
+        [0xbb; 16],
+        &user.config,
+        |body| body.mrenclave == expected,
+        None,
+        &mut user_rng,
+    );
+
+    let stolen = steal_handle.join().expect("impersonator thread");
+    let _ = enclave_thread.join().expect("enclave thread");
+    user_result?;
+    Ok(stolen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinclave_runtime::script::Script;
+
+    #[test]
+    fn report_server_disk_has_entry() {
+        let (disk, key_bytes) = report_server_disk("rs:9");
+        let key = AeadKey::new(key_bytes);
+        let entry = disk.lock().read_file(&key, DISK_ENTRY).unwrap();
+        Script::parse(std::str::from_utf8(&entry).unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,194 @@
+//! The adversary's own infrastructure: a no-questions-asked verifier
+//! and report-server payloads.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use sinclave::protocol::Message;
+use sinclave::AppConfig;
+use sinclave_crypto::aead::AeadKey;
+use sinclave_crypto::rsa::RsaPrivateKey;
+use sinclave_fs::Volume;
+use sinclave_net::{Network, SecureChannel};
+use sinclave_runtime::exec::SharedVolume;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The adversary's "verification and configuration component" (§3.2):
+/// it answers the attestation protocol but verifies nothing and hands
+/// out whatever configuration the adversary chose.
+pub struct MaliciousCas {
+    channel_key: RsaPrivateKey,
+    config: AppConfig,
+}
+
+impl MaliciousCas {
+    /// Creates a malicious verifier delivering `config`.
+    #[must_use]
+    pub fn new(seed: u64, config: AppConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let channel_key = RsaPrivateKey::generate(&mut rng, 1024).expect("keygen");
+        MaliciousCas { channel_key, config }
+    }
+
+    /// Creates a malicious verifier with a caller-chosen channel key
+    /// (needed when the adversary forged an instance page pinning
+    /// *their* identity and must answer under exactly that key).
+    #[must_use]
+    pub fn with_key(channel_key: RsaPrivateKey, config: AppConfig) -> Self {
+        MaliciousCas { channel_key, config }
+    }
+
+    /// Serves `connections` connections at `addr` in the background.
+    #[must_use]
+    pub fn serve(
+        self,
+        network: &Network,
+        addr: &str,
+        connections: usize,
+        seed: u64,
+    ) -> JoinHandle<()> {
+        let listener = network.listen(addr);
+        std::thread::spawn(move || {
+            for i in 0..connections {
+                let Ok(conn) = listener.accept() else { return };
+                let mut rng = StdRng::seed_from_u64(seed + i as u64);
+                let Ok(mut chan) =
+                    SecureChannel::server_accept(conn, &self.channel_key, &mut rng)
+                else {
+                    continue;
+                };
+                while let Ok(raw) = chan.recv() {
+                    let reply = match Message::from_bytes(&raw) {
+                        Ok(Message::ChallengeRequest) => {
+                            let mut nonce = [0u8; 16];
+                            rng.fill_bytes(&mut nonce);
+                            Message::Challenge { nonce }
+                        }
+                        // Accept anything: no verification whatsoever.
+                        Ok(Message::BaselineAttestRequest { .. })
+                        | Ok(Message::AttestRequest { .. }) => {
+                            Message::ConfigResponse { config: self.config.to_bytes() }
+                        }
+                        Ok(Message::Ping) => Message::Pong,
+                        _ => Message::Denied { reason: "malicious cas confused".into() },
+                    };
+                    if chan.send(&reply.to_bytes()).is_err() {
+                        break;
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// The report-server script (§3.3.1's "33 lines of Python", here in
+/// SinScript): serve one request, returning a report over the
+/// caller-chosen `reportdata`.
+#[must_use]
+pub fn report_server_script(listen_addr: &str) -> String {
+    format!(
+        "# report server: reuse the victim enclave as a report oracle\n\
+         listen {listen_addr}\n\
+         accept\n\
+         recvmsg -> reportdata\n\
+         getreport $reportdata -> report\n\
+         sendmsg $report"
+    )
+}
+
+/// The dynamic-import flavor (§3.2's dynamically loaded module): a
+/// benign-looking entry that `import`s a "plugin" which is the report
+/// server.
+#[must_use]
+pub fn report_server_via_import(listen_addr: &str) -> (String, String) {
+    let entry = "# web server entry\nimport modules/compression.so\nprint served".to_owned();
+    let module = report_server_script(listen_addr);
+    (entry, module)
+}
+
+/// Builds the adversary's volume + configuration that turn any
+/// interpreter enclave into a report server.
+///
+/// Returns `(volume, config)` ready to be registered at a
+/// [`MaliciousCas`].
+#[must_use]
+pub fn report_server_payload(listen_addr: &str, use_import_flavor: bool) -> (SharedVolume, AppConfig) {
+    let key_bytes = [0xee; 32];
+    let key = AeadKey::new(key_bytes);
+    let mut volume = Volume::format(&key, "adversary-volume");
+    if use_import_flavor {
+        let (entry, module) = report_server_via_import(listen_addr);
+        volume.write_file(&key, "app.ss", entry.as_bytes()).expect("write");
+        volume
+            .write_file(&key, "modules/compression.so", module.as_bytes())
+            .expect("write");
+    } else {
+        volume
+            .write_file(&key, "rs.ss", report_server_script(listen_addr).as_bytes())
+            .expect("write");
+    }
+    let config = AppConfig {
+        entry: if use_import_flavor { "app.ss".into() } else { "rs.ss".into() },
+        volume_key: Some(key_bytes),
+        ..AppConfig::default()
+    };
+    (Arc::new(Mutex::new(volume)), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinclave_runtime::script::Script;
+
+    #[test]
+    fn scripts_parse() {
+        Script::parse(&report_server_script("rs:1")).unwrap();
+        let (entry, module) = report_server_via_import("rs:2");
+        Script::parse(&entry).unwrap();
+        Script::parse(&module).unwrap();
+    }
+
+    #[test]
+    fn payload_volume_contains_expected_entry() {
+        let (volume, config) = report_server_payload("rs:3", false);
+        let key = AeadKey::new(config.volume_key.unwrap());
+        assert!(volume.lock().contains(&key, "rs.ss").unwrap());
+        let (volume, config) = report_server_payload("rs:4", true);
+        let key = AeadKey::new(config.volume_key.unwrap());
+        assert!(volume.lock().contains(&key, "modules/compression.so").unwrap());
+        assert_eq!(config.entry, "app.ss");
+    }
+
+    #[test]
+    fn malicious_cas_accepts_garbage_quotes() {
+        let network = Network::new();
+        let config = AppConfig {
+            entry: "rs.ss".into(),
+            secrets: vec![("anything".into(), b"goes".to_vec())],
+            ..AppConfig::default()
+        };
+        let handle = MaliciousCas::new(1, config.clone()).serve(&network, "evil:443", 1, 10);
+        let conn = network.connect("evil:443").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut chan = SecureChannel::client_connect(conn, &mut rng).unwrap();
+        chan.send(&Message::ChallengeRequest.to_bytes()).unwrap();
+        assert!(matches!(
+            Message::from_bytes(&chan.recv().unwrap()).unwrap(),
+            Message::Challenge { .. }
+        ));
+        chan.send(
+            &Message::BaselineAttestRequest { quote: vec![0xde, 0xad], config_id: "x".into() }
+                .to_bytes(),
+        )
+        .unwrap();
+        let Message::ConfigResponse { config: raw } =
+            Message::from_bytes(&chan.recv().unwrap()).unwrap()
+        else {
+            panic!("malicious cas must accept anything");
+        };
+        assert_eq!(AppConfig::from_bytes(&raw).unwrap(), config);
+        drop(chan);
+        handle.join().unwrap();
+    }
+}

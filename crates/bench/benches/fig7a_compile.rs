@@ -1,0 +1,35 @@
+//! Fig. 7a — "Compilation duration": native build (no signing) vs
+//! baseline (SCONE: one-shot measure + sign) vs SinClave
+//! (interruptible measure + base-hash export + common finalize + sign)
+//! of a minimal C program ("only a return statement in main").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sinclave::signer::{sign_enclave, sign_enclave_baseline, SignerConfig};
+use sinclave_bench::BenchWorld;
+use sinclave_runtime::ProgramImage;
+
+fn bench_compile(c: &mut Criterion) {
+    let world = BenchWorld::new(0x7a);
+    // "A small C program that only contains a return statement":
+    // a minimal image, padded to a realistic binary size.
+    let image = ProgramImage::with_entry("minimal-c", "print 0", 4).padded_to(512 << 10);
+    let layout = image.layout().expect("layout");
+    let config = SignerConfig::default();
+
+    let mut group = c.benchmark_group("fig7a/compile");
+    group.sample_size(20);
+    group.bench_function("native", |b| {
+        // Native compilation: emit the binary, no enclave signing.
+        b.iter(|| image.code_bytes());
+    });
+    group.bench_function("baseline", |b| {
+        b.iter(|| sign_enclave_baseline(&layout, &world.signer_key, &config).expect("sign"));
+    });
+    group.bench_function("sinclave", |b| {
+        b.iter(|| sign_enclave(&layout, &world.signer_key, &config).expect("sign"));
+    });
+    group.finish();
+}
+
+criterion_group!(fig7a, bench_compile);
+criterion_main!(fig7a);

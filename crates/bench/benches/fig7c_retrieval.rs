@@ -1,0 +1,96 @@
+//! Fig. 7c — "SinClave operation durations": the singleton page
+//! retrieval round trip (paper: ≈26.3 ms total) split into its
+//! components: connection open/close (3.74 ms), SigStruct verification
+//! (0.4 ms), expected-measurement calculation (32 µs), on-demand
+//! SigStruct signing (4.93 ms), plus CAS miscellaneous work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave::protocol::Message;
+use sinclave_bench::BenchWorld;
+use sinclave_cas::policy::PolicyMode;
+use sinclave_net::SecureChannel;
+use sinclave_runtime::ProgramImage;
+
+fn bench_retrieval(c: &mut Criterion) {
+    let world = BenchWorld::new(0x7c);
+    let image = ProgramImage::interpreter("python-3.8", 8).sinclave_aware();
+    let packaged = world.package(&image);
+    world.add_policy("app", &packaged, PolicyMode::Singleton, Default::default());
+
+    let mut group = c.benchmark_group("fig7c/retrieval");
+    group.sample_size(20);
+
+    // Component: connection establishment + teardown with a no-op
+    // request ("O/C" in the paper).
+    group.bench_function("connect-open-close", |b| {
+        let cas = world.cas.clone();
+        let _server = cas.serve(&world.network, "cas:7c-ping", 1_000_000, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let conn = world.network.connect("cas:7c-ping").expect("connect");
+            let mut rng = StdRng::seed_from_u64(i);
+            let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+            chan.send(&Message::Ping.to_bytes()).expect("send");
+            let reply = Message::from_bytes(&chan.recv().expect("recv")).expect("decode");
+            assert_eq!(reply, Message::Pong);
+        });
+    });
+
+    // Component: verify received SigStruct.
+    group.bench_function("verify-common-sigstruct", |b| {
+        b.iter(|| packaged.signed.common_sigstruct.verify().expect("valid"));
+    });
+
+    // Component: expected singleton measurement from base hash.
+    let page = sinclave::instance_page::InstancePage::new(
+        sinclave::AttestationToken([9; 32]),
+        world.cas.identity(),
+    );
+    group.bench_function("expected-measurement", |b| {
+        b.iter(|| packaged.signed.base_hash.singleton_measurement(&page).expect("measure"));
+    });
+
+    // Component: the issuer's full grant (verify + token + measurement
+    // + on-demand signing) without the network.
+    group.bench_function("issue-grant-offline", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            world
+                .cas
+                .issuer()
+                .issue(&mut rng, &packaged.signed.common_sigstruct, &packaged.signed.base_hash)
+                .expect("grant")
+        });
+    });
+
+    // Total: the complete network round trip (what Fig. 7c sums to).
+    group.bench_function("total-round-trip", |b| {
+        let cas = world.cas.clone();
+        let _server = cas.serve(&world.network, "cas:7c-grant", 1_000_000, 3);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let conn = world.network.connect("cas:7c-grant").expect("connect");
+            let mut rng = StdRng::seed_from_u64(1000 + i);
+            let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+            chan.send(
+                &Message::GrantRequest {
+                    common_sigstruct: packaged.signed.common_sigstruct.to_bytes(),
+                    base_hash: packaged.signed.base_hash.encode().to_vec(),
+                }
+                .to_bytes(),
+            )
+            .expect("send");
+            let reply = Message::from_bytes(&chan.recv().expect("recv")).expect("decode");
+            assert!(matches!(reply, Message::GrantResponse { .. }));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(fig7c, bench_retrieval);
+criterion_main!(fig7c);

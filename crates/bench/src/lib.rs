@@ -1,0 +1,139 @@
+//! Shared fixtures for the figure-reproduction benchmarks.
+//!
+//! Every bench and the `experiments` harness build their worlds
+//! through this module so that Criterion runs and the printed
+//! paper-vs-measured tables measure exactly the same code paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave::signer::SignerConfig;
+use sinclave::AppConfig;
+use sinclave_cas::policy::{PolicyMode, SessionPolicy};
+use sinclave_cas::store::CasStore;
+use sinclave_cas::CasServer;
+use sinclave_crypto::aead::AeadKey;
+use sinclave_crypto::rsa::RsaPrivateKey;
+use sinclave_net::Network;
+use sinclave_runtime::scone::{package_app, PackagedApp, SconeHost};
+use sinclave_runtime::ProgramImage;
+use sinclave_sgx::attestation::AttestationService;
+use sinclave_sgx::platform::Platform;
+use sinclave_sgx::quote::QuotingEnclave;
+use std::sync::Arc;
+
+/// RSA modulus size used for the signer key, matching the paper's
+/// SGX SigStruct RSA-3072.
+pub const SIGNER_KEY_BITS: usize = 3072;
+/// Smaller keys for infrastructure whose latency is not under test.
+pub const INFRA_KEY_BITS: usize = 1024;
+
+/// A complete benchmark world.
+pub struct BenchWorld {
+    /// The machine.
+    pub host: SconeHost,
+    /// The verifier.
+    pub cas: Arc<CasServer>,
+    /// The network.
+    pub network: Network,
+    /// The signer key (RSA-3072).
+    pub signer_key: RsaPrivateKey,
+}
+
+impl BenchWorld {
+    /// Builds a world with an RSA-3072 signer and a large EPC.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let service = AttestationService::new(&mut rng, INFRA_KEY_BITS).expect("service");
+        // 4 GiB EPC so Fig. 8's heap sweep fits.
+        let platform = Arc::new(Platform::with_epc_pages(&mut rng, 4 << 30 >> 12));
+        service.register_platform(platform.manufacturing_record());
+        let qe = Arc::new(
+            QuotingEnclave::provision(platform.clone(), &service, &mut rng, INFRA_KEY_BITS)
+                .expect("qe"),
+        );
+        let network = Network::new();
+        let host = SconeHost::new(platform, qe, network.clone());
+
+        let signer_key =
+            RsaPrivateKey::generate(&mut rng, SIGNER_KEY_BITS).expect("signer key");
+        let channel_key = RsaPrivateKey::generate(&mut rng, INFRA_KEY_BITS).expect("channel");
+        let cas = CasServer::new(
+            channel_key,
+            signer_key.clone(),
+            service.root_public_key().clone(),
+            CasStore::create(AeadKey::new([0xbe; 32])),
+        );
+        BenchWorld { host, cas, network, signer_key }
+    }
+
+    /// Packages an image under the world's signer.
+    #[must_use]
+    pub fn package(&self, image: &ProgramImage) -> PackagedApp {
+        package_app(image, &self.signer_key, &SignerConfig::default()).expect("package")
+    }
+
+    /// Registers a policy delivering `config` for `config_id`.
+    pub fn add_policy(
+        &self,
+        config_id: &str,
+        packaged: &PackagedApp,
+        mode: PolicyMode,
+        config: AppConfig,
+    ) {
+        self.cas
+            .add_policy(SessionPolicy {
+                config_id: config_id.to_owned(),
+                expected_common: packaged.signed.common_measurement(),
+                expected_mrsigner: self.signer_key.public_key().fingerprint(),
+                min_isv_svn: 0,
+                allow_debug: false,
+                mode,
+                config,
+            })
+            .expect("policy");
+    }
+}
+
+/// Formats a byte count like the paper's axes (2 KB, 1 MB, …).
+#[must_use]
+pub fn human_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MB", bytes >> 20)
+    } else {
+        format!("{} KB", bytes >> 10)
+    }
+}
+
+/// A deterministic pseudo-random buffer for hashing benchmarks.
+#[must_use]
+pub fn hash_buffer(len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = 0x12345678_9abcdef0u64;
+    while out.len() < len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_buffer_is_deterministic() {
+        assert_eq!(hash_buffer(100), hash_buffer(100));
+        assert_eq!(hash_buffer(100).len(), 100);
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_size(2048), "2 KB");
+        assert_eq!(human_size(8 << 20), "8 MB");
+    }
+}

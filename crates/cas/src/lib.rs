@@ -1,0 +1,26 @@
+//! The Configuration and Attestation Service (CAS) — the paper's
+//! trusted verifier (§2.3, §4.4, Fig. 7c).
+//!
+//! CAS stores per-application *session policies* (expected enclave
+//! identity plus the configuration/secrets to hand out) in an
+//! encrypted database, verifies attestation quotes against the
+//! attestation service's root key, and — with SinClave enabled — runs
+//! the singleton machinery: issuing one-time tokens, computing
+//! expected singleton measurements from base enclave hashes, and
+//! signing on-demand SigStructs.
+//!
+//! * [`policy`] — session policies and binary registrations.
+//! * [`store`] — the encrypted policy database (the "loading and
+//!   parsing of the configuration details from the encrypted
+//!   database" that dominates Fig. 7c's miscellaneous time).
+//! * [`server`] — the network-facing service loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod server;
+pub mod store;
+
+pub use policy::{PolicyMode, SessionPolicy};
+pub use server::CasServer;

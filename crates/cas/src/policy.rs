@@ -1,0 +1,166 @@
+//! Session policies: who may receive which configuration.
+
+use sinclave::{AppConfig, BaseEnclaveHash};
+use sinclave_crypto::sha256::Digest;
+use sinclave_sgx::measurement::Measurement;
+use sinclave_sgx::sigstruct::SigStruct;
+
+/// Which attestation flows a policy accepts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyMode {
+    /// Accept the tokenless baseline flow only (unmodified SCONE).
+    Baseline,
+    /// Accept only SinClave singleton attestation.
+    Singleton,
+    /// Accept either flow (migration setting).
+    Either,
+}
+
+/// A configuration session: identity expectations plus the payload.
+#[derive(Clone, Debug)]
+pub struct SessionPolicy {
+    /// The configuration id enclaves request.
+    pub config_id: String,
+    /// Expected *common* enclave measurement (what the user's binary
+    /// measures with a zeroed instance page).
+    pub expected_common: Measurement,
+    /// Expected signer identity.
+    pub expected_mrsigner: Digest,
+    /// Minimum security version number.
+    pub min_isv_svn: u16,
+    /// Whether debug-mode enclaves are acceptable (never in prod).
+    pub allow_debug: bool,
+    /// Accepted flows.
+    pub mode: PolicyMode,
+    /// The configuration to deliver.
+    pub config: AppConfig,
+}
+
+impl SessionPolicy {
+    /// Serializes the policy for the encrypted database.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let put = |out: &mut Vec<u8>, b: &[u8]| {
+            out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+            out.extend_from_slice(b);
+        };
+        put(&mut out, self.config_id.as_bytes());
+        out.extend_from_slice(self.expected_common.as_bytes());
+        out.extend_from_slice(self.expected_mrsigner.as_bytes());
+        out.extend_from_slice(&self.min_isv_svn.to_be_bytes());
+        out.push(self.allow_debug as u8);
+        out.push(match self.mode {
+            PolicyMode::Baseline => 0,
+            PolicyMode::Singleton => 1,
+            PolicyMode::Either => 2,
+        });
+        put(&mut out, &self.config.to_bytes());
+        out
+    }
+
+    /// Parses a policy from its database encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sinclave::SinclaveError::ProtocolDecode`] on malformed
+    /// input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, sinclave::SinclaveError> {
+        use sinclave::SinclaveError::ProtocolDecode;
+        fn take<'a>(c: &mut &'a [u8], n: usize) -> Result<&'a [u8], sinclave::SinclaveError> {
+            if c.len() < n {
+                return Err(sinclave::SinclaveError::ProtocolDecode);
+            }
+            let (h, r) = c.split_at(n);
+            *c = r;
+            Ok(h)
+        }
+        fn get(c: &mut &[u8]) -> Result<Vec<u8>, sinclave::SinclaveError> {
+            let len = u32::from_be_bytes(take(c, 4)?.try_into().expect("4")) as usize;
+            Ok(take(c, len)?.to_vec())
+        }
+        let mut c = bytes;
+        let config_id = String::from_utf8(get(&mut c)?).map_err(|_| ProtocolDecode)?;
+        let expected_common = Measurement(Digest(take(&mut c, 32)?.try_into().expect("32")));
+        let expected_mrsigner = Digest(take(&mut c, 32)?.try_into().expect("32"));
+        let min_isv_svn = u16::from_be_bytes(take(&mut c, 2)?.try_into().expect("2"));
+        let allow_debug = match take(&mut c, 1)?[0] {
+            0 => false,
+            1 => true,
+            _ => return Err(ProtocolDecode),
+        };
+        let mode = match take(&mut c, 1)?[0] {
+            0 => PolicyMode::Baseline,
+            1 => PolicyMode::Singleton,
+            2 => PolicyMode::Either,
+            _ => return Err(ProtocolDecode),
+        };
+        let config = AppConfig::from_bytes(&get(&mut c)?)?;
+        if !c.is_empty() {
+            return Err(ProtocolDecode);
+        }
+        Ok(SessionPolicy {
+            config_id,
+            expected_common,
+            expected_mrsigner,
+            min_isv_svn,
+            allow_debug,
+            mode,
+            config,
+        })
+    }
+}
+
+/// A binary registered for singleton grants: what the verifier needs
+/// to validate grant requests offline.
+#[derive(Clone, Debug)]
+pub struct BinaryRecord {
+    /// Registration name.
+    pub name: String,
+    /// The binary's base enclave hash.
+    pub base_hash: BaseEnclaveHash,
+    /// The binary's common SigStruct.
+    pub common_sigstruct: SigStruct,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> SessionPolicy {
+        SessionPolicy {
+            config_id: "python-app".into(),
+            expected_common: Measurement(Digest([1; 32])),
+            expected_mrsigner: Digest([2; 32]),
+            min_isv_svn: 3,
+            allow_debug: false,
+            mode: PolicyMode::Singleton,
+            config: AppConfig {
+                entry: "main.py".into(),
+                secrets: vec![("k".into(), b"v".to_vec())],
+                ..AppConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_modes() {
+        for mode in [PolicyMode::Baseline, PolicyMode::Singleton, PolicyMode::Either] {
+            let mut p = policy();
+            p.mode = mode;
+            let decoded = SessionPolicy::from_bytes(&p.to_bytes()).unwrap();
+            assert_eq!(decoded.mode, mode);
+            assert_eq!(decoded.config, p.config);
+            assert_eq!(decoded.expected_common, p.expected_common);
+            assert_eq!(decoded.min_isv_svn, 3);
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(SessionPolicy::from_bytes(&[0, 1]).is_err());
+        let mut bytes = policy().to_bytes();
+        bytes.push(7);
+        assert!(SessionPolicy::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,425 @@
+//! The network-facing CAS service loop.
+//!
+//! One [`CasServer`] is the *trusted verifier* of the paper's system
+//! model: the user provisions it with policies; enclaves (and, with
+//! SinClave, starters) talk to it over secure channels. Its channel
+//! key's fingerprint is CAS's cryptographic identity — the value
+//! SinClave bakes into instance pages.
+
+use crate::policy::{PolicyMode, SessionPolicy};
+use crate::store::CasStore;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use sinclave::protocol::Message;
+use sinclave::verifier::SingletonIssuer;
+use sinclave::{BaseEnclaveHash, SinclaveError};
+use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use sinclave_crypto::sha256::Digest;
+use sinclave_net::{Connection, Network, SecureChannel};
+use sinclave_sgx::quote::Quote;
+use sinclave_sgx::report::ReportBody;
+use sinclave_sgx::sigstruct::SigStruct;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Service counters (observability + test assertions).
+#[derive(Debug, Default)]
+pub struct CasStats {
+    /// Singleton grants issued.
+    pub grants_issued: AtomicU64,
+    /// Configurations delivered.
+    pub configs_delivered: AtomicU64,
+    /// Requests denied.
+    pub denials: AtomicU64,
+}
+
+/// The CAS service.
+pub struct CasServer {
+    channel_key: RsaPrivateKey,
+    issuer: SingletonIssuer,
+    attestation_root: RsaPublicKey,
+    store: Mutex<CasStore>,
+    /// Counters.
+    pub stats: CasStats,
+}
+
+impl fmt::Debug for CasServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CasServer")
+            .field("identity", &self.identity().to_hex()[..12].to_owned())
+            .finish()
+    }
+}
+
+impl CasServer {
+    /// Creates a CAS from its channel key, the application signer key
+    /// it guards, the attestation root it trusts, and a policy store.
+    #[must_use]
+    pub fn new(
+        channel_key: RsaPrivateKey,
+        signer_key: RsaPrivateKey,
+        attestation_root: RsaPublicKey,
+        store: CasStore,
+    ) -> Arc<Self> {
+        let identity = channel_key.public_key().fingerprint();
+        Arc::new(CasServer {
+            channel_key,
+            issuer: SingletonIssuer::new(signer_key, identity),
+            attestation_root,
+            store: Mutex::new(store),
+            stats: CasStats::default(),
+        })
+    }
+
+    /// CAS's cryptographic identity (channel-key fingerprint).
+    #[must_use]
+    pub fn identity(&self) -> Digest {
+        self.channel_key.public_key().fingerprint()
+    }
+
+    /// The singleton issuer (exposed for offline grant issuance in
+    /// benchmarks).
+    #[must_use]
+    pub fn issuer(&self) -> &SingletonIssuer {
+        &self.issuer
+    }
+
+    /// Registers (or replaces) a session policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database failures.
+    pub fn add_policy(&self, policy: SessionPolicy) -> Result<(), SinclaveError> {
+        self.store.lock().put_policy(&policy)
+    }
+
+    /// Serves `connections` connections on `addr` in a background
+    /// thread (connections are handled sequentially, matching the
+    /// paper's single CAS instance).
+    #[must_use]
+    pub fn serve(
+        self: &Arc<Self>,
+        network: &Network,
+        addr: &str,
+        connections: usize,
+        seed: u64,
+    ) -> JoinHandle<()> {
+        let listener = network.listen(addr);
+        let server = self.clone();
+        std::thread::spawn(move || {
+            for i in 0..connections {
+                let Ok(conn) = listener.accept() else { return };
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                // A failed handshake or protocol error only affects
+                // that one connection.
+                let _ = server.handle_connection(conn, &mut rng);
+            }
+        })
+    }
+
+    /// Handles one connection: secure-channel handshake, then a
+    /// message loop until the peer disconnects.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport/handshake failures; protocol-level rejections
+    /// are answered with [`Message::Denied`] instead.
+    pub fn handle_connection(
+        &self,
+        conn: Connection,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Result<(), sinclave_net::NetError> {
+        let mut chan = SecureChannel::server_accept(conn, &self.channel_key, rng)?;
+        let mut outstanding_nonce: Option<[u8; 16]> = None;
+        loop {
+            let raw = match chan.recv() {
+                Ok(raw) => raw,
+                Err(_) => return Ok(()), // peer done
+            };
+            let reply = match Message::from_bytes(&raw) {
+                Ok(message) => self.dispatch(message, &mut outstanding_nonce, &chan, rng),
+                Err(_) => Message::Denied { reason: "malformed message".into() },
+            };
+            if matches!(reply, Message::Denied { .. }) {
+                self.stats.denials.fetch_add(1, Ordering::Relaxed);
+            }
+            chan.send(&reply.to_bytes())?;
+        }
+    }
+
+    fn dispatch(
+        &self,
+        message: Message,
+        outstanding_nonce: &mut Option<[u8; 16]>,
+        chan: &SecureChannel,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Message {
+        match message {
+            Message::Ping => Message::Pong,
+            Message::ChallengeRequest => {
+                let mut nonce = [0u8; 16];
+                rng.fill_bytes(&mut nonce);
+                *outstanding_nonce = Some(nonce);
+                Message::Challenge { nonce }
+            }
+            Message::GrantRequest { common_sigstruct, base_hash } => {
+                self.handle_grant(&common_sigstruct, &base_hash, rng)
+            }
+            Message::AttestRequest { quote, token, config_id } => {
+                self.handle_attest(&quote, Some(token), &config_id, outstanding_nonce, chan)
+            }
+            Message::BaselineAttestRequest { quote, config_id } => {
+                self.handle_attest(&quote, None, &config_id, outstanding_nonce, chan)
+            }
+            _ => Message::Denied { reason: "unexpected message".into() },
+        }
+    }
+
+    fn handle_grant(
+        &self,
+        common_sigstruct: &[u8],
+        base_hash: &[u8],
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Message {
+        let Ok(sigstruct) = SigStruct::from_bytes(common_sigstruct) else {
+            return Message::Denied { reason: "sigstruct malformed".into() };
+        };
+        let Ok(base_hash) = BaseEnclaveHash::decode(base_hash) else {
+            return Message::Denied { reason: "base hash malformed".into() };
+        };
+        match self.issuer.issue(rng, &sigstruct, &base_hash) {
+            Ok(grant) => {
+                self.stats.grants_issued.fetch_add(1, Ordering::Relaxed);
+                Message::GrantResponse {
+                    token: grant.token,
+                    verifier_identity: *grant.verifier_identity.as_bytes(),
+                    sigstruct: grant.sigstruct.to_bytes(),
+                }
+            }
+            Err(e) => Message::Denied { reason: e.to_string() },
+        }
+    }
+
+    fn handle_attest(
+        &self,
+        quote_bytes: &[u8],
+        token: Option<sinclave::AttestationToken>,
+        config_id: &str,
+        outstanding_nonce: &mut Option<[u8; 16]>,
+        chan: &SecureChannel,
+    ) -> Message {
+        // Freshness: a challenge must have been requested on this
+        // connection, and it is single-use.
+        let Some(nonce) = outstanding_nonce.take() else {
+            return Message::Denied { reason: "no outstanding challenge".into() };
+        };
+        let Ok(quote) = Quote::from_bytes(quote_bytes) else {
+            return Message::Denied { reason: "quote malformed".into() };
+        };
+        let body = match quote.verify(&self.attestation_root, &nonce) {
+            Ok(body) => body,
+            Err(e) => return Message::Denied { reason: e.to_string() },
+        };
+
+        // Channel binding: the quote must name *this* channel.
+        if &body.report_data.0[..32] != chan.transcript().as_bytes() {
+            return Message::Denied { reason: "channel binding mismatch".into() };
+        }
+
+        let policy = match self.store.lock().get_policy(config_id) {
+            Ok(Some(policy)) => policy,
+            Ok(None) => return Message::Denied { reason: "unknown config id".into() },
+            Err(_) => return Message::Denied { reason: "policy store failure".into() },
+        };
+
+        if let Err(reason) = self.check_identity(body, &policy, token.as_ref()) {
+            return Message::Denied { reason };
+        }
+
+        self.stats.configs_delivered.fetch_add(1, Ordering::Relaxed);
+        Message::ConfigResponse { config: policy.config.to_bytes() }
+    }
+
+    fn check_identity(
+        &self,
+        body: &ReportBody,
+        policy: &SessionPolicy,
+        token: Option<&sinclave::AttestationToken>,
+    ) -> Result<(), String> {
+        if body.is_debug() && !policy.allow_debug {
+            return Err("debug enclaves not allowed".into());
+        }
+        if body.mrsigner != policy.expected_mrsigner {
+            return Err("unexpected signer identity".into());
+        }
+        if body.isv_svn < policy.min_isv_svn {
+            return Err("security version too old".into());
+        }
+        match (token, policy.mode) {
+            (None, PolicyMode::Singleton) => {
+                Err("policy requires singleton attestation".into())
+            }
+            (Some(_), PolicyMode::Baseline) => {
+                Err("policy does not accept singleton attestation".into())
+            }
+            (None, PolicyMode::Baseline | PolicyMode::Either) => {
+                if body.mrenclave == policy.expected_common {
+                    Ok(())
+                } else {
+                    Err("unexpected enclave measurement".into())
+                }
+            }
+            (Some(token), PolicyMode::Singleton | PolicyMode::Either) => {
+                // Exactly-once token redemption, bound to the attested
+                // measurement; then bind the singleton to *this*
+                // application via its common measurement.
+                let common = self
+                    .issuer
+                    .redeem(token, &body.mrenclave)
+                    .map_err(|e| e.to_string())?;
+                if common == policy.expected_common {
+                    Ok(())
+                } else {
+                    Err("singleton belongs to a different binary".into())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinclave::layout::EnclaveLayout;
+    use sinclave::signer::{sign_enclave, SignerConfig};
+    use sinclave::AppConfig;
+    use sinclave_crypto::aead::AeadKey;
+    use sinclave_sgx::measurement::Measurement;
+
+    fn server(seed: u64) -> (Arc<CasServer>, RsaPrivateKey, RsaPublicKey) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let channel_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let signer_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let attestation_root_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let store = CasStore::create(AeadKey::new([7; 32]));
+        let cas = CasServer::new(
+            channel_key,
+            signer_key.clone(),
+            attestation_root_key.public_key().clone(),
+            store,
+        );
+        (cas, signer_key, attestation_root_key.public_key().clone())
+    }
+
+    #[test]
+    fn ping_pong_over_channel() {
+        let (cas, _, _) = server(1);
+        let network = Network::new();
+        let handle = cas.serve(&network, "cas:443", 1, 10);
+        let conn = network.connect("cas:443").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut chan = SecureChannel::client_connect(conn, &mut rng).unwrap();
+        chan.send(&Message::Ping.to_bytes()).unwrap();
+        assert_eq!(Message::from_bytes(&chan.recv().unwrap()).unwrap(), Message::Pong);
+        drop(chan);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn grant_flow_over_network() {
+        let (cas, signer_key, _) = server(3);
+        let layout = EnclaveLayout::for_program(b"app", 2).unwrap();
+        let signed = sign_enclave(&layout, &signer_key, &SignerConfig::default()).unwrap();
+
+        let network = Network::new();
+        let handle = cas.serve(&network, "cas:443", 1, 30);
+        let conn = network.connect("cas:443").unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut chan = SecureChannel::client_connect(conn, &mut rng).unwrap();
+        chan.send(
+            &Message::GrantRequest {
+                common_sigstruct: signed.common_sigstruct.to_bytes(),
+                base_hash: signed.base_hash.encode().to_vec(),
+            }
+            .to_bytes(),
+        )
+        .unwrap();
+        let reply = Message::from_bytes(&chan.recv().unwrap()).unwrap();
+        let Message::GrantResponse { verifier_identity, sigstruct, .. } = reply else {
+            panic!("expected grant, got {reply:?}");
+        };
+        assert_eq!(Digest(verifier_identity), cas.identity());
+        SigStruct::from_bytes(&sigstruct).unwrap().verify().unwrap();
+        assert_eq!(cas.stats.grants_issued.load(Ordering::Relaxed), 1);
+        drop(chan);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn grant_denied_for_foreign_signer() {
+        let (cas, _, _) = server(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let foreign = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let layout = EnclaveLayout::for_program(b"app", 2).unwrap();
+        let signed = sign_enclave(&layout, &foreign, &SignerConfig::default()).unwrap();
+
+        let network = Network::new();
+        let handle = cas.serve(&network, "cas:443", 1, 60);
+        let conn = network.connect("cas:443").unwrap();
+        let mut chan = SecureChannel::client_connect(conn, &mut rng).unwrap();
+        chan.send(
+            &Message::GrantRequest {
+                common_sigstruct: signed.common_sigstruct.to_bytes(),
+                base_hash: signed.base_hash.encode().to_vec(),
+            }
+            .to_bytes(),
+        )
+        .unwrap();
+        let reply = Message::from_bytes(&chan.recv().unwrap()).unwrap();
+        assert!(matches!(reply, Message::Denied { .. }));
+        assert_eq!(cas.stats.denials.load(Ordering::Relaxed), 1);
+        drop(chan);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn attest_without_challenge_denied() {
+        let (cas, _, _) = server(7);
+        let network = Network::new();
+        let handle = cas.serve(&network, "cas:443", 1, 70);
+        let conn = network.connect("cas:443").unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut chan = SecureChannel::client_connect(conn, &mut rng).unwrap();
+        chan.send(
+            &Message::BaselineAttestRequest { quote: vec![0; 8], config_id: "x".into() }
+                .to_bytes(),
+        )
+        .unwrap();
+        let reply = Message::from_bytes(&chan.recv().unwrap()).unwrap();
+        assert!(
+            matches!(&reply, Message::Denied { reason } if reason.contains("challenge")),
+            "got {reply:?}"
+        );
+        drop(chan);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn policy_crud_via_server() {
+        let (cas, _, _) = server(9);
+        let policy = SessionPolicy {
+            config_id: "svc".into(),
+            expected_common: Measurement(Digest([1; 32])),
+            expected_mrsigner: Digest([2; 32]),
+            min_isv_svn: 0,
+            allow_debug: false,
+            mode: PolicyMode::Either,
+            config: AppConfig::default(),
+        };
+        cas.add_policy(policy).unwrap();
+        assert_eq!(cas.store.lock().list_policies().unwrap(), vec!["svc".to_owned()]);
+    }
+}

@@ -1,0 +1,227 @@
+//! The **base enclave hash** (§4.4, "Verifiable Enclave Extension").
+//!
+//! An interrupted `MRENCLAVE` computation captured after all regular
+//! pages but *before* the instance page. From it, anyone can compute:
+//!
+//! * the **common** measurement — finalize after appending a *zeroed*
+//!   instance page (the freely-distributable, many-instance enclave);
+//! * a **singleton** measurement — finalize after appending a concrete
+//!   instance page carrying a token and verifier identity.
+//!
+//! Only 40 bytes of hash state plus geometry travel between signer and
+//! verifier; the enclave binary itself never needs to be re-measured.
+
+use crate::error::SinclaveError;
+use crate::instance_page::InstancePage;
+use sinclave_crypto::sha256::Sha256State;
+use sinclave_sgx::measurement::{Measurement, MeasurementBuilder};
+use sinclave_sgx::secinfo::SecInfo;
+use sinclave_sgx::PAGE_SIZE;
+use std::fmt;
+
+/// The serialized size of a [`BaseEnclaveHash`].
+pub const ENCODED_LEN: usize = 40 + 8 + 8;
+
+/// An exported measurement state plus the geometry needed to finalize
+/// it: enclave size and instance-page offset.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct BaseEnclaveHash {
+    state: Sha256State,
+    enclave_size: u64,
+    instance_page_offset: u64,
+}
+
+impl fmt::Debug for BaseEnclaveHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BaseEnclaveHash")
+            .field("measured_bytes", &self.state.byte_len())
+            .field("enclave_size", &self.enclave_size)
+            .finish()
+    }
+}
+
+impl BaseEnclaveHash {
+    /// Wraps an exported state with its geometry.
+    #[must_use]
+    pub fn new(state: Sha256State, enclave_size: u64, instance_page_offset: u64) -> Self {
+        BaseEnclaveHash { state, enclave_size, instance_page_offset }
+    }
+
+    /// The raw hash state.
+    #[must_use]
+    pub fn state(&self) -> Sha256State {
+        self.state
+    }
+
+    /// The enclave size the measurement was started with.
+    #[must_use]
+    pub fn enclave_size(&self) -> u64 {
+        self.enclave_size
+    }
+
+    /// Offset at which the instance page is appended.
+    #[must_use]
+    pub fn instance_page_offset(&self) -> u64 {
+        self.instance_page_offset
+    }
+
+    /// Finalizes with the given raw page content at the instance-page
+    /// slot — one `EADD` plus the page's `EEXTEND`s, then the SHA-256
+    /// finalization (the constant-time step measured in Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::Sgx`] if the stored geometry is
+    /// inconsistent (offset outside the enclave).
+    pub fn finalize_with_page_bytes(
+        &self,
+        page: &[u8; PAGE_SIZE],
+    ) -> Result<Measurement, SinclaveError> {
+        let mut m = MeasurementBuilder::resume(self.state, self.enclave_size);
+        m.add_page(self.instance_page_offset, page, SecInfo::read_only(), true)?;
+        Ok(m.finalize())
+    }
+
+    /// The **common** enclave's measurement: zeroed instance page.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BaseEnclaveHash::finalize_with_page_bytes`].
+    pub fn common_measurement(&self) -> Result<Measurement, SinclaveError> {
+        self.finalize_with_page_bytes(&InstancePage::common_page())
+    }
+
+    /// A **singleton**'s measurement for a concrete instance page.
+    ///
+    /// This is the verifier's "calculate the expected `MRENCLAVE`"
+    /// step (§4.4) — constant-time regardless of enclave size.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BaseEnclaveHash::finalize_with_page_bytes`].
+    pub fn singleton_measurement(
+        &self,
+        page: &InstancePage,
+    ) -> Result<Measurement, SinclaveError> {
+        self.finalize_with_page_bytes(&page.to_page_bytes())
+    }
+
+    /// Serializes to the 56-byte wire encoding.
+    #[must_use]
+    pub fn encode(&self) -> [u8; ENCODED_LEN] {
+        let mut out = [0u8; ENCODED_LEN];
+        out[..40].copy_from_slice(&self.state.encode());
+        out[40..48].copy_from_slice(&self.enclave_size.to_be_bytes());
+        out[48..56].copy_from_slice(&self.instance_page_offset.to_be_bytes());
+        out
+    }
+
+    /// Parses the wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ProtocolDecode`] for malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SinclaveError> {
+        if bytes.len() != ENCODED_LEN {
+            return Err(SinclaveError::ProtocolDecode);
+        }
+        let state =
+            Sha256State::decode(&bytes[..40]).map_err(|_| SinclaveError::ProtocolDecode)?;
+        let enclave_size = u64::from_be_bytes(bytes[40..48].try_into().expect("8"));
+        let instance_page_offset = u64::from_be_bytes(bytes[48..56].try_into().expect("8"));
+        Ok(BaseEnclaveHash { state, enclave_size, instance_page_offset })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::EnclaveLayout;
+    use crate::token::AttestationToken;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sinclave_crypto::sha256::Digest;
+
+    fn base_hash() -> BaseEnclaveHash {
+        let layout = EnclaveLayout::for_program(b"the program", 2).unwrap();
+        let m = layout.measure_base().unwrap();
+        BaseEnclaveHash::new(
+            m.export_state(),
+            layout.enclave_size,
+            layout.instance_page_offset(),
+        )
+    }
+
+    fn instance(seed: u64) -> InstancePage {
+        let mut rng = StdRng::seed_from_u64(seed);
+        InstancePage::new(AttestationToken::generate(&mut rng), Digest([9; 32]))
+    }
+
+    #[test]
+    fn common_vs_singleton_measurements_differ() {
+        let bh = base_hash();
+        let common = bh.common_measurement().unwrap();
+        let singleton = bh.singleton_measurement(&instance(1)).unwrap();
+        assert_ne!(common, singleton);
+    }
+
+    #[test]
+    fn each_token_yields_unique_mrenclave() {
+        let bh = base_hash();
+        let m1 = bh.singleton_measurement(&instance(1)).unwrap();
+        let m2 = bh.singleton_measurement(&instance(2)).unwrap();
+        assert_ne!(m1, m2, "token individualizes MRENCLAVE");
+    }
+
+    #[test]
+    fn verifier_identity_influences_mrenclave() {
+        let bh = base_hash();
+        let mut rng = StdRng::seed_from_u64(3);
+        let token = AttestationToken::generate(&mut rng);
+        let a = bh
+            .singleton_measurement(&InstancePage::new(token, Digest([1; 32])))
+            .unwrap();
+        let b = bh
+            .singleton_measurement(&InstancePage::new(token, Digest([2; 32])))
+            .unwrap();
+        assert_ne!(a, b, "verifier identity is part of the measurement");
+    }
+
+    #[test]
+    fn prediction_matches_full_measurement() {
+        // The central correctness property: verifier-side prediction from the
+        // base hash equals a from-scratch measurement of the full
+        // enclave including the instance page.
+        let layout = EnclaveLayout::for_program(b"the program", 2).unwrap();
+        let page = instance(4);
+
+        let bh = base_hash();
+        let predicted = bh.singleton_measurement(&page).unwrap();
+
+        let mut direct = layout.measure_base().unwrap();
+        direct
+            .add_page(
+                layout.instance_page_offset(),
+                &page.to_page_bytes(),
+                SecInfo::read_only(),
+                true,
+            )
+            .unwrap();
+        assert_eq!(predicted, direct.finalize());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let bh = base_hash();
+        let decoded = BaseEnclaveHash::decode(&bh.encode()).unwrap();
+        assert_eq!(decoded, bh);
+        assert!(BaseEnclaveHash::decode(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unaligned_state() {
+        let mut bytes = base_hash().encode();
+        bytes[39] = 1; // byte counter no longer block-aligned
+        assert!(BaseEnclaveHash::decode(&bytes).is_err());
+    }
+}

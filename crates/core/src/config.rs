@@ -1,0 +1,166 @@
+//! Application configuration — the secrets the whole story is about.
+//!
+//! In the paper's system model (§2.3), "the enclave needs a
+//! configuration to run and secrets to, e.g., authenticate to other
+//! services or decrypt sealed file system content", delivered only
+//! after successful attestation. This is that object: entry point,
+//! arguments, environment, volume keys, and named secrets. Stealing a
+//! serialized `AppConfig` is the attacker's goal in §3; SinClave's job
+//! is to make that impossible.
+
+use crate::error::SinclaveError;
+
+/// Configuration provisioned to an attested enclave.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct AppConfig {
+    /// Path (on the application volume) of the entry-point script.
+    pub entry: String,
+    /// Program arguments.
+    pub args: Vec<String>,
+    /// Environment variables.
+    pub env: Vec<(String, String)>,
+    /// Key for the application's encrypted volume, if any.
+    pub volume_key: Option<[u8; 32]>,
+    /// Named application secrets (API keys, DB credentials, …).
+    pub secrets: Vec<(String, Vec<u8>)>,
+}
+
+impl AppConfig {
+    /// Looks up a secret by name.
+    #[must_use]
+    pub fn secret(&self, name: &str) -> Option<&[u8]> {
+        self.secrets
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Looks up an environment variable.
+    #[must_use]
+    pub fn env_var(&self, name: &str) -> Option<&str> {
+        self.env.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes the configuration.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put(out: &mut Vec<u8>, bytes: &[u8]) {
+            out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            out.extend_from_slice(bytes);
+        }
+        let mut out = Vec::new();
+        put(&mut out, self.entry.as_bytes());
+        out.extend_from_slice(&(self.args.len() as u32).to_be_bytes());
+        for a in &self.args {
+            put(&mut out, a.as_bytes());
+        }
+        out.extend_from_slice(&(self.env.len() as u32).to_be_bytes());
+        for (k, v) in &self.env {
+            put(&mut out, k.as_bytes());
+            put(&mut out, v.as_bytes());
+        }
+        match &self.volume_key {
+            None => out.push(0),
+            Some(k) => {
+                out.push(1);
+                out.extend_from_slice(k);
+            }
+        }
+        out.extend_from_slice(&(self.secrets.len() as u32).to_be_bytes());
+        for (k, v) in &self.secrets {
+            put(&mut out, k.as_bytes());
+            put(&mut out, v);
+        }
+        out
+    }
+
+    /// Parses a serialized configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ProtocolDecode`] for malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SinclaveError> {
+        fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], SinclaveError> {
+            if cursor.len() < n {
+                return Err(SinclaveError::ProtocolDecode);
+            }
+            let (head, rest) = cursor.split_at(n);
+            *cursor = rest;
+            Ok(head)
+        }
+        fn get(cursor: &mut &[u8]) -> Result<Vec<u8>, SinclaveError> {
+            let len = u32::from_be_bytes(take(cursor, 4)?.try_into().expect("4")) as usize;
+            Ok(take(cursor, len)?.to_vec())
+        }
+        fn get_string(cursor: &mut &[u8]) -> Result<String, SinclaveError> {
+            String::from_utf8(get(cursor)?).map_err(|_| SinclaveError::ProtocolDecode)
+        }
+        fn get_count(cursor: &mut &[u8]) -> Result<usize, SinclaveError> {
+            Ok(u32::from_be_bytes(take(cursor, 4)?.try_into().expect("4")) as usize)
+        }
+
+        let mut cursor = bytes;
+        let entry = get_string(&mut cursor)?;
+        let mut args = Vec::new();
+        for _ in 0..get_count(&mut cursor)? {
+            args.push(get_string(&mut cursor)?);
+        }
+        let mut env = Vec::new();
+        for _ in 0..get_count(&mut cursor)? {
+            env.push((get_string(&mut cursor)?, get_string(&mut cursor)?));
+        }
+        let volume_key = match take(&mut cursor, 1)?[0] {
+            0 => None,
+            1 => Some(take(&mut cursor, 32)?.try_into().expect("32")),
+            _ => return Err(SinclaveError::ProtocolDecode),
+        };
+        let mut secrets = Vec::new();
+        for _ in 0..get_count(&mut cursor)? {
+            secrets.push((get_string(&mut cursor)?, get(&mut cursor)?));
+        }
+        if !cursor.is_empty() {
+            return Err(SinclaveError::ProtocolDecode);
+        }
+        Ok(AppConfig { entry, args, env, volume_key, secrets })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AppConfig {
+        AppConfig {
+            entry: "app.py".to_owned(),
+            args: vec!["--mode".to_owned(), "prod".to_owned()],
+            env: vec![("PYTHONPATH".to_owned(), "/lib".to_owned())],
+            volume_key: Some([9; 32]),
+            secrets: vec![("db-password".to_owned(), b"hunter2".to_vec())],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = config();
+        assert_eq!(AppConfig::from_bytes(&c.to_bytes()).unwrap(), c);
+        let empty = AppConfig::default();
+        assert_eq!(AppConfig::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn lookups() {
+        let c = config();
+        assert_eq!(c.secret("db-password"), Some(b"hunter2".as_slice()));
+        assert_eq!(c.secret("missing"), None);
+        assert_eq!(c.env_var("PYTHONPATH"), Some("/lib"));
+        assert_eq!(c.env_var("HOME"), None);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(AppConfig::from_bytes(&[1, 2, 3]).is_err());
+        let mut bytes = config().to_bytes();
+        bytes.push(0);
+        assert!(AppConfig::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for SinClave operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by SinClave signing, verification and the singleton
+/// protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SinclaveError {
+    /// A common SigStruct does not correspond to the claimed base
+    /// enclave hash.
+    BaseHashMismatch,
+    /// The presented SigStruct failed signature verification.
+    SigStructInvalid,
+    /// The signer key requested for on-demand signing does not match
+    /// the common SigStruct's signer.
+    SignerMismatch,
+    /// The attestation token was already redeemed (or never issued) —
+    /// the freshness guarantee caught a reuse attempt.
+    TokenNotRedeemable,
+    /// The instance page bytes are malformed.
+    InstancePageMalformed,
+    /// A layout is structurally invalid (overlapping or out-of-range
+    /// segments, missing room for the instance page…).
+    LayoutInvalid {
+        /// What is wrong with the layout.
+        reason: &'static str,
+    },
+    /// A protocol message could not be decoded.
+    ProtocolDecode,
+    /// An underlying SGX operation failed.
+    Sgx(sinclave_sgx::SgxError),
+    /// An underlying cryptographic operation failed.
+    Crypto(sinclave_crypto::CryptoError),
+}
+
+impl fmt::Display for SinclaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinclaveError::BaseHashMismatch => {
+                write!(f, "common sigstruct does not match base enclave hash")
+            }
+            SinclaveError::SigStructInvalid => write!(f, "sigstruct signature invalid"),
+            SinclaveError::SignerMismatch => {
+                write!(f, "on-demand signer key does not match common sigstruct signer")
+            }
+            SinclaveError::TokenNotRedeemable => {
+                write!(f, "attestation token not redeemable (reused or unknown)")
+            }
+            SinclaveError::InstancePageMalformed => write!(f, "instance page malformed"),
+            SinclaveError::LayoutInvalid { reason } => write!(f, "invalid layout: {reason}"),
+            SinclaveError::ProtocolDecode => write!(f, "protocol message malformed"),
+            SinclaveError::Sgx(e) => write!(f, "sgx: {e}"),
+            SinclaveError::Crypto(e) => write!(f, "crypto: {e}"),
+        }
+    }
+}
+
+impl Error for SinclaveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SinclaveError::Sgx(e) => Some(e),
+            SinclaveError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sinclave_sgx::SgxError> for SinclaveError {
+    fn from(e: sinclave_sgx::SgxError) -> Self {
+        SinclaveError::Sgx(e)
+    }
+}
+
+impl From<sinclave_crypto::CryptoError> for SinclaveError {
+    fn from(e: sinclave_crypto::CryptoError) -> Self {
+        SinclaveError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = SinclaveError::from(sinclave_sgx::SgxError::SigStructInvalid);
+        assert!(e.to_string().contains("sgx"));
+        assert!(e.source().is_some());
+        assert!(SinclaveError::TokenNotRedeemable.source().is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! The instance (singleton) page (§4.4, Fig. 5).
+//!
+//! System software appends this page to the end of the enclave during
+//! construction. It carries:
+//!
+//! * the **attestation token**, unique per singleton, and
+//! * the **verifier's cryptographic identity** (hash of the verifier's
+//!   channel key), which the runtime uses to ensure it only accepts
+//!   configuration from *that* verifier.
+//!
+//! The *common* enclave carries a zeroed instance page at the same
+//! offset, "such that the runtime can decide whether it requires
+//! attestation or not" (paper, §4.4).
+
+use crate::error::SinclaveError;
+use crate::token::{AttestationToken, TOKEN_LEN};
+use sinclave_crypto::sha256::Digest;
+use sinclave_sgx::PAGE_SIZE;
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"SINCLAVE";
+
+/// Parsed content of a non-zero instance page.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct InstancePage {
+    /// The one-time attestation token.
+    pub token: AttestationToken,
+    /// Identity (key fingerprint) of the verifier that issued the
+    /// token and that the enclave must exclusively attest to.
+    pub verifier_identity: Digest,
+}
+
+impl fmt::Debug for InstancePage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InstancePage")
+            .field("token", &self.token)
+            .field("verifier", &self.verifier_identity.to_hex()[..12].to_owned())
+            .finish()
+    }
+}
+
+impl InstancePage {
+    /// Creates an instance page value.
+    #[must_use]
+    pub fn new(token: AttestationToken, verifier_identity: Digest) -> Self {
+        InstancePage { token, verifier_identity }
+    }
+
+    /// Serializes to a full 4 KiB page: magic, token, verifier
+    /// identity, zero padding.
+    #[must_use]
+    pub fn to_page_bytes(&self) -> [u8; PAGE_SIZE] {
+        let mut page = [0u8; PAGE_SIZE];
+        page[..8].copy_from_slice(MAGIC);
+        page[8..8 + TOKEN_LEN].copy_from_slice(self.token.as_bytes());
+        page[8 + TOKEN_LEN..8 + TOKEN_LEN + 32].copy_from_slice(self.verifier_identity.as_bytes());
+        page
+    }
+
+    /// The all-zero page of a *common* enclave.
+    #[must_use]
+    pub fn common_page() -> [u8; PAGE_SIZE] {
+        [0u8; PAGE_SIZE]
+    }
+
+    /// Parses a page.
+    ///
+    /// Returns `Ok(None)` for the zeroed common page, `Ok(Some(_))`
+    /// for a well-formed singleton page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::InstancePageMalformed`] for anything
+    /// else (wrong magic, garbage in the padding).
+    pub fn parse(page: &[u8; PAGE_SIZE]) -> Result<Option<Self>, SinclaveError> {
+        if page.iter().all(|&b| b == 0) {
+            return Ok(None);
+        }
+        if &page[..8] != MAGIC {
+            return Err(SinclaveError::InstancePageMalformed);
+        }
+        let mut token = [0u8; TOKEN_LEN];
+        token.copy_from_slice(&page[8..8 + TOKEN_LEN]);
+        let mut verifier = [0u8; 32];
+        verifier.copy_from_slice(&page[8 + TOKEN_LEN..8 + TOKEN_LEN + 32]);
+        if page[8 + TOKEN_LEN + 32..].iter().any(|&b| b != 0) {
+            return Err(SinclaveError::InstancePageMalformed);
+        }
+        let parsed = InstancePage {
+            token: AttestationToken(token),
+            verifier_identity: Digest(verifier),
+        };
+        if parsed.token.is_zero() {
+            // A "singleton" page with a zero token is not a valid
+            // issuance; refuse rather than risk ambiguity with the
+            // common page.
+            return Err(SinclaveError::InstancePageMalformed);
+        }
+        Ok(Some(parsed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn page() -> InstancePage {
+        let mut rng = StdRng::seed_from_u64(5);
+        InstancePage::new(AttestationToken::generate(&mut rng), Digest([7; 32]))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = page();
+        let bytes = p.to_page_bytes();
+        let parsed = InstancePage::parse(&bytes).unwrap().unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn common_page_parses_to_none() {
+        assert_eq!(InstancePage::parse(&InstancePage::common_page()).unwrap(), None);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut bytes = page().to_page_bytes();
+        bytes[0] = b'X';
+        assert_eq!(
+            InstancePage::parse(&bytes),
+            Err(SinclaveError::InstancePageMalformed)
+        );
+    }
+
+    #[test]
+    fn garbage_in_padding_rejected() {
+        let mut bytes = page().to_page_bytes();
+        bytes[PAGE_SIZE - 1] = 1;
+        assert!(InstancePage::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn zero_token_rejected() {
+        let p = InstancePage::new(AttestationToken([0; 32]), Digest([7; 32]));
+        assert!(InstancePage::parse(&p.to_page_bytes()).is_err());
+    }
+
+    #[test]
+    fn different_tokens_different_pages() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = InstancePage::new(AttestationToken::generate(&mut rng), Digest([7; 32]));
+        let b = InstancePage::new(AttestationToken::generate(&mut rng), Digest([7; 32]));
+        assert_ne!(a.to_page_bytes(), b.to_page_bytes());
+    }
+}

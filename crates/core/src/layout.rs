@@ -1,0 +1,293 @@
+//! Platform-independent enclave memory layouts.
+//!
+//! Signer, starter and verifier must all compute the *same* measurement
+//! from the same program (Fig. 5's memory picture: executable,
+//! libraries, heap, then the instance page at the top of `ERANGE`). A
+//! [`EnclaveLayout`] captures that picture once so every party derives
+//! measurements from identical inputs.
+
+use crate::error::SinclaveError;
+use sinclave_sgx::attributes::Attributes;
+use sinclave_sgx::enclave::EnclaveBuilder;
+use sinclave_sgx::measurement::MeasurementBuilder;
+use sinclave_sgx::platform::Platform;
+use sinclave_sgx::secinfo::SecInfo;
+use sinclave_sgx::PAGE_SIZE;
+use std::sync::Arc;
+
+/// One measured (or unmeasured) region of the enclave image.
+#[derive(Clone, Debug)]
+pub struct LayoutSegment {
+    /// Page-aligned start offset.
+    pub offset: u64,
+    /// Raw bytes; zero-padded to whole pages when applied.
+    pub data: Vec<u8>,
+    /// Page type/permissions for every page of the segment.
+    pub secinfo: SecInfo,
+    /// Whether page content is `EEXTEND`ed into the measurement.
+    pub measured: bool,
+}
+
+impl LayoutSegment {
+    /// Number of pages the segment occupies.
+    #[must_use]
+    pub fn page_count(&self) -> u64 {
+        (self.data.len().max(1) as u64).div_ceil(PAGE_SIZE as u64)
+    }
+}
+
+/// The complete memory picture of an application enclave, *excluding*
+/// the instance page (which system software appends last).
+#[derive(Clone, Debug)]
+pub struct EnclaveLayout {
+    /// Total enclave size (`ERANGE`), including the instance page slot.
+    pub enclave_size: u64,
+    /// Code/data segments in `EADD` order.
+    pub segments: Vec<LayoutSegment>,
+    /// Offset of the first heap page.
+    pub heap_offset: u64,
+    /// Number of zeroed, unmeasured heap pages.
+    pub heap_pages: u64,
+}
+
+impl EnclaveLayout {
+    /// Builds a layout: segments at the bottom, heap above them, and
+    /// one reserved page at the very top for the instance page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::LayoutInvalid`] when pieces do not fit
+    /// or overlap.
+    pub fn new(
+        enclave_size: u64,
+        segments: Vec<LayoutSegment>,
+        heap_offset: u64,
+        heap_pages: u64,
+    ) -> Result<Self, SinclaveError> {
+        if enclave_size == 0 || !enclave_size.is_multiple_of(PAGE_SIZE as u64) {
+            return Err(SinclaveError::LayoutInvalid { reason: "size not page aligned" });
+        }
+        let layout = EnclaveLayout { enclave_size, segments, heap_offset, heap_pages };
+        layout.validate()?;
+        Ok(layout)
+    }
+
+    /// Convenience constructor: a single measured code segment at
+    /// offset 0, heap after it, instance page at the top.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::LayoutInvalid`] when pieces do not fit.
+    pub fn for_program(code: &[u8], heap_pages: u64) -> Result<Self, SinclaveError> {
+        let code_pages = (code.len().max(1) as u64).div_ceil(PAGE_SIZE as u64);
+        let heap_offset = code_pages * PAGE_SIZE as u64;
+        let total_pages = code_pages + heap_pages + 1; // +1 instance page
+        let enclave_size = total_pages * PAGE_SIZE as u64;
+        EnclaveLayout::new(
+            enclave_size,
+            vec![LayoutSegment {
+                offset: 0,
+                data: code.to_vec(),
+                secinfo: SecInfo::code(),
+                measured: true,
+            }],
+            heap_offset,
+            heap_pages,
+        )
+    }
+
+    fn validate(&self) -> Result<(), SinclaveError> {
+        let instance_offset = self.instance_page_offset();
+        let mut occupied: Vec<(u64, u64)> = Vec::new(); // (start, end)
+        for seg in &self.segments {
+            if !seg.offset.is_multiple_of(PAGE_SIZE as u64) {
+                return Err(SinclaveError::LayoutInvalid { reason: "segment not page aligned" });
+            }
+            let end = seg.offset + seg.page_count() * PAGE_SIZE as u64;
+            if end > instance_offset {
+                return Err(SinclaveError::LayoutInvalid {
+                    reason: "segment overlaps instance page or exceeds enclave",
+                });
+            }
+            occupied.push((seg.offset, end));
+        }
+        if self.heap_pages > 0 {
+            if !self.heap_offset.is_multiple_of(PAGE_SIZE as u64) {
+                return Err(SinclaveError::LayoutInvalid { reason: "heap not page aligned" });
+            }
+            let heap_end = self.heap_offset + self.heap_pages * PAGE_SIZE as u64;
+            if heap_end > instance_offset {
+                return Err(SinclaveError::LayoutInvalid {
+                    reason: "heap overlaps instance page or exceeds enclave",
+                });
+            }
+            occupied.push((self.heap_offset, heap_end));
+        }
+        occupied.sort_unstable();
+        for pair in occupied.windows(2) {
+            if pair[0].1 > pair[1].0 {
+                return Err(SinclaveError::LayoutInvalid { reason: "regions overlap" });
+            }
+        }
+        Ok(())
+    }
+
+    /// Offset of the instance page: the topmost page of the enclave.
+    #[must_use]
+    pub fn instance_page_offset(&self) -> u64 {
+        self.enclave_size - PAGE_SIZE as u64
+    }
+
+    /// Runs the `ECREATE`/`EADD`/`EEXTEND` sequence for everything
+    /// *below* the instance page into a measurement builder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement errors (cannot happen for a validated
+    /// layout).
+    pub fn measure_base(&self) -> Result<MeasurementBuilder, SinclaveError> {
+        let mut m =
+            MeasurementBuilder::ecreate(EnclaveBuilder::SSA_FRAME_SIZE, self.enclave_size);
+        for seg in &self.segments {
+            for (i, chunk) in seg.data.chunks(PAGE_SIZE).enumerate() {
+                let mut page = [0u8; PAGE_SIZE];
+                page[..chunk.len()].copy_from_slice(chunk);
+                m.add_page(
+                    seg.offset + (i * PAGE_SIZE) as u64,
+                    &page,
+                    seg.secinfo,
+                    seg.measured,
+                )?;
+            }
+            if seg.data.is_empty() {
+                m.add_page(seg.offset, &[0u8; PAGE_SIZE], seg.secinfo, seg.measured)?;
+            }
+        }
+        let zero = [0u8; PAGE_SIZE];
+        for i in 0..self.heap_pages {
+            m.add_page(
+                self.heap_offset + i * PAGE_SIZE as u64,
+                &zero,
+                SecInfo::data(),
+                false,
+            )?;
+        }
+        Ok(m)
+    }
+
+    /// Constructs the enclave (all segments + heap, *without* the
+    /// instance page) on a platform. The starter then appends either a
+    /// zeroed common page or a singleton instance page and calls
+    /// `einit`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (EPC exhaustion etc.).
+    pub fn build(
+        &self,
+        platform: Arc<Platform>,
+        attributes: Attributes,
+    ) -> Result<EnclaveBuilder, SinclaveError> {
+        let mut b = EnclaveBuilder::new(platform, self.enclave_size, attributes);
+        for seg in &self.segments {
+            if seg.data.is_empty() {
+                b.add_page(seg.offset, &[0u8; PAGE_SIZE], seg.secinfo, seg.measured)?;
+            } else {
+                b.add_bytes(seg.offset, &seg.data, seg.secinfo, seg.measured)?;
+            }
+        }
+        if self.heap_pages > 0 {
+            b.add_heap(self.heap_offset, self.heap_pages)?;
+        }
+        Ok(b)
+    }
+
+    /// Total number of pages the built enclave will occupy.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.segments.iter().map(LayoutSegment::page_count).sum::<u64>() + self.heap_pages + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn for_program_layout_geometry() {
+        let layout = EnclaveLayout::for_program(&[1u8; 5000], 3).unwrap();
+        // 2 code pages + 3 heap + 1 instance page.
+        assert_eq!(layout.enclave_size, 6 * PAGE_SIZE as u64);
+        assert_eq!(layout.instance_page_offset(), 5 * PAGE_SIZE as u64);
+        assert_eq!(layout.heap_offset, 2 * PAGE_SIZE as u64);
+        assert_eq!(layout.total_pages(), 6);
+    }
+
+    #[test]
+    fn measure_base_matches_platform_build() {
+        // The signer's offline measurement and the starter's actual
+        // construction must agree bit for bit.
+        let layout = EnclaveLayout::for_program(b"some program code", 2).unwrap();
+        let offline = layout.measure_base().unwrap();
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let platform = Arc::new(Platform::new(&mut rng));
+        let built = layout.build(platform, Attributes::production()).unwrap();
+
+        assert_eq!(offline.export_state(), built.measurement_state());
+    }
+
+    #[test]
+    fn rejects_overlapping_segments() {
+        let seg = |offset| LayoutSegment {
+            offset,
+            data: vec![1; PAGE_SIZE + 1], // 2 pages
+            secinfo: SecInfo::code(),
+            measured: true,
+        };
+        let err = EnclaveLayout::new(0x10000, vec![seg(0), seg(0x1000)], 0x4000, 1);
+        assert!(matches!(err, Err(SinclaveError::LayoutInvalid { .. })));
+    }
+
+    #[test]
+    fn rejects_heap_overlapping_instance_page() {
+        let err = EnclaveLayout::new(
+            2 * PAGE_SIZE as u64,
+            vec![],
+            0,
+            2, // heap would cover the instance page slot
+        );
+        assert!(matches!(err, Err(SinclaveError::LayoutInvalid { .. })));
+    }
+
+    #[test]
+    fn rejects_unaligned_size() {
+        assert!(EnclaveLayout::new(100, vec![], 0, 0).is_err());
+    }
+
+    #[test]
+    fn empty_segment_occupies_one_page() {
+        let seg = LayoutSegment {
+            offset: 0,
+            data: vec![],
+            secinfo: SecInfo::read_only(),
+            measured: true,
+        };
+        assert_eq!(seg.page_count(), 1);
+        let layout = EnclaveLayout::new(2 * PAGE_SIZE as u64, vec![seg], PAGE_SIZE as u64, 0)
+            .unwrap();
+        assert!(layout.measure_base().is_ok());
+    }
+
+    #[test]
+    fn different_programs_different_base_states() {
+        let a = EnclaveLayout::for_program(b"program a", 1).unwrap();
+        let b = EnclaveLayout::for_program(b"program b", 1).unwrap();
+        assert_ne!(
+            a.measure_base().unwrap().export_state(),
+            b.measure_base().unwrap().export_state()
+        );
+    }
+}

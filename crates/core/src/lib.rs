@@ -1,0 +1,59 @@
+//! **SinClave** — hardware-assisted singleton enclaves.
+//!
+//! This crate implements the paper's contribution (§4): a protection
+//! mechanism against remote-attestation *reuse* attacks that makes
+//! every attested enclave provably **fresh** (attested exactly once)
+//! and **bound to one verifier**, without giving up binary software
+//! distribution.
+//!
+//! The moving parts:
+//!
+//! * [`base_hash`] — the *base enclave hash*: an interrupted SHA-256
+//!   measurement state exported just before `EINIT` would finalize it.
+//!   The signer publishes this instead of (or along with) a final
+//!   `MRENCLAVE`.
+//! * [`instance_page`] — the page system software appends during
+//!   enclave construction, carrying a one-time *attestation token* and
+//!   the verifier's cryptographic identity (Fig. 5).
+//! * [`token`] — one-time attestation tokens.
+//! * [`layout`] — a platform-independent description of an enclave's
+//!   memory image, shared by signer, starter and verifier so all three
+//!   compute identical measurements.
+//! * [`signer`] — the build-time signing tool (Fig. 7a): measures a
+//!   layout, produces the base hash and the *common* SigStruct.
+//! * [`verifier`] — the verifier-side algebra: predict a singleton's
+//!   `MRENCLAVE` from base hash + instance page, create the
+//!   *on-demand* SigStruct (Fig. 7b/7c), enforce one-time tokens.
+//! * [`protocol`] — wire messages of the singleton retrieval and
+//!   attestation flows.
+//!
+//! # The mechanism in one paragraph
+//!
+//! The verifier hands the starter a fresh token and an on-demand
+//! SigStruct for `MRENCLAVE' = finalize(base_hash ‖ EADD/EEXTEND of
+//! instance page(token, verifier_id))`. The starter builds the enclave
+//! *with* that instance page; `EINIT` accepts because the SigStruct
+//! matches. The enclave sees a non-zero instance page, so it attests
+//! immediately — to the verifier identified *inside its own
+//! measurement* — and the verifier accepts each token exactly once.
+//! An adversary restarting or pre-configuring the enclave cannot
+//! reproduce a fresh measurement: every `MRENCLAVE` is single-use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base_hash;
+pub mod config;
+pub mod error;
+pub mod instance_page;
+pub mod layout;
+pub mod protocol;
+pub mod signer;
+pub mod token;
+pub mod verifier;
+
+pub use base_hash::BaseEnclaveHash;
+pub use config::AppConfig;
+pub use error::SinclaveError;
+pub use instance_page::InstancePage;
+pub use token::AttestationToken;

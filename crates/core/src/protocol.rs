@@ -1,0 +1,300 @@
+//! Wire messages of the SinClave flows (Fig. 7c and §4.4).
+//!
+//! Self-contained binary encoding (no dependency on the network crate
+//! to keep layering clean: `runtime` and `cas` both speak this
+//! protocol over whatever transport they use).
+//!
+//! Flows:
+//!
+//! * **Grant** (starter → verifier, before `EINIT`): present the
+//!   common SigStruct and base hash, receive token + verifier identity
+//!   + on-demand SigStruct.
+//! * **Attest** (enclave → verifier, right after entry): present the
+//!   quote and token over a secure channel, receive the configuration.
+//! * **BaselineAttest** — the paper's baseline (SCONE-style) flow,
+//!   kept for the attack demonstration and Fig. 8/9 baselines: quote
+//!   only, no token.
+
+use crate::error::SinclaveError;
+use crate::token::{AttestationToken, TOKEN_LEN};
+
+/// A protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Starter requests a singleton grant.
+    GrantRequest {
+        /// Serialized common [`sinclave_sgx::sigstruct::SigStruct`].
+        common_sigstruct: Vec<u8>,
+        /// Encoded [`crate::BaseEnclaveHash`].
+        base_hash: Vec<u8>,
+    },
+    /// Verifier's grant.
+    GrantResponse {
+        /// The one-time token.
+        token: AttestationToken,
+        /// Verifier identity to pin.
+        verifier_identity: [u8; 32],
+        /// Serialized on-demand SigStruct.
+        sigstruct: Vec<u8>,
+    },
+    /// Singleton enclave attests with quote + token.
+    AttestRequest {
+        /// Serialized [`sinclave_sgx::quote::Quote`].
+        quote: Vec<u8>,
+        /// The token from the instance page.
+        token: AttestationToken,
+        /// Which configuration/session is requested.
+        config_id: String,
+    },
+    /// Baseline (tokenless) attestation, as in unmodified SCONE.
+    BaselineAttestRequest {
+        /// Serialized quote.
+        quote: Vec<u8>,
+        /// Which configuration/session is requested.
+        config_id: String,
+    },
+    /// Configuration delivery.
+    ConfigResponse {
+        /// Serialized configuration payload.
+        config: Vec<u8>,
+    },
+    /// Nonce challenge from the verifier (sent before quotes are
+    /// produced so the verifier controls freshness of the *quote*).
+    Challenge {
+        /// 16-byte quote nonce.
+        nonce: [u8; 16],
+    },
+    /// Request for a challenge.
+    ChallengeRequest,
+    /// The verifier refused.
+    Denied {
+        /// Human-readable reason (no secrets).
+        reason: String,
+    },
+    /// Trivial liveness probe (used by the Fig. 7c connect benchmark).
+    Ping,
+    /// Liveness response.
+    Pong,
+    /// A quote, sent by an enclave acting as attestation *server*
+    /// (the SGX-LKL flow, §3.3.2).
+    QuoteResponse {
+        /// Serialized quote.
+        quote: Vec<u8>,
+    },
+    /// Proof that the connecting client is the verifier pinned in the
+    /// instance page (SinClave-hardened SGX-LKL flow): the verifier's
+    /// public key and a signature over the channel transcript.
+    VerifierAuth {
+        /// Serialized verifier public key.
+        pubkey: Vec<u8>,
+        /// Signature over the channel transcript hash.
+        signature: Vec<u8>,
+    },
+}
+
+const TAG_GRANT_REQ: u8 = 1;
+const TAG_GRANT_RESP: u8 = 2;
+const TAG_ATTEST_REQ: u8 = 3;
+const TAG_BASELINE_ATTEST_REQ: u8 = 4;
+const TAG_CONFIG_RESP: u8 = 5;
+const TAG_CHALLENGE: u8 = 6;
+const TAG_CHALLENGE_REQ: u8 = 7;
+const TAG_DENIED: u8 = 8;
+const TAG_PING: u8 = 9;
+const TAG_PONG: u8 = 10;
+const TAG_QUOTE_RESP: u8 = 11;
+const TAG_VERIFIER_AUTH: u8 = 12;
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn get_bytes(cursor: &mut &[u8]) -> Result<Vec<u8>, SinclaveError> {
+    let len_bytes = take(cursor, 4)?;
+    let len = u32::from_be_bytes(len_bytes.try_into().expect("4")) as usize;
+    Ok(take(cursor, len)?.to_vec())
+}
+
+fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], SinclaveError> {
+    if cursor.len() < n {
+        return Err(SinclaveError::ProtocolDecode);
+    }
+    let (head, rest) = cursor.split_at(n);
+    *cursor = rest;
+    Ok(head)
+}
+
+impl Message {
+    /// Serializes the message.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::GrantRequest { common_sigstruct, base_hash } => {
+                out.push(TAG_GRANT_REQ);
+                put_bytes(&mut out, common_sigstruct);
+                put_bytes(&mut out, base_hash);
+            }
+            Message::GrantResponse { token, verifier_identity, sigstruct } => {
+                out.push(TAG_GRANT_RESP);
+                out.extend_from_slice(token.as_bytes());
+                out.extend_from_slice(verifier_identity);
+                put_bytes(&mut out, sigstruct);
+            }
+            Message::AttestRequest { quote, token, config_id } => {
+                out.push(TAG_ATTEST_REQ);
+                put_bytes(&mut out, quote);
+                out.extend_from_slice(token.as_bytes());
+                put_bytes(&mut out, config_id.as_bytes());
+            }
+            Message::BaselineAttestRequest { quote, config_id } => {
+                out.push(TAG_BASELINE_ATTEST_REQ);
+                put_bytes(&mut out, quote);
+                put_bytes(&mut out, config_id.as_bytes());
+            }
+            Message::ConfigResponse { config } => {
+                out.push(TAG_CONFIG_RESP);
+                put_bytes(&mut out, config);
+            }
+            Message::Challenge { nonce } => {
+                out.push(TAG_CHALLENGE);
+                out.extend_from_slice(nonce);
+            }
+            Message::ChallengeRequest => out.push(TAG_CHALLENGE_REQ),
+            Message::Denied { reason } => {
+                out.push(TAG_DENIED);
+                put_bytes(&mut out, reason.as_bytes());
+            }
+            Message::Ping => out.push(TAG_PING),
+            Message::Pong => out.push(TAG_PONG),
+            Message::QuoteResponse { quote } => {
+                out.push(TAG_QUOTE_RESP);
+                put_bytes(&mut out, quote);
+            }
+            Message::VerifierAuth { pubkey, signature } => {
+                out.push(TAG_VERIFIER_AUTH);
+                put_bytes(&mut out, pubkey);
+                put_bytes(&mut out, signature);
+            }
+        }
+        out
+    }
+
+    /// Parses a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ProtocolDecode`] for malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SinclaveError> {
+        let mut cursor = bytes;
+        let tag = take(&mut cursor, 1)?[0];
+        let message = match tag {
+            TAG_GRANT_REQ => Message::GrantRequest {
+                common_sigstruct: get_bytes(&mut cursor)?,
+                base_hash: get_bytes(&mut cursor)?,
+            },
+            TAG_GRANT_RESP => {
+                let token_bytes: [u8; TOKEN_LEN] =
+                    take(&mut cursor, TOKEN_LEN)?.try_into().expect("token");
+                let verifier_identity: [u8; 32] =
+                    take(&mut cursor, 32)?.try_into().expect("identity");
+                Message::GrantResponse {
+                    token: AttestationToken(token_bytes),
+                    verifier_identity,
+                    sigstruct: get_bytes(&mut cursor)?,
+                }
+            }
+            TAG_ATTEST_REQ => {
+                let quote = get_bytes(&mut cursor)?;
+                let token_bytes: [u8; TOKEN_LEN] =
+                    take(&mut cursor, TOKEN_LEN)?.try_into().expect("token");
+                let config_id = String::from_utf8(get_bytes(&mut cursor)?)
+                    .map_err(|_| SinclaveError::ProtocolDecode)?;
+                Message::AttestRequest {
+                    quote,
+                    token: AttestationToken(token_bytes),
+                    config_id,
+                }
+            }
+            TAG_BASELINE_ATTEST_REQ => Message::BaselineAttestRequest {
+                quote: get_bytes(&mut cursor)?,
+                config_id: String::from_utf8(get_bytes(&mut cursor)?)
+                    .map_err(|_| SinclaveError::ProtocolDecode)?,
+            },
+            TAG_CONFIG_RESP => Message::ConfigResponse { config: get_bytes(&mut cursor)? },
+            TAG_CHALLENGE => Message::Challenge {
+                nonce: take(&mut cursor, 16)?.try_into().expect("nonce"),
+            },
+            TAG_CHALLENGE_REQ => Message::ChallengeRequest,
+            TAG_DENIED => Message::Denied {
+                reason: String::from_utf8(get_bytes(&mut cursor)?)
+                    .map_err(|_| SinclaveError::ProtocolDecode)?,
+            },
+            TAG_PING => Message::Ping,
+            TAG_PONG => Message::Pong,
+            TAG_QUOTE_RESP => Message::QuoteResponse { quote: get_bytes(&mut cursor)? },
+            TAG_VERIFIER_AUTH => Message::VerifierAuth {
+                pubkey: get_bytes(&mut cursor)?,
+                signature: get_bytes(&mut cursor)?,
+            },
+            _ => return Err(SinclaveError::ProtocolDecode),
+        };
+        if !cursor.is_empty() {
+            return Err(SinclaveError::ProtocolDecode);
+        }
+        Ok(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let bytes = m.to_bytes();
+        assert_eq!(Message::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Message::GrantRequest {
+            common_sigstruct: vec![1, 2, 3],
+            base_hash: vec![4; 56],
+        });
+        roundtrip(Message::GrantResponse {
+            token: AttestationToken([5; 32]),
+            verifier_identity: [6; 32],
+            sigstruct: vec![7, 8],
+        });
+        roundtrip(Message::AttestRequest {
+            quote: vec![9; 100],
+            token: AttestationToken([1; 32]),
+            config_id: "python-app".to_owned(),
+        });
+        roundtrip(Message::BaselineAttestRequest {
+            quote: vec![2; 64],
+            config_id: "nodejs".to_owned(),
+        });
+        roundtrip(Message::ConfigResponse { config: vec![] });
+        roundtrip(Message::Challenge { nonce: [3; 16] });
+        roundtrip(Message::ChallengeRequest);
+        roundtrip(Message::Denied { reason: "token reuse".to_owned() });
+        roundtrip(Message::Ping);
+        roundtrip(Message::Pong);
+        roundtrip(Message::QuoteResponse { quote: vec![1; 32] });
+        roundtrip(Message::VerifierAuth { pubkey: vec![2; 16], signature: vec![3; 128] });
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert!(Message::from_bytes(&[]).is_err());
+        assert!(Message::from_bytes(&[99]).is_err());
+        let mut truncated = Message::ConfigResponse { config: vec![1, 2, 3] }.to_bytes();
+        truncated.pop();
+        assert!(Message::from_bytes(&truncated).is_err());
+        let mut padded = Message::Ping.to_bytes();
+        padded.push(0);
+        assert!(Message::from_bytes(&padded).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! The build-time signing tool (§4.4, Fig. 7a).
+//!
+//! SCONE embeds the SigStruct into the binary at compile time; the
+//! SinClave signer additionally uses the *interruptible* SHA-256 so
+//! that, besides the common SigStruct, it emits the [`BaseEnclaveHash`]
+//! the verifier later finalizes per singleton.
+
+use crate::base_hash::BaseEnclaveHash;
+use crate::error::SinclaveError;
+use crate::layout::EnclaveLayout;
+use sinclave_crypto::rsa::RsaPrivateKey;
+use sinclave_sgx::attributes::Attributes;
+use sinclave_sgx::measurement::Measurement;
+use sinclave_sgx::sigstruct::{SigStruct, SigStructBody};
+
+/// Identity fields the signer assigns to a product.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SignerConfig {
+    /// Product id (`ISVPRODID`).
+    pub isv_prod_id: u16,
+    /// Security version (`ISVSVN`).
+    pub isv_svn: u16,
+    /// Build date as `YYYYMMDD`.
+    pub date: u32,
+    /// Required enclave attributes.
+    pub attributes: Attributes,
+    /// Enforced attribute mask.
+    pub attributes_mask: Attributes,
+}
+
+impl Default for SignerConfig {
+    fn default() -> Self {
+        SignerConfig {
+            isv_prod_id: 0,
+            isv_svn: 1,
+            date: 20230405,
+            attributes: Attributes::production(),
+            attributes_mask: Attributes { flags: u64::MAX, xfrm: u64::MAX },
+        }
+    }
+}
+
+/// Everything the signer ships with a binary: the layout, the base
+/// enclave hash, and the *common* SigStruct. Freely distributable —
+/// none of it is secret, none of it is machine-specific.
+#[derive(Clone, Debug)]
+pub struct SignedEnclave {
+    /// The memory picture everyone measures.
+    pub layout: EnclaveLayout,
+    /// Interrupted measurement state over the layout.
+    pub base_hash: BaseEnclaveHash,
+    /// SigStruct for the common (zero-instance-page) enclave.
+    pub common_sigstruct: SigStruct,
+}
+
+impl SignedEnclave {
+    /// The common enclave's `MRENCLAVE`.
+    #[must_use]
+    pub fn common_measurement(&self) -> Measurement {
+        self.common_sigstruct.body().enclave_hash
+    }
+}
+
+/// Signs a layout the SinClave way: measure with the interruptible
+/// hash, export the base hash, finalize the common measurement, sign.
+///
+/// # Errors
+///
+/// Propagates layout-measurement and signing failures.
+pub fn sign_enclave(
+    layout: &EnclaveLayout,
+    signer_key: &RsaPrivateKey,
+    config: &SignerConfig,
+) -> Result<SignedEnclave, SinclaveError> {
+    let base = layout.measure_base()?;
+    let base_hash = BaseEnclaveHash::new(
+        base.export_state(),
+        layout.enclave_size,
+        layout.instance_page_offset(),
+    );
+    let common = base_hash.common_measurement()?;
+    let body = SigStructBody {
+        enclave_hash: common,
+        attributes: config.attributes,
+        attributes_mask: config.attributes_mask,
+        isv_prod_id: config.isv_prod_id,
+        isv_svn: config.isv_svn,
+        date: config.date,
+        vendor: 0,
+    };
+    let common_sigstruct = SigStruct::sign(body, signer_key)?;
+    Ok(SignedEnclave { layout: layout.clone(), base_hash, common_sigstruct })
+}
+
+/// Signs a layout the *baseline* (SCONE) way: one straight measurement
+/// of the full enclave including the zeroed instance page, no base
+/// hash export. Functionally equivalent for the common enclave; the
+/// distinction exists to benchmark Fig. 7a's compile-time comparison.
+///
+/// # Errors
+///
+/// Propagates layout-measurement and signing failures.
+pub fn sign_enclave_baseline(
+    layout: &EnclaveLayout,
+    signer_key: &RsaPrivateKey,
+    config: &SignerConfig,
+) -> Result<SigStruct, SinclaveError> {
+    let mut m = layout.measure_base()?;
+    m.add_page(
+        layout.instance_page_offset(),
+        &crate::instance_page::InstancePage::common_page(),
+        sinclave_sgx::secinfo::SecInfo::read_only(),
+        true,
+    )?;
+    let body = SigStructBody {
+        enclave_hash: m.finalize(),
+        attributes: config.attributes,
+        attributes_mask: config.attributes_mask,
+        isv_prod_id: config.isv_prod_id,
+        isv_svn: config.isv_svn,
+        date: config.date,
+        vendor: 0,
+    };
+    Ok(SigStruct::sign(body, signer_key)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(seed: u64) -> RsaPrivateKey {
+        RsaPrivateKey::generate(&mut StdRng::seed_from_u64(seed), 1024).unwrap()
+    }
+
+    #[test]
+    fn sinclave_and_baseline_agree_on_common_measurement() {
+        let layout = EnclaveLayout::for_program(b"program", 2).unwrap();
+        let k = key(1);
+        let cfg = SignerConfig::default();
+        let signed = sign_enclave(&layout, &k, &cfg).unwrap();
+        let baseline = sign_enclave_baseline(&layout, &k, &cfg).unwrap();
+        assert_eq!(
+            signed.common_sigstruct.body().enclave_hash,
+            baseline.body().enclave_hash,
+            "interruptible and one-shot signing produce identical MRENCLAVE"
+        );
+        signed.common_sigstruct.verify().unwrap();
+        baseline.verify().unwrap();
+    }
+
+    #[test]
+    fn signed_enclave_is_self_consistent() {
+        let layout = EnclaveLayout::for_program(b"another program", 1).unwrap();
+        let signed = sign_enclave(&layout, &key(2), &SignerConfig::default()).unwrap();
+        assert_eq!(
+            signed.base_hash.common_measurement().unwrap(),
+            signed.common_measurement()
+        );
+        assert_eq!(signed.base_hash.enclave_size(), layout.enclave_size);
+    }
+
+    #[test]
+    fn config_fields_land_in_sigstruct() {
+        let layout = EnclaveLayout::for_program(b"p", 1).unwrap();
+        let cfg = SignerConfig { isv_prod_id: 42, isv_svn: 7, ..SignerConfig::default() };
+        let signed = sign_enclave(&layout, &key(3), &cfg).unwrap();
+        assert_eq!(signed.common_sigstruct.body().isv_prod_id, 42);
+        assert_eq!(signed.common_sigstruct.body().isv_svn, 7);
+    }
+
+    #[test]
+    fn different_signers_same_measurement_different_identity() {
+        let layout = EnclaveLayout::for_program(b"p", 1).unwrap();
+        let a = sign_enclave(&layout, &key(4), &SignerConfig::default()).unwrap();
+        let b = sign_enclave(&layout, &key(5), &SignerConfig::default()).unwrap();
+        assert_eq!(a.common_measurement(), b.common_measurement());
+        assert_ne!(a.common_sigstruct.mrsigner(), b.common_sigstruct.mrsigner());
+    }
+}

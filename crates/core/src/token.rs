@@ -1,0 +1,81 @@
+//! One-time attestation tokens (§4.4).
+//!
+//! A token is 32 bytes of verifier-chosen randomness. It individualizes
+//! the singleton's `MRENCLAVE` (via the instance page) and serves as
+//! the verifier's freshness handle: each token is redeemable exactly
+//! once, so each singleton enclave is attested exactly once.
+
+use rand::RngCore;
+use std::fmt;
+
+/// Length of an attestation token in bytes.
+pub const TOKEN_LEN: usize = 32;
+
+/// A one-time attestation token.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttestationToken(pub [u8; TOKEN_LEN]);
+
+impl AttestationToken {
+    /// Samples a fresh random token.
+    #[must_use]
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; TOKEN_LEN];
+        rng.fill_bytes(&mut bytes);
+        AttestationToken(bytes)
+    }
+
+    /// The token bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; TOKEN_LEN] {
+        &self.0
+    }
+
+    /// Lowercase hex rendering.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Whether the token is all zeros (the common enclave's marker —
+    /// never issued by a verifier).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; TOKEN_LEN]
+    }
+}
+
+impl fmt::Debug for AttestationToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AttestationToken({}…)", &self.to_hex()[..12])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_tokens_are_unique_and_nonzero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = AttestationToken::generate(&mut rng);
+        let b = AttestationToken::generate(&mut rng);
+        assert_ne!(a, b);
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(AttestationToken([0; 32]).is_zero());
+        assert!(!AttestationToken([1; 32]).is_zero());
+    }
+
+    #[test]
+    fn hex_rendering() {
+        let t = AttestationToken([0xab; 32]);
+        assert_eq!(t.to_hex().len(), 64);
+        assert!(t.to_hex().starts_with("abab"));
+        assert!(format!("{t:?}").contains("abab"));
+    }
+}

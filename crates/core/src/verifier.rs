@@ -1,0 +1,310 @@
+//! Verifier-side SinClave: issuing singleton grants and enforcing
+//! one-time attestation (§4.4).
+//!
+//! The verifier holds the enclave signer's private key (the paper's
+//! "signer key never leaves the trusted verifier"). When a starter
+//! asks to launch a singleton, the verifier:
+//!
+//! 1. checks the presented *common* SigStruct is one it signed and
+//!    matches the presented base enclave hash,
+//! 2. draws a fresh [`AttestationToken`],
+//! 3. finalizes the base hash with the instance page (token +
+//!    verifier identity) to predict the singleton `MRENCLAVE`,
+//! 4. signs an **on-demand SigStruct** for exactly that measurement,
+//! 5. later redeems the token at attestation time — exactly once, and
+//!    only for the predicted measurement.
+
+use crate::base_hash::BaseEnclaveHash;
+use crate::error::SinclaveError;
+use crate::instance_page::InstancePage;
+use crate::token::AttestationToken;
+use parking_lot::Mutex;
+use rand::RngCore;
+use sinclave_crypto::rsa::RsaPrivateKey;
+use sinclave_crypto::sha256::Digest;
+use sinclave_sgx::measurement::Measurement;
+use sinclave_sgx::sigstruct::{SigStruct, SigStructBody};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What the verifier returns to the starter: everything needed to
+/// construct and `EINIT` one singleton enclave.
+#[derive(Clone, Debug)]
+pub struct SingletonGrant {
+    /// The one-time token (goes into the instance page).
+    pub token: AttestationToken,
+    /// The verifier's identity (goes into the instance page).
+    pub verifier_identity: Digest,
+    /// On-demand SigStruct for the singleton's unique measurement.
+    pub sigstruct: SigStruct,
+    /// The measurement the verifier expects to see in the quote.
+    pub expected_mrenclave: Measurement,
+}
+
+impl SingletonGrant {
+    /// The instance page encoded in this grant.
+    #[must_use]
+    pub fn instance_page(&self) -> InstancePage {
+        InstancePage::new(self.token, self.verifier_identity)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokenState {
+    Issued { expected: Measurement, common: Measurement },
+    Redeemed,
+}
+
+/// The verifier-side singleton machinery.
+pub struct SingletonIssuer {
+    signer_key: RsaPrivateKey,
+    verifier_identity: Digest,
+    tokens: Mutex<HashMap<AttestationToken, TokenState>>,
+}
+
+impl fmt::Debug for SingletonIssuer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SingletonIssuer")
+            .field("verifier", &self.verifier_identity.to_hex()[..12].to_owned())
+            .field("tokens", &self.tokens.lock().len())
+            .finish()
+    }
+}
+
+impl SingletonIssuer {
+    /// Creates an issuer from the enclave signer's key and the
+    /// verifier's public identity (e.g. the fingerprint of its channel
+    /// key, which enclaves pin).
+    #[must_use]
+    pub fn new(signer_key: RsaPrivateKey, verifier_identity: Digest) -> Self {
+        SingletonIssuer { signer_key, verifier_identity, tokens: Mutex::new(HashMap::new()) }
+    }
+
+    /// The identity baked into every instance page this issuer grants.
+    #[must_use]
+    pub fn verifier_identity(&self) -> Digest {
+        self.verifier_identity
+    }
+
+    /// Issues a singleton grant (steps 1–4 above; the server-side work
+    /// of Fig. 7c's "singleton page retrieval").
+    ///
+    /// # Errors
+    ///
+    /// * [`SinclaveError::SigStructInvalid`] — common SigStruct broken.
+    /// * [`SinclaveError::SignerMismatch`] — signed by someone else.
+    /// * [`SinclaveError::BaseHashMismatch`] — base hash does not
+    ///   finalize to the common SigStruct's measurement.
+    pub fn issue<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        common_sigstruct: &SigStruct,
+        base_hash: &BaseEnclaveHash,
+    ) -> Result<SingletonGrant, SinclaveError> {
+        common_sigstruct
+            .verify()
+            .map_err(|_| SinclaveError::SigStructInvalid)?;
+        if common_sigstruct.signer_key() != self.signer_key.public_key() {
+            return Err(SinclaveError::SignerMismatch);
+        }
+        // "The verifier ensures it matches the base enclave hash (if
+        // instantiated for the common enclave)": only binaries the
+        // signer already signed get singleton grants.
+        let common = base_hash.common_measurement()?;
+        if common != common_sigstruct.body().enclave_hash {
+            return Err(SinclaveError::BaseHashMismatch);
+        }
+
+        let token = AttestationToken::generate(rng);
+        let page = InstancePage::new(token, self.verifier_identity);
+        let expected = base_hash.singleton_measurement(&page)?;
+
+        // On-demand SigStruct: identical body except the measurement.
+        let body = SigStructBody {
+            enclave_hash: expected,
+            ..common_sigstruct.body().clone()
+        };
+        let sigstruct = SigStruct::sign(body, &self.signer_key)?;
+
+        self.tokens
+            .lock()
+            .insert(token, TokenState::Issued { expected, common });
+        Ok(SingletonGrant {
+            token,
+            verifier_identity: self.verifier_identity,
+            sigstruct,
+            expected_mrenclave: expected,
+        })
+    }
+
+    /// Redeems a token presented during attestation: succeeds exactly
+    /// once, and only when the attested `MRENCLAVE` equals the
+    /// measurement predicted at issue time. Returns the *common*
+    /// measurement of the underlying binary so policy engines can bind
+    /// the singleton to the right application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::TokenNotRedeemable`] for unknown,
+    /// reused, or measurement-mismatched tokens.
+    pub fn redeem(
+        &self,
+        token: &AttestationToken,
+        attested_mrenclave: &Measurement,
+    ) -> Result<Measurement, SinclaveError> {
+        let mut tokens = self.tokens.lock();
+        match tokens.get(token) {
+            Some(TokenState::Issued { expected, common })
+                if *expected == *attested_mrenclave =>
+            {
+                let common = *common;
+                tokens.insert(*token, TokenState::Redeemed);
+                Ok(common)
+            }
+            _ => Err(SinclaveError::TokenNotRedeemable),
+        }
+    }
+
+    /// Number of tokens issued but not yet redeemed.
+    #[must_use]
+    pub fn outstanding_tokens(&self) -> usize {
+        self.tokens
+            .lock()
+            .values()
+            .filter(|s| matches!(s, TokenState::Issued { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::EnclaveLayout;
+    use crate::signer::{sign_enclave, SignerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (SingletonIssuer, crate::signer::SignedEnclave, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let signer_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let layout = EnclaveLayout::for_program(b"user application", 2).unwrap();
+        let signed = sign_enclave(&layout, &signer_key, &SignerConfig::default()).unwrap();
+        let issuer = SingletonIssuer::new(signer_key, Digest([0x44; 32]));
+        (issuer, signed, rng)
+    }
+
+    #[test]
+    fn issue_produces_verifiable_unique_grants() {
+        let (issuer, signed, mut rng) = setup(1);
+        let g1 = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        let g2 = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        assert_ne!(g1.token, g2.token);
+        assert_ne!(g1.expected_mrenclave, g2.expected_mrenclave);
+        g1.sigstruct.verify().unwrap();
+        assert_eq!(g1.sigstruct.body().enclave_hash, g1.expected_mrenclave);
+        // Body carries over product identity from the common SigStruct.
+        assert_eq!(g1.sigstruct.body().isv_prod_id, signed.common_sigstruct.body().isv_prod_id);
+        assert_eq!(issuer.outstanding_tokens(), 2);
+    }
+
+    #[test]
+    fn grant_instance_page_reproduces_measurement() {
+        let (issuer, signed, mut rng) = setup(2);
+        let grant = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        let recomputed = signed
+            .base_hash
+            .singleton_measurement(&grant.instance_page())
+            .unwrap();
+        assert_eq!(recomputed, grant.expected_mrenclave);
+    }
+
+    #[test]
+    fn foreign_signer_rejected() {
+        let (issuer, _signed, mut rng) = setup(3);
+        // Adversary signs the same layout with their own key (§2.2.2)
+        // and asks for a grant.
+        let adversary_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let layout = EnclaveLayout::for_program(b"user application", 2).unwrap();
+        let forged = sign_enclave(&layout, &adversary_key, &SignerConfig::default()).unwrap();
+        assert_eq!(
+            issuer
+                .issue(&mut rng, &forged.common_sigstruct, &forged.base_hash)
+                .unwrap_err(),
+            SinclaveError::SignerMismatch
+        );
+    }
+
+    #[test]
+    fn base_hash_mismatch_rejected() {
+        let (issuer, signed, mut rng) = setup(4);
+        // Present the right SigStruct but a base hash of a different
+        // program — the verifier must not sign for unknown code.
+        let other = EnclaveLayout::for_program(b"different code", 2).unwrap();
+        let other_base = {
+            let m = other.measure_base().unwrap();
+            BaseEnclaveHash::new(m.export_state(), other.enclave_size, other.instance_page_offset())
+        };
+        assert_eq!(
+            issuer
+                .issue(&mut rng, &signed.common_sigstruct, &other_base)
+                .unwrap_err(),
+            SinclaveError::BaseHashMismatch
+        );
+    }
+
+    #[test]
+    fn token_redeems_exactly_once() {
+        let (issuer, signed, mut rng) = setup(5);
+        let grant = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        issuer.redeem(&grant.token, &grant.expected_mrenclave).unwrap();
+        // Second redemption — the "reuse" — is refused.
+        assert_eq!(
+            issuer.redeem(&grant.token, &grant.expected_mrenclave).unwrap_err(),
+            SinclaveError::TokenNotRedeemable
+        );
+        assert_eq!(issuer.outstanding_tokens(), 0);
+    }
+
+    #[test]
+    fn redeem_requires_matching_measurement() {
+        let (issuer, signed, mut rng) = setup(6);
+        let grant = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        // Attested measurement differs (e.g. the common enclave, or a
+        // different singleton).
+        let wrong = signed.common_measurement();
+        assert_eq!(
+            issuer.redeem(&grant.token, &wrong).unwrap_err(),
+            SinclaveError::TokenNotRedeemable
+        );
+        // The token survives a failed redemption attempt with wrong
+        // measurement? No — the paper wants exactly-once per enclave;
+        // a mismatch is not a redemption, the real enclave can still
+        // come. Verify that:
+        issuer.redeem(&grant.token, &grant.expected_mrenclave).unwrap();
+    }
+
+    #[test]
+    fn unknown_token_rejected() {
+        let (issuer, _signed, mut rng) = setup(7);
+        let bogus = AttestationToken::generate(&mut rng);
+        assert_eq!(
+            issuer
+                .redeem(&bogus, &Measurement(Digest([0; 32])))
+                .unwrap_err(),
+            SinclaveError::TokenNotRedeemable
+        );
+    }
+
+    #[test]
+    fn corrupted_common_sigstruct_rejected() {
+        let (issuer, signed, mut rng) = setup(8);
+        let mut bytes = signed.common_sigstruct.to_bytes();
+        let n = bytes.len();
+        bytes[n - 1] ^= 1; // corrupt the signature
+        let corrupt = SigStruct::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            issuer.issue(&mut rng, &corrupt, &signed.base_hash).unwrap_err(),
+            SinclaveError::SigStructInvalid
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Multi-precision division (Knuth TAOCP vol. 2, Algorithm D).
+
+use super::Uint;
+
+impl Uint {
+    /// Computes `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn div_rem(&self, divisor: &Uint) -> (Uint, Uint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (Uint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            return self.div_rem_limb(divisor.limbs[0]);
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// `self / divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn div_ref(&self, divisor: &Uint) -> Uint {
+        self.div_rem(divisor).0
+    }
+
+    /// `self % divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn rem_ref(&self, divisor: &Uint) -> Uint {
+        self.div_rem(divisor).1
+    }
+
+    /// Fast path: divisor fits in one limb.
+    fn div_rem_limb(&self, d: u64) -> (Uint, Uint) {
+        debug_assert!(d != 0);
+        let d128 = d as u128;
+        let mut rem: u128 = 0;
+        let mut q = vec![0u64; self.limbs.len()];
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d128) as u64;
+            rem = cur % d128;
+        }
+        (Uint::from_limbs(q), Uint::from_u64(rem as u64))
+    }
+
+    /// Algorithm D for divisors of two or more limbs.
+    fn div_rem_knuth(&self, divisor: &Uint) -> (Uint, Uint) {
+        // D1: normalize so the divisor's top bit is set.
+        let shift = divisor.limbs.last().expect("non-empty").leading_zeros() as usize;
+        let v = divisor.shl(shift).limbs;
+        let n = v.len();
+        debug_assert!(v[n - 1] >> 63 == 1);
+
+        let mut u = self.shl(shift).limbs;
+        // The dividend needs one extra high limb for the algorithm.
+        let m = u.len().saturating_sub(n);
+        u.push(0);
+
+        let b = 1u128 << 64;
+        let mut q = vec![0u64; m + 1];
+
+        // D2-D7: main loop.
+        for j in (0..=m).rev() {
+            // D3: estimate qhat from the top two dividend limbs.
+            let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = top / v[n - 1] as u128;
+            let mut rhat = top % v[n - 1] as u128;
+            loop {
+                if qhat >= b
+                    || qhat * v[n - 2] as u128 > (rhat << 64) + u[j + n - 2] as u128
+                {
+                    qhat -= 1;
+                    rhat += v[n - 1] as u128;
+                    if rhat < b {
+                        continue;
+                    }
+                }
+                break;
+            }
+
+            // D4: multiply and subtract u[j..j+n] -= qhat * v.
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let product = qhat * v[i] as u128 + carry;
+                carry = product >> 64;
+                let sub = u[j + i] as i128 - (product as u64) as i128 + borrow;
+                u[j + i] = sub as u64;
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = u[j + n] as i128 - carry as i128 + borrow;
+            u[j + n] = sub as u64;
+            let went_negative = sub < 0;
+
+            q[j] = qhat as u64;
+
+            // D6: add back if we overshot (probability ~2/2^64).
+            if went_negative {
+                q[j] -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let t = u[j + i] as u128 + v[i] as u128 + carry;
+                    u[j + i] = t as u64;
+                    carry = t >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u64);
+            }
+        }
+
+        // D8: denormalize the remainder.
+        let rem = Uint::from_limbs(u[..n].to_vec()).shr(shift);
+        (Uint::from_limbs(q), rem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_division() {
+        let a = Uint::from_u64(100);
+        let b = Uint::from_u64(7);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, Uint::from_u64(14));
+        assert_eq!(r, Uint::from_u64(2));
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let a = Uint::from_u64(3);
+        let b = Uint::from_hex("ffffffffffffffffff").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn exact_division() {
+        let b = Uint::from_hex("1000000000000000000000001").unwrap();
+        let a = &b * &Uint::from_u64(123_456_789);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, Uint::from_u64(123_456_789));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn multi_limb_division_known_values() {
+        // 2^256 - 1 divided by 2^128 - 1 equals 2^128 + 1 exactly.
+        let a = Uint::one().shl(256).checked_sub(&Uint::one()).unwrap();
+        let b = Uint::one().shl(128).checked_sub(&Uint::one()).unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, Uint::one().shl(128).add_ref(&Uint::one()));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn division_triggering_qhat_correction() {
+        // Constructed so the initial qhat estimate must be corrected:
+        // top divisor limb is 2^63 (minimal normalized), dividend top
+        // limbs force qhat = b-1 overshoot.
+        let v = Uint::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        let u = Uint::from_limbs(vec![u64::MAX, u64::MAX, 0x7fff_ffff_ffff_ffff]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Uint::one().div_rem(&Uint::zero());
+    }
+
+    fn arb_uint(max_limbs: usize) -> impl Strategy<Value = Uint> {
+        proptest::collection::vec(any::<u64>(), 0..max_limbs).prop_map(Uint::from_limbs)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_div_rem_identity(a in arb_uint(8), b in arb_uint(5)) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(&(&q * &b) + &r, a);
+        }
+
+        #[test]
+        fn prop_div_by_one(a in arb_uint(8)) {
+            let (q, r) = a.div_rem(&Uint::one());
+            prop_assert_eq!(q, a);
+            prop_assert!(r.is_zero());
+        }
+
+        #[test]
+        fn prop_self_division(a in arb_uint(8)) {
+            prop_assume!(!a.is_zero());
+            let (q, r) = a.div_rem(&a);
+            prop_assert!(q.is_one());
+            prop_assert!(r.is_zero());
+        }
+
+        #[test]
+        fn prop_u128_agreement(x in any::<u128>(), y in any::<u128>()) {
+            prop_assume!(y != 0);
+            let a = Uint::from_be_bytes(&x.to_be_bytes());
+            let b = Uint::from_be_bytes(&y.to_be_bytes());
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(q, Uint::from_be_bytes(&(x / y).to_be_bytes()));
+            prop_assert_eq!(r, Uint::from_be_bytes(&(x % y).to_be_bytes()));
+        }
+    }
+}

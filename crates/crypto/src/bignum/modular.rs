@@ -1,0 +1,446 @@
+//! Modular arithmetic: Montgomery multiplication, exponentiation and
+//! modular inverse — the hot path of RSA signing (Fig. 7b).
+
+use super::Uint;
+use crate::error::CryptoError;
+
+/// Precomputed Montgomery context for a fixed odd modulus.
+///
+/// Construct once per key with [`Montgomery::new`] and reuse for many
+/// exponentiations (the CAS signs one SigStruct per singleton enclave,
+/// always under the same signer key).
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod n` where `R = 2^(64 * limbs)`.
+    r2: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Creates a context for an odd modulus greater than one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKey`] if the modulus is even or
+    /// not greater than one (Montgomery reduction requires
+    /// `gcd(n, 2^64) = 1`).
+    pub fn new(modulus: &Uint) -> Result<Self, CryptoError> {
+        if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
+            return Err(CryptoError::InvalidKey { context: "montgomery modulus must be odd and > 1" });
+        }
+        let k = modulus.limbs.len();
+        let n0_inv = inv_mod_u64(modulus.limbs[0]).wrapping_neg();
+        // R^2 mod n computed by shifting: R mod n, then double 64*k times.
+        let r = Uint::one().shl(64 * k).rem_ref(modulus);
+        let mut r2 = r.clone();
+        for _ in 0..64 * k {
+            r2 = r2.shl(1);
+            if &r2 >= modulus {
+                r2 = r2.checked_sub(modulus).expect("r2 >= modulus");
+            }
+        }
+        let mut n_limbs = modulus.limbs.clone();
+        n_limbs.shrink_to_fit();
+        Ok(Montgomery {
+            n: n_limbs,
+            n0_inv,
+            r2: pad(&r2, k),
+        })
+    }
+
+    /// Number of limbs of the modulus.
+    fn k(&self) -> usize {
+        self.n.len()
+    }
+
+    /// Montgomery product `a * b * R^{-1} mod n` (CIOS method).
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        let mut t = vec![0u64; k + 2];
+        for &ai in a {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let s = t[0] as u128 + m as u128 * self.n[0] as u128;
+            let mut carry = s >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1].wrapping_add((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        t.truncate(k + 1);
+        // Conditional final subtraction.
+        if ge(&t, &self.n) {
+            sub_in_place(&mut t, &self.n);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Converts into Montgomery form.
+    fn to_mont(&self, a: &Uint) -> Vec<u64> {
+        let reduced = a.rem_ref(&Uint::from_limbs(self.n.clone()));
+        self.mont_mul(&pad(&reduced, self.k()), &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    #[allow(clippy::wrong_self_convention)] // "from Montgomery form", not a constructor
+    fn from_mont(&self, a: &[u64]) -> Uint {
+        let mut one = vec![0u64; self.k()];
+        one[0] = 1;
+        Uint::from_limbs(self.mont_mul(a, &one))
+    }
+
+    /// Modular multiplication `a * b mod n`.
+    #[must_use]
+    pub fn mul(&self, a: &Uint, b: &Uint) -> Uint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` using a 4-bit window.
+    #[must_use]
+    pub fn pow(&self, base: &Uint, exp: &Uint) -> Uint {
+        if exp.is_zero() {
+            return Uint::one().rem_ref(&Uint::from_limbs(self.n.clone()));
+        }
+        let base_m = self.to_mont(base);
+
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut one = vec![0u64; self.k()];
+        one[0] = 1;
+        let r_mod_n = self.mont_mul(&self.r2, &one); // R mod n = mont(1)
+        let mut table = Vec::with_capacity(16);
+        table.push(r_mod_n);
+        for i in 1..16 {
+            let next = self.mont_mul(&table[i - 1], &base_m);
+            table.push(next);
+        }
+
+        let bits = exp.bit_len();
+        let windows = bits.div_ceil(4);
+        let mut acc = table[0].clone(); // 1 in Montgomery form
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut idx = 0usize;
+            for b in 0..4 {
+                let bit_pos = w * 4 + (3 - b);
+                idx <<= 1;
+                if bit_pos < bits && exp.bit(bit_pos) {
+                    idx |= 1;
+                }
+            }
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+                started = true;
+            } else if started {
+                // Multiply by 1 (no-op) — keep timing uniform-ish.
+            } else {
+                // Leading zero windows before the first set bit.
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// `a >= b` for equal-length limb slices interpreted little-endian,
+/// where `a` may be one limb longer.
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    if a.len() > b.len() && a[b.len()..].iter().any(|&l| l != 0) {
+        return true;
+    }
+    for i in (0..b.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// `a -= b` in place; `a` may be longer than `b`.
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (i, ai) in a.iter_mut().enumerate() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = ai.overflowing_sub(bi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *ai = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+fn pad(u: &Uint, k: usize) -> Vec<u64> {
+    let mut v = u.limbs.clone();
+    assert!(v.len() <= k, "value wider than modulus");
+    v.resize(k, 0);
+    v
+}
+
+/// Inverse of an odd `x` modulo 2^64 (Newton iteration).
+fn inv_mod_u64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct to 3 bits
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+impl Uint {
+    /// Modular exponentiation `self^exp mod modulus`.
+    ///
+    /// Uses Montgomery multiplication for odd moduli and falls back to
+    /// plain square-and-multiply with division for even moduli.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    #[must_use]
+    pub fn mod_pow(&self, exp: &Uint, modulus: &Uint) -> Uint {
+        assert!(!modulus.is_zero(), "zero modulus");
+        if modulus.is_one() {
+            return Uint::zero();
+        }
+        if modulus.is_odd() {
+            let mont = Montgomery::new(modulus).expect("odd modulus > 1");
+            return mont.pow(self, exp);
+        }
+        // Even modulus: plain binary exponentiation (rare path, used
+        // only by tests; RSA moduli are odd).
+        let mut result = Uint::one();
+        let mut base = self.rem_ref(modulus);
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = (&result * &base).rem_ref(modulus);
+            }
+            base = (&base * &base).rem_ref(modulus);
+        }
+        result
+    }
+
+    /// Modular inverse `self^{-1} mod modulus`, or `None` when it does
+    /// not exist (`gcd(self, modulus) != 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero or one.
+    #[must_use]
+    pub fn mod_inv(&self, modulus: &Uint) -> Option<Uint> {
+        assert!(!modulus.is_zero() && !modulus.is_one(), "invalid modulus");
+        // Extended Euclid with sign tracking on the Bezout coefficient.
+        let mut r0 = modulus.clone();
+        let mut r1 = self.rem_ref(modulus);
+        if r1.is_zero() {
+            return None;
+        }
+        // t0 + s0*x = r0 (mod m) invariant, signs tracked separately.
+        let mut t0 = (Uint::zero(), false); // (magnitude, negative?)
+        let mut t1 = (Uint::one(), false);
+
+        while !r1.is_zero() {
+            let (q, r) = r0.div_rem(&r1);
+            // t = t0 - q * t1 (signed)
+            let qt1 = &q * &t1.0;
+            let t = signed_sub(&t0, &(qt1, t1.1));
+            r0 = std::mem::replace(&mut r1, r);
+            t0 = std::mem::replace(&mut t1, t);
+        }
+
+        if !r0.is_one() {
+            return None;
+        }
+        let (mag, neg) = t0;
+        let mag = mag.rem_ref(modulus);
+        Some(if neg && !mag.is_zero() {
+            modulus.checked_sub(&mag).expect("mag < modulus")
+        } else {
+            mag
+        })
+    }
+}
+
+/// Signed subtraction `a - b` over (magnitude, negative?) pairs.
+fn signed_sub(a: &(Uint, bool), b: &(Uint, bool)) -> (Uint, bool) {
+    match (a.1, b.1) {
+        // a - b with both positive.
+        (false, false) => match a.0.checked_sub(&b.0) {
+            Some(d) => (d, false),
+            None => (b.0.checked_sub(&a.0).expect("b > a"), true),
+        },
+        // (-a) - (-b) = b - a.
+        (true, true) => match b.0.checked_sub(&a.0) {
+            Some(d) => (d, false),
+            None => (a.0.checked_sub(&b.0).expect("a > b"), true),
+        },
+        // a - (-b) = a + b.
+        (false, true) => (a.0.add_ref(&b.0), false),
+        // (-a) - b = -(a + b).
+        (true, false) => (a.0.add_ref(&b.0), true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn inv_mod_u64_examples() {
+        for x in [1u64, 3, 5, 0xdead_beef_1234_5679, u64::MAX] {
+            assert_eq!(x.wrapping_mul(inv_mod_u64(x)), 1, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn montgomery_rejects_even_modulus() {
+        assert!(Montgomery::new(&Uint::from_u64(10)).is_err());
+        assert!(Montgomery::new(&Uint::from_u64(1)).is_err());
+        assert!(Montgomery::new(&Uint::zero()).is_err());
+    }
+
+    #[test]
+    fn mont_mul_matches_naive() {
+        let n = Uint::from_hex("f123456789abcdef0123456789abcdef1").unwrap();
+        let mont = Montgomery::new(&n).unwrap();
+        let a = Uint::from_hex("abcdef0123456789").unwrap();
+        let b = Uint::from_hex("123456789abcdef01234").unwrap();
+        assert_eq!(mont.mul(&a, &b), (&a * &b).rem_ref(&n));
+    }
+
+    #[test]
+    fn mod_pow_small_values() {
+        let m = Uint::from_u64(1_000_000_007);
+        assert_eq!(
+            Uint::from_u64(2).mod_pow(&Uint::from_u64(10), &m),
+            Uint::from_u64(1024)
+        );
+        // Fermat: a^(p-1) = 1 mod p.
+        assert_eq!(
+            Uint::from_u64(31337).mod_pow(&Uint::from_u64(1_000_000_006), &m),
+            Uint::one()
+        );
+    }
+
+    #[test]
+    fn mod_pow_zero_exponent_and_base() {
+        let m = Uint::from_u64(97);
+        assert_eq!(Uint::from_u64(5).mod_pow(&Uint::zero(), &m), Uint::one());
+        assert_eq!(Uint::zero().mod_pow(&Uint::from_u64(5), &m), Uint::zero());
+        assert_eq!(Uint::from_u64(5).mod_pow(&Uint::from_u64(3), &Uint::one()), Uint::zero());
+    }
+
+    #[test]
+    fn mod_pow_even_modulus_fallback() {
+        let m = Uint::from_u64(100);
+        assert_eq!(
+            Uint::from_u64(7).mod_pow(&Uint::from_u64(3), &m),
+            Uint::from_u64(43)
+        );
+    }
+
+    #[test]
+    fn mod_pow_large_modulus() {
+        // 2^255 - 19 is prime; check Fermat's little theorem for it.
+        let p = Uint::one()
+            .shl(255)
+            .checked_sub(&Uint::from_u64(19))
+            .unwrap();
+        let a = Uint::from_hex("123456789abcdef123456789abcdef123456789abcdef").unwrap();
+        let p_minus_1 = p.checked_sub(&Uint::one()).unwrap();
+        assert_eq!(a.mod_pow(&p_minus_1, &p), Uint::one());
+    }
+
+    #[test]
+    fn mod_inv_examples() {
+        let m = Uint::from_u64(97);
+        let inv = Uint::from_u64(31).mod_inv(&m).unwrap();
+        assert_eq!((&inv * &Uint::from_u64(31)).rem_ref(&m), Uint::one());
+        // 0 and non-coprime values have no inverse.
+        assert!(Uint::zero().mod_inv(&m).is_none());
+        assert!(Uint::from_u64(6).mod_inv(&Uint::from_u64(9)).is_none());
+    }
+
+    #[test]
+    fn mod_inv_large() {
+        let p = Uint::one().shl(255).checked_sub(&Uint::from_u64(19)).unwrap();
+        let a = Uint::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        let inv = a.mod_inv(&p).unwrap();
+        assert_eq!((&inv * &a).rem_ref(&p), Uint::one());
+    }
+
+    fn arb_uint(max_limbs: usize) -> impl Strategy<Value = Uint> {
+        proptest::collection::vec(any::<u64>(), 0..max_limbs).prop_map(Uint::from_limbs)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_mont_mul_matches_division(
+            a in arb_uint(5),
+            b in arb_uint(5),
+            mut m in arb_uint(5),
+        ) {
+            m.set_bit(0); // force odd
+            prop_assume!(!m.is_one());
+            let mont = Montgomery::new(&m).unwrap();
+            prop_assert_eq!(mont.mul(&a, &b), (&a * &b).rem_ref(&m));
+        }
+
+        #[test]
+        fn prop_pow_addition_law(
+            a in arb_uint(3),
+            e1 in 0u64..512,
+            e2 in 0u64..512,
+            mut m in arb_uint(3),
+        ) {
+            m.set_bit(0);
+            prop_assume!(!m.is_one());
+            let mont = Montgomery::new(&m).unwrap();
+            let lhs = mont.pow(&a, &Uint::from_u64(e1 + e2));
+            let rhs = (&mont.pow(&a, &Uint::from_u64(e1)) * &mont.pow(&a, &Uint::from_u64(e2))).rem_ref(&m);
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_inverse_multiplies_to_one(a in arb_uint(4), mut m in arb_uint(4)) {
+            m.set_bit(0);
+            m.set_bit(80); // ensure m > 1 and reasonably big
+            if let Some(inv) = a.mod_inv(&m) {
+                prop_assert_eq!((&inv * &a).rem_ref(&m), Uint::one());
+                prop_assert!(inv < m);
+            } else {
+                prop_assert!(!a.gcd(&m).is_one() || a.rem_ref(&m).is_zero());
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! Used (with [`crate::poly1305`]) as the AEAD protecting the encrypted
+//! filesystem, the encrypted CAS database and the secure channels —
+//! everywhere the paper's SCONE stack uses AES-GCM, which is not
+//! implementable here without hardware support or an AES dependency.
+
+/// ChaCha20 key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20 nonce size in bytes (IETF variant).
+pub const NONCE_LEN: usize = 12;
+/// ChaCha20 block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Computes one 64-byte keystream block.
+#[must_use]
+fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// XORs the ChaCha20 keystream into `data` in place, starting at block
+/// `initial_counter`.
+///
+/// Encryption and decryption are the same operation.
+///
+/// # Panics
+///
+/// Panics if the data is long enough to overflow the 32-bit block
+/// counter (> 256 GiB).
+pub fn xor_in_place(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) {
+    let blocks_needed = data.len().div_ceil(BLOCK_LEN) as u64;
+    assert!(
+        (initial_counter as u64) + blocks_needed <= u64::from(u32::MAX) + 1,
+        "chacha20 counter overflow"
+    );
+    for (i, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+        let ks = block(key, initial_counter.wrapping_add(i as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Generates the Poly1305 one-time key for an AEAD invocation
+/// (RFC 8439 §2.6): the first 32 bytes of keystream block zero.
+#[must_use]
+pub fn poly1305_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+    let ks = block(key, 0, nonce);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&ks[..32]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rfc_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2 test vector.
+        let key = rfc_key();
+        let nonce = [0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00];
+        let out = block(&key, 1, &nonce);
+        // First words of the §2.3.2 keystream; the full block function
+        // is additionally covered end-to-end by the §2.8.2 AEAD vector
+        // in `aead::tests`, which authenticates all 64 bytes per block.
+        let expect_start = [0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15];
+        assert_eq!(&out[..8], &expect_start);
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2.
+        let key = rfc_key();
+        let nonce = [0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00];
+        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        xor_in_place(&key, &nonce, 1, &mut data);
+        assert_eq!(
+            &data[..16],
+            &[0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d, 0x69, 0x81]
+        );
+    }
+
+    #[test]
+    fn xor_roundtrips() {
+        let key = rfc_key();
+        let nonce = [7u8; NONCE_LEN];
+        let original: Vec<u8> = (0..300).map(|i| (i % 256) as u8).collect();
+        let mut data = original.clone();
+        xor_in_place(&key, &nonce, 5, &mut data);
+        assert_ne!(data, original);
+        xor_in_place(&key, &nonce, 5, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_streams() {
+        let key = rfc_key();
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        xor_in_place(&key, &[1u8; NONCE_LEN], 0, &mut a);
+        xor_in_place(&key, &[2u8; NONCE_LEN], 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn poly_key_is_prefix_of_block_zero() {
+        let key = rfc_key();
+        let nonce = [3u8; NONCE_LEN];
+        let pk = poly1305_key(&key, &nonce);
+        let blk = block(&key, 0, &nonce);
+        assert_eq!(&pk[..], &blk[..32]);
+    }
+
+    #[test]
+    fn counter_offset_is_block_granular() {
+        let key = rfc_key();
+        let nonce = [9u8; NONCE_LEN];
+        // Encrypting from counter 1 equals skipping the first block of
+        // a counter-0 stream.
+        let mut long = vec![0u8; 128];
+        xor_in_place(&key, &nonce, 0, &mut long);
+        let mut short = vec![0u8; 64];
+        xor_in_place(&key, &nonce, 1, &mut short);
+        assert_eq!(&long[64..], &short[..]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Constant-time comparison helpers.
+//!
+//! Secret-dependent early exits in comparisons are a classic source of
+//! remote timing oracles. Everything in this module runs in time
+//! dependent only on the *lengths* of its inputs.
+
+/// Compares two byte slices in constant time with respect to content.
+///
+/// Returns `true` iff `a == b`. The comparison time depends only on the
+/// lengths of the slices; if the lengths differ the function still scans
+/// the shorter slice before returning `false` so that equal-length
+/// prefixes do not shorten the runtime.
+///
+/// # Example
+///
+/// ```
+/// assert!(sinclave_crypto::ct::eq(b"tag", b"tag"));
+/// assert!(!sinclave_crypto::ct::eq(b"tag", b"tAg"));
+/// ```
+#[must_use]
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = (a.len() ^ b.len()) as u8;
+    let n = a.len().min(b.len());
+    for i in 0..n {
+        diff |= a[i] ^ b[i];
+    }
+    diff == 0
+}
+
+/// Selects between two bytes in constant time.
+///
+/// Returns `x` if `choice` is `true`, `y` otherwise, without branching
+/// on `choice`.
+#[must_use]
+pub fn select_u8(choice: bool, x: u8, y: u8) -> u8 {
+    let mask = (choice as u8).wrapping_neg();
+    (x & mask) | (y & !mask)
+}
+
+/// Conditionally copies `src` into `dst` in constant time.
+///
+/// When `choice` is `true`, `dst` receives `src`; otherwise `dst` is
+/// left unchanged. Both slices must have the same length.
+///
+/// # Panics
+///
+/// Panics if `src.len() != dst.len()`.
+pub fn conditional_assign(choice: bool, dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "conditional_assign length mismatch");
+    let mask = (choice as u8).wrapping_neg();
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*s & mask) | (*d & !mask);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_matches_std_eq() {
+        assert!(eq(b"", b""));
+        assert!(eq(b"abc", b"abc"));
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"ab"));
+        assert!(!eq(b"", b"x"));
+    }
+
+    #[test]
+    fn eq_detects_difference_in_every_position() {
+        let a = [0u8; 97];
+        for i in 0..97 {
+            let mut b = a;
+            b[i] = 1;
+            assert!(!eq(&a, &b), "difference at {i} not detected");
+        }
+    }
+
+    #[test]
+    fn select_picks_correct_branch() {
+        assert_eq!(select_u8(true, 0xaa, 0x55), 0xaa);
+        assert_eq!(select_u8(false, 0xaa, 0x55), 0x55);
+    }
+
+    #[test]
+    fn conditional_assign_behaviour() {
+        let mut dst = [1u8, 2, 3];
+        conditional_assign(false, &mut dst, &[9, 9, 9]);
+        assert_eq!(dst, [1, 2, 3]);
+        conditional_assign(true, &mut dst, &[9, 8, 7]);
+        assert_eq!(dst, [9, 8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn conditional_assign_panics_on_len_mismatch() {
+        let mut dst = [0u8; 2];
+        conditional_assign(true, &mut dst, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by all cryptographic operations in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+///
+/// Variants deliberately carry little detail: error messages from
+/// cryptographic code must not leak secret-dependent information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A signature failed to verify.
+    SignatureInvalid,
+    /// An AEAD tag did not authenticate the ciphertext.
+    AeadTagMismatch,
+    /// An input had an invalid length for the requested operation.
+    InvalidLength {
+        /// What was being parsed or processed.
+        context: &'static str,
+    },
+    /// A key was malformed or did not satisfy the algorithm's invariants.
+    InvalidKey {
+        /// What was wrong, in non-secret terms.
+        context: &'static str,
+    },
+    /// The message is too large for the algorithm (e.g. RSA modulus).
+    MessageTooLarge,
+    /// Prime generation failed to find a prime within the attempt budget.
+    PrimeGenerationFailed,
+    /// An interruptible hash state was exported at a non-block boundary.
+    UnalignedHashState,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::SignatureInvalid => write!(f, "signature verification failed"),
+            CryptoError::AeadTagMismatch => write!(f, "aead authentication tag mismatch"),
+            CryptoError::InvalidLength { context } => {
+                write!(f, "invalid length for {context}")
+            }
+            CryptoError::InvalidKey { context } => write!(f, "invalid key: {context}"),
+            CryptoError::MessageTooLarge => write!(f, "message too large for algorithm"),
+            CryptoError::PrimeGenerationFailed => {
+                write!(f, "prime generation exhausted its attempt budget")
+            }
+            CryptoError::UnalignedHashState => {
+                write!(f, "hash state export requires a 64-byte block boundary")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let variants = [
+            CryptoError::SignatureInvalid,
+            CryptoError::AeadTagMismatch,
+            CryptoError::InvalidLength { context: "nonce" },
+            CryptoError::InvalidKey { context: "modulus too small" },
+            CryptoError::MessageTooLarge,
+            CryptoError::PrimeGenerationFailed,
+            CryptoError::UnalignedHashState,
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

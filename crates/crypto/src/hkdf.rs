@@ -1,0 +1,127 @@
+//! HKDF-SHA-256 (RFC 5869) key derivation.
+//!
+//! Used throughout the reproduction wherever SGX hardware derives keys
+//! with `EGETKEY` (sealing keys bound to `MRENCLAVE` or `MRSIGNER`,
+//! report keys) and wherever the secure channel needs session keys.
+
+use crate::hmac::{hmac, HmacSha256, MAC_LEN};
+
+/// Extracts a pseudorandom key from input keying material.
+///
+/// `salt` may be empty, in which case a zero-filled salt of hash length
+/// is used, per the RFC.
+#[must_use]
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; MAC_LEN] {
+    let zero_salt = [0u8; MAC_LEN];
+    let salt = if salt.is_empty() { &zero_salt[..] } else { salt };
+    hmac(salt, ikm).to_bytes()
+}
+
+/// Expands a pseudorandom key into `out.len()` bytes of output keying
+/// material, bound to `info`.
+///
+/// # Panics
+///
+/// Panics if more than `255 * 32` bytes are requested (RFC limit).
+pub fn expand(prk: &[u8; MAC_LEN], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * MAC_LEN, "hkdf output too long");
+    let mut previous: Option<[u8; MAC_LEN]> = None;
+    let mut counter = 1u8;
+    for chunk in out.chunks_mut(MAC_LEN) {
+        let mut mac = HmacSha256::new(prk);
+        if let Some(prev) = previous {
+            mac.update(&prev);
+        }
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize().to_bytes();
+        chunk.copy_from_slice(&block[..chunk.len()]);
+        previous = Some(block);
+        counter = counter.checked_add(1).expect("hkdf counter overflow");
+    }
+}
+
+/// Convenience: extract-then-expand into a fixed-size array.
+///
+/// # Example
+///
+/// ```
+/// let key: [u8; 32] = sinclave_crypto::hkdf::derive(b"salt", b"ikm", b"context");
+/// assert_ne!(key, [0u8; 32]);
+/// ```
+#[must_use]
+pub fn derive<const N: usize>(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; N] {
+    let prk = extract(salt, ikm);
+    let mut out = [0u8; N];
+    expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = [0x0bu8; 22];
+        let prk = extract(b"", &ikm);
+        let mut okm = [0u8; 42];
+        expand(&prk, b"", &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_domain_separated() {
+        let a: [u8; 32] = derive(b"s", b"ikm", b"ctx-a");
+        let a2: [u8; 32] = derive(b"s", b"ikm", b"ctx-a");
+        let b: [u8; 32] = derive(b"s", b"ikm", b"ctx-b");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn expand_multiple_blocks() {
+        let prk = extract(b"salt", b"ikm");
+        let mut long = [0u8; 100];
+        expand(&prk, b"info", &mut long);
+        let mut short = [0u8; 32];
+        expand(&prk, b"info", &mut short);
+        assert_eq!(&long[..32], &short[..]);
+        assert_ne!(&long[32..64], &long[..32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hkdf output too long")]
+    fn expand_rejects_overlong_output() {
+        let prk = [0u8; MAC_LEN];
+        let mut out = vec![0u8; 255 * MAC_LEN + 1];
+        expand(&prk, b"", &mut out);
+    }
+}

@@ -1,0 +1,160 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! The simulated SGX platform uses HMAC-SHA-256 where real hardware
+//! uses AES-CMAC with a fused key: to authenticate `EREPORT` structures
+//! toward the quoting enclave and to derive sealing keys (via
+//! [`crate::hkdf`]). The substitution preserves the security argument —
+//! a PRF keyed with platform-internal material — without an AES
+//! implementation.
+
+use crate::sha256::{Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Output length of HMAC-SHA-256 in bytes.
+pub const MAC_LEN: usize = DIGEST_LEN;
+
+/// Incremental HMAC-SHA-256 computation.
+///
+/// # Example
+///
+/// ```
+/// use sinclave_crypto::hmac::HmacSha256;
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"message");
+/// let tag = mac.finalize();
+/// assert_eq!(tag.as_bytes().len(), 32);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance for `key`.
+    ///
+    /// Keys longer than the 64-byte block size are hashed first, per
+    /// the RFC.
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = crate::sha256::digest(key);
+            block_key[..DIGEST_LEN].copy_from_slice(digest.as_bytes());
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = block_key[i] ^ 0x36;
+            opad[i] = block_key[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 { inner, opad_key: opad }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finalizes the MAC, consuming the instance.
+    #[must_use]
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA-256 of `message` under `key`.
+#[must_use]
+pub fn hmac(key: &[u8], message: &[u8]) -> Digest {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Verifies `tag` against `message` under `key` in constant time.
+#[must_use]
+pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+    let expect = hmac(key, message);
+    crate::ct::eq(expect.as_bytes(), tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let tag = hmac(&key, &msg);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut mac = HmacSha256::new(b"key");
+        mac.update(b"split ");
+        mac.update(b"message");
+        assert_eq!(mac.finalize(), hmac(b"key", b"split message"));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac(b"k", b"m");
+        assert!(verify(b"k", b"m", tag.as_bytes()));
+        let mut bad = *tag.as_bytes();
+        bad[0] ^= 1;
+        assert!(!verify(b"k", b"m", &bad));
+        assert!(!verify(b"k2", b"m", tag.as_bytes()));
+        assert!(!verify(b"k", b"m2", tag.as_bytes()));
+        assert!(!verify(b"k", b"m", &tag.as_bytes()[..31]));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_tags() {
+        assert_ne!(hmac(b"a", b"m"), hmac(b"b", b"m"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented over 26-bit limbs (five `u32` words widened through
+//! `u64` products), the standard portable approach that avoids needing
+//! 128-bit division.
+
+/// Poly1305 key size in bytes (16-byte `r` and 16-byte `s` halves).
+pub const KEY_LEN: usize = 32;
+/// Poly1305 tag size in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 computation.
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    acc: [u32; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl std::fmt::Debug for Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poly1305").field("buffered", &self.buf_len).finish()
+    }
+}
+
+impl Poly1305 {
+    /// Creates an authenticator from a one-time 32-byte key.
+    ///
+    /// The first half is clamped per the RFC; the second half is the
+    /// final addend.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // Clamp r per the RFC, then split the 128-bit LE value into
+        // 26-bit limbs.
+        let mut r_bytes = [0u8; 16];
+        r_bytes.copy_from_slice(&key[..16]);
+        r_bytes[3] &= 15;
+        r_bytes[7] &= 15;
+        r_bytes[11] &= 15;
+        r_bytes[15] &= 15;
+        r_bytes[4] &= 252;
+        r_bytes[8] &= 252;
+        r_bytes[12] &= 252;
+        let r = u128::from_le_bytes(r_bytes);
+        let r = [
+            (r & 0x3ff_ffff) as u32,
+            ((r >> 26) & 0x3ff_ffff) as u32,
+            ((r >> 52) & 0x3ff_ffff) as u32,
+            ((r >> 78) & 0x3ff_ffff) as u32,
+            ((r >> 104) & 0x3ff_ffff) as u32,
+        ];
+        let s = [
+            u32::from_le_bytes(key[16..20].try_into().expect("4")),
+            u32::from_le_bytes(key[20..24].try_into().expect("4")),
+            u32::from_le_bytes(key[24..28].try_into().expect("4")),
+            u32::from_le_bytes(key[28..32].try_into().expect("4")),
+        ];
+        Poly1305 { r, s, acc: [0; 5], buf: [0; 16], buf_len: 0 }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let need = 16 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, 1);
+                self.buf_len = 0;
+            }
+        }
+        let mut chunks = data.chunks_exact(16);
+        for block in &mut chunks {
+            self.process_block(block.try_into().expect("16 bytes"), 1);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Processes one block; `hibit` is 1 for full blocks, and the
+    /// padded final partial block carries its own high bit in the data.
+    fn process_block(&mut self, block: &[u8; 16], hibit: u32) {
+        let m = u128::from_le_bytes(*block);
+        let m = [
+            (m & 0x3ff_ffff) as u32,
+            ((m >> 26) & 0x3ff_ffff) as u32,
+            ((m >> 52) & 0x3ff_ffff) as u32,
+            ((m >> 78) & 0x3ff_ffff) as u32,
+            ((m >> 104) & 0x3ff_ffff) as u32 | (hibit << 24),
+        ];
+        for (acc, m) in self.acc.iter_mut().zip(m) {
+            *acc = acc.wrapping_add(m);
+        }
+        self.mul_r();
+    }
+
+    /// acc = (acc * r) mod 2^130 - 5, keeping limbs below 2^26ish.
+    fn mul_r(&mut self) {
+        let [h0, h1, h2, h3, h4] = self.acc.map(u64::from);
+        let [r0, r1, r2, r3, r4] = self.r.map(u64::from);
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Carry propagation.
+        let mut c: u64;
+        let mut d0 = d0;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+        c = d0 >> 26;
+        d0 &= 0x3ff_ffff;
+        d1 += c;
+        c = d1 >> 26;
+        d1 &= 0x3ff_ffff;
+        d2 += c;
+        c = d2 >> 26;
+        d2 &= 0x3ff_ffff;
+        d3 += c;
+        c = d3 >> 26;
+        d3 &= 0x3ff_ffff;
+        d4 += c;
+        c = d4 >> 26;
+        d4 &= 0x3ff_ffff;
+        d0 += c * 5;
+        c = d0 >> 26;
+        d0 &= 0x3ff_ffff;
+        d1 += c;
+
+        self.acc = [d0 as u32, d1 as u32, d2 as u32, d3 as u32, d4 as u32];
+    }
+
+    /// Finalizes and returns the 16-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            // Pad the final partial block with 0x01 then zeros; the
+            // high bit then comes from the data, not the hibit flag.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 0x01;
+            self.process_block(&block, 0);
+        }
+
+        // Full carry.
+        let mut h = self.acc.map(u64::from);
+        let mut c;
+        c = h[1] >> 26;
+        h[1] &= 0x3ff_ffff;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= 0x3ff_ffff;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= 0x3ff_ffff;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= 0x3ff_ffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x3ff_ffff;
+        h[1] += c;
+
+        // Compute h + -p = h - (2^130 - 5) and select.
+        let mut g = [0u64; 5];
+        c = 5;
+        for i in 0..5 {
+            let t = h[i] + c;
+            c = t >> 26;
+            g[i] = t & 0x3ff_ffff;
+        }
+        // g4 has bit 26 set iff h >= p.
+        let mask = (c ^ 1).wrapping_sub(1); // c==1 -> all ones
+        for i in 0..5 {
+            h[i] = (g[i] & mask) | (h[i] & !mask);
+        }
+
+        // Serialize to 128 bits and add s mod 2^128.
+        let acc =
+            h[0] as u128 | (h[1] as u128) << 26 | (h[2] as u128) << 52 | (h[3] as u128) << 78
+                | (h[4] as u128) << 104;
+        let s = self.s[0] as u128
+            | (self.s[1] as u128) << 32
+            | (self.s[2] as u128) << 64
+            | (self.s[3] as u128) << 96;
+        let tag = acc.wrapping_add(s);
+        tag.to_le_bytes()
+    }
+}
+
+/// One-shot Poly1305 tag.
+#[must_use]
+pub fn tag(key: &[u8; KEY_LEN], message: &[u8]) -> [u8; TAG_LEN] {
+    let mut p = Poly1305::new(key);
+    p.update(message);
+    p.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 §2.5.2.
+        let mut key = [0u8; 32];
+        key[..16].copy_from_slice(&[
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8,
+        ]);
+        key[16..].copy_from_slice(&[
+            0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf, 0x41, 0x49,
+            0xf5, 0x1b,
+        ]);
+        let t = tag(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(
+            t,
+            [
+                0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c,
+                0x01, 0x27, 0xa9
+            ]
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let key = [0x42u8; 32];
+        let msg: Vec<u8> = (0..100).collect();
+        for split in [0usize, 1, 15, 16, 17, 31, 99, 100] {
+            let mut p = Poly1305::new(&key);
+            p.update(&msg[..split]);
+            p.update(&msg[split..]);
+            assert_eq!(p.finalize(), tag(&key, &msg), "split {split}");
+        }
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [0x11u8; 32];
+        // The tag of the empty message is just s.
+        assert_eq!(tag(&key, b""), [0x11u8; 16]);
+    }
+
+    #[test]
+    fn different_messages_different_tags() {
+        let key = [0x77u8; 32];
+        assert_ne!(tag(&key, b"a"), tag(&key, b"b"));
+        assert_ne!(tag(&key, b"a"), tag(&key, b"a\0"));
+    }
+
+    #[test]
+    fn high_value_blocks_reduced_correctly() {
+        // All-ones blocks stress the modular reduction.
+        let key = {
+            let mut k = [0xffu8; 32];
+            k[15] = 0x0f;
+            k
+        };
+        let msg = [0xffu8; 64];
+        let t1 = tag(&key, &msg);
+        let t2 = tag(&key, &msg);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Randomness helpers bridging `rand` and [`crate::bignum::Uint`].
+
+use crate::bignum::Uint;
+use rand::RngCore;
+
+/// Returns a uniformly random integer with exactly `bits` significant
+/// bits (top bit forced to one).
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn uint_with_bits<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> Uint {
+    assert!(bits > 0, "cannot sample a 0-bit integer");
+    let byte_len = bits.div_ceil(8);
+    let mut bytes = vec![0u8; byte_len];
+    rng.fill_bytes(&mut bytes);
+    let mut v = Uint::from_be_bytes(&bytes).shr(byte_len * 8 - bits);
+    v.set_bit(bits - 1);
+    v
+}
+
+/// Returns a uniformly random integer in `[0, bound)` by rejection
+/// sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn uint_below<R: RngCore + ?Sized>(rng: &mut R, bound: &Uint) -> Uint {
+    assert!(!bound.is_zero(), "empty sampling range");
+    let bits = bound.bit_len();
+    let byte_len = bits.div_ceil(8);
+    let excess_bits = byte_len * 8 - bits;
+    loop {
+        let mut bytes = vec![0u8; byte_len];
+        rng.fill_bytes(&mut bytes);
+        let v = Uint::from_be_bytes(&bytes).shr(excess_bits);
+        if &v < bound {
+            return v;
+        }
+    }
+}
+
+/// Fills and returns an array of random bytes.
+pub fn bytes<const N: usize, R: RngCore + ?Sized>(rng: &mut R) -> [u8; N] {
+    let mut out = [0u8; N];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn with_bits_has_exact_bit_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [1usize, 2, 7, 8, 9, 63, 64, 65, 512, 1536] {
+            for _ in 0..5 {
+                let v = uint_with_bits(&mut rng, bits);
+                assert_eq!(v.bit_len(), bits, "bits = {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bound = Uint::from_u64(1000);
+        for _ in 0..200 {
+            assert!(uint_below(&mut rng, &bound) < bound);
+        }
+        // A bound of one always samples zero.
+        assert!(uint_below(&mut rng, &Uint::one()).is_zero());
+    }
+
+    #[test]
+    fn below_large_bound_varies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = Uint::one().shl(256);
+        let a = uint_below(&mut rng, &bound);
+        let b = uint_below(&mut rng, &bound);
+        assert_ne!(a, b, "256-bit collisions are cosmically unlikely");
+    }
+
+    #[test]
+    fn bytes_fills() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: [u8; 32] = bytes(&mut rng);
+        let b: [u8; 32] = bytes(&mut rng);
+        assert_ne!(a, b);
+    }
+}

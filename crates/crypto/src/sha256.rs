@@ -1,0 +1,685 @@
+//! SHA-256 — one-shot and *interruptible* implementations.
+//!
+//! SGX computes `MRENCLAVE` as a SHA-256 over the enclave-construction
+//! operations (§2.2.1 of the paper). Because SHA-256 is a
+//! Merkle–Damgård construction, after every 64-byte block the entire
+//! computation is captured by 256 bits of internal state plus a 64-bit
+//! byte counter. SinClave exploits this: the signer *interrupts* the
+//! measurement just before finalization and publishes that intermediate
+//! state as the **base enclave hash**; the verifier later *resumes* it,
+//! appends the measurement operations of the instance page, and
+//! finalizes to predict the singleton's unique `MRENCLAVE` (§4.4).
+//!
+//! Two implementations are provided, mirroring Fig. 6 of the paper:
+//!
+//! * [`fast::digest`] — an aggressively unrolled one-shot hash, the
+//!   stand-in for the paper's Ring/OpenSSL baseline.
+//! * [`Sha256`] — the interruptible hasher with [`Sha256::export_state`]
+//!   and [`Sha256::resume`], the stand-in for the paper's
+//!   "SinClave" / "SinClave-BaseHash" variants.
+//!
+//! Both produce identical digests (verified against FIPS 180-4 test
+//! vectors and against each other by property tests).
+
+use crate::error::CryptoError;
+use std::fmt;
+
+/// SHA-256 block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+/// SHA-256 digest size in bytes.
+pub const DIGEST_LEN: usize = 32;
+
+/// FIPS 180-4 initial hash value.
+pub(crate) const IV: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+/// FIPS 180-4 round constants.
+pub(crate) const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// A 32-byte SHA-256 digest.
+///
+/// Displayed as lowercase hex. Comparison via `==` is *not*
+/// constant-time; use [`crate::ct::eq`] when comparing secret MACs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// Returns the digest bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Returns the digest as an owned byte array.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; DIGEST_LEN] {
+        self.0
+    }
+
+    /// Renders the digest as lowercase hex.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            use fmt::Write;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// Parses a digest from a 64-character hex string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] if the string is not
+    /// exactly 64 hex characters.
+    pub fn from_hex(s: &str) -> Result<Self, CryptoError> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 64 {
+            return Err(CryptoError::InvalidLength { context: "hex digest" });
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+            let hi = hex_val(chunk[0]).ok_or(CryptoError::InvalidLength { context: "hex digest" })?;
+            let lo = hex_val(chunk[1]).ok_or(CryptoError::InvalidLength { context: "hex digest" })?;
+            out[i] = (hi << 4) | lo;
+        }
+        Ok(Digest(out))
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<[u8; DIGEST_LEN]> for Digest {
+    fn from(bytes: [u8; DIGEST_LEN]) -> Self {
+        Digest(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Exportable intermediate SHA-256 state: the **base enclave hash**.
+///
+/// Captures the Merkle–Damgård chaining value after a whole number of
+/// 64-byte blocks, together with the number of bytes consumed so far.
+/// This is exactly the "256 bit of internal hash state and 64 bit of
+/// already compressed input" the paper describes (§2.2.1) and is what
+/// the SinClave signer publishes instead of a finalized `MRENCLAVE`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Sha256State {
+    h: [u32; 8],
+    byte_len: u64,
+}
+
+/// Serialized size of a [`Sha256State`] in bytes.
+pub const STATE_LEN: usize = 40;
+
+impl Sha256State {
+    /// Creates a state from raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::UnalignedHashState`] if `byte_len` is not
+    /// a multiple of the 64-byte block size — such a state could never
+    /// have been exported from a block-aligned computation.
+    pub fn from_parts(h: [u32; 8], byte_len: u64) -> Result<Self, CryptoError> {
+        if !byte_len.is_multiple_of(BLOCK_LEN as u64) {
+            return Err(CryptoError::UnalignedHashState);
+        }
+        Ok(Sha256State { h, byte_len })
+    }
+
+    /// The chaining value (H1..H8).
+    #[must_use]
+    pub fn chaining_value(&self) -> [u32; 8] {
+        self.h
+    }
+
+    /// Number of message bytes already compressed into this state.
+    #[must_use]
+    pub fn byte_len(&self) -> u64 {
+        self.byte_len
+    }
+
+    /// Serializes the state to its 40-byte wire encoding
+    /// (big-endian H1..H8 followed by the big-endian byte counter).
+    #[must_use]
+    pub fn encode(&self) -> [u8; STATE_LEN] {
+        let mut out = [0u8; STATE_LEN];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out[32..40].copy_from_slice(&self.byte_len.to_be_bytes());
+        out
+    }
+
+    /// Parses a state from its 40-byte wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] for a wrong-size buffer
+    /// and [`CryptoError::UnalignedHashState`] for a byte counter that
+    /// is not block-aligned.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() != STATE_LEN {
+            return Err(CryptoError::InvalidLength { context: "sha256 state" });
+        }
+        let mut h = [0u32; 8];
+        for (i, word) in h.iter_mut().enumerate() {
+            *word = u32::from_be_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        let byte_len = u64::from_be_bytes(bytes[32..40].try_into().expect("8 bytes"));
+        Sha256State::from_parts(h, byte_len)
+    }
+}
+
+/// Interruptible, resumable SHA-256 hasher.
+///
+/// This is the implementation the paper calls "SinClave" in Fig. 6: a
+/// plain, portable Rust compression loop whose state can be exported at
+/// any 64-byte boundary and resumed later — possibly by a different
+/// party on a different machine.
+///
+/// # Example
+///
+/// ```
+/// use sinclave_crypto::sha256::Sha256;
+///
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     h.finalize().to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    h: [u32; 8],
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Sha256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sha256")
+            .field("total_len", &self.total_len)
+            .field("buffered", &self.buf_len)
+            .finish()
+    }
+}
+
+impl Sha256 {
+    /// Creates a hasher initialized with the FIPS 180-4 IV.
+    #[must_use]
+    pub fn new() -> Self {
+        Sha256 { h: IV, buf: [0u8; BLOCK_LEN], buf_len: 0, total_len: 0 }
+    }
+
+    /// Resumes a computation from an exported intermediate state.
+    ///
+    /// The resumed hasher behaves exactly as if it had consumed
+    /// `state.byte_len()` bytes already: subsequent [`update`] calls
+    /// append to the original message and [`finalize`] produces the
+    /// digest of the full concatenated message.
+    ///
+    /// [`update`]: Sha256::update
+    /// [`finalize`]: Sha256::finalize
+    #[must_use]
+    pub fn resume(state: Sha256State) -> Self {
+        Sha256 {
+            h: state.h,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+            total_len: state.byte_len,
+        }
+    }
+
+    /// Total number of message bytes consumed so far.
+    #[must_use]
+    pub fn total_len(&self) -> u64 {
+        self.total_len
+    }
+
+    /// Absorbs `data` into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut data = data;
+        self.total_len = self
+            .total_len
+            .checked_add(data.len() as u64)
+            .expect("sha256 message length overflow");
+
+        if self.buf_len > 0 {
+            let need = BLOCK_LEN - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                compress_portable(&mut self.h, &block);
+                self.buf_len = 0;
+            }
+        }
+
+        let mut chunks = data.chunks_exact(BLOCK_LEN);
+        for block in &mut chunks {
+            compress_portable(&mut self.h, block.try_into().expect("exact chunk"));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Exports the intermediate state — the *base enclave hash*.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::UnalignedHashState`] if the number of
+    /// consumed bytes is not a multiple of 64: the Merkle–Damgård state
+    /// alone cannot represent a partially filled block. SGX measurement
+    /// operations are always multiples of 64 bytes, so the SinClave
+    /// signer never hits this case.
+    pub fn export_state(&self) -> Result<Sha256State, CryptoError> {
+        if self.buf_len != 0 {
+            return Err(CryptoError::UnalignedHashState);
+        }
+        Sha256State::from_parts(self.h, self.total_len)
+    }
+
+    /// Finalizes the hash, consuming the hasher.
+    #[must_use]
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Standard padding: 0x80, zeros, 64-bit big-endian bit length.
+        self.update_padding_byte();
+        while self.buf_len != 56 {
+            self.update_zero_byte();
+        }
+        let mut last = [0u8; 8];
+        last.copy_from_slice(&bit_len.to_be_bytes());
+        self.buf[56..64].copy_from_slice(&last);
+        let block = self.buf;
+        compress_portable(&mut self.h, &block);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn update_padding_byte(&mut self) {
+        self.push_raw(0x80);
+    }
+
+    fn update_zero_byte(&mut self) {
+        self.push_raw(0);
+    }
+
+    /// Pushes a padding byte without advancing the message length.
+    fn push_raw(&mut self, byte: u8) {
+        self.buf[self.buf_len] = byte;
+        self.buf_len += 1;
+        if self.buf_len == BLOCK_LEN {
+            let block = self.buf;
+            compress_portable(&mut self.h, &block);
+            self.buf_len = 0;
+        }
+    }
+}
+
+/// Hashes `data` with the interruptible implementation.
+///
+/// Convenience wrapper over [`Sha256`].
+#[must_use]
+pub fn digest(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Hashes the concatenation of several byte slices.
+#[must_use]
+pub fn digest_parts(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+/// Portable compression function: one 64-byte block.
+fn compress_portable(h: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = hh
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+    h[5] = h[5].wrapping_add(f);
+    h[6] = h[6].wrapping_add(g);
+    h[7] = h[7].wrapping_add(hh);
+}
+
+pub mod fast {
+    //! One-shot SHA-256 tuned for throughput — the Fig. 6 baseline.
+    //!
+    //! The paper compares its interruptible implementation against the
+    //! `ring` crate (hand-optimized assembly, ~405 MB/s on their Xeon).
+    //! No assembly here, but the same *role* is filled by a fully
+    //! unrolled compression function with the message schedule kept in
+    //! a rolling 16-word window, which the optimizer keeps in
+    //! registers. Fig. 6's shape (fast > interruptible) reproduces.
+
+    use super::{Digest, BLOCK_LEN, DIGEST_LEN, IV, K};
+
+    /// Hashes `data` in one shot with the unrolled implementation.
+    #[must_use]
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = IV;
+        let mut chunks = data.chunks_exact(BLOCK_LEN);
+        for block in &mut chunks {
+            compress_unrolled(&mut h, block.try_into().expect("exact chunk"));
+        }
+
+        // Final padded block(s).
+        let rest = chunks.remainder();
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        let mut tail = [0u8; 2 * BLOCK_LEN];
+        tail[..rest.len()].copy_from_slice(rest);
+        tail[rest.len()] = 0x80;
+        if rest.len() < 56 {
+            tail[56..64].copy_from_slice(&bit_len.to_be_bytes());
+            compress_unrolled(&mut h, tail[..64].try_into().expect("64 bytes"));
+        } else {
+            tail[120..128].copy_from_slice(&bit_len.to_be_bytes());
+            compress_unrolled(&mut h, tail[..64].try_into().expect("64 bytes"));
+            compress_unrolled(&mut h, tail[64..128].try_into().expect("64 bytes"));
+        }
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    macro_rules! round {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $k:expr, $w:expr) => {{
+            let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+            let ch = ($e & $f) ^ (!$e & $g);
+            let t1 = $h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add($k)
+                .wrapping_add($w);
+            let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+            let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(s0.wrapping_add(maj));
+        }};
+    }
+
+    #[inline(always)]
+    fn schedule(w: &mut [u32; 16], i: usize) -> u32 {
+        let w15 = w[(i + 1) & 15];
+        let w2 = w[(i + 14) & 15];
+        let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+        let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+        w[i & 15] = w[i & 15]
+            .wrapping_add(s0)
+            .wrapping_add(w[(i + 9) & 15])
+            .wrapping_add(s1);
+        w[i & 15]
+    }
+
+    #[inline(always)]
+    fn compress_unrolled(h: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 16];
+        for (i, word) in w.iter_mut().enumerate() {
+            *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+        // Rounds 0..16 use the raw message words, 16..64 the rolling
+        // schedule. Groups of 8 are unrolled with rotated registers.
+        let mut i = 0;
+        while i < 64 {
+            let w0 = if i < 16 { w[i & 15] } else { schedule(&mut w, i) };
+            round!(a, b, c, d, e, f, g, hh, K[i], w0);
+            let w1 = if i + 1 < 16 { w[(i + 1) & 15] } else { schedule(&mut w, i + 1) };
+            round!(hh, a, b, c, d, e, f, g, K[i + 1], w1);
+            let w2 = if i + 2 < 16 { w[(i + 2) & 15] } else { schedule(&mut w, i + 2) };
+            round!(g, hh, a, b, c, d, e, f, K[i + 2], w2);
+            let w3 = if i + 3 < 16 { w[(i + 3) & 15] } else { schedule(&mut w, i + 3) };
+            round!(f, g, hh, a, b, c, d, e, K[i + 3], w3);
+            let w4 = if i + 4 < 16 { w[(i + 4) & 15] } else { schedule(&mut w, i + 4) };
+            round!(e, f, g, hh, a, b, c, d, K[i + 4], w4);
+            let w5 = if i + 5 < 16 { w[(i + 5) & 15] } else { schedule(&mut w, i + 5) };
+            round!(d, e, f, g, hh, a, b, c, K[i + 5], w5);
+            let w6 = if i + 6 < 16 { w[(i + 6) & 15] } else { schedule(&mut w, i + 6) };
+            round!(c, d, e, f, g, hh, a, b, K[i + 6], w6);
+            let w7 = if i + 7 < 16 { w[(i + 7) & 15] } else { schedule(&mut w, i + 7) };
+            round!(b, c, d, e, f, g, hh, a, K[i + 7], w7);
+            i += 8;
+        }
+
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS 180-4 / NIST CAVS reference vectors.
+    const VECTORS: &[(&[u8], &str)] = &[
+        (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+        (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+    ];
+
+    #[test]
+    fn interruptible_matches_vectors() {
+        for (msg, expect) in VECTORS {
+            assert_eq!(digest(msg).to_hex(), *expect);
+        }
+    }
+
+    #[test]
+    fn fast_matches_vectors() {
+        for (msg, expect) in VECTORS {
+            assert_eq!(fast::digest(msg).to_hex(), *expect);
+        }
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let msg = vec![b'a'; 1_000_000];
+        let expect = "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0";
+        assert_eq!(digest(&msg).to_hex(), expect);
+        assert_eq!(fast::digest(&msg).to_hex(), expect);
+    }
+
+    #[test]
+    fn incremental_update_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 63, 64, 65, 128, 500, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), digest(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn export_resume_roundtrip() {
+        let head = vec![0xabu8; 256];
+        let tail = b"the instance page goes here";
+        let mut h = Sha256::new();
+        h.update(&head);
+        let state = h.export_state().expect("aligned");
+        assert_eq!(state.byte_len(), 256);
+
+        let mut resumed = Sha256::resume(state);
+        resumed.update(tail);
+
+        let mut full = Sha256::new();
+        full.update(&head);
+        full.update(tail);
+        assert_eq!(resumed.finalize(), full.finalize());
+    }
+
+    #[test]
+    fn export_rejects_unaligned() {
+        let mut h = Sha256::new();
+        h.update(b"odd");
+        assert_eq!(h.export_state(), Err(CryptoError::UnalignedHashState));
+    }
+
+    #[test]
+    fn state_encode_decode_roundtrip() {
+        let mut h = Sha256::new();
+        h.update(&[7u8; 640]);
+        let state = h.export_state().expect("aligned");
+        let encoded = state.encode();
+        let decoded = Sha256State::decode(&encoded).expect("decodes");
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn state_decode_rejects_bad_input() {
+        assert!(Sha256State::decode(&[0u8; 39]).is_err());
+        let mut enc = [0u8; STATE_LEN];
+        enc[39] = 1; // byte_len = 1, not block aligned
+        assert_eq!(Sha256State::decode(&enc), Err(CryptoError::UnalignedHashState));
+    }
+
+    #[test]
+    fn digest_hex_roundtrip_and_display() {
+        let d = digest(b"roundtrip");
+        assert_eq!(Digest::from_hex(&d.to_hex()).expect("parses"), d);
+        assert_eq!(format!("{d}"), d.to_hex());
+        assert!(format!("{d:?}").starts_with("Digest("));
+    }
+
+    #[test]
+    fn from_hex_rejects_garbage() {
+        assert!(Digest::from_hex("xyz").is_err());
+        assert!(Digest::from_hex(&"g".repeat(64)).is_err());
+    }
+
+    #[test]
+    fn digest_parts_equals_concatenation() {
+        let d1 = digest_parts(&[b"ab", b"cd", b""]);
+        let d2 = digest(b"abcd");
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn resume_from_zero_state_equals_fresh() {
+        let state = Sha256State::from_parts(IV, 0).expect("aligned");
+        let mut resumed = Sha256::resume(state);
+        resumed.update(b"abc");
+        assert_eq!(resumed.finalize(), digest(b"abc"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the encrypted filesystem.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by volume operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsError {
+    /// The volume key is wrong or the superblock was tampered with.
+    BadKeyOrCorruptSuperblock,
+    /// A file's ciphertext failed integrity verification.
+    IntegrityViolation {
+        /// Path of the corrupt file.
+        path: String,
+    },
+    /// The requested file does not exist.
+    NotFound {
+        /// The missing path.
+        path: String,
+    },
+    /// A path was syntactically invalid (empty or over-long).
+    InvalidPath,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::BadKeyOrCorruptSuperblock => {
+                write!(f, "wrong volume key or corrupt superblock")
+            }
+            FsError::IntegrityViolation { path } => {
+                write!(f, "integrity violation in file {path:?}")
+            }
+            FsError::NotFound { path } => write!(f, "file not found: {path:?}"),
+            FsError::InvalidPath => write!(f, "invalid path"),
+        }
+    }
+}
+
+impl Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(FsError::NotFound { path: "a/b".into() }.to_string().contains("a/b"));
+        assert!(FsError::IntegrityViolation { path: "x".into() }
+            .to_string()
+            .contains("integrity"));
+    }
+}

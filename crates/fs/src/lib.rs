@@ -1,0 +1,24 @@
+//! Encrypted, integrity-protected filesystem substrate.
+//!
+//! SCONE transparently encrypts file content before the host OS
+//! persists it and verifies integrity on reads (§1 of the paper);
+//! SGX-LKL boots from an encrypted disk image (§3.3.2). Both are
+//! modeled by [`volume::Volume`]: a host-visible bag of ciphertext the
+//! adversary can copy, replay, or corrupt — but not read or undetectably
+//! modify without the volume key.
+//!
+//! The security-relevant property for the paper's attack: volume
+//! *content* (the application's Python code, configuration, model
+//! files …) is **not** part of `MRENCLAVE`. The runtime verifies it
+//! with a key received via attested configuration — which is exactly
+//! the delegation the reuse attack exploits (§3.3.1: "this delegation
+//! is precisely the exploitable culprit").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod volume;
+
+pub use error::FsError;
+pub use volume::Volume;

@@ -1,0 +1,616 @@
+//! Encrypted volumes: a host-visible bag of ciphertext with an
+//! AEAD-protected manifest.
+//!
+//! Layout:
+//!
+//! * **Superblock** — the encrypted manifest (`path → file id, length,
+//!   chunk count`), sealed with nonce domain 0 and a monotonically
+//!   increasing manifest version as AEAD counter + associated data.
+//! * **Chunks** — file content in 4 KiB chunks, each sealed with a
+//!   per-file unique id as nonce domain and the chunk index as
+//!   counter; the path, file length, and chunk index are associated
+//!   data, so chunks cannot be swapped between files or positions.
+//!
+//! File ids are never reused (monotonic counter), so rewriting a file
+//! never reuses an AEAD nonce. The host sees ciphertext sizes, chunk
+//! counts and access patterns — as with any encrypted filesystem —
+//! but any content or structure tampering is detected on read.
+
+use crate::error::FsError;
+use sinclave_crypto::aead::{self, AeadKey, Nonce};
+use rand::RngCore;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Chunk size for file content.
+pub const CHUNK_SIZE: usize = 4096;
+
+/// Maximum path length accepted.
+pub const MAX_PATH: usize = 4096;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FileMeta {
+    file_id: u64,
+    len: u64,
+}
+
+/// An encrypted volume as the host sees it: opaque superblock bytes
+/// plus opaque chunks. `Clone` is intentionally cheap semantics-wise:
+/// the adversary can always copy a disk image.
+#[derive(Clone)]
+pub struct Volume {
+    superblock: Vec<u8>,
+    manifest_version: u64,
+    chunks: BTreeMap<(u64, u32), Vec<u8>>,
+    next_file_id: u64,
+    /// Human-readable label (host-visible, unauthenticated — like a
+    /// partition label).
+    pub label: String,
+}
+
+impl fmt::Debug for Volume {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Volume")
+            .field("label", &self.label)
+            .field("chunks", &self.chunks.len())
+            .field("manifest_version", &self.manifest_version)
+            .finish()
+    }
+}
+
+fn encode_manifest(files: &BTreeMap<String, FileMeta>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(files.len() as u32).to_be_bytes());
+    for (path, meta) in files {
+        out.extend_from_slice(&(path.len() as u32).to_be_bytes());
+        out.extend_from_slice(path.as_bytes());
+        out.extend_from_slice(&meta.file_id.to_be_bytes());
+        out.extend_from_slice(&meta.len.to_be_bytes());
+    }
+    out
+}
+
+fn decode_manifest(bytes: &[u8]) -> Option<BTreeMap<String, FileMeta>> {
+    let mut files = BTreeMap::new();
+    let count = u32::from_be_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+    let mut pos = 4;
+    for _ in 0..count {
+        let path_len = u32::from_be_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let path = String::from_utf8(bytes.get(pos..pos + path_len)?.to_vec()).ok()?;
+        pos += path_len;
+        let file_id = u64::from_be_bytes(bytes.get(pos..pos + 8)?.try_into().ok()?);
+        pos += 8;
+        let len = u64::from_be_bytes(bytes.get(pos..pos + 8)?.try_into().ok()?);
+        pos += 8;
+        files.insert(path, FileMeta { file_id, len });
+    }
+    if pos != bytes.len() {
+        return None;
+    }
+    Some(files)
+}
+
+impl Volume {
+    /// Formats a fresh empty volume protected by `key`.
+    #[must_use]
+    pub fn format(key: &AeadKey, label: &str) -> Self {
+        let mut v = Volume {
+            superblock: Vec::new(),
+            manifest_version: 0,
+            chunks: BTreeMap::new(),
+            next_file_id: 1,
+            label: label.to_owned(),
+        };
+        v.write_manifest(key, &BTreeMap::new());
+        v
+    }
+
+    /// Formats a fresh volume with a random key; returns both.
+    #[must_use]
+    pub fn format_random<R: RngCore + ?Sized>(rng: &mut R, label: &str) -> (Self, AeadKey) {
+        let mut key_bytes = [0u8; 32];
+        rng.fill_bytes(&mut key_bytes);
+        let key = AeadKey::new(key_bytes);
+        (Self::format(&key, label), key)
+    }
+
+    fn write_manifest(&mut self, key: &AeadKey, files: &BTreeMap<String, FileMeta>) {
+        self.manifest_version += 1;
+        let nonce = Nonce::from_parts(0, self.manifest_version);
+        self.superblock = aead::seal(
+            key,
+            nonce,
+            manifest_aad(self.manifest_version).as_slice(),
+            &encode_manifest(files),
+        );
+    }
+
+    fn read_manifest(&self, key: &AeadKey) -> Result<BTreeMap<String, FileMeta>, FsError> {
+        let nonce = Nonce::from_parts(0, self.manifest_version);
+        let plain = aead::open(
+            key,
+            nonce,
+            manifest_aad(self.manifest_version).as_slice(),
+            &self.superblock,
+        )
+        .map_err(|_| FsError::BadKeyOrCorruptSuperblock)?;
+        decode_manifest(&plain).ok_or(FsError::BadKeyOrCorruptSuperblock)
+    }
+
+    /// Checks that `key` opens this volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::BadKeyOrCorruptSuperblock`] otherwise.
+    pub fn verify_key(&self, key: &AeadKey) -> Result<(), FsError> {
+        self.read_manifest(key).map(|_| ())
+    }
+
+    /// Lists all file paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::BadKeyOrCorruptSuperblock`] for a wrong key.
+    pub fn list(&self, key: &AeadKey) -> Result<Vec<String>, FsError> {
+        Ok(self.read_manifest(key)?.keys().cloned().collect())
+    }
+
+    /// Whether `path` exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::BadKeyOrCorruptSuperblock`] for a wrong key.
+    pub fn contains(&self, key: &AeadKey, path: &str) -> Result<bool, FsError> {
+        Ok(self.read_manifest(key)?.contains_key(path))
+    }
+
+    /// Writes (or replaces) a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidPath`] for empty/over-long paths and
+    /// [`FsError::BadKeyOrCorruptSuperblock`] for a wrong key.
+    pub fn write_file(&mut self, key: &AeadKey, path: &str, data: &[u8]) -> Result<(), FsError> {
+        if path.is_empty() || path.len() > MAX_PATH {
+            return Err(FsError::InvalidPath);
+        }
+        let mut files = self.read_manifest(key)?;
+        if let Some(old) = files.remove(path) {
+            self.remove_chunks(old.file_id);
+        }
+        let file_id = self.next_file_id;
+        self.next_file_id += 1;
+
+        let chunk_count = data.len().div_ceil(CHUNK_SIZE).max(1);
+        for idx in 0..chunk_count {
+            let start = idx * CHUNK_SIZE;
+            let end = (start + CHUNK_SIZE).min(data.len());
+            let chunk_plain = &data[start.min(data.len())..end];
+            let nonce = chunk_nonce(file_id, idx as u32);
+            let aad = chunk_aad(path, data.len() as u64, idx as u32);
+            let sealed = aead::seal(key, nonce, &aad, chunk_plain);
+            self.chunks.insert((file_id, idx as u32), sealed);
+        }
+        files.insert(path.to_owned(), FileMeta { file_id, len: data.len() as u64 });
+        self.write_manifest(key, &files);
+        Ok(())
+    }
+
+    /// Reads a whole file.
+    ///
+    /// # Errors
+    ///
+    /// * [`FsError::NotFound`] — no such path.
+    /// * [`FsError::IntegrityViolation`] — ciphertext tampered.
+    /// * [`FsError::BadKeyOrCorruptSuperblock`] — wrong key.
+    pub fn read_file(&self, key: &AeadKey, path: &str) -> Result<Vec<u8>, FsError> {
+        let files = self.read_manifest(key)?;
+        let meta = files
+            .get(path)
+            .ok_or_else(|| FsError::NotFound { path: path.to_owned() })?;
+        let chunk_count = (meta.len as usize).div_ceil(CHUNK_SIZE).max(1);
+        let mut out = Vec::with_capacity(meta.len as usize);
+        for idx in 0..chunk_count {
+            let sealed = self
+                .chunks
+                .get(&(meta.file_id, idx as u32))
+                .ok_or_else(|| FsError::IntegrityViolation { path: path.to_owned() })?;
+            let nonce = chunk_nonce(meta.file_id, idx as u32);
+            let aad = chunk_aad(path, meta.len, idx as u32);
+            let plain = aead::open(key, nonce, &aad, sealed)
+                .map_err(|_| FsError::IntegrityViolation { path: path.to_owned() })?;
+            out.extend_from_slice(&plain);
+        }
+        if out.len() as u64 != meta.len {
+            return Err(FsError::IntegrityViolation { path: path.to_owned() });
+        }
+        Ok(out)
+    }
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent, [`FsError::BadKeyOrCorruptSuperblock`]
+    /// for a wrong key.
+    pub fn remove_file(&mut self, key: &AeadKey, path: &str) -> Result<(), FsError> {
+        let mut files = self.read_manifest(key)?;
+        let meta = files
+            .remove(path)
+            .ok_or_else(|| FsError::NotFound { path: path.to_owned() })?;
+        self.remove_chunks(meta.file_id);
+        self.write_manifest(key, &files);
+        Ok(())
+    }
+
+    fn remove_chunks(&mut self, file_id: u64) {
+        let keys: Vec<_> = self
+            .chunks
+            .range((file_id, 0)..=(file_id, u32::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            self.chunks.remove(&k);
+        }
+    }
+
+    // ---- Host / adversary surface ----------------------------------------
+
+    /// Host view: total ciphertext bytes on disk.
+    #[must_use]
+    pub fn size_on_disk(&self) -> usize {
+        self.superblock.len() + self.chunks.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Host view: ids of all ciphertext chunks.
+    #[must_use]
+    pub fn raw_chunk_ids(&self) -> Vec<(u64, u32)> {
+        self.chunks.keys().copied().collect()
+    }
+
+    /// Adversary: flip a byte in a ciphertext chunk.
+    ///
+    /// Returns whether the chunk existed.
+    pub fn corrupt_chunk(&mut self, id: (u64, u32)) -> bool {
+        match self.chunks.get_mut(&id) {
+            Some(c) if !c.is_empty() => {
+                c[0] ^= 0x1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Adversary: flip a byte in the superblock.
+    pub fn corrupt_superblock(&mut self) {
+        if let Some(b) = self.superblock.first_mut() {
+            *b ^= 0x1;
+        }
+    }
+
+    /// File length in bytes, without reading the content.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent; [`FsError::BadKeyOrCorruptSuperblock`]
+    /// for a wrong key.
+    pub fn file_len(&self, key: &AeadKey, path: &str) -> Result<u64, FsError> {
+        self.read_manifest(key)?
+            .get(path)
+            .map(|meta| meta.len)
+            .ok_or_else(|| FsError::NotFound { path: path.to_owned() })
+    }
+
+    /// Serializes the whole volume to a portable disk image — the
+    /// artifact SGX-LKL deployments ship around and adversaries copy.
+    #[must_use]
+    pub fn to_disk_image(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SINVOL1\0");
+        let put = |out: &mut Vec<u8>, bytes: &[u8]| {
+            out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+            out.extend_from_slice(bytes);
+        };
+        put(&mut out, self.label.as_bytes());
+        out.extend_from_slice(&self.manifest_version.to_be_bytes());
+        out.extend_from_slice(&self.next_file_id.to_be_bytes());
+        put(&mut out, &self.superblock);
+        out.extend_from_slice(&(self.chunks.len() as u32).to_be_bytes());
+        for ((file_id, idx), data) in &self.chunks {
+            out.extend_from_slice(&file_id.to_be_bytes());
+            out.extend_from_slice(&idx.to_be_bytes());
+            put(&mut out, data);
+        }
+        out
+    }
+
+    /// Parses a disk image produced by [`Volume::to_disk_image`].
+    ///
+    /// No key is needed: the image is host-visible ciphertext. Opening
+    /// the *content* still requires the volume key, and any tampering
+    /// with the image is detected at read time exactly as for a live
+    /// volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidPath`] (the closest structural error)
+    /// for malformed images.
+    pub fn from_disk_image(bytes: &[u8]) -> Result<Self, FsError> {
+        fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], FsError> {
+            if cursor.len() < n {
+                return Err(FsError::InvalidPath);
+            }
+            let (head, rest) = cursor.split_at(n);
+            *cursor = rest;
+            Ok(head)
+        }
+        fn get<'a>(cursor: &mut &'a [u8]) -> Result<&'a [u8], FsError> {
+            let len = u32::from_be_bytes(take(cursor, 4)?.try_into().expect("4")) as usize;
+            take(cursor, len)
+        }
+        let mut cursor = bytes;
+        if take(&mut cursor, 8)? != b"SINVOL1\0" {
+            return Err(FsError::InvalidPath);
+        }
+        let label = String::from_utf8(get(&mut cursor)?.to_vec())
+            .map_err(|_| FsError::InvalidPath)?;
+        let manifest_version =
+            u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
+        let next_file_id = u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
+        let superblock = get(&mut cursor)?.to_vec();
+        let chunk_count =
+            u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize;
+        let mut chunks = BTreeMap::new();
+        for _ in 0..chunk_count {
+            let file_id = u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
+            let idx = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4"));
+            let data = get(&mut cursor)?.to_vec();
+            chunks.insert((file_id, idx), data);
+        }
+        if !cursor.is_empty() {
+            return Err(FsError::InvalidPath);
+        }
+        Ok(Volume { superblock, manifest_version, chunks, next_file_id, label })
+    }
+}
+
+fn chunk_nonce(file_id: u64, idx: u32) -> Nonce {
+    // Domain 1.. reserved for files; fold the 64-bit file id into the
+    // 32-bit domain and 64-bit counter: domain = high bits + 1, counter
+    // = low 32 bits of id << 32 | chunk idx. File ids are sequential
+    // and far below 2^32 in practice; the fold keeps uniqueness for
+    // ids < 2^63.
+    let domain = 1u32.wrapping_add((file_id >> 32) as u32);
+    let counter = (file_id << 32) | idx as u64;
+    Nonce::from_parts(domain, counter)
+}
+
+fn chunk_aad(path: &str, len: u64, idx: u32) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(path.len() + 16);
+    aad.extend_from_slice(b"chunk");
+    aad.extend_from_slice(&len.to_be_bytes());
+    aad.extend_from_slice(&idx.to_be_bytes());
+    aad.extend_from_slice(path.as_bytes());
+    aad
+}
+
+fn manifest_aad(version: u64) -> Vec<u8> {
+    let mut aad = b"manifest".to_vec();
+    aad.extend_from_slice(&version.to_be_bytes());
+    aad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(fill: u8) -> AeadKey {
+        AeadKey::new([fill; 32])
+    }
+
+    #[test]
+    fn write_read_roundtrip_various_sizes() {
+        let k = key(1);
+        let mut v = Volume::format(&k, "test");
+        for size in [0usize, 1, CHUNK_SIZE - 1, CHUNK_SIZE, CHUNK_SIZE + 1, 3 * CHUNK_SIZE + 17] {
+            let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            v.write_file(&k, &format!("f{size}"), &data).unwrap();
+            assert_eq!(v.read_file(&k, &format!("f{size}")).unwrap(), data, "size {size}");
+        }
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let k = key(2);
+        let mut v = Volume::format(&k, "test");
+        v.write_file(&k, "a", b"old content").unwrap();
+        v.write_file(&k, "a", b"new").unwrap();
+        assert_eq!(v.read_file(&k, "a").unwrap(), b"new");
+        assert_eq!(v.list(&k).unwrap(), vec!["a".to_owned()]);
+    }
+
+    #[test]
+    fn remove_and_not_found() {
+        let k = key(3);
+        let mut v = Volume::format(&k, "test");
+        v.write_file(&k, "a", b"x").unwrap();
+        v.remove_file(&k, "a").unwrap();
+        assert!(matches!(v.read_file(&k, "a"), Err(FsError::NotFound { .. })));
+        assert!(matches!(v.remove_file(&k, "a"), Err(FsError::NotFound { .. })));
+        assert_eq!(v.raw_chunk_ids().len(), 0, "chunks reclaimed");
+    }
+
+    #[test]
+    fn wrong_key_rejected_everywhere() {
+        let k = key(4);
+        let wrong = key(5);
+        let mut v = Volume::format(&k, "test");
+        v.write_file(&k, "a", b"secret").unwrap();
+        assert_eq!(v.verify_key(&wrong), Err(FsError::BadKeyOrCorruptSuperblock));
+        assert!(v.read_file(&wrong, "a").is_err());
+        assert!(v.list(&wrong).is_err());
+        assert!(v.clone().write_file(&wrong, "b", b"x").is_err());
+    }
+
+    #[test]
+    fn ciphertext_does_not_leak_plaintext() {
+        let k = key(6);
+        let mut v = Volume::format(&k, "test");
+        let secret = b"very secret plaintext content that must not appear on disk";
+        v.write_file(&k, "s", secret).unwrap();
+        // Scan every ciphertext byte string for the plaintext.
+        for chunk in v.chunks.values() {
+            assert!(!chunk
+                .windows(secret.len().min(chunk.len()))
+                .any(|w| w == &secret[..w.len()]));
+        }
+    }
+
+    #[test]
+    fn chunk_corruption_detected() {
+        let k = key(7);
+        let mut v = Volume::format(&k, "test");
+        v.write_file(&k, "a", &vec![7u8; 3 * CHUNK_SIZE]).unwrap();
+        let ids = v.raw_chunk_ids();
+        assert!(v.corrupt_chunk(ids[1]));
+        assert!(matches!(
+            v.read_file(&k, "a"),
+            Err(FsError::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn superblock_corruption_detected() {
+        let k = key(8);
+        let mut v = Volume::format(&k, "test");
+        v.write_file(&k, "a", b"x").unwrap();
+        v.corrupt_superblock();
+        assert_eq!(v.verify_key(&k), Err(FsError::BadKeyOrCorruptSuperblock));
+    }
+
+    #[test]
+    fn chunks_cannot_be_swapped_between_files() {
+        let k = key(9);
+        let mut v = Volume::format(&k, "test");
+        v.write_file(&k, "a", &vec![1u8; CHUNK_SIZE]).unwrap();
+        v.write_file(&k, "b", &vec![2u8; CHUNK_SIZE]).unwrap();
+        let ids = v.raw_chunk_ids();
+        // Swap the two files' ciphertexts.
+        let ca = v.chunks[&ids[0]].clone();
+        let cb = v.chunks[&ids[1]].clone();
+        v.chunks.insert(ids[0], cb);
+        v.chunks.insert(ids[1], ca);
+        assert!(v.read_file(&k, "a").is_err());
+        assert!(v.read_file(&k, "b").is_err());
+    }
+
+    #[test]
+    fn chunks_cannot_be_reordered_within_file() {
+        let k = key(10);
+        let mut v = Volume::format(&k, "test");
+        let mut data = vec![0u8; 2 * CHUNK_SIZE];
+        data[0] = 1;
+        data[CHUNK_SIZE] = 2;
+        v.write_file(&k, "a", &data).unwrap();
+        let ids = v.raw_chunk_ids();
+        let c0 = v.chunks[&ids[0]].clone();
+        let c1 = v.chunks[&ids[1]].clone();
+        v.chunks.insert(ids[0], c1);
+        v.chunks.insert(ids[1], c0);
+        assert!(v.read_file(&k, "a").is_err());
+    }
+
+    #[test]
+    fn adversary_can_copy_volume_but_it_stays_opaque() {
+        let k = key(11);
+        let mut v = Volume::format(&k, "user volume");
+        v.write_file(&k, "app.py", b"print('hi')").unwrap();
+        let stolen = v.clone();
+        // The copy is byte-identical but useless without the key.
+        assert_eq!(stolen.size_on_disk(), v.size_on_disk());
+        assert!(stolen.read_file(&key(12), "app.py").is_err());
+    }
+
+    #[test]
+    fn format_random_produces_usable_volume() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut v, k) = Volume::format_random(&mut rng, "r");
+        v.write_file(&k, "x", b"data").unwrap();
+        assert_eq!(v.read_file(&k, "x").unwrap(), b"data");
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        let k = key(13);
+        let mut v = Volume::format(&k, "test");
+        assert_eq!(v.write_file(&k, "", b"x"), Err(FsError::InvalidPath));
+        let long = "p".repeat(MAX_PATH + 1);
+        assert_eq!(v.write_file(&k, &long, b"x"), Err(FsError::InvalidPath));
+    }
+
+    #[test]
+    fn file_len_without_read() {
+        let k = key(15);
+        let mut v = Volume::format(&k, "test");
+        v.write_file(&k, "a", &vec![0u8; 12345]).unwrap();
+        assert_eq!(v.file_len(&k, "a").unwrap(), 12345);
+        assert!(matches!(v.file_len(&k, "b"), Err(FsError::NotFound { .. })));
+    }
+
+    #[test]
+    fn disk_image_roundtrip() {
+        let k = key(16);
+        let mut v = Volume::format(&k, "shipped");
+        v.write_file(&k, "boot/entry", b"print hello").unwrap();
+        v.write_file(&k, "data", &vec![9u8; 3 * CHUNK_SIZE + 1]).unwrap();
+        let image = v.to_disk_image();
+        let restored = Volume::from_disk_image(&image).unwrap();
+        assert_eq!(restored.label, "shipped");
+        assert_eq!(restored.read_file(&k, "boot/entry").unwrap(), b"print hello");
+        assert_eq!(restored.read_file(&k, "data").unwrap(), vec![9u8; 3 * CHUNK_SIZE + 1]);
+        // Continue writing to the restored volume (nonce counters must
+        // have survived so no nonce is ever reused).
+        let mut restored = restored;
+        restored.write_file(&k, "more", b"post-restore").unwrap();
+        assert_eq!(restored.read_file(&k, "more").unwrap(), b"post-restore");
+    }
+
+    #[test]
+    fn disk_image_tampering_detected_after_restore() {
+        let k = key(17);
+        let mut v = Volume::format(&k, "t");
+        v.write_file(&k, "f", b"payload").unwrap();
+        let mut image = v.to_disk_image();
+        let n = image.len();
+        image[n - 2] ^= 1; // flip a ciphertext byte
+        let restored = Volume::from_disk_image(&image).unwrap();
+        assert!(restored.read_file(&k, "f").is_err());
+    }
+
+    #[test]
+    fn disk_image_rejects_garbage() {
+        assert!(Volume::from_disk_image(b"not an image").is_err());
+        assert!(Volume::from_disk_image(&[]).is_err());
+        let k = key(18);
+        let v = Volume::format(&k, "t");
+        let mut image = v.to_disk_image();
+        image.push(0); // trailing junk
+        assert!(Volume::from_disk_image(&image).is_err());
+    }
+
+    #[test]
+    fn rollback_of_superblock_detected() {
+        // Replaying an old superblock over a newer volume state fails
+        // because the manifest version is bound into nonce and AAD.
+        let k = key(14);
+        let mut v = Volume::format(&k, "test");
+        v.write_file(&k, "a", b"v1").unwrap();
+        let old_superblock = v.superblock.clone();
+        v.write_file(&k, "a", b"v2").unwrap();
+        v.superblock = old_superblock;
+        assert_eq!(v.verify_key(&k), Err(FsError::BadKeyOrCorruptSuperblock));
+    }
+}

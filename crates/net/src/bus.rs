@@ -1,0 +1,296 @@
+//! The in-process message network with adversary interposition.
+//!
+//! Models the paper's system model (§2.3): the machine's network is
+//! *under adversary control*. Honest parties bind listeners and dial
+//! addresses; the adversary — and only code that holds the [`Network`]
+//! handle's adversary API — can redirect dialed addresses to their own
+//! listeners and wiretap connection metadata. This is exactly the
+//! capability the SGX-LKL attack needs (§3.3.2: "the invocation
+//! command is intercepted by the adversary").
+
+use crate::error::NetError;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default receive timeout: generous for tests, short enough to fail
+/// fast on deadlocks.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(10);
+
+struct NetworkInner {
+    listeners: HashMap<String, Sender<Connection>>,
+    /// Adversary-installed address rewrites, applied at dial time.
+    redirects: HashMap<String, String>,
+    /// Count of observed dials per (requested) address.
+    dial_log: Vec<String>,
+}
+
+/// A simulated network: a switchboard of named listeners.
+///
+/// Cloneable handle; all clones share the same switchboard.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<Mutex<NetworkInner>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Network")
+            .field("listeners", &inner.listeners.len())
+            .field("redirects", &inner.redirects.len())
+            .finish()
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Network {
+            inner: Arc::new(Mutex::new(NetworkInner {
+                listeners: HashMap::new(),
+                redirects: HashMap::new(),
+                dial_log: Vec::new(),
+            })),
+        }
+    }
+
+    /// Binds a listener at `address`, replacing any previous listener
+    /// at the same address (the host controls its port namespace).
+    #[must_use]
+    pub fn listen(&self, address: &str) -> Listener {
+        let (tx, rx) = unbounded();
+        self.inner.lock().listeners.insert(address.to_owned(), tx);
+        Listener { address: address.to_owned(), rx }
+    }
+
+    /// Dials `address`, returning the caller's end of a fresh
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::AddressUnreachable`] if (after adversary
+    /// redirects) no listener is bound.
+    pub fn connect(&self, address: &str) -> Result<Connection, NetError> {
+        let mut inner = self.inner.lock();
+        inner.dial_log.push(address.to_owned());
+        let effective = inner
+            .redirects
+            .get(address)
+            .cloned()
+            .unwrap_or_else(|| address.to_owned());
+        let listener_tx = inner
+            .listeners
+            .get(&effective)
+            .cloned()
+            .ok_or_else(|| NetError::AddressUnreachable { address: effective.clone() })?;
+        drop(inner);
+
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        let server_side = Connection { tx: b_tx, rx: b_rx, peer: format!("dial:{address}") };
+        let client_side = Connection { tx: a_tx, rx: a_rx, peer: effective };
+        listener_tx
+            .send(server_side)
+            .map_err(|_| NetError::AddressUnreachable { address: address.to_owned() })?;
+        Ok(client_side)
+    }
+
+    // ---- Adversary API ---------------------------------------------------
+    // In the paper's threat model the host network belongs to the
+    // adversary; these methods model that power.
+
+    /// Adversary: transparently redirect future dials of `from` to `to`.
+    pub fn adversary_redirect(&self, from: &str, to: &str) {
+        self.inner.lock().redirects.insert(from.to_owned(), to.to_owned());
+    }
+
+    /// Adversary: remove a redirect.
+    pub fn adversary_clear_redirect(&self, from: &str) {
+        self.inner.lock().redirects.remove(from);
+    }
+
+    /// Adversary: observe which addresses have been dialed.
+    #[must_use]
+    pub fn adversary_dial_log(&self) -> Vec<String> {
+        self.inner.lock().dial_log.clone()
+    }
+}
+
+/// A bound listener.
+#[derive(Debug)]
+pub struct Listener {
+    address: String,
+    rx: Receiver<Connection>,
+}
+
+impl Listener {
+    /// The bound address.
+    #[must_use]
+    pub fn address(&self) -> &str {
+        &self.address
+    }
+
+    /// Accepts the next incoming connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] if nothing arrives within
+    /// [`RECV_TIMEOUT`].
+    pub fn accept(&self) -> Result<Connection, NetError> {
+        self.rx.recv_timeout(RECV_TIMEOUT).map_err(|_| NetError::Timeout)
+    }
+
+    /// Accepts with a caller-chosen timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] when the deadline passes.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Connection, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|_| NetError::Timeout)
+    }
+}
+
+/// One endpoint of a bidirectional, message-oriented connection.
+#[derive(Debug)]
+pub struct Connection {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    peer: String,
+}
+
+impl Connection {
+    /// Description of the peer (informational).
+    #[must_use]
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if the peer endpoint was
+    /// dropped.
+    pub fn send(&self, message: Vec<u8>) -> Result<(), NetError> {
+        self.tx.send(message).map_err(|_| NetError::Disconnected)
+    }
+
+    /// Receives one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] after [`RECV_TIMEOUT`] and
+    /// [`NetError::Disconnected`] if the peer endpoint was dropped.
+    pub fn recv(&self) -> Result<Vec<u8>, NetError> {
+        match self.rx.recv_timeout(RECV_TIMEOUT) {
+            Ok(m) => Ok(m),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Creates a connected pair directly (for tests and local links).
+    #[must_use]
+    pub fn pair() -> (Connection, Connection) {
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        (
+            Connection { tx: a_tx, rx: a_rx, peer: "pair:b".to_owned() },
+            Connection { tx: b_tx, rx: b_rx, peer: "pair:a".to_owned() },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_connect_exchange() {
+        let net = Network::new();
+        let listener = net.listen("svc:1");
+        let client = net.connect("svc:1").unwrap();
+        let server = listener.accept().unwrap();
+
+        client.send(b"ping".to_vec()).unwrap();
+        assert_eq!(server.recv().unwrap(), b"ping");
+        server.send(b"pong".to_vec()).unwrap();
+        assert_eq!(client.recv().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn unknown_address_unreachable() {
+        let net = Network::new();
+        assert!(matches!(
+            net.connect("nowhere"),
+            Err(NetError::AddressUnreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn adversary_redirect_hijacks_dials() {
+        let net = Network::new();
+        let _honest = net.listen("cas:443");
+        let evil = net.listen("evil:443");
+
+        net.adversary_redirect("cas:443", "evil:443");
+        let client = net.connect("cas:443").unwrap();
+        let hijacked = evil.accept().unwrap();
+        client.send(b"secret hello".to_vec()).unwrap();
+        assert_eq!(hijacked.recv().unwrap(), b"secret hello");
+
+        // Clearing the redirect restores honest routing.
+        net.adversary_clear_redirect("cas:443");
+        let _client2 = net.connect("cas:443").unwrap();
+        assert!(evil.accept_timeout(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn dial_log_records_requested_addresses() {
+        let net = Network::new();
+        let _l = net.listen("a");
+        let _ = net.connect("a");
+        let _ = net.connect("missing");
+        assert_eq!(net.adversary_dial_log(), vec!["a".to_owned(), "missing".to_owned()]);
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (a, b) = Connection::pair();
+        drop(b);
+        assert_eq!(a.send(b"x".to_vec()), Err(NetError::Disconnected));
+        assert_eq!(a.recv(), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn rebinding_replaces_listener() {
+        let net = Network::new();
+        let old = net.listen("svc");
+        let new = net.listen("svc");
+        let _c = net.connect("svc").unwrap();
+        assert!(new.accept_timeout(Duration::from_millis(100)).is_ok());
+        assert!(old.accept_timeout(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn messages_preserve_order() {
+        let (a, b) = Connection::pair();
+        for i in 0..100u8 {
+            a.send(vec![i]).unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(b.recv().unwrap(), vec![i]);
+        }
+    }
+}

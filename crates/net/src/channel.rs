@@ -1,0 +1,348 @@
+//! Attestation-bindable secure channel.
+//!
+//! Stand-in for the TLS channel SCONE enclaves open to CAS and the
+//! wireguard tunnel of SGX-LKL (§2.3). The construction:
+//!
+//! 1. The server holds a long-lived RSA *channel key*. Its public-key
+//!    fingerprint is the **channel binding**: an attested server puts
+//!    `H(channel public key)` in its quote's `reportdata`, so a
+//!    verifier can check the channel terminates inside the attested
+//!    enclave (RA-TLS pattern, §3.3.1).
+//! 2. The client encapsulates a fresh secret to that key (RSA-KEM) and
+//!    both sides derive directional ChaCha20-Poly1305 record keys.
+//! 3. Records carry monotonic sequence numbers as AEAD nonces; any
+//!    reorder, replay or tamper is rejected.
+//!
+//! The channel authenticates the *server key*, not the server's
+//! honesty: exactly like TLS-with-RA, a MITM can terminate the channel
+//! with their own key — and will then present a key fingerprint that
+//! must survive attestation. That gap is the paper's attack surface.
+
+use crate::bus::Connection;
+use crate::error::NetError;
+use crate::wire::{Decode, Encode, Reader};
+use rand::RngCore;
+use sinclave_crypto::aead::{self, AeadKey, Nonce};
+use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use sinclave_crypto::sha256::{self, Digest};
+
+/// Client hello: protocol version and a client nonce.
+struct ClientHello {
+    version: u16,
+    client_nonce: [u8; 32],
+}
+
+impl Encode for ClientHello {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.version.encode_into(out);
+        self.client_nonce.encode_into(out);
+    }
+}
+
+impl Decode for ClientHello {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+        Ok(ClientHello {
+            version: u16::decode(reader)?,
+            client_nonce: <[u8; 32]>::decode(reader)?,
+        })
+    }
+}
+
+/// Server hello: the channel public key and a server nonce.
+struct ServerHello {
+    server_key: Vec<u8>,
+    server_nonce: [u8; 32],
+}
+
+impl Encode for ServerHello {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.server_key.encode_into(out);
+        self.server_nonce.encode_into(out);
+    }
+}
+
+impl Decode for ServerHello {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+        Ok(ServerHello {
+            server_key: Vec::<u8>::decode(reader)?,
+            server_nonce: <[u8; 32]>::decode(reader)?,
+        })
+    }
+}
+
+const VERSION: u16 = 1;
+
+/// An established secure channel.
+///
+/// Created by [`SecureChannel::server_accept`] /
+/// [`SecureChannel::client_connect`]; afterwards both ends exchange
+/// authenticated encrypted records with [`send`] / [`recv`].
+///
+/// [`send`]: SecureChannel::send
+/// [`recv`]: SecureChannel::recv
+#[derive(Debug)]
+pub struct SecureChannel {
+    conn: Connection,
+    send_key: AeadKey,
+    recv_key: AeadKey,
+    send_seq: u64,
+    recv_seq: u64,
+    server_key_fingerprint: Digest,
+    transcript: Digest,
+}
+
+impl SecureChannel {
+    /// Server side of the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::HandshakeFailed`] on protocol violations and
+    /// propagates transport errors.
+    pub fn server_accept<R: RngCore + ?Sized>(
+        conn: Connection,
+        channel_key: &RsaPrivateKey,
+        rng: &mut R,
+    ) -> Result<SecureChannel, NetError> {
+        let hello = ClientHello::decode_all(&conn.recv()?)?;
+        if hello.version != VERSION {
+            return Err(NetError::HandshakeFailed { reason: "version mismatch" });
+        }
+        let mut server_nonce = [0u8; 32];
+        rng.fill_bytes(&mut server_nonce);
+        let server_hello = ServerHello {
+            server_key: channel_key.public_key().to_bytes(),
+            server_nonce,
+        };
+        conn.send(server_hello.encode())?;
+
+        let kem_ct = Vec::<u8>::decode_all(&conn.recv()?)?;
+        let shared = channel_key
+            .kem_decapsulate(&kem_ct)
+            .map_err(|_| NetError::HandshakeFailed { reason: "kem decapsulation" })?;
+
+        let fingerprint = channel_key.public_key().fingerprint();
+        let (c2s, s2c, transcript) =
+            derive_keys(&shared, &hello.client_nonce, &server_nonce, &fingerprint);
+        Ok(SecureChannel {
+            conn,
+            send_key: s2c,
+            recv_key: c2s,
+            send_seq: 0,
+            recv_seq: 0,
+            server_key_fingerprint: fingerprint,
+            transcript,
+        })
+    }
+
+    /// Client side of the handshake.
+    ///
+    /// The caller must check [`server_key_fingerprint`] against
+    /// attestation evidence before trusting the channel — the
+    /// handshake itself accepts *any* server key.
+    ///
+    /// [`server_key_fingerprint`]: SecureChannel::server_key_fingerprint
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::HandshakeFailed`] on protocol violations and
+    /// propagates transport errors.
+    pub fn client_connect<R: RngCore + ?Sized>(
+        conn: Connection,
+        rng: &mut R,
+    ) -> Result<SecureChannel, NetError> {
+        let mut client_nonce = [0u8; 32];
+        rng.fill_bytes(&mut client_nonce);
+        conn.send(ClientHello { version: VERSION, client_nonce }.encode())?;
+
+        let server_hello = ServerHello::decode_all(&conn.recv()?)?;
+        let server_key = RsaPublicKey::from_bytes(&server_hello.server_key)
+            .map_err(|_| NetError::HandshakeFailed { reason: "server key malformed" })?;
+        let (kem_ct, shared) = server_key
+            .kem_encapsulate(rng)
+            .map_err(|_| NetError::HandshakeFailed { reason: "kem encapsulation" })?;
+        conn.send(kem_ct.encode())?;
+
+        let fingerprint = server_key.fingerprint();
+        let (c2s, s2c, transcript) =
+            derive_keys(&shared, &client_nonce, &server_hello.server_nonce, &fingerprint);
+        Ok(SecureChannel {
+            conn,
+            send_key: c2s,
+            recv_key: s2c,
+            send_seq: 0,
+            recv_seq: 0,
+            server_key_fingerprint: fingerprint,
+            transcript,
+        })
+    }
+
+    /// Fingerprint of the server's channel key — the value an attested
+    /// enclave embeds in `reportdata` (the channel binding).
+    #[must_use]
+    pub fn server_key_fingerprint(&self) -> Digest {
+        self.server_key_fingerprint
+    }
+
+    /// A hash of the handshake transcript (keys and nonces); equal on
+    /// both ends of one handshake, distinct across handshakes.
+    #[must_use]
+    pub fn transcript(&self) -> Digest {
+        self.transcript
+    }
+
+    /// Sends one encrypted, authenticated record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send(&mut self, plaintext: &[u8]) -> Result<(), NetError> {
+        let nonce = Nonce::from_parts(0, self.send_seq);
+        let record = aead::seal(&self.send_key, nonce, &self.send_seq.to_be_bytes(), plaintext);
+        self.send_seq += 1;
+        self.conn.send(record)
+    }
+
+    /// Receives one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RecordCorrupt`] on tampered, replayed or
+    /// reordered records; propagates transport errors.
+    pub fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        let record = self.conn.recv()?;
+        let nonce = Nonce::from_parts(0, self.recv_seq);
+        let plaintext = aead::open(&self.recv_key, nonce, &self.recv_seq.to_be_bytes(), &record)
+            .map_err(|_| NetError::RecordCorrupt)?;
+        self.recv_seq += 1;
+        Ok(plaintext)
+    }
+}
+
+/// Derives directional keys and a transcript hash.
+fn derive_keys(
+    shared: &[u8; 32],
+    client_nonce: &[u8; 32],
+    server_nonce: &[u8; 32],
+    server_key_fp: &Digest,
+) -> (AeadKey, AeadKey, Digest) {
+    let mut context = Vec::with_capacity(96 + 32);
+    context.extend_from_slice(client_nonce);
+    context.extend_from_slice(server_nonce);
+    context.extend_from_slice(server_key_fp.as_bytes());
+    let c2s = AeadKey::new(sinclave_crypto::hkdf::derive(
+        shared,
+        &context,
+        b"channel client->server",
+    ));
+    let s2c = AeadKey::new(sinclave_crypto::hkdf::derive(
+        shared,
+        &context,
+        b"channel server->client",
+    ));
+    let transcript = sha256::digest_parts(&[b"transcript", shared, &context]);
+    (c2s, s2c, transcript)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::Connection;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn channel_key(seed: u64) -> RsaPrivateKey {
+        RsaPrivateKey::generate(&mut StdRng::seed_from_u64(seed), 1024).unwrap()
+    }
+
+    fn handshake(key: &RsaPrivateKey) -> (SecureChannel, SecureChannel) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SESSION: AtomicU64 = AtomicU64::new(0);
+        let session = SESSION.fetch_add(1, Ordering::Relaxed);
+        let (client_conn, server_conn) = Connection::pair();
+        let key = key.clone();
+        let server = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(1000 + session);
+            SecureChannel::server_accept(server_conn, &key, &mut rng).unwrap()
+        });
+        let mut rng = StdRng::seed_from_u64(2000 + session);
+        let client = SecureChannel::client_connect(client_conn, &mut rng).unwrap();
+        (client, server.join().unwrap())
+    }
+
+    #[test]
+    fn bidirectional_exchange() {
+        let key = channel_key(10);
+        let (mut client, mut server) = handshake(&key);
+        client.send(b"config please").unwrap();
+        assert_eq!(server.recv().unwrap(), b"config please");
+        server.send(b"here are your secrets").unwrap();
+        assert_eq!(client.recv().unwrap(), b"here are your secrets");
+        // Several records in sequence.
+        for i in 0..10u8 {
+            client.send(&[i]).unwrap();
+            assert_eq!(server.recv().unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn fingerprint_matches_server_key() {
+        let key = channel_key(11);
+        let (client, server) = handshake(&key);
+        assert_eq!(client.server_key_fingerprint(), key.public_key().fingerprint());
+        assert_eq!(server.server_key_fingerprint(), key.public_key().fingerprint());
+        assert_eq!(client.transcript(), server.transcript());
+    }
+
+    #[test]
+    fn sessions_have_distinct_transcripts() {
+        let key = channel_key(12);
+        let (c1, _s1) = handshake(&key);
+        let (c2, _s2) = handshake(&key);
+        assert_ne!(c1.transcript(), c2.transcript());
+    }
+
+    #[test]
+    fn tampered_record_rejected() {
+        let key = channel_key(13);
+        let (mut client, mut server) = handshake(&key);
+        client.send(b"ok").unwrap();
+        // Reach under the channel and corrupt the next record.
+        client.send(b"will be tampered").unwrap();
+        let _ok = server.recv().unwrap();
+        // Tamper by replacing the connection message: simulate by
+        // sending garbage straight on the transport.
+        server.conn.send(vec![0u8; 32]).ok();
+        let mut client = client;
+        assert_eq!(client.recv(), Err(NetError::RecordCorrupt));
+    }
+
+    #[test]
+    fn mitm_changes_fingerprint() {
+        // A MITM terminating the channel with their own key succeeds at
+        // the handshake level — but the fingerprint seen by the client
+        // is the MITM's, which attestation binding must catch.
+        let honest_key = channel_key(14);
+        let mitm_key = channel_key(15);
+        let (client, _server) = handshake(&mitm_key);
+        assert_ne!(
+            client.server_key_fingerprint(),
+            honest_key.public_key().fingerprint()
+        );
+    }
+
+    #[test]
+    fn replayed_record_rejected() {
+        let key = channel_key(16);
+        let (mut client, server) = handshake(&key);
+        client.send(b"one").unwrap();
+        let raw = server.conn.recv().unwrap();
+        // Deliver the same ciphertext again: seq mismatch -> corrupt.
+        let nonce = Nonce::from_parts(0, 0);
+        let plain = aead::open(&server.recv_key, nonce, &0u64.to_be_bytes(), &raw).unwrap();
+        assert_eq!(plain, b"one");
+        // Reflect the same ciphertext to the client: wrong direction
+        // key and sequence — must be rejected, not decrypted.
+        server.conn.send(raw).ok();
+        assert_eq!(client.recv(), Err(NetError::RecordCorrupt));
+    }
+}

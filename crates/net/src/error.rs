@@ -1,0 +1,65 @@
+//! Error type for the in-process network and secure channels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by network and channel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// No listener is bound at the requested address.
+    AddressUnreachable {
+        /// The address that was dialed.
+        address: String,
+    },
+    /// The peer closed the connection.
+    Disconnected,
+    /// No message arrived within the receive timeout.
+    Timeout,
+    /// A secure-channel handshake failed.
+    HandshakeFailed {
+        /// Non-secret failure description.
+        reason: &'static str,
+    },
+    /// A secure-channel record failed to authenticate.
+    RecordCorrupt,
+    /// A wire message could not be decoded.
+    Decode {
+        /// What was being decoded.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::AddressUnreachable { address } => {
+                write!(f, "no listener at address {address:?}")
+            }
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::HandshakeFailed { reason } => write!(f, "handshake failed: {reason}"),
+            NetError::RecordCorrupt => write!(f, "secure channel record corrupt"),
+            NetError::Decode { context } => write!(f, "failed to decode {context}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_address() {
+        let e = NetError::AddressUnreachable { address: "cas:4433".into() };
+        assert!(e.to_string().contains("cas:4433"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

@@ -1,0 +1,30 @@
+//! In-process networking for the SinClave reproduction.
+//!
+//! The paper's attack (§3) is a *protocol-level* machine-in-the-middle:
+//! the adversary controls the host's network stack, intercepts
+//! attestation traffic, redirects connections to impersonators, and
+//! forwards what suits them. An in-process message network with an
+//! explicitly adversary-programmable switch reproduces this
+//! deterministically:
+//!
+//! * [`bus`] — addressable listeners, connections, and adversary
+//!   controls (redirect, wiretap).
+//! * [`wire`] — deterministic binary encoding for protocol messages
+//!   (no serde: every byte on the wire must be reproducible because
+//!   some of it is hashed into attestation evidence).
+//! * [`channel`] — an attestation-bindable secure channel (RSA-KEM +
+//!   ChaCha20-Poly1305), the stand-in for SCONE's TLS and SGX-LKL's
+//!   wireguard: the server's key fingerprint is what enclaves embed in
+//!   `reportdata`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod channel;
+pub mod error;
+pub mod wire;
+
+pub use bus::{Connection, Listener, Network};
+pub use channel::SecureChannel;
+pub use error::NetError;

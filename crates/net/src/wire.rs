@@ -1,0 +1,290 @@
+//! Deterministic binary wire encoding.
+//!
+//! Protocol messages must encode identically on every machine and
+//! every run: parts of them are hashed into attestation evidence
+//! (channel bindings, singleton pages), so a general-purpose serializer
+//! with unstable layout guarantees is not acceptable. This module
+//! provides a small explicit TLV-free codec: values encode as
+//! fixed-width big-endian integers and length-prefixed byte strings.
+
+use crate::error::NetError;
+
+/// Serializes a value into a deterministic byte string.
+pub trait Encode {
+    /// Appends the encoding of `self` to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Deserializes a value from a [`Reader`].
+pub trait Decode: Sized {
+    /// Reads one value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Decode`] on malformed or truncated input.
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError>;
+
+    /// Convenience: decodes a value that must consume the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Decode`] on malformed input or trailing bytes.
+    fn decode_all(bytes: &[u8]) -> Result<Self, NetError> {
+        let mut reader = Reader::new(bytes);
+        let value = Self::decode(&mut reader)?;
+        reader.finish()?;
+        Ok(value)
+    }
+}
+
+/// A cursor over a byte buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes }
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Decode`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.bytes.len() < n {
+            return Err(NetError::Decode { context: "truncated input" });
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Ok(head)
+    }
+
+    /// Remaining unread bytes.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Asserts the buffer was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Decode`] if bytes remain.
+    pub fn finish(&self) -> Result<(), NetError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(NetError::Decode { context: "trailing bytes" })
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_be_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+                let bytes = reader.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_be_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64);
+
+impl Encode for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl Decode for bool {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+        match u8::decode(reader)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(NetError::Decode { context: "bool" }),
+        }
+    }
+}
+
+impl Encode for [u8] {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_be_bytes());
+        out.extend_from_slice(self);
+    }
+}
+
+// Note: `Vec<u8>` is covered by the generic `Vec<T: Encode>` impls
+// below and produces the same bytes as `[u8]::encode_into` (a length
+// prefix followed by the raw bytes).
+
+impl Encode for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_bytes().encode_into(out);
+    }
+}
+
+impl Decode for String {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+        let bytes = Vec::<u8>::decode(reader)?;
+        String::from_utf8(bytes).map_err(|_| NetError::Decode { context: "utf-8 string" })
+    }
+}
+
+impl<const N: usize> Encode for [u8; N] {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+}
+
+impl<const N: usize> Decode for [u8; N] {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+        let bytes = reader.take(N)?;
+        Ok(bytes.try_into().expect("sized take"))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+        match u8::decode(reader)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(reader)?)),
+            _ => Err(NetError::Decode { context: "option tag" }),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_be_bytes());
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+        let len = u32::decode(reader)? as usize;
+        // Guard against absurd allocations from corrupt input.
+        if len > reader.remaining() {
+            return Err(NetError::Decode { context: "vector length" });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(reader)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_roundtrips() {
+        let mut out = Vec::new();
+        0x1234_5678_9abc_def0u64.encode_into(&mut out);
+        0xcafeu16.encode_into(&mut out);
+        true.encode_into(&mut out);
+        let mut r = Reader::new(&out);
+        assert_eq!(u64::decode(&mut r).unwrap(), 0x1234_5678_9abc_def0);
+        assert_eq!(u16::decode(&mut r).unwrap(), 0xcafe);
+        assert!(bool::decode(&mut r).unwrap());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn byte_string_roundtrip() {
+        let v = vec![1u8, 2, 3];
+        let decoded = Vec::<u8>::decode_all(&v.encode()).unwrap();
+        assert_eq!(decoded, v);
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(Vec::<u8>::decode_all(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn string_roundtrip_and_utf8_validation() {
+        let s = "hello wörld".to_owned();
+        assert_eq!(String::decode_all(&s.encode()).unwrap(), s);
+        let bad = vec![0u8, 0, 0, 2, 0xff, 0xfe];
+        assert_eq!(
+            String::decode_all(&bad),
+            Err(NetError::Decode { context: "utf-8 string" })
+        );
+    }
+
+    #[test]
+    fn fixed_array_roundtrip() {
+        let a = [9u8; 16];
+        assert_eq!(<[u8; 16]>::decode_all(&a.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u32> = Some(7);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::decode_all(&some.encode()).unwrap(), some);
+        assert_eq!(Option::<u32>::decode_all(&none.encode()).unwrap(), none);
+        assert!(Option::<u32>::decode_all(&[2]).is_err());
+    }
+
+    #[test]
+    fn vec_of_values_roundtrip() {
+        let v = vec![1u16, 2, 3];
+        assert_eq!(Vec::<u16>::decode_all(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn truncation_and_trailing_rejected() {
+        let v = vec![1u8, 2, 3];
+        let enc = v.encode();
+        assert!(Vec::<u8>::decode_all(&enc[..enc.len() - 1]).is_err());
+        let mut padded = enc.clone();
+        padded.push(0);
+        assert!(Vec::<u8>::decode_all(&padded).is_err());
+    }
+
+    #[test]
+    fn hostile_length_rejected_without_allocation() {
+        // Length claims 4 GiB but only 4 bytes follow.
+        let bytes = [0xffu8, 0xff, 0xff, 0xff, 1, 2, 3, 4];
+        assert!(Vec::<u16>::decode_all(&bytes).is_err());
+    }
+
+    #[test]
+    fn bool_rejects_invalid() {
+        assert!(bool::decode_all(&[7]).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Error type for the enclave runtimes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by runtime startup, attestation and app execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The verifier denied attestation or configuration.
+    AttestationDenied {
+        /// Reason given by the verifier.
+        reason: String,
+    },
+    /// The instance page pins a different verifier than the one the
+    /// channel terminates at — the SinClave identity check fired.
+    VerifierIdentityMismatch,
+    /// The runtime expected a singleton instance page but found a
+    /// common (zeroed) one, or vice versa.
+    InstancePageUnexpected {
+        /// What the runtime found.
+        found: &'static str,
+    },
+    /// The app volume could not be opened with the provisioned key.
+    VolumeRejected,
+    /// A script failed to parse.
+    ScriptParse {
+        /// Line number (1-based).
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A script failed at runtime.
+    ScriptRuntime {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The script exceeded its execution budget.
+    StepBudgetExhausted,
+    /// The protocol with the verifier derailed.
+    ProtocolViolation {
+        /// What was expected/received.
+        context: &'static str,
+    },
+    /// An underlying layer failed.
+    Sinclave(sinclave::SinclaveError),
+    /// SGX failure.
+    Sgx(sinclave_sgx::SgxError),
+    /// Network failure.
+    Net(sinclave_net::NetError),
+    /// Filesystem failure.
+    Fs(sinclave_fs::FsError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::AttestationDenied { reason } => {
+                write!(f, "attestation denied: {reason}")
+            }
+            RuntimeError::VerifierIdentityMismatch => {
+                write!(f, "channel does not terminate at the pinned verifier")
+            }
+            RuntimeError::InstancePageUnexpected { found } => {
+                write!(f, "unexpected instance page state: {found}")
+            }
+            RuntimeError::VolumeRejected => write!(f, "volume key rejected"),
+            RuntimeError::ScriptParse { line, reason } => {
+                write!(f, "script parse error at line {line}: {reason}")
+            }
+            RuntimeError::ScriptRuntime { reason } => write!(f, "script error: {reason}"),
+            RuntimeError::StepBudgetExhausted => write!(f, "script step budget exhausted"),
+            RuntimeError::ProtocolViolation { context } => {
+                write!(f, "protocol violation: {context}")
+            }
+            RuntimeError::Sinclave(e) => write!(f, "sinclave: {e}"),
+            RuntimeError::Sgx(e) => write!(f, "sgx: {e}"),
+            RuntimeError::Net(e) => write!(f, "net: {e}"),
+            RuntimeError::Fs(e) => write!(f, "fs: {e}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Sinclave(e) => Some(e),
+            RuntimeError::Sgx(e) => Some(e),
+            RuntimeError::Net(e) => Some(e),
+            RuntimeError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sinclave::SinclaveError> for RuntimeError {
+    fn from(e: sinclave::SinclaveError) -> Self {
+        RuntimeError::Sinclave(e)
+    }
+}
+
+impl From<sinclave_sgx::SgxError> for RuntimeError {
+    fn from(e: sinclave_sgx::SgxError) -> Self {
+        RuntimeError::Sgx(e)
+    }
+}
+
+impl From<sinclave_net::NetError> for RuntimeError {
+    fn from(e: sinclave_net::NetError) -> Self {
+        RuntimeError::Net(e)
+    }
+}
+
+impl From<sinclave_fs::FsError> for RuntimeError {
+    fn from(e: sinclave_fs::FsError) -> Self {
+        RuntimeError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: RuntimeError = sinclave_net::NetError::Timeout.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("net"));
+        assert!(RuntimeError::VerifierIdentityMismatch.source().is_none());
+    }
+}

@@ -1,0 +1,453 @@
+//! The SinScript interpreter — the in-enclave application engine.
+//!
+//! Executes [`crate::script::Script`]s against a capability context:
+//! the provisioned configuration, an optional mounted volume, the
+//! network, and a report-generation capability (the `EREPORT` syscall
+//! surface that the paper's attack turns into a *report server*).
+
+use crate::error::RuntimeError;
+use crate::script::{ComputeKind, Instr, Script, Value};
+use parking_lot::Mutex;
+use sinclave::AppConfig;
+use sinclave_crypto::aead::AeadKey;
+use sinclave_crypto::sha256;
+use sinclave_fs::Volume;
+use sinclave_net::{Connection, Listener, Network};
+use sinclave_sgx::enclave::Enclave;
+use sinclave_sgx::report::{ReportData, TargetInfo, REPORT_DATA_LEN};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A volume shared between host (which persists it) and enclave
+/// runtime (which reads it through its key).
+pub type SharedVolume = Arc<Mutex<Volume>>;
+
+/// Report-generation capability available to scripts.
+#[derive(Clone)]
+pub enum Reporter {
+    /// `getreport` is unavailable (plain, non-enclave execution).
+    Disabled,
+    /// `getreport` produces reports from this enclave toward the
+    /// platform's quoting enclave.
+    Enclave {
+        /// The enclave scripts run inside of.
+        enclave: Arc<Enclave>,
+        /// Target info of the quoting enclave.
+        qe_target: TargetInfo,
+    },
+}
+
+impl fmt::Debug for Reporter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reporter::Disabled => f.write_str("Reporter::Disabled"),
+            Reporter::Enclave { .. } => f.write_str("Reporter::Enclave"),
+        }
+    }
+}
+
+/// Everything a script execution may touch.
+pub struct ExecContext {
+    /// The provisioned configuration (args, env, secrets).
+    pub config: AppConfig,
+    /// Mounted application volume, if any.
+    pub volume: Option<(SharedVolume, AeadKey)>,
+    /// The network.
+    pub network: Network,
+    /// Report capability.
+    pub reporter: Reporter,
+    /// Execution budget in interpreter steps.
+    pub max_steps: u64,
+}
+
+impl ExecContext {
+    /// A minimal context without volume, network peers or reports.
+    #[must_use]
+    pub fn bare(network: Network) -> Self {
+        ExecContext {
+            config: AppConfig::default(),
+            volume: None,
+            network,
+            reporter: Reporter::Disabled,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// The result of a completed execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOutcome {
+    /// Lines printed by the script.
+    pub stdout: Vec<String>,
+    /// Final variable bindings.
+    pub vars: HashMap<String, Vec<u8>>,
+    /// Interpreter steps consumed.
+    pub steps: u64,
+}
+
+impl ExecOutcome {
+    /// Convenience: a variable as UTF-8 (lossy).
+    #[must_use]
+    pub fn var_text(&self, name: &str) -> Option<String> {
+        self.vars.get(name).map(|v| String::from_utf8_lossy(v).into_owned())
+    }
+}
+
+const MAX_IMPORT_DEPTH: usize = 8;
+
+struct Interp<'a> {
+    ctx: &'a mut ExecContext,
+    vars: HashMap<String, Vec<u8>>,
+    stdout: Vec<String>,
+    listener: Option<Listener>,
+    conn: Option<Connection>,
+    steps: u64,
+}
+
+/// Executes a script to completion.
+///
+/// # Errors
+///
+/// Propagates parse-free runtime failures: missing files, missing
+/// variables, exhausted budgets, I/O errors, failed assertions.
+pub fn execute(script: &Script, ctx: &mut ExecContext) -> Result<ExecOutcome, RuntimeError> {
+    let mut interp = Interp {
+        ctx,
+        vars: HashMap::new(),
+        stdout: Vec::new(),
+        listener: None,
+        conn: None,
+        steps: 0,
+    };
+    interp.run(script, 0)?;
+    Ok(ExecOutcome { stdout: interp.stdout, vars: interp.vars, steps: interp.steps })
+}
+
+impl Interp<'_> {
+    fn run(&mut self, script: &Script, depth: usize) -> Result<(), RuntimeError> {
+        if depth > MAX_IMPORT_DEPTH {
+            return Err(RuntimeError::ScriptRuntime { reason: "import depth exceeded".into() });
+        }
+        for instr in &script.instrs {
+            self.steps += 1;
+            if self.steps > self.ctx.max_steps {
+                return Err(RuntimeError::StepBudgetExhausted);
+            }
+            self.step(instr, depth)?;
+        }
+        Ok(())
+    }
+
+    fn value(&self, v: &Value) -> Result<Vec<u8>, RuntimeError> {
+        match v {
+            Value::Text(t) => Ok(t.clone().into_bytes()),
+            Value::Bytes(b) => Ok(b.clone()),
+            Value::Var(name) => self.vars.get(name).cloned().ok_or_else(|| {
+                RuntimeError::ScriptRuntime { reason: format!("undefined variable ${name}") }
+            }),
+        }
+    }
+
+    fn value_text(&self, v: &Value) -> Result<String, RuntimeError> {
+        String::from_utf8(self.value(v)?).map_err(|_| RuntimeError::ScriptRuntime {
+            reason: "value is not valid utf-8".into(),
+        })
+    }
+
+    fn volume(&self) -> Result<(SharedVolume, AeadKey), RuntimeError> {
+        self.ctx
+            .volume
+            .clone()
+            .ok_or_else(|| RuntimeError::ScriptRuntime { reason: "no volume mounted".into() })
+    }
+
+    fn conn(&self) -> Result<&Connection, RuntimeError> {
+        self.conn
+            .as_ref()
+            .ok_or_else(|| RuntimeError::ScriptRuntime { reason: "no open connection".into() })
+    }
+
+    fn step(&mut self, instr: &Instr, depth: usize) -> Result<(), RuntimeError> {
+        match instr {
+            Instr::Print(v) => {
+                let bytes = self.value(v)?;
+                self.stdout.push(String::from_utf8_lossy(&bytes).into_owned());
+            }
+            Instr::Set { var, value } => {
+                let bytes = self.value(value)?;
+                self.vars.insert(var.clone(), bytes);
+            }
+            Instr::Concat { a, b, into } => {
+                let mut bytes = self.value(a)?;
+                bytes.extend_from_slice(&self.value(b)?);
+                self.vars.insert(into.clone(), bytes);
+            }
+            Instr::Read { path, into } => {
+                let path = self.value_text(path)?;
+                let (vol, key) = self.volume()?;
+                let data = vol.lock().read_file(&key, &path)?;
+                self.vars.insert(into.clone(), data);
+            }
+            Instr::Write { path, data } => {
+                let path = self.value_text(path)?;
+                let bytes = self.value(data)?;
+                let (vol, key) = self.volume()?;
+                vol.lock().write_file(&key, &path, &bytes)?;
+            }
+            Instr::Import { path } => {
+                let path = self.value_text(path)?;
+                let (vol, key) = self.volume()?;
+                let source = vol.lock().read_file(&key, &path)?;
+                let source = String::from_utf8(source).map_err(|_| {
+                    RuntimeError::ScriptRuntime { reason: "imported file is not utf-8".into() }
+                })?;
+                let imported = Script::parse(&source)?;
+                self.run(&imported, depth + 1)?;
+            }
+            Instr::GetReport { data, into } => {
+                let data = self.value(data)?;
+                if data.len() > REPORT_DATA_LEN {
+                    return Err(RuntimeError::ScriptRuntime {
+                        reason: "report data longer than 64 bytes".into(),
+                    });
+                }
+                let Reporter::Enclave { enclave, qe_target } = self.ctx.reporter.clone() else {
+                    return Err(RuntimeError::ScriptRuntime {
+                        reason: "getreport unavailable outside an enclave".into(),
+                    });
+                };
+                let report = enclave.ereport(&qe_target, ReportData::from_slice(&data));
+                self.vars.insert(into.clone(), report.to_bytes());
+            }
+            Instr::Listen { addr } => {
+                let addr = self.value_text(addr)?;
+                self.listener = Some(self.ctx.network.listen(&addr));
+            }
+            Instr::Accept => {
+                let listener = self.listener.as_ref().ok_or_else(|| {
+                    RuntimeError::ScriptRuntime { reason: "accept without listen".into() }
+                })?;
+                self.conn = Some(listener.accept()?);
+            }
+            Instr::Connect { addr } => {
+                let addr = self.value_text(addr)?;
+                self.conn = Some(self.ctx.network.connect(&addr)?);
+            }
+            Instr::RecvMsg { into } => {
+                let msg = self.conn()?.recv()?;
+                self.vars.insert(into.clone(), msg);
+            }
+            Instr::SendMsg { data } => {
+                let bytes = self.value(data)?;
+                self.conn()?.send(bytes)?;
+            }
+            Instr::Env { name, into } => {
+                let name = self.value_text(name)?;
+                let value = self.ctx.config.env_var(&name).ok_or_else(|| {
+                    RuntimeError::ScriptRuntime { reason: format!("env var {name} unset") }
+                })?;
+                self.vars.insert(into.clone(), value.as_bytes().to_vec());
+            }
+            Instr::Arg { index, into } => {
+                let value = self.ctx.config.args.get(*index).ok_or_else(|| {
+                    RuntimeError::ScriptRuntime { reason: format!("argument {index} missing") }
+                })?;
+                self.vars.insert(into.clone(), value.as_bytes().to_vec());
+            }
+            Instr::Secret { name, into } => {
+                let name = self.value_text(name)?;
+                let value = self.ctx.config.secret(&name).ok_or_else(|| {
+                    RuntimeError::ScriptRuntime { reason: format!("secret {name} absent") }
+                })?;
+                self.vars.insert(into.clone(), value.to_vec());
+            }
+            Instr::Compute { kind, n, into } => {
+                let digest = compute(*kind, *n);
+                self.vars.insert(into.clone(), digest);
+            }
+            Instr::AssertEq { a, b } => {
+                let av = self.value(a)?;
+                let bv = self.value(b)?;
+                if av != bv {
+                    return Err(RuntimeError::ScriptRuntime {
+                        reason: "assertion failed".into(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic compute kernels (the Fig. 9 workload bodies).
+#[must_use]
+pub fn compute(kind: ComputeKind, n: u64) -> Vec<u8> {
+    match kind {
+        ComputeKind::Mix => {
+            let mut x = 0x9e37_79b9_7f4a_7c15u64 ^ n;
+            for i in 0..n.saturating_mul(10_000) {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407 ^ i);
+                x ^= x >> 29;
+            }
+            x.to_be_bytes().to_vec()
+        }
+        ComputeKind::Matmul => matmul_digest(n as usize, 1),
+        ComputeKind::Train => matmul_digest((n as usize).max(2) / 2 + 8, 6),
+    }
+}
+
+/// Fixed-point `n×n` matmul repeated for `epochs`, folded to a digest.
+fn matmul_digest(n: usize, epochs: usize) -> Vec<u8> {
+    let n = n.max(1);
+    let a: Vec<i64> = (0..n * n).map(|i| ((i * 31 + 7) % 127) as i64 - 63).collect();
+    let mut w: Vec<i64> = (0..n * n).map(|i| ((i * 17 + 3) % 101) as i64 - 50).collect();
+    for epoch in 0..epochs {
+        let mut next = vec![0i64; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let aik = a[i * n + k];
+                for j in 0..n {
+                    next[i * n + j] = next[i * n + j].wrapping_add(aik.wrapping_mul(w[k * n + j]));
+                }
+            }
+        }
+        // "weight update": rescale to keep values bounded.
+        for v in &mut next {
+            *v = (*v % 1009) + epoch as i64;
+        }
+        w = next;
+    }
+    let bytes: Vec<u8> = w.iter().flat_map(|v| v.to_be_bytes()).collect();
+    sha256::digest(&bytes).as_bytes().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with_volume() -> ExecContext {
+        let key = AeadKey::new([1; 32]);
+        let mut vol = Volume::format(&key, "app");
+        vol.write_file(&key, "lib.ss", b"set fromlib loaded").unwrap();
+        vol.write_file(&key, "data.txt", b"file content").unwrap();
+        let mut ctx = ExecContext::bare(Network::new());
+        ctx.volume = Some((Arc::new(Mutex::new(vol)), key));
+        ctx.config = AppConfig {
+            entry: "main".into(),
+            args: vec!["--verbose".into()],
+            env: vec![("MODE".into(), "prod".into())],
+            volume_key: None,
+            secrets: vec![("api-key".into(), b"s3cr3t".to_vec())],
+        };
+        ctx
+    }
+
+    fn run(src: &str, ctx: &mut ExecContext) -> Result<ExecOutcome, RuntimeError> {
+        execute(&Script::parse(src).unwrap(), ctx)
+    }
+
+    #[test]
+    fn print_set_concat() {
+        let mut ctx = ExecContext::bare(Network::new());
+        let out = run("set a foo\nset b bar\nconcat $a $b -> c\nprint $c", &mut ctx).unwrap();
+        assert_eq!(out.stdout, vec!["foobar"]);
+        assert_eq!(out.var_text("c").unwrap(), "foobar");
+    }
+
+    #[test]
+    fn volume_read_write_import() {
+        let mut ctx = ctx_with_volume();
+        let out = run(
+            "read data.txt -> d\nprint $d\nimport lib.ss\nprint $fromlib\nwrite out.txt $d",
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(out.stdout, vec!["file content", "loaded"]);
+        let (vol, key) = ctx.volume.clone().unwrap();
+        assert_eq!(vol.lock().read_file(&key, "out.txt").unwrap(), b"file content");
+    }
+
+    #[test]
+    fn config_accessors() {
+        let mut ctx = ctx_with_volume();
+        let out = run(
+            "env MODE -> m\narg 0 -> a\nsecret api-key -> s\nprint $m\nprint $a\nprint $s",
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(out.stdout, vec!["prod", "--verbose", "s3cr3t"]);
+    }
+
+    #[test]
+    fn missing_lookups_fail() {
+        let mut ctx = ExecContext::bare(Network::new());
+        assert!(run("print $nope", &mut ctx).is_err());
+        assert!(run("env HOME -> x", &mut ctx).is_err());
+        assert!(run("secret nope -> x", &mut ctx).is_err());
+        assert!(run("arg 3 -> x", &mut ctx).is_err());
+        assert!(run("read f -> x", &mut ctx).is_err(), "no volume mounted");
+        assert!(run("recvmsg -> x", &mut ctx).is_err(), "no connection");
+        assert!(run("accept", &mut ctx).is_err(), "no listener");
+    }
+
+    #[test]
+    fn getreport_disabled_outside_enclave() {
+        let mut ctx = ExecContext::bare(Network::new());
+        let err = run("getreport hex:01 -> r", &mut ctx).unwrap_err();
+        assert!(matches!(err, RuntimeError::ScriptRuntime { .. }));
+    }
+
+    #[test]
+    fn network_between_two_scripts() {
+        let network = Network::new();
+        let server_net = network.clone();
+        let server = std::thread::spawn(move || {
+            let mut ctx = ExecContext::bare(server_net);
+            run("listen echo:1\naccept\nrecvmsg -> m\nsendmsg $m", &mut ctx).unwrap()
+        });
+        // Give the server a moment to bind.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut ctx = ExecContext::bare(network);
+        let out = run("connect echo:1\nsendmsg ping\nrecvmsg -> r\nprint $r", &mut ctx).unwrap();
+        server.join().unwrap();
+        assert_eq!(out.stdout, vec!["ping"]);
+    }
+
+    #[test]
+    fn assert_eq_behaviour() {
+        let mut ctx = ExecContext::bare(Network::new());
+        assert!(run("set a x\nassert_eq $a x", &mut ctx).is_ok());
+        assert!(run("set a x\nassert_eq $a y", &mut ctx).is_err());
+    }
+
+    #[test]
+    fn compute_is_deterministic_and_kind_sensitive() {
+        let a = compute(ComputeKind::Matmul, 16);
+        let b = compute(ComputeKind::Matmul, 16);
+        assert_eq!(a, b);
+        assert_ne!(compute(ComputeKind::Matmul, 16), compute(ComputeKind::Matmul, 17));
+        assert_ne!(compute(ComputeKind::Mix, 4), compute(ComputeKind::Train, 4));
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        let mut ctx = ExecContext::bare(Network::new());
+        ctx.max_steps = 3;
+        let err = run("set a 1\nset b 2\nset c 3\nset d 4", &mut ctx).unwrap_err();
+        assert_eq!(err, RuntimeError::StepBudgetExhausted);
+    }
+
+    #[test]
+    fn import_depth_limited() {
+        let key = AeadKey::new([2; 32]);
+        let mut vol = Volume::format(&key, "loop");
+        vol.write_file(&key, "self.ss", b"import self.ss").unwrap();
+        let mut ctx = ExecContext::bare(Network::new());
+        ctx.volume = Some((Arc::new(Mutex::new(vol)), key));
+        let err = run("import self.ss", &mut ctx).unwrap_err();
+        assert!(matches!(err, RuntimeError::ScriptRuntime { .. }));
+    }
+}

@@ -1,0 +1,254 @@
+//! Program images — the *measured* content of an application enclave.
+//!
+//! An image plays the role of the ELF binary SCONE signs: it contains
+//! the runtime/interpreter identity and, optionally, an embedded entry
+//! script (statically linked application). For interpreter-style
+//! deployments — the paper's Python/NodeJS examples — the image holds
+//! *only* the interpreter; the application script is read from an
+//! encrypted volume at runtime. Two Python applications therefore run
+//! in enclaves with *identical* `MRENCLAVE`s (§3.3.1: "any Python
+//! program utilizing the same Python interpreter in SCONE uses an
+//! identical enclave"), which is the root of the reuse attack.
+
+use crate::error::RuntimeError;
+use sinclave::layout::EnclaveLayout;
+
+/// Which attestation behavior is compiled into the (measured) runtime.
+///
+/// This is a property of the *binary*, not of the host invocation: a
+/// SinClave-aware runtime, finding a zeroed instance page, runs as an
+/// unconfigurable common enclave; finding a singleton page, it attests
+/// exclusively to the pinned verifier. A baseline runtime attests to
+/// whatever verifier the starter names — the paper's vulnerable
+/// configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeFlavor {
+    /// Unmodified SCONE behavior (vulnerable to the reuse attack).
+    Baseline,
+    /// SinClave-aware behavior (§4.4).
+    Sinclave,
+}
+
+/// Magic prefix of serialized images.
+const MAGIC: &[u8; 8] = b"SINIMG1\0";
+
+/// A program image: what the signer measures and the starter loads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramImage {
+    /// Human-readable name ("python-3.8", "nodejs-14", …).
+    pub name: String,
+    /// Version tag of the embedded runtime/interpreter.
+    pub runtime_version: String,
+    /// Entry script compiled into the image (`None` for
+    /// interpreter-style images whose entry comes from configuration).
+    pub embedded_entry: Option<String>,
+    /// Heap pages to map (unmeasured, zeroed).
+    pub heap_pages: u64,
+    /// Padding to emulate realistic binary sizes (measured zeros).
+    pub rodata_padding: usize,
+    /// The measured attestation behavior of the runtime.
+    pub flavor: RuntimeFlavor,
+}
+
+impl ProgramImage {
+    /// A minimal interpreter image (entry provided by configuration).
+    #[must_use]
+    pub fn interpreter(name: &str, heap_pages: u64) -> Self {
+        ProgramImage {
+            name: name.to_owned(),
+            runtime_version: "sinrt-1.0".to_owned(),
+            embedded_entry: None,
+            heap_pages,
+            rodata_padding: 0,
+            flavor: RuntimeFlavor::Baseline,
+        }
+    }
+
+    /// A statically-linked image with an embedded entry script.
+    #[must_use]
+    pub fn with_entry(name: &str, entry_script: &str, heap_pages: u64) -> Self {
+        ProgramImage {
+            name: name.to_owned(),
+            runtime_version: "sinrt-1.0".to_owned(),
+            embedded_entry: Some(entry_script.to_owned()),
+            heap_pages,
+            rodata_padding: 0,
+            flavor: RuntimeFlavor::Baseline,
+        }
+    }
+
+    /// Returns a copy whose measured runtime is SinClave-aware.
+    #[must_use]
+    pub fn sinclave_aware(mut self) -> Self {
+        self.flavor = RuntimeFlavor::Sinclave;
+        self
+    }
+
+    /// Returns a copy padded to roughly `bytes` of measured content
+    /// (for size-sensitive benchmarks like Fig. 6/7a).
+    #[must_use]
+    pub fn padded_to(mut self, bytes: usize) -> Self {
+        self.rodata_padding = bytes.saturating_sub(self.code_bytes().len());
+        self
+    }
+
+    /// Serializes the measured code segment.
+    #[must_use]
+    pub fn code_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        let put = |out: &mut Vec<u8>, s: &[u8]| {
+            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+            out.extend_from_slice(s);
+        };
+        put(&mut out, self.name.as_bytes());
+        put(&mut out, self.runtime_version.as_bytes());
+        match &self.embedded_entry {
+            None => out.push(0),
+            Some(e) => {
+                out.push(1);
+                put(&mut out, e.as_bytes());
+            }
+        }
+        out.push(match self.flavor {
+            RuntimeFlavor::Baseline => 0,
+            RuntimeFlavor::Sinclave => 1,
+        });
+        out.extend_from_slice(&self.heap_pages.to_be_bytes());
+        out.extend_from_slice(&(self.rodata_padding as u64).to_be_bytes());
+        out.resize(out.len() + self.rodata_padding, 0);
+        out
+    }
+
+    /// Parses an image from its measured code segment (what the
+    /// in-enclave runtime does to find its own parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ProtocolViolation`] for malformed
+    /// bytes.
+    pub fn from_code_bytes(bytes: &[u8]) -> Result<Self, RuntimeError> {
+        fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], RuntimeError> {
+            if cursor.len() < n {
+                return Err(RuntimeError::ProtocolViolation { context: "program image" });
+            }
+            let (head, rest) = cursor.split_at(n);
+            *cursor = rest;
+            Ok(head)
+        }
+        fn get_string(cursor: &mut &[u8]) -> Result<String, RuntimeError> {
+            let len = u32::from_be_bytes(take(cursor, 4)?.try_into().expect("4")) as usize;
+            String::from_utf8(take(cursor, len)?.to_vec())
+                .map_err(|_| RuntimeError::ProtocolViolation { context: "program image" })
+        }
+
+        let err = RuntimeError::ProtocolViolation { context: "program image" };
+        if bytes.len() < 8 || &bytes[..8] != MAGIC {
+            return Err(err);
+        }
+        let mut cursor = &bytes[8..];
+        let name = get_string(&mut cursor)?;
+        let runtime_version = get_string(&mut cursor)?;
+        let embedded_entry = match take(&mut cursor, 1)?[0] {
+            0 => None,
+            1 => Some(get_string(&mut cursor)?),
+            _ => return Err(err),
+        };
+        let flavor = match take(&mut cursor, 1)?[0] {
+            0 => RuntimeFlavor::Baseline,
+            1 => RuntimeFlavor::Sinclave,
+            _ => return Err(err),
+        };
+        let heap_pages = u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
+        let rodata_padding =
+            u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8")) as usize;
+        Ok(ProgramImage {
+            name,
+            runtime_version,
+            embedded_entry,
+            heap_pages,
+            rodata_padding,
+            flavor,
+        })
+    }
+
+    /// The enclave layout for this image: code at 0, heap above, one
+    /// instance-page slot on top (Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout validation errors.
+    pub fn layout(&self) -> Result<EnclaveLayout, RuntimeError> {
+        Ok(EnclaveLayout::for_program(&self.code_bytes(), self.heap_pages)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_interpreter_and_entry_images() {
+        let a = ProgramImage::interpreter("python-3.8", 8);
+        let parsed = ProgramImage::from_code_bytes(&a.code_bytes()).unwrap();
+        assert_eq!(parsed, a);
+
+        let b = ProgramImage::with_entry("hello", "print hi", 2);
+        assert_eq!(ProgramImage::from_code_bytes(&b.code_bytes()).unwrap(), b);
+    }
+
+    #[test]
+    fn identical_interpreters_have_identical_layout_measurements() {
+        // The attack precondition: two deployments of the same
+        // interpreter are indistinguishable at the measurement level.
+        let a = ProgramImage::interpreter("python-3.8", 8);
+        let b = ProgramImage::interpreter("python-3.8", 8);
+        let ma = a.layout().unwrap().measure_base().unwrap().finalize();
+        let mb = b.layout().unwrap().measure_base().unwrap().finalize();
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn flavor_is_measured() {
+        // Switching the runtime flavor changes the binary and thus the
+        // measurement: an adversary cannot "downgrade" a SinClave
+        // runtime to baseline behavior without detection.
+        let baseline = ProgramImage::interpreter("python-3.8", 8);
+        let aware = ProgramImage::interpreter("python-3.8", 8).sinclave_aware();
+        assert_ne!(baseline.code_bytes(), aware.code_bytes());
+        let parsed = ProgramImage::from_code_bytes(&aware.code_bytes()).unwrap();
+        assert_eq!(parsed.flavor, RuntimeFlavor::Sinclave);
+    }
+
+    #[test]
+    fn different_versions_differ() {
+        let a = ProgramImage::interpreter("python-3.8", 8);
+        let mut b = a.clone();
+        b.runtime_version = "sinrt-1.1".to_owned();
+        assert_ne!(a.code_bytes(), b.code_bytes());
+    }
+
+    #[test]
+    fn padding_grows_code() {
+        let img = ProgramImage::interpreter("p", 1).padded_to(100_000);
+        assert!(img.code_bytes().len() >= 100_000);
+        let parsed = ProgramImage::from_code_bytes(&img.code_bytes()).unwrap();
+        assert_eq!(parsed.rodata_padding, img.rodata_padding);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(ProgramImage::from_code_bytes(b"short").is_err());
+        assert!(ProgramImage::from_code_bytes(&[0u8; 64]).is_err());
+    }
+
+    #[test]
+    fn layout_reserves_instance_page() {
+        let img = ProgramImage::interpreter("p", 4);
+        let layout = img.layout().unwrap();
+        assert_eq!(
+            layout.instance_page_offset(),
+            layout.enclave_size - sinclave_sgx::PAGE_SIZE as u64
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! SCONE-like and SGX-LKL-like enclave runtimes.
+//!
+//! This crate models the TEE frameworks the paper attacks (§3.3) and
+//! hardens (§4): runtimes that run *legacy applications* inside
+//! enclaves, transparently attest, fetch configuration from a verifier
+//! and mount encrypted volumes.
+//!
+//! * [`image`] — program images ("binaries"): the measured content of
+//!   an application enclave. An image contains the runtime/interpreter
+//!   and optionally an embedded entry script; application code usually
+//!   lives on an encrypted volume — *outside* the measurement, which
+//!   is the paper's attack surface.
+//! * [`script`] / [`exec`] — the application model: a small
+//!   deterministic scripting language (stand-in for Python/NodeJS)
+//!   with dynamic `import`, filesystem access, networking and —
+//!   crucially — a `getreport` syscall, mirroring how SCONE "exposes
+//!   report generation via C functions to user code" (§3.2).
+//! * [`scone`] — the SCONE-like runtime: baseline attestation flow
+//!   (vulnerable, §3.3.1) and the SinClave singleton flow (§4.4).
+//! * [`lkl`] — the SGX-LKL-like runtime: encrypted disk images and a
+//!   one-shot attest-then-configure server flow (vulnerable, §3.3.2),
+//!   plus its SinClave hardening.
+//! * [`workload`] — the macro-benchmark workloads of Fig. 9 (Python +
+//!   encrypted volume, OpenVINO-style inference, PyTorch-style
+//!   training) as synthetic equivalents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exec;
+pub mod image;
+pub mod lkl;
+pub mod scone;
+pub mod script;
+pub mod workload;
+
+pub use error::RuntimeError;
+pub use image::{ProgramImage, RuntimeFlavor};

@@ -1,0 +1,519 @@
+//! The SGX-LKL-like runtime (§3.3.2): encrypted disk images and a
+//! one-shot attest-then-configure *server* flow.
+//!
+//! `sgx-lkl-run` starts the framework enclave, which opens an
+//! attestation/configuration service and waits. The user's
+//! `sgx-lkl-ctl` connects, inspects the quote, then sends the
+//! configuration (containing the disk encryption key). Only the
+//! *framework* is measured; the user application lives on the
+//! encrypted disk, so "two different programs running in SGX-LKL will,
+//! from SGX attestation perspective, be the same" — the attack surface
+//! of §3.3.2.
+//!
+//! The SinClave hardening gives the framework an instance page; the
+//! runtime then demands the connecting controller *prove* it is the
+//! pinned verifier (a signature over the channel transcript) before
+//! accepting configuration.
+
+use crate::error::RuntimeError;
+use crate::exec::{self, ExecContext, ExecOutcome, Reporter, SharedVolume};
+use crate::image::ProgramImage;
+use crate::scone::PackagedApp;
+use crate::script::Script;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use sinclave::instance_page::InstancePage;
+use sinclave::protocol::Message;
+use sinclave::AppConfig;
+use sinclave_crypto::aead::AeadKey;
+use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use sinclave_net::{Network, SecureChannel};
+use sinclave_sgx::attributes::Attributes;
+use sinclave_sgx::enclave::Enclave;
+use sinclave_sgx::quote::{Quote, QuotingEnclave};
+use sinclave_sgx::report::ReportData;
+use sinclave_sgx::sigstruct::SigStruct;
+use sinclave_sgx::PAGE_SIZE;
+use std::sync::Arc;
+
+/// Path of the boot entry script on an SGX-LKL disk image.
+pub const DISK_ENTRY: &str = "/boot/entry";
+
+/// The framework image every SGX-LKL deployment shares.
+#[must_use]
+pub fn framework_image(heap_pages: u64) -> ProgramImage {
+    ProgramImage::interpreter("sgx-lkl-framework-5.16", heap_pages)
+}
+
+/// Invocation parameters of `sgx-lkl-run` (all host-controlled, hence
+/// all adversary-controlled in the threat model).
+pub struct LklInvocation {
+    /// Address the enclave's attestation service binds.
+    pub service_addr: String,
+    /// The "wireguard" channel key handed to the enclave at start —
+    /// the baseline's fatal unmeasured trust anchor.
+    pub channel_key: RsaPrivateKey,
+    /// The encrypted disk image.
+    pub disk: SharedVolume,
+    /// RNG seed for the enclave runtime.
+    pub rng_seed: u64,
+}
+
+/// The running SGX-LKL service: accepts exactly one attest+configure
+/// exchange, then boots the disk.
+pub struct LklHost {
+    /// The platform.
+    pub platform: Arc<sinclave_sgx::platform::Platform>,
+    /// The quoting enclave.
+    pub qe: Arc<QuotingEnclave>,
+    /// The network.
+    pub network: Network,
+}
+
+/// Outcome of a completed SGX-LKL boot.
+#[derive(Debug)]
+pub struct LklBoot {
+    /// The framework enclave.
+    pub enclave: Arc<Enclave>,
+    /// The configuration received from the controller.
+    pub config: AppConfig,
+    /// Execution outcome of the disk's entry script.
+    pub outcome: ExecOutcome,
+}
+
+impl LklHost {
+    /// Creates a host.
+    #[must_use]
+    pub fn new(
+        platform: Arc<sinclave_sgx::platform::Platform>,
+        qe: Arc<QuotingEnclave>,
+        network: Network,
+    ) -> Self {
+        LklHost { platform, qe, network }
+    }
+
+    fn build(
+        &self,
+        packaged: &PackagedApp,
+        page: &[u8; PAGE_SIZE],
+        sigstruct: &SigStruct,
+    ) -> Result<Arc<Enclave>, RuntimeError> {
+        let layout = &packaged.signed.layout;
+        let mut builder = layout.build(self.platform.clone(), Attributes::production())?;
+        builder.add_page(
+            layout.instance_page_offset(),
+            page,
+            sinclave_sgx::secinfo::SecInfo::read_only(),
+            true,
+        )?;
+        Ok(Arc::new(builder.einit(
+            sigstruct,
+            None,
+            &sinclave_sgx::launch::LaunchControl::Flexible,
+        )?))
+    }
+
+    /// `sgx-lkl-run` in the **baseline** flavor: build the common
+    /// framework enclave, serve one attest+configure exchange with the
+    /// invocation-provided channel key, then boot the disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build, protocol and boot failures.
+    pub fn run_baseline(
+        &self,
+        packaged: &PackagedApp,
+        invocation: &LklInvocation,
+    ) -> Result<LklBoot, RuntimeError> {
+        let enclave = self.build(
+            packaged,
+            &InstancePage::common_page(),
+            &packaged.signed.common_sigstruct,
+        )?;
+        self.serve_and_boot(enclave, invocation, None)
+    }
+
+    /// `sgx-lkl-run` in the **SinClave** flavor: the enclave carries an
+    /// instance page and will only accept configuration from the
+    /// pinned verifier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build, protocol and boot failures.
+    pub fn run_sinclave(
+        &self,
+        packaged: &PackagedApp,
+        invocation: &LklInvocation,
+        grant: &crate::scone::WireGrant,
+    ) -> Result<LklBoot, RuntimeError> {
+        let page = InstancePage::new(grant.token, grant.verifier_identity);
+        let enclave = self.build(packaged, &page.to_page_bytes(), &grant.sigstruct)?;
+        self.serve_and_boot(enclave, invocation, Some(page))
+    }
+
+    /// The in-enclave service loop: one challenge → quote → (auth) →
+    /// configure exchange, then disk boot.
+    fn serve_and_boot(
+        &self,
+        enclave: Arc<Enclave>,
+        invocation: &LklInvocation,
+        pinned: Option<InstancePage>,
+    ) -> Result<LklBoot, RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(invocation.rng_seed ^ 0x1611);
+        let listener = self.network.listen(&invocation.service_addr);
+        let conn = listener.accept()?;
+        let mut chan = SecureChannel::server_accept(conn, &invocation.channel_key, &mut rng)?;
+
+        // Controller sends the nonce, enclave responds with a quote
+        // whose reportdata binds the channel transcript.
+        let Message::Challenge { nonce } = Message::from_bytes(&chan.recv()?)? else {
+            return Err(RuntimeError::ProtocolViolation { context: "lkl challenge" });
+        };
+        let report_data = ReportData::from_digest(&chan.transcript());
+        let report = enclave.ereport(&self.qe.target_info(), report_data);
+        let quote = self.qe.quote(&report, nonce)?;
+        chan.send(&Message::QuoteResponse { quote: quote.to_bytes() }.to_bytes())?;
+
+        // SinClave: demand proof the peer is the pinned verifier.
+        if let Some(page) = &pinned {
+            let Message::VerifierAuth { pubkey, signature } = Message::from_bytes(&chan.recv()?)?
+            else {
+                return Err(RuntimeError::ProtocolViolation { context: "verifier auth" });
+            };
+            let key = RsaPublicKey::from_bytes(&pubkey)
+                .map_err(|_| RuntimeError::ProtocolViolation { context: "verifier key" })?;
+            if key.fingerprint() != page.verifier_identity {
+                return Err(RuntimeError::VerifierIdentityMismatch);
+            }
+            key.verify(chan.transcript().as_bytes(), &signature)
+                .map_err(|_| RuntimeError::VerifierIdentityMismatch)?;
+        }
+
+        // One-shot configuration (SGX-LKL "enforces that attestation
+        // and configuration is only done once").
+        let Message::ConfigResponse { config } = Message::from_bytes(&chan.recv()?)? else {
+            return Err(RuntimeError::ProtocolViolation { context: "lkl configure" });
+        };
+        let config = AppConfig::from_bytes(&config)?;
+
+        // Boot: verify the disk key, read /boot/entry, execute.
+        let Some(key_bytes) = config.volume_key else {
+            return Err(RuntimeError::VolumeRejected);
+        };
+        let key = AeadKey::new(key_bytes);
+        invocation
+            .disk
+            .lock()
+            .verify_key(&key)
+            .map_err(|_| RuntimeError::VolumeRejected)?;
+        let entry = invocation.disk.lock().read_file(&key, DISK_ENTRY)?;
+        let entry = String::from_utf8(entry)
+            .map_err(|_| RuntimeError::ScriptRuntime { reason: "entry not utf-8".into() })?;
+        let script = Script::parse(&entry)?;
+        let mut ctx = ExecContext {
+            config: config.clone(),
+            volume: Some((invocation.disk.clone(), key)),
+            network: self.network.clone(),
+            reporter: Reporter::Enclave {
+                enclave: enclave.clone(),
+                qe_target: self.qe.target_info(),
+            },
+            max_steps: 10_000_000,
+        };
+        let outcome = exec::execute(&script, &mut ctx)?;
+        Ok(LklBoot { enclave, config, outcome })
+    }
+}
+
+/// The user-side controller (`sgx-lkl-ctl`).
+pub struct LklController {
+    /// Network handle.
+    pub network: Network,
+    /// Root key of the attestation service (to verify quotes).
+    pub attestation_root: RsaPublicKey,
+}
+
+/// What the controller verified about the remote enclave.
+#[derive(Debug)]
+pub struct ControlOutcome {
+    /// The attested enclave measurement.
+    pub mrenclave: sinclave_sgx::Measurement,
+    /// Whether the quote's report data matched the channel binding.
+    pub channel_bound: bool,
+}
+
+impl LklController {
+    /// Attests the service at `addr` and, if the quote satisfies
+    /// `accept`, delivers `config`. Returns what was observed.
+    ///
+    /// This mirrors the paper's user behavior: inspect the quote
+    /// (expected framework `MRENCLAVE`, channel binding), then decide
+    /// to send the configuration — including the disk key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network and verification failures.
+    pub fn attest_and_configure<R: RngCore + ?Sized>(
+        &self,
+        addr: &str,
+        nonce: [u8; 16],
+        config: &AppConfig,
+        accept: impl Fn(&sinclave_sgx::report::ReportBody) -> bool,
+        verifier_auth: Option<&RsaPrivateKey>,
+        rng: &mut R,
+    ) -> Result<ControlOutcome, RuntimeError> {
+        let conn = self.network.connect(addr)?;
+        let mut chan = SecureChannel::client_connect(conn, rng)?;
+        chan.send(&Message::Challenge { nonce }.to_bytes())?;
+        let Message::QuoteResponse { quote } = Message::from_bytes(&chan.recv()?)? else {
+            return Err(RuntimeError::ProtocolViolation { context: "quote response" });
+        };
+        let quote = Quote::from_bytes(&quote)?;
+        let body = quote
+            .verify(&self.attestation_root, &nonce)
+            .map_err(RuntimeError::Sgx)?;
+
+        let channel_bound = &body.report_data.0[..32] == chan.transcript().as_bytes();
+        if !channel_bound || body.is_debug() || !accept(body) {
+            return Err(RuntimeError::AttestationDenied {
+                reason: "controller rejected quote".into(),
+            });
+        }
+
+        if let Some(key) = verifier_auth {
+            let signature = key
+                .sign(chan.transcript().as_bytes())
+                .map_err(|_| RuntimeError::ProtocolViolation { context: "auth signing" })?;
+            chan.send(
+                &Message::VerifierAuth {
+                    pubkey: key.public_key().to_bytes(),
+                    signature,
+                }
+                .to_bytes(),
+            )?;
+        }
+
+        chan.send(&Message::ConfigResponse { config: config.to_bytes() }.to_bytes())?;
+        Ok(ControlOutcome { mrenclave: body.mrenclave, channel_bound })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scone::package_app;
+    use parking_lot::Mutex;
+    use sinclave::signer::SignerConfig;
+    use sinclave::verifier::SingletonIssuer;
+    use sinclave_fs::Volume;
+    use sinclave_sgx::attestation::AttestationService;
+    use sinclave_sgx::platform::Platform;
+
+    struct World {
+        host: LklHost,
+        controller: LklController,
+        packaged: PackagedApp,
+        signer_key: RsaPrivateKey,
+    }
+
+    fn world(seed: u64) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let service = AttestationService::new(&mut rng, 1024).unwrap();
+        let platform = Arc::new(Platform::new(&mut rng));
+        service.register_platform(platform.manufacturing_record());
+        let qe = Arc::new(
+            QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap(),
+        );
+        let network = Network::new();
+        let signer_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let packaged =
+            package_app(&framework_image(4), &signer_key, &SignerConfig::default()).unwrap();
+        World {
+            host: LklHost::new(platform, qe, network.clone()),
+            controller: LklController {
+                network,
+                attestation_root: service.root_public_key().clone(),
+            },
+            packaged,
+            signer_key,
+        }
+    }
+
+    fn disk(key_bytes: [u8; 32], entry: &str) -> SharedVolume {
+        let key = AeadKey::new(key_bytes);
+        let mut vol = Volume::format(&key, "lkl-disk");
+        vol.write_file(&key, DISK_ENTRY, entry.as_bytes()).unwrap();
+        vol.write_file(&key, "/data/input", b"disk data").unwrap();
+        Arc::new(Mutex::new(vol))
+    }
+
+    #[test]
+    fn baseline_boot_end_to_end() {
+        let w = world(1);
+        let mut rng = StdRng::seed_from_u64(11);
+        let channel_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let disk_key = [7u8; 32];
+        let invocation = LklInvocation {
+            service_addr: "lkl:7000".into(),
+            channel_key,
+            disk: disk(disk_key, "read /data/input -> d\nprint $d"),
+            rng_seed: 1,
+        };
+        let expected = w.packaged.signed.common_measurement();
+        let controller = w.controller;
+        let config = AppConfig { volume_key: Some(disk_key), ..AppConfig::default() };
+        let ctl = std::thread::spawn(move || {
+            // Give the service a moment to bind.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let mut rng = StdRng::seed_from_u64(12);
+            controller
+                .attest_and_configure(
+                    "lkl:7000",
+                    [9; 16],
+                    &config,
+                    |body| body.mrenclave == expected,
+                    None,
+                    &mut rng,
+                )
+                .unwrap()
+        });
+        let boot = w.host.run_baseline(&w.packaged, &invocation).unwrap();
+        let outcome = ctl.join().unwrap();
+        assert_eq!(boot.outcome.stdout, vec!["disk data"]);
+        assert!(outcome.channel_bound);
+        assert_eq!(outcome.mrenclave, w.packaged.signed.common_measurement());
+    }
+
+    #[test]
+    fn baseline_wrong_disk_key_refuses_boot() {
+        let w = world(2);
+        let mut rng = StdRng::seed_from_u64(21);
+        let channel_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let invocation = LklInvocation {
+            service_addr: "lkl:7001".into(),
+            channel_key,
+            disk: disk([7u8; 32], "print hi"),
+            rng_seed: 2,
+        };
+        let expected = w.packaged.signed.common_measurement();
+        let controller = w.controller;
+        // Config carries the wrong key.
+        let config = AppConfig { volume_key: Some([8u8; 32]), ..AppConfig::default() };
+        let ctl = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let mut rng = StdRng::seed_from_u64(22);
+            controller
+                .attest_and_configure(
+                    "lkl:7001",
+                    [1; 16],
+                    &config,
+                    |body| body.mrenclave == expected,
+                    None,
+                    &mut rng,
+                )
+                .unwrap()
+        });
+        let err = w.host.run_baseline(&w.packaged, &invocation).unwrap_err();
+        ctl.join().unwrap();
+        assert_eq!(err, RuntimeError::VolumeRejected);
+    }
+
+    #[test]
+    fn sinclave_boot_with_verifier_auth() {
+        let w = world(3);
+        let mut rng = StdRng::seed_from_u64(31);
+        // The user's verifier identity doubles as auth key.
+        let verifier_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let issuer = SingletonIssuer::new(
+            w.signer_key.clone(),
+            verifier_key.public_key().fingerprint(),
+        );
+        let grant_raw = issuer
+            .issue(&mut rng, &w.packaged.signed.common_sigstruct, &w.packaged.signed.base_hash)
+            .unwrap();
+        let grant = crate::scone::WireGrant {
+            token: grant_raw.token,
+            verifier_identity: grant_raw.verifier_identity,
+            sigstruct: grant_raw.sigstruct.clone(),
+        };
+
+        let channel_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let disk_key = [5u8; 32];
+        let invocation = LklInvocation {
+            service_addr: "lkl:7002".into(),
+            channel_key,
+            disk: disk(disk_key, "print booted"),
+            rng_seed: 3,
+        };
+        let expected = grant_raw.expected_mrenclave;
+        let controller = w.controller;
+        let config = AppConfig { volume_key: Some(disk_key), ..AppConfig::default() };
+        let ctl = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let mut rng = StdRng::seed_from_u64(32);
+            controller
+                .attest_and_configure(
+                    "lkl:7002",
+                    [2; 16],
+                    &config,
+                    |body| body.mrenclave == expected,
+                    Some(&verifier_key),
+                    &mut rng,
+                )
+                .unwrap()
+        });
+        let boot = w.host.run_sinclave(&w.packaged, &invocation, &grant).unwrap();
+        let outcome = ctl.join().unwrap();
+        assert_eq!(boot.outcome.stdout, vec!["booted"]);
+        assert_eq!(outcome.mrenclave, expected);
+        // The singleton measurement is unique, not the framework's.
+        assert_ne!(outcome.mrenclave, w.packaged.signed.common_measurement());
+    }
+
+    #[test]
+    fn sinclave_rejects_unauthenticated_controller() {
+        let w = world(4);
+        let mut rng = StdRng::seed_from_u64(41);
+        let verifier_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let adversary_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let issuer = SingletonIssuer::new(
+            w.signer_key.clone(),
+            verifier_key.public_key().fingerprint(),
+        );
+        let grant_raw = issuer
+            .issue(&mut rng, &w.packaged.signed.common_sigstruct, &w.packaged.signed.base_hash)
+            .unwrap();
+        let grant = crate::scone::WireGrant {
+            token: grant_raw.token,
+            verifier_identity: grant_raw.verifier_identity,
+            sigstruct: grant_raw.sigstruct.clone(),
+        };
+        let channel_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let invocation = LklInvocation {
+            service_addr: "lkl:7003".into(),
+            channel_key,
+            disk: disk([5u8; 32], "print booted"),
+            rng_seed: 4,
+        };
+        let expected = grant_raw.expected_mrenclave;
+        let controller = w.controller;
+        let config = AppConfig { volume_key: Some([5u8; 32]), ..AppConfig::default() };
+        let ctl = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let mut rng = StdRng::seed_from_u64(42);
+            // The adversary tries to configure the singleton with
+            // their own auth key.
+            let _ = controller.attest_and_configure(
+                "lkl:7003",
+                [3; 16],
+                &config,
+                |body| body.mrenclave == expected,
+                Some(&adversary_key),
+                &mut rng,
+            );
+        });
+        let err = w.host.run_sinclave(&w.packaged, &invocation, &grant).unwrap_err();
+        ctl.join().unwrap();
+        assert_eq!(err, RuntimeError::VerifierIdentityMismatch);
+    }
+}

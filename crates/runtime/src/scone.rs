@@ -1,0 +1,801 @@
+//! The SCONE-like runtime: transparent attestation and configuration
+//! for legacy applications (§2.3, §3.3.1), in both the vulnerable
+//! *baseline* flavor and the SinClave-hardened *singleton* flavor.
+//!
+//! Baseline flow: starter builds the (common) enclave → enclave dials
+//! the verifier address *given by the starter* → attests with a quote
+//! bound to the channel transcript → receives `AppConfig` → mounts the
+//! volume → runs the entry script. The fatal gap: nothing about the
+//! verifier is measured, so the starter (the adversary) can point the
+//! enclave at *their* verifier and configure it freely (§3.2,
+//! "creating a report server by configuration").
+//!
+//! SinClave flow: the starter first fetches a [`grant`] (token +
+//! on-demand SigStruct); the instance page — *measured* — pins the
+//! verifier identity, and the runtime refuses channels that do not
+//! terminate at that identity.
+//!
+//! [`grant`]: SconeHost::request_grant
+
+use crate::error::RuntimeError;
+use crate::exec::{self, ExecContext, ExecOutcome, Reporter, SharedVolume};
+use crate::image::ProgramImage;
+use crate::script::Script;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use sinclave::instance_page::InstancePage;
+use sinclave::protocol::Message;
+use sinclave::signer::{sign_enclave, SignedEnclave, SignerConfig};
+use sinclave::token::AttestationToken;
+use sinclave::AppConfig;
+use sinclave_crypto::aead::AeadKey;
+use sinclave_crypto::rsa::RsaPrivateKey;
+use sinclave_crypto::sha256::Digest;
+use sinclave_net::{Network, SecureChannel};
+use sinclave_sgx::attributes::Attributes;
+use sinclave_sgx::enclave::Enclave;
+use sinclave_sgx::launch::LaunchControl;
+use sinclave_sgx::platform::Platform;
+use sinclave_sgx::quote::QuotingEnclave;
+use sinclave_sgx::report::ReportData;
+use sinclave_sgx::secinfo::SecInfo;
+use sinclave_sgx::sigstruct::SigStruct;
+use sinclave_sgx::PAGE_SIZE;
+use std::sync::Arc;
+
+/// A distributable application package: the image plus the signer's
+/// artifacts (base hash + common SigStruct) — the paper's "binary
+/// distribution of software".
+#[derive(Clone, Debug)]
+pub struct PackagedApp {
+    /// The program image.
+    pub image: ProgramImage,
+    /// The signer's output over this image's layout.
+    pub signed: SignedEnclave,
+}
+
+/// Signs an image, producing a distributable package.
+///
+/// # Errors
+///
+/// Propagates layout and signing failures.
+pub fn package_app(
+    image: &ProgramImage,
+    signer_key: &RsaPrivateKey,
+    config: &SignerConfig,
+) -> Result<PackagedApp, RuntimeError> {
+    let layout = image.layout()?;
+    let signed = sign_enclave(&layout, signer_key, config)?;
+    Ok(PackagedApp { image: image.clone(), signed })
+}
+
+/// Start options common to both flows.
+#[derive(Clone, Debug)]
+pub struct StartOptions {
+    /// Address of the verifier (CAS). *Untrusted routing information.*
+    pub verifier_addr: String,
+    /// Which configuration to request.
+    pub config_id: String,
+    /// The application volume the host makes available, if any.
+    pub app_volume: Option<SharedVolume>,
+    /// Enclave attributes to start with.
+    pub attributes: Attributes,
+    /// Seed for the runtime's RNG (nonces, channel keys).
+    pub rng_seed: u64,
+}
+
+impl StartOptions {
+    /// Defaults: production attributes, no volume.
+    #[must_use]
+    pub fn new(verifier_addr: &str, config_id: &str) -> Self {
+        StartOptions {
+            verifier_addr: verifier_addr.to_owned(),
+            config_id: config_id.to_owned(),
+            app_volume: None,
+            attributes: Attributes::production(),
+            rng_seed: 0,
+        }
+    }
+
+    /// Attaches an application volume.
+    #[must_use]
+    pub fn with_volume(mut self, volume: SharedVolume) -> Self {
+        self.app_volume = Some(volume);
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+}
+
+/// A started, attested, configured application.
+#[derive(Debug)]
+pub struct RunningApp {
+    /// The enclave the app ran in.
+    pub enclave: Arc<Enclave>,
+    /// The configuration received from the verifier.
+    pub config: AppConfig,
+    /// The app's execution outcome.
+    pub outcome: ExecOutcome,
+}
+
+/// A SinClave grant as received over the wire.
+#[derive(Clone, Debug)]
+pub struct WireGrant {
+    /// The one-time token.
+    pub token: AttestationToken,
+    /// Verifier identity to place in the instance page.
+    pub verifier_identity: Digest,
+    /// The on-demand SigStruct.
+    pub sigstruct: SigStruct,
+}
+
+/// One machine's SCONE installation: platform, quoting enclave,
+/// network stack and launch policy.
+pub struct SconeHost {
+    /// The CPU package.
+    pub platform: Arc<Platform>,
+    /// The provisioned quoting enclave.
+    pub qe: Arc<QuotingEnclave>,
+    /// The host network.
+    pub network: Network,
+    /// Launch-control policy.
+    pub launch: LaunchControl,
+}
+
+impl SconeHost {
+    /// Creates a host with flexible launch control.
+    #[must_use]
+    pub fn new(platform: Arc<Platform>, qe: Arc<QuotingEnclave>, network: Network) -> Self {
+        SconeHost { platform, qe, network, launch: LaunchControl::Flexible }
+    }
+
+    /// Builds and initializes the enclave for `packaged` with the given
+    /// instance page and SigStruct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction and `EINIT` failures.
+    pub fn build_enclave(
+        &self,
+        packaged: &PackagedApp,
+        instance_page: &[u8; PAGE_SIZE],
+        sigstruct: &SigStruct,
+        attributes: Attributes,
+    ) -> Result<Enclave, RuntimeError> {
+        let layout = &packaged.signed.layout;
+        let mut builder = layout.build(self.platform.clone(), attributes)?;
+        builder.add_page(
+            layout.instance_page_offset(),
+            instance_page,
+            SecInfo::read_only(),
+            true,
+        )?;
+        Ok(builder.einit(sigstruct, None, &self.launch)?)
+    }
+
+    /// Baseline start (vulnerable SCONE flow).
+    ///
+    /// # Errors
+    ///
+    /// Propagates build, attestation and execution failures.
+    pub fn start_baseline(
+        &self,
+        packaged: &PackagedApp,
+        opts: &StartOptions,
+    ) -> Result<RunningApp, RuntimeError> {
+        // The baseline flow is what a *baseline-flavored* measured
+        // runtime does. A SinClave-aware runtime refuses unattested
+        // configuration: its common enclave never talks to a verifier
+        // (§4.4, "the runtime can decide whether it requires
+        // attestation or not").
+        if packaged.image.flavor != crate::image::RuntimeFlavor::Baseline {
+            return Err(RuntimeError::InstancePageUnexpected {
+                found: "sinclave-aware runtime refuses baseline configuration",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(opts.rng_seed ^ 0xba5e);
+        let enclave = Arc::new(self.build_enclave(
+            packaged,
+            &InstancePage::common_page(),
+            &packaged.signed.common_sigstruct,
+            opts.attributes,
+        )?);
+        let (config, _chan) =
+            self.attest(&enclave, opts, None, &mut rng)?;
+        let outcome = self.run_app(&enclave, packaged, &config, opts.app_volume.clone())?;
+        Ok(RunningApp { enclave, config, outcome })
+    }
+
+    /// Requests a singleton grant from the verifier (the starter-side
+    /// half of Fig. 7c's "singleton page retrieval").
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors and verifier denials.
+    pub fn request_grant(
+        &self,
+        packaged: &PackagedApp,
+        verifier_addr: &str,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Result<WireGrant, RuntimeError> {
+        let conn = self.network.connect(verifier_addr)?;
+        let mut chan = SecureChannel::client_connect(conn, rng)?;
+        chan.send(
+            &Message::GrantRequest {
+                common_sigstruct: packaged.signed.common_sigstruct.to_bytes(),
+                base_hash: packaged.signed.base_hash.encode().to_vec(),
+            }
+            .to_bytes(),
+        )?;
+        match Message::from_bytes(&chan.recv()?)? {
+            Message::GrantResponse { token, verifier_identity, sigstruct } => Ok(WireGrant {
+                token,
+                verifier_identity: Digest(verifier_identity),
+                sigstruct: SigStruct::from_bytes(&sigstruct)?,
+            }),
+            Message::Denied { reason } => Err(RuntimeError::AttestationDenied { reason }),
+            _ => Err(RuntimeError::ProtocolViolation { context: "grant response" }),
+        }
+    }
+
+    /// SinClave start: grant, singleton construction, pinned
+    /// attestation, configuration, execution (§4.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates grant, build, attestation and execution failures.
+    pub fn start_sinclave(
+        &self,
+        packaged: &PackagedApp,
+        opts: &StartOptions,
+    ) -> Result<RunningApp, RuntimeError> {
+        if packaged.image.flavor != crate::image::RuntimeFlavor::Sinclave {
+            return Err(RuntimeError::InstancePageUnexpected {
+                found: "baseline runtime cannot run as singleton",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(opts.rng_seed ^ 0x51c1);
+        let grant = self.request_grant(packaged, &opts.verifier_addr, &mut rng)?;
+        let page = InstancePage::new(grant.token, grant.verifier_identity);
+        let enclave = Arc::new(self.build_enclave(
+            packaged,
+            &page.to_page_bytes(),
+            &grant.sigstruct,
+            opts.attributes,
+        )?);
+        self.resume_singleton(packaged, enclave, opts)
+    }
+
+    /// Runs the *in-enclave* part of the SinClave flow on an
+    /// already-built singleton enclave: read the instance page from
+    /// enclave memory, attest to the pinned verifier, fetch config,
+    /// execute. Split out so attack scenarios can drive construction
+    /// and entry separately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attestation and execution failures; fails with
+    /// [`RuntimeError::InstancePageUnexpected`] if the enclave has a
+    /// common (zeroed) page.
+    pub fn resume_singleton(
+        &self,
+        packaged: &PackagedApp,
+        enclave: Arc<Enclave>,
+        opts: &StartOptions,
+    ) -> Result<RunningApp, RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(opts.rng_seed ^ 0x51c2);
+        // In-enclave: the measured runtime reads its own instance page.
+        let offset = packaged.signed.layout.instance_page_offset();
+        let page_bytes: [u8; PAGE_SIZE] = enclave
+            .read(offset, PAGE_SIZE)?
+            .try_into()
+            .expect("page read");
+        let Some(page) = InstancePage::parse(&page_bytes)? else {
+            return Err(RuntimeError::InstancePageUnexpected { found: "common (zeroed) page" });
+        };
+
+        let (config, _chan) =
+            self.attest(&enclave, opts, Some(&page), &mut rng)?;
+        let outcome = self.run_app(&enclave, packaged, &config, opts.app_volume.clone())?;
+        Ok(RunningApp { enclave, config, outcome })
+    }
+
+    /// Shared attestation logic. With `Some(page)` it runs the
+    /// SinClave flow (identity pinning + token); with `None` the
+    /// baseline flow.
+    fn attest(
+        &self,
+        enclave: &Arc<Enclave>,
+        opts: &StartOptions,
+        page: Option<&InstancePage>,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Result<(AppConfig, SecureChannel), RuntimeError> {
+        let conn = self.network.connect(&opts.verifier_addr)?;
+        let mut chan = SecureChannel::client_connect(conn, rng)?;
+
+        if let Some(page) = page {
+            // THE SinClave check: the channel must terminate at the
+            // verifier whose identity is baked into our measurement.
+            if chan.server_key_fingerprint() != page.verifier_identity {
+                return Err(RuntimeError::VerifierIdentityMismatch);
+            }
+        }
+
+        chan.send(&Message::ChallengeRequest.to_bytes())?;
+        let Message::Challenge { nonce } = Message::from_bytes(&chan.recv()?)? else {
+            return Err(RuntimeError::ProtocolViolation { context: "challenge" });
+        };
+
+        let report_data = ReportData::from_digest(&chan.transcript());
+        let report = enclave.ereport(&self.qe.target_info(), report_data);
+        let quote = self
+            .qe
+            .quote(&report, nonce)
+            .map_err(RuntimeError::Sgx)?;
+
+        let request = match page {
+            Some(page) => Message::AttestRequest {
+                quote: quote.to_bytes(),
+                token: page.token,
+                config_id: opts.config_id.clone(),
+            },
+            None => Message::BaselineAttestRequest {
+                quote: quote.to_bytes(),
+                config_id: opts.config_id.clone(),
+            },
+        };
+        chan.send(&request.to_bytes())?;
+
+        match Message::from_bytes(&chan.recv()?)? {
+            Message::ConfigResponse { config } => {
+                Ok((AppConfig::from_bytes(&config)?, chan))
+            }
+            Message::Denied { reason } => Err(RuntimeError::AttestationDenied { reason }),
+            _ => Err(RuntimeError::ProtocolViolation { context: "config response" }),
+        }
+    }
+
+    /// Mounts the volume named by the configuration and executes the
+    /// entry script.
+    fn run_app(
+        &self,
+        enclave: &Arc<Enclave>,
+        packaged: &PackagedApp,
+        config: &AppConfig,
+        app_volume: Option<SharedVolume>,
+    ) -> Result<ExecOutcome, RuntimeError> {
+        let volume = match (&config.volume_key, app_volume) {
+            (Some(key_bytes), Some(volume)) => {
+                let key = AeadKey::new(*key_bytes);
+                volume
+                    .lock()
+                    .verify_key(&key)
+                    .map_err(|_| RuntimeError::VolumeRejected)?;
+                Some((volume, key))
+            }
+            (Some(_), None) => return Err(RuntimeError::VolumeRejected),
+            (None, _) => None,
+        };
+
+        let entry_source = if config.entry.is_empty() || config.entry == "embedded" {
+            packaged.image.embedded_entry.clone().ok_or(RuntimeError::ScriptRuntime {
+                reason: "no embedded entry script".into(),
+            })?
+        } else {
+            let (vol, key) = volume.as_ref().ok_or(RuntimeError::ScriptRuntime {
+                reason: "entry script requires a volume".into(),
+            })?;
+            String::from_utf8(vol.lock().read_file(key, &config.entry)?).map_err(|_| {
+                RuntimeError::ScriptRuntime { reason: "entry script is not utf-8".into() }
+            })?
+        };
+        let script = Script::parse(&entry_source)?;
+        let mut ctx = ExecContext {
+            config: config.clone(),
+            volume,
+            network: self.network.clone(),
+            reporter: Reporter::Enclave {
+                enclave: enclave.clone(),
+                qe_target: self.qe.target_info(),
+            },
+            max_steps: 10_000_000,
+        };
+        exec::execute(&script, &mut ctx)
+    }
+
+    /// Starts the *common* enclave without any attestation and runs
+    /// the embedded entry (if any). Models unattested/hardware-only
+    /// execution in Fig. 8, and what a singleton-aware runtime does
+    /// when it finds a zeroed instance page: run, but without access
+    /// to any verifier-held secrets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build and execution failures.
+    pub fn start_unattested(&self, packaged: &PackagedApp) -> Result<RunningApp, RuntimeError> {
+        let enclave = Arc::new(self.build_enclave(
+            packaged,
+            &InstancePage::common_page(),
+            &packaged.signed.common_sigstruct,
+            Attributes::production(),
+        )?);
+        let config = AppConfig::default();
+        let outcome = match &packaged.image.embedded_entry {
+            Some(source) => {
+                let script = Script::parse(source)?;
+                let mut ctx = ExecContext {
+                    config: config.clone(),
+                    volume: None,
+                    network: self.network.clone(),
+                    reporter: Reporter::Enclave {
+                        enclave: enclave.clone(),
+                        qe_target: self.qe.target_info(),
+                    },
+                    max_steps: 10_000_000,
+                };
+                exec::execute(&script, &mut ctx)?
+            }
+            None => ExecOutcome::default(),
+        };
+        Ok(RunningApp { enclave, config, outcome })
+    }
+}
+
+/// Runs an image's embedded entry *without* any enclave ("simulation
+/// mode" in Fig. 8 / native execution in Fig. 7a).
+///
+/// # Errors
+///
+/// Propagates script failures.
+pub fn run_native(image: &ProgramImage, network: &Network) -> Result<ExecOutcome, RuntimeError> {
+    let source = image.embedded_entry.as_deref().unwrap_or("");
+    let script = Script::parse(source)?;
+    let mut ctx = ExecContext::bare(network.clone());
+    exec::execute(&script, &mut ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sinclave::verifier::SingletonIssuer;
+    use sinclave_sgx::attestation::AttestationService;
+    use sinclave_sgx::quote::Quote;
+
+    /// A miniature verifier speaking `core::protocol` — deliberately
+    /// independent of the `sinclave-cas` crate so the runtime and CAS
+    /// implementations cross-validate each other in integration tests.
+    struct TestVerifier {
+        channel_key: RsaPrivateKey,
+        issuer: SingletonIssuer,
+        attestation_root: sinclave_crypto::rsa::RsaPublicKey,
+        expected_common: sinclave_sgx::Measurement,
+        config: AppConfig,
+    }
+
+    impl TestVerifier {
+        fn serve_one(&self, listener: &sinclave_net::Listener, seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let conn = listener.accept().unwrap();
+            let mut chan = SecureChannel::server_accept(conn, &self.channel_key, &mut rng).unwrap();
+            let mut nonce = [0u8; 16];
+            loop {
+                let Ok(raw) = chan.recv() else { return };
+                match Message::from_bytes(&raw).unwrap() {
+                    Message::GrantRequest { common_sigstruct, base_hash } => {
+                        let ss = SigStruct::from_bytes(&common_sigstruct).unwrap();
+                        let bh = sinclave::BaseEnclaveHash::decode(&base_hash).unwrap();
+                        match self.issuer.issue(&mut rng, &ss, &bh) {
+                            Ok(grant) => chan
+                                .send(
+                                    &Message::GrantResponse {
+                                        token: grant.token,
+                                        verifier_identity: *grant.verifier_identity.as_bytes(),
+                                        sigstruct: grant.sigstruct.to_bytes(),
+                                    }
+                                    .to_bytes(),
+                                )
+                                .unwrap(),
+                            Err(e) => chan
+                                .send(&Message::Denied { reason: e.to_string() }.to_bytes())
+                                .unwrap(),
+                        }
+                    }
+                    Message::ChallengeRequest => {
+                        rng.fill_bytes(&mut nonce);
+                        chan.send(&Message::Challenge { nonce }.to_bytes()).unwrap();
+                    }
+                    Message::AttestRequest { quote, token, config_id: _ } => {
+                        let quote = Quote::from_bytes(&quote).unwrap();
+                        let body = quote.verify(&self.attestation_root, &nonce).unwrap();
+                        assert_eq!(
+                            &body.report_data.0[..32],
+                            chan.transcript().as_bytes(),
+                            "channel binding"
+                        );
+                        match self.issuer.redeem(&token, &body.mrenclave) {
+                            Ok(_common) => chan
+                                .send(
+                                    &Message::ConfigResponse { config: self.config.to_bytes() }
+                                        .to_bytes(),
+                                )
+                                .unwrap(),
+                            Err(e) => chan
+                                .send(&Message::Denied { reason: e.to_string() }.to_bytes())
+                                .unwrap(),
+                        }
+                    }
+                    Message::BaselineAttestRequest { quote, .. } => {
+                        let quote = Quote::from_bytes(&quote).unwrap();
+                        let body = quote.verify(&self.attestation_root, &nonce).unwrap();
+                        let ok = body.mrenclave == self.expected_common
+                            && &body.report_data.0[..32] == chan.transcript().as_bytes()
+                            && !body.is_debug();
+                        if ok {
+                            chan.send(
+                                &Message::ConfigResponse { config: self.config.to_bytes() }
+                                    .to_bytes(),
+                            )
+                            .unwrap();
+                        } else {
+                            chan.send(
+                                &Message::Denied { reason: "verification failed".into() }
+                                    .to_bytes(),
+                            )
+                            .unwrap();
+                        }
+                    }
+                    other => panic!("unexpected message {other:?}"),
+                }
+            }
+        }
+    }
+
+    struct World {
+        host: SconeHost,
+        verifier: Arc<TestVerifier>,
+        packaged: PackagedApp,
+    }
+
+    fn world(seed: u64, image: ProgramImage, config: AppConfig) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let service = AttestationService::new(&mut rng, 1024).unwrap();
+        let platform = Arc::new(Platform::new(&mut rng));
+        service.register_platform(platform.manufacturing_record());
+        let qe =
+            Arc::new(QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap());
+        let network = Network::new();
+        let host = SconeHost::new(platform, qe, network);
+
+        let signer_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let packaged = package_app(&image, &signer_key, &SignerConfig::default()).unwrap();
+        let channel_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let identity = channel_key.public_key().fingerprint();
+        let verifier = Arc::new(TestVerifier {
+            channel_key,
+            issuer: SingletonIssuer::new(signer_key, identity),
+            attestation_root: service.root_public_key().clone(),
+            expected_common: packaged.signed.common_measurement(),
+            config,
+        });
+        World { host, verifier, packaged }
+    }
+
+    fn spawn_verifier(w: &World, connections: usize, seed: u64) -> std::thread::JoinHandle<()> {
+        let listener = w.host.network.listen("cas:443");
+        let verifier = w.verifier.clone();
+        std::thread::spawn(move || {
+            for i in 0..connections {
+                verifier.serve_one(&listener, seed + i as u64);
+            }
+        })
+    }
+
+    fn hello_image() -> ProgramImage {
+        ProgramImage::with_entry("hello", "secret greeting -> g\nprint $g", 2)
+    }
+
+    fn hello_config() -> AppConfig {
+        AppConfig {
+            entry: "embedded".into(),
+            secrets: vec![("greeting".into(), b"hello from verifier".to_vec())],
+            ..AppConfig::default()
+        }
+    }
+
+    #[test]
+    fn baseline_flow_end_to_end() {
+        let w = world(1, hello_image(), hello_config());
+        let server = spawn_verifier(&w, 1, 100);
+        let app = w
+            .host
+            .start_baseline(&w.packaged, &StartOptions::new("cas:443", "app").with_seed(7))
+            .unwrap();
+        server.join().unwrap();
+        assert_eq!(app.outcome.stdout, vec!["hello from verifier"]);
+        assert_eq!(app.enclave.mrenclave(), w.packaged.signed.common_measurement());
+    }
+
+    #[test]
+    fn sinclave_flow_end_to_end() {
+        let w = world(2, hello_image().sinclave_aware(), hello_config());
+        let server = spawn_verifier(&w, 2, 200); // grant + attest connections
+        let app = w
+            .host
+            .start_sinclave(&w.packaged, &StartOptions::new("cas:443", "app").with_seed(8))
+            .unwrap();
+        server.join().unwrap();
+        assert_eq!(app.outcome.stdout, vec!["hello from verifier"]);
+        // The singleton's measurement differs from the common one.
+        assert_ne!(app.enclave.mrenclave(), w.packaged.signed.common_measurement());
+    }
+
+    #[test]
+    fn sinclave_enclaves_are_unique_per_start() {
+        let w = world(3, hello_image().sinclave_aware(), hello_config());
+        let server = spawn_verifier(&w, 4, 300);
+        let app1 = w
+            .host
+            .start_sinclave(&w.packaged, &StartOptions::new("cas:443", "app").with_seed(1))
+            .unwrap();
+        let app2 = w
+            .host
+            .start_sinclave(&w.packaged, &StartOptions::new("cas:443", "app").with_seed(2))
+            .unwrap();
+        server.join().unwrap();
+        assert_ne!(app1.enclave.mrenclave(), app2.enclave.mrenclave());
+    }
+
+    #[test]
+    fn sinclave_pins_verifier_identity() {
+        // A MITM terminating the channel with a different key is
+        // detected by the identity check (baseline would fall for it).
+        let w = world(4, hello_image().sinclave_aware(), hello_config());
+        let server = spawn_verifier(&w, 1, 400);
+        let mut rng = StdRng::seed_from_u64(4242);
+        let grant = w
+            .host
+            .request_grant(&w.packaged, "cas:443", &mut rng)
+            .unwrap();
+        server.join().unwrap();
+
+        // Adversary now redirects the attestation connection to their
+        // own endpoint with their own channel key.
+        let mitm_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let mitm_listener = w.host.network.listen("cas:443");
+        let mitm = std::thread::spawn(move || {
+            let conn = mitm_listener.accept().unwrap();
+            let mut rng = StdRng::seed_from_u64(4343);
+            // Handshake succeeds (channels don't authenticate servers
+            // by themselves)…
+            let _chan = SecureChannel::server_accept(conn, &mitm_key, &mut rng);
+        });
+
+        let page = InstancePage::new(grant.token, grant.verifier_identity);
+        let enclave = Arc::new(
+            w.host
+                .build_enclave(
+                    &w.packaged,
+                    &page.to_page_bytes(),
+                    &grant.sigstruct,
+                    Attributes::production(),
+                )
+                .unwrap(),
+        );
+        let err = w
+            .host
+            .resume_singleton(
+                &w.packaged,
+                enclave,
+                &StartOptions::new("cas:443", "app").with_seed(9),
+            )
+            .unwrap_err();
+        mitm.join().unwrap();
+        assert_eq!(err, RuntimeError::VerifierIdentityMismatch);
+    }
+
+    #[test]
+    fn flavor_gates_are_enforced() {
+        let w = world(9, hello_image(), hello_config());
+        // Baseline image cannot start as singleton…
+        assert!(matches!(
+            w.host.start_sinclave(&w.packaged, &StartOptions::new("cas:443", "app")),
+            Err(RuntimeError::InstancePageUnexpected { .. })
+        ));
+        // …and a sinclave-aware image refuses the baseline flow.
+        let aware = world(10, hello_image().sinclave_aware(), hello_config());
+        assert!(matches!(
+            aware.host.start_baseline(&aware.packaged, &StartOptions::new("cas:443", "app")),
+            Err(RuntimeError::InstancePageUnexpected { .. })
+        ));
+    }
+
+    #[test]
+    fn baseline_rejects_wrong_binary() {
+        // The verifier's baseline policy pins the common MRENCLAVE; a
+        // different binary is refused.
+        let w = world(5, hello_image(), hello_config());
+        let other_image = ProgramImage::with_entry("other", "print hi", 2);
+        let mut rng = StdRng::seed_from_u64(55);
+        let other_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let other = package_app(&other_image, &other_key, &SignerConfig::default()).unwrap();
+
+        let server = spawn_verifier(&w, 1, 500);
+        let err = w
+            .host
+            .start_baseline(&other, &StartOptions::new("cas:443", "app").with_seed(3))
+            .unwrap_err();
+        server.join().unwrap();
+        assert!(matches!(err, RuntimeError::AttestationDenied { .. }));
+    }
+
+    #[test]
+    fn unattested_and_native_runs() {
+        let image = ProgramImage::with_entry("calc", "compute mix 3 -> x\nprint done", 2);
+        let w = world(6, image.clone(), AppConfig::default());
+        let app = w.host.start_unattested(&w.packaged).unwrap();
+        assert_eq!(app.outcome.stdout, vec!["done"]);
+        let native = run_native(&image, &w.host.network).unwrap();
+        assert_eq!(native.stdout, vec!["done"]);
+        // Identical compute results inside and outside the enclave.
+        assert_eq!(app.outcome.vars["x"], native.vars["x"]);
+    }
+
+    #[test]
+    fn volume_backed_entry_script() {
+        let key_bytes = [3u8; 32];
+        let key = AeadKey::new(key_bytes);
+        let mut vol = sinclave_fs::Volume::format(&key, "appvol");
+        vol.write_file(&key, "main.ss", b"read data.txt -> d\nprint $d").unwrap();
+        vol.write_file(&key, "data.txt", b"volume payload").unwrap();
+        let volume: SharedVolume = Arc::new(parking_lot::Mutex::new(vol));
+
+        let config = AppConfig {
+            entry: "main.ss".into(),
+            volume_key: Some(key_bytes),
+            ..AppConfig::default()
+        };
+        let w = world(7, ProgramImage::interpreter("python", 2), config);
+        let server = spawn_verifier(&w, 1, 700);
+        let app = w
+            .host
+            .start_baseline(
+                &w.packaged,
+                &StartOptions::new("cas:443", "app")
+                    .with_volume(volume)
+                    .with_seed(4),
+            )
+            .unwrap();
+        server.join().unwrap();
+        assert_eq!(app.outcome.stdout, vec!["volume payload"]);
+    }
+
+    #[test]
+    fn wrong_volume_key_rejected() {
+        let key = AeadKey::new([4u8; 32]);
+        let vol = sinclave_fs::Volume::format(&key, "appvol");
+        let volume: SharedVolume = Arc::new(parking_lot::Mutex::new(vol));
+        let config = AppConfig {
+            entry: "main.ss".into(),
+            volume_key: Some([9u8; 32]), // wrong key in config
+            ..AppConfig::default()
+        };
+        let w = world(8, ProgramImage::interpreter("python", 2), config);
+        let server = spawn_verifier(&w, 1, 800);
+        let err = w
+            .host
+            .start_baseline(
+                &w.packaged,
+                &StartOptions::new("cas:443", "app")
+                    .with_volume(volume)
+                    .with_seed(5),
+            )
+            .unwrap_err();
+        server.join().unwrap();
+        assert_eq!(err, RuntimeError::VolumeRejected);
+    }
+}

@@ -1,0 +1,535 @@
+//! SinScript — the application model.
+//!
+//! A tiny, deterministic, line-oriented scripting language standing in
+//! for the Python/NodeJS applications of the paper. It has exactly the
+//! capabilities the attack story needs (§3.2):
+//!
+//! * dynamic code loading (`import` reads more script from the
+//!   volume — the "dynamic library" vector),
+//! * filesystem and network I/O,
+//! * `getreport` — arbitrary-`reportdata` report generation, as SCONE,
+//!   Occlum and Gramine all expose to user code,
+//!
+//! plus synthetic compute kernels for the macro-benchmarks (Fig. 9).
+//!
+//! Grammar: one statement per line, `#` comments, tokens separated by
+//! whitespace, optional `-> var` result binding. Values are literals,
+//! `hex:…` byte strings, or `$var` references.
+
+use crate::error::RuntimeError;
+use std::fmt;
+
+/// A value operand: literal text, hex bytes, or a variable reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Literal UTF-8 text.
+    Text(String),
+    /// Literal bytes given as hex.
+    Bytes(Vec<u8>),
+    /// Reference to a variable.
+    Var(String),
+}
+
+impl Value {
+    fn parse(token: &str) -> Result<Self, String> {
+        if let Some(name) = token.strip_prefix('$') {
+            if name.is_empty() {
+                return Err("empty variable reference".to_owned());
+            }
+            Ok(Value::Var(name.to_owned()))
+        } else if let Some(hex) = token.strip_prefix("hex:") {
+            if hex.len() % 2 != 0 {
+                return Err("odd-length hex literal".to_owned());
+            }
+            let mut bytes = Vec::with_capacity(hex.len() / 2);
+            for pair in hex.as_bytes().chunks(2) {
+                let s = std::str::from_utf8(pair).map_err(|_| "bad hex".to_owned())?;
+                bytes.push(u8::from_str_radix(s, 16).map_err(|e| e.to_string())?);
+            }
+            Ok(Value::Bytes(bytes))
+        } else {
+            Ok(Value::Text(token.to_owned()))
+        }
+    }
+}
+
+/// Compute kernels for workload scripts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComputeKind {
+    /// Scalar integer arithmetic mix.
+    Mix,
+    /// `n × n` fixed-point matrix multiplication (inference-style).
+    Matmul,
+    /// Repeated matmul epochs with weight updates (training-style).
+    Train,
+}
+
+impl ComputeKind {
+    fn parse(token: &str) -> Result<Self, String> {
+        match token {
+            "mix" => Ok(ComputeKind::Mix),
+            "matmul" => Ok(ComputeKind::Matmul),
+            "train" => Ok(ComputeKind::Train),
+            other => Err(format!("unknown compute kind {other:?}")),
+        }
+    }
+}
+
+/// One statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// Append a value to stdout.
+    Print(Value),
+    /// Bind a literal to a variable.
+    Set {
+        /// Target variable.
+        var: String,
+        /// The value (literal or copied variable).
+        value: Value,
+    },
+    /// Concatenate two values into a variable.
+    Concat {
+        /// Left operand.
+        a: Value,
+        /// Right operand.
+        b: Value,
+        /// Target variable.
+        into: String,
+    },
+    /// Read a volume file into a variable.
+    Read {
+        /// Path on the application volume.
+        path: Value,
+        /// Target variable.
+        into: String,
+    },
+    /// Write a value to a volume file.
+    Write {
+        /// Path on the application volume.
+        path: Value,
+        /// Data to write.
+        data: Value,
+    },
+    /// Load and execute another script from the volume (dynamic code).
+    Import {
+        /// Path of the script file.
+        path: Value,
+    },
+    /// Generate an SGX report with caller-chosen `reportdata`.
+    GetReport {
+        /// Up to 64 bytes of report data.
+        data: Value,
+        /// Target variable for the serialized report.
+        into: String,
+    },
+    /// Bind a network listener.
+    Listen {
+        /// Address to bind.
+        addr: Value,
+    },
+    /// Accept one connection on the listener.
+    Accept,
+    /// Dial an address.
+    Connect {
+        /// Address to dial.
+        addr: Value,
+    },
+    /// Receive one message from the current connection.
+    RecvMsg {
+        /// Target variable.
+        into: String,
+    },
+    /// Send a message on the current connection.
+    SendMsg {
+        /// Data to send.
+        data: Value,
+    },
+    /// Read an environment variable (provisioned configuration).
+    Env {
+        /// Variable name in the configuration.
+        name: Value,
+        /// Target variable.
+        into: String,
+    },
+    /// Read a program argument by index.
+    Arg {
+        /// Zero-based index.
+        index: usize,
+        /// Target variable.
+        into: String,
+    },
+    /// Read a named secret from the configuration.
+    Secret {
+        /// Secret name.
+        name: Value,
+        /// Target variable.
+        into: String,
+    },
+    /// Run a compute kernel; binds a digest of the result.
+    Compute {
+        /// Kernel type.
+        kind: ComputeKind,
+        /// Size/iteration parameter.
+        n: u64,
+        /// Target variable.
+        into: String,
+    },
+    /// Assert two values are equal (testing aid).
+    AssertEq {
+        /// Left operand.
+        a: Value,
+        /// Right operand.
+        b: Value,
+    },
+}
+
+/// A parsed script.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Script {
+    /// The statements in order.
+    pub instrs: Vec<Instr>,
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(t) => f.write_str(t),
+            Value::Bytes(b) => {
+                f.write_str("hex:")?;
+                for byte in b {
+                    write!(f, "{byte:02x}")?;
+                }
+                Ok(())
+            }
+            Value::Var(name) => write!(f, "${name}"),
+        }
+    }
+}
+
+impl fmt::Display for ComputeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ComputeKind::Mix => "mix",
+            ComputeKind::Matmul => "matmul",
+            ComputeKind::Train => "train",
+        })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Print(v) => write!(f, "print {v}"),
+            Instr::Set { var, value } => write!(f, "set {var} {value}"),
+            Instr::Concat { a, b, into } => write!(f, "concat {a} {b} -> {into}"),
+            Instr::Read { path, into } => write!(f, "read {path} -> {into}"),
+            Instr::Write { path, data } => write!(f, "write {path} {data}"),
+            Instr::Import { path } => write!(f, "import {path}"),
+            Instr::GetReport { data, into } => write!(f, "getreport {data} -> {into}"),
+            Instr::Listen { addr } => write!(f, "listen {addr}"),
+            Instr::Accept => f.write_str("accept"),
+            Instr::Connect { addr } => write!(f, "connect {addr}"),
+            Instr::RecvMsg { into } => write!(f, "recvmsg -> {into}"),
+            Instr::SendMsg { data } => write!(f, "sendmsg {data}"),
+            Instr::Env { name, into } => write!(f, "env {name} -> {into}"),
+            Instr::Arg { index, into } => write!(f, "arg {index} -> {into}"),
+            Instr::Secret { name, into } => write!(f, "secret {name} -> {into}"),
+            Instr::Compute { kind, n, into } => write!(f, "compute {kind} {n} -> {into}"),
+            Instr::AssertEq { a, b } => write!(f, "assert_eq {a} {b}"),
+        }
+    }
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Script({} statements)", self.instrs.len())
+    }
+}
+
+impl Script {
+    /// Renders the script back to parsable source text.
+    ///
+    /// `Script::parse(&s.to_source())` reproduces `s` exactly, provided
+    /// the script's literals contain no whitespace or reserved prefixes
+    /// (values that *do* are better written as `hex:` literals).
+    #[must_use]
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        for instr in &self.instrs {
+            out.push_str(&instr.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Script {
+    /// Parses script source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ScriptParse`] with the offending line.
+    pub fn parse(source: &str) -> Result<Self, RuntimeError> {
+        let mut instrs = Vec::new();
+        for (idx, raw_line) in source.lines().enumerate() {
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let instr = Self::parse_line(line).map_err(|reason| RuntimeError::ScriptParse {
+                line: idx + 1,
+                reason,
+            })?;
+            instrs.push(instr);
+        }
+        Ok(Script { instrs })
+    }
+
+    fn parse_line(line: &str) -> Result<Instr, String> {
+        // Split off an optional `-> var` suffix.
+        let (body, into) = match line.rsplit_once("->") {
+            Some((body, var)) => {
+                let var = var.trim();
+                if var.is_empty() || var.contains(char::is_whitespace) {
+                    return Err("malformed result binding".to_owned());
+                }
+                (body.trim(), Some(var.to_owned()))
+            }
+            None => (line, None),
+        };
+        let mut tokens = body.split_whitespace();
+        let cmd = tokens.next().ok_or_else(|| "empty statement".to_owned())?;
+        let args: Vec<&str> = tokens.collect();
+
+        let need =
+            |n: usize| -> Result<(), String> {
+                if args.len() == n {
+                    Ok(())
+                } else {
+                    Err(format!("{cmd} expects {n} argument(s), got {}", args.len()))
+                }
+            };
+        let into_var = |into: &Option<String>| -> Result<String, String> {
+            into.clone().ok_or_else(|| format!("{cmd} requires `-> var`"))
+        };
+        let no_into = |into: &Option<String>| -> Result<(), String> {
+            if into.is_some() {
+                Err(format!("{cmd} does not produce a result"))
+            } else {
+                Ok(())
+            }
+        };
+
+        let instr = match cmd {
+            "print" => {
+                need(1)?;
+                no_into(&into)?;
+                Instr::Print(Value::parse(args[0])?)
+            }
+            "set" => {
+                need(2)?;
+                no_into(&into)?;
+                Instr::Set { var: args[0].to_owned(), value: Value::parse(args[1])? }
+            }
+            "concat" => {
+                need(2)?;
+                Instr::Concat {
+                    a: Value::parse(args[0])?,
+                    b: Value::parse(args[1])?,
+                    into: into_var(&into)?,
+                }
+            }
+            "read" => {
+                need(1)?;
+                Instr::Read { path: Value::parse(args[0])?, into: into_var(&into)? }
+            }
+            "write" => {
+                need(2)?;
+                no_into(&into)?;
+                Instr::Write { path: Value::parse(args[0])?, data: Value::parse(args[1])? }
+            }
+            "import" => {
+                need(1)?;
+                no_into(&into)?;
+                Instr::Import { path: Value::parse(args[0])? }
+            }
+            "getreport" => {
+                need(1)?;
+                Instr::GetReport { data: Value::parse(args[0])?, into: into_var(&into)? }
+            }
+            "listen" => {
+                need(1)?;
+                no_into(&into)?;
+                Instr::Listen { addr: Value::parse(args[0])? }
+            }
+            "accept" => {
+                need(0)?;
+                no_into(&into)?;
+                Instr::Accept
+            }
+            "connect" => {
+                need(1)?;
+                no_into(&into)?;
+                Instr::Connect { addr: Value::parse(args[0])? }
+            }
+            "recvmsg" => {
+                need(0)?;
+                Instr::RecvMsg { into: into_var(&into)? }
+            }
+            "sendmsg" => {
+                need(1)?;
+                no_into(&into)?;
+                Instr::SendMsg { data: Value::parse(args[0])? }
+            }
+            "env" => {
+                need(1)?;
+                Instr::Env { name: Value::parse(args[0])?, into: into_var(&into)? }
+            }
+            "arg" => {
+                need(1)?;
+                Instr::Arg {
+                    index: args[0].parse().map_err(|_| "bad index".to_owned())?,
+                    into: into_var(&into)?,
+                }
+            }
+            "secret" => {
+                need(1)?;
+                Instr::Secret { name: Value::parse(args[0])?, into: into_var(&into)? }
+            }
+            "compute" => {
+                need(2)?;
+                Instr::Compute {
+                    kind: ComputeKind::parse(args[0])?,
+                    n: args[1].parse().map_err(|_| "bad size".to_owned())?,
+                    into: into_var(&into)?,
+                }
+            }
+            "assert_eq" => {
+                need(2)?;
+                no_into(&into)?;
+                Instr::AssertEq { a: Value::parse(args[0])?, b: Value::parse(args[1])? }
+            }
+            other => return Err(format!("unknown command {other:?}")),
+        };
+        Ok(instr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_representative_script() {
+        let src = r"
+            # the report server of §3.3.1, in SinScript
+            listen attack:9000
+            accept
+            recvmsg -> req
+            getreport $req -> report
+            sendmsg $report
+        ";
+        let script = Script::parse(src).unwrap();
+        assert_eq!(script.instrs.len(), 5);
+        assert_eq!(
+            script.instrs[3],
+            Instr::GetReport { data: Value::Var("req".into()), into: "report".into() }
+        );
+    }
+
+    #[test]
+    fn parses_values() {
+        let s = Script::parse("set x hex:0a0b\nset y text\nset z $x").unwrap();
+        assert_eq!(s.instrs[0], Instr::Set { var: "x".into(), value: Value::Bytes(vec![10, 11]) });
+        assert_eq!(s.instrs[1], Instr::Set { var: "y".into(), value: Value::Text("text".into()) });
+        assert_eq!(s.instrs[2], Instr::Set { var: "z".into(), value: Value::Var("x".into()) });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let s = Script::parse("\n# comment\n\nprint hi\n").unwrap();
+        assert_eq!(s.instrs.len(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = Script::parse("print a\nbogus cmd\n").unwrap_err();
+        match err {
+            RuntimeError::ScriptParse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_arity_and_binding_mistakes() {
+        assert!(Script::parse("print").is_err());
+        assert!(Script::parse("read file").is_err(), "read needs -> var");
+        assert!(Script::parse("print x -> y").is_err(), "print has no result");
+        assert!(Script::parse("set x").is_err());
+        assert!(Script::parse("compute bogus 10 -> x").is_err());
+        assert!(Script::parse("set x hex:abc").is_err(), "odd hex");
+        assert!(Script::parse("print $").is_err(), "empty var ref");
+    }
+
+    #[test]
+    fn source_roundtrip() {
+        let src = "listen rs:1\naccept\nrecvmsg -> req\ngetreport $req -> report\nsendmsg $report\nset x hex:0aff\ncompute train 12 -> t\nassert_eq $x hex:0aff\narg 2 -> a\nenv HOME -> h\nsecret key -> k\nconcat $a $h -> c\nread f -> d\nwrite f $d\nimport lib\nconnect b:2\nprint $c\n";
+        let script = Script::parse(src).unwrap();
+        assert_eq!(script.to_source(), src);
+        assert_eq!(Script::parse(&script.to_source()).unwrap(), script);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip_generated_scripts(instrs in arb_script()) {
+            let script = Script { instrs };
+            let reparsed = Script::parse(&script.to_source()).unwrap();
+            proptest::prop_assert_eq!(reparsed, script);
+        }
+    }
+
+    fn arb_ident() -> impl proptest::strategy::Strategy<Value = String> {
+        proptest::string::string_regex("[a-z][a-z0-9_]{0,8}").expect("regex")
+    }
+
+    fn arb_value() -> impl proptest::strategy::Strategy<Value = Value> {
+        use proptest::prelude::*;
+        prop_oneof![
+            arb_ident().prop_map(Value::Text),
+            proptest::collection::vec(any::<u8>(), 0..8).prop_map(Value::Bytes),
+            arb_ident().prop_map(Value::Var),
+        ]
+    }
+
+    fn arb_script() -> impl proptest::strategy::Strategy<Value = Vec<Instr>> {
+        use proptest::prelude::*;
+        let instr = prop_oneof![
+            arb_value().prop_map(Instr::Print),
+            (arb_ident(), arb_value()).prop_map(|(var, value)| Instr::Set { var, value }),
+            (arb_value(), arb_value(), arb_ident())
+                .prop_map(|(a, b, into)| Instr::Concat { a, b, into }),
+            (arb_value(), arb_ident()).prop_map(|(path, into)| Instr::Read { path, into }),
+            (arb_value(), arb_value()).prop_map(|(path, data)| Instr::Write { path, data }),
+            arb_value().prop_map(|path| Instr::Import { path }),
+            (arb_value(), arb_ident()).prop_map(|(data, into)| Instr::GetReport { data, into }),
+            Just(Instr::Accept),
+            arb_ident().prop_map(|into| Instr::RecvMsg { into }),
+            (any::<u8>(), arb_ident())
+                .prop_map(|(index, into)| Instr::Arg { index: index as usize, into }),
+            (proptest::sample::select(vec![
+                ComputeKind::Mix,
+                ComputeKind::Matmul,
+                ComputeKind::Train,
+            ]), 0u64..100, arb_ident())
+                .prop_map(|(kind, n, into)| Instr::Compute { kind, n, into }),
+        ];
+        proptest::collection::vec(instr, 0..12)
+    }
+
+    #[test]
+    fn compute_kinds_parse() {
+        let s = Script::parse("compute mix 5 -> a\ncompute matmul 8 -> b\ncompute train 2 -> c")
+            .unwrap();
+        assert_eq!(s.instrs.len(), 3);
+    }
+}

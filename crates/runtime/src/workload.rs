@@ -1,0 +1,180 @@
+//! The macro-benchmark workloads of Fig. 9, as synthetic equivalents.
+//!
+//! The paper measures three real applications end to end (attested
+//! start + run): a Python app with an encrypted volume (shortest), an
+//! OpenVINO image-classification demo (medium), and PyTorch CIFAR-10
+//! training (longest). The *relative* SinClave overhead (1.03 %,
+//! 2.49 %, 13.2 %) is the attestation delta amortized over run length
+//! — so the faithful substitution is three workloads with the same
+//! I/O structure and increasing compute durations.
+//!
+//! (Paper note: in Fig. 9 the overhead *rises* with the heavier
+//! workloads because those experiments also re-run attested restarts;
+//! what must hold in any reproduction is simply that the overhead is
+//! small single-digit-to-low-double-digit percent and derives entirely
+//! from the startup path.)
+
+use crate::image::ProgramImage;
+use crate::exec::SharedVolume;
+use parking_lot::Mutex;
+use sinclave::AppConfig;
+use sinclave_crypto::aead::AeadKey;
+use sinclave_fs::Volume;
+use std::sync::Arc;
+
+/// A ready-to-run workload: image, volume, and the configuration the
+/// verifier should hand out.
+pub struct Workload {
+    /// Descriptive name matching the paper's Fig. 9 labels.
+    pub name: &'static str,
+    /// The program image (the "interpreter").
+    pub image: ProgramImage,
+    /// The application volume.
+    pub volume: SharedVolume,
+    /// Configuration to store at the verifier.
+    pub config: AppConfig,
+}
+
+fn volume_with(key_bytes: [u8; 32], files: &[(&str, &[u8])]) -> SharedVolume {
+    let key = AeadKey::new(key_bytes);
+    let mut vol = Volume::format(&key, "workload");
+    for (path, data) in files {
+        vol.write_file(&key, path, data).expect("volume write");
+    }
+    Arc::new(Mutex::new(vol))
+}
+
+/// Fig. 9 "Python": a script on an encrypted volume that reads input
+/// files, transforms them, and writes results back — I/O heavy, short
+/// compute (the SCONE volume demo).
+#[must_use]
+pub fn python_volume(scale: u64) -> Workload {
+    let key = [0x11; 32];
+    let entry = format!(
+        "read input.csv -> data\n\
+         compute mix {scale} -> digest\n\
+         concat $data $digest -> out\n\
+         write output.bin $out\n\
+         print python-done"
+    );
+    let input: Vec<u8> = (0..32_768u32).map(|i| (i % 251) as u8).collect();
+    let volume = volume_with(key, &[("main.py", entry.as_bytes()), ("input.csv", &input)]);
+    Workload {
+        name: "Python",
+        image: ProgramImage::interpreter("python-3.8", 16),
+        volume,
+        config: AppConfig {
+            entry: "main.py".into(),
+            volume_key: Some(key),
+            env: vec![("PYTHONHASHSEED".into(), "0".into())],
+            ..AppConfig::default()
+        },
+    }
+}
+
+/// Fig. 9 "OpenVINO": model load plus a batch of inference passes —
+/// medium-length fixed-point matrix pipeline.
+#[must_use]
+pub fn openvino_inference(batch: u64) -> Workload {
+    let key = [0x22; 32];
+    let mut entry = String::from("read model.bin -> model\n");
+    for i in 0..batch {
+        entry.push_str(&format!("compute matmul 160 -> frame{i}\n"));
+    }
+    entry.push_str("print openvino-done");
+    let model = vec![0x5au8; 262_144];
+    let volume = volume_with(key, &[("pipeline.ss", entry.as_bytes()), ("model.bin", &model)]);
+    Workload {
+        name: "OpenVINO",
+        image: ProgramImage::interpreter("openvino-2020.1", 64),
+        volume,
+        config: AppConfig {
+            entry: "pipeline.ss".into(),
+            volume_key: Some(key),
+            args: vec!["--device".into(), "CPU".into()],
+            ..AppConfig::default()
+        },
+    }
+}
+
+/// Fig. 9 "PyTorch": dataset load plus training epochs — the longest
+/// workload.
+#[must_use]
+pub fn pytorch_training(epochs: u64) -> Workload {
+    let key = [0x33; 32];
+    let mut entry = String::from("read cifar10.bin -> dataset\n");
+    for e in 0..epochs {
+        entry.push_str(&format!("compute train 144 -> epoch{e}\n"));
+    }
+    entry.push_str("write checkpoint.pt $dataset\nprint pytorch-done");
+    let dataset = vec![0xc1u8; 1_048_576];
+    let volume = volume_with(key, &[("train.ss", entry.as_bytes()), ("cifar10.bin", &dataset)]);
+    Workload {
+        name: "PyTorch",
+        image: ProgramImage::interpreter("pytorch-1.8", 128),
+        volume,
+        config: AppConfig {
+            entry: "train.ss".into(),
+            volume_key: Some(key),
+            secrets: vec![("wandb-token".into(), b"training telemetry key".to_vec())],
+            ..AppConfig::default()
+        },
+    }
+}
+
+/// All three Fig. 9 workloads at default scales.
+#[must_use]
+pub fn all_default() -> Vec<Workload> {
+    vec![python_volume(8), openvino_inference(12), pytorch_training(6)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, ExecContext};
+    use crate::script::Script;
+    use sinclave_net::Network;
+
+    fn run(w: &Workload) -> crate::exec::ExecOutcome {
+        let key = AeadKey::new(w.config.volume_key.unwrap());
+        let entry = w.volume.lock().read_file(&key, &w.config.entry).unwrap();
+        let script = Script::parse(std::str::from_utf8(&entry).unwrap()).unwrap();
+        let mut ctx = ExecContext::bare(Network::new());
+        ctx.config = w.config.clone();
+        ctx.volume = Some((w.volume.clone(), key));
+        execute(&script, &mut ctx).unwrap()
+    }
+
+    #[test]
+    fn python_workload_runs_and_writes_output() {
+        let w = python_volume(2);
+        let out = run(&w);
+        assert_eq!(out.stdout.last().unwrap(), "python-done");
+        let key = AeadKey::new(w.config.volume_key.unwrap());
+        assert!(w.volume.lock().contains(&key, "output.bin").unwrap());
+    }
+
+    #[test]
+    fn openvino_workload_runs() {
+        let w = openvino_inference(2);
+        let out = run(&w);
+        assert_eq!(out.stdout.last().unwrap(), "openvino-done");
+        assert!(out.vars.contains_key("frame1"));
+    }
+
+    #[test]
+    fn pytorch_workload_runs() {
+        let w = pytorch_training(1);
+        let out = run(&w);
+        assert_eq!(out.stdout.last().unwrap(), "pytorch-done");
+        assert!(out.vars.contains_key("epoch0"));
+    }
+
+    #[test]
+    fn workloads_have_increasing_footprints() {
+        let ws = all_default();
+        assert_eq!(ws.len(), 3);
+        assert!(ws[0].image.heap_pages < ws[1].image.heap_pages);
+        assert!(ws[1].image.heap_pages < ws[2].image.heap_pages);
+    }
+}

@@ -1,0 +1,274 @@
+//! The attestation infrastructure of the TEE provider (§2.2.3, §3.1):
+//! the key-generation facility that knows each platform's provisioning
+//! secret and the service that certifies attestation keys and anchors
+//! quote verification.
+
+use crate::error::SgxError;
+use parking_lot::Mutex;
+use rand::RngCore;
+use sinclave_crypto::ct;
+use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use sinclave_crypto::sha256::Digest;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A certificate binding a quoting enclave's public key to a platform,
+/// signed by the attestation service's root key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct QeCertificate {
+    /// The platform the key was provisioned on.
+    pub platform_id: [u8; 16],
+    /// Serialized quoting-enclave public key.
+    pub qe_key_bytes: Vec<u8>,
+    /// Root signature over `platform_id || qe_key_bytes`.
+    pub signature: Vec<u8>,
+}
+
+impl fmt::Debug for QeCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hexid: String = self.platform_id.iter().map(|b| format!("{b:02x}")).collect();
+        f.debug_struct("QeCertificate").field("platform_id", &hexid).finish()
+    }
+}
+
+impl QeCertificate {
+    fn signed_bytes(platform_id: &[u8; 16], qe_key_bytes: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + qe_key_bytes.len());
+        out.extend_from_slice(b"QE-CERT\0");
+        out.extend_from_slice(platform_id);
+        out.extend_from_slice(qe_key_bytes);
+        out
+    }
+
+    /// Verifies the root signature and returns the certified key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::QuoteInvalid`] for a bad signature or an
+    /// unparsable key.
+    pub fn verify(&self, root: &RsaPublicKey) -> Result<RsaPublicKey, SgxError> {
+        root.verify(
+            &Self::signed_bytes(&self.platform_id, &self.qe_key_bytes),
+            &self.signature,
+        )
+        .map_err(|_| SgxError::QuoteInvalid { reason: "qe certificate signature invalid" })?;
+        RsaPublicKey::from_bytes(&self.qe_key_bytes)
+            .map_err(|_| SgxError::QuoteInvalid { reason: "qe certificate key malformed" })
+    }
+
+    /// Serializes the certificate.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.platform_id);
+        out.extend_from_slice(&(self.qe_key_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.qe_key_bytes);
+        out.extend_from_slice(&(self.signature.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses a certificate serialized by [`QeCertificate::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::Malformed`] on framing errors.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let malformed = SgxError::Malformed { context: "qe certificate" };
+        if bytes.len() < 20 {
+            return Err(malformed);
+        }
+        let mut platform_id = [0u8; 16];
+        platform_id.copy_from_slice(&bytes[..16]);
+        let key_len = u32::from_be_bytes(bytes[16..20].try_into().expect("4")) as usize;
+        if bytes.len() < 20 + key_len + 4 {
+            return Err(malformed);
+        }
+        let qe_key_bytes = bytes[20..20 + key_len].to_vec();
+        let sig_off = 20 + key_len;
+        let sig_len =
+            u32::from_be_bytes(bytes[sig_off..sig_off + 4].try_into().expect("4")) as usize;
+        if bytes.len() != sig_off + 4 + sig_len {
+            return Err(malformed);
+        }
+        let signature = bytes[sig_off + 4..].to_vec();
+        Ok(QeCertificate { platform_id, qe_key_bytes, signature })
+    }
+}
+
+/// The TEE provider's attestation service.
+///
+/// Holds the root signing key that quote verifiers trust, and the
+/// manufacturing database of provisioning secrets used to decide
+/// whether an attestation key really lives on a genuine platform.
+pub struct AttestationService {
+    root_key: RsaPrivateKey,
+    registered: Mutex<HashMap<[u8; 16], [u8; 32]>>,
+}
+
+impl fmt::Debug for AttestationService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AttestationService")
+            .field("platforms", &self.registered.lock().len())
+            .finish()
+    }
+}
+
+impl AttestationService {
+    /// Creates a service with a fresh root key of `key_bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failures.
+    pub fn new<R: RngCore + ?Sized>(rng: &mut R, key_bits: usize) -> Result<Self, SgxError> {
+        let root_key = RsaPrivateKey::generate(rng, key_bits)
+            .map_err(|_| SgxError::Malformed { context: "attestation root key" })?;
+        Ok(AttestationService { root_key, registered: Mutex::new(HashMap::new()) })
+    }
+
+    /// Registers a manufactured platform (key-generation facility
+    /// step: the provisioning secret is stored by the service).
+    pub fn register_platform(&self, record: ([u8; 16], [u8; 32])) {
+        self.registered.lock().insert(record.0, record.1);
+    }
+
+    /// The verification anchor for quotes.
+    #[must_use]
+    pub fn root_public_key(&self) -> &RsaPublicKey {
+        self.root_key.public_key()
+    }
+
+    /// Certifies an attestation (quoting-enclave) key after checking a
+    /// proof of provisioning-secret knowledge from the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::QuoteInvalid`] for unknown platforms or a
+    /// wrong binding proof.
+    pub fn certify_attestation_key(
+        &self,
+        platform_id: [u8; 16],
+        challenge: &[u8],
+        binding: &Digest,
+        qe_key: &RsaPublicKey,
+    ) -> Result<QeCertificate, SgxError> {
+        let registered = self.registered.lock();
+        let secret = registered
+            .get(&platform_id)
+            .ok_or(SgxError::QuoteInvalid { reason: "unknown platform" })?;
+        let mut data = Vec::with_capacity(32 + 16 + challenge.len());
+        data.extend_from_slice(secret);
+        data.extend_from_slice(&platform_id);
+        data.extend_from_slice(challenge);
+        let expect = sinclave_crypto::sha256::digest(&data);
+        if !ct::eq(expect.as_bytes(), binding.as_bytes()) {
+            return Err(SgxError::QuoteInvalid { reason: "provisioning binding invalid" });
+        }
+        drop(registered);
+
+        let qe_key_bytes = qe_key.to_bytes();
+        let signature = self
+            .root_key
+            .sign(&QeCertificate::signed_bytes(&platform_id, &qe_key_bytes))
+            .map_err(|_| SgxError::Malformed { context: "certificate signing" })?;
+        Ok(QeCertificate { platform_id, qe_key_bytes, signature })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (AttestationService, Platform, RsaPrivateKey) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let service = AttestationService::new(&mut rng, 1024).unwrap();
+        let platform = Platform::new(&mut rng);
+        service.register_platform(platform.manufacturing_record());
+        let qe_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        (service, platform, qe_key)
+    }
+
+    #[test]
+    fn certify_and_verify_roundtrip() {
+        let (service, platform, qe_key) = setup();
+        let challenge = qe_key.public_key().fingerprint();
+        let binding = platform.provisioning_binding(challenge.as_bytes());
+        let cert = service
+            .certify_attestation_key(
+                platform.platform_id(),
+                challenge.as_bytes(),
+                &binding,
+                qe_key.public_key(),
+            )
+            .unwrap();
+        let verified = cert.verify(service.root_public_key()).unwrap();
+        assert_eq!(&verified, qe_key.public_key());
+    }
+
+    #[test]
+    fn unknown_platform_rejected() {
+        let (service, platform, qe_key) = setup();
+        let challenge = b"c";
+        let binding = platform.provisioning_binding(challenge);
+        assert!(matches!(
+            service.certify_attestation_key([9; 16], challenge, &binding, qe_key.public_key()),
+            Err(SgxError::QuoteInvalid { reason: "unknown platform" })
+        ));
+    }
+
+    #[test]
+    fn wrong_binding_rejected() {
+        let (service, platform, qe_key) = setup();
+        let binding = platform.provisioning_binding(b"for another challenge");
+        assert!(matches!(
+            service.certify_attestation_key(
+                platform.platform_id(),
+                b"challenge",
+                &binding,
+                qe_key.public_key()
+            ),
+            Err(SgxError::QuoteInvalid { reason: "provisioning binding invalid" })
+        ));
+    }
+
+    #[test]
+    fn certificate_tamper_detected() {
+        let (service, platform, qe_key) = setup();
+        let challenge = b"c";
+        let binding = platform.provisioning_binding(challenge);
+        let mut cert = service
+            .certify_attestation_key(
+                platform.platform_id(),
+                challenge,
+                &binding,
+                qe_key.public_key(),
+            )
+            .unwrap();
+        // Swap in a different key: root signature no longer matches.
+        let mut rng = StdRng::seed_from_u64(77);
+        let other = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        cert.qe_key_bytes = other.public_key().to_bytes();
+        assert!(cert.verify(service.root_public_key()).is_err());
+    }
+
+    #[test]
+    fn certificate_serialization_roundtrip() {
+        let (service, platform, qe_key) = setup();
+        let challenge = b"c";
+        let binding = platform.provisioning_binding(challenge);
+        let cert = service
+            .certify_attestation_key(
+                platform.platform_id(),
+                challenge,
+                &binding,
+                qe_key.public_key(),
+            )
+            .unwrap();
+        let parsed = QeCertificate::from_bytes(&cert.to_bytes()).unwrap();
+        assert_eq!(parsed, cert);
+        assert!(QeCertificate::from_bytes(&cert.to_bytes()[..10]).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Enclave attributes (the SECS `ATTRIBUTES` field).
+//!
+//! Attributes determine security-relevant execution properties of an
+//! enclave — debug mode, 64-bit mode, extended-state features (§2.2.1).
+//! They are measured indirectly: the SigStruct pins them via a mask,
+//! and reports/quotes expose them to verifiers, because a debug enclave
+//! with the right `MRENCLAVE` is *not* trustworthy.
+
+use std::fmt;
+
+/// Attribute flag: enclave was initialized in debug mode (its memory
+/// is inspectable by the host — never trust it with secrets).
+pub const DEBUG: u64 = 1 << 1;
+/// Attribute flag: 64-bit mode.
+pub const MODE64BIT: u64 = 1 << 2;
+/// Attribute flag: the enclave may access the provisioning key.
+pub const PROVISION_KEY: u64 = 1 << 4;
+/// Attribute flag: the enclave may access the EINIT-token key (i.e.
+/// can act as a launch enclave).
+pub const EINITTOKEN_KEY: u64 = 1 << 5;
+
+/// XFRM bit: AVX state enabled.
+pub const XFRM_AVX: u64 = 1 << 2;
+/// XFRM bit: CET state enabled.
+pub const XFRM_CET: u64 = 1 << 11;
+
+/// The attributes of an enclave: a flags word and an XFRM
+/// (extended-feature request mask) word.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Attributes {
+    /// Flag bits (`DEBUG`, `MODE64BIT`, …).
+    pub flags: u64,
+    /// Extended processor feature bits (`XFRM_AVX`, …).
+    pub xfrm: u64,
+}
+
+impl Attributes {
+    /// Production 64-bit enclave with no extended features.
+    #[must_use]
+    pub fn production() -> Self {
+        Attributes { flags: MODE64BIT, xfrm: 0 }
+    }
+
+    /// Debug 64-bit enclave.
+    #[must_use]
+    pub fn debug() -> Self {
+        Attributes { flags: MODE64BIT | DEBUG, xfrm: 0 }
+    }
+
+    /// Whether the debug flag is set.
+    #[must_use]
+    pub fn is_debug(&self) -> bool {
+        self.flags & DEBUG != 0
+    }
+
+    /// Returns a copy with extra flag bits set.
+    #[must_use]
+    pub fn with_flags(mut self, flags: u64) -> Self {
+        self.flags |= flags;
+        self
+    }
+
+    /// Returns a copy with extra XFRM bits set.
+    #[must_use]
+    pub fn with_xfrm(mut self, xfrm: u64) -> Self {
+        self.xfrm |= xfrm;
+        self
+    }
+
+    /// Checks this value against a SigStruct's `(attributes, mask)`
+    /// pair: every masked bit must match the signed value.
+    #[must_use]
+    pub fn matches_masked(&self, signed: &Attributes, mask: &Attributes) -> bool {
+        (self.flags & mask.flags) == (signed.flags & mask.flags)
+            && (self.xfrm & mask.xfrm) == (signed.xfrm & mask.xfrm)
+    }
+
+    /// Serializes to the 16-byte little-endian SDM layout.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.flags.to_le_bytes());
+        out[8..].copy_from_slice(&self.xfrm.to_le_bytes());
+        out
+    }
+
+    /// Parses the 16-byte little-endian layout.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        Attributes {
+            flags: u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+            xfrm: u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+impl fmt::Debug for Attributes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        if self.flags & DEBUG != 0 {
+            names.push("DEBUG");
+        }
+        if self.flags & MODE64BIT != 0 {
+            names.push("MODE64BIT");
+        }
+        if self.flags & PROVISION_KEY != 0 {
+            names.push("PROVISION_KEY");
+        }
+        if self.flags & EINITTOKEN_KEY != 0 {
+            names.push("EINITTOKEN_KEY");
+        }
+        write!(
+            f,
+            "Attributes({}, xfrm={:#x})",
+            if names.is_empty() { "NONE".to_owned() } else { names.join("|") },
+            self.xfrm
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_is_not_debug() {
+        assert!(!Attributes::production().is_debug());
+        assert!(Attributes::debug().is_debug());
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let a = Attributes::production().with_flags(PROVISION_KEY).with_xfrm(XFRM_AVX);
+        assert_eq!(Attributes::from_bytes(&a.to_bytes()), a);
+    }
+
+    #[test]
+    fn masked_matching() {
+        let signed = Attributes::production();
+        let full_mask = Attributes { flags: u64::MAX, xfrm: u64::MAX };
+        // Exact match passes.
+        assert!(Attributes::production().matches_masked(&signed, &full_mask));
+        // A debug enclave fails a full-mask production SigStruct.
+        assert!(!Attributes::debug().matches_masked(&signed, &full_mask));
+        // …but passes if the mask ignores the debug bit.
+        let lenient = Attributes { flags: !DEBUG, xfrm: u64::MAX };
+        assert!(Attributes::debug().matches_masked(&signed, &lenient));
+    }
+
+    #[test]
+    fn debug_format_lists_flags() {
+        let s = format!("{:?}", Attributes::debug());
+        assert!(s.contains("DEBUG") && s.contains("MODE64BIT"));
+        assert!(format!("{:?}", Attributes::default()).contains("NONE"));
+    }
+}

@@ -1,0 +1,673 @@
+//! Enclave life cycle: construction by the untrusted *starter*,
+//! initialization (`EINIT`), and the initialized enclave's hardware
+//! interface (`EREPORT`, `EGETKEY`, memory).
+//!
+//! The starter is **not** part of the TCB (§2.2.1): it may add any
+//! pages it likes — including SinClave's instance page, which is added
+//! by system software during construction (§4.4) — and `EINIT` only
+//! checks that the result matches a validly signed SigStruct.
+
+use crate::attributes::Attributes;
+use crate::error::SgxError;
+use crate::launch::{EinitToken, LaunchControl};
+use crate::measurement::{Measurement, MeasurementBuilder};
+use crate::platform::Platform;
+use crate::report::{Report, ReportBody, ReportData, TargetInfo};
+use crate::secinfo::SecInfo;
+use crate::secs::Secs;
+use crate::sigstruct::SigStruct;
+use crate::PAGE_SIZE;
+use sinclave_crypto::hmac;
+use sinclave_crypto::sha256::{Digest, Sha256State};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Page content, with an all-zeros fast path.
+///
+/// Heap enclaves of the paper's Fig. 8 reach 2 GiB; zeroed unmeasured
+/// pages are represented without backing storage until first write
+/// (what real EPC zeroing + demand paging amounts to for the
+/// simulation's memory footprint).
+#[derive(Clone)]
+pub enum PageContent {
+    /// All zeros, no backing allocation.
+    Zero,
+    /// Materialized bytes.
+    Data(Box<[u8; PAGE_SIZE]>),
+}
+
+impl PageContent {
+    fn from_bytes(content: &[u8; PAGE_SIZE]) -> Self {
+        if content.iter().all(|&b| b == 0) {
+            PageContent::Zero
+        } else {
+            PageContent::Data(Box::new(*content))
+        }
+    }
+
+    fn slice(&self, range: std::ops::Range<usize>) -> std::borrow::Cow<'_, [u8]> {
+        match self {
+            PageContent::Zero => std::borrow::Cow::Owned(vec![0u8; range.len()]),
+            PageContent::Data(data) => std::borrow::Cow::Borrowed(&data[range]),
+        }
+    }
+
+    fn materialize(&mut self) -> &mut [u8; PAGE_SIZE] {
+        if let PageContent::Zero = self {
+            *self = PageContent::Data(Box::new([0u8; PAGE_SIZE]));
+        }
+        match self {
+            PageContent::Data(data) => data,
+            PageContent::Zero => unreachable!("materialized above"),
+        }
+    }
+}
+
+/// One enclave page: content plus security info.
+#[derive(Clone)]
+pub struct Page {
+    /// Page content (4 KiB, possibly an unmaterialized zero page).
+    pub content: PageContent,
+    /// Page type and permissions.
+    pub secinfo: SecInfo,
+    /// Whether the content was measured (`EEXTEND`ed).
+    pub measured: bool,
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Page")
+            .field("secinfo", &self.secinfo)
+            .field("measured", &self.measured)
+            .field("zero", &matches!(self.content, PageContent::Zero))
+            .finish()
+    }
+}
+
+/// The *starter*: builds an enclave page by page, then initializes it.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use rand::SeedableRng;
+/// use sinclave_sgx::enclave::EnclaveBuilder;
+/// use sinclave_sgx::attributes::Attributes;
+/// use sinclave_sgx::secinfo::SecInfo;
+/// use sinclave_sgx::platform::Platform;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let platform = Arc::new(Platform::new(&mut rng));
+/// let mut builder = EnclaveBuilder::new(platform, 0x10000, Attributes::production());
+/// builder.add_bytes(0, b"enclave code", SecInfo::code(), true).unwrap();
+/// let mrenclave = builder.current_measurement();
+/// assert_eq!(mrenclave.as_bytes().len(), 32);
+/// ```
+pub struct EnclaveBuilder {
+    platform: Arc<Platform>,
+    secs: Secs,
+    measurement: MeasurementBuilder,
+    pages: BTreeMap<u64, Page>,
+}
+
+impl fmt::Debug for EnclaveBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EnclaveBuilder")
+            .field("size", &self.secs.size)
+            .field("pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl EnclaveBuilder {
+    /// Default SSA frame size in pages.
+    pub const SSA_FRAME_SIZE: u32 = 1;
+
+    /// `ECREATE`: starts construction of an enclave of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or not page-aligned (see [`Secs::create`]).
+    #[must_use]
+    pub fn new(platform: Arc<Platform>, size: u64, attributes: Attributes) -> Self {
+        let secs = Secs::create(size, 0x7000_0000_0000, Self::SSA_FRAME_SIZE, attributes);
+        let measurement = MeasurementBuilder::ecreate(Self::SSA_FRAME_SIZE, size);
+        EnclaveBuilder { platform, secs, measurement, pages: BTreeMap::new() }
+    }
+
+    /// `EADD` (+ optional `EEXTEND`s): adds one page.
+    ///
+    /// # Errors
+    ///
+    /// * [`SgxError::InvalidPageOffset`] — unaligned/out-of-range
+    ///   offset, or the offset is already populated.
+    /// * [`SgxError::OutOfEpc`] — platform EPC budget exhausted.
+    pub fn add_page(
+        &mut self,
+        offset: u64,
+        content: &[u8; PAGE_SIZE],
+        secinfo: SecInfo,
+        measure: bool,
+    ) -> Result<(), SgxError> {
+        if self.pages.contains_key(&offset) {
+            return Err(SgxError::InvalidPageOffset { offset });
+        }
+        if !self.platform.reserve_epc(1) {
+            return Err(SgxError::OutOfEpc);
+        }
+        if let Err(e) = self.measurement.add_page(offset, content, secinfo, measure) {
+            self.platform.release_epc(1);
+            return Err(e);
+        }
+        self.pages.insert(
+            offset,
+            Page { content: PageContent::from_bytes(content), secinfo, measured: measure },
+        );
+        Ok(())
+    }
+
+    /// Adds arbitrary bytes starting at `offset`, split into pages and
+    /// zero-padded to the page boundary.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EnclaveBuilder::add_page`].
+    pub fn add_bytes(
+        &mut self,
+        offset: u64,
+        data: &[u8],
+        secinfo: SecInfo,
+        measure: bool,
+    ) -> Result<(), SgxError> {
+        for (i, chunk) in data.chunks(PAGE_SIZE).enumerate() {
+            let mut page = [0u8; PAGE_SIZE];
+            page[..chunk.len()].copy_from_slice(chunk);
+            self.add_page(offset + (i * PAGE_SIZE) as u64, &page, secinfo, measure)?;
+        }
+        Ok(())
+    }
+
+    /// Adds `pages` zeroed, unmeasured read-write pages (heap) at
+    /// `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EnclaveBuilder::add_page`].
+    pub fn add_heap(&mut self, offset: u64, pages: u64) -> Result<(), SgxError> {
+        let zero = [0u8; PAGE_SIZE];
+        for i in 0..pages {
+            self.add_page(offset + i * PAGE_SIZE as u64, &zero, SecInfo::data(), false)?;
+        }
+        Ok(())
+    }
+
+    /// The enclave size declared at `ECREATE`.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.secs.size
+    }
+
+    /// Number of pages added so far.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The measurement the enclave would have if finalized now —
+    /// used by signing tools to compute the expected `MRENCLAVE`.
+    #[must_use]
+    pub fn current_measurement(&self) -> Measurement {
+        self.measurement.clone().finalize()
+    }
+
+    /// Exports the interruptible measurement state — the SinClave
+    /// **base enclave hash** of the construction so far.
+    #[must_use]
+    pub fn measurement_state(&self) -> Sha256State {
+        self.measurement.export_state()
+    }
+
+    /// `EINIT`: verifies the SigStruct, compares the measurement,
+    /// enforces launch control, and locks the enclave.
+    ///
+    /// # Errors
+    ///
+    /// * [`SgxError::SigStructInvalid`] — bad signature.
+    /// * [`SgxError::MeasurementMismatch`] — constructed enclave does
+    ///   not match the SigStruct.
+    /// * [`SgxError::AttributesRejected`] — attributes fail the mask.
+    /// * [`SgxError::LaunchDenied`] — launch policy rejected it.
+    pub fn einit(
+        self,
+        sigstruct: &SigStruct,
+        token: Option<&EinitToken>,
+        launch: &LaunchControl,
+    ) -> Result<Enclave, SgxError> {
+        sigstruct.verify()?;
+
+        let measured = self.measurement.clone().finalize();
+        if measured != sigstruct.body().enclave_hash {
+            // EINIT failing releases the EPC pages again.
+            self.platform.release_epc(self.pages.len() as u64);
+            return Err(SgxError::MeasurementMismatch {
+                measured: measured.to_hex(),
+                expected: sigstruct.body().enclave_hash.to_hex(),
+            });
+        }
+        if !self.secs.attributes.matches_masked(
+            &sigstruct.body().attributes,
+            &sigstruct.body().attributes_mask,
+        ) {
+            self.platform.release_epc(self.pages.len() as u64);
+            return Err(SgxError::AttributesRejected);
+        }
+
+        let mrsigner = sigstruct.mrsigner();
+        match launch {
+            LaunchControl::Flexible => {}
+            LaunchControl::TokenRequired { whitelist } => {
+                if self.secs.attributes.is_debug() || whitelist.contains(&mrsigner) {
+                    // Debug enclaves and whitelisted signers may launch
+                    // without a token in this model.
+                } else {
+                    let token = token.ok_or(SgxError::LaunchDenied {
+                        reason: "einittoken required",
+                    })?;
+                    token.validate(&self.platform, &measured, &mrsigner, &self.secs.attributes)?;
+                }
+            }
+        }
+
+        let mut secs = self.secs;
+        secs.mrenclave = Some(measured);
+        secs.mrsigner = Some(mrsigner);
+        secs.isv_prod_id = sigstruct.body().isv_prod_id;
+        secs.isv_svn = sigstruct.body().isv_svn;
+        self.platform.note_enclave_created();
+
+        Ok(Enclave { platform: self.platform, secs, pages: self.pages })
+    }
+}
+
+/// An initialized enclave.
+///
+/// Methods on this type model operations performed *by code running
+/// inside* the enclave (memory access, `EREPORT`, `EGETKEY`). The
+/// simulation does not mechanically prevent the host from calling
+/// them; the threat-model discipline — hosts only interact via entry
+/// points — is maintained by the runtime and attack crates, mirroring
+/// how the paper's attack succeeds *without* violating SGX.
+pub struct Enclave {
+    platform: Arc<Platform>,
+    secs: Secs,
+    pages: BTreeMap<u64, Page>,
+}
+
+impl fmt::Debug for Enclave {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Enclave")
+            .field("mrenclave", &self.mrenclave())
+            .field("pages", &self.pages.len())
+            .field("debug", &self.secs.attributes.is_debug())
+            .finish()
+    }
+}
+
+impl Drop for Enclave {
+    fn drop(&mut self) {
+        self.platform.release_epc(self.pages.len() as u64);
+    }
+}
+
+impl Enclave {
+    /// The enclave's measured identity.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: an `Enclave` only exists after `EINIT`.
+    #[must_use]
+    pub fn mrenclave(&self) -> Measurement {
+        self.secs.mrenclave.expect("initialized")
+    }
+
+    /// The enclave's signer identity.
+    #[must_use]
+    pub fn mrsigner(&self) -> Digest {
+        self.secs.mrsigner.expect("initialized")
+    }
+
+    /// The enclave's attributes.
+    #[must_use]
+    pub fn attributes(&self) -> Attributes {
+        self.secs.attributes
+    }
+
+    /// Signer-assigned product id.
+    #[must_use]
+    pub fn isv_prod_id(&self) -> u16 {
+        self.secs.isv_prod_id
+    }
+
+    /// Signer-assigned security version.
+    #[must_use]
+    pub fn isv_svn(&self) -> u16 {
+        self.secs.isv_svn
+    }
+
+    /// The platform this enclave runs on.
+    #[must_use]
+    pub fn platform(&self) -> &Arc<Platform> {
+        &self.platform
+    }
+
+    /// Target info other enclaves need to `EREPORT` toward this one.
+    #[must_use]
+    pub fn target_info(&self) -> TargetInfo {
+        TargetInfo { mrenclave: self.mrenclave(), attributes: self.secs.attributes }
+    }
+
+    /// Reads enclave memory (in-enclave access).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::InvalidPageOffset`] when the range touches
+    /// unmapped pages.
+    pub fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>, SgxError> {
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        let end = offset + len as u64;
+        while pos < end {
+            let page_base = pos - pos % PAGE_SIZE as u64;
+            let page = self
+                .pages
+                .get(&page_base)
+                .ok_or(SgxError::InvalidPageOffset { offset: pos })?;
+            let in_page = (pos - page_base) as usize;
+            let take = ((end - pos) as usize).min(PAGE_SIZE - in_page);
+            out.extend_from_slice(&page.content.slice(in_page..in_page + take));
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Writes enclave memory (in-enclave access). Only writable pages
+    /// accept writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::InvalidPageOffset`] for unmapped ranges and
+    /// [`SgxError::InvalidLifecycle`] for read-only pages.
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<(), SgxError> {
+        let mut pos = offset;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let page_base = pos - pos % PAGE_SIZE as u64;
+            let page = self
+                .pages
+                .get_mut(&page_base)
+                .ok_or(SgxError::InvalidPageOffset { offset: pos })?;
+            if page.secinfo.perms & crate::secinfo::PERM_W == 0 {
+                return Err(SgxError::InvalidLifecycle { operation: "write to read-only page" });
+            }
+            let in_page = (pos - page_base) as usize;
+            let take = remaining.len().min(PAGE_SIZE - in_page);
+            page.content.materialize()[in_page..in_page + take]
+                .copy_from_slice(&remaining[..take]);
+            pos += take as u64;
+            remaining = &remaining[take..];
+        }
+        Ok(())
+    }
+
+    /// `EREPORT`: creates a report about this enclave for `target`.
+    ///
+    /// The MAC is keyed so only the target enclave (on this platform)
+    /// can verify it. The `report_data` is entirely caller-controlled —
+    /// the paper's attack exploits precisely this (§3.2).
+    #[must_use]
+    pub fn ereport(&self, target: &TargetInfo, report_data: ReportData) -> Report {
+        let body = ReportBody {
+            cpu_svn: self.platform.cpu_svn(),
+            mrenclave: self.mrenclave(),
+            mrsigner: self.mrsigner(),
+            attributes: self.secs.attributes,
+            isv_prod_id: self.secs.isv_prod_id,
+            isv_svn: self.secs.isv_svn,
+            report_data,
+        };
+        let key_id = self.platform.next_key_id();
+        let key = self.platform.report_key(&target.mrenclave);
+        let mut mac_input = body.to_bytes();
+        mac_input.extend_from_slice(&key_id);
+        let mac = hmac::hmac(&key, &mac_input).to_bytes();
+        Report { body, key_id, mac }
+    }
+
+    /// Local attestation: this enclave verifies a report that was
+    /// targeted at it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::ReportMacInvalid`] if the MAC does not
+    /// verify under this enclave's report key.
+    pub fn verify_report(&self, report: &Report) -> Result<ReportBody, SgxError> {
+        let key = self.platform.report_key(&self.mrenclave());
+        if !hmac::verify(&key, &report.mac_input(), &report.mac) {
+            return Err(SgxError::ReportMacInvalid);
+        }
+        Ok(report.body.clone())
+    }
+
+    /// Number of pages in the enclave.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigstruct::SigStructBody;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sinclave_crypto::rsa::RsaPrivateKey;
+
+    fn platform(seed: u64) -> Arc<Platform> {
+        Arc::new(Platform::new(&mut StdRng::seed_from_u64(seed)))
+    }
+
+    fn signer(seed: u64) -> RsaPrivateKey {
+        RsaPrivateKey::generate(&mut StdRng::seed_from_u64(seed), 1024).unwrap()
+    }
+
+    fn builder(platform: &Arc<Platform>) -> EnclaveBuilder {
+        let mut b = EnclaveBuilder::new(platform.clone(), 0x40000, Attributes::production());
+        b.add_bytes(0, b"program code", SecInfo::code(), true).unwrap();
+        b.add_heap(0x10000, 4).unwrap();
+        b
+    }
+
+    fn sigstruct_for(b: &EnclaveBuilder, key: &RsaPrivateKey) -> SigStruct {
+        SigStruct::sign(
+            SigStructBody {
+                enclave_hash: b.current_measurement(),
+                attributes: Attributes::production(),
+                attributes_mask: Attributes { flags: u64::MAX, xfrm: u64::MAX },
+                isv_prod_id: 7,
+                isv_svn: 3,
+                date: 20230101,
+                vendor: 0,
+            },
+            key,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_initialize() {
+        let p = platform(1);
+        let key = signer(1);
+        let b = builder(&p);
+        let ss = sigstruct_for(&b, &key);
+        let enclave = b.einit(&ss, None, &LaunchControl::Flexible).unwrap();
+        assert_eq!(enclave.mrenclave(), ss.body().enclave_hash);
+        assert_eq!(enclave.mrsigner(), key.public_key().fingerprint());
+        assert_eq!(enclave.isv_prod_id(), 7);
+        assert_eq!(enclave.isv_svn(), 3);
+        assert_eq!(p.enclaves_created(), 1);
+    }
+
+    #[test]
+    fn einit_rejects_wrong_measurement() {
+        let p = platform(2);
+        let key = signer(2);
+        let b = builder(&p);
+        let ss = sigstruct_for(&b, &key);
+        // Tamper with the enclave after signing.
+        let mut b2 = builder(&p);
+        b2.add_bytes(0x2000, b"malicious extra page", SecInfo::code(), true).unwrap();
+        assert!(matches!(
+            b2.einit(&ss, None, &LaunchControl::Flexible),
+            Err(SgxError::MeasurementMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn einit_rejects_attribute_violation() {
+        let p = platform(3);
+        let key = signer(3);
+        // Builder in debug mode, SigStruct demands production.
+        let mut b = EnclaveBuilder::new(p, 0x40000, Attributes::debug());
+        b.add_bytes(0, b"program code", SecInfo::code(), true).unwrap();
+        b.add_heap(0x10000, 4).unwrap();
+        let ss = sigstruct_for(&b, &key);
+        assert_eq!(
+            b.einit(&ss, None, &LaunchControl::Flexible).unwrap_err(),
+            SgxError::AttributesRejected
+        );
+    }
+
+    #[test]
+    fn launch_control_token_flow() {
+        use crate::launch::LaunchEnclave;
+        let p = platform(4);
+        let key = signer(4);
+        let mrsigner = key.public_key().fingerprint();
+
+        // Not whitelisted, no token: denied.
+        let b = builder(&p);
+        let ss = sigstruct_for(&b, &key);
+        let lc = LaunchControl::TokenRequired { whitelist: vec![] };
+        assert!(matches!(
+            builder(&p).einit(&ss, None, &lc),
+            Err(SgxError::LaunchDenied { .. })
+        ));
+
+        // With a token from the launch enclave (whitelisting the signer).
+        let le = LaunchEnclave::new(p.clone(), vec![mrsigner]);
+        let token = le
+            .issue_token(&ss.body().enclave_hash, &mrsigner, &Attributes::production())
+            .unwrap();
+        let enclave = builder(&p).einit(&ss, Some(&token), &lc).unwrap();
+        assert_eq!(enclave.mrsigner(), mrsigner);
+
+        // Whitelisted signer launches without a token.
+        let lc2 = LaunchControl::TokenRequired { whitelist: vec![mrsigner] };
+        assert!(builder(&p).einit(&ss, None, &lc2).is_ok());
+    }
+
+    #[test]
+    fn memory_read_write_semantics() {
+        let p = platform(5);
+        let key = signer(5);
+        let b = builder(&p);
+        let ss = sigstruct_for(&b, &key);
+        let mut enclave = b.einit(&ss, None, &LaunchControl::Flexible).unwrap();
+
+        // Heap is writable and readable across page boundaries.
+        let data: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+        enclave.write(0x10000, &data).unwrap();
+        assert_eq!(enclave.read(0x10000, 5000).unwrap(), data);
+        // Offset reads work.
+        assert_eq!(enclave.read(0x10001, 10).unwrap(), data[1..11]);
+
+        // Code pages are read-only.
+        assert!(matches!(
+            enclave.write(0, b"overwrite"),
+            Err(SgxError::InvalidLifecycle { .. })
+        ));
+        // Unmapped access fails.
+        assert!(enclave.read(0x3f000, 16).is_err());
+    }
+
+    #[test]
+    fn report_roundtrip_and_tamper_detection() {
+        let p = platform(6);
+        let key = signer(6);
+
+        let b = builder(&p);
+        let ss = sigstruct_for(&b, &key);
+        let reporter = b.einit(&ss, None, &LaunchControl::Flexible).unwrap();
+
+        // Second enclave acts as the verifier target.
+        let mut b2 = EnclaveBuilder::new(p.clone(), 0x10000, Attributes::production());
+        b2.add_bytes(0, b"target", SecInfo::code(), true).unwrap();
+        let ss2 = sigstruct_for(&b2, &key);
+        let target = b2.einit(&ss2, None, &LaunchControl::Flexible).unwrap();
+
+        let data = ReportData::from_slice(b"channel binding");
+        let report = reporter.ereport(&target.target_info(), data);
+        let body = target.verify_report(&report).unwrap();
+        assert_eq!(body.mrenclave, reporter.mrenclave());
+        assert_eq!(body.report_data, data);
+
+        // Tampered report data fails the MAC.
+        let mut forged = report.clone();
+        forged.body.report_data = ReportData::from_slice(b"attacker value");
+        assert_eq!(target.verify_report(&forged), Err(SgxError::ReportMacInvalid));
+
+        // A report for a different target fails too.
+        let misdirected = reporter.ereport(&reporter.target_info(), data);
+        assert_eq!(target.verify_report(&misdirected), Err(SgxError::ReportMacInvalid));
+    }
+
+    #[test]
+    fn epc_accounting_via_builder_and_drop() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Arc::new(Platform::with_epc_pages(&mut rng, 8));
+        let key = signer(7);
+        let mut b = EnclaveBuilder::new(p.clone(), 0x40000, Attributes::production());
+        b.add_bytes(0, b"x", SecInfo::code(), true).unwrap();
+        b.add_heap(0x10000, 7).unwrap();
+        assert_eq!(b.add_heap(0x30000, 1).unwrap_err(), SgxError::OutOfEpc);
+        let ss = sigstruct_for(&b, &key);
+        let enclave = b.einit(&ss, None, &LaunchControl::Flexible).unwrap();
+        assert_eq!(p.epc_used_pages(), 8);
+        drop(enclave);
+        assert_eq!(p.epc_used_pages(), 0);
+    }
+
+    #[test]
+    fn duplicate_page_rejected() {
+        let p = platform(8);
+        let mut b = EnclaveBuilder::new(p, 0x10000, Attributes::production());
+        let page = [0u8; PAGE_SIZE];
+        b.add_page(0, &page, SecInfo::code(), true).unwrap();
+        assert!(matches!(
+            b.add_page(0, &page, SecInfo::code(), true),
+            Err(SgxError::InvalidPageOffset { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_builds_identical_mrenclave_different_platforms() {
+        // MRENCLAVE is platform-independent: same construction on two
+        // machines yields the same measurement (that is what makes
+        // remote attestation meaningful).
+        let b1 = builder(&platform(9));
+        let b2 = builder(&platform(10));
+        assert_eq!(b1.current_measurement(), b2.current_measurement());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for the simulated SGX platform.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by simulated SGX instructions and services.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgxError {
+    /// `EINIT`: the SigStruct's enclave hash does not match the
+    /// measured `MRENCLAVE`.
+    MeasurementMismatch {
+        /// Hex of the measured value.
+        measured: String,
+        /// Hex of the value the SigStruct expects.
+        expected: String,
+    },
+    /// `EINIT`: the SigStruct signature is invalid.
+    SigStructInvalid,
+    /// `EINIT`: the enclave attributes are not allowed by the
+    /// SigStruct's attribute mask.
+    AttributesRejected,
+    /// `EINIT`: launch control rejected the enclave.
+    LaunchDenied {
+        /// Human-readable reason from the launch-control policy.
+        reason: &'static str,
+    },
+    /// `EADD`: page offset outside the enclave range or misaligned.
+    InvalidPageOffset {
+        /// The offending offset.
+        offset: u64,
+    },
+    /// `EADD`/`EEXTEND` after `EINIT`, or entry before `EINIT`.
+    InvalidLifecycle {
+        /// What was attempted.
+        operation: &'static str,
+    },
+    /// A report MAC failed to verify.
+    ReportMacInvalid,
+    /// A quote signature failed to verify or the attestation key is
+    /// not certified.
+    QuoteInvalid {
+        /// Why the quote was rejected.
+        reason: &'static str,
+    },
+    /// The enclave is out of EPC memory (size budget exceeded).
+    OutOfEpc,
+    /// Structure (de)serialization failed.
+    Malformed {
+        /// What was being parsed.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::MeasurementMismatch { measured, expected } => write!(
+                f,
+                "enclave measurement mismatch: measured {measured}, sigstruct expects {expected}"
+            ),
+            SgxError::SigStructInvalid => write!(f, "sigstruct signature invalid"),
+            SgxError::AttributesRejected => {
+                write!(f, "enclave attributes rejected by sigstruct mask")
+            }
+            SgxError::LaunchDenied { reason } => write!(f, "launch denied: {reason}"),
+            SgxError::InvalidPageOffset { offset } => {
+                write!(f, "invalid enclave page offset {offset:#x}")
+            }
+            SgxError::InvalidLifecycle { operation } => {
+                write!(f, "operation not allowed in current enclave state: {operation}")
+            }
+            SgxError::ReportMacInvalid => write!(f, "report mac invalid"),
+            SgxError::QuoteInvalid { reason } => write!(f, "quote invalid: {reason}"),
+            SgxError::OutOfEpc => write!(f, "enclave page cache exhausted"),
+            SgxError::Malformed { context } => write!(f, "malformed {context}"),
+        }
+    }
+}
+
+impl Error for SgxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SgxError::MeasurementMismatch {
+            measured: "aa".into(),
+            expected: "bb".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("aa") && s.contains("bb"));
+        assert!(SgxError::LaunchDenied { reason: "not whitelisted" }
+            .to_string()
+            .contains("not whitelisted"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SgxError>();
+    }
+}

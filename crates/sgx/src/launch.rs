@@ -1,0 +1,212 @@
+//! Launch control: `EINITTOKEN`s and launch policies (§2.2.2).
+//!
+//! In first-generation SGX only whitelisted signers could run
+//! production enclaves, gated by a launch enclave issuing
+//! `EINITTOKEN`s; Flexible Launch Control (FLC) later let the platform
+//! owner run anything. Both modes are modeled, because SinClave's
+//! on-demand SigStructs must work under either.
+
+use crate::attributes::Attributes;
+use crate::error::SgxError;
+use crate::measurement::Measurement;
+use crate::platform::Platform;
+use sinclave_crypto::hmac;
+use sinclave_crypto::sha256::Digest;
+use std::sync::Arc;
+
+/// The platform's launch policy.
+#[derive(Clone, Debug)]
+pub enum LaunchControl {
+    /// Flexible launch control: any enclave may start (the modern
+    /// default the paper assumes).
+    Flexible,
+    /// Legacy policy: production enclaves need an `EINITTOKEN` from
+    /// the launch enclave, which only issues them for whitelisted
+    /// signers (debug enclaves are always allowed).
+    TokenRequired {
+        /// `MRSIGNER` values allowed to run in production mode.
+        whitelist: Vec<Digest>,
+    },
+}
+
+/// A token authorizing one specific enclave identity to launch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EinitToken {
+    /// The enclave measurement this token authorizes.
+    pub mrenclave: Measurement,
+    /// The signer identity this token authorizes.
+    pub mrsigner: Digest,
+    /// The attributes this token authorizes.
+    pub attributes: Attributes,
+    /// MAC under the platform launch key.
+    pub mac: [u8; 32],
+}
+
+impl EinitToken {
+    fn mac_input(
+        mrenclave: &Measurement,
+        mrsigner: &Digest,
+        attributes: &Attributes,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 32 + 16);
+        out.extend_from_slice(mrenclave.as_bytes());
+        out.extend_from_slice(mrsigner.as_bytes());
+        out.extend_from_slice(&attributes.to_bytes());
+        out
+    }
+
+    /// Checks the token's MAC and identity fields against a concrete
+    /// enclave on a concrete platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::LaunchDenied`] when the token does not
+    /// authorize this exact enclave.
+    pub fn validate(
+        &self,
+        platform: &Platform,
+        mrenclave: &Measurement,
+        mrsigner: &Digest,
+        attributes: &Attributes,
+    ) -> Result<(), SgxError> {
+        if &self.mrenclave != mrenclave
+            || &self.mrsigner != mrsigner
+            || &self.attributes != attributes
+        {
+            return Err(SgxError::LaunchDenied { reason: "token identity mismatch" });
+        }
+        let input = Self::mac_input(mrenclave, mrsigner, attributes);
+        if !hmac::verify(&platform.launch_key(), &input, &self.mac) {
+            return Err(SgxError::LaunchDenied { reason: "token mac invalid" });
+        }
+        Ok(())
+    }
+}
+
+/// The launch enclave: the dedicated system enclave that issues
+/// `EINITTOKEN`s (§2.2.2).
+#[derive(Debug)]
+pub struct LaunchEnclave {
+    platform: Arc<Platform>,
+    whitelist: Vec<Digest>,
+}
+
+impl LaunchEnclave {
+    /// Creates a launch enclave enforcing a signer whitelist.
+    #[must_use]
+    pub fn new(platform: Arc<Platform>, whitelist: Vec<Digest>) -> Self {
+        LaunchEnclave { platform, whitelist }
+    }
+
+    /// Issues a token for the given enclave identity.
+    ///
+    /// Debug-mode enclaves are always allowed (as Intel's launch
+    /// enclave did); production enclaves need a whitelisted signer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::LaunchDenied`] for non-whitelisted
+    /// production signers.
+    pub fn issue_token(
+        &self,
+        mrenclave: &Measurement,
+        mrsigner: &Digest,
+        attributes: &Attributes,
+    ) -> Result<EinitToken, SgxError> {
+        if !attributes.is_debug() && !self.whitelist.contains(mrsigner) {
+            return Err(SgxError::LaunchDenied { reason: "signer not whitelisted" });
+        }
+        let input = EinitToken::mac_input(mrenclave, mrsigner, attributes);
+        let mac = hmac::hmac(&self.platform.launch_key(), &input).to_bytes();
+        Ok(EinitToken {
+            mrenclave: *mrenclave,
+            mrsigner: *mrsigner,
+            attributes: *attributes,
+            mac,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn platform(seed: u64) -> Arc<Platform> {
+        Arc::new(Platform::new(&mut StdRng::seed_from_u64(seed)))
+    }
+
+    fn identities() -> (Measurement, Digest, Attributes) {
+        (
+            Measurement(Digest([1; 32])),
+            Digest([2; 32]),
+            Attributes::production(),
+        )
+    }
+
+    #[test]
+    fn whitelisted_signer_gets_valid_token() {
+        let p = platform(1);
+        let (mre, mrs, attrs) = identities();
+        let le = LaunchEnclave::new(p.clone(), vec![mrs]);
+        let token = le.issue_token(&mre, &mrs, &attrs).unwrap();
+        token.validate(&p, &mre, &mrs, &attrs).unwrap();
+    }
+
+    #[test]
+    fn non_whitelisted_production_signer_denied() {
+        let p = platform(2);
+        let (mre, mrs, attrs) = identities();
+        let le = LaunchEnclave::new(p, vec![]);
+        assert!(matches!(
+            le.issue_token(&mre, &mrs, &attrs),
+            Err(SgxError::LaunchDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn debug_enclaves_always_get_tokens() {
+        let p = platform(3);
+        let (mre, mrs, _) = identities();
+        let le = LaunchEnclave::new(p, vec![]);
+        assert!(le.issue_token(&mre, &mrs, &Attributes::debug()).is_ok());
+    }
+
+    #[test]
+    fn token_bound_to_identity() {
+        let p = platform(4);
+        let (mre, mrs, attrs) = identities();
+        let le = LaunchEnclave::new(p.clone(), vec![mrs]);
+        let token = le.issue_token(&mre, &mrs, &attrs).unwrap();
+        let other = Measurement(Digest([9; 32]));
+        assert!(token.validate(&p, &other, &mrs, &attrs).is_err());
+        assert!(token.validate(&p, &mre, &Digest([9; 32]), &attrs).is_err());
+        assert!(token
+            .validate(&p, &mre, &mrs, &Attributes::debug())
+            .is_err());
+    }
+
+    #[test]
+    fn token_bound_to_platform() {
+        let p1 = platform(5);
+        let p2 = platform(6);
+        let (mre, mrs, attrs) = identities();
+        let le = LaunchEnclave::new(p1, vec![mrs]);
+        let token = le.issue_token(&mre, &mrs, &attrs).unwrap();
+        assert!(matches!(
+            token.validate(&p2, &mre, &mrs, &attrs),
+            Err(SgxError::LaunchDenied { reason: "token mac invalid" })
+        ));
+    }
+
+    #[test]
+    fn forged_mac_rejected() {
+        let p = platform(7);
+        let (mre, mrs, attrs) = identities();
+        let le = LaunchEnclave::new(p.clone(), vec![mrs]);
+        let mut token = le.issue_token(&mre, &mrs, &attrs).unwrap();
+        token.mac[0] ^= 1;
+        assert!(token.validate(&p, &mre, &mrs, &attrs).is_err());
+    }
+}

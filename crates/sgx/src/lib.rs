@@ -1,0 +1,52 @@
+//! Functional software simulation of Intel SGX.
+//!
+//! The SinClave mechanism is defined over SGX's *measurement algebra*:
+//! `MRENCLAVE` is a SHA-256 over well-defined 64-byte records emitted
+//! by the `ECREATE`/`EADD`/`EEXTEND` instructions and finalized by
+//! `EINIT` (§2.2.1 of the paper). This crate reimplements that algebra
+//! bit-for-bit following the Intel SDM, together with the surrounding
+//! machinery a reproduction needs:
+//!
+//! * [`measurement`] — the `MRENCLAVE` computation, built on the
+//!   interruptible SHA-256 so a base enclave hash can be exported.
+//! * [`secinfo`] / [`secs`] / [`attributes`] — enclave metadata.
+//! * [`sigstruct`] — the RSA-3072-signed enclave signature structure
+//!   checked by `EINIT`.
+//! * [`launch`] — `EINITTOKEN` and launch control (including FLC).
+//! * [`platform`] — a simulated CPU package with fused keys.
+//! * [`enclave`] — the enclave life cycle: builder (the *starter*),
+//!   initialized enclaves, `EREPORT`.
+//! * [`report`] / [`quote`] / [`attestation`] — local and remote
+//!   attestation: reports MAC'd with a platform report key, quotes
+//!   signed by a quoting enclave, and the attestation service that
+//!   certifies them.
+//! * [`sealing`] — `EGETKEY`-style sealing-key derivation.
+//!
+//! What is *not* simulated: micro-architecture, paging, memory
+//! encryption. Confidentiality against the host is enforced by Rust
+//! visibility (enclave page content is only reachable through the
+//! enclave's entry points), which is sufficient for reproducing the
+//! paper's protocol-level attack and defense.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attestation;
+pub mod attributes;
+pub mod enclave;
+pub mod error;
+pub mod launch;
+pub mod measurement;
+pub mod platform;
+pub mod quote;
+pub mod report;
+pub mod sealing;
+pub mod secinfo;
+pub mod secs;
+pub mod sigstruct;
+
+pub use error::SgxError;
+pub use measurement::Measurement;
+
+/// Size of an enclave page in bytes.
+pub const PAGE_SIZE: usize = 4096;

@@ -1,0 +1,327 @@
+//! The `MRENCLAVE` measurement computation.
+//!
+//! Every enclave-construction operation contributes 64-byte records to
+//! a single SHA-256 (Intel SDM Vol. 3D; §2.2.1 of the paper):
+//!
+//! * `ECREATE` — one record: tag, SSA frame size, enclave size.
+//! * `EADD` — one record per page: tag, page offset, SECINFO flags.
+//! * `EEXTEND` — five records per 256-byte chunk: a tag+offset header
+//!   followed by the four 64-byte data blocks of the chunk.
+//!
+//! Because every record is a multiple of 64 bytes, the hash is always
+//! block-aligned between operations — the property SinClave exploits to
+//! interrupt the computation and export a [`Sha256State`] base hash
+//! that a verifier can later extend with an instance page and finalize
+//! (§4.4).
+
+use crate::error::SgxError;
+use crate::secinfo::SecInfo;
+use crate::PAGE_SIZE;
+use sinclave_crypto::sha256::{Digest, Sha256, Sha256State};
+use std::fmt;
+
+/// Bytes measured by a single `EEXTEND` instruction.
+pub const EEXTEND_CHUNK: usize = 256;
+
+const ECREATE_TAG: &[u8; 8] = b"ECREATE\0";
+const EADD_TAG: &[u8; 8] = b"EADD\0\0\0\0";
+const EEXTEND_TAG: &[u8; 8] = b"EEXTEND\0";
+
+/// A finalized enclave measurement (`MRENCLAVE`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Measurement(pub Digest);
+
+impl Measurement {
+    /// The digest bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        self.0.as_bytes()
+    }
+
+    /// Lowercase hex rendering.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        self.0.to_hex()
+    }
+}
+
+impl fmt::Debug for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Measurement({})", &self.to_hex()[..16])
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<Digest> for Measurement {
+    fn from(d: Digest) -> Self {
+        Measurement(d)
+    }
+}
+
+/// Incremental `MRENCLAVE` builder mirroring the hardware computation.
+///
+/// Drives the interruptible SHA-256; [`MeasurementBuilder::export_state`]
+/// yields the SinClave base enclave hash.
+///
+/// # Example
+///
+/// ```
+/// use sinclave_sgx::measurement::MeasurementBuilder;
+/// use sinclave_sgx::secinfo::SecInfo;
+///
+/// let mut m = MeasurementBuilder::ecreate(1, 0x10000);
+/// m.add_page(0, &[0u8; 4096], SecInfo::code(), true).unwrap();
+/// let mrenclave = m.finalize();
+/// assert_eq!(mrenclave.as_bytes().len(), 32);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MeasurementBuilder {
+    hash: Sha256,
+    enclave_size: u64,
+    operations: u64,
+}
+
+impl MeasurementBuilder {
+    /// Starts a measurement with the `ECREATE` record.
+    ///
+    /// `ssa_frame_size` and `size` are the values stored in the SECS;
+    /// `size` bounds page offsets in subsequent [`add_page`] calls.
+    ///
+    /// [`add_page`]: MeasurementBuilder::add_page
+    #[must_use]
+    pub fn ecreate(ssa_frame_size: u32, size: u64) -> Self {
+        let mut hash = Sha256::new();
+        let mut record = [0u8; 64];
+        record[..8].copy_from_slice(ECREATE_TAG);
+        record[8..12].copy_from_slice(&ssa_frame_size.to_le_bytes());
+        record[12..20].copy_from_slice(&size.to_le_bytes());
+        hash.update(&record);
+        MeasurementBuilder { hash, enclave_size: size, operations: 1 }
+    }
+
+    /// Measures the `EADD` of a page at `offset` with the given
+    /// SECINFO, then optionally its content via 16 `EEXTEND`s.
+    ///
+    /// Real SGX leaves content measurement to the starter's discretion
+    /// (unmeasured pages are typically zeroed heap); both modes are
+    /// needed here (heap pages are added unmeasured in Fig. 8's
+    /// experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::InvalidPageOffset`] if `offset` is not
+    /// page-aligned or lies outside the enclave size declared at
+    /// `ECREATE`.
+    pub fn add_page(
+        &mut self,
+        offset: u64,
+        content: &[u8; PAGE_SIZE],
+        secinfo: SecInfo,
+        measure_content: bool,
+    ) -> Result<(), SgxError> {
+        self.eadd(offset, secinfo)?;
+        if measure_content {
+            for (i, chunk) in content.chunks_exact(EEXTEND_CHUNK).enumerate() {
+                self.eextend(
+                    offset + (i * EEXTEND_CHUNK) as u64,
+                    chunk.try_into().expect("256-byte chunk"),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Measures a bare `EADD` record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::InvalidPageOffset`] for unaligned or
+    /// out-of-range offsets.
+    pub fn eadd(&mut self, offset: u64, secinfo: SecInfo) -> Result<(), SgxError> {
+        if !offset.is_multiple_of(PAGE_SIZE as u64) || offset + PAGE_SIZE as u64 > self.enclave_size {
+            return Err(SgxError::InvalidPageOffset { offset });
+        }
+        let mut record = [0u8; 64];
+        record[..8].copy_from_slice(EADD_TAG);
+        record[8..16].copy_from_slice(&offset.to_le_bytes());
+        record[16..64].copy_from_slice(&secinfo.measured_bytes());
+        self.hash.update(&record);
+        self.operations += 1;
+        Ok(())
+    }
+
+    /// Measures one `EEXTEND` over a 256-byte chunk at `offset`:
+    /// header record plus four data records.
+    pub fn eextend(&mut self, offset: u64, chunk: &[u8; EEXTEND_CHUNK]) {
+        let mut header = [0u8; 64];
+        header[..8].copy_from_slice(EEXTEND_TAG);
+        header[8..16].copy_from_slice(&offset.to_le_bytes());
+        self.hash.update(&header);
+        self.hash.update(chunk);
+        self.operations += 1;
+    }
+
+    /// Number of measured construction operations so far.
+    #[must_use]
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Total bytes hashed so far (always a multiple of 64).
+    #[must_use]
+    pub fn measured_bytes(&self) -> u64 {
+        self.hash.total_len()
+    }
+
+    /// Exports the interruptible-hash state: the **base enclave hash**.
+    ///
+    /// This is what the SinClave signer publishes in place of a final
+    /// `MRENCLAVE`, and what the verifier resumes to predict a
+    /// singleton's measurement.
+    #[must_use]
+    pub fn export_state(&self) -> Sha256State {
+        self.hash
+            .export_state()
+            .expect("measurement records are 64-byte aligned by construction")
+    }
+
+    /// Resumes a measurement from an exported base hash.
+    ///
+    /// `enclave_size` must repeat the size given at `ECREATE` so that
+    /// offset validation keeps working.
+    #[must_use]
+    pub fn resume(state: Sha256State, enclave_size: u64) -> Self {
+        MeasurementBuilder {
+            hash: Sha256::resume(state),
+            enclave_size,
+            operations: 0,
+        }
+    }
+
+    /// Finalizes the measurement into `MRENCLAVE` (what `EINIT` does).
+    #[must_use]
+    pub fn finalize(self) -> Measurement {
+        Measurement(self.hash.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(fill: u8) -> [u8; PAGE_SIZE] {
+        [fill; PAGE_SIZE]
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let build = || {
+            let mut m = MeasurementBuilder::ecreate(1, 0x20000);
+            m.add_page(0, &page(1), SecInfo::code(), true).unwrap();
+            m.add_page(0x1000, &page(2), SecInfo::data(), true).unwrap();
+            m.finalize()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn any_input_difference_changes_mrenclave() {
+        let base = {
+            let mut m = MeasurementBuilder::ecreate(1, 0x20000);
+            m.add_page(0, &page(1), SecInfo::code(), true).unwrap();
+            m.finalize()
+        };
+        // Different content.
+        let mut m = MeasurementBuilder::ecreate(1, 0x20000);
+        m.add_page(0, &page(9), SecInfo::code(), true).unwrap();
+        assert_ne!(m.finalize(), base);
+        // Different permissions.
+        let mut m = MeasurementBuilder::ecreate(1, 0x20000);
+        m.add_page(0, &page(1), SecInfo::data(), true).unwrap();
+        assert_ne!(m.finalize(), base);
+        // Different offset.
+        let mut m = MeasurementBuilder::ecreate(1, 0x20000);
+        m.add_page(0x1000, &page(1), SecInfo::code(), true).unwrap();
+        assert_ne!(m.finalize(), base);
+        // Different enclave size.
+        let mut m = MeasurementBuilder::ecreate(1, 0x40000);
+        m.add_page(0, &page(1), SecInfo::code(), true).unwrap();
+        assert_ne!(m.finalize(), base);
+        // Different SSA frame size.
+        let mut m = MeasurementBuilder::ecreate(2, 0x20000);
+        m.add_page(0, &page(1), SecInfo::code(), true).unwrap();
+        assert_ne!(m.finalize(), base);
+    }
+
+    #[test]
+    fn unmeasured_page_content_is_invisible() {
+        let mk = |fill: u8| {
+            let mut m = MeasurementBuilder::ecreate(1, 0x20000);
+            m.add_page(0, &page(fill), SecInfo::data(), false).unwrap();
+            m.finalize()
+        };
+        // This is the root cause of the paper's attack: unmeasured
+        // content does not influence MRENCLAVE.
+        assert_eq!(mk(0), mk(255));
+    }
+
+    #[test]
+    fn offset_validation() {
+        let mut m = MeasurementBuilder::ecreate(1, 0x2000);
+        assert!(matches!(
+            m.eadd(0x123, SecInfo::code()),
+            Err(SgxError::InvalidPageOffset { offset: 0x123 })
+        ));
+        assert!(m.eadd(0x2000, SecInfo::code()).is_err(), "beyond enclave size");
+        assert!(m.eadd(0x1000, SecInfo::code()).is_ok());
+    }
+
+    #[test]
+    fn operation_and_byte_accounting() {
+        let mut m = MeasurementBuilder::ecreate(1, 0x10000);
+        assert_eq!(m.operations(), 1);
+        assert_eq!(m.measured_bytes(), 64);
+        m.add_page(0, &page(0), SecInfo::code(), true).unwrap();
+        // 1 EADD + 16 EEXTEND.
+        assert_eq!(m.operations(), 1 + 1 + 16);
+        // EADD record + 16 * (header + 256 bytes).
+        assert_eq!(m.measured_bytes(), 64 + 64 + 16 * (64 + 256));
+    }
+
+    #[test]
+    fn export_resume_matches_direct_computation() {
+        // The SinClave core property at measurement level: interrupt
+        // after the base pages, resume elsewhere, add one more page,
+        // and land on the same MRENCLAVE as a straight computation.
+        let mut base = MeasurementBuilder::ecreate(1, 0x40000);
+        base.add_page(0, &page(7), SecInfo::code(), true).unwrap();
+        let state = base.export_state();
+
+        let mut resumed = MeasurementBuilder::resume(state, 0x40000);
+        resumed.add_page(0x1000, &page(8), SecInfo::read_only(), true).unwrap();
+
+        let mut direct = MeasurementBuilder::ecreate(1, 0x40000);
+        direct.add_page(0, &page(7), SecInfo::code(), true).unwrap();
+        direct.add_page(0x1000, &page(8), SecInfo::read_only(), true).unwrap();
+
+        assert_eq!(resumed.finalize(), direct.finalize());
+    }
+
+    #[test]
+    fn eextend_covers_whole_page() {
+        // measure_content=true must extend over all 16 chunks: flipping
+        // the final byte of the page must change the measurement.
+        let mut a = MeasurementBuilder::ecreate(1, 0x10000);
+        a.add_page(0, &page(0), SecInfo::code(), true).unwrap();
+        let mut content = page(0);
+        content[PAGE_SIZE - 1] = 1;
+        let mut b = MeasurementBuilder::ecreate(1, 0x10000);
+        b.add_page(0, &content, SecInfo::code(), true).unwrap();
+        assert_ne!(a.finalize(), b.finalize());
+    }
+}

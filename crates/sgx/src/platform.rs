@@ -1,0 +1,273 @@
+//! A simulated SGX-capable CPU package.
+//!
+//! Real SGX fuses two secrets into the die at manufacturing (§2.2.3):
+//! the *seal secret* (known only to the processor) and the
+//! *provisioning secret* (also stored by Intel's provisioning service).
+//! This module models a CPU package holding both, from which all
+//! platform keys — report keys, seal keys, launch keys — are derived.
+//! Key derivations are `pub(crate)`: only the in-crate primitives that
+//! model hardware (enclaves, the quoting enclave, launch control) can
+//! reach them, mirroring how `EGETKEY`/`EREPORT` gate access on real
+//! hardware.
+
+use crate::measurement::Measurement;
+use parking_lot::Mutex;
+use rand::RngCore;
+use sinclave_crypto::hkdf;
+use sinclave_crypto::sha256::{self, Digest};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Length of the CPU security version number field.
+pub const CPU_SVN_LEN: usize = 16;
+
+/// A simulated CPU package with SGX support.
+///
+/// Create one per simulated machine and share it via `Arc`; enclaves,
+/// the quoting enclave and the launch enclave all hold a reference to
+/// the platform they run on.
+pub struct Platform {
+    platform_id: [u8; 16],
+    cpu_svn: [u8; CPU_SVN_LEN],
+    root_seal_secret: [u8; 32],
+    root_provisioning_secret: [u8; 32],
+    /// Total EPC budget in pages, shared by all enclaves on the
+    /// platform (coarse model of the enclave page cache).
+    epc_total_pages: u64,
+    epc_used_pages: AtomicU64,
+    /// Monotonic counter for report key ids.
+    key_id_counter: AtomicU64,
+    /// Enclaves created on this platform (statistics only).
+    enclaves_created: Mutex<u64>,
+}
+
+impl fmt::Debug for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Platform")
+            .field("platform_id", &hex16(&self.platform_id))
+            .field("epc_total_pages", &self.epc_total_pages)
+            .field("epc_used_pages", &self.epc_used_pages.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn hex16(b: &[u8; 16]) -> String {
+    b.iter().map(|x| format!("{x:02x}")).collect()
+}
+
+impl Platform {
+    /// Default EPC size: 128 MiB in pages, the classic SGX1 budget.
+    pub const DEFAULT_EPC_PAGES: u64 = 128 * 1024 * 1024 / crate::PAGE_SIZE as u64;
+
+    /// Manufactures a platform with random fused secrets.
+    #[must_use]
+    pub fn new<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut platform_id = [0u8; 16];
+        rng.fill_bytes(&mut platform_id);
+        let mut cpu_svn = [0u8; CPU_SVN_LEN];
+        cpu_svn[0] = 1;
+        let mut root_seal_secret = [0u8; 32];
+        rng.fill_bytes(&mut root_seal_secret);
+        let mut root_provisioning_secret = [0u8; 32];
+        rng.fill_bytes(&mut root_provisioning_secret);
+        Platform {
+            platform_id,
+            cpu_svn,
+            root_seal_secret,
+            root_provisioning_secret,
+            epc_total_pages: Self::DEFAULT_EPC_PAGES,
+            epc_used_pages: AtomicU64::new(0),
+            key_id_counter: AtomicU64::new(1),
+            enclaves_created: Mutex::new(0),
+        }
+    }
+
+    /// Manufactures a platform with a custom EPC budget (for the
+    /// Fig. 8 heap-size experiments, which exceed 128 MiB).
+    #[must_use]
+    pub fn with_epc_pages<R: RngCore + ?Sized>(rng: &mut R, epc_total_pages: u64) -> Self {
+        let mut p = Platform::new(rng);
+        p.epc_total_pages = epc_total_pages;
+        p
+    }
+
+    /// Stable identifier of this CPU package.
+    #[must_use]
+    pub fn platform_id(&self) -> [u8; 16] {
+        self.platform_id
+    }
+
+    /// Current CPU security version number.
+    #[must_use]
+    pub fn cpu_svn(&self) -> [u8; CPU_SVN_LEN] {
+        self.cpu_svn
+    }
+
+    /// EPC pages currently in use.
+    #[must_use]
+    pub fn epc_used_pages(&self) -> u64 {
+        self.epc_used_pages.load(Ordering::Relaxed)
+    }
+
+    /// Total EPC pages.
+    #[must_use]
+    pub fn epc_total_pages(&self) -> u64 {
+        self.epc_total_pages
+    }
+
+    /// Number of enclaves created on this platform so far.
+    #[must_use]
+    pub fn enclaves_created(&self) -> u64 {
+        *self.enclaves_created.lock()
+    }
+
+    pub(crate) fn note_enclave_created(&self) {
+        *self.enclaves_created.lock() += 1;
+    }
+
+    /// Reserves EPC pages; returns false when the budget is exhausted.
+    pub(crate) fn reserve_epc(&self, pages: u64) -> bool {
+        let mut current = self.epc_used_pages.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = current.checked_add(pages) else {
+                return false;
+            };
+            if next > self.epc_total_pages {
+                return false;
+            }
+            match self.epc_used_pages.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Releases EPC pages (called when an enclave is destroyed).
+    pub(crate) fn release_epc(&self, pages: u64) {
+        self.epc_used_pages.fetch_sub(pages, Ordering::Relaxed);
+    }
+
+    /// Fresh key id for a report.
+    pub(crate) fn next_key_id(&self) -> [u8; 32] {
+        let n = self.key_id_counter.fetch_add(1, Ordering::Relaxed);
+        let mut id = [0u8; 32];
+        id[..16].copy_from_slice(&self.platform_id);
+        id[16..24].copy_from_slice(&n.to_be_bytes());
+        id
+    }
+
+    /// The report key for a given *target* enclave: only code running
+    /// as that target on this platform can re-derive it (models the
+    /// `EREPORT`/`EGETKEY` pairing).
+    pub(crate) fn report_key(&self, target_mrenclave: &Measurement) -> [u8; 32] {
+        hkdf::derive(
+            &self.root_seal_secret,
+            target_mrenclave.as_bytes(),
+            b"sgx-sim/report-key",
+        )
+    }
+
+    /// The launch key used to MAC `EINITTOKEN`s.
+    pub(crate) fn launch_key(&self) -> [u8; 32] {
+        hkdf::derive(&self.root_seal_secret, &self.cpu_svn, b"sgx-sim/launch-key")
+    }
+
+    /// Seal-key derivation (`EGETKEY` with the SEAL selector).
+    pub(crate) fn seal_key(&self, identity: &[u8], isv_svn: u16, label: &[u8]) -> [u8; 32] {
+        let mut info = Vec::with_capacity(identity.len() + 2 + label.len());
+        info.extend_from_slice(identity);
+        info.extend_from_slice(&isv_svn.to_be_bytes());
+        info.extend_from_slice(label);
+        hkdf::derive(&self.root_seal_secret, &info, b"sgx-sim/seal-key")
+    }
+
+    /// A binding value proving knowledge of the provisioning secret —
+    /// what the attestation infrastructure checks before certifying an
+    /// attestation key for this platform (§2.2.3).
+    #[must_use]
+    pub fn provisioning_binding(&self, challenge: &[u8]) -> Digest {
+        let mut data = Vec::with_capacity(32 + 16 + challenge.len());
+        data.extend_from_slice(&self.root_provisioning_secret);
+        data.extend_from_slice(&self.platform_id);
+        data.extend_from_slice(challenge);
+        sha256::digest(&data)
+    }
+
+    /// Exports the provisioning secret for registration with the
+    /// attestation service — models Intel's key-generation facility
+    /// step where the provisioning secret is stored by the service at
+    /// manufacturing time. Not reachable by post-manufacturing code.
+    #[must_use]
+    pub fn manufacturing_record(&self) -> ([u8; 16], [u8; 32]) {
+        (self.platform_id, self.root_provisioning_secret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sinclave_crypto::sha256::Digest;
+
+    fn platform(seed: u64) -> Platform {
+        Platform::new(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn platforms_have_distinct_identities_and_keys() {
+        let a = platform(1);
+        let b = platform(2);
+        assert_ne!(a.platform_id(), b.platform_id());
+        let m = Measurement(Digest([7; 32]));
+        assert_ne!(a.report_key(&m), b.report_key(&m));
+        assert_ne!(a.launch_key(), b.launch_key());
+    }
+
+    #[test]
+    fn report_key_is_target_specific() {
+        let p = platform(3);
+        let m1 = Measurement(Digest([1; 32]));
+        let m2 = Measurement(Digest([2; 32]));
+        assert_ne!(p.report_key(&m1), p.report_key(&m2));
+        assert_eq!(p.report_key(&m1), p.report_key(&m1));
+    }
+
+    #[test]
+    fn seal_key_separates_identity_svn_and_label() {
+        let p = platform(4);
+        let base = p.seal_key(b"id", 1, b"label");
+        assert_ne!(base, p.seal_key(b"id2", 1, b"label"));
+        assert_ne!(base, p.seal_key(b"id", 2, b"label"));
+        assert_ne!(base, p.seal_key(b"id", 1, b"label2"));
+        assert_eq!(base, p.seal_key(b"id", 1, b"label"));
+    }
+
+    #[test]
+    fn epc_accounting() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = Platform::with_epc_pages(&mut rng, 10);
+        assert!(p.reserve_epc(6));
+        assert!(!p.reserve_epc(5), "over budget");
+        assert!(p.reserve_epc(4));
+        p.release_epc(10);
+        assert_eq!(p.epc_used_pages(), 0);
+    }
+
+    #[test]
+    fn key_ids_are_unique() {
+        let p = platform(6);
+        assert_ne!(p.next_key_id(), p.next_key_id());
+    }
+
+    #[test]
+    fn provisioning_binding_depends_on_challenge() {
+        let p = platform(7);
+        assert_ne!(p.provisioning_binding(b"a"), p.provisioning_binding(b"b"));
+    }
+}

@@ -1,0 +1,330 @@
+//! The quoting enclave and remotely-verifiable quotes (§2.2.3, §3.1).
+//!
+//! The quoting enclave (the *prover* in Fig. 3) locally verifies a
+//! report MAC, then signs the report body with its certified
+//! attestation key, producing a quote any remote verifier can check
+//! against the attestation service's root key — steps (2)–(4) of the
+//! paper's protocol diagram.
+
+use crate::attestation::{AttestationService, QeCertificate};
+use crate::error::SgxError;
+use crate::measurement::Measurement;
+use crate::platform::Platform;
+use crate::report::{Report, ReportBody, TargetInfo};
+use rand::RngCore;
+use sinclave_crypto::hmac;
+use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use sinclave_crypto::sha256::{self, Digest};
+use std::fmt;
+use std::sync::Arc;
+
+/// The well-known measurement of the quoting enclave.
+///
+/// Real platforms ship a fixed Intel-signed QE whose identity is
+/// public; here it is a constant derived from a version string.
+#[must_use]
+pub fn qe_measurement() -> Measurement {
+    Measurement(sha256::digest(b"sgx-sim quoting enclave v1"))
+}
+
+/// A remotely-verifiable quote: a report body signed by a certified
+/// attestation key.
+#[derive(Clone, Debug)]
+pub struct Quote {
+    /// The attested enclave's report body.
+    pub body: ReportBody,
+    /// Certificate chain for the signing key.
+    pub certificate: QeCertificate,
+    /// Attestation-key signature over the body and nonce.
+    pub signature: Vec<u8>,
+    /// Verifier-chosen freshness nonce included under the signature.
+    pub nonce: [u8; 16],
+}
+
+impl Quote {
+    fn signed_bytes(body: &ReportBody, nonce: &[u8; 16]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ReportBody::ENCODED_LEN + 24);
+        out.extend_from_slice(b"SGXQUOTE");
+        out.extend_from_slice(&body.to_bytes());
+        out.extend_from_slice(nonce);
+        out
+    }
+
+    /// Verifies the quote against the attestation service root key and
+    /// the expected nonce; returns the attested report body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::QuoteInvalid`] on any failure: bad
+    /// certificate, bad signature, or nonce mismatch.
+    pub fn verify(
+        &self,
+        root: &RsaPublicKey,
+        expected_nonce: &[u8; 16],
+    ) -> Result<&ReportBody, SgxError> {
+        if &self.nonce != expected_nonce {
+            return Err(SgxError::QuoteInvalid { reason: "nonce mismatch" });
+        }
+        let qe_key = self.certificate.verify(root)?;
+        qe_key
+            .verify(&Self::signed_bytes(&self.body, &self.nonce), &self.signature)
+            .map_err(|_| SgxError::QuoteInvalid { reason: "quote signature invalid" })?;
+        Ok(&self.body)
+    }
+
+    /// Serializes the quote for the wire.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body = self.body.to_bytes();
+        let cert = self.certificate.to_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&(cert.len() as u32).to_be_bytes());
+        out.extend_from_slice(&cert);
+        out.extend_from_slice(&(self.signature.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.signature);
+        out.extend_from_slice(&self.nonce);
+        out
+    }
+
+    /// Parses a quote serialized by [`Quote::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::Malformed`] on framing errors.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let malformed = SgxError::Malformed { context: "quote" };
+        fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], SgxError> {
+            if cursor.len() < n {
+                return Err(SgxError::Malformed { context: "quote" });
+            }
+            let (head, rest) = cursor.split_at(n);
+            *cursor = rest;
+            Ok(head)
+        }
+        let mut cursor = bytes;
+        let body_len = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize;
+        let body = ReportBody::from_bytes(take(&mut cursor, body_len)?)?;
+        let cert_len = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize;
+        let certificate = QeCertificate::from_bytes(take(&mut cursor, cert_len)?)?;
+        let sig_len = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize;
+        let signature = take(&mut cursor, sig_len)?.to_vec();
+        let nonce_bytes = take(&mut cursor, 16)?;
+        if !cursor.is_empty() {
+            return Err(malformed);
+        }
+        let mut nonce = [0u8; 16];
+        nonce.copy_from_slice(nonce_bytes);
+        Ok(Quote { body, certificate, signature, nonce })
+    }
+}
+
+/// The quoting enclave of one platform.
+pub struct QuotingEnclave {
+    platform: Arc<Platform>,
+    key: RsaPrivateKey,
+    certificate: QeCertificate,
+}
+
+impl fmt::Debug for QuotingEnclave {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuotingEnclave")
+            .field("certificate", &self.certificate)
+            .finish()
+    }
+}
+
+impl QuotingEnclave {
+    /// Provisions a quoting enclave: generates an attestation key and
+    /// has the service certify it after a provisioning-secret proof.
+    ///
+    /// # Errors
+    ///
+    /// Propagates certification failures (unregistered platform etc.).
+    pub fn provision<R: RngCore + ?Sized>(
+        platform: Arc<Platform>,
+        service: &AttestationService,
+        rng: &mut R,
+        key_bits: usize,
+    ) -> Result<Self, SgxError> {
+        let key = RsaPrivateKey::generate(rng, key_bits)
+            .map_err(|_| SgxError::Malformed { context: "attestation key" })?;
+        let challenge: Digest = key.public_key().fingerprint();
+        let binding = platform.provisioning_binding(challenge.as_bytes());
+        let certificate = service.certify_attestation_key(
+            platform.platform_id(),
+            challenge.as_bytes(),
+            &binding,
+            key.public_key(),
+        )?;
+        Ok(QuotingEnclave { platform, key, certificate })
+    }
+
+    /// Target info enclaves use to `EREPORT` toward this QE.
+    #[must_use]
+    pub fn target_info(&self) -> TargetInfo {
+        TargetInfo {
+            mrenclave: qe_measurement(),
+            attributes: crate::attributes::Attributes::production(),
+        }
+    }
+
+    /// Turns a locally-verified report into a quote (steps (2)–(3) of
+    /// Fig. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::ReportMacInvalid`] if the report was not
+    /// targeted at this QE on this platform.
+    pub fn quote(&self, report: &Report, nonce: [u8; 16]) -> Result<Quote, SgxError> {
+        // Local attestation: the QE derives its own report key.
+        let key = self.platform.report_key(&qe_measurement());
+        if !hmac::verify(&key, &report.mac_input(), &report.mac) {
+            return Err(SgxError::ReportMacInvalid);
+        }
+        let signature = self
+            .key
+            .sign(&Quote::signed_bytes(&report.body, &nonce))
+            .map_err(|_| SgxError::Malformed { context: "quote signing" })?;
+        Ok(Quote {
+            body: report.body.clone(),
+            certificate: self.certificate.clone(),
+            signature,
+            nonce,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Attributes;
+    use crate::enclave::EnclaveBuilder;
+    use crate::launch::LaunchControl;
+    use crate::report::ReportData;
+    use crate::secinfo::SecInfo;
+    use crate::sigstruct::{SigStruct, SigStructBody};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct World {
+        service: AttestationService,
+        qe: QuotingEnclave,
+        enclave: crate::enclave::Enclave,
+    }
+
+    fn world(seed: u64) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let service = AttestationService::new(&mut rng, 1024).unwrap();
+        let platform = Arc::new(Platform::new(&mut rng));
+        service.register_platform(platform.manufacturing_record());
+        let qe = QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap();
+
+        let signer = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let mut b = EnclaveBuilder::new(platform, 0x10000, Attributes::production());
+        b.add_bytes(0, b"app", SecInfo::code(), true).unwrap();
+        let ss = SigStruct::sign(
+            SigStructBody {
+                enclave_hash: b.current_measurement(),
+                attributes: Attributes::production(),
+                attributes_mask: Attributes { flags: u64::MAX, xfrm: u64::MAX },
+                isv_prod_id: 1,
+                isv_svn: 1,
+                date: 20230101,
+                vendor: 0,
+            },
+            &signer,
+        )
+        .unwrap();
+        let enclave = b.einit(&ss, None, &LaunchControl::Flexible).unwrap();
+        World { service, qe, enclave }
+    }
+
+    #[test]
+    fn full_remote_attestation_flow() {
+        let w = world(1);
+        let nonce = [7u8; 16];
+        let report = w
+            .enclave
+            .ereport(&w.qe.target_info(), ReportData::from_slice(b"key binding"));
+        let quote = w.qe.quote(&report, nonce).unwrap();
+        let body = quote.verify(w.service.root_public_key(), &nonce).unwrap();
+        assert_eq!(body.mrenclave, w.enclave.mrenclave());
+        assert_eq!(&body.report_data.0[..11], b"key binding");
+    }
+
+    #[test]
+    fn quote_serialization_roundtrip() {
+        let w = world(2);
+        let nonce = [9u8; 16];
+        let report = w.enclave.ereport(&w.qe.target_info(), ReportData::zeroed());
+        let quote = w.qe.quote(&report, nonce).unwrap();
+        let parsed = Quote::from_bytes(&quote.to_bytes()).unwrap();
+        parsed.verify(w.service.root_public_key(), &nonce).unwrap();
+        assert_eq!(parsed.body, quote.body);
+        assert!(Quote::from_bytes(&quote.to_bytes()[..30]).is_err());
+    }
+
+    #[test]
+    fn qe_rejects_misdirected_report() {
+        let w = world(3);
+        // Report targeted at the enclave itself, not the QE.
+        let report = w
+            .enclave
+            .ereport(&w.enclave.target_info(), ReportData::zeroed());
+        assert_eq!(
+            w.qe.quote(&report, [0; 16]).unwrap_err(),
+            SgxError::ReportMacInvalid
+        );
+    }
+
+    #[test]
+    fn verify_rejects_wrong_nonce() {
+        let w = world(4);
+        let report = w.enclave.ereport(&w.qe.target_info(), ReportData::zeroed());
+        let quote = w.qe.quote(&report, [1; 16]).unwrap();
+        assert!(matches!(
+            quote.verify(w.service.root_public_key(), &[2; 16]),
+            Err(SgxError::QuoteInvalid { reason: "nonce mismatch" })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_body() {
+        let w = world(5);
+        let nonce = [3u8; 16];
+        let report = w.enclave.ereport(&w.qe.target_info(), ReportData::zeroed());
+        let mut quote = w.qe.quote(&report, nonce).unwrap();
+        quote.body.report_data = ReportData::from_slice(b"forged");
+        assert!(matches!(
+            quote.verify(w.service.root_public_key(), &nonce),
+            Err(SgxError::QuoteInvalid { reason: "quote signature invalid" })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_uncertified_qe() {
+        // An adversary with their own key but no service certificate
+        // cannot produce acceptable quotes.
+        let w = world(6);
+        let mut rng = StdRng::seed_from_u64(99);
+        let rogue_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let nonce = [4u8; 16];
+        let report = w.enclave.ereport(&w.qe.target_info(), ReportData::zeroed());
+        let signature = rogue_key
+            .sign(&Quote::signed_bytes(&report.body, &nonce))
+            .unwrap();
+        let rogue_quote = Quote {
+            body: report.body.clone(),
+            certificate: QeCertificate {
+                platform_id: [0; 16],
+                qe_key_bytes: rogue_key.public_key().to_bytes(),
+                signature: vec![0; 128],
+            },
+            signature,
+            nonce,
+        };
+        assert!(rogue_quote.verify(w.service.root_public_key(), &nonce).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! `EREPORT` structures: report data, target info, report bodies and
+//! MAC'd reports (§2.2.3, §3.1).
+//!
+//! The `reportdata` field is the 64-byte application-controlled value
+//! that protocols bind channel keys into — and that the paper's attack
+//! hinges on: a *report server* produces reports with arbitrary
+//! `reportdata` chosen by the adversary (§3.2).
+
+use crate::attributes::Attributes;
+use crate::measurement::Measurement;
+use crate::platform::CPU_SVN_LEN;
+use sinclave_crypto::sha256::Digest;
+use std::fmt;
+
+/// Length of the application-controlled report data field.
+pub const REPORT_DATA_LEN: usize = 64;
+
+/// The 64-byte application-controlled field of a report.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ReportData(pub [u8; REPORT_DATA_LEN]);
+
+impl ReportData {
+    /// Zero-filled report data.
+    #[must_use]
+    pub fn zeroed() -> Self {
+        ReportData([0u8; REPORT_DATA_LEN])
+    }
+
+    /// Builds report data from up to 64 bytes, zero-padding the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than 64 bytes.
+    #[must_use]
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= REPORT_DATA_LEN, "report data too long");
+        let mut out = [0u8; REPORT_DATA_LEN];
+        out[..bytes.len()].copy_from_slice(bytes);
+        ReportData(out)
+    }
+
+    /// Builds report data from a 32-byte digest (the common RA-TLS
+    /// pattern: `reportdata = H(channel public key)`).
+    #[must_use]
+    pub fn from_digest(digest: &Digest) -> Self {
+        Self::from_slice(digest.as_bytes())
+    }
+}
+
+impl fmt::Debug for ReportData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex: String = self.0.iter().take(8).map(|b| format!("{b:02x}")).collect();
+        write!(f, "ReportData({hex}…)")
+    }
+}
+
+impl Default for ReportData {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+/// Identifies the enclave a report is targeted at (local attestation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TargetInfo {
+    /// Measurement of the target enclave.
+    pub mrenclave: Measurement,
+    /// Attributes of the target enclave.
+    pub attributes: Attributes,
+}
+
+/// The signed/MAC'd content of a report or quote.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ReportBody {
+    /// Security version of the CPU.
+    pub cpu_svn: [u8; CPU_SVN_LEN],
+    /// Measurement of the reporting enclave.
+    pub mrenclave: Measurement,
+    /// Signer identity of the reporting enclave.
+    pub mrsigner: Digest,
+    /// Attributes of the reporting enclave.
+    pub attributes: Attributes,
+    /// Signer-assigned product id.
+    pub isv_prod_id: u16,
+    /// Signer-assigned security version.
+    pub isv_svn: u16,
+    /// Application-controlled data.
+    pub report_data: ReportData,
+}
+
+impl ReportBody {
+    /// Deterministic encoding, used for the report MAC and the quote
+    /// signature.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 32 + 32 + 16 + 2 + 2 + 64);
+        out.extend_from_slice(&self.cpu_svn);
+        out.extend_from_slice(self.mrenclave.as_bytes());
+        out.extend_from_slice(self.mrsigner.as_bytes());
+        out.extend_from_slice(&self.attributes.to_bytes());
+        out.extend_from_slice(&self.isv_prod_id.to_le_bytes());
+        out.extend_from_slice(&self.isv_svn.to_le_bytes());
+        out.extend_from_slice(&self.report_data.0);
+        out
+    }
+
+    /// Whether the reporting enclave ran in debug mode (a verifier
+    /// must reject debug enclaves in production).
+    #[must_use]
+    pub fn is_debug(&self) -> bool {
+        self.attributes.is_debug()
+    }
+
+    /// Serialized length of a report body.
+    pub const ENCODED_LEN: usize = 16 + 32 + 32 + 16 + 2 + 2 + 64;
+
+    /// Parses the encoding produced by [`ReportBody::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SgxError::Malformed`] for wrong-length input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, crate::SgxError> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return Err(crate::SgxError::Malformed { context: "report body" });
+        }
+        let mut cpu_svn = [0u8; CPU_SVN_LEN];
+        cpu_svn.copy_from_slice(&bytes[..16]);
+        let mut mre = [0u8; 32];
+        mre.copy_from_slice(&bytes[16..48]);
+        let mut mrs = [0u8; 32];
+        mrs.copy_from_slice(&bytes[48..80]);
+        let attributes = Attributes::from_bytes(bytes[80..96].try_into().expect("16"));
+        let isv_prod_id = u16::from_le_bytes(bytes[96..98].try_into().expect("2"));
+        let isv_svn = u16::from_le_bytes(bytes[98..100].try_into().expect("2"));
+        let mut rd = [0u8; REPORT_DATA_LEN];
+        rd.copy_from_slice(&bytes[100..164]);
+        Ok(ReportBody {
+            cpu_svn,
+            mrenclave: Measurement(Digest(mre)),
+            mrsigner: Digest(mrs),
+            attributes,
+            isv_prod_id,
+            isv_svn,
+            report_data: ReportData(rd),
+        })
+    }
+}
+
+impl fmt::Debug for ReportBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReportBody")
+            .field("mrenclave", &self.mrenclave)
+            .field("mrsigner", &self.mrsigner.to_hex()[..16].to_owned())
+            .field("isv_prod_id", &self.isv_prod_id)
+            .field("isv_svn", &self.isv_svn)
+            .field("debug", &self.is_debug())
+            .field("report_data", &self.report_data)
+            .finish()
+    }
+}
+
+/// A locally-verifiable report: body plus hardware MAC keyed for the
+/// target enclave.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// The MAC'd content.
+    pub body: ReportBody,
+    /// Key derivation id used for the MAC.
+    pub key_id: [u8; 32],
+    /// HMAC-SHA-256 over `body || key_id` under the target's report key.
+    pub mac: [u8; 32],
+}
+
+impl Report {
+    /// The bytes covered by the MAC.
+    #[must_use]
+    pub fn mac_input(&self) -> Vec<u8> {
+        let mut out = self.body.to_bytes();
+        out.extend_from_slice(&self.key_id);
+        out
+    }
+
+    /// Serialized length of a report.
+    pub const ENCODED_LEN: usize = ReportBody::ENCODED_LEN + 32 + 32;
+
+    /// Serializes the report (body, key id, MAC).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.body.to_bytes();
+        out.extend_from_slice(&self.key_id);
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses the encoding from [`Report::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SgxError::Malformed`] for wrong-length input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, crate::SgxError> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return Err(crate::SgxError::Malformed { context: "report" });
+        }
+        let body = ReportBody::from_bytes(&bytes[..ReportBody::ENCODED_LEN])?;
+        let mut key_id = [0u8; 32];
+        key_id.copy_from_slice(&bytes[ReportBody::ENCODED_LEN..ReportBody::ENCODED_LEN + 32]);
+        let mut mac = [0u8; 32];
+        mac.copy_from_slice(&bytes[ReportBody::ENCODED_LEN + 32..]);
+        Ok(Report { body, key_id, mac })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body() -> ReportBody {
+        ReportBody {
+            cpu_svn: [1; CPU_SVN_LEN],
+            mrenclave: Measurement(Digest([2; 32])),
+            mrsigner: Digest([3; 32]),
+            attributes: Attributes::production(),
+            isv_prod_id: 4,
+            isv_svn: 5,
+            report_data: ReportData::from_slice(b"hello"),
+        }
+    }
+
+    #[test]
+    fn report_data_padding_and_bounds() {
+        let rd = ReportData::from_slice(b"abc");
+        assert_eq!(&rd.0[..3], b"abc");
+        assert!(rd.0[3..].iter().all(|&b| b == 0));
+        assert_eq!(ReportData::from_slice(&[0u8; 64]).0, [0u8; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "report data too long")]
+    fn report_data_rejects_overlong() {
+        let _ = ReportData::from_slice(&[0u8; 65]);
+    }
+
+    #[test]
+    fn body_encoding_changes_with_every_field() {
+        let reference = body().to_bytes();
+        let mut b = body();
+        b.mrenclave = Measurement(Digest([9; 32]));
+        assert_ne!(b.to_bytes(), reference);
+        let mut b = body();
+        b.report_data = ReportData::from_slice(b"other");
+        assert_ne!(b.to_bytes(), reference);
+        let mut b = body();
+        b.attributes = Attributes::debug();
+        assert_ne!(b.to_bytes(), reference);
+        let mut b = body();
+        b.isv_svn = 6;
+        assert_ne!(b.to_bytes(), reference);
+    }
+
+    #[test]
+    fn debug_flag_detection() {
+        let mut b = body();
+        assert!(!b.is_debug());
+        b.attributes = Attributes::debug();
+        assert!(b.is_debug());
+    }
+
+    #[test]
+    fn report_serialization_roundtrip() {
+        let r = Report { body: body(), key_id: [7; 32], mac: [8; 32] };
+        let parsed = Report::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(parsed, r);
+        assert!(Report::from_bytes(&r.to_bytes()[..10]).is_err());
+        assert_eq!(ReportBody::from_bytes(&body().to_bytes()).unwrap(), body());
+    }
+
+    #[test]
+    fn from_digest_uses_32_bytes() {
+        let d = Digest([0xaa; 32]);
+        let rd = ReportData::from_digest(&d);
+        assert_eq!(&rd.0[..32], d.as_bytes());
+        assert!(rd.0[32..].iter().all(|&b| b == 0));
+    }
+}

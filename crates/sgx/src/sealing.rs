@@ -1,0 +1,151 @@
+//! Sealing-key derivation (`EGETKEY` with the SEAL selector).
+//!
+//! Seal keys let an enclave persist secrets across restarts. The
+//! derivation policy matters for SinClave: a compromised signer key
+//! would expose every `MRSIGNER`-policy seal key of that signer
+//! (§4.4, "On-Demand SigStruct Creation", reason (b) why the signer
+//! key must never leave the verifier).
+
+use crate::enclave::Enclave;
+use sinclave_crypto::aead::AeadKey;
+
+/// Which identity the seal key is bound to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SealPolicy {
+    /// Bound to the exact enclave measurement: only bit-identical
+    /// enclaves can unseal. Software updates lose access.
+    MrEnclave,
+    /// Bound to the signer identity and product id: any enclave from
+    /// the same signer/product with an equal-or-newer SVN can unseal.
+    MrSigner,
+}
+
+impl Enclave {
+    /// Derives a sealing key under the given policy and label.
+    ///
+    /// The label provides domain separation between multiple sealed
+    /// items of one enclave.
+    #[must_use]
+    pub fn seal_key(&self, policy: SealPolicy, label: &[u8]) -> AeadKey {
+        let identity: Vec<u8> = match policy {
+            SealPolicy::MrEnclave => {
+                let mut id = b"mrenclave:".to_vec();
+                id.extend_from_slice(self.mrenclave().as_bytes());
+                id
+            }
+            SealPolicy::MrSigner => {
+                let mut id = b"mrsigner:".to_vec();
+                id.extend_from_slice(self.mrsigner().as_bytes());
+                id.extend_from_slice(&self.isv_prod_id().to_be_bytes());
+                id
+            }
+        };
+        AeadKey::new(self.platform().seal_key(&identity, self.isv_svn(), label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Attributes;
+    use crate::enclave::EnclaveBuilder;
+    use crate::launch::LaunchControl;
+    use crate::platform::Platform;
+    use crate::secinfo::SecInfo;
+    use crate::sigstruct::{SigStruct, SigStructBody};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sinclave_crypto::rsa::RsaPrivateKey;
+    use std::sync::Arc;
+
+    fn make_enclave(
+        platform: &Arc<Platform>,
+        code: &[u8],
+        signer: &RsaPrivateKey,
+        prod_id: u16,
+        svn: u16,
+    ) -> Enclave {
+        let mut b = EnclaveBuilder::new(platform.clone(), 0x10000, Attributes::production());
+        b.add_bytes(0, code, SecInfo::code(), true).unwrap();
+        let ss = SigStruct::sign(
+            SigStructBody {
+                enclave_hash: b.current_measurement(),
+                attributes: Attributes::production(),
+                attributes_mask: Attributes { flags: u64::MAX, xfrm: u64::MAX },
+                isv_prod_id: prod_id,
+                isv_svn: svn,
+                date: 20230101,
+                vendor: 0,
+            },
+            signer,
+        )
+        .unwrap();
+        b.einit(&ss, None, &LaunchControl::Flexible).unwrap()
+    }
+
+    fn setup(seed: u64) -> (Arc<Platform>, RsaPrivateKey) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            Arc::new(Platform::new(&mut rng)),
+            RsaPrivateKey::generate(&mut rng, 1024).unwrap(),
+        )
+    }
+
+    #[test]
+    fn mrenclave_policy_differs_across_code_versions() {
+        let (p, key) = setup(1);
+        let v1 = make_enclave(&p, b"code v1", &key, 1, 1);
+        let v2 = make_enclave(&p, b"code v2", &key, 1, 1);
+        assert_ne!(
+            v1.seal_key(SealPolicy::MrEnclave, b"db").as_bytes(),
+            v2.seal_key(SealPolicy::MrEnclave, b"db").as_bytes(),
+            "update loses MRENCLAVE-sealed data"
+        );
+        // Same signer and product: MRSIGNER policy survives the update.
+        assert_eq!(
+            v1.seal_key(SealPolicy::MrSigner, b"db").as_bytes(),
+            v2.seal_key(SealPolicy::MrSigner, b"db").as_bytes()
+        );
+    }
+
+    #[test]
+    fn mrsigner_policy_separates_signers_and_products() {
+        let (p, key_a) = setup(2);
+        let key_b = RsaPrivateKey::generate(&mut StdRng::seed_from_u64(99), 1024).unwrap();
+        let a = make_enclave(&p, b"code", &key_a, 1, 1);
+        let b = make_enclave(&p, b"code", &key_b, 1, 1);
+        assert_ne!(
+            a.seal_key(SealPolicy::MrSigner, b"x").as_bytes(),
+            b.seal_key(SealPolicy::MrSigner, b"x").as_bytes()
+        );
+        let a2 = make_enclave(&p, b"code", &key_a, 2, 1);
+        assert_ne!(
+            a.seal_key(SealPolicy::MrSigner, b"x").as_bytes(),
+            a2.seal_key(SealPolicy::MrSigner, b"x").as_bytes()
+        );
+    }
+
+    #[test]
+    fn labels_separate_keys() {
+        let (p, key) = setup(3);
+        let e = make_enclave(&p, b"code", &key, 1, 1);
+        assert_ne!(
+            e.seal_key(SealPolicy::MrEnclave, b"a").as_bytes(),
+            e.seal_key(SealPolicy::MrEnclave, b"b").as_bytes()
+        );
+    }
+
+    #[test]
+    fn seal_keys_are_platform_bound() {
+        let (p1, key) = setup(4);
+        let (p2, _) = setup(5);
+        let e1 = make_enclave(&p1, b"code", &key, 1, 1);
+        let e2 = make_enclave(&p2, b"code", &key, 1, 1);
+        assert_eq!(e1.mrenclave(), e2.mrenclave(), "same code, same identity");
+        assert_ne!(
+            e1.seal_key(SealPolicy::MrEnclave, b"x").as_bytes(),
+            e2.seal_key(SealPolicy::MrEnclave, b"x").as_bytes(),
+            "sealed data cannot move between platforms"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Page security information (`SECINFO`): page type and permissions.
+//!
+//! `EADD` measures the page offset *and* its SECINFO flags, so two
+//! enclaves that differ only in a page's permissions have different
+//! `MRENCLAVE`s — a property SinClave's verifier-side measurement
+//! prediction must reproduce exactly.
+
+use std::fmt;
+
+/// The type of an enclave page.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PageType {
+    /// Regular data/code page.
+    Reg,
+    /// Thread control structure page.
+    Tcs,
+}
+
+impl PageType {
+    fn to_bits(self) -> u64 {
+        match self {
+            PageType::Reg => 0x01 << 8,
+            PageType::Tcs => 0x02 << 8,
+        }
+    }
+}
+
+/// Page permission flag: readable.
+pub const PERM_R: u8 = 1 << 0;
+/// Page permission flag: writable.
+pub const PERM_W: u8 = 1 << 1;
+/// Page permission flag: executable.
+pub const PERM_X: u8 = 1 << 2;
+
+/// Security information for one enclave page.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecInfo {
+    /// Page type.
+    pub page_type: PageType,
+    /// Permission bits (`PERM_R` | `PERM_W` | `PERM_X`).
+    pub perms: u8,
+}
+
+impl SecInfo {
+    /// Regular read-only executable page (code).
+    #[must_use]
+    pub fn code() -> Self {
+        SecInfo { page_type: PageType::Reg, perms: PERM_R | PERM_X }
+    }
+
+    /// Regular read-write page (data/heap).
+    #[must_use]
+    pub fn data() -> Self {
+        SecInfo { page_type: PageType::Reg, perms: PERM_R | PERM_W }
+    }
+
+    /// Regular read-only page.
+    #[must_use]
+    pub fn read_only() -> Self {
+        SecInfo { page_type: PageType::Reg, perms: PERM_R }
+    }
+
+    /// Thread control structure page.
+    #[must_use]
+    pub fn tcs() -> Self {
+        SecInfo { page_type: PageType::Tcs, perms: 0 }
+    }
+
+    /// The 64-bit flags word as measured by `EADD` (SDM layout:
+    /// permission bits in bits 0..2, page type in bits 8..15).
+    #[must_use]
+    pub fn flags_word(&self) -> u64 {
+        self.perms as u64 | self.page_type.to_bits()
+    }
+
+    /// The 48 SECINFO bytes covered by the `EADD` measurement record:
+    /// the flags word followed by reserved zeros.
+    #[must_use]
+    pub fn measured_bytes(&self) -> [u8; 48] {
+        let mut out = [0u8; 48];
+        out[..8].copy_from_slice(&self.flags_word().to_le_bytes());
+        out
+    }
+}
+
+impl fmt::Debug for SecInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = if self.perms & PERM_R != 0 { "r" } else { "-" };
+        let w = if self.perms & PERM_W != 0 { "w" } else { "-" };
+        let x = if self.perms & PERM_X != 0 { "x" } else { "-" };
+        write!(f, "SecInfo({:?}, {r}{w}{x})", self.page_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_words_are_distinct() {
+        let words = [
+            SecInfo::code().flags_word(),
+            SecInfo::data().flags_word(),
+            SecInfo::read_only().flags_word(),
+            SecInfo::tcs().flags_word(),
+        ];
+        for i in 0..words.len() {
+            for j in i + 1..words.len() {
+                assert_ne!(words[i], words[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_bytes_layout() {
+        let b = SecInfo::code().measured_bytes();
+        assert_eq!(b.len(), 48);
+        assert_eq!(u64::from_le_bytes(b[..8].try_into().unwrap()), SecInfo::code().flags_word());
+        assert!(b[8..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn debug_shows_permissions() {
+        assert_eq!(format!("{:?}", SecInfo::code()), "SecInfo(Reg, r-x)");
+        assert_eq!(format!("{:?}", SecInfo::data()), "SecInfo(Reg, rw-)");
+    }
+}

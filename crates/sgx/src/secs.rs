@@ -1,0 +1,85 @@
+//! SGX Enclave Control Structure (SECS) — the enclave's metadata
+//! record created by `ECREATE` (§2.2.1).
+
+use crate::attributes::Attributes;
+use crate::measurement::Measurement;
+use crate::PAGE_SIZE;
+use sinclave_crypto::sha256::Digest;
+
+/// The metadata of an enclave, fixed at `ECREATE` and completed at
+/// `EINIT`.
+#[derive(Clone, Debug)]
+pub struct Secs {
+    /// Total enclave size in bytes (power of two in real SGX; here
+    /// only page alignment is required).
+    pub size: u64,
+    /// Simulated base address of the enclave range (`ERANGE`).
+    pub base_address: u64,
+    /// SSA frame size in pages.
+    pub ssa_frame_size: u32,
+    /// Enclave attributes.
+    pub attributes: Attributes,
+    /// Measured identity; `None` until `EINIT`.
+    pub mrenclave: Option<Measurement>,
+    /// Signer identity (hash of the SigStruct key); `None` until `EINIT`.
+    pub mrsigner: Option<Digest>,
+    /// Product id assigned by the signer.
+    pub isv_prod_id: u16,
+    /// Security version number assigned by the signer.
+    pub isv_svn: u16,
+}
+
+impl Secs {
+    /// Creates the SECS as `ECREATE` would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or not page-aligned.
+    #[must_use]
+    pub fn create(size: u64, base_address: u64, ssa_frame_size: u32, attributes: Attributes) -> Self {
+        assert!(
+            size > 0 && size.is_multiple_of(PAGE_SIZE as u64),
+            "enclave size must be page-aligned"
+        );
+        Secs {
+            size,
+            base_address,
+            ssa_frame_size,
+            attributes,
+            mrenclave: None,
+            mrsigner: None,
+            isv_prod_id: 0,
+            isv_svn: 0,
+        }
+    }
+
+    /// Whether `EINIT` has completed.
+    #[must_use]
+    pub fn is_initialized(&self) -> bool {
+        self.mrenclave.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_initialize() {
+        let secs = Secs::create(0x10000, 0x7000_0000, 1, Attributes::production());
+        assert!(!secs.is_initialized());
+        assert_eq!(secs.size, 0x10000);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn rejects_unaligned_size() {
+        let _ = Secs::create(0x10001, 0, 1, Attributes::production());
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn rejects_zero_size() {
+        let _ = Secs::create(0, 0, 1, Attributes::production());
+    }
+}

@@ -1,0 +1,307 @@
+//! The Enclave Signature Structure (SigStruct) verified by `EINIT`.
+//!
+//! The SigStruct binds an expected `MRENCLAVE`, allowed attributes, a
+//! product id and a security version number under an RSA-3072
+//! signature by the enclave signer (§2.2.2). SinClave's central trick
+//! is the verifier creating **on-demand** SigStructs for
+//! token-individualized measurements (§4.4) — so signing/verification
+//! performance is measured directly in Fig. 7b.
+
+use crate::attributes::Attributes;
+use crate::error::SgxError;
+use crate::measurement::Measurement;
+use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use sinclave_crypto::sha256::{self, Digest};
+use sinclave_crypto::CryptoError;
+use std::fmt;
+
+/// Signed enclave metadata plus the signer's signature.
+#[derive(Clone)]
+pub struct SigStruct {
+    body: SigStructBody,
+    /// The signer's public key, carried in the structure as in real
+    /// SGX (the modulus is part of the SigStruct layout).
+    signer_key: RsaPublicKey,
+    signature: Vec<u8>,
+}
+
+/// The signed fields of a SigStruct.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SigStructBody {
+    /// Expected enclave measurement.
+    pub enclave_hash: Measurement,
+    /// Attributes the enclave must be constructed with (under mask).
+    pub attributes: Attributes,
+    /// Mask selecting which attribute bits are enforced.
+    pub attributes_mask: Attributes,
+    /// Signer-assigned product id.
+    pub isv_prod_id: u16,
+    /// Signer-assigned security version number.
+    pub isv_svn: u16,
+    /// Build date, `YYYYMMDD` as an integer (informational).
+    pub date: u32,
+    /// Vendor id (informational; 0 for non-Intel).
+    pub vendor: u32,
+}
+
+impl SigStructBody {
+    /// Deterministic byte encoding of the signed fields.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 16 + 16 + 2 + 2 + 4 + 4 + 8);
+        out.extend_from_slice(b"SIGSTRUC");
+        out.extend_from_slice(self.enclave_hash.as_bytes());
+        out.extend_from_slice(&self.attributes.to_bytes());
+        out.extend_from_slice(&self.attributes_mask.to_bytes());
+        out.extend_from_slice(&self.isv_prod_id.to_le_bytes());
+        out.extend_from_slice(&self.isv_svn.to_le_bytes());
+        out.extend_from_slice(&self.date.to_le_bytes());
+        out.extend_from_slice(&self.vendor.to_le_bytes());
+        out
+    }
+}
+
+impl SigStruct {
+    /// Creates and signs a SigStruct — what the `sgx_sign` tool (or
+    /// SCONE's signer, Fig. 7a) does at build time, and what the
+    /// SinClave verifier does on demand per singleton.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signing failures from the RSA layer.
+    pub fn sign(body: SigStructBody, signer: &RsaPrivateKey) -> Result<Self, CryptoError> {
+        let signature = signer.sign(&body.to_bytes())?;
+        Ok(SigStruct {
+            body,
+            signer_key: signer.public_key().clone(),
+            signature,
+        })
+    }
+
+    /// The signed fields.
+    #[must_use]
+    pub fn body(&self) -> &SigStructBody {
+        &self.body
+    }
+
+    /// The signer's public key.
+    #[must_use]
+    pub fn signer_key(&self) -> &RsaPublicKey {
+        &self.signer_key
+    }
+
+    /// The signature bytes.
+    #[must_use]
+    pub fn signature(&self) -> &[u8] {
+        &self.signature
+    }
+
+    /// The signer identity (`MRSIGNER`): hash of the signer's key, as
+    /// in real SGX where it is the SHA-256 of the key modulus.
+    #[must_use]
+    pub fn mrsigner(&self) -> Digest {
+        self.signer_key.fingerprint()
+    }
+
+    /// Verifies the embedded signature (what `EINIT` does before
+    /// comparing measurements).
+    ///
+    /// Note this only proves *someone* holding the embedded key signed
+    /// it; binding that key to a trusted identity is the verifier's job
+    /// via `MRSIGNER` (§2.2.2: "the adversary is free to modify it and
+    /// subsequently sign it with their own key").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::SigStructInvalid`] when verification fails.
+    pub fn verify(&self) -> Result<(), SgxError> {
+        self.signer_key
+            .verify(&self.body.to_bytes(), &self.signature)
+            .map_err(|_| SgxError::SigStructInvalid)
+    }
+
+    /// Serializes the full structure (body, key, signature).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body = self.body.to_bytes();
+        let key = self.signer_key.to_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&(key.len() as u32).to_be_bytes());
+        out.extend_from_slice(&key);
+        out.extend_from_slice(&(self.signature.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses a structure serialized by [`SigStruct::to_bytes`].
+    ///
+    /// The signature is *not* checked here; call [`SigStruct::verify`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::Malformed`] on framing errors.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let malformed = SgxError::Malformed { context: "sigstruct" };
+        fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], SgxError> {
+            if cursor.len() < n {
+                return Err(SgxError::Malformed { context: "sigstruct" });
+            }
+            let (head, rest) = cursor.split_at(n);
+            *cursor = rest;
+            Ok(head)
+        }
+        let mut cursor = bytes;
+        let body_len = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize;
+        let body_bytes = take(&mut cursor, body_len)?.to_vec();
+        let key_len = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize;
+        let key_bytes = take(&mut cursor, key_len)?.to_vec();
+        let sig_len = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize;
+        let signature = take(&mut cursor, sig_len)?.to_vec();
+        if !cursor.is_empty() {
+            return Err(malformed);
+        }
+        let body = SigStructBody::from_bytes(&body_bytes)?;
+        let signer_key =
+            RsaPublicKey::from_bytes(&key_bytes).map_err(|_| SgxError::Malformed { context: "sigstruct key" })?;
+        Ok(SigStruct { body, signer_key, signature })
+    }
+}
+
+impl SigStructBody {
+    /// Parses the deterministic encoding from [`SigStructBody::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::Malformed`] for wrong magic or length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SgxError> {
+        let malformed = SgxError::Malformed { context: "sigstruct body" };
+        if bytes.len() != 8 + 32 + 16 + 16 + 2 + 2 + 4 + 4 || &bytes[..8] != b"SIGSTRUC" {
+            return Err(malformed);
+        }
+        let mut hash = [0u8; 32];
+        hash.copy_from_slice(&bytes[8..40]);
+        let attributes = Attributes::from_bytes(bytes[40..56].try_into().expect("16"));
+        let attributes_mask = Attributes::from_bytes(bytes[56..72].try_into().expect("16"));
+        let isv_prod_id = u16::from_le_bytes(bytes[72..74].try_into().expect("2"));
+        let isv_svn = u16::from_le_bytes(bytes[74..76].try_into().expect("2"));
+        let date = u32::from_le_bytes(bytes[76..80].try_into().expect("4"));
+        let vendor = u32::from_le_bytes(bytes[80..84].try_into().expect("4"));
+        Ok(SigStructBody {
+            enclave_hash: Measurement(sha256::Digest(hash)),
+            attributes,
+            attributes_mask,
+            isv_prod_id,
+            isv_svn,
+            date,
+            vendor,
+        })
+    }
+}
+
+impl fmt::Debug for SigStruct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SigStruct")
+            .field("enclave_hash", &self.body.enclave_hash)
+            .field("mrsigner", &self.mrsigner().to_hex()[..16].to_owned())
+            .field("isv_prod_id", &self.body.isv_prod_id)
+            .field("isv_svn", &self.body.isv_svn)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn signer() -> RsaPrivateKey {
+        let mut rng = StdRng::seed_from_u64(42);
+        RsaPrivateKey::generate(&mut rng, 1024).expect("keygen")
+    }
+
+    fn body(hash_fill: u8) -> SigStructBody {
+        SigStructBody {
+            enclave_hash: Measurement(sha256::Digest([hash_fill; 32])),
+            attributes: Attributes::production(),
+            attributes_mask: Attributes { flags: u64::MAX, xfrm: u64::MAX },
+            isv_prod_id: 1,
+            isv_svn: 2,
+            date: 20230411,
+            vendor: 0,
+        }
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = signer();
+        let ss = SigStruct::sign(body(7), &key).unwrap();
+        ss.verify().unwrap();
+        assert_eq!(ss.mrsigner(), key.public_key().fingerprint());
+    }
+
+    #[test]
+    fn tampered_body_fails_verification() {
+        let key = signer();
+        let ss = SigStruct::sign(body(7), &key).unwrap();
+        let mut tampered = ss.clone();
+        tampered.body.isv_svn = 99;
+        assert_eq!(tampered.verify(), Err(SgxError::SigStructInvalid));
+    }
+
+    #[test]
+    fn adversary_resign_changes_mrsigner() {
+        // §2.2.2: the adversary can re-sign a modified SigStruct with
+        // their own key — EINIT passes, but MRSIGNER changes.
+        let honest = signer();
+        let mut rng = StdRng::seed_from_u64(1337);
+        let adversary = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+
+        let original = SigStruct::sign(body(7), &honest).unwrap();
+        let mut altered_body = body(7);
+        altered_body.attributes = Attributes::debug();
+        let resigned = SigStruct::sign(altered_body, &adversary).unwrap();
+
+        resigned.verify().unwrap(); // signature itself is fine…
+        assert_ne!(resigned.mrsigner(), original.mrsigner()); // …identity differs
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let ss = SigStruct::sign(body(3), &signer()).unwrap();
+        let bytes = ss.to_bytes();
+        let parsed = SigStruct::from_bytes(&bytes).unwrap();
+        parsed.verify().unwrap();
+        assert_eq!(parsed.body(), ss.body());
+        assert_eq!(parsed.signature(), ss.signature());
+        assert_eq!(parsed.mrsigner(), ss.mrsigner());
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(SigStruct::from_bytes(&[]).is_err());
+        assert!(SigStruct::from_bytes(&[0u8; 10]).is_err());
+        let ss = SigStruct::sign(body(3), &signer()).unwrap();
+        let mut bytes = ss.to_bytes();
+        bytes.push(0);
+        assert!(SigStruct::from_bytes(&bytes).is_err(), "trailing bytes rejected");
+        assert!(SigStructBody::from_bytes(b"NOTMAGIC").is_err());
+    }
+
+    #[test]
+    fn body_encoding_is_injective_in_every_field() {
+        let reference = body(1).to_bytes();
+        let mut b2 = body(1);
+        b2.isv_prod_id = 9;
+        assert_ne!(b2.to_bytes(), reference);
+        let mut b3 = body(1);
+        b3.attributes_mask = Attributes::default();
+        assert_ne!(b3.to_bytes(), reference);
+        let mut b4 = body(1);
+        b4.date = 1;
+        assert_ne!(b4.to_bytes(), reference);
+        assert_ne!(body(2).to_bytes(), reference);
+    }
+}

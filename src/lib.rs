@@ -1,0 +1,23 @@
+//! Integration facade for the SinClave reproduction workspace.
+//!
+//! This crate only re-exports the workspace members under one roof so
+//! examples and cross-crate integration tests can `use sinclave_repro::…`.
+//! The actual functionality lives in the individual crates:
+//!
+//! * [`crypto`] — SHA-256 (interruptible), RSA, AEAD, …
+//! * [`sgx`] — the simulated SGX platform
+//! * [`net`] — in-process network and secure channels
+//! * [`fs`] — encrypted filesystem
+//! * [`core`] — the SinClave mechanism itself
+//! * [`runtime`] — SCONE-like / SGX-LKL-like enclave runtimes
+//! * [`cas`] — the verifier (Configuration and Attestation Service)
+//! * [`attack`] — the remote-attestation reuse attack
+
+pub use sinclave as core;
+pub use sinclave_attack as attack;
+pub use sinclave_cas as cas;
+pub use sinclave_crypto as crypto;
+pub use sinclave_fs as fs;
+pub use sinclave_net as net;
+pub use sinclave_runtime as runtime;
+pub use sinclave_sgx as sgx;

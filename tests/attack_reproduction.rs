@@ -1,0 +1,213 @@
+//! Integration reproduction of the paper's §3.3.1 attack against the
+//! *real* CAS implementation, and the §4 defense matrix.
+//!
+//! The headline assertions:
+//!
+//! * Against a **baseline** deployment, the reuse attack walks away
+//!   with the user's secrets — in both report-server flavors.
+//! * Against a **SinClave** deployment, every variant of the attack is
+//!   refused: baseline impersonation, forged singletons, token replay,
+//!   and verifier substitution.
+
+mod common;
+
+use common::{user_config_with_secrets, victim_interpreter, World, CAS_ADDR, CONFIG_ID};
+use sinclave_repro::attack::scone_attack::{
+    forged_singleton_attack, replay_singleton_start, run_reuse_attack, AttackEnvironment,
+};
+use sinclave_repro::cas::policy::PolicyMode;
+use sinclave_repro::core::AttestationToken;
+use sinclave_repro::runtime::scone::SconeHost;
+use sinclave_repro::runtime::RuntimeError;
+use std::sync::atomic::Ordering;
+
+fn environment(world: &World) -> AttackEnvironment {
+    AttackEnvironment {
+        host: SconeHost::new(
+            world.host.platform.clone(),
+            world.host.qe.clone(),
+            world.network.clone(),
+        ),
+        cas_addr: CAS_ADDR.to_owned(),
+        config_id: CONFIG_ID.to_owned(),
+        victim: world.packaged.clone(),
+    }
+}
+
+#[test]
+fn reuse_attack_steals_secrets_from_baseline_deployment() {
+    let world = World::new(1, victim_interpreter(), user_config_with_secrets(), PolicyMode::Baseline);
+    let cas_thread = world.serve_cas(1, 100);
+    let env = environment(&world);
+
+    let loot = run_reuse_attack(&env, false, 1000).expect("attack succeeds against baseline");
+    cas_thread.join().unwrap();
+
+    // The adversary holds the user's secrets.
+    assert_eq!(
+        loot.config.secret("db-password"),
+        Some(b"correct horse battery staple".as_slice())
+    );
+    assert_eq!(loot.config.secret("api-key"), Some(b"sk-live-0123456789".as_slice()));
+    // The CAS believed it served a legitimate enclave.
+    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn reuse_attack_works_via_dynamic_import_flavor() {
+    let world = World::new(2, victim_interpreter(), user_config_with_secrets(), PolicyMode::Baseline);
+    let cas_thread = world.serve_cas(1, 200);
+    let env = environment(&world);
+
+    let loot = run_reuse_attack(&env, true, 2000).expect("dynamic-import flavor succeeds");
+    cas_thread.join().unwrap();
+    assert!(loot.config.secret("db-password").is_some());
+}
+
+#[test]
+fn sinclave_policy_defeats_impersonation_of_unupgraded_binary() {
+    // Defense layer 1 — the verifier: the user switched the CAS policy
+    // to singleton-only but the old baseline binary is still out
+    // there. The adversary CAN still build a report server from it,
+    // and the quote is genuine — yet the CAS refuses the tokenless
+    // flow.
+    let world = World::new(
+        3,
+        victim_interpreter(), // baseline binary still circulating
+        user_config_with_secrets(),
+        PolicyMode::Singleton,
+    );
+    let cas_thread = world.serve_cas(1, 300);
+    let env = environment(&world);
+
+    let err = run_reuse_attack(&env, false, 3000).expect_err("attack must fail");
+    cas_thread.join().unwrap();
+    match err {
+        RuntimeError::AttestationDenied { reason } => {
+            assert!(reason.contains("singleton"), "denial: {reason}");
+        }
+        other => panic!("expected denial, got {other:?}"),
+    }
+    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn sinclave_runtime_refuses_report_server_construction() {
+    // Defense layer 2 — the measured runtime: a SinClave-aware binary
+    // never accepts starter-provided configuration, so the adversary
+    // cannot even construct the report server; the impersonator dies
+    // waiting for a report source that never comes up.
+    let world = World::new(
+        7,
+        victim_interpreter().sinclave_aware(),
+        user_config_with_secrets(),
+        PolicyMode::Singleton,
+    );
+    let cas_thread = world.serve_cas(1, 700);
+    let env = environment(&world);
+
+    let err = run_reuse_attack(&env, false, 7000).expect_err("attack must fail");
+    // Unblock the CAS accept loop.
+    drop(world.network.connect(CAS_ADDR));
+    cas_thread.join().unwrap();
+    assert!(
+        matches!(err, RuntimeError::Net(_)),
+        "no report server could be built: {err:?}"
+    );
+    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn forged_singleton_cannot_redeem_real_tokens() {
+    let world = World::new(
+        4,
+        victim_interpreter().sinclave_aware(),
+        user_config_with_secrets(),
+        PolicyMode::Singleton,
+    );
+    // Serve enough connections: one grant + one forged-singleton
+    // impersonation attempt.
+    let cas_thread = world.serve_cas(2, 400);
+    let env = environment(&world);
+
+    // The adversary first obtains a *real* token (grants are free).
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+    let grant = env
+        .host
+        .request_grant(&env.victim, CAS_ADDR, &mut rng)
+        .expect("grants are freely issued");
+
+    let err = forged_singleton_attack(&env, &world.cas, grant.token, 4000)
+        .expect_err("forged singleton must be refused");
+    cas_thread.join().unwrap();
+    match err {
+        RuntimeError::AttestationDenied { reason } => {
+            // The quote shows the forged measurement/signer — the real
+            // CAS refuses at identity or token level.
+            assert!(
+                reason.contains("signer") || reason.contains("token") || reason.contains("redeem"),
+                "denial: {reason}"
+            );
+        }
+        other => panic!("expected denial, got {other:?}"),
+    }
+    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn token_replay_is_refused() {
+    let world = World::new(
+        5,
+        sinclave_repro::runtime::ProgramImage::with_entry("svc", "print serving", 4)
+            .sinclave_aware(),
+        user_config_with_secrets(),
+        PolicyMode::Singleton,
+    );
+    // grant + first attest + replayed attest.
+    let cas_thread = world.serve_cas(3, 500);
+
+    let err = replay_singleton_start(
+        &world.host,
+        &world.cas,
+        &world.packaged,
+        CAS_ADDR,
+        CONFIG_ID,
+        5000,
+    );
+    cas_thread.join().unwrap();
+    match err {
+        RuntimeError::AttestationDenied { reason } => {
+            assert!(reason.contains("token"), "denial: {reason}");
+        }
+        other => panic!("expected token denial, got {other:?}"),
+    }
+    // Exactly one configuration ever left the CAS.
+    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 1);
+    assert_eq!(world.cas.stats.denials.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn random_token_is_refused() {
+    let world = World::new(
+        6,
+        victim_interpreter().sinclave_aware(),
+        user_config_with_secrets(),
+        PolicyMode::Singleton,
+    );
+    let cas_thread = world.serve_cas(1, 600);
+    let env = environment(&world);
+
+    // Impersonate with a made-up token and no report server at all —
+    // use the attack's own report-server-free path by starting a
+    // baseline victim... which a SinClave-aware image refuses; so the
+    // adversary cannot even produce a genuine report. They fall back
+    // to replaying a stale quote — modeled here by the full attack
+    // with a bogus token, which dies at the report-server stage
+    // (victim refuses) and hence at impersonation.
+    let bogus = AttestationToken([0x99; 32]);
+    let err = forged_singleton_attack(&env, &world.cas, bogus, 6000)
+        .expect_err("bogus token refused");
+    cas_thread.join().unwrap();
+    assert!(matches!(err, RuntimeError::AttestationDenied { .. }));
+}

@@ -1,0 +1,108 @@
+#![allow(dead_code)] // shared across test targets; not all use every helper
+
+//! Shared fixture for cross-crate integration tests: a complete world
+//! with attestation infrastructure, a platform, a quoting enclave, a
+//! real CAS, and a packaged victim application.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave_repro::cas::policy::{PolicyMode, SessionPolicy};
+use sinclave_repro::cas::store::CasStore;
+use sinclave_repro::cas::CasServer;
+use sinclave_repro::core::signer::SignerConfig;
+use sinclave_repro::core::AppConfig;
+use sinclave_repro::crypto::aead::AeadKey;
+use sinclave_repro::crypto::rsa::RsaPrivateKey;
+use sinclave_repro::net::Network;
+use sinclave_repro::runtime::scone::{package_app, PackagedApp, SconeHost};
+use sinclave_repro::runtime::ProgramImage;
+use sinclave_repro::sgx::attestation::AttestationService;
+use sinclave_repro::sgx::platform::Platform;
+use sinclave_repro::sgx::quote::QuotingEnclave;
+use std::sync::Arc;
+
+/// The real CAS's address in every test world.
+pub const CAS_ADDR: &str = "cas:443";
+/// The user's configuration id.
+pub const CONFIG_ID: &str = "user-app";
+
+pub struct World {
+    pub host: SconeHost,
+    pub cas: Arc<CasServer>,
+    pub network: Network,
+    pub packaged: PackagedApp,
+    pub signer_key: RsaPrivateKey,
+    pub attestation_root: sinclave_repro::crypto::rsa::RsaPublicKey,
+}
+
+impl World {
+    /// Builds a world around `image`, registering a policy that
+    /// delivers `config` under the given mode.
+    pub fn new(seed: u64, image: ProgramImage, config: AppConfig, mode: PolicyMode) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let service = AttestationService::new(&mut rng, 1024).expect("attestation service");
+        let platform = Arc::new(Platform::new(&mut rng));
+        service.register_platform(platform.manufacturing_record());
+        let qe = Arc::new(
+            QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024)
+                .expect("qe provision"),
+        );
+        let network = Network::new();
+        let host = SconeHost::new(platform, qe, network.clone());
+
+        let signer_key = RsaPrivateKey::generate(&mut rng, 1024).expect("signer key");
+        let packaged = package_app(&image, &signer_key, &SignerConfig::default())
+            .expect("package");
+
+        let channel_key = RsaPrivateKey::generate(&mut rng, 1024).expect("channel key");
+        let store = CasStore::create(AeadKey::new([0x42; 32]));
+        let cas = CasServer::new(
+            channel_key,
+            signer_key.clone(),
+            service.root_public_key().clone(),
+            store,
+        );
+        cas.add_policy(SessionPolicy {
+            config_id: CONFIG_ID.to_owned(),
+            expected_common: packaged.signed.common_measurement(),
+            expected_mrsigner: signer_key.public_key().fingerprint(),
+            min_isv_svn: 0,
+            allow_debug: false,
+            mode,
+            config,
+        })
+        .expect("policy");
+
+        World {
+            host,
+            cas,
+            network,
+            packaged,
+            signer_key,
+            attestation_root: service.root_public_key().clone(),
+        }
+    }
+
+    /// Spawns the CAS serving `connections` connections.
+    pub fn serve_cas(&self, connections: usize, seed: u64) -> std::thread::JoinHandle<()> {
+        self.cas.serve(&self.network, CAS_ADDR, connections, seed)
+    }
+}
+
+/// The canonical user secrets every attack test tries to steal.
+pub fn user_config_with_secrets() -> AppConfig {
+    AppConfig {
+        entry: "embedded".into(),
+        env: vec![("DEPLOYMENT".into(), "production".into())],
+        secrets: vec![
+            ("db-password".into(), b"correct horse battery staple".to_vec()),
+            ("api-key".into(), b"sk-live-0123456789".to_vec()),
+        ],
+        ..AppConfig::default()
+    }
+}
+
+/// A victim interpreter image (baseline flavor).
+pub fn victim_interpreter() -> ProgramImage {
+    ProgramImage::interpreter("python-3.8", 8)
+}

@@ -1,0 +1,194 @@
+//! Honest-path end-to-end lifecycles across the whole stack: signer →
+//! CAS → starter → enclave → attestation → configuration → workload,
+//! for baseline and SinClave deployments, including the Fig. 9
+//! workloads.
+
+mod common;
+
+use common::{World, CAS_ADDR, CONFIG_ID};
+use sinclave_repro::cas::policy::PolicyMode;
+use sinclave_repro::core::AppConfig;
+use sinclave_repro::runtime::scone::StartOptions;
+use sinclave_repro::runtime::workload;
+use sinclave_repro::runtime::ProgramImage;
+use std::sync::atomic::Ordering;
+
+#[test]
+fn baseline_lifecycle_delivers_and_runs() {
+    let image = ProgramImage::with_entry(
+        "service",
+        "secret api-key -> k\nenv DEPLOYMENT -> d\nprint $d\ncompute mix 2 -> r",
+        4,
+    );
+    let config = common::user_config_with_secrets();
+    let world = World::new(10, image, config, PolicyMode::Baseline);
+    let cas = world.serve_cas(1, 100);
+    let app = world
+        .host
+        .start_baseline(&world.packaged, &StartOptions::new(CAS_ADDR, CONFIG_ID).with_seed(1))
+        .unwrap();
+    cas.join().unwrap();
+    assert_eq!(app.outcome.stdout, vec!["production"]);
+    assert!(app.outcome.vars.contains_key("r"));
+}
+
+#[test]
+fn sinclave_lifecycle_delivers_and_runs() {
+    let image = ProgramImage::with_entry(
+        "service",
+        "secret db-password -> p\nprint configured",
+        4,
+    )
+    .sinclave_aware();
+    let world = World::new(11, image, common::user_config_with_secrets(), PolicyMode::Singleton);
+    let cas = world.serve_cas(2, 110); // grant + attest
+    let app = world
+        .host
+        .start_sinclave(&world.packaged, &StartOptions::new(CAS_ADDR, CONFIG_ID).with_seed(2))
+        .unwrap();
+    cas.join().unwrap();
+    assert_eq!(app.outcome.stdout, vec!["configured"]);
+    assert_eq!(world.cas.stats.grants_issued.load(Ordering::Relaxed), 1);
+    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 1);
+    assert_eq!(world.cas.stats.denials.load(Ordering::Relaxed), 0);
+    // Unique, non-common measurement.
+    assert_ne!(app.enclave.mrenclave(), world.packaged.signed.common_measurement());
+}
+
+#[test]
+fn many_singletons_all_distinct_and_all_served() {
+    let image = ProgramImage::with_entry("svc", "print ok", 2).sinclave_aware();
+    let world = World::new(12, image, common::user_config_with_secrets(), PolicyMode::Singleton);
+    let runs = 4;
+    let cas = world.serve_cas(2 * runs, 120);
+    let mut measurements = Vec::new();
+    for i in 0..runs {
+        let app = world
+            .host
+            .start_sinclave(
+                &world.packaged,
+                &StartOptions::new(CAS_ADDR, CONFIG_ID).with_seed(100 + i as u64),
+            )
+            .unwrap();
+        measurements.push(app.enclave.mrenclave());
+    }
+    cas.join().unwrap();
+    measurements.sort_by_key(|m| *m.as_bytes());
+    measurements.dedup();
+    assert_eq!(measurements.len(), runs, "every singleton is unique");
+    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), runs as u64);
+}
+
+#[test]
+fn fig9_workloads_run_under_both_flows() {
+    for (seed, w) in [
+        (20u64, workload::python_volume(2)),
+        (21, workload::openvino_inference(2)),
+        (22, workload::pytorch_training(1)),
+    ] {
+        // Baseline flavor.
+        let world = World::new(seed, w.image.clone(), w.config.clone(), PolicyMode::Either);
+        let cas = world.serve_cas(1, seed * 10);
+        let app = world
+            .host
+            .start_baseline(
+                &world.packaged,
+                &StartOptions::new(CAS_ADDR, CONFIG_ID)
+                    .with_volume(w.volume.clone())
+                    .with_seed(seed),
+            )
+            .unwrap();
+        cas.join().unwrap();
+        assert!(
+            app.outcome.stdout.last().unwrap().ends_with("-done"),
+            "workload {} finished: {:?}",
+            w.name,
+            app.outcome.stdout
+        );
+
+        // SinClave flavor over a fresh world (volumes may have been
+        // written to; rebuild).
+        let w2 = match w.name {
+            "Python" => workload::python_volume(2),
+            "OpenVINO" => workload::openvino_inference(2),
+            _ => workload::pytorch_training(1),
+        };
+        let world = World::new(
+            seed + 100,
+            w2.image.clone().sinclave_aware(),
+            w2.config.clone(),
+            PolicyMode::Singleton,
+        );
+        let cas = world.serve_cas(2, seed * 10 + 5);
+        let app = world
+            .host
+            .start_sinclave(
+                &world.packaged,
+                &StartOptions::new(CAS_ADDR, CONFIG_ID)
+                    .with_volume(w2.volume.clone())
+                    .with_seed(seed + 1),
+            )
+            .unwrap();
+        cas.join().unwrap();
+        assert!(app.outcome.stdout.last().unwrap().ends_with("-done"));
+    }
+}
+
+#[test]
+fn tampered_volume_detected_after_legitimate_provisioning() {
+    // The host corrupts the encrypted volume after attestation; the
+    // runtime's read fails closed.
+    let w = workload::python_volume(1);
+    let world = World::new(30, w.image.clone(), w.config.clone(), PolicyMode::Baseline);
+    let cas = world.serve_cas(1, 300);
+    // Corrupt a content chunk before the run.
+    {
+        let mut vol = w.volume.lock();
+        let ids = vol.raw_chunk_ids();
+        assert!(vol.corrupt_chunk(ids[ids.len() - 1]));
+    }
+    let err = world
+        .host
+        .start_baseline(
+            &world.packaged,
+            &StartOptions::new(CAS_ADDR, CONFIG_ID)
+                .with_volume(w.volume.clone())
+                .with_seed(3),
+        )
+        .unwrap_err();
+    cas.join().unwrap();
+    assert!(
+        matches!(
+            err,
+            sinclave_repro::runtime::RuntimeError::Fs(_)
+                | sinclave_repro::runtime::RuntimeError::ScriptRuntime { .. }
+        ),
+        "integrity failure surfaced: {err:?}"
+    );
+}
+
+#[test]
+fn cas_database_survives_restart() {
+    // Policies live in the encrypted store; a "restarted" CAS (same
+    // store volume, same key) still serves them.
+    use sinclave_repro::cas::store::CasStore;
+    use sinclave_repro::crypto::aead::AeadKey;
+
+    let key = AeadKey::new([9; 32]);
+    let mut store = CasStore::create(key.clone());
+    let world = World::new(31, ProgramImage::with_entry("x", "print hi", 2), AppConfig::default(), PolicyMode::Baseline);
+    store
+        .put_policy(&sinclave_repro::cas::SessionPolicy {
+            config_id: "persisted".into(),
+            expected_common: world.packaged.signed.common_measurement(),
+            expected_mrsigner: world.signer_key.public_key().fingerprint(),
+            min_isv_svn: 0,
+            allow_debug: false,
+            mode: PolicyMode::Either,
+            config: AppConfig::default(),
+        })
+        .unwrap();
+    let disk_image = store.volume().clone();
+    let reopened = CasStore::open(disk_image, key).unwrap();
+    assert!(reopened.get_policy("persisted").unwrap().is_some());
+}

@@ -1,0 +1,158 @@
+//! Integration reproduction of the paper's §3.3.2 attack against the
+//! SGX-LKL-like stack, and its SinClave defense.
+
+mod common;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave_repro::attack::lkl_attack::{run_lkl_interception, UserDeployment};
+use sinclave_repro::core::signer::SignerConfig;
+use sinclave_repro::core::verifier::SingletonIssuer;
+use sinclave_repro::core::AppConfig;
+use sinclave_repro::crypto::aead::AeadKey;
+use sinclave_repro::crypto::rsa::RsaPrivateKey;
+use sinclave_repro::fs::Volume;
+use sinclave_repro::net::Network;
+use sinclave_repro::runtime::lkl::{framework_image, LklController, LklHost, LklInvocation, DISK_ENTRY};
+use sinclave_repro::runtime::scone::{package_app, PackagedApp, WireGrant};
+use sinclave_repro::runtime::RuntimeError;
+use sinclave_repro::sgx::attestation::AttestationService;
+use sinclave_repro::sgx::platform::Platform;
+use sinclave_repro::sgx::quote::QuotingEnclave;
+use std::sync::Arc;
+
+struct LklWorld {
+    lkl: LklHost,
+    controller: LklController,
+    framework: PackagedApp,
+    signer_key: RsaPrivateKey,
+}
+
+fn lkl_world(seed: u64) -> LklWorld {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let service = AttestationService::new(&mut rng, 1024).unwrap();
+    let platform = Arc::new(Platform::new(&mut rng));
+    service.register_platform(platform.manufacturing_record());
+    let qe = Arc::new(QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap());
+    let network = Network::new();
+    let signer_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+    let framework = package_app(&framework_image(8), &signer_key, &SignerConfig::default()).unwrap();
+    LklWorld {
+        lkl: LklHost::new(platform, qe, network.clone()),
+        controller: LklController {
+            network,
+            attestation_root: service.root_public_key().clone(),
+        },
+        framework,
+        signer_key,
+    }
+}
+
+fn user_disk(key_bytes: [u8; 32]) -> Arc<Mutex<Volume>> {
+    let key = AeadKey::new(key_bytes);
+    let mut disk = Volume::format(&key, "user-disk");
+    disk.write_file(&key, DISK_ENTRY, b"secret proprietary -> p\nprint $p").unwrap();
+    Arc::new(Mutex::new(disk))
+}
+
+#[test]
+fn lkl_interception_steals_the_disk_key() {
+    let w = lkl_world(1);
+    let disk_key = [0x5e; 32];
+    let user = UserDeployment {
+        disk: user_disk(disk_key),
+        config: AppConfig {
+            volume_key: Some(disk_key),
+            secrets: vec![("proprietary".into(), b"trade secret model".to_vec())],
+            ..AppConfig::default()
+        },
+        service_addr: "lkl:443".into(),
+    };
+
+    let stolen = run_lkl_interception(&w.lkl, &w.controller, &w.framework, &user, 100)
+        .expect("user-side flow completes (they are fooled)")
+        .expect("impersonator captured the configuration");
+
+    // The adversary now holds the user's disk key and secrets, and can
+    // open the user's encrypted disk offline.
+    assert_eq!(stolen.volume_key, Some(disk_key));
+    assert_eq!(stolen.secret("proprietary"), Some(b"trade secret model".as_slice()));
+    let key = AeadKey::new(stolen.volume_key.unwrap());
+    let plaintext = user.disk.lock().read_file(&key, DISK_ENTRY).unwrap();
+    assert!(!plaintext.is_empty(), "disk decrypted with stolen key");
+}
+
+#[test]
+fn sinclave_lkl_defeats_unauthenticated_configuration() {
+    // With SinClave, the framework singleton only accepts configuration
+    // from the pinned verifier. The user's controller authenticates;
+    // anyone else (including a replayed/hijacked configuration path)
+    // cannot.
+    let w = lkl_world(2);
+    let mut rng = StdRng::seed_from_u64(20);
+    let user_verifier = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+    let issuer = SingletonIssuer::new(w.signer_key.clone(), user_verifier.public_key().fingerprint());
+    let grant_raw = issuer
+        .issue(&mut rng, &w.framework.signed.common_sigstruct, &w.framework.signed.base_hash)
+        .unwrap();
+    let grant = WireGrant {
+        token: grant_raw.token,
+        verifier_identity: grant_raw.verifier_identity,
+        sigstruct: grant_raw.sigstruct.clone(),
+    };
+
+    let disk_key = [0x5f; 32];
+    let channel_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+    let invocation = LklInvocation {
+        service_addr: "lkl:444".into(),
+        channel_key,
+        disk: user_disk(disk_key),
+        rng_seed: 21,
+    };
+
+    // The adversary connects with a quote-satisfied controller but the
+    // WRONG auth key: the enclave refuses before any boot.
+    let adversary_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+    let controller = LklController {
+        network: w.controller.network.clone(),
+        attestation_root: w.controller.attestation_root.clone(),
+    };
+    let expected = grant_raw.expected_mrenclave;
+    let adversary = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut rng = StdRng::seed_from_u64(22);
+        let _ = controller.attest_and_configure(
+            "lkl:444",
+            [1; 16],
+            &AppConfig { volume_key: Some(disk_key), ..AppConfig::default() },
+            |body| body.mrenclave == expected,
+            Some(&adversary_key),
+            &mut rng,
+        );
+    });
+
+    let err = w.lkl.run_sinclave(&w.framework, &invocation, &grant).unwrap_err();
+    adversary.join().unwrap();
+    assert_eq!(err, RuntimeError::VerifierIdentityMismatch);
+}
+
+#[test]
+fn lkl_singleton_measurement_identifies_the_user_program_instance() {
+    // With SinClave the user's controller can distinguish *their*
+    // singleton from any other SGX-LKL enclave: the expected
+    // measurement embeds their token and identity. The baseline
+    // cannot make that distinction (all framework enclaves look alike).
+    let w = lkl_world(3);
+    let mut rng = StdRng::seed_from_u64(30);
+    let user_verifier = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+    let issuer = SingletonIssuer::new(w.signer_key.clone(), user_verifier.public_key().fingerprint());
+    let g1 = issuer
+        .issue(&mut rng, &w.framework.signed.common_sigstruct, &w.framework.signed.base_hash)
+        .unwrap();
+    let g2 = issuer
+        .issue(&mut rng, &w.framework.signed.common_sigstruct, &w.framework.signed.base_hash)
+        .unwrap();
+    assert_ne!(g1.expected_mrenclave, g2.expected_mrenclave);
+    assert_ne!(g1.expected_mrenclave, w.framework.signed.common_measurement());
+}

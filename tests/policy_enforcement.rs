@@ -1,0 +1,219 @@
+//! Policy-level enforcement the paper requires beyond the headline
+//! attack: software updates via SVN (§1: the mechanism "supports …
+//! software updates"), debug-enclave rejection, and binding singletons
+//! to the right application.
+
+mod common;
+
+use common::{World, CAS_ADDR, CONFIG_ID};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave_repro::cas::policy::PolicyMode;
+use sinclave_repro::core::signer::SignerConfig;
+use sinclave_repro::core::AppConfig;
+use sinclave_repro::runtime::scone::{package_app, StartOptions};
+use sinclave_repro::runtime::{ProgramImage, RuntimeError};
+use sinclave_repro::sgx::attributes::Attributes;
+
+#[test]
+fn software_update_svn_gate() {
+    // The user ships v1 (SVN 1); later a vulnerability is found and v2
+    // (SVN 2) is released, and the CAS policy raises min_isv_svn. The
+    // old binary — even via a perfectly honest singleton flow — no
+    // longer receives secrets, while the new one does. This is the
+    // binary-distribution-compatible update story of §4.1/§4.4.
+    let image = ProgramImage::with_entry("svc", "print running", 2).sinclave_aware();
+    let world = World::new(40, image.clone(), AppConfig {
+        entry: "embedded".into(),
+        ..AppConfig::default()
+    }, PolicyMode::Singleton);
+
+    // Re-sign the same image as "v1" with SVN 1 and "v2" with SVN 2
+    // under the same signer key the CAS guards.
+    let v1 = package_app(
+        &image,
+        &world.signer_key,
+        &SignerConfig { isv_svn: 1, ..SignerConfig::default() },
+    )
+    .unwrap();
+    let v2 = package_app(
+        &image,
+        &world.signer_key,
+        &SignerConfig { isv_svn: 2, ..SignerConfig::default() },
+    )
+    .unwrap();
+
+    // Raise the policy bar to SVN 2. (Measurements are equal for both
+    // versions here since the image is identical; the SVN lives in the
+    // SigStruct, exactly as in SGX TCB recovery.)
+    let mut policy = sinclave_repro::cas::SessionPolicy {
+        config_id: CONFIG_ID.into(),
+        expected_common: v2.signed.common_measurement(),
+        expected_mrsigner: world.signer_key.public_key().fingerprint(),
+        min_isv_svn: 2,
+        allow_debug: false,
+        mode: PolicyMode::Singleton,
+        config: AppConfig { entry: "embedded".into(), ..AppConfig::default() },
+    };
+    world.cas.add_policy(policy.clone()).unwrap();
+
+    let cas_thread = world.serve_cas(4, 400);
+
+    // v1 singleton: grant succeeds (the binary is genuine), but
+    // attestation is denied on SVN.
+    let err = world
+        .host
+        .start_sinclave(&v1, &StartOptions::new(CAS_ADDR, CONFIG_ID).with_seed(1))
+        .unwrap_err();
+    match err {
+        RuntimeError::AttestationDenied { reason } => {
+            assert!(reason.contains("version"), "denial: {reason}");
+        }
+        other => panic!("expected SVN denial, got {other:?}"),
+    }
+
+    // v2 singleton: accepted.
+    let app = world
+        .host
+        .start_sinclave(&v2, &StartOptions::new(CAS_ADDR, CONFIG_ID).with_seed(2))
+        .unwrap();
+    assert_eq!(app.outcome.stdout, vec!["running"]);
+    cas_thread.join().unwrap();
+
+    // Downgrading the policy would re-admit v1 — verify the knob works
+    // both ways (operator action, not attacker-reachable).
+    policy.min_isv_svn = 1;
+    world.cas.add_policy(policy).unwrap();
+}
+
+#[test]
+fn debug_enclaves_are_refused_secrets() {
+    // A debug enclave has host-readable memory; its quote must never
+    // unlock production secrets even when the measurement matches.
+    let image = ProgramImage::with_entry("svc", "print hi", 2);
+    let world = World::new(41, image, AppConfig::default(), PolicyMode::Baseline);
+    let cas_thread = world.serve_cas(1, 410);
+
+    let mut opts = StartOptions::new(CAS_ADDR, CONFIG_ID).with_seed(3);
+    opts.attributes = Attributes::debug();
+    // The debug enclave cannot even EINIT against the production
+    // SigStruct (attribute mask) — the first line of defense.
+    let err = world.host.start_baseline(&world.packaged, &opts).unwrap_err();
+    assert!(matches!(
+        err,
+        RuntimeError::Sgx(sinclave_repro::sgx::SgxError::AttributesRejected)
+    ));
+
+    // Second line: even with a debug-permissive SigStruct, the CAS
+    // policy refuses the quote. Re-sign with a mask ignoring DEBUG.
+    let lenient = SignerConfig {
+        attributes_mask: Attributes {
+            flags: !sinclave_repro::sgx::attributes::DEBUG,
+            xfrm: u64::MAX,
+        },
+        ..SignerConfig::default()
+    };
+    let debug_packaged = package_app(
+        &world.packaged.image,
+        &world.signer_key,
+        &lenient,
+    )
+    .unwrap();
+    world
+        .cas
+        .add_policy(sinclave_repro::cas::SessionPolicy {
+            config_id: CONFIG_ID.into(),
+            expected_common: debug_packaged.signed.common_measurement(),
+            expected_mrsigner: world.signer_key.public_key().fingerprint(),
+            min_isv_svn: 0,
+            allow_debug: false,
+            mode: PolicyMode::Baseline,
+            config: AppConfig::default(),
+        })
+        .unwrap();
+    let mut opts = StartOptions::new(CAS_ADDR, CONFIG_ID).with_seed(4);
+    opts.attributes = Attributes::debug();
+    let err = world.host.start_baseline(&debug_packaged, &opts).unwrap_err();
+    match err {
+        RuntimeError::AttestationDenied { reason } => {
+            assert!(reason.contains("debug"), "denial: {reason}");
+        }
+        other => panic!("expected debug denial, got {other:?}"),
+    }
+    cas_thread.join().unwrap();
+}
+
+#[test]
+fn singleton_of_one_binary_cannot_claim_anothers_config() {
+    // Two applications, both signed by the same signer and registered
+    // at the same CAS. A singleton of app A must not receive app B's
+    // secrets even with a fresh, honestly-redeemed token.
+    let image_a = ProgramImage::with_entry("app-a", "print a", 2).sinclave_aware();
+    let world = World::new(42, image_a, AppConfig::default(), PolicyMode::Singleton);
+
+    let image_b = ProgramImage::with_entry("app-b", "print b", 2).sinclave_aware();
+    let packaged_b = package_app(&image_b, &world.signer_key, &SignerConfig::default()).unwrap();
+    world
+        .cas
+        .add_policy(sinclave_repro::cas::SessionPolicy {
+            config_id: "app-b-config".into(),
+            expected_common: packaged_b.signed.common_measurement(),
+            expected_mrsigner: world.signer_key.public_key().fingerprint(),
+            min_isv_svn: 0,
+            allow_debug: false,
+            mode: PolicyMode::Singleton,
+            config: AppConfig {
+                entry: "embedded".into(),
+                secrets: vec![("b-secret".into(), b"belongs to b".to_vec())],
+                ..AppConfig::default()
+            },
+        })
+        .unwrap();
+
+    let cas_thread = world.serve_cas(2, 420);
+    // Start app A's singleton but request app B's configuration.
+    let err = world
+        .host
+        .start_sinclave(
+            &world.packaged,
+            &StartOptions::new(CAS_ADDR, "app-b-config").with_seed(5),
+        )
+        .unwrap_err();
+    cas_thread.join().unwrap();
+    match err {
+        RuntimeError::AttestationDenied { reason } => {
+            assert!(reason.contains("different binary"), "denial: {reason}");
+        }
+        other => panic!("expected cross-binary denial, got {other:?}"),
+    }
+}
+
+#[test]
+fn grant_then_never_start_leaks_nothing() {
+    // Unredeemed tokens are inert: requesting many grants and never
+    // starting the enclaves must not affect other deployments.
+    let image = ProgramImage::with_entry("svc", "print ok", 2).sinclave_aware();
+    let world = World::new(43, image, AppConfig {
+        entry: "embedded".into(),
+        ..AppConfig::default()
+    }, PolicyMode::Singleton);
+    let cas_thread = world.serve_cas(5, 430);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..3 {
+        let _grant = world
+            .host
+            .request_grant(&world.packaged, CAS_ADDR, &mut rng)
+            .unwrap();
+    }
+    assert_eq!(world.cas.issuer().outstanding_tokens(), 3);
+
+    // A legitimate start still works (2 more connections).
+    let app = world
+        .host
+        .start_sinclave(&world.packaged, &StartOptions::new(CAS_ADDR, CONFIG_ID).with_seed(8))
+        .unwrap();
+    assert_eq!(app.outcome.stdout, vec!["ok"]);
+    cas_thread.join().unwrap();
+    assert_eq!(world.cas.issuer().outstanding_tokens(), 3, "abandoned grants stay outstanding");
+}

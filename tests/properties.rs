@@ -1,0 +1,200 @@
+//! Cross-crate property tests: the invariants SinClave's security
+//! argument rests on, checked over randomized inputs.
+
+use proptest::prelude::*;
+use sinclave_repro::core::instance_page::InstancePage;
+use sinclave_repro::core::layout::EnclaveLayout;
+use sinclave_repro::core::protocol::Message;
+use sinclave_repro::core::{AppConfig, AttestationToken, BaseEnclaveHash};
+use sinclave_repro::crypto::aead::AeadKey;
+use sinclave_repro::crypto::sha256::Digest;
+use sinclave_repro::fs::{FsError, Volume};
+use sinclave_repro::sgx::secinfo::SecInfo;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The core SinClave correctness property over random inputs: the
+    /// verifier's constant-time prediction from the base hash equals a
+    /// from-scratch measurement of the full enclave.
+    #[test]
+    fn prediction_equals_direct_measurement(
+        program in proptest::collection::vec(any::<u8>(), 1..20_000),
+        heap_pages in 0u64..16,
+        token_bytes in any::<[u8; 32]>(),
+        verifier in any::<[u8; 32]>(),
+    ) {
+        prop_assume!(token_bytes != [0u8; 32]);
+        let layout = EnclaveLayout::for_program(&program, heap_pages).unwrap();
+        let m = layout.measure_base().unwrap();
+        let base = BaseEnclaveHash::new(
+            m.export_state(),
+            layout.enclave_size,
+            layout.instance_page_offset(),
+        );
+        let page = InstancePage::new(AttestationToken(token_bytes), Digest(verifier));
+
+        let predicted = base.singleton_measurement(&page).unwrap();
+
+        let mut direct = layout.measure_base().unwrap();
+        direct
+            .add_page(
+                layout.instance_page_offset(),
+                &page.to_page_bytes(),
+                SecInfo::read_only(),
+                true,
+            )
+            .unwrap();
+        prop_assert_eq!(predicted, direct.finalize());
+    }
+
+    /// Distinct tokens always individualize the measurement.
+    #[test]
+    fn distinct_tokens_distinct_measurements(
+        t1 in any::<[u8; 32]>(),
+        t2 in any::<[u8; 32]>(),
+        verifier in any::<[u8; 32]>(),
+    ) {
+        prop_assume!(t1 != t2 && t1 != [0; 32] && t2 != [0; 32]);
+        let layout = EnclaveLayout::for_program(b"app", 2).unwrap();
+        let m = layout.measure_base().unwrap();
+        let base = BaseEnclaveHash::new(
+            m.export_state(),
+            layout.enclave_size,
+            layout.instance_page_offset(),
+        );
+        let m1 = base
+            .singleton_measurement(&InstancePage::new(AttestationToken(t1), Digest(verifier)))
+            .unwrap();
+        let m2 = base
+            .singleton_measurement(&InstancePage::new(AttestationToken(t2), Digest(verifier)))
+            .unwrap();
+        prop_assert_ne!(m1, m2);
+    }
+
+    /// AppConfig round-trips through its wire encoding for arbitrary
+    /// contents.
+    #[test]
+    fn app_config_roundtrip(
+        entry in ".{0,32}",
+        args in proptest::collection::vec(".{0,16}", 0..4),
+        env in proptest::collection::vec((".{0,8}", ".{0,8}"), 0..4),
+        volume_key in proptest::option::of(any::<[u8; 32]>()),
+        secrets in proptest::collection::vec(
+            (".{0,8}", proptest::collection::vec(any::<u8>(), 0..32)),
+            0..4
+        ),
+    ) {
+        let config = AppConfig { entry, args, env, volume_key, secrets };
+        prop_assert_eq!(AppConfig::from_bytes(&config.to_bytes()).unwrap(), config);
+    }
+
+    /// The protocol decoder never panics and never "decodes" trailing
+    /// garbage, for arbitrary byte soup.
+    #[test]
+    fn protocol_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        if let Ok(message) = Message::from_bytes(&bytes) {
+            // Anything that decodes must re-encode to the input.
+            prop_assert_eq!(message.to_bytes(), bytes);
+        }
+    }
+
+    /// Valid protocol messages survive an encode/decode cycle.
+    #[test]
+    fn protocol_roundtrip(
+        quote in proptest::collection::vec(any::<u8>(), 0..128),
+        token in any::<[u8; 32]>(),
+        config_id in "[a-z0-9-]{0,24}",
+    ) {
+        let m = Message::AttestRequest {
+            quote,
+            token: AttestationToken(token),
+            config_id,
+        };
+        prop_assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    /// Base-hash wire encoding is stable.
+    #[test]
+    fn base_hash_roundtrip(program in proptest::collection::vec(any::<u8>(), 1..5_000)) {
+        let layout = EnclaveLayout::for_program(&program, 1).unwrap();
+        let m = layout.measure_base().unwrap();
+        let base = BaseEnclaveHash::new(
+            m.export_state(),
+            layout.enclave_size,
+            layout.instance_page_offset(),
+        );
+        prop_assert_eq!(BaseEnclaveHash::decode(&base.encode()).unwrap(), base);
+    }
+}
+
+/// A model-based test: a random sequence of filesystem operations on a
+/// [`Volume`] behaves exactly like a `HashMap<String, Vec<u8>>`.
+#[derive(Debug, Clone)]
+enum FsOp {
+    Write(u8, Vec<u8>),
+    Read(u8),
+    Remove(u8),
+    List,
+    Export,
+}
+
+fn arb_fs_op() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..9000))
+            .prop_map(|(p, d)| FsOp::Write(p, d)),
+        any::<u8>().prop_map(FsOp::Read),
+        any::<u8>().prop_map(FsOp::Remove),
+        Just(FsOp::List),
+        Just(FsOp::Export),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn volume_matches_hashmap_model(ops in proptest::collection::vec(arb_fs_op(), 0..40)) {
+        let key = AeadKey::new([0x99; 32]);
+        let mut volume = Volume::format(&key, "model");
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                FsOp::Write(p, data) => {
+                    let path = format!("file-{}", p % 8);
+                    volume.write_file(&key, &path, &data).unwrap();
+                    model.insert(path, data);
+                }
+                FsOp::Read(p) => {
+                    let path = format!("file-{}", p % 8);
+                    match (volume.read_file(&key, &path), model.get(&path)) {
+                        (Ok(got), Some(want)) => prop_assert_eq!(&got, want),
+                        (Err(FsError::NotFound { .. }), None) => {}
+                        (got, want) => {
+                            prop_assert!(false, "divergence: {:?} vs {:?}", got, want)
+                        }
+                    }
+                }
+                FsOp::Remove(p) => {
+                    let path = format!("file-{}", p % 8);
+                    let volume_result = volume.remove_file(&key, &path).is_ok();
+                    let model_result = model.remove(&path).is_some();
+                    prop_assert_eq!(volume_result, model_result);
+                }
+                FsOp::List => {
+                    let mut got = volume.list(&key).unwrap();
+                    got.sort();
+                    let mut want: Vec<_> = model.keys().cloned().collect();
+                    want.sort();
+                    prop_assert_eq!(got, want);
+                }
+                FsOp::Export => {
+                    // Round-trip through a disk image mid-sequence.
+                    volume = Volume::from_disk_image(&volume.to_disk_image()).unwrap();
+                }
+            }
+        }
+    }
+}
