@@ -30,8 +30,7 @@ pub fn report_server_disk(listen_addr: &str) -> (SharedVolume, [u8; 32]) {
     let key_bytes = [0xad; 32];
     let key = AeadKey::new(key_bytes);
     let mut disk = Volume::format(&key, "adversary-disk");
-    disk.write_file(&key, DISK_ENTRY, report_server_script(listen_addr).as_bytes())
-        .expect("write");
+    disk.write_file(&key, DISK_ENTRY, report_server_script(listen_addr).as_bytes()).expect("write");
     (Arc::new(Mutex::new(disk)), key_bytes)
 }
 
@@ -81,9 +80,8 @@ pub fn run_lkl_interception(
     };
     let framework_clone = framework.clone();
     let lkl_host = LklHost::new(lkl.platform.clone(), lkl.qe.clone(), network.clone());
-    let enclave_thread = std::thread::spawn(move || {
-        lkl_host.run_baseline(&framework_clone, &invocation)
-    });
+    let enclave_thread =
+        std::thread::spawn(move || lkl_host.run_baseline(&framework_clone, &invocation));
     // Adversary configures their own enclave (they are the controller
     // of the side deployment).
     let expected = framework.signed.common_measurement();

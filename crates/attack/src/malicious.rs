@@ -53,8 +53,7 @@ impl MaliciousCas {
             for i in 0..connections {
                 let Ok(conn) = listener.accept() else { return };
                 let mut rng = StdRng::seed_from_u64(seed + i as u64);
-                let Ok(mut chan) =
-                    SecureChannel::server_accept(conn, &self.channel_key, &mut rng)
+                let Ok(mut chan) = SecureChannel::server_accept(conn, &self.channel_key, &mut rng)
                 else {
                     continue;
                 };
@@ -113,16 +112,17 @@ pub fn report_server_via_import(listen_addr: &str) -> (String, String) {
 /// Returns `(volume, config)` ready to be registered at a
 /// [`MaliciousCas`].
 #[must_use]
-pub fn report_server_payload(listen_addr: &str, use_import_flavor: bool) -> (SharedVolume, AppConfig) {
+pub fn report_server_payload(
+    listen_addr: &str,
+    use_import_flavor: bool,
+) -> (SharedVolume, AppConfig) {
     let key_bytes = [0xee; 32];
     let key = AeadKey::new(key_bytes);
     let mut volume = Volume::format(&key, "adversary-volume");
     if use_import_flavor {
         let (entry, module) = report_server_via_import(listen_addr);
         volume.write_file(&key, "app.ss", entry.as_bytes()).expect("write");
-        volume
-            .write_file(&key, "modules/compression.so", module.as_bytes())
-            .expect("write");
+        volume.write_file(&key, "modules/compression.so", module.as_bytes()).expect("write");
     } else {
         volume
             .write_file(&key, "rs.ss", report_server_script(listen_addr).as_bytes())

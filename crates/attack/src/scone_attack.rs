@@ -131,9 +131,7 @@ pub fn replay_singleton_start(
 ) -> RuntimeError {
     let mut rng = StdRng::seed_from_u64(seed);
     // Legitimate singleton start: grant → build → attest → run.
-    let grant = host
-        .request_grant(packaged, cas_addr, &mut rng)
-        .expect("grant");
+    let grant = host.request_grant(packaged, cas_addr, &mut rng).expect("grant");
     let page = InstancePage::new(grant.token, grant.verifier_identity);
     let enclave1 = Arc::new(
         host.build_enclave(

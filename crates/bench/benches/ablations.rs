@@ -5,11 +5,17 @@
 //!    enclave per grant instead of finalizing an interrupted hash. The
 //!    interruptible design makes prediction O(1) in binary size — this
 //!    ablation quantifies the win as binaries grow.
-//! 2. **On-demand SigStruct key size.** SGX mandates RSA-3072; the
+//! 2. **Prepared vs. cold prediction.** The verifier's per-grant hash
+//!    work used to be two full instance-page measurements (common
+//!    check + singleton prediction). The [`PreparedBaseHash`] midstate
+//!    cache absorbs the instance-page `EADD` and the common
+//!    measurement once per enclave, leaving 16 `EEXTEND` runs plus
+//!    finalization per grant — this quantifies the per-grant win.
+//! 3. **On-demand SigStruct key size.** SGX mandates RSA-3072; the
 //!    per-singleton signing cost is the dominant grant component
 //!    (Fig. 7c), so this shows what smaller/bigger signer keys would
 //!    change.
-//! 3. **RSA-CRT.** Signing uses the CRT; this measures the speedup over
+//! 4. **RSA-CRT.** Signing uses the CRT; this measures the speedup over
 //!    plain private-exponent exponentiation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -66,6 +72,39 @@ fn bench_prediction_vs_remeasure(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_prepared_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/prepared-vs-cold");
+    let page = InstancePage::new(AttestationToken([9; 32]), sha256::digest(b"verifier"));
+    let layout = EnclaveLayout::for_program(&hash_buffer(64 << 10), 16).expect("layout");
+    let m = layout.measure_base().expect("measure");
+    let base =
+        BaseEnclaveHash::new(m.export_state(), layout.enclave_size, layout.instance_page_offset());
+
+    // The pre-cache issue() hash work: re-derive the common
+    // measurement for the SigStruct check, then predict the singleton.
+    group.bench_function("cold-issue-prediction", |b| {
+        b.iter(|| {
+            let common = base.common_measurement().expect("common");
+            let singleton = base.singleton_measurement(&page).expect("singleton");
+            (common, singleton)
+        });
+    });
+    // First grant for an enclave: prepare the midstate, derive the
+    // common measurement once, predict.
+    group.bench_function("prepared-first-grant", |b| {
+        b.iter(|| {
+            let prepared = base.prepare().expect("prepare");
+            (prepared.common_measurement(), prepared.singleton_measurement(&page))
+        });
+    });
+    // Every further grant: 16 EEXTEND runs + finalize, nothing else.
+    let prepared = base.prepare().expect("prepare");
+    group.bench_function("prepared-warm-grant", |b| {
+        b.iter(|| prepared.singleton_measurement(&page));
+    });
+    group.finish();
+}
+
 fn bench_signer_key_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/signer-key-size");
     group.sample_size(20);
@@ -97,9 +136,7 @@ fn bench_crt(c: &mut Criterion) {
         let s = Uint::from_be_bytes(&sig);
         let m = s.mod_pow(key.public_key().exponent(), key.public_key().modulus());
         b.iter(|| {
-            std::hint::black_box(
-                m.mod_pow(private_exponent(&key), key.public_key().modulus()),
-            )
+            std::hint::black_box(m.mod_pow(private_exponent(&key), key.public_key().modulus()))
         });
     });
     group.finish();
@@ -115,5 +152,11 @@ fn private_exponent(key: &RsaPrivateKey) -> &Uint {
     key.public_key().modulus()
 }
 
-criterion_group!(ablations, bench_prediction_vs_remeasure, bench_signer_key_size, bench_crt);
+criterion_group!(
+    ablations,
+    bench_prediction_vs_remeasure,
+    bench_prepared_vs_cold,
+    bench_signer_key_size,
+    bench_crt
+);
 criterion_main!(ablations);

@@ -3,12 +3,18 @@
 //! baseline) vs the interruptible SinClave hash vs the base-hash
 //! variant (interruption + state encoding instead of finalization),
 //! plus the constant-time base-hash → MRENCLAVE finalization.
+//!
+//! Beyond the paper's variants, `sinclave-batched` pins the
+//! interruptible hasher to the portable multi-block core (isolating
+//! the win from streaming block runs instead of per-block buffering)
+//! and `sinclave-shani` pins it to the x86 SHA-extensions core
+//! (skipped when the CPU lacks them).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sinclave::instance_page::InstancePage;
 use sinclave::BaseEnclaveHash;
 use sinclave_bench::{hash_buffer, human_size};
-use sinclave_crypto::sha256::{self, Sha256};
+use sinclave_crypto::sha256::{self, Backend, Sha256};
 
 /// The buffer sizes of the paper's x-axis.
 const SIZES: &[usize] = &[2 << 10, 16 << 10, 128 << 10, 1 << 20, 8 << 20];
@@ -18,16 +24,48 @@ fn bench_sha256(c: &mut Criterion) {
     for &size in SIZES {
         let buffer = hash_buffer(size);
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("ring-substitute", human_size(size)), &buffer, |b, buf| {
-            b.iter(|| sha256::fast::digest(buf));
-        });
-        group.bench_with_input(BenchmarkId::new("sinclave", human_size(size)), &buffer, |b, buf| {
-            b.iter(|| {
-                let mut h = Sha256::new();
-                h.update(buf);
-                h.finalize()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ring-substitute", human_size(size)),
+            &buffer,
+            |b, buf| {
+                b.iter(|| sha256::fast::digest(buf));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sinclave", human_size(size)),
+            &buffer,
+            |b, buf| {
+                b.iter(|| {
+                    let mut h = Sha256::new();
+                    h.update(buf);
+                    h.finalize()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sinclave-batched", human_size(size)),
+            &buffer,
+            |b, buf| {
+                b.iter(|| {
+                    let mut h = Sha256::with_backend(Backend::Portable);
+                    h.update(buf);
+                    h.finalize()
+                });
+            },
+        );
+        if Backend::sha_ni_available() {
+            group.bench_with_input(
+                BenchmarkId::new("sinclave-shani", human_size(size)),
+                &buffer,
+                |b, buf| {
+                    b.iter(|| {
+                        let mut h = Sha256::with_backend(Backend::ShaNi);
+                        h.update(buf);
+                        h.finalize()
+                    });
+                },
+            );
+        }
         group.bench_with_input(
             BenchmarkId::new("sinclave-basehash", human_size(size)),
             &buffer,
@@ -47,10 +85,11 @@ fn bench_sha256(c: &mut Criterion) {
 fn bench_finalization(c: &mut Criterion) {
     // "The time it takes to finalize an enclave base hash into an
     // enclave measurement … requires constant 32 µs."
-    let layout = sinclave::layout::EnclaveLayout::for_program(&hash_buffer(64 << 10), 16)
-        .expect("layout");
+    let layout =
+        sinclave::layout::EnclaveLayout::for_program(&hash_buffer(64 << 10), 16).expect("layout");
     let m = layout.measure_base().expect("measure");
-    let base = BaseEnclaveHash::new(m.export_state(), layout.enclave_size, layout.instance_page_offset());
+    let base =
+        BaseEnclaveHash::new(m.export_state(), layout.enclave_size, layout.instance_page_offset());
     let page = InstancePage::new(
         sinclave::AttestationToken([7; 32]),
         sinclave_crypto::sha256::digest(b"verifier"),

@@ -16,9 +16,7 @@ fn run_once(
     sinclave_mode: bool,
     seed: u64,
 ) {
-    let opts = StartOptions::new("cas:fig9", "wl")
-        .with_volume(w.volume.clone())
-        .with_seed(seed);
+    let opts = StartOptions::new("cas:fig9", "wl").with_volume(w.volume.clone()).with_seed(seed);
     let app = if sinclave_mode {
         world.host.start_sinclave(packaged, &opts).expect("run")
     } else {

@@ -42,7 +42,10 @@ fn mbps(bytes: usize, d: Duration) -> f64 {
 fn fig6() {
     println!("== Figure 6: SHA-256 throughput (paper: Ring ≈405 MB/s, SinClave ≈180 MB/s,");
     println!("==           SinClave-BaseHash ≈ SinClave, better at small buffers)");
-    println!("{:>8}  {:>18} {:>18} {:>22}", "buffer", "ring-subst MB/s", "sinclave MB/s", "sinclave-basehash MB/s");
+    println!(
+        "{:>8}  {:>18} {:>18} {:>22}",
+        "buffer", "ring-subst MB/s", "sinclave MB/s", "sinclave-basehash MB/s"
+    );
     for size in [2 << 10, 16 << 10, 128 << 10, 1 << 20, 8 << 20] {
         let buf = hash_buffer(size);
         let iters = ((64 << 20) / size.max(1)) as u32;
@@ -67,18 +70,15 @@ fn fig6() {
     }
 
     // Constant-time finalization (paper: constant 32 µs).
-    let layout = sinclave::layout::EnclaveLayout::for_program(&hash_buffer(256 << 10), 64)
-        .expect("layout");
+    let layout =
+        sinclave::layout::EnclaveLayout::for_program(&hash_buffer(256 << 10), 64).expect("layout");
     let m = layout.measure_base().expect("measure");
     let bh = sinclave::BaseEnclaveHash::new(
         m.export_state(),
         layout.enclave_size,
         layout.instance_page_offset(),
     );
-    let page = InstancePage::new(
-        sinclave::AttestationToken([7; 32]),
-        sha256::digest(b"verifier"),
-    );
+    let page = InstancePage::new(sinclave::AttestationToken([7; 32]), sha256::digest(b"verifier"));
     let fin = time(2048, || bh.singleton_measurement(&page).expect("finalize"));
     println!("base-hash finalization to MRENCLAVE: {fin:?}  (paper: constant 32 µs)");
     println!();
@@ -93,9 +93,8 @@ fn fig7a(world: &BenchWorld) {
     let layout = image.layout().expect("layout");
     let config = SignerConfig::default();
     let native = time(32, || image.code_bytes());
-    let baseline = time(16, || {
-        sign_enclave_baseline(&layout, &world.signer_key, &config).expect("sign")
-    });
+    let baseline =
+        time(16, || sign_enclave_baseline(&layout, &world.signer_key, &config).expect("sign"));
     let sinclave = time(16, || sign_enclave(&layout, &world.signer_key, &config).expect("sign"));
     println!("native:   {native:>12.2?}   (paper 0.033 s)");
     println!("baseline: {baseline:>12.2?}   (paper 1.52 s)");
@@ -155,9 +154,8 @@ fn fig7c(world: &BenchWorld) {
     });
     let verify = time(256, || packaged.signed.common_sigstruct.verify().expect("ok"));
     let page = InstancePage::new(sinclave::AttestationToken([9; 32]), world.cas.identity());
-    let expected = time(2048, || {
-        packaged.signed.base_hash.singleton_measurement(&page).expect("measure")
-    });
+    let expected =
+        time(2048, || packaged.signed.base_hash.singleton_measurement(&page).expect("measure"));
     let mut rng = StdRng::seed_from_u64(1);
     let issue = time(32, || {
         world
@@ -278,9 +276,8 @@ fn fig9() {
             let elapsed = time(3, || {
                 i += 1;
                 let w = make();
-                let opts = StartOptions::new("cas:x9", "fig9")
-                    .with_volume(w.volume.clone())
-                    .with_seed(i);
+                let opts =
+                    StartOptions::new("cas:x9", "fig9").with_volume(w.volume.clone()).with_seed(i);
                 let app = if sinclave_mode {
                     world.host.start_sinclave(&packaged, &opts).expect("run")
                 } else {
@@ -293,10 +290,7 @@ fn fig9() {
         let overhead = (results[1].as_secs_f64() - results[0].as_secs_f64())
             / results[0].as_secs_f64()
             * 100.0;
-        println!(
-            "{:>10} {:>14.2?} {:>14.2?} {:>+9.2}%",
-            name, results[0], results[1], overhead
-        );
+        println!("{:>10} {:>14.2?} {:>14.2?} {:>+9.2}%", name, results[0], results[1], overhead);
     }
     println!();
 }

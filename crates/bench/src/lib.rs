@@ -58,8 +58,7 @@ impl BenchWorld {
         let network = Network::new();
         let host = SconeHost::new(platform, qe, network.clone());
 
-        let signer_key =
-            RsaPrivateKey::generate(&mut rng, SIGNER_KEY_BITS).expect("signer key");
+        let signer_key = RsaPrivateKey::generate(&mut rng, SIGNER_KEY_BITS).expect("signer key");
         let channel_key = RsaPrivateKey::generate(&mut rng, INFRA_KEY_BITS).expect("channel");
         let cas = CasServer::new(
             channel_key,

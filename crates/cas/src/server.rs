@@ -8,7 +8,7 @@
 
 use crate::policy::{PolicyMode, SessionPolicy};
 use crate::store::CasStore;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use sinclave::protocol::Message;
@@ -41,7 +41,10 @@ pub struct CasServer {
     channel_key: RsaPrivateKey,
     issuer: SingletonIssuer,
     attestation_root: RsaPublicKey,
-    store: Mutex<CasStore>,
+    /// Policy store behind a reader-writer lock: retrieval (the hot
+    /// path of every attestation) takes shared read access; only
+    /// policy registration writes.
+    store: RwLock<CasStore>,
     /// Counters.
     pub stats: CasStats,
 }
@@ -69,7 +72,7 @@ impl CasServer {
             channel_key,
             issuer: SingletonIssuer::new(signer_key, identity),
             attestation_root,
-            store: Mutex::new(store),
+            store: RwLock::new(store),
             stats: CasStats::default(),
         })
     }
@@ -93,7 +96,7 @@ impl CasServer {
     ///
     /// Propagates database failures.
     pub fn add_policy(&self, policy: SessionPolicy) -> Result<(), SinclaveError> {
-        self.store.lock().put_policy(&policy)
+        self.store.write().put_policy(&policy)
     }
 
     /// Serves `connections` connections on `addr` in a background
@@ -190,6 +193,9 @@ impl CasServer {
         let Ok(base_hash) = BaseEnclaveHash::decode(base_hash) else {
             return Message::Denied { reason: "base hash malformed".into() };
         };
+        // The issuer keeps a prepared midstate per registered enclave,
+        // so repeat grants for the same binary skip re-hashing the
+        // instance-page prefix and the common-measurement check.
         match self.issuer.issue(rng, &sigstruct, &base_hash) {
             Ok(grant) => {
                 self.stats.grants_issued.fetch_add(1, Ordering::Relaxed);
@@ -229,7 +235,10 @@ impl CasServer {
             return Message::Denied { reason: "channel binding mismatch".into() };
         }
 
-        let policy = match self.store.lock().get_policy(config_id) {
+        // Shared read access, released as soon as the policy is
+        // cloned out: concurrent retrievals never serialize on the
+        // store, and a slow connection cannot hold registration out.
+        let policy = match self.store.read().get_policy(config_id) {
             Ok(Some(policy)) => policy,
             Ok(None) => return Message::Denied { reason: "unknown config id".into() },
             Err(_) => return Message::Denied { reason: "policy store failure".into() },
@@ -259,9 +268,7 @@ impl CasServer {
             return Err("security version too old".into());
         }
         match (token, policy.mode) {
-            (None, PolicyMode::Singleton) => {
-                Err("policy requires singleton attestation".into())
-            }
+            (None, PolicyMode::Singleton) => Err("policy requires singleton attestation".into()),
             (Some(_), PolicyMode::Baseline) => {
                 Err("policy does not accept singleton attestation".into())
             }
@@ -276,10 +283,8 @@ impl CasServer {
                 // Exactly-once token redemption, bound to the attested
                 // measurement; then bind the singleton to *this*
                 // application via its common measurement.
-                let common = self
-                    .issuer
-                    .redeem(token, &body.mrenclave)
-                    .map_err(|e| e.to_string())?;
+                let common =
+                    self.issuer.redeem(token, &body.mrenclave).map_err(|e| e.to_string())?;
                 if common == policy.expected_common {
                     Ok(())
                 } else {
@@ -359,6 +364,18 @@ mod tests {
     }
 
     #[test]
+    fn repeat_grants_share_one_prepared_midstate() {
+        let (cas, signer_key, _) = server(11);
+        let layout = EnclaveLayout::for_program(b"app", 2).unwrap();
+        let signed = sign_enclave(&layout, &signer_key, &SignerConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..3 {
+            cas.issuer().issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        }
+        assert_eq!(cas.issuer().prepared_cache_len(), 1);
+    }
+
+    #[test]
     fn grant_denied_for_foreign_signer() {
         let (cas, _, _) = server(5);
         let mut rng = StdRng::seed_from_u64(6);
@@ -394,8 +411,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut chan = SecureChannel::client_connect(conn, &mut rng).unwrap();
         chan.send(
-            &Message::BaselineAttestRequest { quote: vec![0; 8], config_id: "x".into() }
-                .to_bytes(),
+            &Message::BaselineAttestRequest { quote: vec![0; 8], config_id: "x".into() }.to_bytes(),
         )
         .unwrap();
         let reply = Message::from_bytes(&chan.recv().unwrap()).unwrap();
@@ -420,6 +436,6 @@ mod tests {
             config: AppConfig::default(),
         };
         cas.add_policy(policy).unwrap();
-        assert_eq!(cas.store.lock().list_policies().unwrap(), vec!["svc".to_owned()]);
+        assert_eq!(cas.store.read().list_policies().unwrap(), vec!["svc".to_owned()]);
     }
 }

@@ -91,10 +91,7 @@ impl CasStore {
     ///
     /// Returns [`SinclaveError::ProtocolDecode`] on volume failures.
     pub fn remove_policy(&mut self, config_id: &str) -> Result<bool, SinclaveError> {
-        match self
-            .volume
-            .remove_file(&self.key, &format!("{POLICY_PREFIX}{config_id}"))
-        {
+        match self.volume.remove_file(&self.key, &format!("{POLICY_PREFIX}{config_id}")) {
             Ok(()) => Ok(true),
             Err(sinclave_fs::FsError::NotFound { .. }) => Ok(false),
             Err(_) => Err(SinclaveError::ProtocolDecode),

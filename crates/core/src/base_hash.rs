@@ -99,11 +99,31 @@ impl BaseEnclaveHash {
     /// # Errors
     ///
     /// Same as [`BaseEnclaveHash::finalize_with_page_bytes`].
-    pub fn singleton_measurement(
-        &self,
-        page: &InstancePage,
-    ) -> Result<Measurement, SinclaveError> {
+    pub fn singleton_measurement(&self, page: &InstancePage) -> Result<Measurement, SinclaveError> {
         self.finalize_with_page_bytes(&page.to_page_bytes())
+    }
+
+    /// Precomputes the measurement midstate after the instance-page
+    /// `EADD` record.
+    ///
+    /// The `EADD` record depends only on the geometry stored here —
+    /// never on the token — so a verifier that predicts many singleton
+    /// measurements for the same enclave can absorb it once and start
+    /// every prediction from the returned [`PreparedBaseHash`],
+    /// hashing only the 16 `EEXTEND` record runs plus finalization per
+    /// grant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::Sgx`] if the stored geometry is
+    /// inconsistent (offset outside the enclave).
+    pub fn prepare(&self) -> Result<PreparedBaseHash, SinclaveError> {
+        let mut m = MeasurementBuilder::resume(self.state, self.enclave_size);
+        m.eadd(self.instance_page_offset, SecInfo::read_only())?;
+        Ok(PreparedBaseHash {
+            state_after_eadd: m.export_state(),
+            instance_page_offset: self.instance_page_offset,
+        })
     }
 
     /// Serializes to the 56-byte wire encoding.
@@ -125,11 +145,60 @@ impl BaseEnclaveHash {
         if bytes.len() != ENCODED_LEN {
             return Err(SinclaveError::ProtocolDecode);
         }
-        let state =
-            Sha256State::decode(&bytes[..40]).map_err(|_| SinclaveError::ProtocolDecode)?;
+        let state = Sha256State::decode(&bytes[..40]).map_err(|_| SinclaveError::ProtocolDecode)?;
         let enclave_size = u64::from_be_bytes(bytes[40..48].try_into().expect("8"));
         let instance_page_offset = u64::from_be_bytes(bytes[48..56].try_into().expect("8"));
         Ok(BaseEnclaveHash { state, enclave_size, instance_page_offset })
+    }
+}
+
+/// A [`BaseEnclaveHash`] with the instance-page `EADD` record already
+/// absorbed — the verifier-side midstate cache.
+///
+/// Produced by [`BaseEnclaveHash::prepare`]. Finalization from here is
+/// infallible: the geometry was validated when the `EADD` record was
+/// absorbed, and `EEXTEND` record runs cannot fail.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PreparedBaseHash {
+    state_after_eadd: Sha256State,
+    instance_page_offset: u64,
+}
+
+impl fmt::Debug for PreparedBaseHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedBaseHash")
+            .field("measured_bytes", &self.state_after_eadd.byte_len())
+            .field("instance_page_offset", &self.instance_page_offset)
+            .finish()
+    }
+}
+
+impl PreparedBaseHash {
+    /// Finalizes with raw page content: one contiguous run of the 16
+    /// `EEXTEND` records plus the SHA-256 finalization — nothing else.
+    #[must_use]
+    pub fn finalize_with_page_bytes(&self, page: &[u8; PAGE_SIZE]) -> Measurement {
+        // The enclave size no longer matters: the only offset-checked
+        // operation (the EADD) is already inside the midstate. Any
+        // value covering the page keeps the resumed builder valid.
+        let mut m = MeasurementBuilder::resume(
+            self.state_after_eadd,
+            self.instance_page_offset + PAGE_SIZE as u64,
+        );
+        m.eextend_page(self.instance_page_offset, page);
+        m.finalize()
+    }
+
+    /// The **common** enclave's measurement: zeroed instance page.
+    #[must_use]
+    pub fn common_measurement(&self) -> Measurement {
+        self.finalize_with_page_bytes(&InstancePage::common_page())
+    }
+
+    /// A **singleton**'s measurement for a concrete instance page.
+    #[must_use]
+    pub fn singleton_measurement(&self, page: &InstancePage) -> Measurement {
+        self.finalize_with_page_bytes(&page.to_page_bytes())
     }
 }
 
@@ -145,11 +214,7 @@ mod tests {
     fn base_hash() -> BaseEnclaveHash {
         let layout = EnclaveLayout::for_program(b"the program", 2).unwrap();
         let m = layout.measure_base().unwrap();
-        BaseEnclaveHash::new(
-            m.export_state(),
-            layout.enclave_size,
-            layout.instance_page_offset(),
-        )
+        BaseEnclaveHash::new(m.export_state(), layout.enclave_size, layout.instance_page_offset())
     }
 
     fn instance(seed: u64) -> InstancePage {
@@ -178,12 +243,8 @@ mod tests {
         let bh = base_hash();
         let mut rng = StdRng::seed_from_u64(3);
         let token = AttestationToken::generate(&mut rng);
-        let a = bh
-            .singleton_measurement(&InstancePage::new(token, Digest([1; 32])))
-            .unwrap();
-        let b = bh
-            .singleton_measurement(&InstancePage::new(token, Digest([2; 32])))
-            .unwrap();
+        let a = bh.singleton_measurement(&InstancePage::new(token, Digest([1; 32]))).unwrap();
+        let b = bh.singleton_measurement(&InstancePage::new(token, Digest([2; 32]))).unwrap();
         assert_ne!(a, b, "verifier identity is part of the measurement");
     }
 
@@ -208,6 +269,31 @@ mod tests {
             )
             .unwrap();
         assert_eq!(predicted, direct.finalize());
+    }
+
+    #[test]
+    fn prepared_equals_cold_path() {
+        // The midstate cache is a pure optimization: predictions from
+        // the prepared state must be bit-identical to the cold path
+        // for singleton pages and for the common page.
+        let bh = base_hash();
+        let prepared = bh.prepare().unwrap();
+        assert_eq!(prepared.common_measurement(), bh.common_measurement().unwrap());
+        for seed in 1..5 {
+            let page = instance(seed);
+            assert_eq!(
+                prepared.singleton_measurement(&page),
+                bh.singleton_measurement(&page).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepare_rejects_broken_geometry() {
+        let bh = base_hash();
+        let broken = BaseEnclaveHash::new(bh.state(), bh.enclave_size(), bh.enclave_size());
+        assert!(broken.prepare().is_err());
     }
 
     #[test]

@@ -29,10 +29,7 @@ impl AppConfig {
     /// Looks up a secret by name.
     #[must_use]
     pub fn secret(&self, name: &str) -> Option<&[u8]> {
-        self.secrets
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_slice())
+        self.secrets.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_slice())
     }
 
     /// Looks up an environment variable.

@@ -86,10 +86,8 @@ impl InstancePage {
         if page[8 + TOKEN_LEN + 32..].iter().any(|&b| b != 0) {
             return Err(SinclaveError::InstancePageMalformed);
         }
-        let parsed = InstancePage {
-            token: AttestationToken(token),
-            verifier_identity: Digest(verifier),
-        };
+        let parsed =
+            InstancePage { token: AttestationToken(token), verifier_identity: Digest(verifier) };
         if parsed.token.is_zero() {
             // A "singleton" page with a zero token is not a valid
             // issuance; refuse rather than risk ambiguity with the
@@ -128,10 +126,7 @@ mod tests {
     fn wrong_magic_rejected() {
         let mut bytes = page().to_page_bytes();
         bytes[0] = b'X';
-        assert_eq!(
-            InstancePage::parse(&bytes),
-            Err(SinclaveError::InstancePageMalformed)
-        );
+        assert_eq!(InstancePage::parse(&bytes), Err(SinclaveError::InstancePageMalformed));
     }
 
     #[test]

@@ -146,18 +146,12 @@ impl EnclaveLayout {
     /// Propagates measurement errors (cannot happen for a validated
     /// layout).
     pub fn measure_base(&self) -> Result<MeasurementBuilder, SinclaveError> {
-        let mut m =
-            MeasurementBuilder::ecreate(EnclaveBuilder::SSA_FRAME_SIZE, self.enclave_size);
+        let mut m = MeasurementBuilder::ecreate(EnclaveBuilder::SSA_FRAME_SIZE, self.enclave_size);
         for seg in &self.segments {
             for (i, chunk) in seg.data.chunks(PAGE_SIZE).enumerate() {
                 let mut page = [0u8; PAGE_SIZE];
                 page[..chunk.len()].copy_from_slice(chunk);
-                m.add_page(
-                    seg.offset + (i * PAGE_SIZE) as u64,
-                    &page,
-                    seg.secinfo,
-                    seg.measured,
-                )?;
+                m.add_page(seg.offset + (i * PAGE_SIZE) as u64, &page, seg.secinfo, seg.measured)?;
             }
             if seg.data.is_empty() {
                 m.add_page(seg.offset, &[0u8; PAGE_SIZE], seg.secinfo, seg.measured)?;
@@ -165,12 +159,7 @@ impl EnclaveLayout {
         }
         let zero = [0u8; PAGE_SIZE];
         for i in 0..self.heap_pages {
-            m.add_page(
-                self.heap_offset + i * PAGE_SIZE as u64,
-                &zero,
-                SecInfo::data(),
-                false,
-            )?;
+            m.add_page(self.heap_offset + i * PAGE_SIZE as u64, &zero, SecInfo::data(), false)?;
         }
         Ok(m)
     }
@@ -276,8 +265,8 @@ mod tests {
             measured: true,
         };
         assert_eq!(seg.page_count(), 1);
-        let layout = EnclaveLayout::new(2 * PAGE_SIZE as u64, vec![seg], PAGE_SIZE as u64, 0)
-            .unwrap();
+        let layout =
+            EnclaveLayout::new(2 * PAGE_SIZE as u64, vec![seg], PAGE_SIZE as u64, 0).unwrap();
         assert!(layout.measure_base().is_ok());
     }
 

@@ -52,7 +52,7 @@ pub mod signer;
 pub mod token;
 pub mod verifier;
 
-pub use base_hash::BaseEnclaveHash;
+pub use base_hash::{BaseEnclaveHash, PreparedBaseHash};
 pub use config::AppConfig;
 pub use error::SinclaveError;
 pub use instance_page::InstancePage;

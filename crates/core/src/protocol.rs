@@ -211,11 +211,7 @@ impl Message {
                     take(&mut cursor, TOKEN_LEN)?.try_into().expect("token");
                 let config_id = String::from_utf8(get_bytes(&mut cursor)?)
                     .map_err(|_| SinclaveError::ProtocolDecode)?;
-                Message::AttestRequest {
-                    quote,
-                    token: AttestationToken(token_bytes),
-                    config_id,
-                }
+                Message::AttestRequest { quote, token: AttestationToken(token_bytes), config_id }
             }
             TAG_BASELINE_ATTEST_REQ => Message::BaselineAttestRequest {
                 quote: get_bytes(&mut cursor)?,
@@ -223,9 +219,9 @@ impl Message {
                     .map_err(|_| SinclaveError::ProtocolDecode)?,
             },
             TAG_CONFIG_RESP => Message::ConfigResponse { config: get_bytes(&mut cursor)? },
-            TAG_CHALLENGE => Message::Challenge {
-                nonce: take(&mut cursor, 16)?.try_into().expect("nonce"),
-            },
+            TAG_CHALLENGE => {
+                Message::Challenge { nonce: take(&mut cursor, 16)?.try_into().expect("nonce") }
+            }
             TAG_CHALLENGE_REQ => Message::ChallengeRequest,
             TAG_DENIED => Message::Denied {
                 reason: String::from_utf8(get_bytes(&mut cursor)?)

@@ -154,10 +154,7 @@ mod tests {
     fn signed_enclave_is_self_consistent() {
         let layout = EnclaveLayout::for_program(b"another program", 1).unwrap();
         let signed = sign_enclave(&layout, &key(2), &SignerConfig::default()).unwrap();
-        assert_eq!(
-            signed.base_hash.common_measurement().unwrap(),
-            signed.common_measurement()
-        );
+        assert_eq!(signed.base_hash.common_measurement().unwrap(), signed.common_measurement());
         assert_eq!(signed.base_hash.enclave_size(), layout.enclave_size);
     }
 

@@ -14,7 +14,7 @@
 //! 5. later redeems the token at attestation time — exactly once, and
 //!    only for the predicted measurement.
 
-use crate::base_hash::BaseEnclaveHash;
+use crate::base_hash::{BaseEnclaveHash, PreparedBaseHash, ENCODED_LEN};
 use crate::error::SinclaveError;
 use crate::instance_page::InstancePage;
 use crate::token::AttestationToken;
@@ -55,11 +55,32 @@ enum TokenState {
     Redeemed,
 }
 
+/// A cached per-enclave prediction state: the prepared midstate plus
+/// the common measurement derived from it once.
+#[derive(Clone, Copy, Debug)]
+struct PreparedEntry {
+    prepared: PreparedBaseHash,
+    common: Measurement,
+}
+
+/// Upper bound on cached prepared midstates. Grant requests arrive
+/// over the network with caller-supplied base hashes, so the cache
+/// must not grow without bound; at most this many distinct enclaves
+/// stay warm (far more than a CAS instance serves in practice).
+const PREPARED_CACHE_CAPACITY: usize = 1024;
+
 /// The verifier-side singleton machinery.
 pub struct SingletonIssuer {
     signer_key: RsaPrivateKey,
     verifier_identity: Digest,
     tokens: Mutex<HashMap<AttestationToken, TokenState>>,
+    /// Midstate cache keyed by the base hash's wire encoding: each
+    /// registered enclave pays the instance-page `EADD` absorption and
+    /// the common-measurement prediction once, then every grant hashes
+    /// only the 16 `EEXTEND` runs plus finalization (the QASM-style
+    /// keep-the-state argument from the paper's related work, applied
+    /// to measurement prefixes).
+    prepared: Mutex<HashMap<[u8; ENCODED_LEN], PreparedEntry>>,
 }
 
 impl fmt::Debug for SingletonIssuer {
@@ -77,7 +98,50 @@ impl SingletonIssuer {
     /// key, which enclaves pin).
     #[must_use]
     pub fn new(signer_key: RsaPrivateKey, verifier_identity: Digest) -> Self {
-        SingletonIssuer { signer_key, verifier_identity, tokens: Mutex::new(HashMap::new()) }
+        SingletonIssuer {
+            signer_key,
+            verifier_identity,
+            tokens: Mutex::new(HashMap::new()),
+            prepared: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the prediction state for `base_hash`: the cached entry
+    /// when warm, otherwise freshly computed — **without** caching it.
+    ///
+    /// The hashing happens outside the lock (a cache miss must not
+    /// stall concurrent warm grants), and insertion is deferred to
+    /// [`SingletonIssuer::cache_entry`] so only base hashes that
+    /// passed the sigstruct check ever occupy a slot — a remote
+    /// caller spraying bogus base hashes pays the cold cost every
+    /// time but cannot evict legitimate warm entries.
+    fn prepared_entry(&self, base_hash: &BaseEnclaveHash) -> Result<PreparedEntry, SinclaveError> {
+        let key = base_hash.encode();
+        if let Some(entry) = self.prepared.lock().get(&key) {
+            return Ok(*entry);
+        }
+        let prepared = base_hash.prepare()?;
+        Ok(PreparedEntry { prepared, common: prepared.common_measurement() })
+    }
+
+    /// Caches a validated prediction state. Racing inserts of the same
+    /// key are harmless: the entry is a deterministic function of it.
+    fn cache_entry(&self, key: [u8; ENCODED_LEN], entry: PreparedEntry) {
+        let mut cache = self.prepared.lock();
+        if cache.len() >= PREPARED_CACHE_CAPACITY && !cache.contains_key(&key) {
+            // Evict one arbitrary entry; hitting this at all means
+            // >1024 distinct signed enclaves are in active rotation.
+            if let Some(evicted) = cache.keys().next().copied() {
+                cache.remove(&evicted);
+            }
+        }
+        cache.insert(key, entry);
+    }
+
+    /// Number of base hashes with a warm prepared midstate.
+    #[must_use]
+    pub fn prepared_cache_len(&self) -> usize {
+        self.prepared.lock().len()
     }
 
     /// The identity baked into every instance page this issuer grants.
@@ -101,34 +165,32 @@ impl SingletonIssuer {
         common_sigstruct: &SigStruct,
         base_hash: &BaseEnclaveHash,
     ) -> Result<SingletonGrant, SinclaveError> {
-        common_sigstruct
-            .verify()
-            .map_err(|_| SinclaveError::SigStructInvalid)?;
+        common_sigstruct.verify().map_err(|_| SinclaveError::SigStructInvalid)?;
         if common_sigstruct.signer_key() != self.signer_key.public_key() {
             return Err(SinclaveError::SignerMismatch);
         }
         // "The verifier ensures it matches the base enclave hash (if
         // instantiated for the common enclave)": only binaries the
-        // signer already signed get singleton grants.
-        let common = base_hash.common_measurement()?;
-        if common != common_sigstruct.body().enclave_hash {
+        // signer already signed get singleton grants. The prepared
+        // midstate makes repeat grants cheap: the instance-page EADD
+        // and the common measurement are computed once per enclave,
+        // and only validated base hashes are admitted to the cache.
+        let entry = self.prepared_entry(base_hash)?;
+        if entry.common != common_sigstruct.body().enclave_hash {
             return Err(SinclaveError::BaseHashMismatch);
         }
+        self.cache_entry(base_hash.encode(), entry);
+        let common = entry.common;
 
         let token = AttestationToken::generate(rng);
         let page = InstancePage::new(token, self.verifier_identity);
-        let expected = base_hash.singleton_measurement(&page)?;
+        let expected = entry.prepared.singleton_measurement(&page);
 
         // On-demand SigStruct: identical body except the measurement.
-        let body = SigStructBody {
-            enclave_hash: expected,
-            ..common_sigstruct.body().clone()
-        };
+        let body = SigStructBody { enclave_hash: expected, ..common_sigstruct.body().clone() };
         let sigstruct = SigStruct::sign(body, &self.signer_key)?;
 
-        self.tokens
-            .lock()
-            .insert(token, TokenState::Issued { expected, common });
+        self.tokens.lock().insert(token, TokenState::Issued { expected, common });
         Ok(SingletonGrant {
             token,
             verifier_identity: self.verifier_identity,
@@ -154,9 +216,7 @@ impl SingletonIssuer {
     ) -> Result<Measurement, SinclaveError> {
         let mut tokens = self.tokens.lock();
         match tokens.get(token) {
-            Some(TokenState::Issued { expected, common })
-                if *expected == *attested_mrenclave =>
-            {
+            Some(TokenState::Issued { expected, common }) if *expected == *attested_mrenclave => {
                 let common = *common;
                 tokens.insert(*token, TokenState::Redeemed);
                 Ok(common)
@@ -168,11 +228,7 @@ impl SingletonIssuer {
     /// Number of tokens issued but not yet redeemed.
     #[must_use]
     pub fn outstanding_tokens(&self) -> usize {
-        self.tokens
-            .lock()
-            .values()
-            .filter(|s| matches!(s, TokenState::Issued { .. }))
-            .count()
+        self.tokens.lock().values().filter(|s| matches!(s, TokenState::Issued { .. })).count()
     }
 }
 
@@ -198,6 +254,8 @@ mod tests {
         let (issuer, signed, mut rng) = setup(1);
         let g1 = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
         let g2 = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        // Repeat grants for the same enclave share one warm midstate.
+        assert_eq!(issuer.prepared_cache_len(), 1);
         assert_ne!(g1.token, g2.token);
         assert_ne!(g1.expected_mrenclave, g2.expected_mrenclave);
         g1.sigstruct.verify().unwrap();
@@ -211,10 +269,7 @@ mod tests {
     fn grant_instance_page_reproduces_measurement() {
         let (issuer, signed, mut rng) = setup(2);
         let grant = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
-        let recomputed = signed
-            .base_hash
-            .singleton_measurement(&grant.instance_page())
-            .unwrap();
+        let recomputed = signed.base_hash.singleton_measurement(&grant.instance_page()).unwrap();
         assert_eq!(recomputed, grant.expected_mrenclave);
     }
 
@@ -227,9 +282,7 @@ mod tests {
         let layout = EnclaveLayout::for_program(b"user application", 2).unwrap();
         let forged = sign_enclave(&layout, &adversary_key, &SignerConfig::default()).unwrap();
         assert_eq!(
-            issuer
-                .issue(&mut rng, &forged.common_sigstruct, &forged.base_hash)
-                .unwrap_err(),
+            issuer.issue(&mut rng, &forged.common_sigstruct, &forged.base_hash).unwrap_err(),
             SinclaveError::SignerMismatch
         );
     }
@@ -245,11 +298,14 @@ mod tests {
             BaseEnclaveHash::new(m.export_state(), other.enclave_size, other.instance_page_offset())
         };
         assert_eq!(
-            issuer
-                .issue(&mut rng, &signed.common_sigstruct, &other_base)
-                .unwrap_err(),
+            issuer.issue(&mut rng, &signed.common_sigstruct, &other_base).unwrap_err(),
             SinclaveError::BaseHashMismatch
         );
+        // Rejected base hashes must not occupy cache slots: spraying
+        // bogus hashes cannot evict legitimate warm entries.
+        assert_eq!(issuer.prepared_cache_len(), 0);
+        issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        assert_eq!(issuer.prepared_cache_len(), 1);
     }
 
     #[test]
@@ -288,9 +344,7 @@ mod tests {
         let (issuer, _signed, mut rng) = setup(7);
         let bogus = AttestationToken::generate(&mut rng);
         assert_eq!(
-            issuer
-                .redeem(&bogus, &Measurement(Digest([0; 32])))
-                .unwrap_err(),
+            issuer.redeem(&bogus, &Measurement(Digest([0; 32]))).unwrap_err(),
             SinclaveError::TokenNotRedeemable
         );
     }

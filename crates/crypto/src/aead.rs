@@ -144,7 +144,10 @@ mod tests {
         assert_eq!(&ct[..8], &[0xd3, 0x1a, 0x8d, 0x34, 0x64, 0x8e, 0x60, 0xdb]);
         assert_eq!(
             tag,
-            &[0x1a, 0xe1, 0x0b, 0x59, 0x4f, 0x09, 0xe2, 0x6a, 0x7e, 0x90, 0x2e, 0xcb, 0xd0, 0x60, 0x06, 0x91]
+            &[
+                0x1a, 0xe1, 0x0b, 0x59, 0x4f, 0x09, 0xe2, 0x6a, 0x7e, 0x90, 0x2e, 0xcb, 0xd0, 0x60,
+                0x06, 0x91
+            ]
         );
         assert_eq!(open(&key, nonce, &aad, &sealed).unwrap(), pt);
     }
@@ -166,10 +169,7 @@ mod tests {
         let key = key();
         let nonce = Nonce::from_parts(0, 0);
         let sealed = seal(&key, nonce, b"right", b"secret");
-        assert_eq!(
-            open(&key, nonce, b"wrong", &sealed),
-            Err(CryptoError::AeadTagMismatch)
-        );
+        assert_eq!(open(&key, nonce, b"wrong", &sealed), Err(CryptoError::AeadTagMismatch));
     }
 
     #[test]

@@ -28,7 +28,9 @@ impl Montgomery {
     /// `gcd(n, 2^64) = 1`).
     pub fn new(modulus: &Uint) -> Result<Self, CryptoError> {
         if modulus.is_even() || modulus.is_one() || modulus.is_zero() {
-            return Err(CryptoError::InvalidKey { context: "montgomery modulus must be odd and > 1" });
+            return Err(CryptoError::InvalidKey {
+                context: "montgomery modulus must be odd and > 1",
+            });
         }
         let k = modulus.limbs.len();
         let n0_inv = inv_mod_u64(modulus.limbs[0]).wrapping_neg();
@@ -43,11 +45,7 @@ impl Montgomery {
         }
         let mut n_limbs = modulus.limbs.clone();
         n_limbs.shrink_to_fit();
-        Ok(Montgomery {
-            n: n_limbs,
-            n0_inv,
-            r2: pad(&r2, k),
-        })
+        Ok(Montgomery { n: n_limbs, n0_inv, r2: pad(&r2, k) })
     }
 
     /// Number of limbs of the modulus.
@@ -339,15 +337,9 @@ mod tests {
     #[test]
     fn mod_pow_small_values() {
         let m = Uint::from_u64(1_000_000_007);
-        assert_eq!(
-            Uint::from_u64(2).mod_pow(&Uint::from_u64(10), &m),
-            Uint::from_u64(1024)
-        );
+        assert_eq!(Uint::from_u64(2).mod_pow(&Uint::from_u64(10), &m), Uint::from_u64(1024));
         // Fermat: a^(p-1) = 1 mod p.
-        assert_eq!(
-            Uint::from_u64(31337).mod_pow(&Uint::from_u64(1_000_000_006), &m),
-            Uint::one()
-        );
+        assert_eq!(Uint::from_u64(31337).mod_pow(&Uint::from_u64(1_000_000_006), &m), Uint::one());
     }
 
     #[test]
@@ -361,19 +353,13 @@ mod tests {
     #[test]
     fn mod_pow_even_modulus_fallback() {
         let m = Uint::from_u64(100);
-        assert_eq!(
-            Uint::from_u64(7).mod_pow(&Uint::from_u64(3), &m),
-            Uint::from_u64(43)
-        );
+        assert_eq!(Uint::from_u64(7).mod_pow(&Uint::from_u64(3), &m), Uint::from_u64(43));
     }
 
     #[test]
     fn mod_pow_large_modulus() {
         // 2^255 - 19 is prime; check Fermat's little theorem for it.
-        let p = Uint::one()
-            .shl(255)
-            .checked_sub(&Uint::from_u64(19))
-            .unwrap();
+        let p = Uint::one().shl(255).checked_sub(&Uint::from_u64(19)).unwrap();
         let a = Uint::from_hex("123456789abcdef123456789abcdef123456789abcdef").unwrap();
         let p_minus_1 = p.checked_sub(&Uint::one()).unwrap();
         assert_eq!(a.mod_pow(&p_minus_1, &p), Uint::one());

@@ -72,10 +72,7 @@ mod tests {
         let salt: Vec<u8> = (0x00..=0x0c).collect();
         let info: Vec<u8> = (0xf0..=0xf9).collect();
         let prk = extract(&salt, &ikm);
-        assert_eq!(
-            hex(&prk),
-            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
-        );
+        assert_eq!(hex(&prk), "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
         let mut okm = [0u8; 42];
         expand(&prk, &info, &mut okm);
         assert_eq!(

@@ -43,7 +43,10 @@
 //! assert_ne!(digest.as_bytes(), &[0u8; 32]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SHA-NI compression core in
+// `sha256::shani` is the one allowed `unsafe` island (CPU intrinsics),
+// gated behind runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aead;

@@ -191,9 +191,11 @@ impl Poly1305 {
         }
 
         // Serialize to 128 bits and add s mod 2^128.
-        let acc =
-            h[0] as u128 | (h[1] as u128) << 26 | (h[2] as u128) << 52 | (h[3] as u128) << 78
-                | (h[4] as u128) << 104;
+        let acc = h[0] as u128
+            | (h[1] as u128) << 26
+            | (h[2] as u128) << 52
+            | (h[3] as u128) << 78
+            | (h[4] as u128) << 104;
         let s = self.s[0] as u128
             | (self.s[1] as u128) << 32
             | (self.s[2] as u128) << 64
@@ -231,8 +233,8 @@ mod tests {
         assert_eq!(
             t,
             [
-                0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c,
-                0x01, 0x27, 0xa9
+                0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01,
+                0x27, 0xa9
             ]
         );
     }

@@ -20,8 +20,8 @@ pub const PUBLIC_EXPONENT: u64 = 65_537;
 
 /// DER-encoded `DigestInfo` prefix for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_DIGEST_INFO: &[u8] = &[
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// An RSA public key.
@@ -166,9 +166,8 @@ impl RsaPublicKey {
         }
         let em = self.mont.pow(&s, &self.e);
         let expected = emsa_pkcs1_v15(digest, self.modulus_len())?;
-        let em_bytes = em
-            .to_be_bytes_padded(self.modulus_len())
-            .map_err(|_| CryptoError::SignatureInvalid)?;
+        let em_bytes =
+            em.to_be_bytes_padded(self.modulus_len()).map_err(|_| CryptoError::SignatureInvalid)?;
         if ct::eq(&em_bytes, &expected) {
             Ok(())
         } else {
@@ -379,10 +378,7 @@ mod tests {
     fn verify_rejects_tampered_message() {
         let key = test_key(2);
         let sig = key.sign(b"original").unwrap();
-        assert_eq!(
-            key.public_key().verify(b"altered", &sig),
-            Err(CryptoError::SignatureInvalid)
-        );
+        assert_eq!(key.public_key().verify(b"altered", &sig), Err(CryptoError::SignatureInvalid));
     }
 
     #[test]
@@ -390,10 +386,7 @@ mod tests {
         let key = test_key(3);
         let mut sig = key.sign(b"message").unwrap();
         sig[10] ^= 0x40;
-        assert_eq!(
-            key.public_key().verify(b"message", &sig),
-            Err(CryptoError::SignatureInvalid)
-        );
+        assert_eq!(key.public_key().verify(b"message", &sig), Err(CryptoError::SignatureInvalid));
     }
 
     #[test]
@@ -417,11 +410,9 @@ mod tests {
     #[test]
     fn signature_value_below_modulus_required() {
         let key = test_key(7);
-        let n_bytes = key.public_key().modulus().to_be_bytes_padded(key.public_key().modulus_len()).unwrap();
-        assert_eq!(
-            key.public_key().verify(b"m", &n_bytes),
-            Err(CryptoError::SignatureInvalid)
-        );
+        let n_bytes =
+            key.public_key().modulus().to_be_bytes_padded(key.public_key().modulus_len()).unwrap();
+        assert_eq!(key.public_key().verify(b"m", &n_bytes), Err(CryptoError::SignatureInvalid));
     }
 
     #[test]

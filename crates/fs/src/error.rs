@@ -47,8 +47,6 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(FsError::NotFound { path: "a/b".into() }.to_string().contains("a/b"));
-        assert!(FsError::IntegrityViolation { path: "x".into() }
-            .to_string()
-            .contains("integrity"));
+        assert!(FsError::IntegrityViolation { path: "x".into() }.to_string().contains("integrity"));
     }
 }

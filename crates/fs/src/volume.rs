@@ -17,8 +17,8 @@
 //! but any content or structure tampering is detected on read.
 
 use crate::error::FsError;
-use sinclave_crypto::aead::{self, AeadKey, Nonce};
 use rand::RngCore;
+use sinclave_crypto::aead::{self, AeadKey, Nonce};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -206,9 +206,7 @@ impl Volume {
     /// * [`FsError::BadKeyOrCorruptSuperblock`] — wrong key.
     pub fn read_file(&self, key: &AeadKey, path: &str) -> Result<Vec<u8>, FsError> {
         let files = self.read_manifest(key)?;
-        let meta = files
-            .get(path)
-            .ok_or_else(|| FsError::NotFound { path: path.to_owned() })?;
+        let meta = files.get(path).ok_or_else(|| FsError::NotFound { path: path.to_owned() })?;
         let chunk_count = (meta.len as usize).div_ceil(CHUNK_SIZE).max(1);
         let mut out = Vec::with_capacity(meta.len as usize);
         for idx in 0..chunk_count {
@@ -236,20 +234,15 @@ impl Volume {
     /// for a wrong key.
     pub fn remove_file(&mut self, key: &AeadKey, path: &str) -> Result<(), FsError> {
         let mut files = self.read_manifest(key)?;
-        let meta = files
-            .remove(path)
-            .ok_or_else(|| FsError::NotFound { path: path.to_owned() })?;
+        let meta = files.remove(path).ok_or_else(|| FsError::NotFound { path: path.to_owned() })?;
         self.remove_chunks(meta.file_id);
         self.write_manifest(key, &files);
         Ok(())
     }
 
     fn remove_chunks(&mut self, file_id: u64) {
-        let keys: Vec<_> = self
-            .chunks
-            .range((file_id, 0)..=(file_id, u32::MAX))
-            .map(|(k, _)| *k)
-            .collect();
+        let keys: Vec<_> =
+            self.chunks.range((file_id, 0)..=(file_id, u32::MAX)).map(|(k, _)| *k).collect();
         for k in keys {
             self.chunks.remove(&k);
         }
@@ -353,14 +346,12 @@ impl Volume {
         if take(&mut cursor, 8)? != b"SINVOL1\0" {
             return Err(FsError::InvalidPath);
         }
-        let label = String::from_utf8(get(&mut cursor)?.to_vec())
-            .map_err(|_| FsError::InvalidPath)?;
-        let manifest_version =
-            u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
+        let label =
+            String::from_utf8(get(&mut cursor)?.to_vec()).map_err(|_| FsError::InvalidPath)?;
+        let manifest_version = u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
         let next_file_id = u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
         let superblock = get(&mut cursor)?.to_vec();
-        let chunk_count =
-            u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize;
+        let chunk_count = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize;
         let mut chunks = BTreeMap::new();
         for _ in 0..chunk_count {
             let file_id = u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
@@ -463,9 +454,7 @@ mod tests {
         v.write_file(&k, "s", secret).unwrap();
         // Scan every ciphertext byte string for the plaintext.
         for chunk in v.chunks.values() {
-            assert!(!chunk
-                .windows(secret.len().min(chunk.len()))
-                .any(|w| w == &secret[..w.len()]));
+            assert!(!chunk.windows(secret.len().min(chunk.len())).any(|w| w == &secret[..w.len()]));
         }
     }
 
@@ -476,10 +465,7 @@ mod tests {
         v.write_file(&k, "a", &vec![7u8; 3 * CHUNK_SIZE]).unwrap();
         let ids = v.raw_chunk_ids();
         assert!(v.corrupt_chunk(ids[1]));
-        assert!(matches!(
-            v.read_file(&k, "a"),
-            Err(FsError::IntegrityViolation { .. })
-        ));
+        assert!(matches!(v.read_file(&k, "a"), Err(FsError::IntegrityViolation { .. })));
     }
 
     #[test]

@@ -84,11 +84,7 @@ impl Network {
     pub fn connect(&self, address: &str) -> Result<Connection, NetError> {
         let mut inner = self.inner.lock();
         inner.dial_log.push(address.to_owned());
-        let effective = inner
-            .redirects
-            .get(address)
-            .cloned()
-            .unwrap_or_else(|| address.to_owned());
+        let effective = inner.redirects.get(address).cloned().unwrap_or_else(|| address.to_owned());
         let listener_tx = inner
             .listeners
             .get(&effective)
@@ -232,10 +228,7 @@ mod tests {
     #[test]
     fn unknown_address_unreachable() {
         let net = Network::new();
-        assert!(matches!(
-            net.connect("nowhere"),
-            Err(NetError::AddressUnreachable { .. })
-        ));
+        assert!(matches!(net.connect("nowhere"), Err(NetError::AddressUnreachable { .. })));
     }
 
     #[test]

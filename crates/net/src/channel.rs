@@ -41,10 +41,7 @@ impl Encode for ClientHello {
 
 impl Decode for ClientHello {
     fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
-        Ok(ClientHello {
-            version: u16::decode(reader)?,
-            client_nonce: <[u8; 32]>::decode(reader)?,
-        })
+        Ok(ClientHello { version: u16::decode(reader)?, client_nonce: <[u8; 32]>::decode(reader)? })
     }
 }
 
@@ -109,10 +106,8 @@ impl SecureChannel {
         }
         let mut server_nonce = [0u8; 32];
         rng.fill_bytes(&mut server_nonce);
-        let server_hello = ServerHello {
-            server_key: channel_key.public_key().to_bytes(),
-            server_nonce,
-        };
+        let server_hello =
+            ServerHello { server_key: channel_key.public_key().to_bytes(), server_nonce };
         conn.send(server_hello.encode())?;
 
         let kem_ct = Vec::<u8>::decode_all(&conn.recv()?)?;
@@ -229,16 +224,10 @@ fn derive_keys(
     context.extend_from_slice(client_nonce);
     context.extend_from_slice(server_nonce);
     context.extend_from_slice(server_key_fp.as_bytes());
-    let c2s = AeadKey::new(sinclave_crypto::hkdf::derive(
-        shared,
-        &context,
-        b"channel client->server",
-    ));
-    let s2c = AeadKey::new(sinclave_crypto::hkdf::derive(
-        shared,
-        &context,
-        b"channel server->client",
-    ));
+    let c2s =
+        AeadKey::new(sinclave_crypto::hkdf::derive(shared, &context, b"channel client->server"));
+    let s2c =
+        AeadKey::new(sinclave_crypto::hkdf::derive(shared, &context, b"channel server->client"));
     let transcript = sha256::digest_parts(&[b"transcript", shared, &context]);
     (c2s, s2c, transcript)
 }
@@ -324,10 +313,7 @@ mod tests {
         let honest_key = channel_key(14);
         let mitm_key = channel_key(15);
         let (client, _server) = handshake(&mitm_key);
-        assert_ne!(
-            client.server_key_fingerprint(),
-            honest_key.public_key().fingerprint()
-        );
+        assert_ne!(client.server_key_fingerprint(), honest_key.public_key().fingerprint());
     }
 
     #[test]

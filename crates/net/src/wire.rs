@@ -239,10 +239,7 @@ mod tests {
         let s = "hello wörld".to_owned();
         assert_eq!(String::decode_all(&s.encode()).unwrap(), s);
         let bad = vec![0u8, 0, 0, 2, 0xff, 0xfe];
-        assert_eq!(
-            String::decode_all(&bad),
-            Err(NetError::Decode { context: "utf-8 string" })
-        );
+        assert_eq!(String::decode_all(&bad), Err(NetError::Decode { context: "utf-8 string" }));
     }
 
     #[test]

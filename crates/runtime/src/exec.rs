@@ -150,9 +150,8 @@ impl Interp<'_> {
     }
 
     fn value_text(&self, v: &Value) -> Result<String, RuntimeError> {
-        String::from_utf8(self.value(v)?).map_err(|_| RuntimeError::ScriptRuntime {
-            reason: "value is not valid utf-8".into(),
-        })
+        String::from_utf8(self.value(v)?)
+            .map_err(|_| RuntimeError::ScriptRuntime { reason: "value is not valid utf-8".into() })
     }
 
     fn volume(&self) -> Result<(SharedVolume, AeadKey), RuntimeError> {
@@ -270,9 +269,7 @@ impl Interp<'_> {
                 let av = self.value(a)?;
                 let bv = self.value(b)?;
                 if av != bv {
-                    return Err(RuntimeError::ScriptRuntime {
-                        reason: "assertion failed".into(),
-                    });
+                    return Err(RuntimeError::ScriptRuntime { reason: "assertion failed".into() });
                 }
             }
         }
@@ -287,9 +284,7 @@ pub fn compute(kind: ComputeKind, n: u64) -> Vec<u8> {
         ComputeKind::Mix => {
             let mut x = 0x9e37_79b9_7f4a_7c15u64 ^ n;
             for i in 0..n.saturating_mul(10_000) {
-                x = x
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407 ^ i);
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407 ^ i);
                 x ^= x >> 29;
             }
             x.to_be_bytes().to_vec()

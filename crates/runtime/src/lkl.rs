@@ -125,11 +125,8 @@ impl LklHost {
         packaged: &PackagedApp,
         invocation: &LklInvocation,
     ) -> Result<LklBoot, RuntimeError> {
-        let enclave = self.build(
-            packaged,
-            &InstancePage::common_page(),
-            &packaged.signed.common_sigstruct,
-        )?;
+        let enclave =
+            self.build(packaged, &InstancePage::common_page(), &packaged.signed.common_sigstruct)?;
         self.serve_and_boot(enclave, invocation, None)
     }
 
@@ -201,11 +198,7 @@ impl LklHost {
             return Err(RuntimeError::VolumeRejected);
         };
         let key = AeadKey::new(key_bytes);
-        invocation
-            .disk
-            .lock()
-            .verify_key(&key)
-            .map_err(|_| RuntimeError::VolumeRejected)?;
+        invocation.disk.lock().verify_key(&key).map_err(|_| RuntimeError::VolumeRejected)?;
         let entry = invocation.disk.lock().read_file(&key, DISK_ENTRY)?;
         let entry = String::from_utf8(entry)
             .map_err(|_| RuntimeError::ScriptRuntime { reason: "entry not utf-8".into() })?;
@@ -269,9 +262,7 @@ impl LklController {
             return Err(RuntimeError::ProtocolViolation { context: "quote response" });
         };
         let quote = Quote::from_bytes(&quote)?;
-        let body = quote
-            .verify(&self.attestation_root, &nonce)
-            .map_err(RuntimeError::Sgx)?;
+        let body = quote.verify(&self.attestation_root, &nonce).map_err(RuntimeError::Sgx)?;
 
         let channel_bound = &body.report_data.0[..32] == chan.transcript().as_bytes();
         if !channel_bound || body.is_debug() || !accept(body) {
@@ -285,11 +276,8 @@ impl LklController {
                 .sign(chan.transcript().as_bytes())
                 .map_err(|_| RuntimeError::ProtocolViolation { context: "auth signing" })?;
             chan.send(
-                &Message::VerifierAuth {
-                    pubkey: key.public_key().to_bytes(),
-                    signature,
-                }
-                .to_bytes(),
+                &Message::VerifierAuth { pubkey: key.public_key().to_bytes(), signature }
+                    .to_bytes(),
             )?;
         }
 
@@ -424,10 +412,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         // The user's verifier identity doubles as auth key.
         let verifier_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
-        let issuer = SingletonIssuer::new(
-            w.signer_key.clone(),
-            verifier_key.public_key().fingerprint(),
-        );
+        let issuer =
+            SingletonIssuer::new(w.signer_key.clone(), verifier_key.public_key().fingerprint());
         let grant_raw = issuer
             .issue(&mut rng, &w.packaged.signed.common_sigstruct, &w.packaged.signed.base_hash)
             .unwrap();
@@ -476,10 +462,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(41);
         let verifier_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
         let adversary_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
-        let issuer = SingletonIssuer::new(
-            w.signer_key.clone(),
-            verifier_key.public_key().fingerprint(),
-        );
+        let issuer =
+            SingletonIssuer::new(w.signer_key.clone(), verifier_key.public_key().fingerprint());
         let grant_raw = issuer
             .issue(&mut rng, &w.packaged.signed.common_sigstruct, &w.packaged.signed.base_hash)
             .unwrap();

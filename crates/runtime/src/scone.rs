@@ -205,8 +205,7 @@ impl SconeHost {
             &packaged.signed.common_sigstruct,
             opts.attributes,
         )?);
-        let (config, _chan) =
-            self.attest(&enclave, opts, None, &mut rng)?;
+        let (config, _chan) = self.attest(&enclave, opts, None, &mut rng)?;
         let outcome = self.run_app(&enclave, packaged, &config, opts.app_volume.clone())?;
         Ok(RunningApp { enclave, config, outcome })
     }
@@ -291,16 +290,13 @@ impl SconeHost {
         let mut rng = StdRng::seed_from_u64(opts.rng_seed ^ 0x51c2);
         // In-enclave: the measured runtime reads its own instance page.
         let offset = packaged.signed.layout.instance_page_offset();
-        let page_bytes: [u8; PAGE_SIZE] = enclave
-            .read(offset, PAGE_SIZE)?
-            .try_into()
-            .expect("page read");
+        let page_bytes: [u8; PAGE_SIZE] =
+            enclave.read(offset, PAGE_SIZE)?.try_into().expect("page read");
         let Some(page) = InstancePage::parse(&page_bytes)? else {
             return Err(RuntimeError::InstancePageUnexpected { found: "common (zeroed) page" });
         };
 
-        let (config, _chan) =
-            self.attest(&enclave, opts, Some(&page), &mut rng)?;
+        let (config, _chan) = self.attest(&enclave, opts, Some(&page), &mut rng)?;
         let outcome = self.run_app(&enclave, packaged, &config, opts.app_volume.clone())?;
         Ok(RunningApp { enclave, config, outcome })
     }
@@ -333,10 +329,7 @@ impl SconeHost {
 
         let report_data = ReportData::from_digest(&chan.transcript());
         let report = enclave.ereport(&self.qe.target_info(), report_data);
-        let quote = self
-            .qe
-            .quote(&report, nonce)
-            .map_err(RuntimeError::Sgx)?;
+        let quote = self.qe.quote(&report, nonce).map_err(RuntimeError::Sgx)?;
 
         let request = match page {
             Some(page) => Message::AttestRequest {
@@ -352,9 +345,7 @@ impl SconeHost {
         chan.send(&request.to_bytes())?;
 
         match Message::from_bytes(&chan.recv()?)? {
-            Message::ConfigResponse { config } => {
-                Ok((AppConfig::from_bytes(&config)?, chan))
-            }
+            Message::ConfigResponse { config } => Ok((AppConfig::from_bytes(&config)?, chan)),
             Message::Denied { reason } => Err(RuntimeError::AttestationDenied { reason }),
             _ => Err(RuntimeError::ProtocolViolation { context: "config response" }),
         }
@@ -372,28 +363,26 @@ impl SconeHost {
         let volume = match (&config.volume_key, app_volume) {
             (Some(key_bytes), Some(volume)) => {
                 let key = AeadKey::new(*key_bytes);
-                volume
-                    .lock()
-                    .verify_key(&key)
-                    .map_err(|_| RuntimeError::VolumeRejected)?;
+                volume.lock().verify_key(&key).map_err(|_| RuntimeError::VolumeRejected)?;
                 Some((volume, key))
             }
             (Some(_), None) => return Err(RuntimeError::VolumeRejected),
             (None, _) => None,
         };
 
-        let entry_source = if config.entry.is_empty() || config.entry == "embedded" {
-            packaged.image.embedded_entry.clone().ok_or(RuntimeError::ScriptRuntime {
-                reason: "no embedded entry script".into(),
-            })?
-        } else {
-            let (vol, key) = volume.as_ref().ok_or(RuntimeError::ScriptRuntime {
-                reason: "entry script requires a volume".into(),
-            })?;
-            String::from_utf8(vol.lock().read_file(key, &config.entry)?).map_err(|_| {
-                RuntimeError::ScriptRuntime { reason: "entry script is not utf-8".into() }
-            })?
-        };
+        let entry_source =
+            if config.entry.is_empty() || config.entry == "embedded" {
+                packaged.image.embedded_entry.clone().ok_or(RuntimeError::ScriptRuntime {
+                    reason: "no embedded entry script".into(),
+                })?
+            } else {
+                let (vol, key) = volume.as_ref().ok_or(RuntimeError::ScriptRuntime {
+                    reason: "entry script requires a volume".into(),
+                })?;
+                String::from_utf8(vol.lock().read_file(key, &config.entry)?).map_err(|_| {
+                    RuntimeError::ScriptRuntime { reason: "entry script is not utf-8".into() }
+                })?
+            };
         let script = Script::parse(&entry_source)?;
         let mut ctx = ExecContext {
             config: config.clone(),
@@ -566,8 +555,9 @@ mod tests {
         let service = AttestationService::new(&mut rng, 1024).unwrap();
         let platform = Arc::new(Platform::new(&mut rng));
         service.register_platform(platform.manufacturing_record());
-        let qe =
-            Arc::new(QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap());
+        let qe = Arc::new(
+            QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap(),
+        );
         let network = Network::new();
         let host = SconeHost::new(platform, qe, network);
 
@@ -657,10 +647,7 @@ mod tests {
         let w = world(4, hello_image().sinclave_aware(), hello_config());
         let server = spawn_verifier(&w, 1, 400);
         let mut rng = StdRng::seed_from_u64(4242);
-        let grant = w
-            .host
-            .request_grant(&w.packaged, "cas:443", &mut rng)
-            .unwrap();
+        let grant = w.host.request_grant(&w.packaged, "cas:443", &mut rng).unwrap();
         server.join().unwrap();
 
         // Adversary now redirects the attestation connection to their
@@ -765,9 +752,7 @@ mod tests {
             .host
             .start_baseline(
                 &w.packaged,
-                &StartOptions::new("cas:443", "app")
-                    .with_volume(volume)
-                    .with_seed(4),
+                &StartOptions::new("cas:443", "app").with_volume(volume).with_seed(4),
             )
             .unwrap();
         server.join().unwrap();
@@ -790,9 +775,7 @@ mod tests {
             .host
             .start_baseline(
                 &w.packaged,
-                &StartOptions::new("cas:443", "app")
-                    .with_volume(volume)
-                    .with_seed(5),
+                &StartOptions::new("cas:443", "app").with_volume(volume).with_seed(5),
             )
             .unwrap_err();
         server.join().unwrap();

@@ -276,10 +276,8 @@ impl Script {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let instr = Self::parse_line(line).map_err(|reason| RuntimeError::ScriptParse {
-                line: idx + 1,
-                reason,
-            })?;
+            let instr = Self::parse_line(line)
+                .map_err(|reason| RuntimeError::ScriptParse { line: idx + 1, reason })?;
             instrs.push(instr);
         }
         Ok(Script { instrs })
@@ -301,14 +299,13 @@ impl Script {
         let cmd = tokens.next().ok_or_else(|| "empty statement".to_owned())?;
         let args: Vec<&str> = tokens.collect();
 
-        let need =
-            |n: usize| -> Result<(), String> {
-                if args.len() == n {
-                    Ok(())
-                } else {
-                    Err(format!("{cmd} expects {n} argument(s), got {}", args.len()))
-                }
-            };
+        let need = |n: usize| -> Result<(), String> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(format!("{cmd} expects {n} argument(s), got {}", args.len()))
+            }
+        };
         let into_var = |into: &Option<String>| -> Result<String, String> {
             into.clone().ok_or_else(|| format!("{cmd} requires `-> var`"))
         };
@@ -506,8 +503,11 @@ mod tests {
         let instr = prop_oneof![
             arb_value().prop_map(Instr::Print),
             (arb_ident(), arb_value()).prop_map(|(var, value)| Instr::Set { var, value }),
-            (arb_value(), arb_value(), arb_ident())
-                .prop_map(|(a, b, into)| Instr::Concat { a, b, into }),
+            (arb_value(), arb_value(), arb_ident()).prop_map(|(a, b, into)| Instr::Concat {
+                a,
+                b,
+                into
+            }),
             (arb_value(), arb_ident()).prop_map(|(path, into)| Instr::Read { path, into }),
             (arb_value(), arb_value()).prop_map(|(path, data)| Instr::Write { path, data }),
             arb_value().prop_map(|path| Instr::Import { path }),
@@ -516,11 +516,15 @@ mod tests {
             arb_ident().prop_map(|into| Instr::RecvMsg { into }),
             (any::<u8>(), arb_ident())
                 .prop_map(|(index, into)| Instr::Arg { index: index as usize, into }),
-            (proptest::sample::select(vec![
-                ComputeKind::Mix,
-                ComputeKind::Matmul,
-                ComputeKind::Train,
-            ]), 0u64..100, arb_ident())
+            (
+                proptest::sample::select(vec![
+                    ComputeKind::Mix,
+                    ComputeKind::Matmul,
+                    ComputeKind::Train,
+                ]),
+                0u64..100,
+                arb_ident()
+            )
                 .prop_map(|(kind, n, into)| Instr::Compute { kind, n, into }),
         ];
         proptest::collection::vec(instr, 0..12)

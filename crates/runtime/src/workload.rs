@@ -14,8 +14,8 @@
 //! small single-digit-to-low-double-digit percent and derives entirely
 //! from the startup path.)
 
-use crate::image::ProgramImage;
 use crate::exec::SharedVolume;
+use crate::image::ProgramImage;
 use parking_lot::Mutex;
 use sinclave::AppConfig;
 use sinclave_crypto::aead::AeadKey;

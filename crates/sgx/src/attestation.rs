@@ -47,11 +47,8 @@ impl QeCertificate {
     /// Returns [`SgxError::QuoteInvalid`] for a bad signature or an
     /// unparsable key.
     pub fn verify(&self, root: &RsaPublicKey) -> Result<RsaPublicKey, SgxError> {
-        root.verify(
-            &Self::signed_bytes(&self.platform_id, &self.qe_key_bytes),
-            &self.signature,
-        )
-        .map_err(|_| SgxError::QuoteInvalid { reason: "qe certificate signature invalid" })?;
+        root.verify(&Self::signed_bytes(&self.platform_id, &self.qe_key_bytes), &self.signature)
+            .map_err(|_| SgxError::QuoteInvalid { reason: "qe certificate signature invalid" })?;
         RsaPublicKey::from_bytes(&self.qe_key_bytes)
             .map_err(|_| SgxError::QuoteInvalid { reason: "qe certificate key malformed" })
     }

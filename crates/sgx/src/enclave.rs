@@ -255,10 +255,11 @@ impl EnclaveBuilder {
                 expected: sigstruct.body().enclave_hash.to_hex(),
             });
         }
-        if !self.secs.attributes.matches_masked(
-            &sigstruct.body().attributes,
-            &sigstruct.body().attributes_mask,
-        ) {
+        if !self
+            .secs
+            .attributes
+            .matches_masked(&sigstruct.body().attributes, &sigstruct.body().attributes_mask)
+        {
             self.platform.release_epc(self.pages.len() as u64);
             return Err(SgxError::AttributesRejected);
         }
@@ -271,9 +272,8 @@ impl EnclaveBuilder {
                     // Debug enclaves and whitelisted signers may launch
                     // without a token in this model.
                 } else {
-                    let token = token.ok_or(SgxError::LaunchDenied {
-                        reason: "einittoken required",
-                    })?;
+                    let token =
+                        token.ok_or(SgxError::LaunchDenied { reason: "einittoken required" })?;
                     token.validate(&self.platform, &measured, &mrsigner, &self.secs.attributes)?;
                 }
             }
@@ -379,10 +379,8 @@ impl Enclave {
         let end = offset + len as u64;
         while pos < end {
             let page_base = pos - pos % PAGE_SIZE as u64;
-            let page = self
-                .pages
-                .get(&page_base)
-                .ok_or(SgxError::InvalidPageOffset { offset: pos })?;
+            let page =
+                self.pages.get(&page_base).ok_or(SgxError::InvalidPageOffset { offset: pos })?;
             let in_page = (pos - page_base) as usize;
             let take = ((end - pos) as usize).min(PAGE_SIZE - in_page);
             out.extend_from_slice(&page.content.slice(in_page..in_page + take));
@@ -412,8 +410,7 @@ impl Enclave {
             }
             let in_page = (pos - page_base) as usize;
             let take = remaining.len().min(PAGE_SIZE - in_page);
-            page.content.materialize()[in_page..in_page + take]
-                .copy_from_slice(&remaining[..take]);
+            page.content.materialize()[in_page..in_page + take].copy_from_slice(&remaining[..take]);
             pos += take as u64;
             remaining = &remaining[take..];
         }
@@ -560,16 +557,12 @@ mod tests {
         let b = builder(&p);
         let ss = sigstruct_for(&b, &key);
         let lc = LaunchControl::TokenRequired { whitelist: vec![] };
-        assert!(matches!(
-            builder(&p).einit(&ss, None, &lc),
-            Err(SgxError::LaunchDenied { .. })
-        ));
+        assert!(matches!(builder(&p).einit(&ss, None, &lc), Err(SgxError::LaunchDenied { .. })));
 
         // With a token from the launch enclave (whitelisting the signer).
         let le = LaunchEnclave::new(p.clone(), vec![mrsigner]);
-        let token = le
-            .issue_token(&ss.body().enclave_hash, &mrsigner, &Attributes::production())
-            .unwrap();
+        let token =
+            le.issue_token(&ss.body().enclave_hash, &mrsigner, &Attributes::production()).unwrap();
         let enclave = builder(&p).einit(&ss, Some(&token), &lc).unwrap();
         assert_eq!(enclave.mrsigner(), mrsigner);
 
@@ -594,10 +587,7 @@ mod tests {
         assert_eq!(enclave.read(0x10001, 10).unwrap(), data[1..11]);
 
         // Code pages are read-only.
-        assert!(matches!(
-            enclave.write(0, b"overwrite"),
-            Err(SgxError::InvalidLifecycle { .. })
-        ));
+        assert!(matches!(enclave.write(0, b"overwrite"), Err(SgxError::InvalidLifecycle { .. })));
         // Unmapped access fails.
         assert!(enclave.read(0x3f000, 16).is_err());
     }

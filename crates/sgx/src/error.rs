@@ -86,10 +86,7 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SgxError::MeasurementMismatch {
-            measured: "aa".into(),
-            expected: "bb".into(),
-        };
+        let e = SgxError::MeasurementMismatch { measured: "aa".into(), expected: "bb".into() };
         let s = e.to_string();
         assert!(s.contains("aa") && s.contains("bb"));
         assert!(SgxError::LaunchDenied { reason: "not whitelisted" }

@@ -43,11 +43,7 @@ pub struct EinitToken {
 }
 
 impl EinitToken {
-    fn mac_input(
-        mrenclave: &Measurement,
-        mrsigner: &Digest,
-        attributes: &Attributes,
-    ) -> Vec<u8> {
+    fn mac_input(mrenclave: &Measurement, mrsigner: &Digest, attributes: &Attributes) -> Vec<u8> {
         let mut out = Vec::with_capacity(32 + 32 + 16);
         out.extend_from_slice(mrenclave.as_bytes());
         out.extend_from_slice(mrsigner.as_bytes());
@@ -118,12 +114,7 @@ impl LaunchEnclave {
         }
         let input = EinitToken::mac_input(mrenclave, mrsigner, attributes);
         let mac = hmac::hmac(&self.platform.launch_key(), &input).to_bytes();
-        Ok(EinitToken {
-            mrenclave: *mrenclave,
-            mrsigner: *mrsigner,
-            attributes: *attributes,
-            mac,
-        })
+        Ok(EinitToken { mrenclave: *mrenclave, mrsigner: *mrsigner, attributes: *attributes, mac })
     }
 }
 
@@ -138,11 +129,7 @@ mod tests {
     }
 
     fn identities() -> (Measurement, Digest, Attributes) {
-        (
-            Measurement(Digest([1; 32])),
-            Digest([2; 32]),
-            Attributes::production(),
-        )
+        (Measurement(Digest([1; 32])), Digest([2; 32]), Attributes::production())
     }
 
     #[test]
@@ -159,10 +146,7 @@ mod tests {
         let p = platform(2);
         let (mre, mrs, attrs) = identities();
         let le = LaunchEnclave::new(p, vec![]);
-        assert!(matches!(
-            le.issue_token(&mre, &mrs, &attrs),
-            Err(SgxError::LaunchDenied { .. })
-        ));
+        assert!(matches!(le.issue_token(&mre, &mrs, &attrs), Err(SgxError::LaunchDenied { .. })));
     }
 
     #[test]
@@ -182,9 +166,7 @@ mod tests {
         let other = Measurement(Digest([9; 32]));
         assert!(token.validate(&p, &other, &mrs, &attrs).is_err());
         assert!(token.validate(&p, &mre, &Digest([9; 32]), &attrs).is_err());
-        assert!(token
-            .validate(&p, &mre, &mrs, &Attributes::debug())
-            .is_err());
+        assert!(token.validate(&p, &mre, &mrs, &Attributes::debug()).is_err());
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! interrupt the computation and export a [`Sha256State`] base hash
 //! that a verifier can later extend with an instance page and finalize
 //! (§4.4).
+//!
+//! The same invariant powers the measurement fast path: each `EEXTEND`
+//! is staged as one contiguous 320-byte record run (header + four data
+//! blocks) and a fully measured page as one 5184-byte run, so the
+//! hasher consumes whole multi-block runs in single calls and never
+//! touches its partial-block buffer.
 
 use crate::error::SgxError;
 use crate::secinfo::SecInfo;
@@ -22,6 +28,14 @@ use std::fmt;
 
 /// Bytes measured by a single `EEXTEND` instruction.
 pub const EEXTEND_CHUNK: usize = 256;
+
+/// Bytes one `EEXTEND` contributes to the hash: the tag+offset header
+/// record followed by the four 64-byte data blocks of the chunk.
+pub const EEXTEND_RECORD_RUN: usize = 64 + EEXTEND_CHUNK;
+
+/// Bytes a fully measured page contributes: the `EADD` record plus 16
+/// `EEXTEND` record runs.
+pub const PAGE_RECORD_RUN: usize = 64 + (PAGE_SIZE / EEXTEND_CHUNK) * EEXTEND_RECORD_RUN;
 
 const ECREATE_TAG: &[u8; 8] = b"ECREATE\0";
 const EADD_TAG: &[u8; 8] = b"EADD\0\0\0\0";
@@ -124,15 +138,20 @@ impl MeasurementBuilder {
         secinfo: SecInfo,
         measure_content: bool,
     ) -> Result<(), SgxError> {
-        self.eadd(offset, secinfo)?;
-        if measure_content {
-            for (i, chunk) in content.chunks_exact(EEXTEND_CHUNK).enumerate() {
-                self.eextend(
-                    offset + (i * EEXTEND_CHUNK) as u64,
-                    chunk.try_into().expect("256-byte chunk"),
-                );
-            }
+        if !measure_content {
+            return self.eadd(offset, secinfo);
         }
+        // Stage the page's entire record run — EADD plus 16 EEXTEND
+        // runs — contiguously and hand it to the hasher in one call.
+        // The builder's hash is always block-aligned between
+        // operations, so the whole 5184-byte run streams straight into
+        // the multi-block compression core without any buffering.
+        self.check_offset(offset)?;
+        let mut run = [0u8; PAGE_RECORD_RUN];
+        run[..64].copy_from_slice(&eadd_record(offset, secinfo));
+        write_eextend_runs(&mut run[64..], offset, content);
+        self.hash.update(&run);
+        self.operations += 1 + (PAGE_SIZE / EEXTEND_CHUNK) as u64;
         Ok(())
     }
 
@@ -143,27 +162,37 @@ impl MeasurementBuilder {
     /// Returns [`SgxError::InvalidPageOffset`] for unaligned or
     /// out-of-range offsets.
     pub fn eadd(&mut self, offset: u64, secinfo: SecInfo) -> Result<(), SgxError> {
-        if !offset.is_multiple_of(PAGE_SIZE as u64) || offset + PAGE_SIZE as u64 > self.enclave_size {
-            return Err(SgxError::InvalidPageOffset { offset });
-        }
-        let mut record = [0u8; 64];
-        record[..8].copy_from_slice(EADD_TAG);
-        record[8..16].copy_from_slice(&offset.to_le_bytes());
-        record[16..64].copy_from_slice(&secinfo.measured_bytes());
-        self.hash.update(&record);
+        self.check_offset(offset)?;
+        self.hash.update(&eadd_record(offset, secinfo));
         self.operations += 1;
         Ok(())
     }
 
-    /// Measures one `EEXTEND` over a 256-byte chunk at `offset`:
-    /// header record plus four data records.
+    /// Measures one `EEXTEND` over a 256-byte chunk at `offset` as a
+    /// single contiguous record run (header plus four data blocks).
     pub fn eextend(&mut self, offset: u64, chunk: &[u8; EEXTEND_CHUNK]) {
-        let mut header = [0u8; 64];
-        header[..8].copy_from_slice(EEXTEND_TAG);
-        header[8..16].copy_from_slice(&offset.to_le_bytes());
-        self.hash.update(&header);
-        self.hash.update(chunk);
+        self.hash.update(&eextend_record_run(offset, chunk));
         self.operations += 1;
+    }
+
+    /// Measures a whole page's 16 `EEXTEND`s at `offset` as one
+    /// contiguous 5120-byte record run handed to the multi-block core
+    /// in a single call — the warm-path counterpart of
+    /// [`MeasurementBuilder::add_page`] for callers whose `EADD` is
+    /// already in the hash (midstate resumption).
+    pub fn eextend_page(&mut self, offset: u64, content: &[u8; PAGE_SIZE]) {
+        let mut run = [0u8; PAGE_RECORD_RUN - 64];
+        write_eextend_runs(&mut run, offset, content);
+        self.hash.update(&run);
+        self.operations += (PAGE_SIZE / EEXTEND_CHUNK) as u64;
+    }
+
+    fn check_offset(&self, offset: u64) -> Result<(), SgxError> {
+        if !offset.is_multiple_of(PAGE_SIZE as u64) || offset + PAGE_SIZE as u64 > self.enclave_size
+        {
+            return Err(SgxError::InvalidPageOffset { offset });
+        }
+        Ok(())
     }
 
     /// Number of measured construction operations so far.
@@ -185,9 +214,7 @@ impl MeasurementBuilder {
     /// singleton's measurement.
     #[must_use]
     pub fn export_state(&self) -> Sha256State {
-        self.hash
-            .export_state()
-            .expect("measurement records are 64-byte aligned by construction")
+        self.hash.export_state().expect("measurement records are 64-byte aligned by construction")
     }
 
     /// Resumes a measurement from an exported base hash.
@@ -196,11 +223,7 @@ impl MeasurementBuilder {
     /// offset validation keeps working.
     #[must_use]
     pub fn resume(state: Sha256State, enclave_size: u64) -> Self {
-        MeasurementBuilder {
-            hash: Sha256::resume(state),
-            enclave_size,
-            operations: 0,
-        }
+        MeasurementBuilder { hash: Sha256::resume(state), enclave_size, operations: 0 }
     }
 
     /// Finalizes the measurement into `MRENCLAVE` (what `EINIT` does).
@@ -208,6 +231,38 @@ impl MeasurementBuilder {
     pub fn finalize(self) -> Measurement {
         Measurement(self.hash.finalize())
     }
+}
+
+/// Builds the 64-byte `EADD` measurement record.
+fn eadd_record(offset: u64, secinfo: SecInfo) -> [u8; 64] {
+    let mut record = [0u8; 64];
+    record[..8].copy_from_slice(EADD_TAG);
+    record[8..16].copy_from_slice(&offset.to_le_bytes());
+    record[16..64].copy_from_slice(&secinfo.measured_bytes());
+    record
+}
+
+/// Stages a page's 16 `EEXTEND` record runs into `buf` (which must
+/// hold [`PAGE_RECORD_RUN`]` - 64` bytes).
+fn write_eextend_runs(buf: &mut [u8], offset: u64, content: &[u8; PAGE_SIZE]) {
+    for (i, chunk) in content.chunks_exact(EEXTEND_CHUNK).enumerate() {
+        let start = i * EEXTEND_RECORD_RUN;
+        buf[start..start + EEXTEND_RECORD_RUN].copy_from_slice(&eextend_record_run(
+            offset + (i * EEXTEND_CHUNK) as u64,
+            chunk.try_into().expect("256-byte chunk"),
+        ));
+    }
+}
+
+/// Builds one `EEXTEND` record run: tag+offset header followed by the
+/// chunk's four 64-byte data blocks, contiguous so the hasher consumes
+/// it in a single multi-block call.
+fn eextend_record_run(offset: u64, chunk: &[u8; EEXTEND_CHUNK]) -> [u8; EEXTEND_RECORD_RUN] {
+    let mut run = [0u8; EEXTEND_RECORD_RUN];
+    run[..8].copy_from_slice(EEXTEND_TAG);
+    run[8..16].copy_from_slice(&offset.to_le_bytes());
+    run[64..].copy_from_slice(chunk);
+    run
 }
 
 #[cfg(test)]
@@ -310,6 +365,59 @@ mod tests {
         direct.add_page(0x1000, &page(8), SecInfo::read_only(), true).unwrap();
 
         assert_eq!(resumed.finalize(), direct.finalize());
+    }
+
+    #[test]
+    fn batched_page_run_equals_sequential_operations() {
+        // The staged 5184-byte page run must hash identically to the
+        // operation-by-operation sequence it batches.
+        let content = {
+            let mut c = page(0);
+            for (i, b) in c.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(31).wrapping_add(7);
+            }
+            c
+        };
+        let mut batched = MeasurementBuilder::ecreate(1, 0x20000);
+        batched.add_page(0x1000, &content, SecInfo::code(), true).unwrap();
+
+        let mut sequential = MeasurementBuilder::ecreate(1, 0x20000);
+        sequential.eadd(0x1000, SecInfo::code()).unwrap();
+        for (i, chunk) in content.chunks_exact(EEXTEND_CHUNK).enumerate() {
+            sequential.eextend(0x1000 + (i * EEXTEND_CHUNK) as u64, chunk.try_into().unwrap());
+        }
+        assert_eq!(batched.operations(), sequential.operations());
+        assert_eq!(batched.measured_bytes(), sequential.measured_bytes());
+        assert_eq!(batched.finalize(), sequential.finalize());
+    }
+
+    #[test]
+    fn eextend_page_equals_chunked_eextends() {
+        let content = {
+            let mut c = page(0);
+            for (i, b) in c.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(13).wrapping_add(5);
+            }
+            c
+        };
+        let mut batched = MeasurementBuilder::ecreate(1, 0x20000);
+        batched.eextend_page(0x1000, &content);
+
+        let mut chunked = MeasurementBuilder::ecreate(1, 0x20000);
+        for (i, chunk) in content.chunks_exact(EEXTEND_CHUNK).enumerate() {
+            chunked.eextend(0x1000 + (i * EEXTEND_CHUNK) as u64, chunk.try_into().unwrap());
+        }
+        assert_eq!(batched.operations(), chunked.operations());
+        assert_eq!(batched.finalize(), chunked.finalize());
+    }
+
+    #[test]
+    fn unmeasured_add_page_equals_bare_eadd() {
+        let mut a = MeasurementBuilder::ecreate(1, 0x20000);
+        a.add_page(0, &page(3), SecInfo::data(), false).unwrap();
+        let mut b = MeasurementBuilder::ecreate(1, 0x20000);
+        b.eadd(0, SecInfo::data()).unwrap();
+        assert_eq!(a.finalize(), b.finalize());
     }
 
     #[test]

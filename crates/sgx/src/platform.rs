@@ -165,11 +165,7 @@ impl Platform {
     /// as that target on this platform can re-derive it (models the
     /// `EREPORT`/`EGETKEY` pairing).
     pub(crate) fn report_key(&self, target_mrenclave: &Measurement) -> [u8; 32] {
-        hkdf::derive(
-            &self.root_seal_secret,
-            target_mrenclave.as_bytes(),
-            b"sgx-sim/report-key",
-        )
+        hkdf::derive(&self.root_seal_secret, target_mrenclave.as_bytes(), b"sgx-sim/report-key")
     }
 
     /// The launch key used to MAC `EINITTOKEN`s.

@@ -129,9 +129,7 @@ pub struct QuotingEnclave {
 
 impl fmt::Debug for QuotingEnclave {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("QuotingEnclave")
-            .field("certificate", &self.certificate)
-            .finish()
+        f.debug_struct("QuotingEnclave").field("certificate", &self.certificate).finish()
     }
 }
 
@@ -245,9 +243,7 @@ mod tests {
     fn full_remote_attestation_flow() {
         let w = world(1);
         let nonce = [7u8; 16];
-        let report = w
-            .enclave
-            .ereport(&w.qe.target_info(), ReportData::from_slice(b"key binding"));
+        let report = w.enclave.ereport(&w.qe.target_info(), ReportData::from_slice(b"key binding"));
         let quote = w.qe.quote(&report, nonce).unwrap();
         let body = quote.verify(w.service.root_public_key(), &nonce).unwrap();
         assert_eq!(body.mrenclave, w.enclave.mrenclave());
@@ -270,13 +266,8 @@ mod tests {
     fn qe_rejects_misdirected_report() {
         let w = world(3);
         // Report targeted at the enclave itself, not the QE.
-        let report = w
-            .enclave
-            .ereport(&w.enclave.target_info(), ReportData::zeroed());
-        assert_eq!(
-            w.qe.quote(&report, [0; 16]).unwrap_err(),
-            SgxError::ReportMacInvalid
-        );
+        let report = w.enclave.ereport(&w.enclave.target_info(), ReportData::zeroed());
+        assert_eq!(w.qe.quote(&report, [0; 16]).unwrap_err(), SgxError::ReportMacInvalid);
     }
 
     #[test]
@@ -312,9 +303,7 @@ mod tests {
         let rogue_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
         let nonce = [4u8; 16];
         let report = w.enclave.ereport(&w.qe.target_info(), ReportData::zeroed());
-        let signature = rogue_key
-            .sign(&Quote::signed_bytes(&report.body, &nonce))
-            .unwrap();
+        let signature = rogue_key.sign(&Quote::signed_bytes(&report.body, &nonce)).unwrap();
         let rogue_quote = Quote {
             body: report.body.clone(),
             certificate: QeCertificate {

@@ -85,10 +85,7 @@ mod tests {
 
     fn setup(seed: u64) -> (Arc<Platform>, RsaPrivateKey) {
         let mut rng = StdRng::seed_from_u64(seed);
-        (
-            Arc::new(Platform::new(&mut rng)),
-            RsaPrivateKey::generate(&mut rng, 1024).unwrap(),
-        )
+        (Arc::new(Platform::new(&mut rng)), RsaPrivateKey::generate(&mut rng, 1024).unwrap())
     }
 
     #[test]

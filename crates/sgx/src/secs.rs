@@ -36,7 +36,12 @@ impl Secs {
     ///
     /// Panics if `size` is zero or not page-aligned.
     #[must_use]
-    pub fn create(size: u64, base_address: u64, ssa_frame_size: u32, attributes: Attributes) -> Self {
+    pub fn create(
+        size: u64,
+        base_address: u64,
+        ssa_frame_size: u32,
+        attributes: Attributes,
+    ) -> Self {
         assert!(
             size > 0 && size.is_multiple_of(PAGE_SIZE as u64),
             "enclave size must be page-aligned"

@@ -71,11 +71,7 @@ impl SigStruct {
     /// Propagates signing failures from the RSA layer.
     pub fn sign(body: SigStructBody, signer: &RsaPrivateKey) -> Result<Self, CryptoError> {
         let signature = signer.sign(&body.to_bytes())?;
-        Ok(SigStruct {
-            body,
-            signer_key: signer.public_key().clone(),
-            signature,
-        })
+        Ok(SigStruct { body, signer_key: signer.public_key().clone(), signature })
     }
 
     /// The signed fields.
@@ -163,8 +159,8 @@ impl SigStruct {
             return Err(malformed);
         }
         let body = SigStructBody::from_bytes(&body_bytes)?;
-        let signer_key =
-            RsaPublicKey::from_bytes(&key_bytes).map_err(|_| SgxError::Malformed { context: "sigstruct key" })?;
+        let signer_key = RsaPublicKey::from_bytes(&key_bytes)
+            .map_err(|_| SgxError::Malformed { context: "sigstruct key" })?;
         Ok(SigStruct { body, signer_key, signature })
     }
 }

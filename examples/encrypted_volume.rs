@@ -43,9 +43,7 @@ fn main() {
               print processed",
         )
         .unwrap();
-    volume
-        .write_file(&volume_key, "customers.csv", b"alice,42\nbob,17\ncarol,99")
-        .unwrap();
+    volume.write_file(&volume_key, "customers.csv", b"alice,42\nbob,17\ncarol,99").unwrap();
     println!(
         "[user] encrypted volume prepared: {} ciphertext bytes on disk",
         volume.size_on_disk()
@@ -59,7 +57,8 @@ fn main() {
     let service = AttestationService::new(&mut rng, 1024).unwrap();
     let platform = Arc::new(Platform::new(&mut rng));
     service.register_platform(platform.manufacturing_record());
-    let qe = Arc::new(QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap());
+    let qe =
+        Arc::new(QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap());
     let network = Network::new();
     let host = SconeHost::new(platform, qe, network.clone());
 
@@ -105,10 +104,7 @@ fn main() {
     for line in &app.outcome.stdout {
         println!("[app] {line}");
     }
-    let report = shared_volume
-        .lock()
-        .read_file(&volume_key, "report.bin")
-        .expect("report written");
+    let report = shared_volume.lock().read_file(&volume_key, "report.bin").expect("report written");
     println!("[user] report.bin written inside the encrypted volume ({} bytes)", report.len());
 
     // Host tampering after the fact is detected.

@@ -27,7 +27,8 @@ fn run_workload(w: &Workload, singleton: bool, seed: u64) -> std::time::Duration
     let service = AttestationService::new(&mut rng, 1024).unwrap();
     let platform = Arc::new(Platform::with_epc_pages(&mut rng, 1 << 20));
     service.register_platform(platform.manufacturing_record());
-    let qe = Arc::new(QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap());
+    let qe =
+        Arc::new(QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap());
     let network = Network::new();
     let host = SconeHost::new(platform, qe, network.clone());
 
@@ -53,9 +54,7 @@ fn run_workload(w: &Workload, singleton: bool, seed: u64) -> std::time::Duration
     .unwrap();
     let cas_thread = cas.serve(&network, "cas:443", 2, seed);
 
-    let opts = StartOptions::new("cas:443", "ml")
-        .with_volume(w.volume.clone())
-        .with_seed(seed);
+    let opts = StartOptions::new("cas:443", "ml").with_volume(w.volume.clone()).with_seed(seed);
     let start = Instant::now();
     let app = if singleton {
         host.start_sinclave(&packaged, &opts).expect("sinclave run")
@@ -84,9 +83,7 @@ fn main() {
         let overhead =
             (sinclave.as_secs_f64() - baseline.as_secs_f64()) / baseline.as_secs_f64() * 100.0;
         let name = make(scale).name;
-        println!(
-            "{name:<12} {baseline:>10.1?}   {sinclave:>10.1?}   {overhead:>+7.2}%"
-        );
+        println!("{name:<12} {baseline:>10.1?}   {sinclave:>10.1?}   {overhead:>+7.2}%");
     }
     println!();
     println!("(The SinClave delta is the singleton grant + on-demand SigStruct");

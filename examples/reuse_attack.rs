@@ -35,7 +35,8 @@ fn deploy(seed: u64, image: ProgramImage, mode: PolicyMode) -> Deployment {
     let service = AttestationService::new(&mut rng, 1024).unwrap();
     let platform = Arc::new(Platform::new(&mut rng));
     service.register_platform(platform.manufacturing_record());
-    let qe = Arc::new(QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap());
+    let qe =
+        Arc::new(QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap());
     let network = Network::new();
     let host = SconeHost::new(platform, qe, network.clone());
 
@@ -86,10 +87,7 @@ fn main() {
                 "[adversary]   db-password = {:?}",
                 String::from_utf8_lossy(loot.config.secret("db-password").unwrap())
             );
-            println!(
-                "[adversary]   volume key  = {:02x?}…",
-                &loot.config.volume_key.unwrap()[..4]
-            );
+            println!("[adversary]   volume key  = {:02x?}…", &loot.config.volume_key.unwrap()[..4]);
         }
         Err(e) => println!("[adversary] attack failed unexpectedly: {e}"),
     }

@@ -36,7 +36,8 @@ fn environment(world: &World) -> AttackEnvironment {
 
 #[test]
 fn reuse_attack_steals_secrets_from_baseline_deployment() {
-    let world = World::new(1, victim_interpreter(), user_config_with_secrets(), PolicyMode::Baseline);
+    let world =
+        World::new(1, victim_interpreter(), user_config_with_secrets(), PolicyMode::Baseline);
     let cas_thread = world.serve_cas(1, 100);
     let env = environment(&world);
 
@@ -44,10 +45,7 @@ fn reuse_attack_steals_secrets_from_baseline_deployment() {
     cas_thread.join().unwrap();
 
     // The adversary holds the user's secrets.
-    assert_eq!(
-        loot.config.secret("db-password"),
-        Some(b"correct horse battery staple".as_slice())
-    );
+    assert_eq!(loot.config.secret("db-password"), Some(b"correct horse battery staple".as_slice()));
     assert_eq!(loot.config.secret("api-key"), Some(b"sk-live-0123456789".as_slice()));
     // The CAS believed it served a legitimate enclave.
     assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 1);
@@ -55,7 +53,8 @@ fn reuse_attack_steals_secrets_from_baseline_deployment() {
 
 #[test]
 fn reuse_attack_works_via_dynamic_import_flavor() {
-    let world = World::new(2, victim_interpreter(), user_config_with_secrets(), PolicyMode::Baseline);
+    let world =
+        World::new(2, victim_interpreter(), user_config_with_secrets(), PolicyMode::Baseline);
     let cas_thread = world.serve_cas(1, 200);
     let env = environment(&world);
 
@@ -110,10 +109,7 @@ fn sinclave_runtime_refuses_report_server_construction() {
     // Unblock the CAS accept loop.
     drop(world.network.connect(CAS_ADDR));
     cas_thread.join().unwrap();
-    assert!(
-        matches!(err, RuntimeError::Net(_)),
-        "no report server could be built: {err:?}"
-    );
+    assert!(matches!(err, RuntimeError::Net(_)), "no report server could be built: {err:?}");
     assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 0);
 }
 
@@ -133,10 +129,8 @@ fn forged_singleton_cannot_redeem_real_tokens() {
     // The adversary first obtains a *real* token (grants are free).
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(44);
-    let grant = env
-        .host
-        .request_grant(&env.victim, CAS_ADDR, &mut rng)
-        .expect("grants are freely issued");
+    let grant =
+        env.host.request_grant(&env.victim, CAS_ADDR, &mut rng).expect("grants are freely issued");
 
     let err = forged_singleton_attack(&env, &world.cas, grant.token, 4000)
         .expect_err("forged singleton must be refused");
@@ -167,14 +161,8 @@ fn token_replay_is_refused() {
     // grant + first attest + replayed attest.
     let cas_thread = world.serve_cas(3, 500);
 
-    let err = replay_singleton_start(
-        &world.host,
-        &world.cas,
-        &world.packaged,
-        CAS_ADDR,
-        CONFIG_ID,
-        5000,
-    );
+    let err =
+        replay_singleton_start(&world.host, &world.cas, &world.packaged, CAS_ADDR, CONFIG_ID, 5000);
     cas_thread.join().unwrap();
     match err {
         RuntimeError::AttestationDenied { reason } => {
@@ -206,8 +194,8 @@ fn random_token_is_refused() {
     // with a bogus token, which dies at the report-server stage
     // (victim refuses) and hence at impersonation.
     let bogus = AttestationToken([0x99; 32]);
-    let err = forged_singleton_attack(&env, &world.cas, bogus, 6000)
-        .expect_err("bogus token refused");
+    let err =
+        forged_singleton_attack(&env, &world.cas, bogus, 6000).expect_err("bogus token refused");
     cas_thread.join().unwrap();
     assert!(matches!(err, RuntimeError::AttestationDenied { .. }));
 }

@@ -51,8 +51,7 @@ impl World {
         let host = SconeHost::new(platform, qe, network.clone());
 
         let signer_key = RsaPrivateKey::generate(&mut rng, 1024).expect("signer key");
-        let packaged = package_app(&image, &signer_key, &SignerConfig::default())
-            .expect("package");
+        let packaged = package_app(&image, &signer_key, &SignerConfig::default()).expect("package");
 
         let channel_key = RsaPrivateKey::generate(&mut rng, 1024).expect("channel key");
         let store = CasStore::create(AeadKey::new([0x42; 32]));

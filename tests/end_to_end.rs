@@ -34,12 +34,8 @@ fn baseline_lifecycle_delivers_and_runs() {
 
 #[test]
 fn sinclave_lifecycle_delivers_and_runs() {
-    let image = ProgramImage::with_entry(
-        "service",
-        "secret db-password -> p\nprint configured",
-        4,
-    )
-    .sinclave_aware();
+    let image = ProgramImage::with_entry("service", "secret db-password -> p\nprint configured", 4)
+        .sinclave_aware();
     let world = World::new(11, image, common::user_config_with_secrets(), PolicyMode::Singleton);
     let cas = world.serve_cas(2, 110); // grant + attest
     let app = world
@@ -151,9 +147,7 @@ fn tampered_volume_detected_after_legitimate_provisioning() {
         .host
         .start_baseline(
             &world.packaged,
-            &StartOptions::new(CAS_ADDR, CONFIG_ID)
-                .with_volume(w.volume.clone())
-                .with_seed(3),
+            &StartOptions::new(CAS_ADDR, CONFIG_ID).with_volume(w.volume.clone()).with_seed(3),
         )
         .unwrap_err();
     cas.join().unwrap();
@@ -176,7 +170,12 @@ fn cas_database_survives_restart() {
 
     let key = AeadKey::new([9; 32]);
     let mut store = CasStore::create(key.clone());
-    let world = World::new(31, ProgramImage::with_entry("x", "print hi", 2), AppConfig::default(), PolicyMode::Baseline);
+    let world = World::new(
+        31,
+        ProgramImage::with_entry("x", "print hi", 2),
+        AppConfig::default(),
+        PolicyMode::Baseline,
+    );
     store
         .put_policy(&sinclave_repro::cas::SessionPolicy {
             config_id: "persisted".into(),

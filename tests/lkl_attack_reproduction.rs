@@ -14,7 +14,9 @@ use sinclave_repro::crypto::aead::AeadKey;
 use sinclave_repro::crypto::rsa::RsaPrivateKey;
 use sinclave_repro::fs::Volume;
 use sinclave_repro::net::Network;
-use sinclave_repro::runtime::lkl::{framework_image, LklController, LklHost, LklInvocation, DISK_ENTRY};
+use sinclave_repro::runtime::lkl::{
+    framework_image, LklController, LklHost, LklInvocation, DISK_ENTRY,
+};
 use sinclave_repro::runtime::scone::{package_app, PackagedApp, WireGrant};
 use sinclave_repro::runtime::RuntimeError;
 use sinclave_repro::sgx::attestation::AttestationService;
@@ -34,16 +36,15 @@ fn lkl_world(seed: u64) -> LklWorld {
     let service = AttestationService::new(&mut rng, 1024).unwrap();
     let platform = Arc::new(Platform::new(&mut rng));
     service.register_platform(platform.manufacturing_record());
-    let qe = Arc::new(QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap());
+    let qe =
+        Arc::new(QuotingEnclave::provision(platform.clone(), &service, &mut rng, 1024).unwrap());
     let network = Network::new();
     let signer_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
-    let framework = package_app(&framework_image(8), &signer_key, &SignerConfig::default()).unwrap();
+    let framework =
+        package_app(&framework_image(8), &signer_key, &SignerConfig::default()).unwrap();
     LklWorld {
         lkl: LklHost::new(platform, qe, network.clone()),
-        controller: LklController {
-            network,
-            attestation_root: service.root_public_key().clone(),
-        },
+        controller: LklController { network, attestation_root: service.root_public_key().clone() },
         framework,
         signer_key,
     }
@@ -92,7 +93,8 @@ fn sinclave_lkl_defeats_unauthenticated_configuration() {
     let w = lkl_world(2);
     let mut rng = StdRng::seed_from_u64(20);
     let user_verifier = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
-    let issuer = SingletonIssuer::new(w.signer_key.clone(), user_verifier.public_key().fingerprint());
+    let issuer =
+        SingletonIssuer::new(w.signer_key.clone(), user_verifier.public_key().fingerprint());
     let grant_raw = issuer
         .issue(&mut rng, &w.framework.signed.common_sigstruct, &w.framework.signed.base_hash)
         .unwrap();
@@ -146,7 +148,8 @@ fn lkl_singleton_measurement_identifies_the_user_program_instance() {
     let w = lkl_world(3);
     let mut rng = StdRng::seed_from_u64(30);
     let user_verifier = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
-    let issuer = SingletonIssuer::new(w.signer_key.clone(), user_verifier.public_key().fingerprint());
+    let issuer =
+        SingletonIssuer::new(w.signer_key.clone(), user_verifier.public_key().fingerprint());
     let g1 = issuer
         .issue(&mut rng, &w.framework.signed.common_sigstruct, &w.framework.signed.base_hash)
         .unwrap();

@@ -23,10 +23,12 @@ fn software_update_svn_gate() {
     // longer receives secrets, while the new one does. This is the
     // binary-distribution-compatible update story of §4.1/§4.4.
     let image = ProgramImage::with_entry("svc", "print running", 2).sinclave_aware();
-    let world = World::new(40, image.clone(), AppConfig {
-        entry: "embedded".into(),
-        ..AppConfig::default()
-    }, PolicyMode::Singleton);
+    let world = World::new(
+        40,
+        image.clone(),
+        AppConfig { entry: "embedded".into(), ..AppConfig::default() },
+        PolicyMode::Singleton,
+    );
 
     // Re-sign the same image as "v1" with SVN 1 and "v2" with SVN 2
     // under the same signer key the CAS guards.
@@ -99,10 +101,7 @@ fn debug_enclaves_are_refused_secrets() {
     // The debug enclave cannot even EINIT against the production
     // SigStruct (attribute mask) — the first line of defense.
     let err = world.host.start_baseline(&world.packaged, &opts).unwrap_err();
-    assert!(matches!(
-        err,
-        RuntimeError::Sgx(sinclave_repro::sgx::SgxError::AttributesRejected)
-    ));
+    assert!(matches!(err, RuntimeError::Sgx(sinclave_repro::sgx::SgxError::AttributesRejected)));
 
     // Second line: even with a debug-permissive SigStruct, the CAS
     // policy refuses the quote. Re-sign with a mask ignoring DEBUG.
@@ -113,12 +112,7 @@ fn debug_enclaves_are_refused_secrets() {
         },
         ..SignerConfig::default()
     };
-    let debug_packaged = package_app(
-        &world.packaged.image,
-        &world.signer_key,
-        &lenient,
-    )
-    .unwrap();
+    let debug_packaged = package_app(&world.packaged.image, &world.signer_key, &lenient).unwrap();
     world
         .cas
         .add_policy(sinclave_repro::cas::SessionPolicy {
@@ -174,10 +168,7 @@ fn singleton_of_one_binary_cannot_claim_anothers_config() {
     // Start app A's singleton but request app B's configuration.
     let err = world
         .host
-        .start_sinclave(
-            &world.packaged,
-            &StartOptions::new(CAS_ADDR, "app-b-config").with_seed(5),
-        )
+        .start_sinclave(&world.packaged, &StartOptions::new(CAS_ADDR, "app-b-config").with_seed(5))
         .unwrap_err();
     cas_thread.join().unwrap();
     match err {
@@ -193,18 +184,17 @@ fn grant_then_never_start_leaks_nothing() {
     // Unredeemed tokens are inert: requesting many grants and never
     // starting the enclaves must not affect other deployments.
     let image = ProgramImage::with_entry("svc", "print ok", 2).sinclave_aware();
-    let world = World::new(43, image, AppConfig {
-        entry: "embedded".into(),
-        ..AppConfig::default()
-    }, PolicyMode::Singleton);
+    let world = World::new(
+        43,
+        image,
+        AppConfig { entry: "embedded".into(), ..AppConfig::default() },
+        PolicyMode::Singleton,
+    );
     let cas_thread = world.serve_cas(5, 430);
 
     let mut rng = StdRng::seed_from_u64(7);
     for _ in 0..3 {
-        let _grant = world
-            .host
-            .request_grant(&world.packaged, CAS_ADDR, &mut rng)
-            .unwrap();
+        let _grant = world.host.request_grant(&world.packaged, CAS_ADDR, &mut rng).unwrap();
     }
     assert_eq!(world.cas.issuer().outstanding_tokens(), 3);
 

@@ -7,10 +7,19 @@ use sinclave_repro::core::layout::EnclaveLayout;
 use sinclave_repro::core::protocol::Message;
 use sinclave_repro::core::{AppConfig, AttestationToken, BaseEnclaveHash};
 use sinclave_repro::crypto::aead::AeadKey;
-use sinclave_repro::crypto::sha256::Digest;
+use sinclave_repro::crypto::sha256::{self, Backend, Digest, Sha256};
 use sinclave_repro::fs::{FsError, Volume};
 use sinclave_repro::sgx::secinfo::SecInfo;
 use std::collections::HashMap;
+
+/// Every compression backend this CPU can run.
+fn available_backends() -> Vec<Backend> {
+    let mut backends = vec![Backend::Portable];
+    if Backend::sha_ni_available() {
+        backends.push(Backend::ShaNi);
+    }
+    backends
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -113,6 +122,99 @@ proptest! {
             config_id,
         };
         prop_assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    /// All SHA-256 backends produce bit-identical digests for random
+    /// inputs, both one-shot and under arbitrary update splits.
+    #[test]
+    fn sha256_backends_bit_identical(
+        data in proptest::collection::vec(any::<u8>(), 0..10_000),
+        splits in proptest::collection::vec(any::<u16>(), 0..6),
+    ) {
+        let reference = sha256::fast::digest_with_backend(Backend::Portable, &data);
+        for backend in available_backends() {
+            prop_assert_eq!(
+                sha256::fast::digest_with_backend(backend, &data),
+                reference,
+                "one-shot on {:?}", backend
+            );
+            // Feed the same data through the interruptible hasher in
+            // arbitrary pieces.
+            let mut h = Sha256::with_backend(backend);
+            let mut rest: &[u8] = &data;
+            for s in &splits {
+                let take = (*s as usize) % (rest.len() + 1);
+                h.update(&rest[..take]);
+                rest = &rest[take..];
+            }
+            h.update(rest);
+            prop_assert_eq!(h.finalize(), reference, "split update on {:?}", backend);
+        }
+    }
+
+    /// A state exported at any block boundary resumes bit-exactly on
+    /// any backend — signer and verifier may run different CPUs.
+    #[test]
+    fn sha256_export_resume_across_backends(
+        data in proptest::collection::vec(any::<u8>(), 64..8_192),
+        cut in any::<u16>(),
+    ) {
+        let reference = sha256::fast::digest_with_backend(Backend::Portable, &data);
+        // Export is only defined at 64-byte boundaries.
+        let cut = ((cut as usize) % data.len()) / 64 * 64;
+        for first in available_backends() {
+            for second in available_backends() {
+                let mut h = Sha256::with_backend(first);
+                h.update(&data[..cut]);
+                let state = h.export_state().expect("block aligned");
+                let mut resumed = Sha256::resume_with_backend(state, second);
+                resumed.update(&data[cut..]);
+                prop_assert_eq!(
+                    resumed.finalize(),
+                    reference,
+                    "{:?} -> {:?} cut {}", first, second, cut
+                );
+            }
+        }
+    }
+
+    /// The prepared-midstate prediction equals both the cold base-hash
+    /// prediction and a from-scratch measurement of the full enclave.
+    #[test]
+    fn prepared_prediction_equals_direct_measurement(
+        program in proptest::collection::vec(any::<u8>(), 1..20_000),
+        heap_pages in 0u64..16,
+        token_bytes in any::<[u8; 32]>(),
+        verifier in any::<[u8; 32]>(),
+    ) {
+        prop_assume!(token_bytes != [0u8; 32]);
+        let layout = EnclaveLayout::for_program(&program, heap_pages).unwrap();
+        let m = layout.measure_base().unwrap();
+        let base = BaseEnclaveHash::new(
+            m.export_state(),
+            layout.enclave_size,
+            layout.instance_page_offset(),
+        );
+        let page = InstancePage::new(AttestationToken(token_bytes), Digest(verifier));
+
+        let prepared = base.prepare().unwrap();
+        let predicted = prepared.singleton_measurement(&page);
+        prop_assert_eq!(predicted, base.singleton_measurement(&page).unwrap());
+        prop_assert_eq!(
+            prepared.common_measurement(),
+            base.common_measurement().unwrap()
+        );
+
+        let mut direct = layout.measure_base().unwrap();
+        direct
+            .add_page(
+                layout.instance_page_offset(),
+                &page.to_page_bytes(),
+                SecInfo::read_only(),
+                true,
+            )
+            .unwrap();
+        prop_assert_eq!(predicted, direct.finalize());
     }
 
     /// Base-hash wire encoding is stable.

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stub provides the API subset the workspace's benches use —
+//! `Criterion`, benchmark groups, `BenchmarkId`, `Throughput`, the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock measurement loop instead of criterion's statistics
+//! engine. Each benchmark prints `id … time: <mean>` (plus throughput
+//! when configured). Passing `--test` (as `cargo test` does for bench
+//! targets) runs every closure exactly once for a smoke check, and a
+//! free argument acts as a substring filter like criterion's.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement throughput annotation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match &self.parameter {
+            Some(p) => format!("{group}/{}/{p}", self.function),
+            None => format!("{group}/{}", self.function),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId { function: function.to_owned(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId { function, parameter: None }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    measurement_time: Duration,
+    /// Mean time per iteration of the last `iter` call.
+    elapsed: Option<Duration>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full timing loop.
+    Measure,
+    /// Run each closure once (`--test`).
+    Smoke,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean duration per iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(routine());
+            self.elapsed = Some(Duration::ZERO);
+            return;
+        }
+        // Warmup + calibration: one untimed call.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let first = start.elapsed();
+
+        // Pick an iteration count that fits the measurement budget.
+        let budget = self.measurement_time;
+        let iters = if first.is_zero() {
+            1000
+        } else {
+            (budget.as_nanos() / first.as_nanos().max(1)).clamp(1, 100_000) as u32
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = Some(start.elapsed() / iters);
+    }
+}
+
+/// Shared settings for a group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the stub sizes runs by time budget.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Accepted for compatibility; warmup is a single untimed call.
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = id.render(&self.name);
+        let throughput = self.throughput;
+        let time = self.measurement_time;
+        let mut routine = routine;
+        self.criterion.run(&name, throughput, time, |b| routine(b, input));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.into().render(&self.name);
+        let throughput = self.throughput;
+        let time = self.measurement_time;
+        self.criterion.run(&name, throughput, time, routine);
+        self
+    }
+
+    /// Ends the group (statistics teardown in real criterion).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Smoke,
+                // Harness flags cargo may pass; no statistics engine to
+                // configure, so they are accepted and ignored.
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: &str, routine: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(id, None, Duration::from_millis(300), routine);
+        self
+    }
+
+    fn run(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        measurement_time: Duration,
+        mut routine: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { mode: self.mode, measurement_time, elapsed: None };
+        routine(&mut bencher);
+        match (self.mode, bencher.elapsed) {
+            (Mode::Smoke, _) => println!("{name} ... ok (smoke)"),
+            (Mode::Measure, Some(mean)) => match throughput {
+                Some(Throughput::Bytes(bytes)) => {
+                    let rate = bytes as f64 / mean.as_secs_f64() / 1e6;
+                    println!("{name}  time: {mean:>12.2?}  thrpt: {rate:>10.1} MB/s");
+                }
+                Some(Throughput::Elements(n)) => {
+                    let rate = n as f64 / mean.as_secs_f64();
+                    println!("{name}  time: {mean:>12.2?}  thrpt: {rate:>10.1} elem/s");
+                }
+                None => println!("{name}  time: {mean:>12.2?}"),
+            },
+            (Mode::Measure, None) => println!("{name} ... no measurement"),
+        }
+    }
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { mode: Mode::Smoke, filter: None };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        let mut ran = 0;
+        group.bench_with_input(BenchmarkId::new("f", "1 KB"), &1024usize, |b, &n| {
+            b.iter(|| n * 2);
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion { mode: Mode::Smoke, filter: Some("nomatch".into()) };
+        let mut ran = false;
+        c.bench_function("something-else", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn measure_mode_produces_elapsed() {
+        let mut bencher = Bencher {
+            mode: Mode::Measure,
+            measurement_time: Duration::from_millis(5),
+            elapsed: None,
+        };
+        bencher.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(bencher.elapsed.is_some());
+    }
+}

@@ -1,0 +1,96 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided, implemented over
+//! `std::sync::mpsc`. Unlike crossbeam's, the receiver here is made
+//! `Sync` by serializing receivers through a poison-free mutex, which
+//! is sufficient for the workspace's message-bus usage.
+
+/// Multi-producer channels with timeouts, mirroring
+/// `crossbeam::channel`'s API subset used by the workspace.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError};
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(Mutex<mpsc::Receiver<T>>);
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Mutex::new(rx)))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails if all receivers were dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// Receives a message, blocking until one arrives.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.inner().recv()
+        }
+
+        /// Receives a message, waiting at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner().recv_timeout(timeout)
+        }
+
+        /// Receives a message if one is already queued.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner().try_recv()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,720 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stub reimplements the subset of proptest's API the workspace uses:
+//! the [`strategy::Strategy`] trait with `prop_map`, strategies for
+//! integer ranges, tuples, arrays, `Vec`s, `Option`s, regex-shaped
+//! strings and value selection, plus the [`proptest!`] /
+//! [`prop_assert!`] macro family and a deterministic case runner.
+//!
+//! Differences from real proptest, acceptable for this workspace:
+//! no shrinking (failures report the generated values instead), and a
+//! fixed per-test RNG seed derived from the test name, so runs are
+//! fully reproducible.
+
+pub mod test_runner {
+    //! Deterministic case runner and configuration.
+
+    /// Marker returned by `prop_assume!` rejections.
+    pub const ASSUME_REJECT: &str = "__proptest_stub_assume_reject__";
+
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` successful cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; this stub trims it so the
+            // heavier measurement properties stay fast in CI.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The deterministic generator handed to strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// A generator seeded from the test name, so each property has
+        /// a stable, independent stream.
+        #[must_use]
+        pub fn for_test(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(seed)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling range");
+            // Modulo bias is irrelevant for test-case generation.
+            self.next_u64() % bound
+        }
+    }
+
+    /// Drives a property: generates cases until `config.cases` pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the property returns an error (assertion failure)
+    /// or when `prop_assume!` rejects too many candidate cases.
+    pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut property: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), String>,
+    {
+        let mut rng = TestRng::for_test(name);
+        let mut passed = 0u32;
+        let mut attempts = 0u32;
+        while passed < config.cases {
+            attempts += 1;
+            assert!(
+                attempts <= config.cases.saturating_mul(20).max(100),
+                "property {name}: too many cases rejected by prop_assume!"
+            );
+            match property(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(e) if e == ASSUME_REJECT => {}
+                Err(e) => panic!("property {name} failed after {passed} passing cases: {e}"),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map_fn`.
+        fn prop_map<O, F>(self, map_fn: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map_fn }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        map_fn: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map_fn)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+
+    /// String literals act as regex strategies (proptest idiom).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::Pattern::parse(self)
+                .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+                .generate(rng)
+        }
+    }
+
+    /// A boxed generator closure — one `prop_oneof!` arm.
+    pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// One-of-N union used by `prop_oneof!`: arms are boxed generator
+    /// closures so heterogeneous strategy types can share a value type.
+    pub struct Union<V> {
+        arms: Vec<UnionArm<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from boxed arms (use [`Union::arm`]).
+        #[must_use]
+        pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+
+        /// Boxes one strategy as a union arm.
+        pub fn arm<S>(strategy: S) -> UnionArm<V>
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            Box::new(move |rng| strategy.generate(rng))
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let index = rng.below(self.arms.len() as u64) as usize;
+            (self.arms[index])(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy of all values of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `Vec` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with `len ∈ size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>` (3 in 4 cases are `Some`).
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Generates `None` or `Some(element)`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit value lists.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy drawing uniformly from a fixed list.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Selects uniformly from `values`.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select from empty list");
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-shaped string generation.
+    //!
+    //! Supports the subset the workspace uses: literal characters,
+    //! `.`, character classes `[a-z0-9_-]`, and `{m}` / `{m,n}`
+    //! quantifiers over single atoms.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A parsed generator pattern.
+    #[derive(Clone, Debug)]
+    pub struct Pattern {
+        atoms: Vec<(Atom, usize, usize)>,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Atom {
+        /// Any printable ASCII character.
+        Dot,
+        /// An explicit character set.
+        Set(Vec<char>),
+        /// A literal character.
+        Lit(char),
+    }
+
+    impl Pattern {
+        /// Parses the supported regex subset.
+        ///
+        /// # Errors
+        ///
+        /// Returns a description of the first unsupported construct.
+        pub fn parse(pattern: &str) -> Result<Self, String> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut i = 0;
+            let mut atoms = Vec::new();
+            while i < chars.len() {
+                let atom = match chars[i] {
+                    '.' => {
+                        i += 1;
+                        Atom::Dot
+                    }
+                    '[' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == ']')
+                            .ok_or_else(|| "unterminated character class".to_owned())?
+                            + i;
+                        let mut set = Vec::new();
+                        let mut j = i + 1;
+                        while j < close {
+                            if j + 2 < close && chars[j + 1] == '-' {
+                                let (lo, hi) = (chars[j], chars[j + 2]);
+                                if lo > hi {
+                                    return Err(format!("bad range {lo}-{hi}"));
+                                }
+                                set.extend(lo..=hi);
+                                j += 3;
+                            } else {
+                                set.push(chars[j]);
+                                j += 1;
+                            }
+                        }
+                        if set.is_empty() {
+                            return Err("empty character class".to_owned());
+                        }
+                        i = close + 1;
+                        Atom::Set(set)
+                    }
+                    '\\' => {
+                        i += 1;
+                        let c = *chars.get(i).ok_or_else(|| "trailing backslash".to_owned())?;
+                        i += 1;
+                        Atom::Lit(c)
+                    }
+                    c @ ('*' | '+' | '?' | '(' | ')' | '|') => {
+                        return Err(format!("unsupported regex construct {c:?}"));
+                    }
+                    c => {
+                        i += 1;
+                        Atom::Lit(c)
+                    }
+                };
+                let (min, max) = if chars.get(i) == Some(&'{') {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or_else(|| "unterminated quantifier".to_owned())?
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    let (lo, hi) = match body.split_once(',') {
+                        Some((lo, hi)) => (lo, hi),
+                        None => (body.as_str(), body.as_str()),
+                    };
+                    let lo: usize = lo.trim().parse().map_err(|_| "bad quantifier")?;
+                    let hi: usize = hi.trim().parse().map_err(|_| "bad quantifier")?;
+                    if lo > hi {
+                        return Err("inverted quantifier".to_owned());
+                    }
+                    i = close + 1;
+                    (lo, hi)
+                } else {
+                    (1, 1)
+                };
+                atoms.push((atom, min, max));
+            }
+            Ok(Pattern { atoms })
+        }
+
+        /// Generates one string matching the pattern.
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (atom, min, max) in &self.atoms {
+                let count = min + rng.below((max - min + 1) as u64) as usize;
+                for _ in 0..count {
+                    match atom {
+                        Atom::Dot => {
+                            out.push(char::from(0x20 + rng.below(0x5f) as u8));
+                        }
+                        Atom::Set(set) => {
+                            out.push(set[rng.below(set.len() as u64) as usize]);
+                        }
+                        Atom::Lit(c) => out.push(*c),
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for Pattern {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            Pattern::generate(self, rng)
+        }
+    }
+
+    /// Compiles a regex subset into a string strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unsupported construct.
+    pub fn string_regex(pattern: &str) -> Result<Pattern, String> {
+        Pattern::parse(pattern)
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: `fn name(binding in strategy, …) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($binding:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(&$config, stringify!($name), |__proptest_rng| {
+                $(let $binding =
+                    $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "assert_eq failed at {}:{}: {:?} != {:?}",
+                file!(), line!(), left, right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "assert_eq failed at {}:{} ({}): {:?} != {:?}",
+                file!(), line!(), format!($($fmt)+), left, right
+            ));
+        }
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err(format!(
+                "assert_ne failed at {}:{}: both {:?}",
+                file!(), line!(), left
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err(format!(
+                "assert_ne failed at {}:{} ({}): both {:?}",
+                file!(), line!(), format!($($fmt)+), left
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (regenerates instead of failing).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::ASSUME_REJECT.to_owned());
+        }
+    };
+}
+
+/// Picks uniformly between heterogeneous strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::arm($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u8..10, 0u8..10).prop_map(|(a, b)| (a, b))) {
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+        }
+
+        #[test]
+        fn assume_rejects(mut x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            x += 2;
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_covers_arms(v in prop_oneof![Just(1u8), Just(2u8), 3u8..5]) {
+            prop_assert!((1..5).contains(&v));
+        }
+
+        #[test]
+        fn regex_strings(s in "[a-c]{2,4}", t in ".{0,3}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(t.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn string_regex_parses_and_rejects() {
+        assert!(crate::string::string_regex("[a-z][a-z0-9_]{0,8}").is_ok());
+        assert!(crate::string::string_regex("(group)").is_err());
+        assert!(crate::string::string_regex("[unclosed").is_err());
+    }
+
+    #[test]
+    fn select_draws_from_list() {
+        let s = crate::sample::select(vec![7, 8, 9]);
+        let mut rng = crate::test_runner::TestRng::for_test("select");
+        for _ in 0..20 {
+            assert!((7..=9).contains(&Strategy::generate(&s, &mut rng)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property sample failed")]
+    fn failures_panic_with_context() {
+        crate::test_runner::run_cases(&ProptestConfig::with_cases(1), "sample", |_rng| {
+            Err("boom".to_owned())
+        });
+    }
+}
