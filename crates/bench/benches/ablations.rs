@@ -17,12 +17,22 @@
 //!    change.
 //! 4. **RSA-CRT.** Signing uses the CRT; this measures the speedup over
 //!    plain private-exponent exponentiation.
+//! 5. **Dedicated Montgomery squaring.** Squarings dominate windowed
+//!    exponentiation (four per 4-bit window); `ablation/mont-sqr`
+//!    measures RSA-3072 CRT signing on the `mont_sqr` fast path
+//!    against the previous general-multiplier-only code.
+//! 6. **Vectored grant issue.** `ablation/batch-issue` compares N
+//!    sequential `issue` calls against one `issue_batch(N)`, which
+//!    validates once and fans the on-demand signatures out over a
+//!    thread pool.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sinclave::instance_page::InstancePage;
 use sinclave::layout::EnclaveLayout;
+use sinclave::signer::{sign_enclave, SignerConfig};
+use sinclave::verifier::SingletonIssuer;
 use sinclave::{AttestationToken, BaseEnclaveHash};
 use sinclave_bench::hash_buffer;
 use sinclave_crypto::bignum::Uint;
@@ -152,11 +162,57 @@ fn private_exponent(key: &RsaPrivateKey) -> &Uint {
     key.public_key().modulus()
 }
 
+fn bench_mont_sqr(c: &mut Criterion) {
+    // The paper's mandated signer key size; CRT halves are 1536 bits.
+    let mut rng = StdRng::seed_from_u64(0x3072);
+    let key = RsaPrivateKey::generate(&mut rng, 3072).expect("keygen");
+    let digest = sha256::digest(b"on-demand sigstruct body");
+    let mut group = c.benchmark_group("ablation/mont-sqr");
+    group.sample_size(20);
+    group.bench_function("sign-3072-mont-sqr", |b| {
+        b.iter(|| key.sign_digest(&digest).expect("sign"));
+    });
+    group.bench_function("sign-3072-mul-only", |b| {
+        b.iter(|| key.sign_digest_mul_only(&digest).expect("sign"));
+    });
+    group.finish();
+}
+
+fn bench_batch_issue(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xba7c);
+    let signer_key = RsaPrivateKey::generate(&mut rng, 3072).expect("keygen");
+    let layout = EnclaveLayout::for_program(&hash_buffer(64 << 10), 16).expect("layout");
+    let signed = sign_enclave(&layout, &signer_key, &SignerConfig::default()).expect("sign");
+    let issuer = SingletonIssuer::new(signer_key, sha256::digest(b"verifier"));
+
+    const BATCH: usize = 8;
+    let mut group = c.benchmark_group("ablation/batch-issue");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("sequential-8", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).expect("grant");
+            }
+        });
+    });
+    group.bench_function("batched-8", |b| {
+        b.iter(|| {
+            issuer
+                .issue_batch(&mut rng, &signed.common_sigstruct, &signed.base_hash, BATCH)
+                .expect("grants")
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     ablations,
     bench_prediction_vs_remeasure,
     bench_prepared_vs_cold,
     bench_signer_key_size,
-    bench_crt
+    bench_crt,
+    bench_mont_sqr,
+    bench_batch_issue
 );
 criterion_main!(ablations);

@@ -2,16 +2,21 @@
 //! retrieval round trip (paper: ≈26.3 ms total) split into its
 //! components: connection open/close (3.74 ms), SigStruct verification
 //! (0.4 ms), expected-measurement calculation (32 µs), on-demand
-//! SigStruct signing (4.93 ms), plus CAS miscellaneous work.
+//! SigStruct signing (4.93 ms), plus CAS miscellaneous work — and,
+//! beyond the paper, the `fig7c/throughput` sweep: aggregate grant
+//! throughput as concurrent attesters pile onto one CAS, pooled
+//! worker serving versus the paper's strictly sequential instance.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sinclave::protocol::Message;
 use sinclave_bench::BenchWorld;
 use sinclave_cas::policy::PolicyMode;
 use sinclave_net::SecureChannel;
+use sinclave_runtime::scone::PackagedApp;
 use sinclave_runtime::ProgramImage;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn bench_retrieval(c: &mut Criterion) {
     let world = BenchWorld::new(0x7c);
@@ -92,5 +97,90 @@ fn bench_retrieval(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(fig7c, bench_retrieval);
+/// Grants completed per throughput measurement: enough round trips
+/// that worker startup amortizes, small enough that `--test` smoke
+/// runs stay quick, and divisible by every swept client count so the
+/// served-connection budget always matches the offered load exactly.
+const THROUGHPUT_GRANTS: usize = 32;
+
+/// Runs `THROUGHPUT_GRANTS` full grant round trips against a CAS
+/// served by `workers` pool workers, with the load spread over
+/// `clients` concurrent client threads.
+fn grant_burst(
+    world: &BenchWorld,
+    packaged: &PackagedApp,
+    addr: &str,
+    clients: usize,
+    workers: usize,
+    seed: u64,
+) {
+    assert_eq!(THROUGHPUT_GRANTS % clients, 0, "client count must divide the grant budget");
+    let server =
+        world.cas.serve_with_workers(&world.network, addr, THROUGHPUT_GRANTS, seed, workers);
+    let per_client = THROUGHPUT_GRANTS / clients;
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0x5eed << 8) ^ client as u64);
+                for _ in 0..per_client {
+                    let conn = world.network.connect(addr).expect("connect");
+                    let mut chan =
+                        SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+                    chan.send(
+                        &Message::GrantRequest {
+                            common_sigstruct: packaged.signed.common_sigstruct.to_bytes(),
+                            base_hash: packaged.signed.base_hash.encode().to_vec(),
+                        }
+                        .to_bytes(),
+                    )
+                    .expect("send");
+                    let reply = Message::from_bytes(&chan.recv().expect("recv")).expect("decode");
+                    assert!(matches!(reply, Message::GrantResponse { .. }), "got {reply:?}");
+                }
+            });
+        }
+    });
+    server.join().expect("server pool");
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let world = BenchWorld::new(0x7d);
+    let image = ProgramImage::interpreter("python-3.8", 8).sinclave_aware();
+    let packaged = world.package(&image);
+
+    let mut group = c.benchmark_group("fig7c/throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(THROUGHPUT_GRANTS as u64));
+    let round = AtomicU64::new(0);
+
+    // The paper's single CAS instance: a strictly sequential accept
+    // loop (one worker), even with 8 attesters requesting at once.
+    group.bench_function("sequential-8-clients", |b| {
+        b.iter(|| {
+            let seed = round.fetch_add(1, Ordering::Relaxed);
+            grant_burst(&world, &packaged, "cas:7c-tp-seq", 8, 1, seed);
+        });
+    });
+
+    // Pooled serving under rising fan-in; throughput should scale with
+    // client count until the worker pool saturates the cores.
+    for clients in [1usize, 2, 4, 8, 16] {
+        group.bench_function(format!("pooled-{clients}-clients"), |b| {
+            b.iter(|| {
+                let seed = 0x1_0000 + round.fetch_add(1, Ordering::Relaxed);
+                grant_burst(
+                    &world,
+                    &packaged,
+                    &format!("cas:7c-tp-{clients}"),
+                    clients,
+                    sinclave_cas::CasServer::default_workers(),
+                    seed,
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig7c, bench_retrieval, bench_throughput);
 criterion_main!(fig7c);

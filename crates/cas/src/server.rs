@@ -5,10 +5,44 @@
 //! SinClave, starters) talk to it over secure channels. Its channel
 //! key's fingerprint is CAS's cryptographic identity — the value
 //! SinClave bakes into instance pages.
+//!
+//! # Concurrency and sharding model
+//!
+//! [`CasServer::serve`] runs a bounded **worker pool** (one thread per
+//! slot, capped by [`CasServer::default_workers`] or the explicit
+//! count given to [`CasServer::serve_with_workers`]). The workers
+//! share one listener; each claims the next connection slot from an
+//! atomic counter, accepts, and drives that connection's handshake and
+//! message loop to completion — so a slow or stalled attester occupies
+//! one worker instead of stalling every connection behind it, and up
+//! to `workers` retrievals proceed in parallel.
+//!
+//! The state the workers touch is sharded so parallel requests do not
+//! contend on a single lock:
+//!
+//! * the policy store caches decoded [`SessionPolicy`]s as
+//!   `Arc`s sharded by config id (see [`CasStore`]) — retrieval is a
+//!   shard read-lock plus a pointer bump;
+//! * the [`SingletonIssuer`] shards both its prepared-midstate cache
+//!   (by base-hash encoding) and its token table (by token bytes), so
+//!   concurrent grants for different enclaves and redemptions of
+//!   different tokens take different locks, while exactly-once
+//!   redemption still holds because one token always maps to one
+//!   shard;
+//! * service counters ([`CasStats`]) are atomics.
+//!
+//! # RNG seed derivation
+//!
+//! Each connection slot `i` gets its own deterministic generator
+//! seeded with `seed.wrapping_add(i)` — the same derivation the
+//! sequential loop used, so single-worker runs are bit-identical to
+//! the old behavior and multi-worker runs remain seed-stable: the set
+//! of per-connection seeds depends only on (`seed`, `connections`),
+//! never on thread scheduling. (Which dialing peer lands on which slot
+//! follows arrival order, as it would on a real listening socket.)
 
 use crate::policy::{PolicyMode, SessionPolicy};
 use crate::store::CasStore;
-use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use sinclave::protocol::Message;
@@ -41,10 +75,9 @@ pub struct CasServer {
     channel_key: RsaPrivateKey,
     issuer: SingletonIssuer,
     attestation_root: RsaPublicKey,
-    /// Policy store behind a reader-writer lock: retrieval (the hot
-    /// path of every attestation) takes shared read access; only
-    /// policy registration writes.
-    store: RwLock<CasStore>,
+    /// Policy store; internally sharded and safe for concurrent use
+    /// (retrieval is a shard read-lock plus an `Arc` bump).
+    store: CasStore,
     /// Counters.
     pub stats: CasStats,
 }
@@ -72,7 +105,7 @@ impl CasServer {
             channel_key,
             issuer: SingletonIssuer::new(signer_key, identity),
             attestation_root,
-            store: RwLock::new(store),
+            store,
             stats: CasStats::default(),
         })
     }
@@ -96,12 +129,20 @@ impl CasServer {
     ///
     /// Propagates database failures.
     pub fn add_policy(&self, policy: SessionPolicy) -> Result<(), SinclaveError> {
-        self.store.write().put_policy(&policy)
+        self.store.put_policy(&policy)
     }
 
-    /// Serves `connections` connections on `addr` in a background
-    /// thread (connections are handled sequentially, matching the
-    /// paper's single CAS instance).
+    /// Default worker-pool width: one worker per core, capped at 8
+    /// (CAS is crypto-bound; more workers than cores only adds
+    /// scheduling noise).
+    #[must_use]
+    pub fn default_workers() -> usize {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8)
+    }
+
+    /// Serves `connections` connections on `addr` from a background
+    /// worker pool of [`CasServer::default_workers`] threads (see the
+    /// module docs for the concurrency model).
     #[must_use]
     pub fn serve(
         self: &Arc<Self>,
@@ -110,16 +151,48 @@ impl CasServer {
         connections: usize,
         seed: u64,
     ) -> JoinHandle<()> {
-        let listener = network.listen(addr);
+        self.serve_with_workers(network, addr, connections, seed, Self::default_workers())
+    }
+
+    /// [`CasServer::serve`] with an explicit worker count; `1`
+    /// reproduces the strictly sequential accept loop of the paper's
+    /// single CAS instance (the Fig. 7c baseline).
+    ///
+    /// The returned handle joins once all `connections` slots have
+    /// been served (or their accepts timed out).
+    #[must_use]
+    pub fn serve_with_workers(
+        self: &Arc<Self>,
+        network: &Network,
+        addr: &str,
+        connections: usize,
+        seed: u64,
+        workers: usize,
+    ) -> JoinHandle<()> {
+        let listener = Arc::new(network.listen(addr));
         let server = self.clone();
+        let workers = workers.clamp(1, connections.max(1));
         std::thread::spawn(move || {
-            for i in 0..connections {
-                let Ok(conn) = listener.accept() else { return };
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-                // A failed handshake or protocol error only affects
-                // that one connection.
-                let _ = server.handle_connection(conn, &mut rng);
-            }
+            let next_slot = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        // Claim the next connection slot before
+                        // accepting so exactly `connections` accepts
+                        // happen across the pool, each with its own
+                        // deterministic per-slot generator.
+                        let slot = next_slot.fetch_add(1, Ordering::Relaxed);
+                        if slot >= connections as u64 {
+                            return;
+                        }
+                        let Ok(conn) = listener.accept() else { return };
+                        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(slot));
+                        // A failed handshake or protocol error only
+                        // affects that one connection.
+                        let _ = server.handle_connection(conn, &mut rng);
+                    });
+                }
+            });
         })
     }
 
@@ -235,13 +308,11 @@ impl CasServer {
             return Message::Denied { reason: "channel binding mismatch".into() };
         }
 
-        // Shared read access, released as soon as the policy is
-        // cloned out: concurrent retrievals never serialize on the
-        // store, and a slow connection cannot hold registration out.
-        let policy = match self.store.read().get_policy(config_id) {
-            Ok(Some(policy)) => policy,
-            Ok(None) => return Message::Denied { reason: "unknown config id".into() },
-            Err(_) => return Message::Denied { reason: "policy store failure".into() },
+        // A shard read-lock plus an `Arc` bump: concurrent retrievals
+        // never serialize on the store, and a slow connection cannot
+        // hold registration out.
+        let Some(policy) = self.store.get_policy(config_id) else {
+            return Message::Denied { reason: "unknown config id".into() };
         };
 
         if let Err(reason) = self.check_identity(body, &policy, token.as_ref()) {
@@ -436,6 +507,7 @@ mod tests {
             config: AppConfig::default(),
         };
         cas.add_policy(policy).unwrap();
-        assert_eq!(cas.store.read().list_policies().unwrap(), vec!["svc".to_owned()]);
+        assert_eq!(cas.store.list_policies().unwrap(), vec!["svc".to_owned()]);
+        assert_eq!(cas.store.get_policy("svc").unwrap().config_id, "svc");
     }
 }

@@ -6,71 +6,132 @@
 //! parsing this database is part of every singleton retrieval, which
 //! is why Fig. 7c attributes most of the 26.3 ms round trip to
 //! "miscellaneous other necessary activities in the SCONE CAS".
+//!
+//! The store therefore splits hot from cold: the encrypted [`Volume`]
+//! is the durable source of truth (written under one mutex — policy
+//! registration is rare), while retrieval — the step on every
+//! attestation — reads from a decoded in-memory cache of
+//! `Arc<SessionPolicy>` sharded by config id. A hot-path lookup is a
+//! shard read-lock plus an `Arc` pointer bump: no volume decryption,
+//! no policy re-parse, no deep clone of the embedded `AppConfig`, and
+//! no contention between lookups that hash to different shards.
 
 use crate::policy::SessionPolicy;
+use parking_lot::{Mutex, RwLock};
 use sinclave::SinclaveError;
 use sinclave_crypto::aead::AeadKey;
 use sinclave_fs::Volume;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 /// Path prefix for policy records.
 const POLICY_PREFIX: &str = "policies/";
 
+/// Number of independent cache shards. Config ids hash uniformly, so
+/// a small fixed power of two is enough to keep concurrent retrievals
+/// off each other's locks.
+const STORE_SHARDS: usize = 8;
+
+/// One lock shard of the decoded-policy read cache.
+type PolicyShard = RwLock<HashMap<String, Arc<SessionPolicy>>>;
+
+/// Shard index for a config id (shared FNV-1a fold).
+fn shard_of(config_id: &str) -> usize {
+    sinclave::shard::fnv1a_index(config_id.as_bytes(), STORE_SHARDS)
+}
+
 /// The encrypted policy store.
-#[derive(Debug)]
 pub struct CasStore {
-    volume: Volume,
+    /// Durable encrypted state; writes only (registration, removal).
+    volume: Mutex<Volume>,
     key: AeadKey,
+    /// Decoded read cache, sharded by config id.
+    shards: Box<[PolicyShard]>,
+}
+
+impl fmt::Debug for CasStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CasStore")
+            .field("policies", &self.shards.iter().map(|s| s.read().len()).sum::<usize>())
+            .finish()
+    }
 }
 
 impl CasStore {
+    fn empty_shards() -> Box<[PolicyShard]> {
+        (0..STORE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect()
+    }
+
     /// Creates an empty store protected by `key`.
     #[must_use]
     pub fn create(key: AeadKey) -> Self {
-        CasStore { volume: Volume::format(&key, "cas-db"), key }
+        CasStore {
+            volume: Mutex::new(Volume::format(&key, "cas-db")),
+            key,
+            shards: Self::empty_shards(),
+        }
     }
 
-    /// Opens an existing database volume.
+    /// Opens an existing database volume, decoding every stored policy
+    /// into the read cache.
     ///
     /// # Errors
     ///
     /// Returns [`SinclaveError::ProtocolDecode`] if the key does not
-    /// open the volume.
+    /// open the volume or any stored policy is corrupt.
     pub fn open(volume: Volume, key: AeadKey) -> Result<Self, SinclaveError> {
         volume.verify_key(&key).map_err(|_| SinclaveError::ProtocolDecode)?;
-        Ok(CasStore { volume, key })
+        let store = CasStore { volume: Mutex::new(volume), key, shards: Self::empty_shards() };
+        for config_id in store.list_policies()? {
+            let path = format!("{POLICY_PREFIX}{config_id}");
+            let bytes = store
+                .volume
+                .lock()
+                .read_file(&store.key, &path)
+                .map_err(|_| SinclaveError::ProtocolDecode)?;
+            let policy = Arc::new(SessionPolicy::from_bytes(&bytes)?);
+            store.shards[shard_of(&config_id)].write().insert(config_id, policy);
+        }
+        Ok(store)
     }
 
-    /// Persists a policy (insert or replace).
+    /// Persists a policy (insert or replace). The cache is updated
+    /// only after the volume write succeeds — and while the volume
+    /// lock is still held, so racing writers cannot leave the cache
+    /// diverged from the durable state — and readers never observe a
+    /// policy that is not durable.
     ///
     /// # Errors
     ///
     /// Propagates volume failures as [`SinclaveError::ProtocolDecode`].
-    pub fn put_policy(&mut self, policy: &SessionPolicy) -> Result<(), SinclaveError> {
-        self.volume
+    pub fn put_policy(&self, policy: &SessionPolicy) -> Result<(), SinclaveError> {
+        let mut volume = self.volume.lock();
+        volume
             .write_file(
                 &self.key,
                 &format!("{POLICY_PREFIX}{}", policy.config_id),
                 &policy.to_bytes(),
             )
-            .map_err(|_| SinclaveError::ProtocolDecode)
+            .map_err(|_| SinclaveError::ProtocolDecode)?;
+        // Lock order is always volume → shard (here and in
+        // remove_policy/open); get_policy takes only the shard lock.
+        self.shards[shard_of(&policy.config_id)]
+            .write()
+            .insert(policy.config_id.clone(), Arc::new(policy.clone()));
+        Ok(())
     }
 
-    /// Loads one policy.
+    /// Loads one policy — a shard read-lock and an `Arc` clone, no
+    /// volume access.
     ///
     /// Returns `None` if absent.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SinclaveError::ProtocolDecode`] for corrupt records.
-    pub fn get_policy(&self, config_id: &str) -> Result<Option<SessionPolicy>, SinclaveError> {
-        match self.volume.read_file(&self.key, &format!("{POLICY_PREFIX}{config_id}")) {
-            Ok(bytes) => Ok(Some(SessionPolicy::from_bytes(&bytes)?)),
-            Err(sinclave_fs::FsError::NotFound { .. }) => Ok(None),
-            Err(_) => Err(SinclaveError::ProtocolDecode),
-        }
+    #[must_use]
+    pub fn get_policy(&self, config_id: &str) -> Option<Arc<SessionPolicy>> {
+        self.shards[shard_of(config_id)].read().get(config_id).cloned()
     }
 
-    /// Lists all stored policy ids.
+    /// Lists all stored policy ids (from the durable volume).
     ///
     /// # Errors
     ///
@@ -78,6 +139,7 @@ impl CasStore {
     pub fn list_policies(&self) -> Result<Vec<String>, SinclaveError> {
         Ok(self
             .volume
+            .lock()
             .list(&self.key)
             .map_err(|_| SinclaveError::ProtocolDecode)?
             .into_iter()
@@ -90,18 +152,23 @@ impl CasStore {
     /// # Errors
     ///
     /// Returns [`SinclaveError::ProtocolDecode`] on volume failures.
-    pub fn remove_policy(&mut self, config_id: &str) -> Result<bool, SinclaveError> {
-        match self.volume.remove_file(&self.key, &format!("{POLICY_PREFIX}{config_id}")) {
-            Ok(()) => Ok(true),
-            Err(sinclave_fs::FsError::NotFound { .. }) => Ok(false),
-            Err(_) => Err(SinclaveError::ProtocolDecode),
-        }
+    pub fn remove_policy(&self, config_id: &str) -> Result<bool, SinclaveError> {
+        let mut volume = self.volume.lock();
+        let removed = match volume.remove_file(&self.key, &format!("{POLICY_PREFIX}{config_id}")) {
+            Ok(()) => true,
+            Err(sinclave_fs::FsError::NotFound { .. }) => false,
+            Err(_) => return Err(SinclaveError::ProtocolDecode),
+        };
+        // Cache update under the volume lock — see put_policy.
+        self.shards[shard_of(config_id)].write().remove(config_id);
+        Ok(removed)
     }
 
-    /// The underlying volume (for persistence by the host).
+    /// A snapshot of the underlying volume (for persistence by the
+    /// host).
     #[must_use]
-    pub fn volume(&self) -> &Volume {
-        &self.volume
+    pub fn volume(&self) -> Volume {
+        self.volume.lock().clone()
     }
 }
 
@@ -127,32 +194,43 @@ mod tests {
 
     #[test]
     fn put_get_list_remove() {
-        let mut store = CasStore::create(AeadKey::new([1; 32]));
+        let store = CasStore::create(AeadKey::new([1; 32]));
         store.put_policy(&policy("a")).unwrap();
         store.put_policy(&policy("b")).unwrap();
-        assert_eq!(store.get_policy("a").unwrap().unwrap().config_id, "a");
-        assert!(store.get_policy("missing").unwrap().is_none());
+        assert_eq!(store.get_policy("a").unwrap().config_id, "a");
+        assert!(store.get_policy("missing").is_none());
         let mut ids = store.list_policies().unwrap();
         ids.sort();
         assert_eq!(ids, vec!["a".to_owned(), "b".to_owned()]);
         assert!(store.remove_policy("a").unwrap());
         assert!(!store.remove_policy("a").unwrap());
+        assert!(store.get_policy("a").is_none());
+    }
+
+    #[test]
+    fn get_policy_shares_one_allocation() {
+        let store = CasStore::create(AeadKey::new([5; 32]));
+        store.put_policy(&policy("hot")).unwrap();
+        let a = store.get_policy("hot").unwrap();
+        let b = store.get_policy("hot").unwrap();
+        // The hot path hands out the same allocation, not a deep copy.
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
     fn reopen_with_right_key_only() {
         let key = AeadKey::new([2; 32]);
-        let mut store = CasStore::create(key.clone());
+        let store = CasStore::create(key.clone());
         store.put_policy(&policy("x")).unwrap();
-        let volume = store.volume().clone();
+        let volume = store.volume();
         let reopened = CasStore::open(volume.clone(), key).unwrap();
-        assert_eq!(reopened.get_policy("x").unwrap().unwrap().config_id, "x");
+        assert_eq!(reopened.get_policy("x").unwrap().config_id, "x");
         assert!(CasStore::open(volume, AeadKey::new([3; 32])).is_err());
     }
 
     #[test]
     fn database_is_opaque_to_the_host() {
-        let mut store = CasStore::create(AeadKey::new([4; 32]));
+        let store = CasStore::create(AeadKey::new([4; 32]));
         let mut p = policy("secret-session");
         p.config.secrets = vec![("password".into(), b"super secret value".to_vec())];
         store.put_policy(&p).unwrap();

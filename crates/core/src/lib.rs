@@ -48,6 +48,7 @@ pub mod error;
 pub mod instance_page;
 pub mod layout;
 pub mod protocol;
+pub mod shard;
 pub mod signer;
 pub mod token;
 pub mod verifier;

@@ -92,6 +92,52 @@ pub fn sign_enclave(
     Ok(SignedEnclave { layout: layout.clone(), base_hash, common_sigstruct })
 }
 
+/// Measures and signs many independent enclaves across a small thread
+/// pool — the bulk-registration path (and the shape of Fig. 7a's
+/// build-time signing for a whole fleet of binaries).
+///
+/// Each enclave's measurement is inherently sequential (one
+/// interruptible SHA-256), but distinct enclaves share nothing, so
+/// layouts are distributed over `min(#layouts, #cores, 8)` workers.
+/// Results keep the input order and are bit-identical to sequential
+/// [`sign_enclave`] calls. The signed outputs feed straight into the
+/// verifier's vectored grant path
+/// (`SingletonIssuer::issue_batch`).
+///
+/// # Errors
+///
+/// Propagates the first layout-measurement or signing failure.
+pub fn sign_enclaves(
+    layouts: &[EnclaveLayout],
+    signer_key: &RsaPrivateKey,
+    config: &SignerConfig,
+) -> Result<Vec<SignedEnclave>, SinclaveError> {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(layouts.len())
+        .clamp(1, 8);
+    if workers <= 1 {
+        return layouts.iter().map(|l| sign_enclave(l, signer_key, config)).collect();
+    }
+    let chunk = layouts.len().div_ceil(workers);
+    let chunks: Vec<Result<Vec<SignedEnclave>, SinclaveError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = layouts
+            .chunks(chunk)
+            .map(|chunk_layouts| {
+                scope.spawn(move || {
+                    chunk_layouts.iter().map(|l| sign_enclave(l, signer_key, config)).collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("measurement worker")).collect()
+    });
+    let mut signed = Vec::with_capacity(layouts.len());
+    for result in chunks {
+        signed.extend(result?);
+    }
+    Ok(signed)
+}
+
 /// Signs a layout the *baseline* (SCONE) way: one straight measurement
 /// of the full enclave including the zeroed instance page, no base
 /// hash export. Functionally equivalent for the common enclave; the
@@ -165,6 +211,24 @@ mod tests {
         let signed = sign_enclave(&layout, &key(3), &cfg).unwrap();
         assert_eq!(signed.common_sigstruct.body().isv_prod_id, 42);
         assert_eq!(signed.common_sigstruct.body().isv_svn, 7);
+    }
+
+    #[test]
+    fn parallel_signing_matches_sequential() {
+        // The thread pool is a pure throughput optimization: outputs
+        // must keep input order and match sequential signing exactly.
+        let layouts: Vec<EnclaveLayout> = (0u8..7)
+            .map(|i| EnclaveLayout::for_program(&[i; 5000], u64::from(i) % 3 + 1).unwrap())
+            .collect();
+        let k = key(6);
+        let cfg = SignerConfig::default();
+        let parallel = sign_enclaves(&layouts, &k, &cfg).unwrap();
+        assert_eq!(parallel.len(), layouts.len());
+        for (layout, signed) in layouts.iter().zip(&parallel) {
+            let sequential = sign_enclave(layout, &k, &cfg).unwrap();
+            assert_eq!(signed.base_hash, sequential.base_hash);
+            assert_eq!(signed.common_sigstruct.to_bytes(), sequential.common_sigstruct.to_bytes());
+        }
     }
 
     #[test]

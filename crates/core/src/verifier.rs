@@ -69,25 +69,55 @@ struct PreparedEntry {
 /// stay warm (far more than a CAS instance serves in practice).
 const PREPARED_CACHE_CAPACITY: usize = 1024;
 
+/// Number of independent lock shards for the token and midstate maps.
+///
+/// Both maps are keyed by uniformly distributed values (random tokens,
+/// hash-state encodings), so a fixed power-of-two shard count spreads
+/// concurrent grants and redemptions across locks: two connections
+/// working on different enclaves (or different tokens) never contend.
+const ISSUER_SHARDS: usize = 16;
+
+/// Workers used to parallelize batched on-demand signing: one per
+/// core, capped at 8 like every other pool in the stack (signing is
+/// CPU-bound; more threads only add scheduling noise).
+fn signing_workers(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(jobs)
+        .clamp(1, 8)
+}
+
+/// One lock shard of the prepared-midstate cache.
+type PreparedShard = Mutex<HashMap<[u8; ENCODED_LEN], PreparedEntry>>;
+
+/// Shard index for a key (shared FNV-1a fold).
+fn shard_of(bytes: &[u8]) -> usize {
+    crate::shard::fnv1a_index(bytes, ISSUER_SHARDS)
+}
+
 /// The verifier-side singleton machinery.
 pub struct SingletonIssuer {
     signer_key: RsaPrivateKey,
     verifier_identity: Digest,
-    tokens: Mutex<HashMap<AttestationToken, TokenState>>,
+    /// Token states, sharded by token bytes so concurrent redemptions
+    /// of different tokens take different locks. A single token always
+    /// maps to one shard, which preserves exactly-once redemption.
+    tokens: Box<[Mutex<HashMap<AttestationToken, TokenState>>]>,
     /// Midstate cache keyed by the base hash's wire encoding: each
     /// registered enclave pays the instance-page `EADD` absorption and
     /// the common-measurement prediction once, then every grant hashes
     /// only the 16 `EEXTEND` runs plus finalization (the QASM-style
     /// keep-the-state argument from the paper's related work, applied
-    /// to measurement prefixes).
-    prepared: Mutex<HashMap<[u8; ENCODED_LEN], PreparedEntry>>,
+    /// to measurement prefixes). Sharded by encoding so grants for
+    /// different enclaves never serialize on one lock.
+    prepared: Box<[PreparedShard]>,
 }
 
 impl fmt::Debug for SingletonIssuer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SingletonIssuer")
             .field("verifier", &self.verifier_identity.to_hex()[..12].to_owned())
-            .field("tokens", &self.tokens.lock().len())
+            .field("tokens", &self.tokens.iter().map(|s| s.lock().len()).sum::<usize>())
             .finish()
     }
 }
@@ -101,8 +131,8 @@ impl SingletonIssuer {
         SingletonIssuer {
             signer_key,
             verifier_identity,
-            tokens: Mutex::new(HashMap::new()),
-            prepared: Mutex::new(HashMap::new()),
+            tokens: (0..ISSUER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            prepared: (0..ISSUER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
 
@@ -117,7 +147,7 @@ impl SingletonIssuer {
     /// time but cannot evict legitimate warm entries.
     fn prepared_entry(&self, base_hash: &BaseEnclaveHash) -> Result<PreparedEntry, SinclaveError> {
         let key = base_hash.encode();
-        if let Some(entry) = self.prepared.lock().get(&key) {
+        if let Some(entry) = self.prepared[shard_of(&key)].lock().get(&key) {
             return Ok(*entry);
         }
         let prepared = base_hash.prepare()?;
@@ -127,10 +157,10 @@ impl SingletonIssuer {
     /// Caches a validated prediction state. Racing inserts of the same
     /// key are harmless: the entry is a deterministic function of it.
     fn cache_entry(&self, key: [u8; ENCODED_LEN], entry: PreparedEntry) {
-        let mut cache = self.prepared.lock();
-        if cache.len() >= PREPARED_CACHE_CAPACITY && !cache.contains_key(&key) {
+        let mut cache = self.prepared[shard_of(&key)].lock();
+        if cache.len() >= PREPARED_CACHE_CAPACITY / ISSUER_SHARDS && !cache.contains_key(&key) {
             // Evict one arbitrary entry; hitting this at all means
-            // >1024 distinct signed enclaves are in active rotation.
+            // many distinct signed enclaves hash into this shard.
             if let Some(evicted) = cache.keys().next().copied() {
                 cache.remove(&evicted);
             }
@@ -141,7 +171,7 @@ impl SingletonIssuer {
     /// Number of base hashes with a warm prepared midstate.
     #[must_use]
     pub fn prepared_cache_len(&self) -> usize {
-        self.prepared.lock().len()
+        self.prepared.iter().map(|s| s.lock().len()).sum()
     }
 
     /// The identity baked into every instance page this issuer grants.
@@ -165,6 +195,86 @@ impl SingletonIssuer {
         common_sigstruct: &SigStruct,
         base_hash: &BaseEnclaveHash,
     ) -> Result<SingletonGrant, SinclaveError> {
+        let entry = self.validate_request(common_sigstruct, base_hash)?;
+        let token = AttestationToken::generate(rng);
+        let grant = self.grant_for_token(common_sigstruct, &entry, token)?;
+        self.register_token(token, grant.expected_mrenclave, entry.common);
+        Ok(grant)
+    }
+
+    /// Issues `count` singleton grants for one enclave in a single
+    /// call — the vectored fast path behind bulk registration.
+    ///
+    /// The per-request work of [`SingletonIssuer::issue`] (SigStruct
+    /// verification, signer check, base-hash validation) happens once,
+    /// tokens are drawn from `rng` in order (so the batch is
+    /// bit-identical to `count` sequential [`issue`] calls with the
+    /// same generator), and the dominant cost — the on-demand RSA
+    /// SigStruct signatures — is fanned out over a small thread pool.
+    ///
+    /// [`issue`]: SingletonIssuer::issue
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SingletonIssuer::issue`]; on error no token from the
+    /// batch is registered.
+    pub fn issue_batch<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        common_sigstruct: &SigStruct,
+        base_hash: &BaseEnclaveHash,
+        count: usize,
+    ) -> Result<Vec<SingletonGrant>, SinclaveError> {
+        let entry = self.validate_request(common_sigstruct, base_hash)?;
+        // Draw all tokens up front: the rng is consumed exactly as by
+        // sequential issue() calls, keeping batches seed-stable.
+        let tokens: Vec<AttestationToken> =
+            (0..count).map(|_| AttestationToken::generate(rng)).collect();
+
+        let workers = signing_workers(count);
+        let chunk = count.div_ceil(workers.max(1)).max(1);
+        let mut grants = Vec::with_capacity(count);
+        if workers <= 1 {
+            for &token in &tokens {
+                grants.push(self.grant_for_token(common_sigstruct, &entry, token)?);
+            }
+        } else {
+            let chunks: Vec<Result<Vec<SingletonGrant>, SinclaveError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = tokens
+                        .chunks(chunk)
+                        .map(|chunk_tokens| {
+                            scope.spawn(move || {
+                                chunk_tokens
+                                    .iter()
+                                    .map(|&t| self.grant_for_token(common_sigstruct, &entry, t))
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("signing worker")).collect()
+                });
+            for result in chunks {
+                grants.extend(result?);
+            }
+        }
+        for grant in &grants {
+            self.register_token(grant.token, grant.expected_mrenclave, entry.common);
+        }
+        Ok(grants)
+    }
+
+    /// The once-per-request validation shared by [`issue`] and
+    /// [`issue_batch`]: SigStruct signature, signer identity, and the
+    /// base hash finalizing to the signed common measurement.
+    ///
+    /// [`issue`]: SingletonIssuer::issue
+    /// [`issue_batch`]: SingletonIssuer::issue_batch
+    fn validate_request(
+        &self,
+        common_sigstruct: &SigStruct,
+        base_hash: &BaseEnclaveHash,
+    ) -> Result<PreparedEntry, SinclaveError> {
         common_sigstruct.verify().map_err(|_| SinclaveError::SigStructInvalid)?;
         if common_sigstruct.signer_key() != self.signer_key.public_key() {
             return Err(SinclaveError::SignerMismatch);
@@ -180,23 +290,36 @@ impl SingletonIssuer {
             return Err(SinclaveError::BaseHashMismatch);
         }
         self.cache_entry(base_hash.encode(), entry);
-        let common = entry.common;
+        Ok(entry)
+    }
 
-        let token = AttestationToken::generate(rng);
+    /// The per-grant work: predict the singleton measurement for one
+    /// token and sign its on-demand SigStruct. Pure (no issuer state
+    /// is touched), so batches run it from several threads at once.
+    fn grant_for_token(
+        &self,
+        common_sigstruct: &SigStruct,
+        entry: &PreparedEntry,
+        token: AttestationToken,
+    ) -> Result<SingletonGrant, SinclaveError> {
         let page = InstancePage::new(token, self.verifier_identity);
         let expected = entry.prepared.singleton_measurement(&page);
-
         // On-demand SigStruct: identical body except the measurement.
         let body = SigStructBody { enclave_hash: expected, ..common_sigstruct.body().clone() };
         let sigstruct = SigStruct::sign(body, &self.signer_key)?;
-
-        self.tokens.lock().insert(token, TokenState::Issued { expected, common });
         Ok(SingletonGrant {
             token,
             verifier_identity: self.verifier_identity,
             sigstruct,
             expected_mrenclave: expected,
         })
+    }
+
+    /// Records an issued token in its shard.
+    fn register_token(&self, token: AttestationToken, expected: Measurement, common: Measurement) {
+        self.tokens[shard_of(token.as_bytes())]
+            .lock()
+            .insert(token, TokenState::Issued { expected, common });
     }
 
     /// Redeems a token presented during attestation: succeeds exactly
@@ -214,7 +337,7 @@ impl SingletonIssuer {
         token: &AttestationToken,
         attested_mrenclave: &Measurement,
     ) -> Result<Measurement, SinclaveError> {
-        let mut tokens = self.tokens.lock();
+        let mut tokens = self.tokens[shard_of(token.as_bytes())].lock();
         match tokens.get(token) {
             Some(TokenState::Issued { expected, common }) if *expected == *attested_mrenclave => {
                 let common = *common;
@@ -228,7 +351,10 @@ impl SingletonIssuer {
     /// Number of tokens issued but not yet redeemed.
     #[must_use]
     pub fn outstanding_tokens(&self) -> usize {
-        self.tokens.lock().values().filter(|s| matches!(s, TokenState::Issued { .. })).count()
+        self.tokens
+            .iter()
+            .map(|s| s.lock().values().filter(|t| matches!(t, TokenState::Issued { .. })).count())
+            .sum()
     }
 }
 
@@ -263,6 +389,53 @@ mod tests {
         // Body carries over product identity from the common SigStruct.
         assert_eq!(g1.sigstruct.body().isv_prod_id, signed.common_sigstruct.body().isv_prod_id);
         assert_eq!(issuer.outstanding_tokens(), 2);
+    }
+
+    #[test]
+    fn issue_batch_bit_identical_to_sequential_issues() {
+        let (issuer, signed, _) = setup(10);
+        let n = 5;
+        let sequential: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(77);
+            (0..n)
+                .map(|_| {
+                    issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap()
+                })
+                .collect()
+        };
+        let (batch_issuer, batch_signed, _) = setup(10);
+        let mut rng = StdRng::seed_from_u64(77);
+        let batch = batch_issuer
+            .issue_batch(&mut rng, &batch_signed.common_sigstruct, &batch_signed.base_hash, n)
+            .unwrap();
+        assert_eq!(batch.len(), n);
+        for (s, b) in sequential.iter().zip(&batch) {
+            assert_eq!(s.token, b.token);
+            assert_eq!(s.expected_mrenclave, b.expected_mrenclave);
+            assert_eq!(s.sigstruct.to_bytes(), b.sigstruct.to_bytes());
+            assert_eq!(s.verifier_identity, b.verifier_identity);
+        }
+        // Every batched token is registered and redeemable exactly once.
+        assert_eq!(batch_issuer.outstanding_tokens(), n);
+        for grant in &batch {
+            batch_issuer.redeem(&grant.token, &grant.expected_mrenclave).unwrap();
+            assert!(batch_issuer.redeem(&grant.token, &grant.expected_mrenclave).is_err());
+        }
+    }
+
+    #[test]
+    fn issue_batch_rejects_foreign_signer_without_registering_tokens() {
+        let (issuer, _signed, mut rng) = setup(11);
+        let adversary_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let layout = EnclaveLayout::for_program(b"user application", 2).unwrap();
+        let forged = sign_enclave(&layout, &adversary_key, &SignerConfig::default()).unwrap();
+        assert_eq!(
+            issuer
+                .issue_batch(&mut rng, &forged.common_sigstruct, &forged.base_hash, 4)
+                .unwrap_err(),
+            SinclaveError::SignerMismatch
+        );
+        assert_eq!(issuer.outstanding_tokens(), 0);
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub struct Montgomery {
     n0_inv: u64,
     /// `R^2 mod n` where `R = 2^(64 * limbs)`.
     r2: Vec<u64>,
+    /// `R mod n` — the Montgomery form of 1, precomputed once per key
+    /// so exponentiation never re-derives it per call.
+    r1: Vec<u64>,
 }
 
 impl Montgomery {
@@ -45,7 +48,7 @@ impl Montgomery {
         }
         let mut n_limbs = modulus.limbs.clone();
         n_limbs.shrink_to_fit();
-        Ok(Montgomery { n: n_limbs, n0_inv, r2: pad(&r2, k) })
+        Ok(Montgomery { n: n_limbs, n0_inv, r2: pad(&r2, k), r1: pad(&r, k) })
     }
 
     /// Number of limbs of the modulus.
@@ -54,6 +57,13 @@ impl Montgomery {
     }
 
     /// Montgomery product `a * b * R^{-1} mod n` (CIOS method).
+    ///
+    /// Kept out-of-line (like [`mont_sqr`]) so the exponentiation loop
+    /// alternates between two compact hot loops instead of one huge
+    /// inlined body — measurably faster on small I-cache cores.
+    ///
+    /// [`mont_sqr`]: Montgomery::mont_sqr
+    #[inline(never)]
     fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let k = self.k();
         debug_assert_eq!(a.len(), k);
@@ -94,6 +104,110 @@ impl Montgomery {
         t
     }
 
+    /// Montgomery squaring `a * a * R^{-1} mod n` (SOS method).
+    ///
+    /// Squarings dominate windowed exponentiation (four per 4-bit
+    /// window versus at most one table multiply), so they get a
+    /// dedicated path: the cross products `a[i] * a[j]` with `i < j`
+    /// are computed once and doubled by a single shift instead of
+    /// being materialized twice as general multiplication does —
+    /// nearly halving the single-precision multiplies per squaring.
+    #[inline(never)]
+    fn mont_sqr(&self, a: &[u64]) -> Vec<u64> {
+        let k = self.k();
+        debug_assert_eq!(a.len(), k);
+        // Cross-product rows: c[i + j] accumulates a[i] * a[j] for
+        // i < j, each partial product touched exactly once. Inner
+        // loops run over zipped subslices so the compiler drops the
+        // per-limb bounds checks — at CRT half-width the checks
+        // otherwise eat the multiply savings.
+        let mut c = vec![0u64; 2 * k];
+        for i in 0..k {
+            let ai = a[i];
+            let start = 2 * i + 1;
+            let mut carry = 0u128;
+            for (cij, &aj) in c[start..i + k].iter_mut().zip(&a[i + 1..]) {
+                let s = *cij as u128 + ai as u128 * aj as u128 + carry;
+                *cij = s as u64;
+                carry = s >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let s = c[idx] as u128 + carry;
+                c[idx] = s as u64;
+                carry = s >> 64;
+                idx += 1;
+            }
+        }
+
+        // Montgomery reduction fused with the doubling and the
+        // diagonal squares: the true product limb at position `i` is
+        //     2 * c[i] (one shifted read — no doubling pass)
+        //   + the low/high half of a[i/2]^2
+        //   + the reduction rows accumulated in `r`
+        //   + the running combination carry,
+        // assembled on the fly exactly when the reduction needs it.
+        // This saves a full read-modify-write sweep (and its serial
+        // carry chain) over the double-width product.
+        let mut r = vec![0u64; 2 * k + 1];
+        let mut comb = 0u128;
+        let mut sq = 0u128;
+        for i in 0..k {
+            let doubled = (c[i] << 1) | if i == 0 { 0 } else { c[i - 1] >> 63 };
+            let diag = if i % 2 == 0 {
+                sq = a[i / 2] as u128 * a[i / 2] as u128;
+                sq as u64
+            } else {
+                (sq >> 64) as u64
+            };
+            let v = r[i] as u128 + doubled as u128 + diag as u128 + comb;
+            comb = v >> 64;
+            let m = (v as u64).wrapping_mul(self.n0_inv);
+            // Row add m * n; the low limb cancels by construction.
+            let s = v as u64 as u128 + m as u128 * self.n[0] as u128;
+            debug_assert_eq!(s as u64, 0);
+            let mut carry = s >> 64;
+            for (rj, &nj) in r[i + 1..i + k].iter_mut().zip(&self.n[1..]) {
+                let s = *rj as u128 + m as u128 * nj as u128 + carry;
+                *rj = s as u64;
+                carry = s >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let s = r[idx] as u128 + carry;
+                r[idx] = s as u64;
+                carry = s >> 64;
+                idx += 1;
+            }
+        }
+        // High half: combine reduction rows, doubled cross products,
+        // diagonals and the carry into the result limbs.
+        let mut out = Vec::with_capacity(k + 1);
+        for p in k..=2 * k {
+            let doubled =
+                if p < 2 * k { (c[p] << 1) | (c[p - 1] >> 63) } else { c[2 * k - 1] >> 63 };
+            let diag = if p % 2 == 0 {
+                if p / 2 < k {
+                    sq = a[p / 2] as u128 * a[p / 2] as u128;
+                    sq as u64
+                } else {
+                    0
+                }
+            } else {
+                (sq >> 64) as u64
+            };
+            let v = r[p] as u128 + doubled as u128 + diag as u128 + comb;
+            out.push(v as u64);
+            comb = v >> 64;
+        }
+        debug_assert_eq!(comb, 0);
+        if ge(&out, &self.n) {
+            sub_in_place(&mut out, &self.n);
+        }
+        out.truncate(k);
+        out
+    }
+
     /// Converts into Montgomery form.
     fn to_mont(&self, a: &Uint) -> Vec<u64> {
         let reduced = a.rem_ref(&Uint::from_limbs(self.n.clone()));
@@ -116,20 +230,36 @@ impl Montgomery {
         self.from_mont(&self.mont_mul(&am, &bm))
     }
 
-    /// Modular exponentiation `base^exp mod n` using a 4-bit window.
+    /// Modular exponentiation `base^exp mod n` using a 4-bit window,
+    /// with the window squarings on the dedicated [`mont_sqr`] path.
+    ///
+    /// [`mont_sqr`]: Montgomery::mont_sqr
     #[must_use]
     pub fn pow(&self, base: &Uint, exp: &Uint) -> Uint {
+        self.pow_impl(base, exp, true)
+    }
+
+    /// [`Montgomery::pow`] with squarings performed by the general
+    /// multiplier instead of [`mont_sqr`] — the pre-fast-path code,
+    /// kept as the `ablation/mont-sqr` benchmark baseline and as the
+    /// reference implementation for bit-identity property tests.
+    ///
+    /// [`mont_sqr`]: Montgomery::mont_sqr
+    #[must_use]
+    pub fn pow_mul_only(&self, base: &Uint, exp: &Uint) -> Uint {
+        self.pow_impl(base, exp, false)
+    }
+
+    fn pow_impl(&self, base: &Uint, exp: &Uint, use_sqr: bool) -> Uint {
         if exp.is_zero() {
             return Uint::one().rem_ref(&Uint::from_limbs(self.n.clone()));
         }
         let base_m = self.to_mont(base);
 
-        // Precompute base^0..base^15 in Montgomery form.
-        let mut one = vec![0u64; self.k()];
-        one[0] = 1;
-        let r_mod_n = self.mont_mul(&self.r2, &one); // R mod n = mont(1)
+        // Precompute base^0..base^15 in Montgomery form; base^0 is the
+        // per-key precomputed R mod n.
         let mut table = Vec::with_capacity(16);
-        table.push(r_mod_n);
+        table.push(self.r1.clone());
         for i in 1..16 {
             let next = self.mont_mul(&table[i - 1], &base_m);
             table.push(next);
@@ -142,7 +272,7 @@ impl Montgomery {
         for w in (0..windows).rev() {
             if started {
                 for _ in 0..4 {
-                    acc = self.mont_mul(&acc, &acc);
+                    acc = if use_sqr { self.mont_sqr(&acc) } else { self.mont_mul(&acc, &acc) };
                 }
             }
             let mut idx = 0usize;
@@ -163,6 +293,13 @@ impl Montgomery {
             }
         }
         self.from_mont(&acc)
+    }
+
+    /// Modular squaring `a^2 mod n` on the dedicated squaring path.
+    #[must_use]
+    pub fn sqr(&self, a: &Uint) -> Uint {
+        let am = self.to_mont(a);
+        self.from_mont(&self.mont_sqr(&am))
     }
 }
 
@@ -383,6 +520,29 @@ mod tests {
         assert_eq!((&inv * &a).rem_ref(&p), Uint::one());
     }
 
+    /// Deterministic pseudo-random value of `limbs` limbs (RSA-width
+    /// coverage the small proptest strategies do not reach).
+    fn wide(limbs: usize, mut x: u64) -> Uint {
+        let mut v = Vec::with_capacity(limbs);
+        for _ in 0..limbs {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            v.push(x);
+        }
+        Uint::from_limbs(v)
+    }
+
+    #[test]
+    fn sqr_and_pow_agree_at_rsa_width() {
+        // 1536-bit odd modulus — the width of one RSA-3072 CRT half.
+        let mut m = wide(24, 1);
+        m.set_bit(0);
+        let mont = Montgomery::new(&m).unwrap();
+        let a = wide(24, 2).rem_ref(&m);
+        assert_eq!(mont.sqr(&a), (&a * &a).rem_ref(&m));
+        let e = wide(24, 3);
+        assert_eq!(mont.pow(&a, &e), mont.pow_mul_only(&a, &e));
+    }
+
     fn arb_uint(max_limbs: usize) -> impl Strategy<Value = Uint> {
         proptest::collection::vec(any::<u64>(), 0..max_limbs).prop_map(Uint::from_limbs)
     }
@@ -415,6 +575,28 @@ mod tests {
             let lhs = mont.pow(&a, &Uint::from_u64(e1 + e2));
             let rhs = (&mont.pow(&a, &Uint::from_u64(e1)) * &mont.pow(&a, &Uint::from_u64(e2))).rem_ref(&m);
             prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_sqr_matches_mul_and_division(a in arb_uint(5), mut m in arb_uint(5)) {
+            m.set_bit(0); // force odd
+            prop_assume!(!m.is_one());
+            let mont = Montgomery::new(&m).unwrap();
+            let sq = mont.sqr(&a);
+            prop_assert_eq!(&sq, &mont.mul(&a, &a));
+            prop_assert_eq!(sq, (&a * &a).rem_ref(&m));
+        }
+
+        #[test]
+        fn prop_pow_bit_identical_to_mul_only_path(
+            a in arb_uint(4),
+            e in arb_uint(2),
+            mut m in arb_uint(4),
+        ) {
+            m.set_bit(0);
+            prop_assume!(!m.is_one());
+            let mont = Montgomery::new(&m).unwrap();
+            prop_assert_eq!(mont.pow(&a, &e), mont.pow_mul_only(&a, &e));
         }
 
         #[test]

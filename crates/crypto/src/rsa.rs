@@ -267,14 +267,37 @@ impl RsaPrivateKey {
     ///
     /// Same as [`RsaPrivateKey::sign`].
     pub fn sign_digest(&self, digest: &sha256::Digest) -> Result<Vec<u8>, CryptoError> {
+        self.sign_digest_impl(digest, true)
+    }
+
+    /// Signs with the exponentiation squarings on the general
+    /// Montgomery multiplier instead of the dedicated squaring path —
+    /// the pre-fast-path code, kept as the `ablation/mont-sqr`
+    /// benchmark baseline and the reference for bit-identity tests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RsaPrivateKey::sign`].
+    pub fn sign_digest_mul_only(&self, digest: &sha256::Digest) -> Result<Vec<u8>, CryptoError> {
+        self.sign_digest_impl(digest, false)
+    }
+
+    fn sign_digest_impl(
+        &self,
+        digest: &sha256::Digest,
+        use_sqr: bool,
+    ) -> Result<Vec<u8>, CryptoError> {
         let k = self.public.modulus_len();
         let em = emsa_pkcs1_v15(digest, k)?;
         let m = Uint::from_be_bytes(&em);
 
         // CRT: m1 = m^dp mod p, m2 = m^dq mod q,
         //      h = q_inv (m1 - m2) mod p, s = m2 + h q.
-        let m1 = self.mont_p.pow(&m, &self.dp);
-        let m2 = self.mont_q.pow(&m, &self.dq);
+        let (m1, m2) = if use_sqr {
+            (self.mont_p.pow(&m, &self.dp), self.mont_q.pow(&m, &self.dq))
+        } else {
+            (self.mont_p.pow_mul_only(&m, &self.dp), self.mont_q.pow_mul_only(&m, &self.dq))
+        };
         let diff = if m1 >= m2 {
             m1.checked_sub(&m2).expect("m1 >= m2")
         } else {
@@ -453,6 +476,21 @@ mod tests {
         let key = test_key(13);
         let digest = sha256::digest(b"payload");
         assert_eq!(key.sign(b"payload").unwrap(), key.sign_digest(&digest).unwrap());
+    }
+
+    #[test]
+    fn mont_sqr_signing_bit_identical_to_mul_only_path() {
+        // The dedicated-squaring fast path is a pure optimization: the
+        // signatures must match the mul-only baseline byte for byte.
+        for seed in 30..33 {
+            let key = test_key(seed);
+            let digest = sha256::digest(&seed.to_le_bytes());
+            assert_eq!(
+                key.sign_digest(&digest).unwrap(),
+                key.sign_digest_mul_only(&digest).unwrap(),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

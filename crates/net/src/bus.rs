@@ -124,6 +124,12 @@ impl Network {
 }
 
 /// A bound listener.
+///
+/// `Listener` is `Sync`: a server worker pool may share one listener
+/// (behind an `Arc`) and have every worker call [`Listener::accept`]
+/// concurrently — each queued connection is handed to exactly one
+/// accepter, like `accept(2)` on a shared listening socket. The CAS
+/// worker pool relies on this.
 #[derive(Debug)]
 pub struct Listener {
     address: String,
@@ -264,6 +270,47 @@ mod tests {
         drop(b);
         assert_eq!(a.send(b"x".to_vec()), Err(NetError::Disconnected));
         assert_eq!(a.recv(), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn shared_listener_hands_each_connection_to_one_accepter() {
+        // The property the CAS worker pool depends on: workers sharing
+        // one listener each get a distinct connection, none is lost,
+        // and none is delivered twice.
+        let net = Network::new();
+        let listener = std::sync::Arc::new(net.listen("svc:pool"));
+        let workers = 4;
+        let conns_per_worker = 8;
+        let total = workers * conns_per_worker;
+
+        let accepted = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let listener = listener.clone();
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        for _ in 0..conns_per_worker {
+                            let conn = listener.accept().unwrap();
+                            got.push(conn.recv().unwrap());
+                        }
+                        got
+                    })
+                })
+                .collect();
+            // Client ends stay alive until every worker has drained
+            // its messages.
+            let mut clients = Vec::new();
+            for i in 0..total {
+                let conn = net.connect("svc:pool").unwrap();
+                conn.send(vec![i as u8]).unwrap();
+                clients.push(conn);
+            }
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+
+        let mut seen: Vec<u8> = accepted.into_iter().map(|m| m[0]).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..total as u8).collect::<Vec<_>>());
     }
 
     #[test]

@@ -169,7 +169,7 @@ fn cas_database_survives_restart() {
     use sinclave_repro::crypto::aead::AeadKey;
 
     let key = AeadKey::new([9; 32]);
-    let mut store = CasStore::create(key.clone());
+    let store = CasStore::create(key.clone());
     let world = World::new(
         31,
         ProgramImage::with_entry("x", "print hi", 2),
@@ -187,7 +187,7 @@ fn cas_database_survives_restart() {
             config: AppConfig::default(),
         })
         .unwrap();
-    let disk_image = store.volume().clone();
+    let disk_image = store.volume();
     let reopened = CasStore::open(disk_image, key).unwrap();
-    assert!(reopened.get_policy("persisted").unwrap().is_some());
+    assert!(reopened.get_policy("persisted").is_some());
 }
