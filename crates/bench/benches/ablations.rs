@@ -25,6 +25,12 @@
 //!    sequential `issue` calls against one `issue_batch(N)`, which
 //!    validates once and fans the on-demand signatures out over a
 //!    thread pool.
+//! 7. **Verified-SigStruct cache.** Every grant request re-verifies
+//!    the same common SigStruct for repeat binaries (~0.4 ms of RSA
+//!    work in Fig. 7c); `ablation/verify-cache` measures the warm
+//!    lookup against the cold verification, and the full issuer grant
+//!    with both caches warm against a cold-start issuer — after
+//!    asserting the cached path issues bit-identical grants.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -39,6 +45,7 @@ use sinclave_crypto::bignum::Uint;
 use sinclave_crypto::rsa::RsaPrivateKey;
 use sinclave_crypto::sha256;
 use sinclave_sgx::secinfo::SecInfo;
+use sinclave_sgx::verify_cache::VerifyCache;
 
 fn bench_prediction_vs_remeasure(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/prediction-vs-remeasure");
@@ -206,6 +213,63 @@ fn bench_batch_issue(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_verify_cache(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x51_6c);
+    let signer_key = RsaPrivateKey::generate(&mut rng, 3072).expect("keygen");
+    let layout = EnclaveLayout::for_program(&hash_buffer(64 << 10), 16).expect("layout");
+    let signed = sign_enclave(&layout, &signer_key, &SignerConfig::default()).expect("sign");
+
+    // Correctness gate before timing anything: a warm issuer must
+    // produce byte-identical grants to a cold one for the same rng
+    // stream — the caches are pure memoization.
+    let warm_issuer = SingletonIssuer::new(signer_key.clone(), sha256::digest(b"verifier"));
+    let mut warmup = StdRng::seed_from_u64(1);
+    warm_issuer
+        .issue(&mut warmup, &signed.common_sigstruct, &signed.base_hash)
+        .expect("warmup grant");
+    let cold_issuer = SingletonIssuer::new(signer_key.clone(), sha256::digest(b"verifier"));
+    let mut warm_rng = StdRng::seed_from_u64(2);
+    let mut cold_rng = StdRng::seed_from_u64(2);
+    for _ in 0..3 {
+        let warm =
+            warm_issuer.issue(&mut warm_rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        let cold =
+            cold_issuer.issue(&mut cold_rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        assert_eq!(warm.token, cold.token, "tokens diverged");
+        assert_eq!(
+            warm.sigstruct.to_bytes(),
+            cold.sigstruct.to_bytes(),
+            "cached path must issue bit-identical grants"
+        );
+    }
+    assert_eq!(warm_issuer.verified_cache_len(), 1, "one RSA verify served every grant");
+
+    let mut group = c.benchmark_group("ablation/verify-cache");
+    group.sample_size(20);
+    // Cold: the pre-cache per-connection cost — a full RSA-3072
+    // verification of the common SigStruct.
+    group.bench_function("verify-cold", |b| {
+        b.iter(|| signed.common_sigstruct.verify().expect("valid"));
+    });
+    // Warm: a sharded lookup with a constant-time digest compare.
+    let cache = VerifyCache::new();
+    signed.common_sigstruct.verify_cached(&cache).expect("admit");
+    group.bench_function("verify-warm", |b| {
+        b.iter(|| signed.common_sigstruct.verify_cached(&cache).expect("valid"));
+    });
+    // The issuer's grant path with every per-enclave cache warm
+    // (verification + prepared midstate): what a repeat binary pays.
+    let mut grant_rng = StdRng::seed_from_u64(3);
+    group.bench_function("issue-grant-warm-caches", |b| {
+        b.iter(|| {
+            warm_issuer
+                .issue(&mut grant_rng, &signed.common_sigstruct, &signed.base_hash)
+                .expect("grant")
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     ablations,
     bench_prediction_vs_remeasure,
@@ -213,6 +277,7 @@ criterion_group!(
     bench_signer_key_size,
     bench_crt,
     bench_mont_sqr,
-    bench_batch_issue
+    bench_batch_issue,
+    bench_verify_cache
 );
 criterion_main!(ablations);

@@ -15,7 +15,12 @@
 //! atomic counter, accepts, and drives that connection's handshake and
 //! message loop to completion — so a slow or stalled attester occupies
 //! one worker instead of stalling every connection behind it, and up
-//! to `workers` retrievals proceed in parallel.
+//! to `workers` retrievals proceed in parallel. Within one connection
+//! the message loop is *pipelined*: the secure channel is split into
+//! halves and a writer thread seals and sends reply `N` while the
+//! dispatcher already decodes request `N + 1` (see
+//! [`CasServer::handle_connection`]); replies stay in request order
+//! and dispatch stays sequential, so determinism is unchanged.
 //!
 //! The state the workers touch is sharded so parallel requests do not
 //! contend on a single lock:
@@ -50,7 +55,7 @@ use sinclave::verifier::SingletonIssuer;
 use sinclave::{BaseEnclaveHash, SinclaveError};
 use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use sinclave_crypto::sha256::Digest;
-use sinclave_net::{Connection, Network, SecureChannel};
+use sinclave_net::{Connection, NetError, Network, SecureChannel};
 use sinclave_sgx::quote::Quote;
 use sinclave_sgx::report::ReportBody;
 use sinclave_sgx::sigstruct::SigStruct;
@@ -68,7 +73,19 @@ pub struct CasStats {
     pub configs_delivered: AtomicU64,
     /// Requests denied.
     pub denials: AtomicU64,
+    /// Secure-channel records that failed authentication (tampered,
+    /// replayed or reordered). A clean peer disconnect is *not* a
+    /// rejected record; this counter moving on a production box means
+    /// someone is modifying traffic.
+    pub records_rejected: AtomicU64,
 }
+
+/// Replies the pipelined per-connection loop may buffer ahead of the
+/// writer thread. Clients of this protocol run request–response
+/// lockstep, so a small bound suffices; it exists so a stalled
+/// transport applies backpressure to dispatching instead of queueing
+/// unbounded sealed replies.
+const PIPELINE_DEPTH: usize = 4;
 
 /// The CAS service.
 pub struct CasServer {
@@ -197,40 +214,81 @@ impl CasServer {
     }
 
     /// Handles one connection: secure-channel handshake, then a
-    /// message loop until the peer disconnects.
+    /// **pipelined** message loop until the peer disconnects.
+    ///
+    /// The channel is split into its halves: a writer thread owns the
+    /// sending half and drains a bounded in-order reply queue
+    /// (serializing and AEAD-sealing reply *N*) while this thread
+    /// already receives, decodes and dispatches request *N + 1*. Reply
+    /// order is the queue order, i.e. request order; and because all
+    /// dispatching — everything that touches `rng` or per-connection
+    /// state — stays on this one thread in receive order, the bytes a
+    /// client observes are bit-identical to the old strictly
+    /// sequential loop (the per-slot seed derivation of
+    /// [`CasServer::serve_with_workers`] holds unchanged at 1 worker).
     ///
     /// # Errors
     ///
     /// Returns transport/handshake failures; protocol-level rejections
-    /// are answered with [`Message::Denied`] instead.
+    /// are answered with [`Message::Denied`] instead. A peer that
+    /// simply goes away (disconnect/timeout) ends the loop cleanly
+    /// with `Ok(())`; a record that fails authentication is counted in
+    /// [`CasStats::records_rejected`] and surfaces as
+    /// [`NetError::RecordCorrupt`] — a tampered transport must be
+    /// distinguishable from a polite hang-up.
     pub fn handle_connection(
         &self,
         conn: Connection,
         rng: &mut (impl RngCore + ?Sized),
-    ) -> Result<(), sinclave_net::NetError> {
-        let mut chan = SecureChannel::server_accept(conn, &self.channel_key, rng)?;
+    ) -> Result<(), NetError> {
+        let chan = SecureChannel::server_accept(conn, &self.channel_key, rng)?;
+        let transcript = chan.transcript();
+        let (mut sender, mut receiver) = chan.split();
         let mut outstanding_nonce: Option<[u8; 16]> = None;
-        loop {
-            let raw = match chan.recv() {
-                Ok(raw) => raw,
-                Err(_) => return Ok(()), // peer done
+        std::thread::scope(|scope| {
+            let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel::<Message>(PIPELINE_DEPTH);
+            let writer = scope.spawn(move || -> Result<(), NetError> {
+                for reply in reply_rx {
+                    sender.send(&reply.to_bytes())?;
+                }
+                Ok(())
+            });
+            let received = loop {
+                let raw = match receiver.recv() {
+                    Ok(raw) => raw,
+                    // Transport close: the peer is done with us.
+                    Err(NetError::Disconnected | NetError::Timeout) => break Ok(()),
+                    Err(e) => {
+                        if e == NetError::RecordCorrupt {
+                            self.stats.records_rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break Err(e);
+                    }
+                };
+                let reply = match Message::from_bytes(&raw) {
+                    Ok(message) => self.dispatch(message, &mut outstanding_nonce, &transcript, rng),
+                    Err(_) => Message::Denied { reason: "malformed message".into() },
+                };
+                if matches!(reply, Message::Denied { .. }) {
+                    self.stats.denials.fetch_add(1, Ordering::Relaxed);
+                }
+                // A closed queue means the writer already failed on a
+                // transport error; fall through and report that.
+                if reply_tx.send(reply).is_err() {
+                    break Ok(());
+                }
             };
-            let reply = match Message::from_bytes(&raw) {
-                Ok(message) => self.dispatch(message, &mut outstanding_nonce, &chan, rng),
-                Err(_) => Message::Denied { reason: "malformed message".into() },
-            };
-            if matches!(reply, Message::Denied { .. }) {
-                self.stats.denials.fetch_add(1, Ordering::Relaxed);
-            }
-            chan.send(&reply.to_bytes())?;
-        }
+            drop(reply_tx);
+            let written = writer.join().expect("reply writer");
+            received.and(written)
+        })
     }
 
     fn dispatch(
         &self,
         message: Message,
         outstanding_nonce: &mut Option<[u8; 16]>,
-        chan: &SecureChannel,
+        transcript: &Digest,
         rng: &mut (impl RngCore + ?Sized),
     ) -> Message {
         match message {
@@ -245,10 +303,10 @@ impl CasServer {
                 self.handle_grant(&common_sigstruct, &base_hash, rng)
             }
             Message::AttestRequest { quote, token, config_id } => {
-                self.handle_attest(&quote, Some(token), &config_id, outstanding_nonce, chan)
+                self.handle_attest(&quote, Some(token), &config_id, outstanding_nonce, transcript)
             }
             Message::BaselineAttestRequest { quote, config_id } => {
-                self.handle_attest(&quote, None, &config_id, outstanding_nonce, chan)
+                self.handle_attest(&quote, None, &config_id, outstanding_nonce, transcript)
             }
             _ => Message::Denied { reason: "unexpected message".into() },
         }
@@ -266,9 +324,11 @@ impl CasServer {
         let Ok(base_hash) = BaseEnclaveHash::decode(base_hash) else {
             return Message::Denied { reason: "base hash malformed".into() };
         };
-        // The issuer keeps a prepared midstate per registered enclave,
-        // so repeat grants for the same binary skip re-hashing the
-        // instance-page prefix and the common-measurement check.
+        // The issuer keeps a prepared midstate *and* a verified-
+        // SigStruct cache per registered enclave, so repeat grants for
+        // the same binary skip both the instance-page re-hashing and
+        // the ~0.4 ms RSA verification — the two cacheable components
+        // of Fig. 7c's retrieval cost.
         match self.issuer.issue(rng, &sigstruct, &base_hash) {
             Ok(grant) => {
                 self.stats.grants_issued.fetch_add(1, Ordering::Relaxed);
@@ -288,7 +348,7 @@ impl CasServer {
         token: Option<sinclave::AttestationToken>,
         config_id: &str,
         outstanding_nonce: &mut Option<[u8; 16]>,
-        chan: &SecureChannel,
+        transcript: &Digest,
     ) -> Message {
         // Freshness: a challenge must have been requested on this
         // connection, and it is single-use.
@@ -304,7 +364,7 @@ impl CasServer {
         };
 
         // Channel binding: the quote must name *this* channel.
-        if &body.report_data.0[..32] != chan.transcript().as_bytes() {
+        if &body.report_data.0[..32] != transcript.as_bytes() {
             return Message::Denied { reason: "channel binding mismatch".into() };
         }
 
@@ -492,6 +552,91 @@ mod tests {
         );
         drop(chan);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn tampered_record_counted_and_distinguished_from_close() {
+        use sinclave_net::channel::{ClientHello, ServerHello};
+        use sinclave_net::wire::{Decode, Encode};
+
+        let (cas, _, _) = server(20);
+        let network = Network::new();
+        let handle = cas.serve(&network, "cas:443", 2, 200);
+
+        // Connection 1: handshake by hand (the hello types are public
+        // exactly for adversarial tests like this), then inject a
+        // garbage record straight on the transport.
+        let conn = network.connect("cas:443").unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut client_nonce = [0u8; 32];
+        rng.fill_bytes(&mut client_nonce);
+        conn.send(ClientHello { version: 1, client_nonce }.encode()).unwrap();
+        let server_hello = ServerHello::decode_all(&conn.recv().unwrap()).unwrap();
+        let server_key = RsaPublicKey::from_bytes(&server_hello.server_key).unwrap();
+        let (kem_ct, _shared) = server_key.kem_encapsulate(&mut rng).unwrap();
+        conn.send(kem_ct.encode()).unwrap();
+        conn.send(vec![0u8; 48]).unwrap(); // fails AEAD authentication
+        assert_eq!(conn.recv(), Err(sinclave_net::NetError::Disconnected));
+
+        // Connection 2: a well-behaved client that simply hangs up.
+        let conn = network.connect("cas:443").unwrap();
+        let mut chan = SecureChannel::client_connect(conn, &mut rng).unwrap();
+        chan.send(&Message::Ping.to_bytes()).unwrap();
+        assert_eq!(Message::from_bytes(&chan.recv().unwrap()).unwrap(), Message::Pong);
+        drop(chan);
+        handle.join().unwrap();
+
+        // Exactly the tampered record was counted; the polite
+        // disconnect was not.
+        assert_eq!(cas.stats.records_rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pipelined_loop_is_seed_stable_at_one_worker() {
+        // Two servers built from the same seed, each serving one
+        // connection with one worker, must answer an identical request
+        // sequence with bit-identical reply bytes: the pipelined loop
+        // keeps all rng consumption in receive order.
+        let run = |addr: &str| {
+            let (cas, signer_key, _) = server(30);
+            let layout = EnclaveLayout::for_program(b"app", 2).unwrap();
+            let signed = sign_enclave(&layout, &signer_key, &SignerConfig::default()).unwrap();
+            let network = Network::new();
+            let handle = cas.serve_with_workers(&network, addr, 1, 123, 1);
+            let conn = network.connect(addr).unwrap();
+            let mut rng = StdRng::seed_from_u64(31);
+            let mut chan = SecureChannel::client_connect(conn, &mut rng).unwrap();
+            let mut replies = Vec::new();
+            for _ in 0..3 {
+                chan.send(
+                    &Message::GrantRequest {
+                        common_sigstruct: signed.common_sigstruct.to_bytes(),
+                        base_hash: signed.base_hash.encode().to_vec(),
+                    }
+                    .to_bytes(),
+                )
+                .unwrap();
+                replies.push(chan.recv().unwrap());
+            }
+            chan.send(&Message::ChallengeRequest.to_bytes()).unwrap();
+            replies.push(chan.recv().unwrap());
+            drop(chan);
+            handle.join().unwrap();
+            replies
+        };
+        assert_eq!(run("cas:pipe-a"), run("cas:pipe-b"));
+    }
+
+    #[test]
+    fn repeat_grants_share_one_verified_sigstruct() {
+        let (cas, signer_key, _) = server(32);
+        let layout = EnclaveLayout::for_program(b"app", 2).unwrap();
+        let signed = sign_enclave(&layout, &signer_key, &SignerConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..3 {
+            cas.issuer().issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        }
+        assert_eq!(cas.issuer().verified_cache_len(), 1);
     }
 
     #[test]

@@ -1,46 +1,21 @@
 //! Lock-shard selection shared across the stack.
 //!
-//! The verifier's token/midstate maps and the CAS policy cache are
-//! all sharded by uniformly distributed keys (random tokens, hash
-//! encodings, config ids). They must agree on one fold so a future
-//! change to the hash cannot silently skew one consumer's shard
-//! distribution and not another's.
+//! The canonical fold lives in [`sinclave_crypto::shard`] (the lowest
+//! layer every sharded consumer depends on — the sgx verification
+//! cache cannot reach up into this crate); this module re-exports it
+//! so existing `crate::shard::fnv1a_index` callers keep working.
 
-/// FNV-1a over `bytes`, folded to an index below `shards`.
-///
-/// # Panics
-///
-/// Panics if `shards` is zero.
-#[must_use]
-pub fn fnv1a_index(bytes: &[u8], shards: usize) -> usize {
-    assert!(shards > 0, "shard count must be positive");
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (h % shards as u64) as usize
-}
+pub use sinclave_crypto::shard::fnv1a_index;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn indices_stay_below_shard_count_and_spread() {
-        let shards = 16;
-        let mut hit = vec![false; shards];
-        for i in 0u32..512 {
-            let idx = fnv1a_index(&i.to_le_bytes(), shards);
-            assert!(idx < shards);
-            hit[idx] = true;
-        }
-        // Uniform keys reach every shard.
-        assert!(hit.iter().all(|&h| h));
-    }
-
-    #[test]
-    fn deterministic() {
-        assert_eq!(fnv1a_index(b"config-id", 8), fnv1a_index(b"config-id", 8));
+    fn reexport_is_the_shared_fold() {
+        assert_eq!(
+            fnv1a_index(b"config-id", 8),
+            sinclave_crypto::shard::fnv1a_index(b"config-id", 8)
+        );
     }
 }

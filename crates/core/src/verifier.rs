@@ -24,8 +24,10 @@ use sinclave_crypto::rsa::RsaPrivateKey;
 use sinclave_crypto::sha256::Digest;
 use sinclave_sgx::measurement::Measurement;
 use sinclave_sgx::sigstruct::{SigStruct, SigStructBody};
-use std::collections::HashMap;
+use sinclave_sgx::verify_cache::VerifyCache;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// What the verifier returns to the starter: everything needed to
 /// construct and `EINIT` one singleton enclave.
@@ -90,6 +92,22 @@ fn signing_workers(jobs: usize) -> usize {
 /// One lock shard of the prepared-midstate cache.
 type PreparedShard = Mutex<HashMap<[u8; ENCODED_LEN], PreparedEntry>>;
 
+/// Redeemed tombstones retained per token shard. A redeemed token only
+/// needs to stay visible long enough to make late replays land on a
+/// tombstone instead of "unknown token" (both are refused); beyond
+/// that, retention is pure memory growth — the pre-lifecycle table
+/// kept every tombstone forever.
+const TOMBSTONES_PER_SHARD: usize = 64;
+
+/// One lock shard of the token table: live states plus a bounded ring
+/// of redeemed tombstones in redemption order (the ring is the
+/// eviction order — oldest tombstone leaves the table first).
+#[derive(Default)]
+struct TokenShard {
+    states: HashMap<AttestationToken, TokenState>,
+    tombstones: VecDeque<AttestationToken>,
+}
+
 /// Shard index for a key (shared FNV-1a fold).
 fn shard_of(bytes: &[u8]) -> usize {
     crate::shard::fnv1a_index(bytes, ISSUER_SHARDS)
@@ -102,7 +120,20 @@ pub struct SingletonIssuer {
     /// Token states, sharded by token bytes so concurrent redemptions
     /// of different tokens take different locks. A single token always
     /// maps to one shard, which preserves exactly-once redemption.
-    tokens: Box<[Mutex<HashMap<AttestationToken, TokenState>>]>,
+    /// Redeemed entries decay through each shard's bounded tombstone
+    /// ring instead of accumulating forever.
+    tokens: Box<[Mutex<TokenShard>]>,
+    /// Issued-but-unredeemed token count, maintained at registration
+    /// and redemption time so [`SingletonIssuer::outstanding_tokens`]
+    /// is a load instead of an every-shard-locking O(n) scan.
+    outstanding: AtomicUsize,
+    /// Verified-SigStruct cache: a (signer fingerprint, evidence
+    /// digest) pair that already passed the RSA check is a sharded
+    /// lookup on its next presentation, not a ~0.4 ms exponentiation.
+    /// Only structures that passed the signer-identity pin reach the
+    /// verification (and hence admission), so remote callers cannot
+    /// occupy slots with foreign-signed structures.
+    verified: VerifyCache,
     /// Midstate cache keyed by the base hash's wire encoding: each
     /// registered enclave pays the instance-page `EADD` absorption and
     /// the common-measurement prediction once, then every grant hashes
@@ -117,7 +148,7 @@ impl fmt::Debug for SingletonIssuer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SingletonIssuer")
             .field("verifier", &self.verifier_identity.to_hex()[..12].to_owned())
-            .field("tokens", &self.tokens.iter().map(|s| s.lock().len()).sum::<usize>())
+            .field("tokens", &self.tokens.iter().map(|s| s.lock().states.len()).sum::<usize>())
             .finish()
     }
 }
@@ -131,7 +162,9 @@ impl SingletonIssuer {
         SingletonIssuer {
             signer_key,
             verifier_identity,
-            tokens: (0..ISSUER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            tokens: (0..ISSUER_SHARDS).map(|_| Mutex::new(TokenShard::default())).collect(),
+            outstanding: AtomicUsize::new(0),
+            verified: VerifyCache::new(),
             prepared: (0..ISSUER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
@@ -275,10 +308,20 @@ impl SingletonIssuer {
         common_sigstruct: &SigStruct,
         base_hash: &BaseEnclaveHash,
     ) -> Result<PreparedEntry, SinclaveError> {
-        common_sigstruct.verify().map_err(|_| SinclaveError::SigStructInvalid)?;
+        // Signer identity before signature: adversaries can mint
+        // validly signed SigStructs under their own keys, and checking
+        // the pinned signer first keeps those out of the verification
+        // cache entirely — its admission rule then mirrors the
+        // prepared-midstate cache's ("only evidence this issuer
+        // vouches for occupies a slot"), so spraying cannot evict
+        // legitimate warm entries. Forging an admissible entry would
+        // take a valid signature under *this* issuer's signer key.
         if common_sigstruct.signer_key() != self.signer_key.public_key() {
             return Err(SinclaveError::SignerMismatch);
         }
+        common_sigstruct
+            .verify_cached(&self.verified)
+            .map_err(|_| SinclaveError::SigStructInvalid)?;
         // "The verifier ensures it matches the base enclave hash (if
         // instantiated for the common enclave)": only binaries the
         // signer already signed get singleton grants. The prepared
@@ -315,11 +358,24 @@ impl SingletonIssuer {
         })
     }
 
-    /// Records an issued token in its shard.
+    /// Records an issued token in its shard and bumps the outstanding
+    /// counter.
     fn register_token(&self, token: AttestationToken, expected: Measurement, common: Measurement) {
-        self.tokens[shard_of(token.as_bytes())]
-            .lock()
-            .insert(token, TokenState::Issued { expected, common });
+        let mut shard = self.tokens[shard_of(token.as_bytes())].lock();
+        match shard.states.insert(token, TokenState::Issued { expected, common }) {
+            None => {
+                self.outstanding.fetch_add(1, Ordering::Relaxed);
+            }
+            // 2^-256 random-token collisions, handled for correctness:
+            // a re-issued redeemed token leaves the tombstone ring and
+            // counts as outstanding again; re-registering a live token
+            // keeps the count unchanged.
+            Some(TokenState::Redeemed) => {
+                shard.tombstones.retain(|t| t != &token);
+                self.outstanding.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(TokenState::Issued { .. }) => {}
+        }
     }
 
     /// Redeems a token presented during attestation: succeeds exactly
@@ -337,24 +393,56 @@ impl SingletonIssuer {
         token: &AttestationToken,
         attested_mrenclave: &Measurement,
     ) -> Result<Measurement, SinclaveError> {
-        let mut tokens = self.tokens[shard_of(token.as_bytes())].lock();
-        match tokens.get(token) {
+        let mut shard = self.tokens[shard_of(token.as_bytes())].lock();
+        match shard.states.get(token) {
             Some(TokenState::Issued { expected, common }) if *expected == *attested_mrenclave => {
                 let common = *common;
-                tokens.insert(*token, TokenState::Redeemed);
+                shard.states.insert(*token, TokenState::Redeemed);
+                // Tombstone lifecycle: the redeemed entry joins the
+                // shard's bounded ring; once full, the oldest
+                // tombstone leaves the table entirely (a replay of it
+                // then fails as "unknown" instead of "redeemed" —
+                // refused either way).
+                if shard.tombstones.len() == TOMBSTONES_PER_SHARD {
+                    if let Some(expired) = shard.tombstones.pop_front() {
+                        shard.states.remove(&expired);
+                    }
+                }
+                shard.tombstones.push_back(*token);
+                self.outstanding.fetch_sub(1, Ordering::Relaxed);
                 Ok(common)
             }
             _ => Err(SinclaveError::TokenNotRedeemable),
         }
     }
 
-    /// Number of tokens issued but not yet redeemed.
+    /// Number of tokens issued but not yet redeemed (an atomic load;
+    /// the counter is maintained under the shard locks at registration
+    /// and redemption time).
     #[must_use]
     pub fn outstanding_tokens(&self) -> usize {
-        self.tokens
-            .iter()
-            .map(|s| s.lock().values().filter(|t| matches!(t, TokenState::Issued { .. })).count())
-            .sum()
+        self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Total entries in the token table (outstanding tokens plus
+    /// retained tombstones) — observability for the bounded lifecycle.
+    #[must_use]
+    pub fn token_table_len(&self) -> usize {
+        self.tokens.iter().map(|s| s.lock().states.len()).sum()
+    }
+
+    /// Redeemed tombstones currently retained across all shards; never
+    /// exceeds the fixed per-shard ring capacity times the shard
+    /// count.
+    #[must_use]
+    pub fn redeemed_tombstones(&self) -> usize {
+        self.tokens.iter().map(|s| s.lock().tombstones.len()).sum()
+    }
+
+    /// Distinct (signer, evidence) pairs with a warm verification.
+    #[must_use]
+    pub fn verified_cache_len(&self) -> usize {
+        self.verified.len()
     }
 }
 
@@ -479,6 +567,120 @@ mod tests {
         assert_eq!(issuer.prepared_cache_len(), 0);
         issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
         assert_eq!(issuer.prepared_cache_len(), 1);
+    }
+
+    #[test]
+    fn repeat_issues_share_one_verified_sigstruct() {
+        let (issuer, signed, mut rng) = setup(20);
+        assert_eq!(issuer.verified_cache_len(), 0);
+        for _ in 0..3 {
+            issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        }
+        // One RSA verification served all three grants.
+        assert_eq!(issuer.verified_cache_len(), 1);
+    }
+
+    #[test]
+    fn warm_verification_cache_issues_bit_identical_grants() {
+        // A cold issuer and an issuer whose caches were warmed by
+        // earlier grants must produce byte-identical grants for the
+        // same rng stream: the caches are pure memoization.
+        let (cold, cold_signed, _) = setup(21);
+        let cold_grants: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(400);
+            (0..3)
+                .map(|_| {
+                    cold.issue(&mut rng, &cold_signed.common_sigstruct, &cold_signed.base_hash)
+                        .unwrap()
+                })
+                .collect()
+        };
+        let (warm, warm_signed, mut warmup_rng) = setup(21);
+        warm.issue(&mut warmup_rng, &warm_signed.common_sigstruct, &warm_signed.base_hash).unwrap();
+        assert_eq!(warm.verified_cache_len(), 1);
+        assert_eq!(warm.prepared_cache_len(), 1);
+        let mut rng = StdRng::seed_from_u64(400);
+        for cold_grant in &cold_grants {
+            let warm_grant = warm
+                .issue(&mut rng, &warm_signed.common_sigstruct, &warm_signed.base_hash)
+                .unwrap();
+            assert_eq!(warm_grant.token, cold_grant.token);
+            assert_eq!(warm_grant.expected_mrenclave, cold_grant.expected_mrenclave);
+            assert_eq!(warm_grant.sigstruct.to_bytes(), cold_grant.sigstruct.to_bytes());
+        }
+    }
+
+    #[test]
+    fn corrupted_sigstruct_not_admitted_to_verified_cache() {
+        let (issuer, signed, mut rng) = setup(22);
+        issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        assert_eq!(issuer.verified_cache_len(), 1);
+        let bytes = signed.common_sigstruct.to_bytes();
+        let n = bytes.len();
+        for i in 0..16 {
+            let mut corrupted = bytes.clone();
+            corrupted[n - 1 - i] ^= 1;
+            let corrupt = SigStruct::from_bytes(&corrupted).unwrap();
+            assert_eq!(
+                issuer.issue(&mut rng, &corrupt, &signed.base_hash).unwrap_err(),
+                SinclaveError::SigStructInvalid
+            );
+        }
+        // Spraying corrupt variants neither grew the cache nor evicted
+        // the warm entry (next issue is still a lookup, not a verify).
+        assert_eq!(issuer.verified_cache_len(), 1);
+        issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        assert_eq!(issuer.verified_cache_len(), 1);
+    }
+
+    #[test]
+    fn foreign_signed_sigstructs_never_occupy_cache_slots() {
+        let (issuer, _signed, mut rng) = setup(23);
+        // Validly signed under the adversary's key: verification would
+        // succeed, but the signer pin rejects it first, so it must not
+        // be admitted.
+        let adversary_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let layout = EnclaveLayout::for_program(b"user application", 2).unwrap();
+        let forged = sign_enclave(&layout, &adversary_key, &SignerConfig::default()).unwrap();
+        assert_eq!(
+            issuer.issue(&mut rng, &forged.common_sigstruct, &forged.base_hash).unwrap_err(),
+            SinclaveError::SignerMismatch
+        );
+        assert_eq!(issuer.verified_cache_len(), 0);
+    }
+
+    #[test]
+    fn redeemed_tombstones_are_bounded() {
+        let (issuer, _signed, _) = setup(24);
+        let expected = Measurement(Digest([0xaa; 32]));
+        let common = Measurement(Digest([0xbb; 32]));
+        let token = |i: u32| {
+            let mut bytes = [0u8; 32];
+            bytes[..4].copy_from_slice(&i.to_le_bytes());
+            AttestationToken(bytes)
+        };
+        // Far more redemptions than the total ring capacity.
+        let total = ISSUER_SHARDS * TOMBSTONES_PER_SHARD;
+        let rounds = (total * 3) as u32;
+        for i in 0..rounds {
+            issuer.register_token(token(i), expected, common);
+        }
+        assert_eq!(issuer.outstanding_tokens(), rounds as usize);
+        for i in 0..rounds {
+            issuer.redeem(&token(i), &expected).unwrap();
+        }
+        assert_eq!(issuer.outstanding_tokens(), 0);
+        // Retention is bounded; the table holds only tombstones now.
+        assert!(issuer.redeemed_tombstones() <= total, "{}", issuer.redeemed_tombstones());
+        assert_eq!(issuer.token_table_len(), issuer.redeemed_tombstones());
+        // Exactly-once still holds for every token, retained or
+        // expired: a replay is refused either way.
+        for i in (rounds - 32)..rounds {
+            assert!(issuer.redeem(&token(i), &expected).is_err(), "retained tombstone replayed");
+        }
+        for i in 0..32 {
+            assert!(issuer.redeem(&token(i), &expected).is_err(), "expired tombstone replayed");
+        }
     }
 
     #[test]

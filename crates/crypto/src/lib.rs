@@ -61,5 +61,6 @@ pub mod prime;
 pub mod rng;
 pub mod rsa;
 pub mod sha256;
+pub mod shard;
 
 pub use error::CryptoError;

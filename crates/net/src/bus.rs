@@ -188,6 +188,20 @@ impl Connection {
         self.tx.send(message).map_err(|_| NetError::Disconnected)
     }
 
+    /// Receives one message if one is already queued, without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] when the queue is empty and
+    /// [`NetError::Disconnected`] if the peer endpoint was dropped.
+    pub fn try_recv(&self) -> Result<Vec<u8>, NetError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(m),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Err(NetError::Timeout),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
     /// Receives one message.
     ///
     /// # Errors

@@ -25,11 +25,17 @@ use rand::RngCore;
 use sinclave_crypto::aead::{self, AeadKey, Nonce};
 use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use sinclave_crypto::sha256::{self, Digest};
+use std::sync::Arc;
 
 /// Client hello: protocol version and a client nonce.
-struct ClientHello {
-    version: u16,
-    client_nonce: [u8; 32],
+///
+/// Public so adversarial tests (and attack reproductions) can speak
+/// the handshake wire format directly against a real server end.
+pub struct ClientHello {
+    /// Protocol version the client offers.
+    pub version: u16,
+    /// Fresh client nonce mixed into the key derivation.
+    pub client_nonce: [u8; 32],
 }
 
 impl Encode for ClientHello {
@@ -46,9 +52,13 @@ impl Decode for ClientHello {
 }
 
 /// Server hello: the channel public key and a server nonce.
-struct ServerHello {
-    server_key: Vec<u8>,
-    server_nonce: [u8; 32],
+///
+/// Public for the same reason as [`ClientHello`].
+pub struct ServerHello {
+    /// The server's serialized channel public key.
+    pub server_key: Vec<u8>,
+    /// Fresh server nonce mixed into the key derivation.
+    pub server_nonce: [u8; 32],
 }
 
 impl Encode for ServerHello {
@@ -73,19 +83,82 @@ const VERSION: u16 = 1;
 ///
 /// Created by [`SecureChannel::server_accept`] /
 /// [`SecureChannel::client_connect`]; afterwards both ends exchange
-/// authenticated encrypted records with [`send`] / [`recv`].
+/// authenticated encrypted records with [`send`] / [`recv`]. A channel
+/// can be [`split`] into independently owned sending and receiving
+/// halves so one thread can serialize and send replies while another
+/// receives and dispatches requests (the CAS pipelined message loop).
 ///
 /// [`send`]: SecureChannel::send
 /// [`recv`]: SecureChannel::recv
+/// [`split`]: SecureChannel::split
 #[derive(Debug)]
 pub struct SecureChannel {
-    conn: Connection,
-    send_key: AeadKey,
-    recv_key: AeadKey,
-    send_seq: u64,
-    recv_seq: u64,
+    sender: ChannelSender,
+    receiver: ChannelReceiver,
     server_key_fingerprint: Digest,
     transcript: Digest,
+}
+
+/// The sending half of a [`SecureChannel`]: owns the directional send
+/// key and sequence counter.
+#[derive(Debug)]
+pub struct ChannelSender {
+    conn: Arc<Connection>,
+    key: AeadKey,
+    seq: u64,
+}
+
+/// The receiving half of a [`SecureChannel`]: owns the directional
+/// receive key and sequence counter.
+#[derive(Debug)]
+pub struct ChannelReceiver {
+    conn: Arc<Connection>,
+    key: AeadKey,
+    seq: u64,
+}
+
+impl ChannelSender {
+    /// Sends one encrypted, authenticated record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::SequenceExhausted`] once the 64-bit record
+    /// counter is used up (sending further records would reuse an AEAD
+    /// nonce, so the channel fails closed — the last counter value is
+    /// sacrificed to keep the check simple); propagates transport
+    /// errors.
+    pub fn send(&mut self, plaintext: &[u8]) -> Result<(), NetError> {
+        if self.seq == u64::MAX {
+            return Err(NetError::SequenceExhausted);
+        }
+        let nonce = Nonce::from_parts(0, self.seq);
+        let record = aead::seal(&self.key, nonce, &self.seq.to_be_bytes(), plaintext);
+        self.seq += 1;
+        self.conn.send(record)
+    }
+}
+
+impl ChannelReceiver {
+    /// Receives one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RecordCorrupt`] on tampered, replayed or
+    /// reordered records and [`NetError::SequenceExhausted`] once the
+    /// 64-bit record counter is used up (mirroring the send side: a
+    /// conforming peer will never seal a record with the final counter
+    /// value); propagates transport errors.
+    pub fn recv(&mut self) -> Result<Vec<u8>, NetError> {
+        if self.seq == u64::MAX {
+            return Err(NetError::SequenceExhausted);
+        }
+        let record = self.conn.recv()?;
+        let nonce = Nonce::from_parts(0, self.seq);
+        let plaintext = aead::open(&self.key, nonce, &self.seq.to_be_bytes(), &record)
+            .map_err(|_| NetError::RecordCorrupt)?;
+        self.seq += 1;
+        Ok(plaintext)
+    }
 }
 
 impl SecureChannel {
@@ -118,15 +191,7 @@ impl SecureChannel {
         let fingerprint = channel_key.public_key().fingerprint();
         let (c2s, s2c, transcript) =
             derive_keys(&shared, &hello.client_nonce, &server_nonce, &fingerprint);
-        Ok(SecureChannel {
-            conn,
-            send_key: s2c,
-            recv_key: c2s,
-            send_seq: 0,
-            recv_seq: 0,
-            server_key_fingerprint: fingerprint,
-            transcript,
-        })
+        Ok(SecureChannel::assemble(conn, s2c, c2s, fingerprint, transcript))
     }
 
     /// Client side of the handshake.
@@ -160,15 +225,37 @@ impl SecureChannel {
         let fingerprint = server_key.fingerprint();
         let (c2s, s2c, transcript) =
             derive_keys(&shared, &client_nonce, &server_hello.server_nonce, &fingerprint);
-        Ok(SecureChannel {
-            conn,
-            send_key: c2s,
-            recv_key: s2c,
-            send_seq: 0,
-            recv_seq: 0,
-            server_key_fingerprint: fingerprint,
+        Ok(SecureChannel::assemble(conn, c2s, s2c, fingerprint, transcript))
+    }
+
+    /// Builds a channel from its derived directional keys.
+    fn assemble(
+        conn: Connection,
+        send_key: AeadKey,
+        recv_key: AeadKey,
+        server_key_fingerprint: Digest,
+        transcript: Digest,
+    ) -> SecureChannel {
+        let conn = Arc::new(conn);
+        SecureChannel {
+            sender: ChannelSender { conn: conn.clone(), key: send_key, seq: 0 },
+            receiver: ChannelReceiver { conn, key: recv_key, seq: 0 },
+            server_key_fingerprint,
             transcript,
-        })
+        }
+    }
+
+    /// Splits the channel into its sending and receiving halves.
+    ///
+    /// Both halves keep the underlying connection alive; dropping one
+    /// half does not close it. This is what lets a server pipeline its
+    /// message loop: a writer thread seals and sends reply *N* while
+    /// the dispatcher already receives and decodes request *N + 1*,
+    /// with reply order preserved by the writer consuming an in-order
+    /// queue.
+    #[must_use]
+    pub fn split(self) -> (ChannelSender, ChannelReceiver) {
+        (self.sender, self.receiver)
     }
 
     /// Fingerprint of the server's channel key — the value an attested
@@ -189,27 +276,18 @@ impl SecureChannel {
     ///
     /// # Errors
     ///
-    /// Propagates transport errors.
+    /// Same as [`ChannelSender::send`].
     pub fn send(&mut self, plaintext: &[u8]) -> Result<(), NetError> {
-        let nonce = Nonce::from_parts(0, self.send_seq);
-        let record = aead::seal(&self.send_key, nonce, &self.send_seq.to_be_bytes(), plaintext);
-        self.send_seq += 1;
-        self.conn.send(record)
+        self.sender.send(plaintext)
     }
 
     /// Receives one record.
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::RecordCorrupt`] on tampered, replayed or
-    /// reordered records; propagates transport errors.
+    /// Same as [`ChannelReceiver::recv`].
     pub fn recv(&mut self) -> Result<Vec<u8>, NetError> {
-        let record = self.conn.recv()?;
-        let nonce = Nonce::from_parts(0, self.recv_seq);
-        let plaintext = aead::open(&self.recv_key, nonce, &self.recv_seq.to_be_bytes(), &record)
-            .map_err(|_| NetError::RecordCorrupt)?;
-        self.recv_seq += 1;
-        Ok(plaintext)
+        self.receiver.recv()
     }
 }
 
@@ -300,7 +378,7 @@ mod tests {
         let _ok = server.recv().unwrap();
         // Tamper by replacing the connection message: simulate by
         // sending garbage straight on the transport.
-        server.conn.send(vec![0u8; 32]).ok();
+        server.sender.conn.send(vec![0u8; 32]).ok();
         let mut client = client;
         assert_eq!(client.recv(), Err(NetError::RecordCorrupt));
     }
@@ -321,14 +399,53 @@ mod tests {
         let key = channel_key(16);
         let (mut client, server) = handshake(&key);
         client.send(b"one").unwrap();
-        let raw = server.conn.recv().unwrap();
+        let raw = server.receiver.conn.recv().unwrap();
         // Deliver the same ciphertext again: seq mismatch -> corrupt.
         let nonce = Nonce::from_parts(0, 0);
-        let plain = aead::open(&server.recv_key, nonce, &0u64.to_be_bytes(), &raw).unwrap();
+        let plain = aead::open(&server.receiver.key, nonce, &0u64.to_be_bytes(), &raw).unwrap();
         assert_eq!(plain, b"one");
         // Reflect the same ciphertext to the client: wrong direction
         // key and sequence — must be rejected, not decrypted.
-        server.conn.send(raw).ok();
+        server.sender.conn.send(raw).ok();
         assert_eq!(client.recv(), Err(NetError::RecordCorrupt));
+    }
+
+    #[test]
+    fn split_halves_exchange_and_keep_connection_alive() {
+        let key = channel_key(17);
+        let (client, server) = handshake(&key);
+        let (mut client_tx, _client_rx) = client.split();
+        let (_server_tx, mut server_rx) = server.split();
+        client_tx.send(b"pipelined").unwrap();
+        assert_eq!(server_rx.recv().unwrap(), b"pipelined");
+        // Dropping the unused halves above must not have closed the
+        // shared connection.
+        client_tx.send(b"still open").unwrap();
+        assert_eq!(server_rx.recv().unwrap(), b"still open");
+    }
+
+    #[test]
+    fn send_fails_closed_at_sequence_exhaustion() {
+        let key = channel_key(18);
+        let (mut client, mut server) = handshake(&key);
+        // Jump both directions to the edge of the counter space, as
+        // after ~2^64 - 2 records.
+        client.sender.seq = u64::MAX - 1;
+        server.receiver.seq = u64::MAX - 1;
+        // The penultimate counter value still works end to end.
+        client.send(b"last record").unwrap();
+        assert_eq!(server.recv().unwrap(), b"last record");
+        // The final value is never used: the sender refuses before
+        // sealing (no nonce reuse), and nothing reaches the wire.
+        assert_eq!(client.send(b"overflow"), Err(NetError::SequenceExhausted));
+        assert_eq!(client.sender.seq, u64::MAX, "counter must not wrap");
+        assert_eq!(
+            server.receiver.conn.try_recv(),
+            Err(NetError::Timeout),
+            "refused record must not reach the transport"
+        );
+        // The receive side mirrors the check rather than waiting on a
+        // record a conforming peer will never send.
+        assert_eq!(server.recv(), Err(NetError::SequenceExhausted));
     }
 }

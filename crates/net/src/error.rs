@@ -23,6 +23,10 @@ pub enum NetError {
     },
     /// A secure-channel record failed to authenticate.
     RecordCorrupt,
+    /// A secure channel's sequence-number space is exhausted; sending
+    /// or receiving more records would reuse an AEAD nonce, so the
+    /// channel fails closed instead.
+    SequenceExhausted,
     /// A wire message could not be decoded.
     Decode {
         /// What was being decoded.
@@ -40,6 +44,9 @@ impl fmt::Display for NetError {
             NetError::Timeout => write!(f, "receive timed out"),
             NetError::HandshakeFailed { reason } => write!(f, "handshake failed: {reason}"),
             NetError::RecordCorrupt => write!(f, "secure channel record corrupt"),
+            NetError::SequenceExhausted => {
+                write!(f, "secure channel sequence numbers exhausted")
+            }
             NetError::Decode { context } => write!(f, "failed to decode {context}"),
         }
     }

@@ -26,5 +26,5 @@ pub mod error;
 pub mod wire;
 
 pub use bus::{Connection, Listener, Network};
-pub use channel::SecureChannel;
+pub use channel::{ChannelReceiver, ChannelSender, SecureChannel};
 pub use error::NetError;

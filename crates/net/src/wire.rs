@@ -24,6 +24,14 @@ pub trait Encode {
 
 /// Deserializes a value from a [`Reader`].
 pub trait Decode: Sized {
+    /// Lower bound on the encoded size of any value of this type, in
+    /// bytes. Container decoders use it to scale hostile-length guards:
+    /// a claimed element count is rejected up front unless even
+    /// minimally encoded elements could fit in the remaining input, so
+    /// corrupt input can never force an allocation larger than the
+    /// input itself.
+    const MIN_ENCODED_LEN: usize = 1;
+
     /// Reads one value.
     ///
     /// # Errors
@@ -99,6 +107,8 @@ macro_rules! impl_int {
             }
         }
         impl Decode for $t {
+            const MIN_ENCODED_LEN: usize = std::mem::size_of::<$t>();
+
             fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
                 let bytes = reader.take(std::mem::size_of::<$t>())?;
                 Ok(<$t>::from_be_bytes(bytes.try_into().expect("sized take")))
@@ -143,6 +153,9 @@ impl Encode for String {
 }
 
 impl Decode for String {
+    /// A string is at least its 4-byte length prefix.
+    const MIN_ENCODED_LEN: usize = 4;
+
     fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
         let bytes = Vec::<u8>::decode(reader)?;
         String::from_utf8(bytes).map_err(|_| NetError::Decode { context: "utf-8 string" })
@@ -156,6 +169,8 @@ impl<const N: usize> Encode for [u8; N] {
 }
 
 impl<const N: usize> Decode for [u8; N] {
+    const MIN_ENCODED_LEN: usize = N;
+
     fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
         let bytes = reader.take(N)?;
         Ok(bytes.try_into().expect("sized take"))
@@ -194,10 +209,16 @@ impl<T: Encode> Encode for Vec<T> {
 }
 
 impl<T: Decode> Decode for Vec<T> {
+    /// A vector is at least its 4-byte length prefix.
+    const MIN_ENCODED_LEN: usize = 4;
+
     fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
         let len = u32::decode(reader)? as usize;
-        // Guard against absurd allocations from corrupt input.
-        if len > reader.remaining() {
+        // Guard against absurd allocations from corrupt input, scaled
+        // by the element's minimum encoded width: a claimed length of
+        // `remaining()` u64s would otherwise pre-allocate ~8x the
+        // input before the element decodes could fail.
+        if len > reader.remaining() / T::MIN_ENCODED_LEN.max(1) {
             return Err(NetError::Decode { context: "vector length" });
         }
         let mut out = Vec::with_capacity(len);
@@ -278,6 +299,24 @@ mod tests {
         // Length claims 4 GiB but only 4 bytes follow.
         let bytes = [0xffu8, 0xff, 0xff, 0xff, 1, 2, 3, 4];
         assert!(Vec::<u16>::decode_all(&bytes).is_err());
+        // The subtler over-allocation: a claimed element count equal to
+        // the remaining *byte* count passed the old guard, yet for wide
+        // elements it pre-allocates a multiple of the input size. Eight
+        // u64s need 64 bytes; eight bytes of input must be rejected by
+        // the width-scaled guard, not by failing element decodes after
+        // a 64-byte allocation.
+        let mut wide = 8u32.to_be_bytes().to_vec();
+        wide.extend_from_slice(&[0; 8]);
+        assert!(Vec::<u64>::decode_all(&wide).is_err());
+        // Same shape for nested vectors (4-byte minimum per element).
+        assert!(Vec::<Vec<u8>>::decode_all(&wide).is_err());
+        // The guard must not over-reject: exactly-fitting wide elements
+        // still decode.
+        let mut exact = 1u32.to_be_bytes().to_vec();
+        exact.extend_from_slice(&7u64.to_be_bytes());
+        assert_eq!(Vec::<u64>::decode_all(&exact).unwrap(), vec![7]);
+        let packed = vec![3u16, 4, 5];
+        assert_eq!(Vec::<u16>::decode_all(&packed.encode()).unwrap(), packed);
     }
 
     #[test]

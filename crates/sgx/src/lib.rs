@@ -12,6 +12,9 @@
 //! * [`secinfo`] / [`secs`] / [`attributes`] — enclave metadata.
 //! * [`sigstruct`] — the RSA-3072-signed enclave signature structure
 //!   checked by `EINIT`.
+//! * [`verify_cache`] — a bounded, sharded cache of successful
+//!   SigStruct verifications (the verifier-side repeat-binary fast
+//!   path).
 //! * [`launch`] — `EINITTOKEN` and launch control (including FLC).
 //! * [`platform`] — a simulated CPU package with fused keys.
 //! * [`enclave`] — the enclave life cycle: builder (the *starter*),
@@ -44,6 +47,7 @@ pub mod sealing;
 pub mod secinfo;
 pub mod secs;
 pub mod sigstruct;
+pub mod verify_cache;
 
 pub use error::SgxError;
 pub use measurement::Measurement;

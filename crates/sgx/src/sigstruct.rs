@@ -10,6 +10,7 @@
 use crate::attributes::Attributes;
 use crate::error::SgxError;
 use crate::measurement::Measurement;
+use crate::verify_cache::{VerifyCache, VerifyCacheKey};
 use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use sinclave_crypto::sha256::{self, Digest};
 use sinclave_crypto::CryptoError;
@@ -114,6 +115,53 @@ impl SigStruct {
         self.signer_key
             .verify(&self.body.to_bytes(), &self.signature)
             .map_err(|_| SgxError::SigStructInvalid)
+    }
+
+    /// The [`VerifyCache`] key for this structure: the signer-key
+    /// fingerprint concatenated with the evidence digest
+    /// `SHA-256(body || signature)`.
+    ///
+    /// Folding the presented signature into the digest (not just the
+    /// body) keeps the cached path observationally identical to
+    /// re-running [`SigStruct::verify`]: a warm entry attests that
+    /// *these exact bytes* verified under *this key*, so a later
+    /// structure with the same body but a tampered signature misses
+    /// the cache and fails the full check, exactly as without a cache.
+    /// (PKCS#1 v1.5 signing is deterministic, so honest repeat
+    /// presentations of one binary always produce the same key.)
+    #[must_use]
+    pub fn verify_cache_key(&self) -> VerifyCacheKey {
+        let fingerprint = self.signer_key.fingerprint();
+        let evidence = sha256::digest_parts(&[&self.body.to_bytes(), &self.signature]);
+        let mut key = [0u8; crate::verify_cache::KEY_LEN];
+        key[..32].copy_from_slice(fingerprint.as_bytes());
+        key[32..].copy_from_slice(evidence.as_bytes());
+        key
+    }
+
+    /// [`SigStruct::verify`] with a verification cache: a previously
+    /// verified (signer, evidence) pair is a sharded lookup with a
+    /// constant-time digest compare instead of an RSA exponentiation.
+    ///
+    /// Only successful verifications are admitted, so an attacker
+    /// spraying invalid SigStructs pays the cold cost every time and
+    /// cannot evict warm entries (callers wanting the stronger
+    /// admission rule of "only *my* signer's structures occupy slots"
+    /// must check the signer identity before calling, as the singleton
+    /// issuer does — an attacker can mint validly signed structures
+    /// under their own key).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SigStruct::verify`].
+    pub fn verify_cached(&self, cache: &VerifyCache) -> Result<(), SgxError> {
+        let key = self.verify_cache_key();
+        if cache.contains(&key) {
+            return Ok(());
+        }
+        self.verify()?;
+        cache.admit(key);
+        Ok(())
     }
 
     /// Serializes the full structure (body, key, signature).
@@ -284,6 +332,69 @@ mod tests {
         bytes.push(0);
         assert!(SigStruct::from_bytes(&bytes).is_err(), "trailing bytes rejected");
         assert!(SigStructBody::from_bytes(b"NOTMAGIC").is_err());
+    }
+
+    #[test]
+    fn verify_cached_warms_and_matches_cold_verify() {
+        let key = signer();
+        let ss = SigStruct::sign(body(7), &key).unwrap();
+        let cache = VerifyCache::new();
+        assert!(cache.is_empty());
+        ss.verify_cached(&cache).unwrap(); // cold: full RSA check + admit
+        assert_eq!(cache.len(), 1);
+        ss.verify_cached(&cache).unwrap(); // warm: lookup only
+        assert_eq!(cache.len(), 1);
+        // The cached outcome agrees with the uncached path.
+        ss.verify().unwrap();
+    }
+
+    #[test]
+    fn tampered_signature_misses_cache_and_fails() {
+        let key = signer();
+        let ss = SigStruct::sign(body(7), &key).unwrap();
+        let cache = VerifyCache::new();
+        ss.verify_cached(&cache).unwrap();
+        // Same body, flipped signature bit: the evidence digest covers
+        // the signature, so this misses the warm entry and fails the
+        // full check — bit-identical behavior to the uncached path.
+        let mut tampered = ss.clone();
+        tampered.signature[0] ^= 1;
+        assert_ne!(tampered.verify_cache_key(), ss.verify_cache_key());
+        assert_eq!(tampered.verify_cached(&cache), Err(SgxError::SigStructInvalid));
+        // The failure was not admitted; the legitimate entry survives.
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&ss.verify_cache_key()));
+    }
+
+    #[test]
+    fn spraying_invalid_sigstructs_cannot_evict_warm_entries() {
+        let key = signer();
+        let warm = SigStruct::sign(body(1), &key).unwrap();
+        let cache = VerifyCache::with_capacity(16);
+        warm.verify_cached(&cache).unwrap();
+        for fill in 0..64u8 {
+            let mut bogus = SigStruct::sign(body(fill), &key).unwrap();
+            bogus.signature[3] ^= 0xff; // break the signature
+            assert!(bogus.verify_cached(&cache).is_err());
+        }
+        assert_eq!(cache.len(), 1, "failed verifications must not be admitted");
+        assert!(cache.contains(&warm.verify_cache_key()));
+    }
+
+    #[test]
+    fn cache_key_separates_signers_and_bodies() {
+        let honest = signer();
+        let mut rng = StdRng::seed_from_u64(99);
+        let other = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let a = SigStruct::sign(body(1), &honest).unwrap();
+        let b = SigStruct::sign(body(1), &other).unwrap();
+        let c = SigStruct::sign(body(2), &honest).unwrap();
+        assert_ne!(a.verify_cache_key(), b.verify_cache_key(), "signer in key");
+        assert_ne!(a.verify_cache_key(), c.verify_cache_key(), "body in key");
+        // A warm entry for one signer never answers for another.
+        let cache = VerifyCache::new();
+        a.verify_cached(&cache).unwrap();
+        assert!(!cache.contains(&b.verify_cache_key()));
     }
 
     #[test]

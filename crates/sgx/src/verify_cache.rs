@@ -1,0 +1,211 @@
+//! Bounded, sharded cache of successful SigStruct verifications.
+//!
+//! Every grant request carries the *common* SigStruct of the enclave
+//! binary, and for repeat binaries the verifier re-runs the same
+//! ~0.4 ms RSA verification per connection (Fig. 7c's verification
+//! component). The same keep-the-state argument the measurement
+//! midstate cache applies to hash prefixes applies to verification
+//! results: an RSA signature check over immutable bytes is a pure
+//! function, so its outcome can be remembered. This module provides
+//! that memory as a bounded, sharded set of verified
+//! `(signer-key fingerprint, evidence digest)` pairs.
+//!
+//! Design constraints, mirroring the prepared-midstate cache:
+//!
+//! * **Bounded.** Keys arrive from the network; at most
+//!   [`VerifyCache::DEFAULT_CAPACITY`] entries stay warm, in fixed
+//!   per-shard rings.
+//! * **Admission = successful verification.** Only keys whose RSA
+//!   check passed are ever inserted ([`VerifyCache::admit`] is called
+//!   by [`SigStruct::verify_cached`] after `verify()` succeeds, and the
+//!   issuer additionally pins the signer identity first). Spraying
+//!   bogus SigStructs therefore pays the full cold verification cost
+//!   every time and can never evict legitimate warm entries.
+//! * **Constant-time lookup compare.** Shard scans compare digests
+//!   with [`sinclave_crypto::ct::eq`] and never exit early, so lookup
+//!   timing does not reveal how much of a probed key matched an
+//!   admitted one.
+//!
+//! [`SigStruct::verify_cached`]: crate::sigstruct::SigStruct::verify_cached
+
+use parking_lot::Mutex;
+use sinclave_crypto::ct;
+
+/// Length of a cache key: a 32-byte signer-key fingerprint followed by
+/// a 32-byte evidence digest (see
+/// [`SigStruct::verify_cache_key`](crate::sigstruct::SigStruct::verify_cache_key)).
+pub const KEY_LEN: usize = 64;
+
+/// A verified-evidence key: `signer fingerprint || evidence digest`.
+pub type VerifyCacheKey = [u8; KEY_LEN];
+
+/// Number of independent lock shards. Keys are SHA-256 outputs, so a
+/// cheap fold spreads concurrent lookups uniformly; 16 matches the
+/// issuer's token and midstate shard counts.
+const SHARDS: usize = 16;
+
+/// One shard: a fixed-capacity ring of admitted keys. Admission order
+/// doubles as eviction order (oldest verified entry is overwritten
+/// first once the ring is full).
+struct Shard {
+    entries: Vec<VerifyCacheKey>,
+    /// Next ring slot to overwrite once `entries` is at capacity.
+    next: usize,
+}
+
+/// A bounded, sharded set of verified SigStruct evidence keys.
+pub struct VerifyCache {
+    shards: Box<[Mutex<Shard>]>,
+    per_shard: usize,
+}
+
+impl Default for VerifyCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VerifyCache {
+    /// Default total capacity, matching the issuer's prepared-midstate
+    /// cache: far more distinct signed binaries than one verifier
+    /// serves in practice.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates a cache with [`VerifyCache::DEFAULT_CAPACITY`] slots.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a cache holding at most `capacity` keys (rounded up to
+    /// a whole number per shard, minimum one per shard).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        VerifyCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Shard { entries: Vec::new(), next: 0 }))
+                .collect(),
+            per_shard,
+        }
+    }
+
+    /// Shard index for a key (the stack-wide FNV-1a fold; keys are
+    /// hash outputs, so any cheap fold spreads them uniformly).
+    fn shard_of(key: &VerifyCacheKey) -> usize {
+        sinclave_crypto::shard::fnv1a_index(key, SHARDS)
+    }
+
+    /// Whether `key` was previously admitted.
+    ///
+    /// Scans the whole shard with a constant-time digest compare and
+    /// no early exit: the lookup's timing depends only on the shard's
+    /// fill level, never on how closely a probed key resembles an
+    /// admitted one.
+    #[must_use]
+    pub fn contains(&self, key: &VerifyCacheKey) -> bool {
+        let shard = self.shards[Self::shard_of(key)].lock();
+        let mut found = false;
+        for entry in &shard.entries {
+            found |= ct::eq(entry, key);
+        }
+        found
+    }
+
+    /// Admits a key whose verification succeeded. Once the shard ring
+    /// is full the oldest admitted key is overwritten — only ever
+    /// another *verified* key, since nothing else is admitted.
+    pub fn admit(&self, key: VerifyCacheKey) {
+        let mut shard = self.shards[Self::shard_of(&key)].lock();
+        let mut present = false;
+        for entry in &shard.entries {
+            present |= ct::eq(entry, &key);
+        }
+        if present {
+            return;
+        }
+        if shard.entries.len() < self.per_shard {
+            shard.entries.push(key);
+        } else {
+            let slot = shard.next;
+            shard.entries[slot] = key;
+            shard.next = (slot + 1) % self.per_shard;
+        }
+    }
+
+    /// Number of admitted keys across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Whether no key has been admitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(fill: u8) -> VerifyCacheKey {
+        let mut k = [fill; KEY_LEN];
+        // Vary more than one byte so FNV spreads the test keys.
+        k[0] = fill.wrapping_mul(31);
+        k
+    }
+
+    #[test]
+    fn admitted_keys_are_found() {
+        let cache = VerifyCache::new();
+        assert!(cache.is_empty());
+        assert!(!cache.contains(&key(1)));
+        cache.admit(key(1));
+        assert!(cache.contains(&key(1)));
+        assert!(!cache.contains(&key(2)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_admission_occupies_one_slot() {
+        let cache = VerifyCache::new();
+        cache.admit(key(7));
+        cache.admit(key(7));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_eviction_is_oldest_first() {
+        // One slot per shard: the second admission to a shard evicts
+        // the first.
+        let cache = VerifyCache::with_capacity(SHARDS);
+        let mut admitted = Vec::new();
+        for fill in 0..=255u8 {
+            cache.admit(key(fill));
+            admitted.push(key(fill));
+        }
+        assert!(cache.len() <= SHARDS, "len {} above capacity", cache.len());
+        // The most recent key admitted to each shard is still present.
+        let mut latest_per_shard = std::collections::HashMap::new();
+        for k in &admitted {
+            latest_per_shard.insert(VerifyCache::shard_of(k), *k);
+        }
+        for k in latest_per_shard.values() {
+            assert!(cache.contains(k), "most recent admission evicted");
+        }
+    }
+
+    #[test]
+    fn near_miss_keys_are_not_found() {
+        let cache = VerifyCache::new();
+        let k = key(9);
+        cache.admit(k);
+        for i in 0..KEY_LEN {
+            let mut probe = k;
+            probe[i] ^= 1;
+            assert!(!cache.contains(&probe), "bit flip at byte {i} matched");
+        }
+    }
+}

@@ -146,6 +146,62 @@ fn parallel_attest_flows_over_worker_pool_keep_stats_consistent() {
 }
 
 #[test]
+fn pipelined_requests_on_one_connection_reply_in_order() {
+    use sinclave_repro::core::protocol::Message;
+    use sinclave_repro::net::SecureChannel;
+    use sinclave_repro::sgx::sigstruct::SigStruct;
+
+    let image = ProgramImage::with_entry("svc", "print ok", 2).sinclave_aware();
+    let world = World::new(50, image, common::user_config_with_secrets(), PolicyMode::Singleton);
+    let cas = world.serve_cas(1, 5000);
+
+    // Push a burst of requests before draining a single reply: the
+    // server's pipelined loop may overlap sealing reply N with
+    // dispatching request N+1, but the replies must come back strictly
+    // in request order — and the grant replies must carry distinct,
+    // each-verifiable on-demand SigStructs.
+    let conn = world.network.connect(CAS_ADDR).expect("connect");
+    let mut rng = StdRng::seed_from_u64(51);
+    let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+    let burst = 6;
+    for i in 0..burst {
+        let request = if i % 2 == 0 {
+            Message::GrantRequest {
+                common_sigstruct: world.packaged.signed.common_sigstruct.to_bytes(),
+                base_hash: world.packaged.signed.base_hash.encode().to_vec(),
+            }
+        } else {
+            Message::Ping
+        };
+        chan.send(&request.to_bytes()).expect("send");
+    }
+    let mut mrenclaves = Vec::new();
+    for i in 0..burst {
+        let reply = Message::from_bytes(&chan.recv().expect("recv")).expect("decode");
+        if i % 2 == 0 {
+            let Message::GrantResponse { sigstruct, .. } = reply else {
+                panic!("slot {i}: expected grant, got {reply:?}");
+            };
+            let parsed = SigStruct::from_bytes(&sigstruct).expect("sigstruct");
+            parsed.verify().expect("on-demand sigstruct verifies");
+            mrenclaves.push(*parsed.body().enclave_hash.as_bytes());
+        } else {
+            assert_eq!(reply, Message::Pong, "slot {i}: replies out of order");
+        }
+    }
+    drop(chan);
+    cas.join().expect("cas");
+
+    mrenclaves.sort_unstable();
+    mrenclaves.dedup();
+    assert_eq!(mrenclaves.len(), burst / 2, "each grant individualized");
+    assert_eq!(world.cas.stats.grants_issued.load(Ordering::Relaxed), (burst / 2) as u64);
+    // One RSA verification of the common SigStruct served the burst.
+    assert_eq!(world.cas.issuer().verified_cache_len(), 1);
+    assert_eq!(world.cas.stats.records_rejected.load(Ordering::Relaxed), 0);
+}
+
+#[test]
 fn concurrent_policy_reads_and_writes_stay_coherent() {
     use sinclave_repro::cas::store::CasStore;
     use sinclave_repro::crypto::aead::AeadKey;

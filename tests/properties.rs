@@ -7,9 +7,15 @@ use sinclave_repro::core::layout::EnclaveLayout;
 use sinclave_repro::core::protocol::Message;
 use sinclave_repro::core::{AppConfig, AttestationToken, BaseEnclaveHash};
 use sinclave_repro::crypto::aead::AeadKey;
+use sinclave_repro::crypto::rsa::RsaPrivateKey;
 use sinclave_repro::crypto::sha256::{self, Backend, Digest, Sha256};
 use sinclave_repro::fs::{FsError, Volume};
+use sinclave_repro::net::channel::{ClientHello, ServerHello};
+use sinclave_repro::net::wire::{Decode, Encode};
+use sinclave_repro::sgx::attributes::Attributes;
 use sinclave_repro::sgx::secinfo::SecInfo;
+use sinclave_repro::sgx::sigstruct::{SigStruct, SigStructBody};
+use sinclave_repro::sgx::Measurement;
 use std::collections::HashMap;
 
 /// Every compression backend this CPU can run.
@@ -217,6 +223,79 @@ proptest! {
         prop_assert_eq!(predicted, direct.finalize());
     }
 
+    /// Handshake hellos survive a roundtrip; truncation and trailing
+    /// bytes are rejected (a MITM cannot splice partial hellos).
+    #[test]
+    fn client_hello_roundtrip_and_framing(
+        version in any::<u16>(),
+        nonce in any::<[u8; 32]>(),
+    ) {
+        let enc = ClientHello { version, client_nonce: nonce }.encode();
+        let dec = ClientHello::decode_all(&enc).unwrap();
+        prop_assert_eq!(dec.version, version);
+        prop_assert_eq!(dec.client_nonce, nonce);
+        for cut in 0..enc.len() {
+            prop_assert!(ClientHello::decode_all(&enc[..cut]).is_err(), "prefix {}", cut);
+        }
+        let mut padded = enc;
+        padded.push(0);
+        prop_assert!(ClientHello::decode_all(&padded).is_err(), "trailing byte");
+    }
+
+    /// ServerHello: roundtrip holds, every strict prefix is rejected,
+    /// and any single-bit corruption of the key's length prefix breaks
+    /// the framing (the shifted nonce/trailing bytes never line up).
+    #[test]
+    fn server_hello_length_prefix_mutations_rejected(
+        server_key in proptest::collection::vec(any::<u8>(), 0..80),
+        nonce in any::<[u8; 32]>(),
+    ) {
+        let enc = ServerHello { server_key: server_key.clone(), server_nonce: nonce }.encode();
+        let dec = ServerHello::decode_all(&enc).unwrap();
+        prop_assert_eq!(&dec.server_key, &server_key);
+        prop_assert_eq!(dec.server_nonce, nonce);
+        for cut in 0..enc.len() {
+            prop_assert!(ServerHello::decode_all(&enc[..cut]).is_err(), "prefix {}", cut);
+        }
+        for bit in 0..32 {
+            let mut mutated = enc.clone();
+            mutated[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(ServerHello::decode_all(&mutated).is_err(), "bit {}", bit);
+        }
+    }
+
+    /// Protocol messages under targeted corruption: strict prefixes
+    /// never decode, and a flipped bit in an interior length prefix
+    /// either fails or decodes canonically to a *different* message —
+    /// it can never silently reproduce the original.
+    #[test]
+    fn message_mutations_never_misdecode(
+        quote in proptest::collection::vec(any::<u8>(), 0..64),
+        token in any::<[u8; 32]>(),
+        config_id in "[a-z0-9-]{0,16}",
+        bit in 0usize..32,
+    ) {
+        let message = Message::AttestRequest {
+            quote,
+            token: AttestationToken(token),
+            config_id,
+        };
+        let enc = message.to_bytes();
+        for cut in 0..enc.len() {
+            prop_assert!(Message::from_bytes(&enc[..cut]).is_err(), "prefix {}", cut);
+        }
+        // The quote's length prefix sits right after the 1-byte tag.
+        let mut mutated = enc.clone();
+        mutated[1 + bit / 8] ^= 1 << (bit % 8);
+        match Message::from_bytes(&mutated) {
+            Err(_) => {}
+            Ok(other) => {
+                prop_assert_eq!(other.to_bytes(), mutated);
+                prop_assert_ne!(other, message);
+            }
+        }
+    }
+
     /// Base-hash wire encoding is stable.
     #[test]
     fn base_hash_roundtrip(program in proptest::collection::vec(any::<u8>(), 1..5_000)) {
@@ -228,6 +307,63 @@ proptest! {
             layout.instance_page_offset(),
         );
         prop_assert_eq!(BaseEnclaveHash::decode(&base.encode()).unwrap(), base);
+    }
+}
+
+/// SigStruct deserialization under adversarial framing: exhaustive
+/// over every truncation point and every bit of the three length
+/// prefixes. Grant requests carry attacker-supplied SigStruct bytes,
+/// so nothing malformed may parse into verifiable evidence.
+#[test]
+fn sigstruct_decoding_rejects_adversarial_framing() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(0xf4a);
+    let key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+    let body = SigStructBody {
+        enclave_hash: Measurement(Digest([0x42; 32])),
+        attributes: Attributes::production(),
+        attributes_mask: Attributes { flags: u64::MAX, xfrm: u64::MAX },
+        isv_prod_id: 7,
+        isv_svn: 3,
+        date: 20230411,
+        vendor: 0,
+    };
+    let ss = SigStruct::sign(body, &key).unwrap();
+    let bytes = ss.to_bytes();
+    SigStruct::from_bytes(&bytes).unwrap().verify().unwrap();
+
+    // Every strict prefix is rejected.
+    for cut in 0..bytes.len() {
+        assert!(SigStruct::from_bytes(&bytes[..cut]).is_err(), "prefix {cut} parsed");
+    }
+    // Trailing garbage is rejected.
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(SigStruct::from_bytes(&padded).is_err(), "trailing byte parsed");
+
+    // Layout: u32 body_len || body || u32 key_len || key || u32
+    // sig_len || sig. Flipping any bit of any length prefix must
+    // either break the framing outright or — should the shifted bytes
+    // happen to re-frame — yield evidence that no longer verifies.
+    let body_len = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
+    let key_len_off = 4 + body_len;
+    let key_len =
+        u32::from_be_bytes(bytes[key_len_off..key_len_off + 4].try_into().unwrap()) as usize;
+    let sig_len_off = key_len_off + 4 + key_len;
+    for offset in [0, key_len_off, sig_len_off] {
+        for bit in 0..32 {
+            let mut mutated = bytes.clone();
+            mutated[offset + bit / 8] ^= 1 << (bit % 8);
+            match SigStruct::from_bytes(&mutated) {
+                Err(_) => {}
+                Ok(reframed) => assert!(
+                    reframed.verify().is_err(),
+                    "length-prefix flip at {offset}+{bit} still verifies"
+                ),
+            }
+        }
     }
 }
 
