@@ -36,6 +36,32 @@
 //!   shard;
 //! * service counters ([`CasStats`]) are atomics.
 //!
+//! # Durable state
+//!
+//! The issuer's trust-relevant caches survive restarts: the verified-
+//! SigStruct cache and the token table (outstanding grants plus
+//! redeemed tombstones) are sealed into the policy store's encrypted
+//! volume as a versioned snapshot ([`CasServer::persist_state`], on a
+//! configurable cadence of grants *and* redemptions, and at graceful
+//! shutdown) and restored at construction. A restarted CAS therefore
+//! serves its first repeat grant without re-running the ~0.4 ms RSA
+//! SigStruct verification, and a token redeemed before the last
+//! persisted snapshot stays redeemed after the restore. Restoration is
+//! fail-safe: any unreadable or refused snapshot is counted in
+//! [`CasStats::snapshot_rejected`] and the server starts cold — worse
+//! latency, never wider trust.
+//!
+//! The precise exactly-once guarantee across restarts is
+//! snapshot-relative. A *graceful* restart (persist, then rebuild)
+//! loses nothing. A *crash* falls back to the last snapshot:
+//! redemptions since that snapshot come back as outstanding, so the
+//! reuse window after a crash is bounded by the snapshot cadence —
+//! which is why redemptions trigger cadence snapshots exactly like
+//! grants do (and why a deployment wanting a zero-width window would
+//! journal each redemption synchronously; see ROADMAP). Tokens
+//! *issued* since the last snapshot come back unknown and are refused
+//! outright — that direction only ever fails closed.
+//!
 //! # RNG seed derivation
 //!
 //! Each connection slot `i` gets its own deterministic generator
@@ -78,6 +104,29 @@ pub struct CasStats {
     /// rejected record; this counter moving on a production box means
     /// someone is modifying traffic.
     pub records_rejected: AtomicU64,
+    /// Singleton tokens redeemed (exactly-once consumptions). Drives
+    /// the redemption half of the snapshot cadence.
+    pub tokens_redeemed: AtomicU64,
+    /// Durable-state snapshots written to the encrypted volume
+    /// (cadence-triggered and explicit [`CasServer::persist_state`]
+    /// calls).
+    pub snapshot_persisted: AtomicU64,
+    /// Snapshot writes that failed. Cadence-triggered persists cannot
+    /// surface an error to any caller, so this counter is the signal
+    /// that durability has silently stopped: it moving (or
+    /// `snapshot_persisted` stalling against `grants_issued`) means
+    /// the volume is refusing writes and the next restart will fall
+    /// back to an old snapshot.
+    pub snapshot_persist_failed: AtomicU64,
+    /// Snapshots successfully restored at construction — at most 1 per
+    /// server lifetime; `0` with `snapshot_rejected == 0` means a cold
+    /// volume.
+    pub snapshot_restored: AtomicU64,
+    /// Snapshots refused at construction (unreadable file, bad
+    /// framing/checksum/version, or identity mismatch). The server
+    /// starts cold instead; this counter moving on a production box
+    /// means the volume was tampered with or rolled back.
+    pub snapshot_rejected: AtomicU64,
 }
 
 /// Replies the pipelined per-connection loop may buffer ahead of the
@@ -95,6 +144,10 @@ pub struct CasServer {
     /// Policy store; internally sharded and safe for concurrent use
     /// (retrieval is a shard read-lock plus an `Arc` bump).
     store: CasStore,
+    /// Persist the issuer snapshot after every this many grants;
+    /// `0` disables cadence-triggered snapshots (explicit
+    /// [`CasServer::persist_state`] still works).
+    snapshot_cadence: AtomicU64,
     /// Counters.
     pub stats: CasStats,
 }
@@ -110,6 +163,16 @@ impl fmt::Debug for CasServer {
 impl CasServer {
     /// Creates a CAS from its channel key, the application signer key
     /// it guards, the attestation root it trusts, and a policy store.
+    ///
+    /// If the store's volume carries a durable-state snapshot (a
+    /// previous instance called [`CasServer::persist_state`]), the
+    /// issuer is rehydrated from it — the restarted CAS comes up with
+    /// its verify cache warm and its token table (outstanding grants
+    /// *and* redeemed tombstones) intact. Any unreadable, corrupt,
+    /// wrong-version or wrong-identity snapshot is counted in
+    /// [`CasStats::snapshot_rejected`] and the server starts cold: a
+    /// bad snapshot can degrade performance, never widen trust, and
+    /// never prevents the CAS from starting.
     #[must_use]
     pub fn new(
         channel_key: RsaPrivateKey,
@@ -118,13 +181,16 @@ impl CasServer {
         store: CasStore,
     ) -> Arc<Self> {
         let identity = channel_key.public_key().fingerprint();
-        Arc::new(CasServer {
+        let server = CasServer {
             channel_key,
             issuer: SingletonIssuer::new(signer_key, identity),
             attestation_root,
             store,
+            snapshot_cadence: AtomicU64::new(0),
             stats: CasStats::default(),
-        })
+        };
+        server.restore_state();
+        Arc::new(server)
     }
 
     /// CAS's cryptographic identity (channel-key fingerprint).
@@ -147,6 +213,87 @@ impl CasServer {
     /// Propagates database failures.
     pub fn add_policy(&self, policy: SessionPolicy) -> Result<(), SinclaveError> {
         self.store.put_policy(&policy)
+    }
+
+    /// The policy store (exposed for lifecycle management: a restart
+    /// harness snapshots `store().volume()` and reopens it).
+    #[must_use]
+    pub fn store(&self) -> &CasStore {
+        &self.store
+    }
+
+    // ---- Durable state lifecycle -----------------------------------------
+
+    /// Writes the issuer's durable state (verify-cache keys + token
+    /// table) into the encrypted volume, crash-safely: the volume
+    /// stages the new snapshot under a fresh file id and flips the
+    /// manifest as the single commit point, so a crash mid-persist
+    /// leaves the previous good snapshot readable.
+    ///
+    /// Call this at graceful shutdown; [`CasServer::set_snapshot_cadence`]
+    /// additionally persists on a grant/redemption cadence.
+    ///
+    /// Every failure — this method's callers included — is counted in
+    /// [`CasStats::snapshot_persist_failed`], so cadence-triggered
+    /// persists that have no caller to report to still leave a signal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates volume failures.
+    pub fn persist_state(&self) -> Result<(), SinclaveError> {
+        if let Err(e) = self.store.persist_state(&self.issuer.export_snapshot().to_bytes()) {
+            self.stats.snapshot_persist_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        self.stats.snapshot_persisted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Persist the durable state automatically after every
+    /// `every_events` issued grants and after every `every_events`
+    /// redeemed tokens (`0` disables the cadence). Both halves matter:
+    /// the grant cadence bounds how much cache warmth a crash loses,
+    /// the redemption cadence bounds the token-reuse window a crash
+    /// reopens (see the module docs). The write happens on the serving
+    /// connection's thread after the reply is dispatched to the
+    /// pipeline, under the store's volume lock — registration-rate,
+    /// not retrieval-rate, so it never contends with the hot path.
+    pub fn set_snapshot_cadence(&self, every_events: u64) {
+        self.snapshot_cadence.store(every_events, Ordering::Relaxed);
+    }
+
+    /// Cadence check shared by the grant and redemption paths:
+    /// persists when `count` (the just-incremented event counter) hits
+    /// a multiple of the configured cadence. Failures are counted
+    /// inside [`CasServer::persist_state`].
+    fn persist_on_cadence(&self, count: u64) {
+        let cadence = self.snapshot_cadence.load(Ordering::Relaxed);
+        if cadence != 0 && count.is_multiple_of(cadence) {
+            let _ = self.persist_state();
+        }
+    }
+
+    /// Attempts to rehydrate the issuer from the store's snapshot at
+    /// construction time. Never fails the construction: a cold volume
+    /// is a no-op, and every rejection path (unreadable file, bad
+    /// framing, identity mismatch) counts into
+    /// [`CasStats::snapshot_rejected`] and leaves the issuer exactly
+    /// as cold as a fresh one — restore is all-or-nothing.
+    fn restore_state(&self) {
+        let bytes = match self.store.restore_state() {
+            Ok(Some(bytes)) => bytes,
+            Ok(None) => return, // cold volume: nothing to restore
+            Err(_) => {
+                self.stats.snapshot_rejected.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let restored = sinclave::snapshot::IssuerSnapshot::from_bytes(&bytes)
+            .and_then(|snapshot| self.issuer.restore_snapshot(&snapshot));
+        match restored {
+            Ok(_) => self.stats.snapshot_restored.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.stats.snapshot_rejected.fetch_add(1, Ordering::Relaxed),
+        };
     }
 
     /// Default worker-pool width: one worker per core, capped at 8
@@ -331,7 +478,14 @@ impl CasServer {
         // of Fig. 7c's retrieval cost.
         match self.issuer.issue(rng, &sigstruct, &base_hash) {
             Ok(grant) => {
-                self.stats.grants_issued.fetch_add(1, Ordering::Relaxed);
+                let issued = self.stats.grants_issued.fetch_add(1, Ordering::Relaxed) + 1;
+                // Cadence-triggered durability: every Nth grant seals
+                // the issuer's state into the volume, so a crash loses
+                // at most a cadence window of cache warmth. Tokens for
+                // grants issued after the last snapshot come up
+                // unknown after a crash and are refused — that
+                // direction fails closed.
+                self.persist_on_cadence(issued);
                 Message::GrantResponse {
                     token: grant.token,
                     verifier_identity: *grant.verifier_identity.as_bytes(),
@@ -377,6 +531,17 @@ impl CasServer {
 
         if let Err(reason) = self.check_identity(body, &policy, token.as_ref()) {
             return Message::Denied { reason };
+        }
+
+        // A token that survived check_identity was consumed (the only
+        // accepting arm with a token is the redeeming one). Redemption
+        // is the trust-critical transition to make durable: a crash
+        // rolling back to a pre-redemption snapshot re-opens the reuse
+        // window for this token, so redemptions drive the snapshot
+        // cadence exactly like grants do.
+        if token.is_some() {
+            let redeemed = self.stats.tokens_redeemed.fetch_add(1, Ordering::Relaxed) + 1;
+            self.persist_on_cadence(redeemed);
         }
 
         self.stats.configs_delivered.fetch_add(1, Ordering::Relaxed);
@@ -637,6 +802,106 @@ mod tests {
             cas.issuer().issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
         }
         assert_eq!(cas.issuer().verified_cache_len(), 1);
+    }
+
+    /// Builds a server with a caller-provided store, reusing one key
+    /// set across "restarts" (same seed → same keys).
+    fn server_with_store(seed: u64, store: CasStore) -> (Arc<CasServer>, RsaPrivateKey) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let channel_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let signer_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let attestation_root_key = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let cas = CasServer::new(
+            channel_key,
+            signer_key.clone(),
+            attestation_root_key.public_key().clone(),
+            store,
+        );
+        (cas, signer_key)
+    }
+
+    #[test]
+    fn restart_restores_verify_cache_and_token_table() {
+        let store_key = AeadKey::new([9; 32]);
+        let (cas, signer_key) = server_with_store(40, CasStore::create(store_key.clone()));
+        let layout = EnclaveLayout::for_program(b"app", 2).unwrap();
+        let signed = sign_enclave(&layout, &signer_key, &SignerConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let grant =
+            cas.issuer().issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        let kept =
+            cas.issuer().issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        cas.issuer().redeem(&grant.token, &grant.expected_mrenclave).unwrap();
+        cas.persist_state().unwrap();
+        assert_eq!(cas.stats.snapshot_persisted.load(Ordering::Relaxed), 1);
+
+        // "Restart": rebuild the server from the same volume bytes.
+        let volume = cas.store().volume();
+        drop(cas);
+        let (restarted, _) = server_with_store(40, CasStore::open(volume, store_key).unwrap());
+        assert_eq!(restarted.stats.snapshot_restored.load(Ordering::Relaxed), 1);
+        assert_eq!(restarted.stats.snapshot_rejected.load(Ordering::Relaxed), 0);
+        // Warm before any grant: the first repeat grant skips the RSA
+        // verify.
+        assert_eq!(restarted.issuer().verified_cache_len(), 1);
+        // Exactly-once across the restart, both directions.
+        assert!(restarted.issuer().redeem(&grant.token, &grant.expected_mrenclave).is_err());
+        restarted.issuer().redeem(&kept.token, &kept.expected_mrenclave).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshot_degrades_to_cold_start() {
+        let store_key = AeadKey::new([10; 32]);
+        let (cas, signer_key) = server_with_store(42, CasStore::create(store_key.clone()));
+        let layout = EnclaveLayout::for_program(b"app", 2).unwrap();
+        let signed = sign_enclave(&layout, &signer_key, &SignerConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(43);
+        cas.issuer().issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        cas.persist_state().unwrap();
+
+        // Corrupt every ciphertext chunk of the snapshot file (the
+        // only file in this volume).
+        let mut volume = cas.store().volume();
+        for id in volume.raw_chunk_ids() {
+            volume.corrupt_chunk(id);
+        }
+        let (restarted, _) = server_with_store(42, CasStore::open(volume, store_key).unwrap());
+        assert_eq!(restarted.stats.snapshot_rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(restarted.stats.snapshot_restored.load(Ordering::Relaxed), 0);
+        assert_eq!(restarted.issuer().verified_cache_len(), 0, "cold after rejection");
+        assert_eq!(restarted.issuer().outstanding_tokens(), 0);
+    }
+
+    #[test]
+    fn snapshot_cadence_persists_during_serving() {
+        let (cas, signer_key, _) = server(44);
+        cas.set_snapshot_cadence(2);
+        let layout = EnclaveLayout::for_program(b"app", 2).unwrap();
+        let signed = sign_enclave(&layout, &signer_key, &SignerConfig::default()).unwrap();
+        let network = Network::new();
+        let handle = cas.serve(&network, "cas:443", 1, 440);
+        let conn = network.connect("cas:443").unwrap();
+        let mut rng = StdRng::seed_from_u64(45);
+        let mut chan = SecureChannel::client_connect(conn, &mut rng).unwrap();
+        for _ in 0..5 {
+            chan.send(
+                &Message::GrantRequest {
+                    common_sigstruct: signed.common_sigstruct.to_bytes(),
+                    base_hash: signed.base_hash.encode().to_vec(),
+                }
+                .to_bytes(),
+            )
+            .unwrap();
+            let reply = Message::from_bytes(&chan.recv().unwrap()).unwrap();
+            assert!(matches!(reply, Message::GrantResponse { .. }), "got {reply:?}");
+        }
+        drop(chan);
+        handle.join().unwrap();
+        // Grants 2 and 4 hit the cadence; grant 5 did not.
+        assert_eq!(cas.stats.snapshot_persisted.load(Ordering::Relaxed), 2);
+        // The persisted snapshot is the real, restorable article.
+        let bytes = cas.store().restore_state().unwrap().unwrap();
+        sinclave::snapshot::IssuerSnapshot::from_bytes(&bytes).unwrap();
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! shard read-lock plus an `Arc` pointer bump: no volume decryption,
 //! no policy re-parse, no deep clone of the embedded `AppConfig`, and
 //! no contention between lookups that hash to different shards.
+//!
+//! Beyond policies, the store persists the issuer's durable-state
+//! snapshot (verify-cache keys + token table) at [`SNAPSHOT_PATH`],
+//! through the same encrypted volume: the snapshot gets chunk-level
+//! tamper detection and the volume's crash-safe rewrite (fresh file
+//! id, manifest flip) without any bespoke machinery.
 
 use crate::policy::SessionPolicy;
 use parking_lot::{Mutex, RwLock};
@@ -27,6 +33,11 @@ use std::sync::Arc;
 
 /// Path prefix for policy records.
 const POLICY_PREFIX: &str = "policies/";
+
+/// Path of the issuer's durable-state snapshot inside the encrypted
+/// volume. Living in the volume, the snapshot inherits chunk-level
+/// tamper detection and nonce-unique crash-safe rewrites for free.
+pub const SNAPSHOT_PATH: &str = "state/issuer-snapshot";
 
 /// Number of independent cache shards. Config ids hash uniformly, so
 /// a small fixed power of two is enough to keep concurrent retrievals
@@ -80,8 +91,12 @@ impl CasStore {
     ///
     /// Returns [`SinclaveError::ProtocolDecode`] if the key does not
     /// open the volume or any stored policy is corrupt.
-    pub fn open(volume: Volume, key: AeadKey) -> Result<Self, SinclaveError> {
+    pub fn open(mut volume: Volume, key: AeadKey) -> Result<Self, SinclaveError> {
         volume.verify_key(&key).map_err(|_| SinclaveError::ProtocolDecode)?;
+        // Reclaim chunks an interrupted write (crash mid-snapshot) may
+        // have left behind; orphans are unreachable through every read
+        // path, so this is purely a space reclaim.
+        let _ = volume.sweep_orphans(&key);
         let store = CasStore { volume: Mutex::new(volume), key, shards: Self::empty_shards() };
         for config_id in store.list_policies()? {
             let path = format!("{POLICY_PREFIX}{config_id}");
@@ -164,6 +179,43 @@ impl CasStore {
         Ok(removed)
     }
 
+    /// Persists the issuer's durable-state snapshot as a file in the
+    /// encrypted volume, at [`SNAPSHOT_PATH`].
+    ///
+    /// The volume's write path is crash-safe (fresh file id, manifest
+    /// flip as the commit point), so an interrupted persist leaves the
+    /// previous snapshot readable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates volume failures as [`SinclaveError::ProtocolDecode`].
+    pub fn persist_state(&self, snapshot: &[u8]) -> Result<(), SinclaveError> {
+        self.volume
+            .lock()
+            .write_file(&self.key, SNAPSHOT_PATH, snapshot)
+            .map_err(|_| SinclaveError::ProtocolDecode)
+    }
+
+    /// Reads back the persisted snapshot, if any.
+    ///
+    /// `Ok(None)` means a cold volume (no snapshot was ever written) —
+    /// the normal first boot. An error means a snapshot *exists* but
+    /// cannot be read (tampered or unreadable chunks); callers treat
+    /// that as a rejected snapshot and start cold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::SnapshotInvalid`] when the stored
+    /// snapshot file fails volume integrity checks.
+    pub fn restore_state(&self) -> Result<Option<Vec<u8>>, SinclaveError> {
+        let volume = self.volume.lock();
+        match volume.read_file(&self.key, SNAPSHOT_PATH) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(sinclave_fs::FsError::NotFound { .. }) => Ok(None),
+            Err(_) => Err(SinclaveError::SnapshotInvalid { context: "snapshot file unreadable" }),
+        }
+    }
+
     /// A snapshot of the underlying volume (for persistence by the
     /// host).
     #[must_use]
@@ -226,6 +278,39 @@ mod tests {
         let reopened = CasStore::open(volume.clone(), key).unwrap();
         assert_eq!(reopened.get_policy("x").unwrap().config_id, "x");
         assert!(CasStore::open(volume, AeadKey::new([3; 32])).is_err());
+    }
+
+    #[test]
+    fn snapshot_persist_restore_roundtrip() {
+        let key = AeadKey::new([6; 32]);
+        let store = CasStore::create(key.clone());
+        assert_eq!(store.restore_state().unwrap(), None, "cold volume");
+        store.persist_state(b"snapshot v1").unwrap();
+        assert_eq!(store.restore_state().unwrap().unwrap(), b"snapshot v1");
+        store.persist_state(b"snapshot v2, longer than before").unwrap();
+        assert_eq!(store.restore_state().unwrap().unwrap(), b"snapshot v2, longer than before");
+        // Snapshots survive a volume reopen and never masquerade as
+        // policies.
+        let reopened = CasStore::open(store.volume(), key).unwrap();
+        assert_eq!(reopened.restore_state().unwrap().unwrap(), b"snapshot v2, longer than before");
+        assert!(reopened.list_policies().unwrap().is_empty());
+    }
+
+    #[test]
+    fn tampered_snapshot_chunk_surfaces_as_snapshot_invalid() {
+        let key = AeadKey::new([7; 32]);
+        let store = CasStore::create(key.clone());
+        store.persist_state(b"good bytes").unwrap();
+        let mut volume = store.volume();
+        // The snapshot is the only file, so every chunk is its.
+        for id in volume.raw_chunk_ids() {
+            volume.corrupt_chunk(id);
+        }
+        let reopened = CasStore::open(volume, key).unwrap();
+        assert!(matches!(
+            reopened.restore_state(),
+            Err(SinclaveError::SnapshotInvalid { context: "snapshot file unreadable" })
+        ));
     }
 
     #[test]

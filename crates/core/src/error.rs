@@ -29,6 +29,13 @@ pub enum SinclaveError {
     },
     /// A protocol message could not be decoded.
     ProtocolDecode,
+    /// A durable state snapshot was refused (framing, checksum,
+    /// version, or identity mismatch) — the caller falls back to a
+    /// cold cache.
+    SnapshotInvalid {
+        /// Which check refused the snapshot.
+        context: &'static str,
+    },
     /// An underlying SGX operation failed.
     Sgx(sinclave_sgx::SgxError),
     /// An underlying cryptographic operation failed.
@@ -51,6 +58,9 @@ impl fmt::Display for SinclaveError {
             SinclaveError::InstancePageMalformed => write!(f, "instance page malformed"),
             SinclaveError::LayoutInvalid { reason } => write!(f, "invalid layout: {reason}"),
             SinclaveError::ProtocolDecode => write!(f, "protocol message malformed"),
+            SinclaveError::SnapshotInvalid { context } => {
+                write!(f, "state snapshot refused: {context}")
+            }
             SinclaveError::Sgx(e) => write!(f, "sgx: {e}"),
             SinclaveError::Crypto(e) => write!(f, "crypto: {e}"),
         }

@@ -26,6 +26,10 @@
 //!   *on-demand* SigStruct (Fig. 7b/7c), enforce one-time tokens.
 //! * [`protocol`] — wire messages of the singleton retrieval and
 //!   attestation flows.
+//! * [`snapshot`] — the versioned, checksummed codec for the
+//!   verifier's durable state (verify-cache keys + token table), so a
+//!   restarted verifier comes up warm without weakening any trust
+//!   decision it cached.
 //!
 //! # The mechanism in one paragraph
 //!
@@ -50,6 +54,7 @@ pub mod layout;
 pub mod protocol;
 pub mod shard;
 pub mod signer;
+pub mod snapshot;
 pub mod token;
 pub mod verifier;
 

@@ -17,6 +17,7 @@
 use crate::base_hash::{BaseEnclaveHash, PreparedBaseHash, ENCODED_LEN};
 use crate::error::SinclaveError;
 use crate::instance_page::InstancePage;
+use crate::snapshot::{IssuerSnapshot, TokenSnapshotEntry, TokenSnapshotState};
 use crate::token::AttestationToken;
 use parking_lot::Mutex;
 use rand::RngCore;
@@ -444,6 +445,143 @@ impl SingletonIssuer {
     pub fn verified_cache_len(&self) -> usize {
         self.verified.len()
     }
+
+    // ---- Durable state (verify-cache persistence) ------------------------
+
+    /// Exports the issuer's durable state: the admitted verify-cache
+    /// keys (oldest admission first) and the full token table —
+    /// outstanding grants *and* redeemed tombstones, so exactly-once
+    /// redemption survives a restore. Token entries are sorted by
+    /// token bytes, making the snapshot's encoding reproducible for a
+    /// given state.
+    ///
+    /// The prepared-midstate cache is deliberately *not* exported: its
+    /// entries are pure functions of request inputs and are re-derived
+    /// on the first grant per enclave for a few microseconds of
+    /// hashing — unlike the ~0.4 ms RSA verification this snapshot
+    /// spares.
+    #[must_use]
+    pub fn export_snapshot(&self) -> IssuerSnapshot {
+        let mut tokens: Vec<TokenSnapshotEntry> = Vec::new();
+        for shard in self.tokens.iter() {
+            let shard = shard.lock();
+            for (token, state) in &shard.states {
+                tokens.push(TokenSnapshotEntry {
+                    token: *token.as_bytes(),
+                    state: match state {
+                        TokenState::Issued { expected, common } => TokenSnapshotState::Issued {
+                            expected: *expected.as_bytes(),
+                            common: *common.as_bytes(),
+                        },
+                        TokenState::Redeemed => TokenSnapshotState::Redeemed,
+                    },
+                });
+            }
+        }
+        tokens.sort_unstable_by_key(|entry| entry.token);
+        IssuerSnapshot {
+            verifier_identity: *self.verifier_identity.as_bytes(),
+            signer_fingerprint: *self.signer_key.public_key().fingerprint().as_bytes(),
+            verified_keys: self.verified.export_keys(),
+            tokens,
+        }
+    }
+
+    /// Rehydrates the issuer from a snapshot: re-admits verify-cache
+    /// keys, re-registers outstanding tokens, and re-plants redeemed
+    /// tombstones (bounded per shard exactly like live redemptions).
+    ///
+    /// Restoring can never widen trust beyond what this issuer's
+    /// configuration would grant live:
+    ///
+    /// * the snapshot must name **this** issuer's pinned signer
+    ///   fingerprint and verifier identity — state from a differently
+    ///   configured CAS is refused wholesale;
+    /// * every verify-cache key must carry the pinned signer
+    ///   fingerprint, mirroring the live admission rule ("only
+    ///   evidence this issuer vouches for occupies a slot");
+    /// * validation happens entirely **before** any state is touched,
+    ///   so a refused snapshot leaves the issuer exactly as cold as it
+    ///   was — there is no partially-admitted outcome.
+    ///
+    /// Returns how many verify-cache keys, outstanding tokens and
+    /// tombstones were restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::SnapshotInvalid`] naming the identity
+    /// check that refused the snapshot.
+    pub fn restore_snapshot(
+        &self,
+        snapshot: &IssuerSnapshot,
+    ) -> Result<SnapshotRestore, SinclaveError> {
+        let reject = |context| Err(SinclaveError::SnapshotInvalid { context });
+        if snapshot.verifier_identity != *self.verifier_identity.as_bytes() {
+            return reject("verifier identity mismatch");
+        }
+        let pinned = self.signer_key.public_key().fingerprint();
+        if snapshot.signer_fingerprint != *pinned.as_bytes() {
+            return reject("signer fingerprint mismatch");
+        }
+        if snapshot.verified_keys.iter().any(|key| key[..32] != *pinned.as_bytes()) {
+            return reject("foreign signer in verify-cache key");
+        }
+        // All checks passed; from here on, restoration cannot fail.
+        let mut report = SnapshotRestore::default();
+        for key in &snapshot.verified_keys {
+            self.verified.admit(*key);
+            report.verified_keys += 1;
+        }
+        for entry in &snapshot.tokens {
+            let token = AttestationToken(entry.token);
+            match entry.state {
+                TokenSnapshotState::Issued { expected, common } => {
+                    self.register_token(
+                        token,
+                        Measurement(Digest(expected)),
+                        Measurement(Digest(common)),
+                    );
+                    report.outstanding_tokens += 1;
+                }
+                TokenSnapshotState::Redeemed => {
+                    self.restore_tombstone(token);
+                    report.tombstones += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Re-plants one redeemed tombstone from a snapshot, honoring the
+    /// same per-shard ring bound as live redemptions: once a shard's
+    /// ring is full, the oldest restored tombstone leaves the table (a
+    /// replay of it then fails as "unknown" instead of "redeemed" —
+    /// refused either way, so exactly-once is preserved regardless).
+    fn restore_tombstone(&self, token: AttestationToken) {
+        let mut shard = self.tokens[shard_of(token.as_bytes())].lock();
+        if shard.states.contains_key(&token) {
+            return;
+        }
+        if shard.tombstones.len() == TOMBSTONES_PER_SHARD {
+            if let Some(expired) = shard.tombstones.pop_front() {
+                shard.states.remove(&expired);
+            }
+        }
+        shard.states.insert(token, TokenState::Redeemed);
+        shard.tombstones.push_back(token);
+    }
+}
+
+/// What [`SingletonIssuer::restore_snapshot`] rehydrated, for stats
+/// and test assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotRestore {
+    /// Verify-cache keys re-admitted.
+    pub verified_keys: usize,
+    /// Outstanding (issued, unredeemed) tokens re-registered.
+    pub outstanding_tokens: usize,
+    /// Redeemed tombstones re-planted (before ring bounding).
+    pub tombstones: usize,
 }
 
 #[cfg(test)]
@@ -722,6 +860,136 @@ mod tests {
             issuer.redeem(&bogus, &Measurement(Digest([0; 32]))).unwrap_err(),
             SinclaveError::TokenNotRedeemable
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_warm_state_into_a_fresh_issuer() {
+        let (issuer, signed, mut rng) = setup(30);
+        let g1 = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        let g2 = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        issuer.redeem(&g1.token, &g1.expected_mrenclave).unwrap();
+
+        let snapshot = issuer.export_snapshot();
+        let bytes = snapshot.to_bytes();
+        let decoded = crate::snapshot::IssuerSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, snapshot);
+
+        let (restored, _, _) = setup(30); // same keys, cold caches
+        assert_eq!(restored.verified_cache_len(), 0);
+        let report = restored.restore_snapshot(&decoded).unwrap();
+        assert_eq!(report.verified_keys, 1);
+        assert_eq!(report.outstanding_tokens, 1);
+        assert_eq!(report.tombstones, 1);
+        // Warm verification: the repeat grant skips the RSA verify.
+        assert_eq!(restored.verified_cache_len(), 1);
+        // Exactly-once across the restore, both directions.
+        assert_eq!(
+            restored.redeem(&g1.token, &g1.expected_mrenclave).unwrap_err(),
+            SinclaveError::TokenNotRedeemable
+        );
+        restored.redeem(&g2.token, &g2.expected_mrenclave).unwrap();
+        assert_eq!(restored.outstanding_tokens(), 0);
+    }
+
+    #[test]
+    fn restored_issuer_grants_bit_identically_to_undisturbed_issuer() {
+        let (original, signed, mut rng) = setup(31);
+        original.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        let snapshot = original.export_snapshot();
+
+        let (restored, restored_signed, _) = setup(31);
+        restored.restore_snapshot(&snapshot).unwrap();
+
+        let mut rng_a = StdRng::seed_from_u64(900);
+        let mut rng_b = StdRng::seed_from_u64(900);
+        for _ in 0..3 {
+            let a =
+                original.issue(&mut rng_a, &signed.common_sigstruct, &signed.base_hash).unwrap();
+            let b = restored
+                .issue(&mut rng_b, &restored_signed.common_sigstruct, &restored_signed.base_hash)
+                .unwrap();
+            assert_eq!(a.token, b.token);
+            assert_eq!(a.sigstruct.to_bytes(), b.sigstruct.to_bytes());
+            assert_eq!(a.expected_mrenclave, b.expected_mrenclave);
+        }
+    }
+
+    #[test]
+    fn snapshot_for_foreign_identity_is_refused_wholesale() {
+        let (issuer, signed, mut rng) = setup(32);
+        issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        let snapshot = issuer.export_snapshot();
+
+        // Different signer key (seed differs) → fingerprint mismatch.
+        let (other_signer, _, _) = setup(33);
+        assert!(matches!(
+            other_signer.restore_snapshot(&snapshot),
+            Err(SinclaveError::SnapshotInvalid { context: "signer fingerprint mismatch" })
+        ));
+        assert_eq!(other_signer.verified_cache_len(), 0, "nothing admitted");
+        assert_eq!(other_signer.outstanding_tokens(), 0);
+
+        // Same signer, different verifier identity → its tokens would
+        // predict other measurements; refused.
+        let (same_keys, _, _) = setup(32);
+        let mut wrong_identity = snapshot.clone();
+        wrong_identity.verifier_identity = [0xde; 32];
+        assert!(matches!(
+            same_keys.restore_snapshot(&wrong_identity),
+            Err(SinclaveError::SnapshotInvalid { context: "verifier identity mismatch" })
+        ));
+        assert_eq!(same_keys.verified_cache_len(), 0);
+    }
+
+    #[test]
+    fn snapshot_with_foreign_verify_key_cannot_widen_trust() {
+        let (issuer, signed, mut rng) = setup(34);
+        issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        let mut snapshot = issuer.export_snapshot();
+        // Claim the matching fingerprint at the snapshot level but
+        // smuggle a verify-cache key under another signer: the per-key
+        // pin must refuse the whole snapshot (no partial admission).
+        let mut foreign = [0u8; sinclave_sgx::verify_cache::KEY_LEN];
+        foreign[..32].copy_from_slice(&[0xad; 32]);
+        snapshot.verified_keys.push(foreign);
+        let (fresh, _, _) = setup(34);
+        assert!(matches!(
+            fresh.restore_snapshot(&snapshot),
+            Err(SinclaveError::SnapshotInvalid { context: "foreign signer in verify-cache key" })
+        ));
+        assert_eq!(fresh.verified_cache_len(), 0, "partial admission after rejection");
+        assert_eq!(fresh.outstanding_tokens(), 0);
+        assert_eq!(fresh.token_table_len(), 0);
+    }
+
+    #[test]
+    fn restored_tombstones_respect_the_ring_bound() {
+        let (issuer, _signed, _) = setup(35);
+        let expected = Measurement(Digest([0xaa; 32]));
+        let common = Measurement(Digest([0xbb; 32]));
+        let token = |i: u32| {
+            let mut bytes = [0u8; 32];
+            bytes[..4].copy_from_slice(&i.to_le_bytes());
+            AttestationToken(bytes)
+        };
+        let total = ISSUER_SHARDS * TOMBSTONES_PER_SHARD;
+        let rounds = (total * 2) as u32;
+        for i in 0..rounds {
+            issuer.register_token(token(i), expected, common);
+            issuer.redeem(&token(i), &expected).unwrap();
+        }
+        let snapshot = issuer.export_snapshot();
+        assert!(snapshot.tokens.iter().all(|t| t.state == TokenSnapshotState::Redeemed));
+
+        let (restored, _, _) = setup(35);
+        let report = restored.restore_snapshot(&snapshot).unwrap();
+        assert_eq!(report.tombstones, issuer.redeemed_tombstones());
+        assert!(restored.redeemed_tombstones() <= total);
+        assert_eq!(restored.token_table_len(), restored.redeemed_tombstones());
+        // Every restored tombstone still refuses replay.
+        for i in 0..rounds {
+            assert!(restored.redeem(&token(i), &expected).is_err(), "token {i} replayed");
+        }
     }
 
     #[test]

@@ -133,6 +133,33 @@ impl VerifyCache {
         }
     }
 
+    /// Exports every admitted key, shard by shard, oldest admission
+    /// first within each shard — the order re-admitting them through
+    /// [`VerifyCache::admit`] preserves, so a cache rebuilt from an
+    /// export keeps the original eviction order. This is the
+    /// snapshot-side half of verify-cache persistence: the caller
+    /// (the singleton issuer) seals these keys into its encrypted
+    /// state so a restarted verifier comes up warm.
+    ///
+    /// The export is deterministic for a given admission history,
+    /// which keeps snapshot bytes reproducible.
+    #[must_use]
+    pub fn export_keys(&self) -> Vec<VerifyCacheKey> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            if shard.entries.len() < self.per_shard {
+                // Ring has not wrapped: insertion order is index order.
+                out.extend_from_slice(&shard.entries);
+            } else {
+                // Wrapped ring: the oldest entry is at `next`.
+                out.extend_from_slice(&shard.entries[shard.next..]);
+                out.extend_from_slice(&shard.entries[..shard.next]);
+            }
+        }
+        out
+    }
+
     /// Number of admitted keys across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -195,6 +222,46 @@ mod tests {
         for k in latest_per_shard.values() {
             assert!(cache.contains(k), "most recent admission evicted");
         }
+    }
+
+    #[test]
+    fn export_roundtrips_through_admit() {
+        let cache = VerifyCache::new();
+        for fill in 0..40u8 {
+            cache.admit(key(fill));
+        }
+        let exported = cache.export_keys();
+        assert_eq!(exported.len(), cache.len());
+        let rebuilt = VerifyCache::new();
+        for k in &exported {
+            rebuilt.admit(*k);
+        }
+        assert_eq!(rebuilt.len(), cache.len());
+        for fill in 0..40u8 {
+            assert!(rebuilt.contains(&key(fill)), "fill {fill} lost in export");
+        }
+        // Same admission history → same export bytes (snapshots are
+        // reproducible).
+        assert_eq!(rebuilt.export_keys(), exported);
+    }
+
+    #[test]
+    fn export_preserves_eviction_order_across_rebuild() {
+        // One slot per shard, so every shard ring wraps; the export
+        // must surface the *surviving* (newest) key of each shard, and
+        // a rebuilt cache must behave identically.
+        let cache = VerifyCache::with_capacity(SHARDS);
+        for fill in 0..=255u8 {
+            cache.admit(key(fill));
+        }
+        let rebuilt = VerifyCache::with_capacity(SHARDS);
+        for k in cache.export_keys() {
+            rebuilt.admit(k);
+        }
+        for fill in 0..=255u8 {
+            assert_eq!(cache.contains(&key(fill)), rebuilt.contains(&key(fill)), "fill {fill}");
+        }
+        assert_eq!(rebuilt.export_keys(), cache.export_keys());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use sinclave_repro::core::signer::SignerConfig;
 use sinclave_repro::core::AppConfig;
 use sinclave_repro::crypto::aead::AeadKey;
 use sinclave_repro::crypto::rsa::RsaPrivateKey;
+use sinclave_repro::fs::Volume;
 use sinclave_repro::net::Network;
 use sinclave_repro::runtime::scone::{package_app, PackagedApp, SconeHost};
 use sinclave_repro::runtime::ProgramImage;
@@ -25,6 +26,8 @@ use std::sync::Arc;
 pub const CAS_ADDR: &str = "cas:443";
 /// The user's configuration id.
 pub const CONFIG_ID: &str = "user-app";
+/// Key protecting the CAS store's encrypted volume in every world.
+pub const STORE_KEY: [u8; 32] = [0x42; 32];
 
 pub struct World {
     pub host: SconeHost,
@@ -32,6 +35,7 @@ pub struct World {
     pub network: Network,
     pub packaged: PackagedApp,
     pub signer_key: RsaPrivateKey,
+    pub channel_key: RsaPrivateKey,
     pub attestation_root: sinclave_repro::crypto::rsa::RsaPublicKey,
 }
 
@@ -54,9 +58,9 @@ impl World {
         let packaged = package_app(&image, &signer_key, &SignerConfig::default()).expect("package");
 
         let channel_key = RsaPrivateKey::generate(&mut rng, 1024).expect("channel key");
-        let store = CasStore::create(AeadKey::new([0x42; 32]));
+        let store = CasStore::create(AeadKey::new(STORE_KEY));
         let cas = CasServer::new(
-            channel_key,
+            channel_key.clone(),
             signer_key.clone(),
             service.root_public_key().clone(),
             store,
@@ -78,6 +82,7 @@ impl World {
             network,
             packaged,
             signer_key,
+            channel_key,
             attestation_root: service.root_public_key().clone(),
         }
     }
@@ -85,6 +90,32 @@ impl World {
     /// Spawns the CAS serving `connections` connections.
     pub fn serve_cas(&self, connections: usize, seed: u64) -> std::thread::JoinHandle<()> {
         self.cas.serve(&self.network, CAS_ADDR, connections, seed)
+    }
+
+    /// Gracefully restarts the CAS: persist its durable state, drop
+    /// the server, and rebuild one from the *same volume bytes* (a
+    /// disk-image round trip, exactly what a redeploy sees). The new
+    /// server holds the same keys and identity; whatever state was
+    /// persisted comes back through the snapshot-restore path.
+    pub fn restart_cas(&mut self) {
+        self.cas.persist_state().expect("persist state");
+        let image = self.cas.store().volume().to_disk_image();
+        self.rebuild_cas_from_image(&image);
+    }
+
+    /// Crash-restarts the CAS from an explicit volume image — used by
+    /// fault-injection tests that interrupt or corrupt the volume
+    /// between persist and rebuild. Does *not* persist first: whatever
+    /// the image holds is what the "rebooted machine" finds on disk.
+    pub fn rebuild_cas_from_image(&mut self, image: &[u8]) {
+        let volume = Volume::from_disk_image(image).expect("volume image");
+        let store = CasStore::open(volume, AeadKey::new(STORE_KEY)).expect("open store");
+        self.cas = CasServer::new(
+            self.channel_key.clone(),
+            self.signer_key.clone(),
+            self.attestation_root.clone(),
+            store,
+        );
     }
 }
 
