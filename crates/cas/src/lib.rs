@@ -14,13 +14,17 @@
 //!   parsing of the configuration details from the encrypted
 //!   database" that dominates Fig. 7c's miscellaneous time).
 //! * [`server`] — the network-facing service loop.
+//! * [`commit`] — group commit for the sealed redemption journal
+//!   (batched durability; what makes exactly-once crash-absolute
+//!   without a volume write per event).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod commit;
 pub mod policy;
 pub mod server;
 pub mod store;
 
 pub use policy::{PolicyMode, SessionPolicy};
-pub use server::CasServer;
+pub use server::{CasServer, JournalMode};

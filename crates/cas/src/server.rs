@@ -38,29 +38,52 @@
 //!
 //! # Durable state
 //!
-//! The issuer's trust-relevant caches survive restarts: the verified-
-//! SigStruct cache and the token table (outstanding grants plus
-//! redeemed tombstones) are sealed into the policy store's encrypted
-//! volume as a versioned snapshot ([`CasServer::persist_state`], on a
-//! configurable cadence of grants *and* redemptions, and at graceful
-//! shutdown) and restored at construction. A restarted CAS therefore
-//! serves its first repeat grant without re-running the ~0.4 ms RSA
-//! SigStruct verification, and a token redeemed before the last
-//! persisted snapshot stays redeemed after the restore. Restoration is
-//! fail-safe: any unreadable or refused snapshot is counted in
-//! [`CasStats::snapshot_rejected`] and the server starts cold — worse
-//! latency, never wider trust.
+//! Two mechanisms share the policy store's encrypted volume:
 //!
-//! The precise exactly-once guarantee across restarts is
-//! snapshot-relative. A *graceful* restart (persist, then rebuild)
-//! loses nothing. A *crash* falls back to the last snapshot:
-//! redemptions since that snapshot come back as outstanding, so the
-//! reuse window after a crash is bounded by the snapshot cadence —
-//! which is why redemptions trigger cadence snapshots exactly like
-//! grants do (and why a deployment wanting a zero-width window would
-//! journal each redemption synchronously; see ROADMAP). Tokens
-//! *issued* since the last snapshot come back unknown and are refused
-//! outright — that direction only ever fails closed.
+//! * **Snapshots** — the issuer's verified-SigStruct cache and token
+//!   table, sealed as a versioned snapshot
+//!   ([`CasServer::persist_state`], on a configurable grant/redemption
+//!   cadence and at graceful shutdown) and restored at construction,
+//!   so a restarted CAS serves its first repeat grant without
+//!   re-running the ~0.4 ms RSA SigStruct verification. Snapshot
+//!   writes are skipped while the durable state is unchanged since the
+//!   last persist (a dirty-epoch check; counted in
+//!   [`CasStats::snapshot_skipped_clean`]), so read-heavy workloads
+//!   pay no volume churn.
+//! * **The sealed redemption journal** — an append-only write-ahead
+//!   log of token deltas ([`sinclave::journal_record`]) under the
+//!   snapshot. Every grant and every redemption is appended **before
+//!   its reply is acknowledged**; restore replays the journal suffix
+//!   on top of the latest snapshot; each persisted snapshot writes a
+//!   checkpoint and truncates the epochs it covers, so the log stays
+//!   bounded.
+//!
+//! Exactly-once token redemption is therefore **crash-absolute**, not
+//! snapshot-relative: a token whose redemption was acked is never
+//! redeemable again, on any machine restored from this volume, no
+//! matter where the crash fell. The price is the group-commit batching
+//! window: concurrent redemptions coalesce into one sealed append
+//! (see [`crate::commit`]), and each redeem reply is *held until its
+//! batch seals* — one append's latency, amortized across every record
+//! that rode along. The per-record mode ([`JournalMode::PerRecord`])
+//! is the honest no-batching ablation; disabling the journal entirely
+//! ([`JournalMode::Disabled`]) re-opens the documented
+//! crash-reuse window that snapshots alone leave.
+//!
+//! Every failure degrades safely and observably. A refused snapshot is
+//! counted in [`CasStats::snapshot_rejected`] and the server starts
+//! cold — worse latency, never wider trust. A journal whose tail was
+//! torn by a crash restores to the last complete record (the torn
+//! append was never acked; counted in [`CasStats::journal_rejected`]).
+//! Journal damage a crash cannot produce — corruption *before*
+//! committed records — and a detected whole-disk-image rollback
+//! ([`CasServer::check_rollback`], against a `(generation, journal
+//! sequence)` witness the deployment keeps outside the volume; the
+//! sequence half catches a host deleting the journal's committed
+//! tail, which storage alone cannot distinguish from a clean end)
+//! additionally quarantine all outstanding tokens
+//! ([`CasStats::tokens_quarantined`]): grants must be re-requested,
+//! but no token can ever be redeemed twice.
 //!
 //! # RNG seed derivation
 //!
@@ -72,21 +95,25 @@
 //! never on thread scheduling. (Which dialing peer lands on which slot
 //! follows arrival order, as it would on a real listening socket.)
 
+use crate::commit::CommitPipe;
 use crate::policy::{PolicyMode, SessionPolicy};
 use crate::store::CasStore;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use sinclave::journal_record::{decode_batch, JournalRecord};
 use sinclave::protocol::Message;
 use sinclave::verifier::SingletonIssuer;
-use sinclave::{BaseEnclaveHash, SinclaveError};
+use sinclave::{AttestationToken, BaseEnclaveHash, SinclaveError};
 use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use sinclave_crypto::sha256::Digest;
+use sinclave_fs::journal::JournalDamage;
 use sinclave_net::{Connection, NetError, Network, SecureChannel};
+use sinclave_sgx::measurement::Measurement;
 use sinclave_sgx::quote::Quote;
 use sinclave_sgx::report::ReportBody;
 use sinclave_sgx::sigstruct::SigStruct;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -127,6 +154,32 @@ pub struct CasStats {
     /// starts cold instead; this counter moving on a production box
     /// means the volume was tampered with or rolled back.
     pub snapshot_rejected: AtomicU64,
+    /// Snapshot writes skipped because the durable state was unchanged
+    /// since the last persist (the dirty-epoch check) — expected to
+    /// move on read-heavy workloads; each skip is a volume rewrite
+    /// saved.
+    pub snapshot_skipped_clean: AtomicU64,
+    /// Journal records made durable (each one covered an acked grant
+    /// or redemption; batches of concurrent commits count per record).
+    pub journal_appended: AtomicU64,
+    /// Journal records whose covering append failed — the reply was
+    /// denied, the event is not durable. This moving means the volume
+    /// refuses writes; redemption service is failing closed.
+    pub journal_append_failed: AtomicU64,
+    /// Journal records replayed onto the restored snapshot at
+    /// construction (checkpoints included).
+    pub journal_replayed: AtomicU64,
+    /// Journal damage events at construction: a torn tail degraded to
+    /// the last complete record, or corruption/sequence damage that
+    /// additionally quarantined outstanding tokens.
+    pub journal_rejected: AtomicU64,
+    /// Whole-disk-image rollbacks detected by
+    /// [`CasServer::check_rollback`].
+    pub rollback_detected: AtomicU64,
+    /// Outstanding tokens dropped by fail-closed quarantine (journal
+    /// corruption or detected rollback). Holders must re-request
+    /// grants; no token is ever redeemable twice.
+    pub tokens_quarantined: AtomicU64,
 }
 
 /// Replies the pipelined per-connection loop may buffer ahead of the
@@ -135,6 +188,41 @@ pub struct CasStats {
 /// transport applies backpressure to dispatching instead of queueing
 /// unbounded sealed replies.
 const PIPELINE_DEPTH: usize = 4;
+
+/// How the sealed redemption journal is driven (see the module docs'
+/// durability section; `ablation/journal` measures all three).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalMode {
+    /// No journaling: exactly-once across crashes falls back to being
+    /// snapshot-relative (the pre-journal behavior, kept as the
+    /// bench baseline and an explicit opt-out).
+    Disabled,
+    /// One sealed append per record — the honest fsync-per-redemption
+    /// ablation: maximal durability granularity, no batching window,
+    /// worst throughput.
+    PerRecord,
+    /// Group commit (the default): concurrent commits coalesce into
+    /// one sealed append; replies are held until their batch seals.
+    GroupCommit,
+}
+
+impl JournalMode {
+    fn from_u8(value: u8) -> JournalMode {
+        match value {
+            0 => JournalMode::Disabled,
+            1 => JournalMode::PerRecord,
+            _ => JournalMode::GroupCommit,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            JournalMode::Disabled => 0,
+            JournalMode::PerRecord => 1,
+            JournalMode::GroupCommit => 2,
+        }
+    }
+}
 
 /// The CAS service.
 pub struct CasServer {
@@ -148,6 +236,34 @@ pub struct CasServer {
     /// `0` disables cadence-triggered snapshots (explicit
     /// [`CasServer::persist_state`] still works).
     snapshot_cadence: AtomicU64,
+    /// Group-commit pipe sequencing journal records.
+    pipe: CommitPipe,
+    /// Serializes [`CasServer::persist_state`]: two interleaved
+    /// persists (e.g. concurrent cadence triggers on worker threads)
+    /// could otherwise truncate a journal epoch holding a record whose
+    /// redemption a stale, about-to-be-written snapshot does not cover
+    /// — losing an acked event. Held across rotate → checkpoint →
+    /// export → write → truncate; the journal commit path never takes
+    /// it, so redemptions are not serialized behind persists.
+    persist_lock: parking_lot::Mutex<()>,
+    /// Encoded [`JournalMode`].
+    journal_mode: AtomicU8,
+    /// Monotonic restore generation: the value of the last persisted
+    /// snapshot/checkpoint (restored at construction, bumped per
+    /// persist). Compared against an externally kept witness by
+    /// [`CasServer::check_rollback`].
+    generation: AtomicU64,
+    /// The issuer mutation epoch covered by the on-disk snapshot;
+    /// persists are skipped while the live epoch still matches.
+    persisted_epoch: AtomicU64,
+    /// The journal sequence the restored snapshot was current through
+    /// — the continuity baseline journal replay enforces gap-freedom
+    /// above.
+    journal_baseline: AtomicU64,
+    /// Whether the volume currently holds a restorable snapshot (set
+    /// by a successful restore or persist) — a clean epoch only
+    /// justifies skipping the write when there is something on disk.
+    snapshot_on_disk: AtomicBool,
     /// Counters.
     pub stats: CasStats,
 }
@@ -166,13 +282,16 @@ impl CasServer {
     ///
     /// If the store's volume carries a durable-state snapshot (a
     /// previous instance called [`CasServer::persist_state`]), the
-    /// issuer is rehydrated from it — the restarted CAS comes up with
-    /// its verify cache warm and its token table (outstanding grants
-    /// *and* redeemed tombstones) intact. Any unreadable, corrupt,
-    /// wrong-version or wrong-identity snapshot is counted in
-    /// [`CasStats::snapshot_rejected`] and the server starts cold: a
-    /// bad snapshot can degrade performance, never widen trust, and
-    /// never prevents the CAS from starting.
+    /// issuer is rehydrated from it, and the sealed redemption journal
+    /// is then replayed on top — the restarted CAS comes up with its
+    /// verify cache warm and its token table exactly as of the last
+    /// *acked* event, not just the last snapshot. Any unreadable,
+    /// corrupt, wrong-version or wrong-identity snapshot is counted in
+    /// [`CasStats::snapshot_rejected`] and the server starts cold
+    /// (journal replay still applies); journal damage is classified
+    /// and counted per the module docs. A bad volume can degrade
+    /// performance or quarantine outstanding tokens, never widen
+    /// trust, and never prevents the CAS from starting.
     #[must_use]
     pub fn new(
         channel_key: RsaPrivateKey,
@@ -187,9 +306,21 @@ impl CasServer {
             attestation_root,
             store,
             snapshot_cadence: AtomicU64::new(0),
+            pipe: CommitPipe::new(),
+            persist_lock: parking_lot::Mutex::new(()),
+            journal_mode: AtomicU8::new(JournalMode::GroupCommit.as_u8()),
+            generation: AtomicU64::new(0),
+            persisted_epoch: AtomicU64::new(0),
+            journal_baseline: AtomicU64::new(0),
+            snapshot_on_disk: AtomicBool::new(false),
             stats: CasStats::default(),
         };
         server.restore_state();
+        // The on-disk snapshot covers exactly the state restored so
+        // far; journal replay below dirties the epoch again if it
+        // applies anything beyond the snapshot.
+        server.persisted_epoch.store(server.issuer.mutation_epoch(), Ordering::Relaxed);
+        server.replay_journal();
         Arc::new(server)
     }
 
@@ -230,6 +361,20 @@ impl CasServer {
     /// manifest as the single commit point, so a crash mid-persist
     /// leaves the previous good snapshot readable.
     ///
+    /// If the durable state is unchanged since the last persist (and a
+    /// snapshot is on disk), the write is skipped and counted in
+    /// [`CasStats::snapshot_skipped_clean`] — identical snapshots are
+    /// pure volume churn.
+    ///
+    /// A real persist is also the journal's checkpoint: the journal
+    /// rotates to a fresh epoch *first*, a checkpoint record carrying
+    /// the new restore generation is committed, the snapshot (which by
+    /// then covers everything in the retired epochs) is written, and
+    /// only then are the retired epochs deleted. A crash at any point
+    /// leaves either the old snapshot plus the full journal or the new
+    /// snapshot plus a replayable (idempotent) suffix — never a lost
+    /// acked event.
+    ///
     /// Call this at graceful shutdown; [`CasServer::set_snapshot_cadence`]
     /// additionally persists on a grant/redemption cadence.
     ///
@@ -241,11 +386,55 @@ impl CasServer {
     ///
     /// Propagates volume failures.
     pub fn persist_state(&self) -> Result<(), SinclaveError> {
-        if let Err(e) = self.store.persist_state(&self.issuer.export_snapshot().to_bytes()) {
-            self.stats.snapshot_persist_failed.fetch_add(1, Ordering::Relaxed);
-            return Err(e);
+        let _persisting = self.persist_lock.lock();
+        let epoch = self.issuer.mutation_epoch();
+        if self.snapshot_on_disk.load(Ordering::Relaxed)
+            && epoch == self.persisted_epoch.load(Ordering::Relaxed)
+        {
+            self.stats.snapshot_skipped_clean.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
         }
+        let fail = |e| {
+            self.stats.snapshot_persist_failed.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        };
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        let journaling = self.journal_mode() != JournalMode::Disabled;
+        let retired = if journaling {
+            match self.store.rotate_journal() {
+                Ok(retired) => retired,
+                Err(e) => return fail(e),
+            }
+        } else {
+            Vec::new()
+        };
+        if journaling {
+            if let Err(e) = self.commit_record(JournalRecord::Checkpoint { generation }) {
+                return fail(e);
+            }
+        }
+        // The snapshot is current through every journal record whose
+        // commit completed before this point (their in-memory
+        // mutations strictly precede their commits, and the export
+        // below reads after this): stamp that sequence as the replay
+        // continuity baseline.
+        let journal_sequence = self.pipe.sequence();
+        let mut snapshot = self.issuer.export_snapshot();
+        snapshot.generation = generation;
+        snapshot.journal_sequence = journal_sequence;
+        if let Err(e) = self.store.persist_state(&snapshot.to_bytes()) {
+            return fail(e);
+        }
+        self.generation.store(generation, Ordering::Relaxed);
+        self.persisted_epoch.store(epoch, Ordering::Relaxed);
+        self.snapshot_on_disk.store(true, Ordering::Relaxed);
         self.stats.snapshot_persisted.fetch_add(1, Ordering::Relaxed);
+        if journaling {
+            // Truncation is best-effort: a failure leaves extra epochs
+            // whose replay over the new snapshot is an idempotent
+            // no-op; the next persist retires them again.
+            let _ = self.store.remove_journal_epochs(&retired);
+        }
         Ok(())
     }
 
@@ -288,12 +477,214 @@ impl CasServer {
                 return;
             }
         };
-        let restored = sinclave::snapshot::IssuerSnapshot::from_bytes(&bytes)
-            .and_then(|snapshot| self.issuer.restore_snapshot(&snapshot));
+        let restored =
+            sinclave::snapshot::IssuerSnapshot::from_bytes(&bytes).and_then(|snapshot| {
+                self.issuer.restore_snapshot(&snapshot)?;
+                Ok((snapshot.generation, snapshot.journal_sequence))
+            });
         match restored {
-            Ok(_) => self.stats.snapshot_restored.fetch_add(1, Ordering::Relaxed),
-            Err(_) => self.stats.snapshot_rejected.fetch_add(1, Ordering::Relaxed),
+            Ok((generation, journal_sequence)) => {
+                self.generation.store(generation, Ordering::Relaxed);
+                self.journal_baseline.store(journal_sequence, Ordering::Relaxed);
+                self.snapshot_on_disk.store(true, Ordering::Relaxed);
+                self.stats.snapshot_restored.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stats.snapshot_rejected.fetch_add(1, Ordering::Relaxed);
+            }
         };
+    }
+
+    /// Replays the sealed redemption journal on top of whatever the
+    /// snapshot restore produced, at construction time. Never fails
+    /// the construction:
+    ///
+    /// * every record in the clean prefix is applied idempotently and
+    ///   counted in [`CasStats::journal_replayed`];
+    /// * a torn tail (the one damage shape a crash can produce; its
+    ///   append was never acked) is counted in
+    ///   [`CasStats::journal_rejected`] and the state stands at the
+    ///   last complete record;
+    /// * damage a crash cannot produce — corruption before committed
+    ///   records, an unreadable journal, a sequence gap or regression
+    ///   — is also counted, and additionally quarantines every
+    ///   outstanding token: fail closed, never honor state the log
+    ///   cannot vouch for.
+    fn replay_journal(&self) {
+        let recovery = match self.store.recover_journal() {
+            Ok(recovery) => recovery,
+            Err(_) => {
+                self.stats.journal_rejected.fetch_add(1, Ordering::Relaxed);
+                self.quarantine("journal unreadable");
+                return;
+            }
+        };
+        let baseline = self.journal_baseline.load(Ordering::Relaxed);
+        let mut generation = self.generation.load(Ordering::Relaxed);
+        let mut last_seq = 0u64;
+        let mut torn = matches!(recovery.damage, Some(JournalDamage::TornTail { .. }));
+        let mut corrupt = matches!(recovery.damage, Some(JournalDamage::Corrupt { .. }));
+        let chunk_count = recovery.chunks.len();
+        'replay: for (pos, chunk) in recovery.chunks.iter().enumerate() {
+            let batch = decode_batch(&chunk.payload);
+            for sequenced in &batch.records {
+                if sequenced.seq <= last_seq {
+                    // Appends are sequenced strictly forward; a
+                    // regression or repeat is tampering, not a crash.
+                    corrupt = true;
+                    break 'replay;
+                }
+                if sequenced.seq > baseline && sequenced.seq != last_seq.max(baseline) + 1 {
+                    // Above the snapshot's baseline the sequence must
+                    // be gap-free: every missing number is an acked
+                    // record the snapshot does not cover — a host
+                    // deleting a span of committed chunks (or a whole
+                    // epoch) looks exactly like this, and storage
+                    // alone cannot tell it from a clean end. (Below
+                    // the baseline, gaps are safe: those records'
+                    // effects are already in the snapshot.)
+                    corrupt = true;
+                    break 'replay;
+                }
+                last_seq = sequenced.seq;
+                if let JournalRecord::Checkpoint { generation: g } = sequenced.record {
+                    generation = generation.max(g);
+                } else {
+                    self.issuer.apply_record(&sequenced.record);
+                }
+                self.stats.journal_replayed.fetch_add(1, Ordering::Relaxed);
+            }
+            if batch.damaged.is_some() {
+                // Record-level damage inside a committed chunk: benign
+                // only as the very tail of the journal (a torn batch
+                // whose suffix was never acked); anywhere else it is
+                // corruption.
+                if pos == chunk_count - 1 && recovery.damage.is_none() {
+                    torn = true;
+                } else {
+                    corrupt = true;
+                }
+                break;
+            }
+        }
+        self.generation.store(generation, Ordering::Relaxed);
+        self.pipe.resume_after(last_seq.max(baseline));
+        if torn || corrupt {
+            self.stats.journal_rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        if corrupt {
+            self.quarantine("journal corrupt");
+        }
+    }
+
+    /// Fail-closed quarantine: drops every outstanding token (each
+    /// becomes "unknown", which is refused) and counts them. `reason`
+    /// documents the call sites; the counters carry the signal.
+    fn quarantine(&self, reason: &'static str) {
+        let _ = reason;
+        let dropped = self.issuer.quarantine_outstanding();
+        self.stats.tokens_quarantined.fetch_add(dropped as u64, Ordering::Relaxed);
+    }
+
+    /// The current restore generation (monotonic across persists).
+    /// Deployments record this *outside* the volume — together with
+    /// [`CasServer::journal_sequence`] — after each graceful persist
+    /// and hand both back to [`CasServer::check_rollback`] after a
+    /// restore.
+    #[must_use]
+    pub fn restore_generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// The highest journal record sequence number this server has
+    /// committed (after a restore: the last sequence replayed). The
+    /// second half of the rollback witness: generations only move at
+    /// snapshots, so they cannot see a host deleting the journal's
+    /// committed *tail* — which is indistinguishable from a clean
+    /// journal end at the storage layer. The sequence can.
+    #[must_use]
+    pub fn journal_sequence(&self) -> u64 {
+        self.pipe.sequence()
+    }
+
+    /// Compares the restored state against an externally kept witness
+    /// `(generation, journal sequence)`. A volume whose snapshot *and*
+    /// checkpoints are older than the witnessed generation, or whose
+    /// replayed journal ends before the witnessed sequence, can only
+    /// be a replayed older disk image or a truncated journal: the
+    /// rollback is counted in [`CasStats::rollback_detected`] and
+    /// every outstanding token is quarantined — the rolled-back table
+    /// may resurrect tokens redeemed (and acked) on the newer image,
+    /// so none of them may be honored. Returns whether a rollback was
+    /// detected.
+    ///
+    /// Residual honesty: events acked *after* the witness was last
+    /// refreshed are not covered — deleting exactly that suffix is
+    /// undetectable by any periodically refreshed witness. Refreshing
+    /// per persist bounds the exposure to one checkpoint window; a
+    /// platform monotonic counter updated per append would close it
+    /// entirely (see ROADMAP).
+    pub fn check_rollback(&self, witness_generation: u64, witness_sequence: u64) -> bool {
+        if self.generation.load(Ordering::Relaxed) >= witness_generation
+            && self.pipe.sequence() >= witness_sequence
+        {
+            return false;
+        }
+        self.stats.rollback_detected.fetch_add(1, Ordering::Relaxed);
+        self.quarantine("disk image rollback");
+        true
+    }
+
+    /// Selects how redemption journaling is driven (default:
+    /// [`JournalMode::GroupCommit`]). Exposed for the
+    /// `ablation/journal` bench and for deployments that accept the
+    /// documented crash window in exchange for zero append cost.
+    pub fn set_journal_mode(&self, mode: JournalMode) {
+        self.journal_mode.store(mode.as_u8(), Ordering::Relaxed);
+    }
+
+    /// The current journal mode.
+    #[must_use]
+    pub fn journal_mode(&self) -> JournalMode {
+        JournalMode::from_u8(self.journal_mode.load(Ordering::Relaxed))
+    }
+
+    /// Commits one record through the group-commit pipe (see
+    /// [`crate::commit`]); returns once it is durable. In
+    /// [`JournalMode::Disabled`] this is a no-op.
+    fn commit_record(&self, record: JournalRecord) -> Result<(), SinclaveError> {
+        let mode = self.journal_mode();
+        if mode == JournalMode::Disabled {
+            return Ok(());
+        }
+        self.pipe.commit(mode == JournalMode::GroupCommit, record, &self.stats, |payload| {
+            self.store.append_journal(payload)
+        })
+    }
+
+    /// Redeems a token durably: the in-memory exactly-once transition
+    /// first, then the journal append — the reply (and therefore the
+    /// ack the caller builds from it) must not exist before the record
+    /// does. On append failure the token stays consumed in memory and
+    /// the call errors: the service fails closed rather than acking an
+    /// event a crash could forget.
+    ///
+    /// # Errors
+    ///
+    /// * [`SinclaveError::TokenNotRedeemable`] — unknown, reused, or
+    ///   measurement-mismatched token.
+    /// * [`SinclaveError::JournalInvalid`] — the durable append
+    ///   failed; the redemption must not be acked.
+    pub fn redeem_token(
+        &self,
+        token: &AttestationToken,
+        attested_mrenclave: &Measurement,
+    ) -> Result<Measurement, SinclaveError> {
+        let common = self.issuer.redeem(token, attested_mrenclave)?;
+        self.commit_record(SingletonIssuer::redemption_record(token))?;
+        let redeemed = self.stats.tokens_redeemed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.persist_on_cadence(redeemed);
+        Ok(common)
     }
 
     /// Default worker-pool width: one worker per core, capped at 8
@@ -478,13 +869,31 @@ impl CasServer {
         // of Fig. 7c's retrieval cost.
         match self.issuer.issue(rng, &sigstruct, &base_hash) {
             Ok(grant) => {
+                // Durability ordering: the grant delta is journaled
+                // before the reply exists, so a crash after the ack
+                // cannot forget a token the starter is about to
+                // redeem. (Without the record the token would come
+                // back unknown — refused, i.e. failing closed — but
+                // the legitimate singleton would be unable to attest.)
+                if let Some(record) = self.issuer.grant_record(&grant) {
+                    if self.commit_record(record).is_err() {
+                        // The denied token never leaves the server;
+                        // withdrawing it keeps the table from leaking
+                        // a forever-Issued entry per failed append.
+                        // (A cadence snapshot racing this window can
+                        // still capture the token as Issued; the
+                        // withdrawal dirties the epoch so the next
+                        // persist corrects it, and until then a crash
+                        // restores an unredeemable entry — fails
+                        // closed, never honors it.)
+                        self.issuer.withdraw_token(&grant.token);
+                        return Message::Denied { reason: "journal append failed".into() };
+                    }
+                }
                 let issued = self.stats.grants_issued.fetch_add(1, Ordering::Relaxed) + 1;
                 // Cadence-triggered durability: every Nth grant seals
-                // the issuer's state into the volume, so a crash loses
-                // at most a cadence window of cache warmth. Tokens for
-                // grants issued after the last snapshot come up
-                // unknown after a crash and are refused — that
-                // direction fails closed.
+                // the issuer's state into the volume, bounding how
+                // much cache warmth a crash loses.
                 self.persist_on_cadence(issued);
                 Message::GrantResponse {
                     token: grant.token,
@@ -533,17 +942,6 @@ impl CasServer {
             return Message::Denied { reason };
         }
 
-        // A token that survived check_identity was consumed (the only
-        // accepting arm with a token is the redeeming one). Redemption
-        // is the trust-critical transition to make durable: a crash
-        // rolling back to a pre-redemption snapshot re-opens the reuse
-        // window for this token, so redemptions drive the snapshot
-        // cadence exactly like grants do.
-        if token.is_some() {
-            let redeemed = self.stats.tokens_redeemed.fetch_add(1, Ordering::Relaxed) + 1;
-            self.persist_on_cadence(redeemed);
-        }
-
         self.stats.configs_delivered.fetch_add(1, Ordering::Relaxed);
         Message::ConfigResponse { config: policy.config.to_bytes() }
     }
@@ -577,10 +975,13 @@ impl CasServer {
             }
             (Some(token), PolicyMode::Singleton | PolicyMode::Either) => {
                 // Exactly-once token redemption, bound to the attested
-                // measurement; then bind the singleton to *this*
-                // application via its common measurement.
+                // measurement — and made *durable* (journaled) before
+                // this arm returns, so the reply acking it cannot
+                // outlive a crash the redemption does not. Then bind
+                // the singleton to *this* application via its common
+                // measurement.
                 let common =
-                    self.issuer.redeem(token, &body.mrenclave).map_err(|e| e.to_string())?;
+                    self.redeem_token(token, &body.mrenclave).map_err(|e| e.to_string())?;
                 if common == policy.expected_common {
                     Ok(())
                 } else {

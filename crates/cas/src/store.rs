@@ -20,12 +20,18 @@
 //! snapshot (verify-cache keys + token table) at [`SNAPSHOT_PATH`],
 //! through the same encrypted volume: the snapshot gets chunk-level
 //! tamper detection and the volume's crash-safe rewrite (fresh file
-//! id, manifest flip) without any bespoke machinery.
+//! id, manifest flip) without any bespoke machinery. The sealed
+//! redemption journal lives alongside it under [`JOURNAL_ROOT`]
+//! ([`sinclave_fs::journal`]): appends commit at chunk granularity —
+//! one seal, no manifest rewrite — which is what lets the CAS make
+//! every redemption durable before acking it without paying a
+//! snapshot write per event.
 
 use crate::policy::SessionPolicy;
 use parking_lot::{Mutex, RwLock};
 use sinclave::SinclaveError;
 use sinclave_crypto::aead::AeadKey;
+use sinclave_fs::journal::{Journal, Recovery};
 use sinclave_fs::Volume;
 use std::collections::HashMap;
 use std::fmt;
@@ -38,6 +44,10 @@ const POLICY_PREFIX: &str = "policies/";
 /// volume. Living in the volume, the snapshot inherits chunk-level
 /// tamper detection and nonce-unique crash-safe rewrites for free.
 pub const SNAPSHOT_PATH: &str = "state/issuer-snapshot";
+
+/// Root of the sealed redemption journal inside the encrypted volume
+/// (epochs live at `<root>/epoch-<n>`).
+pub const JOURNAL_ROOT: &str = "journal/redemption";
 
 /// Number of independent cache shards. Config ids hash uniformly, so
 /// a small fixed power of two is enough to keep concurrent retrievals
@@ -59,6 +69,12 @@ pub struct CasStore {
     key: AeadKey,
     /// Decoded read cache, sharded by config id.
     shards: Box<[PolicyShard]>,
+    /// The sealed redemption journal's append handle, opened by
+    /// [`CasStore::recover_journal`]. Lock order is always
+    /// journal → volume; appends hold both briefly (the group-commit
+    /// layer above already serializes flushers, so this lock is
+    /// uncontended in practice).
+    journal: Mutex<Option<Journal>>,
 }
 
 impl fmt::Debug for CasStore {
@@ -81,6 +97,7 @@ impl CasStore {
             volume: Mutex::new(Volume::format(&key, "cas-db")),
             key,
             shards: Self::empty_shards(),
+            journal: Mutex::new(None),
         }
     }
 
@@ -97,7 +114,12 @@ impl CasStore {
         // have left behind; orphans are unreachable through every read
         // path, so this is purely a space reclaim.
         let _ = volume.sweep_orphans(&key);
-        let store = CasStore { volume: Mutex::new(volume), key, shards: Self::empty_shards() };
+        let store = CasStore {
+            volume: Mutex::new(volume),
+            key,
+            shards: Self::empty_shards(),
+            journal: Mutex::new(None),
+        };
         for config_id in store.list_policies()? {
             let path = format!("{POLICY_PREFIX}{config_id}");
             let bytes = store
@@ -214,6 +236,94 @@ impl CasStore {
             Err(sinclave_fs::FsError::NotFound { .. }) => Ok(None),
             Err(_) => Err(SinclaveError::SnapshotInvalid { context: "snapshot file unreadable" }),
         }
+    }
+
+    // ---- Redemption journal ----------------------------------------------
+
+    /// Opens (or reopens) the sealed redemption journal under
+    /// [`JOURNAL_ROOT`]: replays every committed chunk, classifies
+    /// damage, reclaims a benign torn tail, and rolls a fresh epoch so
+    /// subsequent appends never touch a consumed chunk index. Called
+    /// once at server construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates volume failures as [`SinclaveError::JournalInvalid`].
+    pub fn recover_journal(&self) -> Result<Recovery, SinclaveError> {
+        let mut slot = self.journal.lock();
+        let (journal, recovery) =
+            Journal::recover(&mut self.volume.lock(), &self.key, JOURNAL_ROOT)
+                .map_err(|_| SinclaveError::JournalInvalid { context: "journal unreadable" })?;
+        *slot = Some(journal);
+        Ok(recovery)
+    }
+
+    /// Appends one sealed group-commit payload; returning `Ok` is the
+    /// durability point the CAS acks redemptions against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::JournalInvalid`] if the journal was
+    /// never recovered or the volume refuses the append.
+    pub fn append_journal(&self, payload: &[u8]) -> Result<(), SinclaveError> {
+        let mut slot = self.journal.lock();
+        let journal = slot
+            .as_mut()
+            .ok_or(SinclaveError::JournalInvalid { context: "journal not recovered" })?;
+        journal.append(&mut self.volume.lock(), &self.key, payload);
+        Ok(())
+    }
+
+    /// Starts a fresh journal epoch (snapshot checkpoint) and returns
+    /// the retired epochs for [`CasStore::remove_journal_epochs`] once
+    /// the covering snapshot is durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::JournalInvalid`] on volume failures.
+    pub fn rotate_journal(&self) -> Result<Vec<u64>, SinclaveError> {
+        let mut slot = self.journal.lock();
+        let journal = slot
+            .as_mut()
+            .ok_or(SinclaveError::JournalInvalid { context: "journal not recovered" })?;
+        journal
+            .rotate(&mut self.volume.lock(), &self.key)
+            .map_err(|_| SinclaveError::JournalInvalid { context: "journal rotate failed" })
+    }
+
+    /// Deletes retired journal epochs (truncation behind a durable
+    /// snapshot). Missing epochs are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::JournalInvalid`] on volume failures.
+    pub fn remove_journal_epochs(&self, epochs: &[u64]) -> Result<(), SinclaveError> {
+        let slot = self.journal.lock();
+        let journal = slot
+            .as_ref()
+            .ok_or(SinclaveError::JournalInvalid { context: "journal not recovered" })?;
+        journal
+            .remove_epochs(&mut self.volume.lock(), &self.key, epochs)
+            .map_err(|_| SinclaveError::JournalInvalid { context: "journal truncate failed" })
+    }
+
+    /// Number of journal epochs currently on the volume (observability
+    /// for the log-stays-bounded property).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ProtocolDecode`] on volume failures.
+    pub fn journal_epoch_count(&self) -> Result<usize, SinclaveError> {
+        Journal::epochs(&self.volume.lock(), &self.key, JOURNAL_ROOT)
+            .map(|epochs| epochs.len())
+            .map_err(|_| SinclaveError::ProtocolDecode)
+    }
+
+    /// Sets the modeled block-device flush latency on the underlying
+    /// volume (see [`Volume::set_flush_latency_micros`]); used by
+    /// benchmarks so durability trade-offs are costed like hardware.
+    pub fn set_flush_latency_micros(&self, micros: u64) {
+        self.volume.lock().set_flush_latency_micros(micros);
     }
 
     /// A snapshot of the underlying volume (for persistence by the

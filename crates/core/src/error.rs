@@ -36,6 +36,13 @@ pub enum SinclaveError {
         /// Which check refused the snapshot.
         context: &'static str,
     },
+    /// A redemption-journal record or append was refused (framing,
+    /// checksum, version, sequencing, or a failed durable write) —
+    /// replay degrades to the clean prefix, commits fail closed.
+    JournalInvalid {
+        /// Which check (or operation) refused the record.
+        context: &'static str,
+    },
     /// An underlying SGX operation failed.
     Sgx(sinclave_sgx::SgxError),
     /// An underlying cryptographic operation failed.
@@ -60,6 +67,9 @@ impl fmt::Display for SinclaveError {
             SinclaveError::ProtocolDecode => write!(f, "protocol message malformed"),
             SinclaveError::SnapshotInvalid { context } => {
                 write!(f, "state snapshot refused: {context}")
+            }
+            SinclaveError::JournalInvalid { context } => {
+                write!(f, "redemption journal refused: {context}")
             }
             SinclaveError::Sgx(e) => write!(f, "sgx: {e}"),
             SinclaveError::Crypto(e) => write!(f, "crypto: {e}"),

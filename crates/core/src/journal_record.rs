@@ -1,0 +1,387 @@
+//! The sealed redemption journal's record codec.
+//!
+//! PR 4's snapshots made the issuer's durable state restart-safe, but
+//! exactly-once redemption stayed *snapshot-relative*: a crash
+//! re-exposed every token redeemed since the last snapshot. The
+//! journal closes that window: the CAS appends a record for every
+//! trust-relevant token transition **before** acknowledging it, and a
+//! restarted verifier replays the journal suffix on top of the latest
+//! snapshot. This module defines what one journal record looks like;
+//! where the sealed bytes live (append-only chunks in the encrypted
+//! volume) is `sinclave_fs::journal`'s business, and the group-commit
+//! batching policy is the CAS server's.
+//!
+//! # Wire format
+//!
+//! Every record is individually framed, versioned, **sequenced** and
+//! checksummed:
+//!
+//! ```text
+//! magic     4 bytes   "SJRL"
+//! version   u16 BE    RECORD_VERSION
+//! seq       u64 BE    monotonically increasing record sequence
+//! body_len  u32 BE    exact length of the body that follows
+//! body      body_len  tag byte + wire-codec fields
+//! digest    32 bytes  SHA-256 over everything above
+//! ```
+//!
+//! A group-commit batch is simply the concatenation of framed records;
+//! [`decode_batch`] walks it front to back and stops at the first
+//! record that fails any check, handing back the clean prefix plus the
+//! reason — a torn tail degrades to the last complete record, never to
+//! a half-parsed one and never to a panic. The sequence numbers let
+//! the replayer prove it saw every record in order: a gap or
+//! regression after damage can only mean tampering, not a crash.
+//!
+//! As with the snapshot codec, the trailing digest is not a security
+//! boundary (the AEAD-sealed volume chunks provide tamper detection);
+//! it turns "plausibly decodes to a different record" — a software
+//! bug, a partial plaintext write — into a total, counted rejection.
+
+use crate::error::SinclaveError;
+use crate::token::TOKEN_LEN;
+use sinclave_crypto::sha256;
+use sinclave_net::wire::{Decode, Encode, Reader};
+
+/// Magic bytes every journal record starts with.
+pub const RECORD_MAGIC: [u8; 4] = *b"SJRL";
+
+/// The record format version this build writes and accepts.
+pub const RECORD_VERSION: u16 = 1;
+
+/// Fixed framing before the body: magic + version + seq + body length.
+const RECORD_HEADER_LEN: usize = 4 + 2 + 8 + 4;
+
+/// Trailing SHA-256 over header and body.
+const RECORD_CHECKSUM_LEN: usize = 32;
+
+const TAG_GRANTED: u8 = 0;
+const TAG_REDEEMED: u8 = 1;
+const TAG_CHECKPOINT: u8 = 2;
+
+/// One durable-state delta the issuer emits and the journal makes
+/// crash-proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A singleton grant was issued: the token now exists and is
+    /// outstanding. Carried so a crash after the grant ack cannot
+    /// forget a token the starter is about to redeem.
+    TokenGranted {
+        /// The issued token bytes.
+        token: [u8; TOKEN_LEN],
+        /// The `MRENCLAVE` predicted at issue time.
+        expected: [u8; 32],
+        /// The common measurement of the granted binary.
+        common: [u8; 32],
+    },
+    /// A token was redeemed — the trust-critical transition. Appended
+    /// (and made durable) before the redeem reply is acknowledged, so
+    /// no acked redemption is ever replayable after a crash.
+    TokenRedeemed {
+        /// The redeemed token bytes.
+        token: [u8; TOKEN_LEN],
+    },
+    /// A snapshot checkpoint: everything before this record is folded
+    /// into the snapshot of the named restore generation, so replay of
+    /// older records is an idempotent no-op and the log can be
+    /// truncated behind it. The generation also feeds whole-disk-image
+    /// rollback detection.
+    Checkpoint {
+        /// The monotonic restore generation of the snapshot.
+        generation: u64,
+    },
+}
+
+impl Encode for JournalRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            JournalRecord::TokenGranted { token, expected, common } => {
+                out.push(TAG_GRANTED);
+                token.encode_into(out);
+                expected.encode_into(out);
+                common.encode_into(out);
+            }
+            JournalRecord::TokenRedeemed { token } => {
+                out.push(TAG_REDEEMED);
+                token.encode_into(out);
+            }
+            JournalRecord::Checkpoint { generation } => {
+                out.push(TAG_CHECKPOINT);
+                generation.encode_into(out);
+            }
+        }
+    }
+}
+
+impl Decode for JournalRecord {
+    /// The smallest record body: a tag plus a u64 (checkpoint).
+    const MIN_ENCODED_LEN: usize = 1 + 8;
+
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, sinclave_net::NetError> {
+        match u8::decode(reader)? {
+            TAG_GRANTED => Ok(JournalRecord::TokenGranted {
+                token: <[u8; TOKEN_LEN]>::decode(reader)?,
+                expected: <[u8; 32]>::decode(reader)?,
+                common: <[u8; 32]>::decode(reader)?,
+            }),
+            TAG_REDEEMED => {
+                Ok(JournalRecord::TokenRedeemed { token: <[u8; TOKEN_LEN]>::decode(reader)? })
+            }
+            TAG_CHECKPOINT => Ok(JournalRecord::Checkpoint { generation: u64::decode(reader)? }),
+            _ => Err(sinclave_net::NetError::Decode { context: "journal record tag" }),
+        }
+    }
+}
+
+/// A journal record together with its position in the total order of
+/// durable-state deltas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SequencedRecord {
+    /// Monotonically increasing sequence number (starts at 1; survives
+    /// checkpoints, so the whole journal history is totally ordered).
+    pub seq: u64,
+    /// The delta itself.
+    pub record: JournalRecord,
+}
+
+impl SequencedRecord {
+    /// Serializes the record with framing: magic, version, sequence,
+    /// body length, body, trailing SHA-256.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body = self.record.encode();
+        let mut out = Vec::with_capacity(RECORD_HEADER_LEN + body.len() + RECORD_CHECKSUM_LEN);
+        out.extend_from_slice(&RECORD_MAGIC);
+        out.extend_from_slice(&RECORD_VERSION.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&body);
+        let digest = sha256::digest(&out);
+        out.extend_from_slice(digest.as_bytes());
+        out
+    }
+
+    /// Parses one framed record from the front of `bytes`, returning
+    /// it and the number of bytes consumed. Rejection is total: any
+    /// framing, version, checksum or body failure yields an error and
+    /// consumes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::JournalInvalid`] naming the first
+    /// check that failed.
+    pub fn parse_prefix(bytes: &[u8]) -> Result<(Self, usize), SinclaveError> {
+        let reject = |context| Err(SinclaveError::JournalInvalid { context });
+        if bytes.len() < RECORD_HEADER_LEN + RECORD_CHECKSUM_LEN {
+            return reject("truncated record header");
+        }
+        if bytes[..4] != RECORD_MAGIC {
+            return reject("bad record magic");
+        }
+        let version = u16::from_be_bytes(bytes[4..6].try_into().expect("2"));
+        if version != RECORD_VERSION {
+            return reject("unsupported record version");
+        }
+        let seq = u64::from_be_bytes(bytes[6..14].try_into().expect("8"));
+        let body_len = u32::from_be_bytes(bytes[14..18].try_into().expect("4")) as usize;
+        let total = RECORD_HEADER_LEN
+            .checked_add(body_len)
+            .and_then(|n| n.checked_add(RECORD_CHECKSUM_LEN))
+            .filter(|&n| n <= bytes.len());
+        let Some(total) = total else {
+            return reject("truncated record body");
+        };
+        let framed = &bytes[..total - RECORD_CHECKSUM_LEN];
+        let checksum = &bytes[total - RECORD_CHECKSUM_LEN..total];
+        if sha256::digest(framed).as_bytes() != checksum {
+            return reject("record checksum mismatch");
+        }
+        let record = JournalRecord::decode_all(&framed[RECORD_HEADER_LEN..])
+            .map_err(|_| SinclaveError::JournalInvalid { context: "record body" })?;
+        Ok((SequencedRecord { seq, record }, total))
+    }
+
+    /// Parses exactly one record that must span the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::JournalInvalid`] on any framing, body,
+    /// or trailing-bytes failure.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SinclaveError> {
+        let (record, consumed) = Self::parse_prefix(bytes)?;
+        if consumed != bytes.len() {
+            return Err(SinclaveError::JournalInvalid { context: "trailing bytes" });
+        }
+        Ok(record)
+    }
+}
+
+/// Concatenates framed records into one group-commit batch payload.
+#[must_use]
+pub fn encode_batch(records: &[SequencedRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for record in records {
+        out.extend_from_slice(&record.to_bytes());
+    }
+    out
+}
+
+/// What [`decode_batch`] recovered from one sealed batch payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchDecode {
+    /// The clean prefix of records, in payload order.
+    pub records: Vec<SequencedRecord>,
+    /// `Some(reason)` if the payload ended in bytes that do not frame
+    /// a complete valid record — a torn tail (or tampering, which the
+    /// replayer distinguishes by position). The records before the
+    /// damage are still good.
+    pub damaged: Option<&'static str>,
+}
+
+/// Walks a batch payload front to back, recovering every complete
+/// record up to the first damage. Never panics on any input.
+#[must_use]
+pub fn decode_batch(bytes: &[u8]) -> BatchDecode {
+    let mut records = Vec::new();
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        match SequencedRecord::parse_prefix(rest) {
+            Ok((record, consumed)) => {
+                records.push(record);
+                rest = &rest[consumed..];
+            }
+            Err(SinclaveError::JournalInvalid { context }) => {
+                return BatchDecode { records, damaged: Some(context) };
+            }
+            Err(_) => return BatchDecode { records, damaged: Some("record") },
+        }
+    }
+    BatchDecode { records, damaged: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<SequencedRecord> {
+        vec![
+            SequencedRecord {
+                seq: 1,
+                record: JournalRecord::TokenGranted {
+                    token: [0x11; TOKEN_LEN],
+                    expected: [0x22; 32],
+                    common: [0x33; 32],
+                },
+            },
+            SequencedRecord { seq: 2, record: JournalRecord::TokenRedeemed { token: [0x11; 32] } },
+            SequencedRecord { seq: 3, record: JournalRecord::Checkpoint { generation: 7 } },
+        ]
+    }
+
+    #[test]
+    fn single_record_roundtrip() {
+        for record in samples() {
+            let bytes = record.to_bytes();
+            assert_eq!(SequencedRecord::from_bytes(&bytes).unwrap(), record);
+            // Deterministic bytes for identical records.
+            assert_eq!(record.to_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let records = samples();
+        let decoded = decode_batch(&encode_batch(&records));
+        assert_eq!(decoded.records, records);
+        assert_eq!(decoded.damaged, None);
+        // The empty batch is clean, not damaged.
+        assert_eq!(decode_batch(&[]), BatchDecode { records: vec![], damaged: None });
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        for record in samples() {
+            let bytes = record.to_bytes();
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut corrupt = bytes.clone();
+                    corrupt[i] ^= 1 << bit;
+                    assert!(
+                        SequencedRecord::from_bytes(&corrupt).is_err(),
+                        "flip of bit {bit} in byte {i} accepted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = samples()[0].to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(SequencedRecord::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn torn_batch_degrades_to_complete_prefix() {
+        let records = samples();
+        let batch = encode_batch(&records);
+        let boundaries: Vec<usize> = records
+            .iter()
+            .scan(0, |pos, r| {
+                *pos += r.to_bytes().len();
+                Some(*pos)
+            })
+            .collect();
+        // Every byte-level tear recovers exactly the records whose
+        // frames fit before the cut.
+        for cut in 0..batch.len() {
+            let decoded = decode_batch(&batch[..cut]);
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count();
+            assert_eq!(decoded.records.len(), complete, "cut at {cut}");
+            assert_eq!(decoded.records[..], records[..complete]);
+            assert_eq!(decoded.damaged.is_some(), cut != 0 && !boundaries.contains(&cut));
+        }
+    }
+
+    #[test]
+    fn version_bump_with_valid_checksum_is_rejected() {
+        let mut bytes = samples()[1].to_bytes();
+        let framed = bytes.len() - RECORD_CHECKSUM_LEN;
+        bytes[4..6].copy_from_slice(&(RECORD_VERSION + 1).to_be_bytes());
+        let digest = sha256::digest(&bytes[..framed]);
+        bytes[framed..].copy_from_slice(digest.as_bytes());
+        assert_eq!(
+            SequencedRecord::from_bytes(&bytes),
+            Err(SinclaveError::JournalInvalid { context: "unsupported record version" })
+        );
+    }
+
+    #[test]
+    fn unknown_tag_rejected_even_with_valid_checksum() {
+        let mut body = samples()[1].record.encode();
+        body[0] = 9; // undefined tag
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&RECORD_MAGIC);
+        bytes.extend_from_slice(&RECORD_VERSION.to_be_bytes());
+        bytes.extend_from_slice(&4u64.to_be_bytes());
+        bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&body);
+        let digest = sha256::digest(&bytes);
+        bytes.extend_from_slice(digest.as_bytes());
+        assert_eq!(
+            SequencedRecord::from_bytes(&bytes),
+            Err(SinclaveError::JournalInvalid { context: "record body" })
+        );
+    }
+
+    #[test]
+    fn hostile_body_length_rejected_without_panic() {
+        let mut bytes = samples()[2].to_bytes();
+        // Claim a body far past the end of the buffer (and near
+        // usize::MAX, which must not overflow the total computation).
+        bytes[14..18].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(SequencedRecord::from_bytes(&bytes).is_err());
+    }
+}

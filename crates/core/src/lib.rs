@@ -30,6 +30,10 @@
 //!   verifier's durable state (verify-cache keys + token table), so a
 //!   restarted verifier comes up warm without weakening any trust
 //!   decision it cached.
+//! * [`journal_record`] — the sealed redemption journal's record
+//!   codec (token grants/redemptions + snapshot checkpoints), the
+//!   deltas that make exactly-once redemption crash-absolute instead
+//!   of snapshot-relative.
 //!
 //! # The mechanism in one paragraph
 //!
@@ -50,6 +54,7 @@ pub mod base_hash;
 pub mod config;
 pub mod error;
 pub mod instance_page;
+pub mod journal_record;
 pub mod layout;
 pub mod protocol;
 pub mod shard;

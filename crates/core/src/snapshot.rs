@@ -62,7 +62,10 @@ use sinclave_sgx::verify_cache::KEY_LEN;
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SINSNAP\0";
 
 /// The snapshot format version this build writes and accepts.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Version 2 added the monotonic restore generation (rollback
+/// freshness); version-1 snapshots are refused like any other unknown
+/// version and degrade to a counted cold start.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// Fixed framing before the body: magic + version + body length.
 const HEADER_LEN: usize = 8 + 2 + 4;
@@ -109,6 +112,19 @@ pub struct IssuerSnapshot {
     /// verify-cache keys attest. A restoring issuer refuses snapshots
     /// naming a signer other than its pinned one.
     pub signer_fingerprint: [u8; 32],
+    /// Monotonic restore generation: bumped on every persisted
+    /// snapshot and mirrored into journal checkpoint records. Compared
+    /// against a counter kept *outside* the volume, it lets a CAS
+    /// detect a whole-disk-image rollback (the volume's own superblock
+    /// versioning only detects rollback within one image).
+    pub generation: u64,
+    /// The journal sequence number this snapshot is current through:
+    /// every record with a sequence at or below it is folded into the
+    /// snapshot's state. Replay uses it as the continuity baseline —
+    /// journal records *above* it must be gap-free, so a host deleting
+    /// a whole span of committed records (which storage alone cannot
+    /// distinguish from a clean journal) is caught as a sequence gap.
+    pub journal_sequence: u64,
     /// Admitted verify-cache keys, oldest admission first (the order
     /// re-admission preserves).
     pub verified_keys: Vec<[u8; KEY_LEN]>,
@@ -156,19 +172,24 @@ impl Encode for IssuerSnapshot {
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.verifier_identity.encode_into(out);
         self.signer_fingerprint.encode_into(out);
+        self.generation.encode_into(out);
+        self.journal_sequence.encode_into(out);
         self.verified_keys.encode_into(out);
         self.tokens.encode_into(out);
     }
 }
 
 impl Decode for IssuerSnapshot {
-    /// Two identities plus two (possibly empty) vectors.
-    const MIN_ENCODED_LEN: usize = 32 + 32 + 4 + 4;
+    /// Two identities, the generation and journal sequence, plus two
+    /// (possibly empty) vectors.
+    const MIN_ENCODED_LEN: usize = 32 + 32 + 8 + 8 + 4 + 4;
 
     fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
         Ok(IssuerSnapshot {
             verifier_identity: <[u8; 32]>::decode(reader)?,
             signer_fingerprint: <[u8; 32]>::decode(reader)?,
+            generation: u64::decode(reader)?,
+            journal_sequence: u64::decode(reader)?,
             verified_keys: Vec::decode(reader)?,
             tokens: Vec::decode(reader)?,
         })
@@ -235,6 +256,8 @@ mod tests {
         IssuerSnapshot {
             verifier_identity: [0x11; 32],
             signer_fingerprint: [0x22; 32],
+            generation: 3,
+            journal_sequence: 11,
             verified_keys: vec![[0x33; KEY_LEN], [0x44; KEY_LEN]],
             tokens: vec![
                 TokenSnapshotEntry {
@@ -312,8 +335,8 @@ mod tests {
         // Hand-append an entry with an undefined state tag, then frame
         // it with a valid checksum: the body decode must reject it.
         // (Fix the token count prefix: it sits right after the two
-        // identities and the verified-keys vector.)
-        let tokens_prefix = 32 + 32 + 4 + snap.verified_keys.len() * KEY_LEN;
+        // identities, the generation, and the verified-keys vector.)
+        let tokens_prefix = 32 + 32 + 8 + 8 + 4 + snap.verified_keys.len() * KEY_LEN;
         bytes[tokens_prefix..tokens_prefix + 4].copy_from_slice(&1u32.to_be_bytes());
         bytes.extend_from_slice(&[0xaa; TOKEN_LEN]);
         bytes.push(7); // undefined tag

@@ -17,6 +17,7 @@
 use crate::base_hash::{BaseEnclaveHash, PreparedBaseHash, ENCODED_LEN};
 use crate::error::SinclaveError;
 use crate::instance_page::InstancePage;
+use crate::journal_record::JournalRecord;
 use crate::snapshot::{IssuerSnapshot, TokenSnapshotEntry, TokenSnapshotState};
 use crate::token::AttestationToken;
 use parking_lot::Mutex;
@@ -109,6 +110,26 @@ struct TokenShard {
     tombstones: VecDeque<AttestationToken>,
 }
 
+impl TokenShard {
+    /// Marks `token` redeemed and plants its tombstone in the bounded
+    /// ring: once the ring is full, the oldest tombstone leaves the
+    /// table entirely (a replay of it then fails as "unknown" instead
+    /// of "redeemed" — refused either way). The one place the ring
+    /// bound and eviction order live; live redemption, journal replay
+    /// and snapshot restore all go through it, so the three paths can
+    /// never disagree on the lifecycle. Callers must ensure `token` is
+    /// not already in the ring and maintain the outstanding counter.
+    fn plant_tombstone(&mut self, token: AttestationToken) {
+        self.states.insert(token, TokenState::Redeemed);
+        if self.tombstones.len() == TOMBSTONES_PER_SHARD {
+            if let Some(expired) = self.tombstones.pop_front() {
+                self.states.remove(&expired);
+            }
+        }
+        self.tombstones.push_back(token);
+    }
+}
+
 /// Shard index for a key (shared FNV-1a fold).
 fn shard_of(bytes: &[u8]) -> usize {
     crate::shard::fnv1a_index(bytes, ISSUER_SHARDS)
@@ -128,6 +149,11 @@ pub struct SingletonIssuer {
     /// and redemption time so [`SingletonIssuer::outstanding_tokens`]
     /// is a load instead of an every-shard-locking O(n) scan.
     outstanding: AtomicUsize,
+    /// Bumped on every durable-state mutation (token registered,
+    /// redeemed, replayed, quarantined, snapshot restored). The CAS
+    /// compares [`SingletonIssuer::mutation_epoch`] against the epoch
+    /// it last persisted to skip snapshot writes when nothing changed.
+    mutations: AtomicUsize,
     /// Verified-SigStruct cache: a (signer fingerprint, evidence
     /// digest) pair that already passed the RSA check is a sharded
     /// lookup on its next presentation, not a ~0.4 ms exponentiation.
@@ -165,6 +191,7 @@ impl SingletonIssuer {
             verifier_identity,
             tokens: (0..ISSUER_SHARDS).map(|_| Mutex::new(TokenShard::default())).collect(),
             outstanding: AtomicUsize::new(0),
+            mutations: AtomicUsize::new(0),
             verified: VerifyCache::new(),
             prepared: (0..ISSUER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         }
@@ -377,6 +404,11 @@ impl SingletonIssuer {
             }
             Some(TokenState::Issued { .. }) => {}
         }
+        // Epoch bump strictly *after* the insert (still under the
+        // shard lock): bumping first would let a concurrent persist
+        // read the new epoch, export a snapshot missing this token,
+        // and then skip every later persist as "clean".
+        self.mutations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Redeems a token presented during attestation: succeeds exactly
@@ -398,19 +430,9 @@ impl SingletonIssuer {
         match shard.states.get(token) {
             Some(TokenState::Issued { expected, common }) if *expected == *attested_mrenclave => {
                 let common = *common;
-                shard.states.insert(*token, TokenState::Redeemed);
-                // Tombstone lifecycle: the redeemed entry joins the
-                // shard's bounded ring; once full, the oldest
-                // tombstone leaves the table entirely (a replay of it
-                // then fails as "unknown" instead of "redeemed" —
-                // refused either way).
-                if shard.tombstones.len() == TOMBSTONES_PER_SHARD {
-                    if let Some(expired) = shard.tombstones.pop_front() {
-                        shard.states.remove(&expired);
-                    }
-                }
-                shard.tombstones.push_back(*token);
+                shard.plant_tombstone(*token);
                 self.outstanding.fetch_sub(1, Ordering::Relaxed);
+                self.mutations.fetch_add(1, Ordering::Relaxed);
                 Ok(common)
             }
             _ => Err(SinclaveError::TokenNotRedeemable),
@@ -482,6 +504,11 @@ impl SingletonIssuer {
         IssuerSnapshot {
             verifier_identity: *self.verifier_identity.as_bytes(),
             signer_fingerprint: *self.signer_key.public_key().fingerprint().as_bytes(),
+            // The issuer does not own the persistence lifecycle; the
+            // CAS stamps the restore generation and journal sequence
+            // before writing.
+            generation: 0,
+            journal_sequence: 0,
             verified_keys: self.verified.export_keys(),
             tokens,
         }
@@ -562,13 +589,139 @@ impl SingletonIssuer {
         if shard.states.contains_key(&token) {
             return;
         }
-        if shard.tombstones.len() == TOMBSTONES_PER_SHARD {
-            if let Some(expired) = shard.tombstones.pop_front() {
-                shard.states.remove(&expired);
-            }
+        shard.plant_tombstone(token);
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ---- Journal deltas (redemption journaling) --------------------------
+
+    /// Durable-state mutation epoch: bumped on every change a snapshot
+    /// would capture. The CAS records the epoch it last persisted and
+    /// skips snapshot writes while the epoch is unchanged — read-heavy
+    /// workloads stop paying volume churn for identical snapshots.
+    #[must_use]
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutations.load(Ordering::Relaxed) as u64
+    }
+
+    /// The journal delta for a just-issued grant, read back from the
+    /// token table (the table is the source of truth the journal must
+    /// agree with). Returns `None` if the token has already left the
+    /// Issued state — the caller then simply does not journal it, and
+    /// a crash forgets the token, which fails closed.
+    #[must_use]
+    pub fn grant_record(&self, grant: &SingletonGrant) -> Option<JournalRecord> {
+        let shard = self.tokens[shard_of(grant.token.as_bytes())].lock();
+        match shard.states.get(&grant.token) {
+            Some(TokenState::Issued { expected, common }) => Some(JournalRecord::TokenGranted {
+                token: *grant.token.as_bytes(),
+                expected: *expected.as_bytes(),
+                common: *common.as_bytes(),
+            }),
+            _ => None,
         }
-        shard.states.insert(token, TokenState::Redeemed);
-        shard.tombstones.push_back(token);
+    }
+
+    /// The journal delta for a just-redeemed token.
+    #[must_use]
+    pub fn redemption_record(token: &AttestationToken) -> JournalRecord {
+        JournalRecord::TokenRedeemed { token: *token.as_bytes() }
+    }
+
+    /// Applies one replayed journal record on top of whatever state
+    /// the snapshot restore left behind. Idempotent by construction —
+    /// the same journal suffix can be replayed over a snapshot that
+    /// already folded part of it in (the crash-between-checkpoint-and-
+    /// truncation case) without disturbing anything:
+    ///
+    /// * a replayed grant registers the token only if the table has
+    ///   never seen it (in particular it never resurrects a redeemed
+    ///   tombstone back to Issued);
+    /// * a replayed redemption moves an Issued token to Redeemed,
+    ///   plants a tombstone for an unknown token (the grant record may
+    ///   have been folded into an older, since-rejected snapshot), and
+    ///   leaves an already-redeemed token alone;
+    /// * checkpoints carry no token state.
+    ///
+    /// Returns whether any state changed.
+    pub fn apply_record(&self, record: &JournalRecord) -> bool {
+        match record {
+            JournalRecord::TokenGranted { token, expected, common } => {
+                let token = AttestationToken(*token);
+                let mut shard = self.tokens[shard_of(token.as_bytes())].lock();
+                if shard.states.contains_key(&token) {
+                    return false;
+                }
+                let expected = Measurement(Digest(*expected));
+                let common = Measurement(Digest(*common));
+                shard.states.insert(token, TokenState::Issued { expected, common });
+                self.outstanding.fetch_add(1, Ordering::Relaxed);
+                self.mutations.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            JournalRecord::TokenRedeemed { token } => {
+                self.replay_redemption(AttestationToken(*token))
+            }
+            JournalRecord::Checkpoint { .. } => false,
+        }
+    }
+
+    /// Marks a replayed token redeemed regardless of its current
+    /// state (the journal recorded an acked redemption; the attested
+    /// measurement was checked live, before the record was written).
+    fn replay_redemption(&self, token: AttestationToken) -> bool {
+        let mut shard = self.tokens[shard_of(token.as_bytes())].lock();
+        match shard.states.get(&token) {
+            // Already redeemed — also the only state in which the
+            // token could be in the tombstone ring, so planting below
+            // never double-enters it.
+            Some(TokenState::Redeemed) => return false,
+            Some(TokenState::Issued { .. }) => {
+                self.outstanding.fetch_sub(1, Ordering::Relaxed);
+            }
+            None => {}
+        }
+        shard.plant_tombstone(token);
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Withdraws an issued-but-never-delivered token: the CAS calls
+    /// this when a grant's journal append fails and the reply is
+    /// denied — the starter never learned the token, so leaving it
+    /// Issued would leak a table entry (and an outstanding count)
+    /// per failed append, and desynchronize snapshots from the
+    /// journal. Returns whether an Issued entry was removed; a
+    /// redeemed token is never withdrawn.
+    pub fn withdraw_token(&self, token: &AttestationToken) -> bool {
+        let mut shard = self.tokens[shard_of(token.as_bytes())].lock();
+        if !matches!(shard.states.get(token), Some(TokenState::Issued { .. })) {
+            return false;
+        }
+        shard.states.remove(token);
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Fail-closed response to detected tampering or rollback: drops
+    /// every outstanding (Issued) token so none of them can ever be
+    /// redeemed — a replayed token is then refused as unknown, and
+    /// legitimate holders re-request grants. Redeemed tombstones are
+    /// kept. Returns how many tokens were quarantined.
+    pub fn quarantine_outstanding(&self) -> usize {
+        let mut dropped = 0;
+        for shard in self.tokens.iter() {
+            let mut shard = shard.lock();
+            let before = shard.states.len();
+            shard.states.retain(|_, state| !matches!(state, TokenState::Issued { .. }));
+            dropped += before - shard.states.len();
+        }
+        if dropped > 0 {
+            self.outstanding.fetch_sub(dropped, Ordering::Relaxed);
+            self.mutations.fetch_add(1, Ordering::Relaxed);
+        }
+        dropped
     }
 }
 
@@ -990,6 +1143,101 @@ mod tests {
         for i in 0..rounds {
             assert!(restored.redeem(&token(i), &expected).is_err(), "token {i} replayed");
         }
+    }
+
+    #[test]
+    fn grant_record_reflects_the_token_table() {
+        let (issuer, signed, mut rng) = setup(40);
+        let grant = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        let Some(JournalRecord::TokenGranted { token, expected, common }) =
+            issuer.grant_record(&grant)
+        else {
+            panic!("issued grant must have a journal delta");
+        };
+        assert_eq!(token, *grant.token.as_bytes());
+        assert_eq!(expected, *grant.expected_mrenclave.as_bytes());
+        assert_eq!(common, *signed.common_measurement().as_bytes());
+        // Once redeemed, there is no grant delta to journal anymore.
+        issuer.redeem(&grant.token, &grant.expected_mrenclave).unwrap();
+        assert_eq!(issuer.grant_record(&grant), None);
+    }
+
+    #[test]
+    fn replayed_records_are_idempotent() {
+        let (issuer, _signed, _) = setup(41);
+        let granted = JournalRecord::TokenGranted {
+            token: [0x51; 32],
+            expected: [0x52; 32],
+            common: [0x53; 32],
+        };
+        let redeemed = JournalRecord::TokenRedeemed { token: [0x51; 32] };
+
+        assert!(issuer.apply_record(&granted));
+        assert!(!issuer.apply_record(&granted), "double grant replay changed state");
+        assert_eq!(issuer.outstanding_tokens(), 1);
+
+        assert!(issuer.apply_record(&redeemed));
+        assert!(!issuer.apply_record(&redeemed), "double redemption replay changed state");
+        assert_eq!(issuer.outstanding_tokens(), 0);
+        assert_eq!(issuer.redeemed_tombstones(), 1);
+        // A grant replay must never resurrect a redeemed tombstone.
+        assert!(!issuer.apply_record(&granted));
+        assert_eq!(issuer.outstanding_tokens(), 0);
+        assert!(
+            issuer.redeem(&AttestationToken([0x51; 32]), &Measurement(Digest([0x52; 32]))).is_err(),
+            "tombstone replayed after grant-record replay"
+        );
+        // A redemption replay for a token no snapshot knows (its grant
+        // record was folded into a rejected snapshot) plants a
+        // tombstone rather than being dropped.
+        assert!(issuer.apply_record(&JournalRecord::TokenRedeemed { token: [0x61; 32] }));
+        assert!(issuer
+            .redeem(&AttestationToken([0x61; 32]), &Measurement(Digest([0; 32])))
+            .is_err());
+        // Checkpoints carry no token state.
+        assert!(!issuer.apply_record(&JournalRecord::Checkpoint { generation: 9 }));
+    }
+
+    #[test]
+    fn quarantine_drops_outstanding_keeps_tombstones() {
+        let (issuer, _signed, _) = setup(42);
+        let expected = Measurement(Digest([0xaa; 32]));
+        let common = Measurement(Digest([0xbb; 32]));
+        let token = |i: u32| {
+            let mut bytes = [0u8; 32];
+            bytes[..4].copy_from_slice(&i.to_le_bytes());
+            AttestationToken(bytes)
+        };
+        for i in 0..10 {
+            issuer.register_token(token(i), expected, common);
+        }
+        for i in 0..4 {
+            issuer.redeem(&token(i), &expected).unwrap();
+        }
+        assert_eq!(issuer.quarantine_outstanding(), 6);
+        assert_eq!(issuer.outstanding_tokens(), 0);
+        assert_eq!(issuer.redeemed_tombstones(), 4, "tombstones must survive quarantine");
+        for i in 0..10 {
+            assert!(issuer.redeem(&token(i), &expected).is_err(), "token {i} honored");
+        }
+        // Idempotent: nothing left to drop.
+        assert_eq!(issuer.quarantine_outstanding(), 0);
+    }
+
+    #[test]
+    fn mutation_epoch_moves_only_with_durable_state() {
+        let (issuer, signed, mut rng) = setup(43);
+        let epoch0 = issuer.mutation_epoch();
+        let grant = issuer.issue(&mut rng, &signed.common_sigstruct, &signed.base_hash).unwrap();
+        let epoch1 = issuer.mutation_epoch();
+        assert!(epoch1 > epoch0, "a grant is durable state");
+        // Reads and failed redemptions do not dirty the state.
+        let _ = issuer.export_snapshot();
+        let _ = issuer.grant_record(&grant);
+        assert!(issuer.redeem(&grant.token, &signed.common_measurement()).is_err());
+        assert_eq!(issuer.mutation_epoch(), epoch1);
+        issuer.redeem(&grant.token, &grant.expected_mrenclave).unwrap();
+        assert!(issuer.mutation_epoch() > epoch1);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod journal;
 pub mod volume;
 
 pub use error::FsError;
+pub use journal::Journal;
 pub use volume::Volume;

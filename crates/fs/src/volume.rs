@@ -64,6 +64,11 @@ pub struct Volume {
     manifest_version: u64,
     chunks: BTreeMap<(u64, u32), Vec<u8>>,
     next_file_id: u64,
+    /// Modeled block-device flush latency per committed write, in
+    /// microseconds (see [`Volume::set_flush_latency_micros`]).
+    /// Runtime knob, not on-disk state: zero by default and not part
+    /// of the disk image.
+    flush_latency_micros: u64,
     /// Human-readable label (host-visible, unauthenticated — like a
     /// partition label).
     pub label: String,
@@ -121,10 +126,30 @@ impl Volume {
             manifest_version: 0,
             chunks: BTreeMap::new(),
             next_file_id: 1,
+            flush_latency_micros: 0,
             label: label.to_owned(),
         };
         v.write_manifest(key, &BTreeMap::new());
         v
+    }
+
+    /// Models the host block device's flush latency: every committed
+    /// write — a staged chunk, a manifest flip, a log-chunk append —
+    /// additionally costs this many microseconds, the way a real
+    /// `fsync` does. Zero (the default) keeps the volume a pure
+    /// in-memory model; benchmarks set it so that durability
+    /// trade-offs (group commit vs. fsync-per-event vs. full snapshot
+    /// writes) are costed like hardware would cost them instead of
+    /// all rounding to free.
+    pub fn set_flush_latency_micros(&mut self, micros: u64) {
+        self.flush_latency_micros = micros;
+    }
+
+    /// One modeled device flush (no-op at zero latency).
+    fn device_flush(&self) {
+        if self.flush_latency_micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.flush_latency_micros));
+        }
     }
 
     /// Formats a fresh volume with a random key; returns both.
@@ -137,6 +162,7 @@ impl Volume {
     }
 
     fn write_manifest(&mut self, key: &AeadKey, files: &BTreeMap<String, FileMeta>) {
+        self.device_flush();
         self.manifest_version += 1;
         let nonce = Nonce::from_parts(0, self.manifest_version);
         self.superblock = aead::seal(
@@ -222,6 +248,7 @@ impl Volume {
         self.next_file_id += 1;
         let chunk_count = data.len().div_ceil(CHUNK_SIZE).max(1);
         for idx in 0..chunk_count {
+            self.device_flush();
             let start = idx * CHUNK_SIZE;
             let end = (start + CHUNK_SIZE).min(data.len());
             let chunk_plain = &data[start.min(data.len())..end];
@@ -284,6 +311,205 @@ impl Volume {
             self.chunks.remove(&id);
         }
         Ok(swept)
+    }
+
+    // ---- Append-only log files -------------------------------------------
+    //
+    // Regular files are rewritten whole (fresh file id, manifest flip);
+    // a write-ahead log cannot afford that — every append would reseal
+    // the manifest and every old chunk's AAD (which binds the total
+    // file length) would go stale. Log files therefore commit at chunk
+    // granularity: registering the log is a manifest flip, but each
+    // append seals one variable-sized chunk at the next index and the
+    // chunk's presence *is* the commit (the model of a single
+    // block-device write + flush). Log chunks use their own AAD domain
+    // ("logchunk", no length binding) so they can never masquerade as
+    // regular file chunks or vice versa, and the per-(file id, index)
+    // nonce is never reused because appenders only move forward —
+    // recovering from a torn tail rolls to a fresh log (fresh file id)
+    // instead of overwriting the torn index (see [`journal`]).
+    //
+    // [`journal`]: crate::journal
+
+    /// Registers an empty append-only log at `path` (manifest flip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidPath`] for empty/over-long paths or a
+    /// path that already exists, [`FsError::BadKeyOrCorruptSuperblock`]
+    /// for a wrong key.
+    pub fn create_log(&mut self, key: &AeadKey, path: &str) -> Result<(), FsError> {
+        if path.is_empty() || path.len() > MAX_PATH {
+            return Err(FsError::InvalidPath);
+        }
+        let mut files = self.read_manifest(key)?;
+        if files.contains_key(path) {
+            return Err(FsError::InvalidPath);
+        }
+        let file_id = self.next_file_id;
+        self.next_file_id += 1;
+        files.insert(path.to_owned(), FileMeta { file_id, len: 0 });
+        self.write_manifest(key, &files);
+        Ok(())
+    }
+
+    /// Appends one sealed chunk to a log file and returns its index.
+    /// The chunk write is the commit point — no manifest rewrite, so
+    /// an append costs one seal instead of a full-volume-metadata
+    /// write. A crash mid-append leaves at worst a torn (unopenable)
+    /// chunk at the new index, which readers classify as the log's
+    /// damaged tail.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if the log was never created;
+    /// [`FsError::BadKeyOrCorruptSuperblock`] for a wrong key.
+    pub fn append_log_chunk(
+        &mut self,
+        key: &AeadKey,
+        path: &str,
+        payload: &[u8],
+    ) -> Result<u32, FsError> {
+        let (file_id, idx) = self.next_log_slot(key, path)?;
+        self.append_log_chunk_at(key, path, file_id, idx, payload);
+        Ok(idx)
+    }
+
+    /// Fault injection: performs [`Volume::append_log_chunk`] but
+    /// "crashes" after only `keep_bytes` of the sealed chunk reached
+    /// the disk — the torn-tail state a power loss mid-append leaves.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Volume::append_log_chunk`].
+    pub fn append_log_chunk_torn(
+        &mut self,
+        key: &AeadKey,
+        path: &str,
+        payload: &[u8],
+        keep_bytes: usize,
+    ) -> Result<u32, FsError> {
+        let (file_id, idx) = self.next_log_slot(key, path)?;
+        let mut sealed =
+            aead::seal(key, chunk_nonce(file_id, idx), &log_chunk_aad(path, idx), payload);
+        sealed.truncate(keep_bytes);
+        self.chunks.insert((file_id, idx), sealed);
+        Ok(idx)
+    }
+
+    /// Resolves a log file's id and its next append index.
+    ///
+    /// Exposed to [`crate::journal`] so an open journal can cache the
+    /// slot and append without re-opening the sealed manifest on the
+    /// hot path (see [`Volume::append_log_chunk_at`]).
+    pub(crate) fn next_log_slot(&self, key: &AeadKey, path: &str) -> Result<(u64, u32), FsError> {
+        let files = self.read_manifest(key)?;
+        let meta = files.get(path).ok_or_else(|| FsError::NotFound { path: path.to_owned() })?;
+        let idx = self
+            .chunks
+            .range((meta.file_id, 0)..=(meta.file_id, u32::MAX))
+            .next_back()
+            .map_or(0, |((_, i), _)| i + 1);
+        Ok((meta.file_id, idx))
+    }
+
+    /// Hot-path append for an already-resolved log slot: seals the
+    /// payload and inserts the chunk — no manifest open, the chunk
+    /// write is the commit (the model of one block write + flush).
+    /// Callers ([`crate::journal`]) resolve the slot once per epoch
+    /// via [`Volume::next_log_slot`] and advance the index themselves;
+    /// the epoch's file id is theirs alone, so no other writer can
+    /// race the nonce.
+    pub(crate) fn append_log_chunk_at(
+        &mut self,
+        key: &AeadKey,
+        path: &str,
+        file_id: u64,
+        idx: u32,
+        payload: &[u8],
+    ) {
+        self.device_flush();
+        let sealed = aead::seal(key, chunk_nonce(file_id, idx), &log_chunk_aad(path, idx), payload);
+        self.chunks.insert((file_id, idx), sealed);
+    }
+
+    /// Reads one log chunk. `Ok(None)` means the index was never
+    /// written (the log's clean end).
+    ///
+    /// # Errors
+    ///
+    /// * [`FsError::IntegrityViolation`] — the chunk exists but fails
+    ///   authentication (torn append or tampering).
+    /// * [`FsError::NotFound`] / [`FsError::BadKeyOrCorruptSuperblock`]
+    ///   — missing log / wrong key.
+    pub fn read_log_chunk(
+        &self,
+        key: &AeadKey,
+        path: &str,
+        idx: u32,
+    ) -> Result<Option<Vec<u8>>, FsError> {
+        let files = self.read_manifest(key)?;
+        let meta = files.get(path).ok_or_else(|| FsError::NotFound { path: path.to_owned() })?;
+        self.read_log_chunk_at(key, path, meta.file_id, idx)
+    }
+
+    /// [`Volume::read_log_chunk`] with the manifest lookup already
+    /// done: recovery ([`crate::journal`]) resolves a log's file id
+    /// once per epoch instead of re-opening the sealed manifest for
+    /// every chunk it replays.
+    pub(crate) fn read_log_chunk_at(
+        &self,
+        key: &AeadKey,
+        path: &str,
+        file_id: u64,
+        idx: u32,
+    ) -> Result<Option<Vec<u8>>, FsError> {
+        let Some(sealed) = self.chunks.get(&(file_id, idx)) else {
+            return Ok(None);
+        };
+        aead::open(key, chunk_nonce(file_id, idx), &log_chunk_aad(path, idx), sealed)
+            .map(Some)
+            .map_err(|_| FsError::IntegrityViolation { path: path.to_owned() })
+    }
+
+    /// The chunk indices present for a log file, ascending. Presence
+    /// says nothing about readability — a torn append is present but
+    /// unopenable.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] / [`FsError::BadKeyOrCorruptSuperblock`].
+    pub fn log_chunk_indices(&self, key: &AeadKey, path: &str) -> Result<Vec<u32>, FsError> {
+        Ok(self.chunk_indices_of(self.log_file_id(key, path)?))
+    }
+
+    /// Resolves a log path to its file id (one sealed-manifest open).
+    pub(crate) fn log_file_id(&self, key: &AeadKey, path: &str) -> Result<u64, FsError> {
+        let files = self.read_manifest(key)?;
+        let meta = files.get(path).ok_or_else(|| FsError::NotFound { path: path.to_owned() })?;
+        Ok(meta.file_id)
+    }
+
+    /// The chunk indices present under a file id, ascending.
+    pub(crate) fn chunk_indices_of(&self, file_id: u64) -> Vec<u32> {
+        self.chunks.range((file_id, 0)..=(file_id, u32::MAX)).map(|((_, i), _)| *i).collect()
+    }
+
+    /// Discards one log chunk (recovery reclaiming a torn tail after
+    /// classifying it). Returns whether the chunk existed.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] / [`FsError::BadKeyOrCorruptSuperblock`].
+    pub fn remove_log_chunk(
+        &mut self,
+        key: &AeadKey,
+        path: &str,
+        idx: u32,
+    ) -> Result<bool, FsError> {
+        let files = self.read_manifest(key)?;
+        let meta = files.get(path).ok_or_else(|| FsError::NotFound { path: path.to_owned() })?;
+        Ok(self.chunks.remove(&(meta.file_id, idx)).is_some())
     }
 
     /// Reads a whole file.
@@ -365,6 +591,42 @@ impl Volume {
             }
             _ => false,
         }
+    }
+
+    /// Adversary: remove a ciphertext chunk entirely (hosts control
+    /// the block device and can delete what they cannot read).
+    /// Returns whether the chunk existed.
+    pub fn delete_chunk(&mut self, id: (u64, u32)) -> bool {
+        self.chunks.remove(&id).is_some()
+    }
+
+    /// Adversary: truncate a ciphertext chunk to its first
+    /// `keep_bytes` bytes (the torn-write shape a power loss leaves on
+    /// a real disk). Returns whether the chunk existed.
+    pub fn corrupt_chunk_truncate(&mut self, id: (u64, u32), keep_bytes: usize) -> bool {
+        match self.chunks.get_mut(&id) {
+            Some(c) => {
+                c.truncate(keep_bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Host view: the ciphertext chunk ids belonging to one path
+    /// (regular file or log), ascending by index.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] / [`FsError::BadKeyOrCorruptSuperblock`].
+    pub fn chunk_ids_for(&self, key: &AeadKey, path: &str) -> Result<Vec<(u64, u32)>, FsError> {
+        let files = self.read_manifest(key)?;
+        let meta = files.get(path).ok_or_else(|| FsError::NotFound { path: path.to_owned() })?;
+        Ok(self
+            .chunks
+            .range((meta.file_id, 0)..=(meta.file_id, u32::MAX))
+            .map(|(k, _)| *k)
+            .collect())
     }
 
     /// Adversary: flip a byte in the superblock.
@@ -454,7 +716,14 @@ impl Volume {
         if !cursor.is_empty() {
             return Err(FsError::InvalidPath);
         }
-        Ok(Volume { superblock, manifest_version, chunks, next_file_id, label })
+        Ok(Volume {
+            superblock,
+            manifest_version,
+            chunks,
+            next_file_id,
+            flush_latency_micros: 0,
+            label,
+        })
     }
 }
 
@@ -473,6 +742,18 @@ fn chunk_aad(path: &str, len: u64, idx: u32) -> Vec<u8> {
     let mut aad = Vec::with_capacity(path.len() + 16);
     aad.extend_from_slice(b"chunk");
     aad.extend_from_slice(&len.to_be_bytes());
+    aad.extend_from_slice(&idx.to_be_bytes());
+    aad.extend_from_slice(path.as_bytes());
+    aad
+}
+
+fn log_chunk_aad(path: &str, idx: u32) -> Vec<u8> {
+    // Distinct prefix from `chunk_aad` ("chunk") and no length binding:
+    // a log grows in place, so only the position and the path pin a
+    // chunk down. Log chunks and file chunks can never be swapped for
+    // one another — the AAD domains differ.
+    let mut aad = Vec::with_capacity(path.len() + 12);
+    aad.extend_from_slice(b"logchunk");
     aad.extend_from_slice(&idx.to_be_bytes());
     aad.extend_from_slice(path.as_bytes());
     aad
@@ -739,6 +1020,105 @@ mod tests {
         assert_eq!(restored.sweep_orphans(&k).unwrap(), 1);
         restored.write_file(&k, "f", b"retry").unwrap();
         assert_eq!(restored.read_file(&k, "f").unwrap(), b"retry");
+    }
+
+    #[test]
+    fn log_append_read_roundtrip() {
+        let k = key(30);
+        let mut v = Volume::format(&k, "log");
+        v.create_log(&k, "wal").unwrap();
+        assert_eq!(v.read_log_chunk(&k, "wal", 0).unwrap(), None, "empty log ends at 0");
+        for i in 0..5u32 {
+            let payload = vec![i as u8; 10 + i as usize * 100];
+            assert_eq!(v.append_log_chunk(&k, "wal", &payload).unwrap(), i);
+        }
+        for i in 0..5u32 {
+            let got = v.read_log_chunk(&k, "wal", i).unwrap().unwrap();
+            assert_eq!(got, vec![i as u8; 10 + i as usize * 100]);
+        }
+        assert_eq!(v.read_log_chunk(&k, "wal", 5).unwrap(), None);
+        assert_eq!(v.log_chunk_indices(&k, "wal").unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn log_requires_creation_and_unique_path() {
+        let k = key(31);
+        let mut v = Volume::format(&k, "log");
+        assert!(matches!(v.append_log_chunk(&k, "wal", b"x"), Err(FsError::NotFound { .. })));
+        v.create_log(&k, "wal").unwrap();
+        assert_eq!(v.create_log(&k, "wal"), Err(FsError::InvalidPath));
+        assert!(v.contains(&k, "wal").unwrap());
+    }
+
+    #[test]
+    fn log_survives_disk_image_roundtrip() {
+        let k = key(32);
+        let mut v = Volume::format(&k, "log");
+        v.create_log(&k, "wal").unwrap();
+        v.append_log_chunk(&k, "wal", b"first").unwrap();
+        v.append_log_chunk(&k, "wal", b"second").unwrap();
+        let restored = Volume::from_disk_image(&v.to_disk_image()).unwrap();
+        assert_eq!(restored.read_log_chunk(&k, "wal", 0).unwrap().unwrap(), b"first");
+        assert_eq!(restored.read_log_chunk(&k, "wal", 1).unwrap().unwrap(), b"second");
+    }
+
+    #[test]
+    fn torn_log_append_is_detected_not_misread() {
+        let k = key(33);
+        let mut v = Volume::format(&k, "log");
+        v.create_log(&k, "wal").unwrap();
+        v.append_log_chunk(&k, "wal", b"durable").unwrap();
+        v.append_log_chunk_torn(&k, "wal", b"torn away", 3).unwrap();
+        assert_eq!(v.read_log_chunk(&k, "wal", 0).unwrap().unwrap(), b"durable");
+        assert!(matches!(v.read_log_chunk(&k, "wal", 1), Err(FsError::IntegrityViolation { .. })));
+        // Recovery reclaims the torn tail; the log keeps working.
+        assert!(v.remove_log_chunk(&k, "wal", 1).unwrap());
+        assert_eq!(v.log_chunk_indices(&k, "wal").unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn log_chunks_bound_to_path_and_position() {
+        let k = key(34);
+        let mut v = Volume::format(&k, "log");
+        v.create_log(&k, "a").unwrap();
+        v.create_log(&k, "b").unwrap();
+        v.append_log_chunk(&k, "a", b"one").unwrap();
+        v.append_log_chunk(&k, "a", b"two").unwrap();
+        v.append_log_chunk(&k, "b", b"other").unwrap();
+        let a_ids = v.chunk_ids_for(&k, "a").unwrap();
+        let b_ids = v.chunk_ids_for(&k, "b").unwrap();
+        // Swap a chunk between logs: both reads must fail.
+        let ca = v.chunks[&a_ids[0]].clone();
+        let cb = v.chunks[&b_ids[0]].clone();
+        v.chunks.insert(a_ids[0], cb);
+        v.chunks.insert(b_ids[0], ca);
+        assert!(v.read_log_chunk(&k, "a", 0).is_err());
+        assert!(v.read_log_chunk(&k, "b", 0).is_err());
+        // Reorder within one log: detected too.
+        let mut v2 = Volume::format(&k, "log");
+        v2.create_log(&k, "a").unwrap();
+        v2.append_log_chunk(&k, "a", b"one").unwrap();
+        v2.append_log_chunk(&k, "a", b"two").unwrap();
+        let ids = v2.chunk_ids_for(&k, "a").unwrap();
+        let c0 = v2.chunks[&ids[0]].clone();
+        let c1 = v2.chunks[&ids[1]].clone();
+        v2.chunks.insert(ids[0], c1);
+        v2.chunks.insert(ids[1], c0);
+        assert!(v2.read_log_chunk(&k, "a", 0).is_err());
+        assert!(v2.read_log_chunk(&k, "a", 1).is_err());
+    }
+
+    #[test]
+    fn log_chunks_survive_orphan_sweep_and_removal() {
+        let k = key(35);
+        let mut v = Volume::format(&k, "log");
+        v.create_log(&k, "wal").unwrap();
+        v.append_log_chunk(&k, "wal", b"keep me").unwrap();
+        assert_eq!(v.sweep_orphans(&k).unwrap(), 0, "live log chunks are not orphans");
+        assert_eq!(v.read_log_chunk(&k, "wal", 0).unwrap().unwrap(), b"keep me");
+        // remove_file reclaims a whole log, chunks included.
+        v.remove_file(&k, "wal").unwrap();
+        assert_eq!(v.raw_chunk_ids().len(), 0);
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub struct World {
     pub signer_key: RsaPrivateKey,
     pub channel_key: RsaPrivateKey,
     pub attestation_root: sinclave_repro::crypto::rsa::RsaPublicKey,
+    /// The restore-generation witness a deployment keeps *outside* the
+    /// CAS volume (e.g. a sealed monotonic counter): updated after
+    /// each graceful persist, handed to `CasServer::check_rollback`
+    /// after a restore so a replayed older disk image is detected.
+    pub generation_witness: u64,
+    /// The journal-sequence half of the rollback witness: catches a
+    /// host deleting the journal's committed tail, which generations
+    /// (refreshed only at snapshots) cannot see.
+    pub sequence_witness: u64,
 }
 
 impl World {
@@ -84,6 +93,8 @@ impl World {
             signer_key,
             channel_key,
             attestation_root: service.root_public_key().clone(),
+            generation_witness: 0,
+            sequence_witness: 0,
         }
     }
 
@@ -99,8 +110,16 @@ impl World {
     /// persisted comes back through the snapshot-restore path.
     pub fn restart_cas(&mut self) {
         self.cas.persist_state().expect("persist state");
+        self.generation_witness = self.generation_witness.max(self.cas.restore_generation());
+        self.sequence_witness = self.sequence_witness.max(self.cas.journal_sequence());
         let image = self.cas.store().volume().to_disk_image();
         self.rebuild_cas_from_image(&image);
+        // A graceful restart restores the image just written; the
+        // freshness check against the external witness must pass.
+        assert!(
+            !self.cas.check_rollback(self.generation_witness, self.sequence_witness),
+            "false rollback alarm"
+        );
     }
 
     /// Crash-restarts the CAS from an explicit volume image — used by

@@ -17,15 +17,21 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sinclave_repro::cas::policy::PolicyMode;
-use sinclave_repro::cas::store::SNAPSHOT_PATH;
+use sinclave_repro::cas::store::{JOURNAL_ROOT, SNAPSHOT_PATH};
+use sinclave_repro::cas::JournalMode;
+use sinclave_repro::core::journal_record::{encode_batch, JournalRecord, SequencedRecord};
 use sinclave_repro::core::protocol::Message;
 use sinclave_repro::core::snapshot::{
     IssuerSnapshot, TokenSnapshotEntry, TokenSnapshotState, SNAPSHOT_VERSION,
 };
+use sinclave_repro::core::AttestationToken;
 use sinclave_repro::crypto::aead::AeadKey;
 use sinclave_repro::crypto::sha256;
+use sinclave_repro::fs::journal::Journal;
 use sinclave_repro::fs::Volume;
 use sinclave_repro::net::SecureChannel;
+use sinclave_repro::sgx::measurement::Measurement;
+use sinclave_repro::sgx::sigstruct::SigStruct;
 use std::sync::atomic::Ordering;
 
 fn world(seed: u64) -> World {
@@ -332,6 +338,414 @@ fn crash_mid_snapshot_restarts_from_previous_good_snapshot() {
     }
 }
 
+// ---- Sealed redemption journal ------------------------------------------
+
+/// Drives one grant over the network (so the server journals it) and
+/// returns the token plus the predicted singleton measurement.
+fn grant_token_over_network(world: &World, conn_seed: u64) -> (AttestationToken, Measurement) {
+    let reply = grant_over_network(world, conn_seed);
+    let Message::GrantResponse { token, sigstruct, .. } =
+        Message::from_bytes(&reply).expect("decode")
+    else {
+        unreachable!("grant_over_network asserts a GrantResponse");
+    };
+    let sigstruct = SigStruct::from_bytes(&sigstruct).expect("sigstruct");
+    (token, sigstruct.body().enclave_hash)
+}
+
+/// Crash-rebuilds the CAS from the volume as-is (no graceful persist).
+fn crash(world: &mut World) {
+    let image = world.cas.store().volume().to_disk_image();
+    world.rebuild_cas_from_image(&image);
+}
+
+#[test]
+fn journal_replays_grant_after_crash_without_snapshot() {
+    // A granted token must survive a crash even though no snapshot was
+    // ever written: the grant delta was journaled before the reply.
+    let mut w = world(0x10a1);
+    let (token, expected) = grant_token_over_network(&w, 500);
+    assert_eq!(w.cas.stats.journal_appended.load(Ordering::Relaxed), 1);
+
+    crash(&mut w);
+    assert_eq!(w.cas.stats.journal_replayed.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.journal_rejected.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.issuer().outstanding_tokens(), 1, "granted token lost by crash");
+    // Redeemable exactly once, same as if the crash never happened.
+    w.cas.redeem_token(&token, &expected).unwrap();
+    assert!(w.cas.redeem_token(&token, &expected).is_err());
+}
+
+#[test]
+fn journal_acked_redemption_is_crash_proof() {
+    // The tentpole property: once a redemption is acked, no crash —
+    // with or without a snapshot — can ever make the token redeemable
+    // again. (Contrast with `crash_without_redemption_cadence_…`,
+    // which redeems at the issuer layer, below the journal, and keeps
+    // the old window to pin the ablation honest.)
+    let mut w = world(0x10a2);
+    let (token, expected) = grant_token_over_network(&w, 510);
+    w.cas.redeem_token(&token, &expected).expect("redeem");
+    assert_eq!(w.cas.stats.tokens_redeemed.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot_persisted.load(Ordering::Relaxed), 0, "no snapshot involved");
+
+    crash(&mut w);
+    assert_eq!(w.cas.issuer().outstanding_tokens(), 0, "crash re-exposed an acked redemption");
+    assert_eq!(w.cas.issuer().redeemed_tombstones(), 1);
+    assert!(w.cas.redeem_token(&token, &expected).is_err(), "token replayed after crash");
+
+    // And across a second crash, from the replayed journal.
+    crash(&mut w);
+    assert!(w.cas.redeem_token(&token, &expected).is_err());
+}
+
+#[test]
+fn journal_group_commit_preserves_concurrent_redemptions() {
+    // Concurrent redemptions on the sharded server batch through the
+    // group-commit pipe; every acked one must survive a crash.
+    let mut w = world(0x10a3);
+    let grants: Vec<_> = (0..8).map(|i| grant_token_over_network(&w, 520 + i)).collect();
+    std::thread::scope(|scope| {
+        for (token, expected) in &grants {
+            let cas = w.cas.clone();
+            scope.spawn(move || cas.redeem_token(token, expected).expect("redeem"));
+        }
+    });
+    // Every grant and every redemption became a durable record.
+    assert_eq!(w.cas.stats.journal_appended.load(Ordering::Relaxed), 16);
+    assert_eq!(w.cas.stats.journal_append_failed.load(Ordering::Relaxed), 0);
+
+    crash(&mut w);
+    assert_eq!(w.cas.stats.journal_replayed.load(Ordering::Relaxed), 16);
+    assert_eq!(w.cas.issuer().outstanding_tokens(), 0);
+    for (token, expected) in &grants {
+        assert!(w.cas.redeem_token(token, expected).is_err(), "acked redemption replayed");
+    }
+}
+
+#[test]
+fn journal_torn_append_sweep_never_replays_acked_redemptions() {
+    // THE acceptance sweep, chunk level: two redemptions are acked,
+    // then the *next* append (never acked) is torn at every byte of
+    // its sealed chunk. At every crash point the restarted CAS must
+    // hold both acked redemptions, count the torn tail, and never
+    // panic or quarantine.
+    let mut w = world(0x10a4);
+    let (t1, e1) = grant_token_over_network(&w, 530);
+    let (t2, e2) = grant_token_over_network(&w, 531);
+    let (t3, _e3) = grant_token_over_network(&w, 532);
+    w.cas.redeem_token(&t1, &e1).unwrap();
+    w.cas.redeem_token(&t2, &e2).unwrap();
+    let image = w.cas.store().volume().to_disk_image();
+
+    // The in-flight append a crash interrupts: a redemption record
+    // for the still-outstanding third token.
+    let torn_record =
+        SequencedRecord { seq: 6, record: JournalRecord::TokenRedeemed { token: t3.0 } };
+    let payload = torn_record.to_bytes();
+    let sealed_len = payload.len() + 16; // + AEAD tag
+    let key = AeadKey::new(STORE_KEY);
+    for keep in 0..sealed_len {
+        let mut volume = Volume::from_disk_image(&image).expect("image");
+        let (mut journal, _) = Journal::recover(&mut volume, &key, JOURNAL_ROOT).expect("journal");
+        journal.append_torn(&mut volume, &key, &payload, keep).expect("torn append");
+
+        w.rebuild_cas_from_image(&volume.to_disk_image());
+        assert_eq!(
+            w.cas.stats.journal_rejected.load(Ordering::Relaxed),
+            1,
+            "torn tail not counted at keep {keep}"
+        );
+        assert_eq!(w.cas.stats.tokens_quarantined.load(Ordering::Relaxed), 0, "keep {keep}");
+        // Both acked redemptions held; the never-acked one rolled back
+        // to outstanding (its client never got a reply).
+        assert!(w.cas.redeem_token(&t1, &e1).is_err(), "t1 replayed at keep {keep}");
+        assert!(w.cas.redeem_token(&t2, &e2).is_err(), "t2 replayed at keep {keep}");
+        assert_eq!(w.cas.issuer().outstanding_tokens(), 1, "keep {keep}");
+    }
+}
+
+#[test]
+fn journal_torn_batch_sweep_degrades_to_last_complete_record() {
+    // THE acceptance sweep, record level: a group-commit batch of
+    // three redemption records lands torn at every byte boundary —
+    // exactly the records whose frames completed are applied, the rest
+    // roll back (never acked), and the damage is counted. Cuts on
+    // record boundaries are clean commits and reject nothing.
+    let mut w = world(0x10a5);
+    let grants: Vec<_> = (0..3).map(|i| grant_token_over_network(&w, 540 + i)).collect();
+    let image = w.cas.store().volume().to_disk_image();
+
+    let records: Vec<SequencedRecord> = grants
+        .iter()
+        .enumerate()
+        .map(|(i, (token, _))| SequencedRecord {
+            seq: 4 + i as u64,
+            record: JournalRecord::TokenRedeemed { token: token.0 },
+        })
+        .collect();
+    let batch = encode_batch(&records);
+    let boundaries: Vec<usize> = records
+        .iter()
+        .scan(0, |pos, r| {
+            *pos += r.to_bytes().len();
+            Some(*pos)
+        })
+        .collect();
+    let key = AeadKey::new(STORE_KEY);
+    for cut in 0..=batch.len() {
+        let mut volume = Volume::from_disk_image(&image).expect("image");
+        let (mut journal, _) = Journal::recover(&mut volume, &key, JOURNAL_ROOT).expect("journal");
+        journal.append(&mut volume, &key, &batch[..cut]);
+
+        w.rebuild_cas_from_image(&volume.to_disk_image());
+        let complete = boundaries.iter().filter(|&&b| b <= cut).count();
+        let clean = cut == 0 || boundaries.contains(&cut);
+        assert_eq!(
+            w.cas.stats.journal_rejected.load(Ordering::Relaxed),
+            u64::from(!clean),
+            "cut {cut}"
+        );
+        assert_eq!(w.cas.stats.tokens_quarantined.load(Ordering::Relaxed), 0, "cut {cut}");
+        assert_eq!(
+            w.cas.issuer().outstanding_tokens(),
+            grants.len() - complete,
+            "cut {cut}: restored past the last complete record"
+        );
+        for (i, (token, expected)) in grants.iter().enumerate() {
+            let redeem = w.cas.redeem_token(token, expected);
+            if i < complete {
+                assert!(redeem.is_err(), "cut {cut}: acked redemption {i} replayed");
+            } else {
+                assert!(redeem.is_ok(), "cut {cut}: rolled-back token {i} unusable");
+            }
+        }
+    }
+}
+
+#[test]
+fn journal_corruption_before_committed_records_fails_closed() {
+    // Damage a crash cannot produce — an early record corrupted with
+    // committed records after it — is treated as tampering: the clean
+    // prefix stands, and every outstanding token is quarantined so
+    // nothing the log cannot vouch for is ever honored.
+    let mut w = world(0x10a6);
+    let (t1, e1) = grant_token_over_network(&w, 550);
+    let (t2, e2) = grant_token_over_network(&w, 551);
+    w.cas.redeem_token(&t1, &e1).unwrap();
+
+    let mut volume = w.cas.store().volume();
+    let key = AeadKey::new(STORE_KEY);
+    let epoch = *Journal::epochs(&volume, &key, JOURNAL_ROOT).unwrap().first().unwrap();
+    let path = format!("{JOURNAL_ROOT}/epoch-{epoch:016x}");
+    let ids = volume.chunk_ids_for(&key, &path).unwrap();
+    assert_eq!(ids.len(), 3, "two grants + one redemption");
+    assert!(volume.corrupt_chunk(ids[0])); // the first grant's record
+
+    w.rebuild_cas_from_image(&volume.to_disk_image());
+    assert_eq!(w.cas.stats.journal_rejected.load(Ordering::Relaxed), 1);
+    // Nothing outstanding survived the quarantine; the acked
+    // redemption's token is refused either way (unknown), and the
+    // quarantined one must be re-granted.
+    assert_eq!(w.cas.issuer().outstanding_tokens(), 0);
+    assert!(w.cas.redeem_token(&t1, &e1).is_err());
+    assert!(w.cas.redeem_token(&t2, &e2).is_err());
+    // The CAS still serves: a fresh grant works (and re-journals).
+    grant_over_network(&w, 552);
+    assert_eq!(w.cas.issuer().outstanding_tokens(), 1);
+}
+
+#[test]
+fn whole_disk_image_rollback_detected_and_quarantined() {
+    // A host replaying an entire older disk image: the snapshot and
+    // every checkpoint in it carry an older restore generation than
+    // the witness the deployment keeps outside the volume.
+    let mut w = world(0x10a7);
+    grant_token_over_network(&w, 560);
+    w.cas.persist_state().unwrap();
+    let old_image = w.cas.store().volume().to_disk_image();
+    let old_generation = w.cas.restore_generation();
+
+    // Life moves on: more durable state, another persisted snapshot.
+    let (token, expected) = grant_token_over_network(&w, 561);
+    w.cas.persist_state().unwrap();
+    let witness = w.cas.restore_generation();
+    let witness_seq = w.cas.journal_sequence();
+    assert!(witness > old_generation);
+
+    // Graceful restore of the *current* image: no alarm.
+    w.restart_cas();
+    assert_eq!(w.cas.stats.rollback_detected.load(Ordering::Relaxed), 0);
+
+    // Restore of the old image: detected, counted, quarantined.
+    w.rebuild_cas_from_image(&old_image);
+    assert!(w.cas.check_rollback(witness, witness_seq));
+    assert_eq!(w.cas.stats.rollback_detected.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.issuer().outstanding_tokens(), 0, "rolled-back tokens honored");
+    assert!(w.cas.redeem_token(&token, &expected).is_err());
+    assert!(w.cas.stats.tokens_quarantined.load(Ordering::Relaxed) >= 1);
+}
+
+#[test]
+fn deleted_journal_tail_detected_by_sequence_witness() {
+    // A host can delete the last committed journal chunk(s); at the
+    // storage layer that is indistinguishable from a clean journal
+    // end (no AEAD failure, no gap), so the torn-tail classifier
+    // rightly stays silent. The *sequence* half of the rollback
+    // witness catches it: the replayed journal ends before the
+    // witnessed sequence.
+    let mut w = world(0x10ab);
+    let (t1, e1) = grant_token_over_network(&w, 565);
+    w.cas.redeem_token(&t1, &e1).unwrap();
+    let witness_gen = w.cas.restore_generation();
+    let witness_seq = w.cas.journal_sequence();
+
+    // Delete the redemption's chunk — the committed tail.
+    let mut volume = w.cas.store().volume();
+    let key = AeadKey::new(STORE_KEY);
+    let epoch = *Journal::epochs(&volume, &key, JOURNAL_ROOT).unwrap().first().unwrap();
+    let path = format!("{JOURNAL_ROOT}/epoch-{epoch:016x}");
+    let ids = volume.chunk_ids_for(&key, &path).unwrap();
+    let last = *ids.last().unwrap();
+    assert!(volume.delete_chunk(last));
+
+    w.rebuild_cas_from_image(&volume.to_disk_image());
+    // Storage sees a clean end — no journal damage to count…
+    assert_eq!(w.cas.stats.journal_rejected.load(Ordering::Relaxed), 0);
+    // …but the witness does not: rollback detected, outstanding
+    // quarantined, and the token whose redemption was deleted can
+    // never be redeemed again.
+    assert!(w.cas.check_rollback(witness_gen, witness_seq));
+    assert_eq!(w.cas.stats.rollback_detected.load(Ordering::Relaxed), 1);
+    assert!(w.cas.redeem_token(&t1, &e1).is_err(), "deleted-tail redemption replayed");
+    assert_eq!(w.cas.issuer().outstanding_tokens(), 0);
+}
+
+#[test]
+fn deleted_middle_epoch_quarantines_via_sequence_gap() {
+    // A host deletes every chunk of a *middle* journal epoch (say, the
+    // one holding an acked redemption). Storage cannot distinguish an
+    // emptied epoch from one that never had appends, so the chunk
+    // classifier stays silent — but the records in later epochs now
+    // jump the sequence past the snapshot's baseline, and that gap is
+    // proof of loss: fail closed.
+    let mut w = world(0x10ac);
+    let (t1, e1) = grant_token_over_network(&w, 566); // seq 1
+    w.cas.persist_state().unwrap(); // checkpoint seq 2; snapshot baseline 2 holds t1 as Issued
+    w.restart_cas(); // fresh epoch E2
+    w.cas.redeem_token(&t1, &e1).unwrap(); // seq 3, acked, in E2
+    crash(&mut w); // fresh epoch E3
+    grant_token_over_network(&w, 567); // seq 4, in E3
+
+    let mut volume = w.cas.store().volume();
+    let key = AeadKey::new(STORE_KEY);
+    let epochs = Journal::epochs(&volume, &key, JOURNAL_ROOT).unwrap();
+    // Delete every chunk of the epoch holding the acked redemption
+    // (the middle one: checkpoint epoch, E2, E3-active).
+    let path = format!("{JOURNAL_ROOT}/epoch-{:016x}", epochs[1]);
+    let ids = volume.chunk_ids_for(&key, &path).unwrap();
+    assert!(!ids.is_empty());
+    for id in ids {
+        assert!(volume.delete_chunk(id));
+    }
+
+    w.rebuild_cas_from_image(&volume.to_disk_image());
+    assert_eq!(w.cas.stats.journal_rejected.load(Ordering::Relaxed), 1, "gap not counted");
+    assert!(w.cas.stats.tokens_quarantined.load(Ordering::Relaxed) >= 1);
+    assert_eq!(w.cas.issuer().outstanding_tokens(), 0);
+    // The acked redemption's token was restored Issued from the
+    // snapshot; the quarantine is what keeps it unredeemable.
+    assert!(w.cas.redeem_token(&t1, &e1).is_err(), "deleted-epoch redemption replayed");
+}
+
+#[test]
+fn restart_loops_do_not_grow_the_journal() {
+    // Every open rolls a fresh epoch; without pruning, a deploy loop
+    // with no token activity would grow the manifest one empty epoch
+    // per restart forever (and clean-skip persists never truncate).
+    let mut w = world(0x10ad);
+    let (token, expected) = grant_token_over_network(&w, 575);
+    w.cas.redeem_token(&token, &expected).unwrap();
+    w.cas.persist_state().unwrap();
+    for _ in 0..5 {
+        w.restart_cas(); // persist skips (clean); recover prunes
+        assert!(
+            w.cas.store().journal_epoch_count().unwrap() <= 2,
+            "journal epochs grew across idle restarts"
+        );
+    }
+}
+
+#[test]
+fn clean_snapshots_are_skipped_not_rewritten() {
+    // The dirty-epoch check: persisting twice without any durable
+    // mutation writes once and skips once; a mutation re-arms it.
+    let mut w = world(0x10a8);
+    grant_token_over_network(&w, 570);
+    w.cas.persist_state().unwrap();
+    assert_eq!(w.cas.stats.snapshot_persisted.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot_skipped_clean.load(Ordering::Relaxed), 0);
+
+    w.cas.persist_state().unwrap();
+    assert_eq!(w.cas.stats.snapshot_persisted.load(Ordering::Relaxed), 1, "clean state rewritten");
+    assert_eq!(w.cas.stats.snapshot_skipped_clean.load(Ordering::Relaxed), 1);
+
+    grant_token_over_network(&w, 571);
+    w.cas.persist_state().unwrap();
+    assert_eq!(w.cas.stats.snapshot_persisted.load(Ordering::Relaxed), 2);
+
+    // A graceful restart replays only the checkpoint (no token
+    // records beyond the snapshot), so the restored state is clean
+    // too: the shutdown persist of the next restart skips.
+    w.restart_cas();
+    assert_eq!(w.cas.stats.snapshot_skipped_clean.load(Ordering::Relaxed), 0);
+    w.cas.persist_state().unwrap();
+    assert_eq!(w.cas.stats.snapshot_skipped_clean.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot_persisted.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn journal_stays_bounded_by_checkpoint_truncation() {
+    // Snapshot persistence is checkpoint + truncation: however many
+    // events and restarts happened, at most the suffix since the last
+    // snapshot (plus the fresh epoch) stays on the volume.
+    let mut w = world(0x10a9);
+    for round in 0..3u64 {
+        for i in 0..4 {
+            let (token, expected) = grant_token_over_network(&w, 580 + round * 10 + i);
+            w.cas.redeem_token(&token, &expected).unwrap();
+        }
+        w.cas.persist_state().unwrap();
+        assert_eq!(
+            w.cas.store().journal_epoch_count().unwrap(),
+            1,
+            "round {round}: retired epochs not truncated"
+        );
+        w.restart_cas();
+    }
+    // Replay after the last restart applied no token records: the
+    // snapshot covered everything.
+    assert_eq!(w.cas.issuer().outstanding_tokens(), 0);
+    assert_eq!(w.cas.issuer().redeemed_tombstones(), 12);
+}
+
+#[test]
+fn disabled_journal_honestly_reopens_the_crash_window() {
+    // The opt-out keeps the pre-journal semantics — and the bench's
+    // no-journal baseline honest: an acked redemption after the last
+    // snapshot is rolled back by a crash.
+    let mut w = world(0x10aa);
+    w.cas.set_journal_mode(JournalMode::Disabled);
+    let (token, expected) = grant_token_over_network(&w, 590);
+    w.cas.persist_state().unwrap(); // snapshot sees the token as Issued
+    w.cas.redeem_token(&token, &expected).unwrap();
+    assert_eq!(w.cas.stats.journal_appended.load(Ordering::Relaxed), 0);
+
+    crash(&mut w);
+    assert_eq!(w.cas.issuer().outstanding_tokens(), 1, "the documented window");
+    w.cas.redeem_token(&token, &expected).unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -362,6 +776,8 @@ proptest! {
         let snapshot = IssuerSnapshot {
             verifier_identity: verifier,
             signer_fingerprint: signer,
+            generation: 1,
+            journal_sequence: 7,
             verified_keys: keys,
             tokens,
         };
@@ -384,6 +800,8 @@ proptest! {
         let snapshot = IssuerSnapshot {
             verifier_identity: [1; 32],
             signer_fingerprint: [2; 32],
+            generation: 1,
+            journal_sequence: 7,
             verified_keys: keys,
             tokens: tokens
                 .into_iter()
@@ -397,6 +815,89 @@ proptest! {
             "flip at byte {} bit {} accepted", idx, bit);
     }
 
+    /// The journal record codec round-trips arbitrary records and
+    /// batches of them.
+    #[test]
+    fn journal_record_roundtrips(
+        seq in any::<u64>(),
+        token in any::<[u8; 32]>(),
+        expected in any::<[u8; 32]>(),
+        common in any::<[u8; 32]>(),
+        generation in any::<u64>(),
+        kind in 0u8..3,
+    ) {
+        let record = match kind {
+            0 => JournalRecord::TokenGranted { token, expected, common },
+            1 => JournalRecord::TokenRedeemed { token },
+            _ => JournalRecord::Checkpoint { generation },
+        };
+        let sequenced = SequencedRecord { seq, record };
+        let bytes = sequenced.to_bytes();
+        prop_assert_eq!(SequencedRecord::from_bytes(&bytes).unwrap(), sequenced);
+        prop_assert_eq!(sequenced.to_bytes(), bytes);
+        let batch = encode_batch(&[sequenced, sequenced]);
+        let decoded = sinclave_repro::core::journal_record::decode_batch(&batch);
+        prop_assert_eq!(decoded.records, vec![sequenced, sequenced]);
+        prop_assert_eq!(decoded.damaged, None);
+    }
+
+    /// Any single bit flip anywhere in a framed journal record is
+    /// rejected cleanly — the per-record checksum turns "plausibly a
+    /// different record" into a total refusal.
+    #[test]
+    fn journal_record_bit_flips_rejected(
+        seq in any::<u64>(),
+        token in any::<[u8; 32]>(),
+        byte_pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let record = SequencedRecord { seq, record: JournalRecord::TokenRedeemed { token } };
+        let mut bytes = record.to_bytes();
+        let idx = byte_pos % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(SequencedRecord::from_bytes(&bytes).is_err(),
+            "flip at byte {} bit {} accepted", idx, bit);
+        // In a batch, the flip loses at most the suffix from the
+        // damaged record on — never a misparse, never a panic.
+        let decoded = sinclave_repro::core::journal_record::decode_batch(&bytes);
+        prop_assert!(decoded.damaged.is_some());
+        prop_assert!(decoded.records.is_empty());
+    }
+
+    /// Any short read (truncation) of a journal record is rejected,
+    /// and a truncated batch recovers exactly its complete prefix.
+    #[test]
+    fn journal_record_truncations_rejected(
+        seq in any::<u64>(),
+        token in any::<[u8; 32]>(),
+        expected in any::<[u8; 32]>(),
+        common in any::<[u8; 32]>(),
+        cut_pos in any::<usize>(),
+    ) {
+        let first = SequencedRecord {
+            seq,
+            record: JournalRecord::TokenGranted { token, expected, common },
+        };
+        let second = SequencedRecord {
+            seq: seq.wrapping_add(1),
+            record: JournalRecord::TokenRedeemed { token },
+        };
+        let bytes = first.to_bytes();
+        let cut = cut_pos % bytes.len();
+        prop_assert!(SequencedRecord::from_bytes(&bytes[..cut]).is_err());
+        // Trailing garbage after a whole record is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        prop_assert!(SequencedRecord::from_bytes(&padded).is_err());
+        // Batch of two cut inside (or right before) the second
+        // record: exactly the first survives.
+        let mut batch = encode_batch(&[first, second]);
+        let second_len = second.to_bytes().len();
+        batch.truncate(bytes.len() + cut_pos % second_len);
+        let decoded = sinclave_repro::core::journal_record::decode_batch(&batch);
+        prop_assert_eq!(decoded.records, vec![first]);
+    }
+
     /// Any truncation (and any trailing garbage) is rejected.
     #[test]
     fn snapshot_truncations_rejected(
@@ -406,6 +907,8 @@ proptest! {
         let snapshot = IssuerSnapshot {
             verifier_identity: [3; 32],
             signer_fingerprint: [4; 32],
+            generation: 2,
+            journal_sequence: 7,
             verified_keys: keys,
             tokens: Vec::new(),
         };
