@@ -21,6 +21,8 @@
 //! * [`impersonator`] — SCONE- and SGX-LKL-flavored impersonators.
 //! * [`scone_attack`] — full §3.3.1 procedure + defense checks.
 //! * [`lkl_attack`] — full §3.3.2 procedure + defense checks.
+//! * [`starvation`] — denial-of-capacity adversaries (slow loris,
+//!   quota abuse) for the admission-control middleware stack.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,3 +31,4 @@ pub mod impersonator;
 pub mod lkl_attack;
 pub mod malicious;
 pub mod scone_attack;
+pub mod starvation;

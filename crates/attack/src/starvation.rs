@@ -1,0 +1,130 @@
+//! Denial-of-capacity adversaries for the admission-control stack.
+//!
+//! Unlike the reuse attack ([`crate::scone_attack`],
+//! [`crate::lkl_attack`]), these adversaries never try to steal
+//! secrets — they try to starve the verifier so honest clients cannot
+//! reach it:
+//!
+//! * [`SlowLoris`] — opens many connections and then goes silent,
+//!   either mid-handshake (never sending the `ClientHello`) or after
+//!   establishing a session (holding it idle forever). Against a
+//!   thread-per-connection pool with blocking reads this pins one
+//!   worker per victim connection; against the reactor with
+//!   handshake/idle timeouts every held connection costs only a timer
+//!   entry and is reaped on deadline.
+//! * [`quota_abuse`] — a single identity hammering chargeable requests
+//!   as fast as the channel allows, measuring how quickly the
+//!   rate-limit and quota layers start refusing it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave::protocol::Message;
+use sinclave_net::{Connection, NetError, Network, SecureChannel};
+
+/// A fleet of silent connections held open against a server.
+///
+/// Dropping (or [`SlowLoris::release`]-ing) the value closes every
+/// held connection at once.
+pub struct SlowLoris {
+    stalled: Vec<Connection>,
+    holders: Vec<SecureChannel>,
+}
+
+impl SlowLoris {
+    /// Opens `stalled` connections that never start the handshake and
+    /// `holders` fully established sessions that never send a request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/handshake failures — the attack needs the
+    /// server to accept it before it can starve anything.
+    pub fn launch(
+        network: &Network,
+        addr: &str,
+        stalled: usize,
+        holders: usize,
+        seed: u64,
+    ) -> Result<Self, NetError> {
+        let mut loris = SlowLoris { stalled: Vec::new(), holders: Vec::new() };
+        for _ in 0..stalled {
+            loris.stalled.push(network.connect(addr)?);
+        }
+        for i in 0..holders {
+            let conn = network.connect(addr)?;
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            loris.holders.push(SecureChannel::client_connect(conn, &mut rng)?);
+        }
+        Ok(loris)
+    }
+
+    /// Number of connections held mid-handshake.
+    #[must_use]
+    pub fn stalled_count(&self) -> usize {
+        self.stalled.len()
+    }
+
+    /// Number of established-but-idle sessions held.
+    #[must_use]
+    pub fn holder_count(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Drops every held connection, ending the attack.
+    pub fn release(self) {}
+}
+
+/// What the quota abuser observed, reply by reply.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AbuseReport {
+    /// Replies that got past admission control (served or denied on
+    /// policy grounds — either way, they cost the server real work).
+    pub served: usize,
+    /// Refusals from the token-bucket layer.
+    pub rate_limited: usize,
+    /// Refusals from the absolute-quota layer.
+    pub quota_denied: usize,
+    /// Refusals from the circuit breaker.
+    pub shed: usize,
+}
+
+/// Hammers the verifier with `requests` chargeable attestation
+/// requests under a single identity (`config_id`) and tallies how the
+/// admission stack answered.
+///
+/// # Errors
+///
+/// Propagates transport failures; admission refusals are *not* errors
+/// — counting them is the point.
+pub fn quota_abuse(
+    network: &Network,
+    addr: &str,
+    config_id: &str,
+    requests: usize,
+    seed: u64,
+) -> Result<AbuseReport, NetError> {
+    let conn = network.connect(addr)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chan = SecureChannel::client_connect(conn, &mut rng)?;
+    let mut report = AbuseReport::default();
+    for _ in 0..requests {
+        chan.send(
+            &Message::BaselineAttestRequest { quote: vec![0; 8], config_id: config_id.into() }
+                .to_bytes(),
+        )?;
+        let reply = Message::from_bytes(&chan.recv()?)
+            .map_err(|_| NetError::Decode { context: "abuse reply" })?;
+        match reply {
+            Message::Denied { reason } if reason.starts_with("rate limited") => {
+                report.rate_limited += 1;
+            }
+            Message::Denied { reason } if reason.starts_with("quota exceeded") => {
+                report.quota_denied += 1;
+            }
+            Message::Denied { reason } if reason.starts_with("service overloaded") => {
+                report.shed += 1;
+            }
+            _ => report.served += 1,
+        }
+    }
+    Ok(report)
+}

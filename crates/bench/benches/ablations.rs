@@ -48,6 +48,15 @@
 //!    designs are costed like hardware — after asserting that a
 //!    journaled redemption survives a crash-rebuild and that the
 //!    disabled journal honestly reopens the window.
+//! 10. **Reactor vs. thread-per-connection serving.**
+//!     `ablation/reactor` measures a mostly-idle 1 000-connection
+//!     fan-in served by the readiness-driven reactor (a handful of
+//!     threads) against the pooled path sized thread-per-connection —
+//!     after asserting two gates: a single-loop single-worker reactor
+//!     with middleware off answers a scripted session byte-identically
+//!     to the 1-worker pool, and a slow-loris fleet is reaped on its
+//!     deadlines without touching healthy clients (and without being
+//!     miscounted as tampering).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -517,6 +526,126 @@ fn bench_journal(c: &mut Criterion) {
     });
 }
 
+fn bench_reactor(c: &mut Criterion) {
+    use sinclave::protocol::Message;
+    use sinclave_attack::starvation::SlowLoris;
+    use sinclave_bench::{fan_in_burst, BenchWorld, ServePath};
+    use sinclave_cas::MiddlewareConfig;
+    use sinclave_net::SecureChannel;
+    use sinclave_runtime::ProgramImage;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    // Gate 1 — determinism. The fully serialized reactor (one event
+    // loop, one compute worker, middleware off) must answer a scripted
+    // two-session request sequence byte-for-byte like the 1-worker
+    // pool. Two worlds from the same seed hold identical keys, so the
+    // decrypted reply records must match exactly.
+    let script = |reactor: bool| -> Vec<Vec<u8>> {
+        let world = BenchWorld::new(0xac7);
+        let packaged = world.package(&ProgramImage::interpreter("python-3.8", 8));
+        let addr = if reactor { "cas:abl-react" } else { "cas:abl-pool" };
+        let server = if reactor {
+            world.cas.serve_reactor_with(&world.network, addr, 2, 0xd0, 1, 1)
+        } else {
+            world.cas.serve_with_workers(&world.network, addr, 2, 0xd0, 1)
+        };
+        let mut replies = Vec::new();
+        for session in 0..2u64 {
+            let conn = world.network.connect(addr).expect("connect");
+            let mut rng = StdRng::seed_from_u64(0xc11e47 + session);
+            let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+            for request in [
+                Message::GrantRequest {
+                    common_sigstruct: packaged.signed.common_sigstruct.to_bytes(),
+                    base_hash: packaged.signed.base_hash.encode().to_vec(),
+                },
+                Message::ChallengeRequest,
+                Message::Ping,
+            ] {
+                chan.send(&request.to_bytes()).expect("send");
+                replies.push(chan.recv().expect("recv"));
+            }
+        }
+        server.join().expect("serve");
+        replies
+    };
+    assert_eq!(
+        script(false),
+        script(true),
+        "reactor with middleware off must serve bit-identically to the 1-worker pool"
+    );
+
+    // Gate 2 — slow-loris resilience. A fleet of silent connections is
+    // reaped on its inactivity deadlines while healthy clients keep
+    // being served; reaping is timeouts, never tamper counts.
+    {
+        let world = BenchWorld::new(0xac8);
+        world.cas.set_middleware(MiddlewareConfig {
+            handshake_timeout: Some(Duration::from_millis(150)),
+            idle_timeout: Some(Duration::from_millis(300)),
+            ..MiddlewareConfig::default()
+        });
+        let (stalled, holders, healthy) = (8usize, 4usize, 4usize);
+        let server = world.cas.serve_reactor(
+            &world.network,
+            "cas:abl-loris",
+            stalled + holders + healthy,
+            0xd1,
+        );
+        let loris = SlowLoris::launch(&world.network, "cas:abl-loris", stalled, holders, 0xd2)
+            .expect("loris");
+        for i in 0..healthy {
+            let conn = world.network.connect("cas:abl-loris").expect("connect");
+            conn.set_recv_timeout(Some(Duration::from_secs(600)));
+            let mut rng = StdRng::seed_from_u64(0xd3 + i as u64);
+            let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+            chan.send(&Message::Ping.to_bytes()).expect("send");
+            let reply = Message::from_bytes(&chan.recv().expect("recv")).expect("decode");
+            assert_eq!(reply, Message::Pong, "healthy client starved behind the loris");
+        }
+        server.join().expect("serve");
+        loris.release();
+        let stats = &world.cas.stats;
+        assert_eq!(stats.connections_timed_out.load(Ordering::Relaxed), (stalled + holders) as u64);
+        assert_eq!(stats.records_rejected.load(Ordering::Relaxed), 0);
+    }
+
+    // The measurement: 1 000 mostly-idle connections, pool sized
+    // thread-per-connection against the reactor's fixed handful.
+    const CONNECTIONS: usize = 1_000;
+    const PINGS: usize = 2;
+    let reactor = ServePath::Reactor { loops: 2, compute: 2 };
+    let pool = ServePath::Pool { workers: CONNECTIONS };
+    assert!(
+        pool.serving_threads() >= 10 * reactor.serving_threads(),
+        "the reactor must serve with at least 10x fewer threads"
+    );
+
+    let world = BenchWorld::new(0xac9);
+    // Idle sessions are the scenario, not a fault: generous deadlines.
+    world.cas.set_middleware(MiddlewareConfig {
+        handshake_timeout: Some(Duration::from_secs(600)),
+        idle_timeout: Some(Duration::from_secs(600)),
+        ..MiddlewareConfig::default()
+    });
+    let mut group = c.benchmark_group("ablation/reactor");
+    group.throughput(Throughput::Elements((CONNECTIONS * PINGS) as u64));
+    group.measurement_time(std::time::Duration::from_millis(150));
+    let round = std::sync::atomic::AtomicU64::new(0);
+    for (name, path) in
+        [("fan-in-1k-pool-1000-threads", &pool), ("fan-in-1k-reactor-4-threads", &reactor)]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let seed = 0xe000 + round.fetch_add(1, Ordering::Relaxed);
+                fan_in_burst(&world, "cas:abl-fan", CONNECTIONS, PINGS, path, seed);
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     ablations,
     bench_prediction_vs_remeasure,
@@ -527,6 +656,7 @@ criterion_group!(
     bench_batch_issue,
     bench_verify_cache,
     bench_warm_restart,
-    bench_journal
+    bench_journal,
+    bench_reactor
 );
 criterion_main!(ablations);

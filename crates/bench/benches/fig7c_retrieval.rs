@@ -3,9 +3,14 @@
 //! components: connection open/close (3.74 ms), SigStruct verification
 //! (0.4 ms), expected-measurement calculation (32 µs), on-demand
 //! SigStruct signing (4.93 ms), plus CAS miscellaneous work — and,
-//! beyond the paper, the `fig7c/throughput` sweep: aggregate grant
+//! beyond the paper, two sweeps: `fig7c/throughput` (aggregate grant
 //! throughput as concurrent attesters pile onto one CAS, pooled
-//! worker serving versus the paper's strictly sequential instance.
+//! worker serving versus the paper's strictly sequential instance)
+//! and `fig7c/fan-in` (one CAS holding thousands of mostly-idle
+//! concurrent sessions: the readiness-driven reactor's handful of
+//! threads against a pool sized thread-per-connection, swept up to
+//! 10 000 connections where thread-per-connection stops being a
+//! reasonable baseline at all).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -193,5 +198,43 @@ fn bench_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(fig7c, bench_retrieval, bench_throughput);
+fn bench_fan_in(c: &mut Criterion) {
+    use sinclave_bench::{fan_in_burst, ServePath};
+    use sinclave_cas::MiddlewareConfig;
+    use std::time::Duration;
+
+    let world = BenchWorld::new(0x7e);
+    // Mostly-idle sessions are the scenario, not a fault — deadlines
+    // stay generous so nothing is reaped mid-measurement.
+    world.cas.set_middleware(MiddlewareConfig {
+        handshake_timeout: Some(Duration::from_secs(600)),
+        idle_timeout: Some(Duration::from_secs(600)),
+        ..MiddlewareConfig::default()
+    });
+
+    let mut group = c.benchmark_group("fig7c/fan-in");
+    group.measurement_time(Duration::from_millis(150));
+    let round = AtomicU64::new(0);
+    // (name, connections, path): the pool is sized
+    // thread-per-connection — at 10k that stops being a baseline a
+    // deployment would run (10 000 serving threads), so only the
+    // reactor is swept there.
+    let reactor = |loops, compute| ServePath::Reactor { loops, compute };
+    let cases: [(&str, usize, ServePath); 3] = [
+        ("pool-1k-1000-threads", 1_000, ServePath::Pool { workers: 1_000 }),
+        ("reactor-1k-4-threads", 1_000, reactor(2, 2)),
+        ("reactor-10k-4-threads", 10_000, reactor(2, 2)),
+    ];
+    for (name, connections, path) in &cases {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let seed = 0xfa_0000 + round.fetch_add(1, Ordering::Relaxed);
+                fan_in_burst(&world, "cas:7c-fan", *connections, 1, path, seed);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig7c, bench_retrieval, bench_throughput, bench_fan_in);
 criterion_main!(fig7c);

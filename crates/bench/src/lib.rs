@@ -97,6 +97,100 @@ impl BenchWorld {
     }
 }
 
+/// Which serving path [`fan_in_burst`] drives, with its thread budget.
+pub enum ServePath {
+    /// Thread-per-connection pool. For a mostly-idle fan-in the pool
+    /// *must* be sized `workers == connections`: an undersized pool
+    /// deadlocks the burst, because every session stays open until the
+    /// end and a pool worker is pinned to its connection for that
+    /// connection's whole life.
+    Pool {
+        /// Worker-thread count.
+        workers: usize,
+    },
+    /// The readiness-driven reactor: `loops + compute` threads serve
+    /// every connection.
+    Reactor {
+        /// Event-loop thread count.
+        loops: usize,
+        /// Compute-pool thread count.
+        compute: usize,
+    },
+}
+
+impl ServePath {
+    /// Serving threads this path spends.
+    #[must_use]
+    pub fn serving_threads(&self) -> usize {
+        match self {
+            ServePath::Pool { workers } => *workers,
+            ServePath::Reactor { loops, compute } => loops + compute,
+        }
+    }
+}
+
+/// Client threads [`fan_in_burst`] multiplexes its connections over —
+/// deliberately few, so huge fan-ins don't cost one OS thread per
+/// client and the interesting thread budget is the *server's*.
+pub const FAN_IN_CLIENT_THREADS: usize = 8;
+
+/// Drives `connections` mostly-idle concurrent sessions against a CAS
+/// at `addr`: every session handshakes, then sends `pings` pings (each
+/// awaited) interleaved across its thread's whole batch, and every
+/// session stays open until the batch finishes — so at any moment most
+/// connections are idle, the high-fan-in regime the reactor exists
+/// for. Callers should install generous middleware timeouts first
+/// (idle sessions are the point, reaping them isn't).
+pub fn fan_in_burst(
+    world: &BenchWorld,
+    addr: &str,
+    connections: usize,
+    pings: usize,
+    path: &ServePath,
+    seed: u64,
+) {
+    use sinclave::protocol::Message;
+    use sinclave_net::SecureChannel;
+
+    let server = match *path {
+        ServePath::Pool { workers } => {
+            assert!(workers >= connections, "undersized pool deadlocks a mostly-idle burst");
+            world.cas.serve_with_workers(&world.network, addr, connections, seed, workers)
+        }
+        ServePath::Reactor { loops, compute } => {
+            world.cas.serve_reactor_with(&world.network, addr, connections, seed, loops, compute)
+        }
+    };
+    let threads = FAN_IN_CLIENT_THREADS.min(connections.max(1));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let quota = connections / threads + usize::from(t < connections % threads);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xfa9 ^ ((t as u64) << 32));
+                let mut chans = Vec::with_capacity(quota);
+                for _ in 0..quota {
+                    let conn = world.network.connect(addr).expect("connect");
+                    // Only the server's deadlines are under test;
+                    // clients wait out crypto serialization patiently.
+                    conn.set_recv_timeout(Some(std::time::Duration::from_secs(600)));
+                    chans.push(SecureChannel::client_connect(conn, &mut rng).expect("handshake"));
+                }
+                for _ in 0..pings {
+                    for chan in &mut chans {
+                        chan.send(&Message::Ping.to_bytes()).expect("send");
+                    }
+                    for chan in &mut chans {
+                        let reply =
+                            Message::from_bytes(&chan.recv().expect("recv")).expect("decode");
+                        assert_eq!(reply, Message::Pong);
+                    }
+                }
+            });
+        }
+    });
+    server.join().expect("serve");
+}
+
 /// Formats a byte count like the paper's axes (2 KB, 1 MB, …).
 #[must_use]
 pub fn human_size(bytes: usize) -> String {

@@ -17,14 +17,23 @@
 //! * [`commit`] — group commit for the sealed redemption journal
 //!   (batched durability; what makes exactly-once crash-absolute
 //!   without a volume write per event).
+//! * [`middleware`] — the fixed-order admission-control stack (rate
+//!   limits, quotas, timeouts, panic isolation, circuit breaker) both
+//!   serving paths consult.
+//! * [`reactor`] — the readiness-driven serving path: a few event
+//!   loops multiplex every connection, offloading crypto to a compute
+//!   pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commit;
+pub mod middleware;
 pub mod policy;
+pub mod reactor;
 pub mod server;
 pub mod store;
 
+pub use middleware::{BreakerConfig, MiddlewareConfig, RateLimitConfig, Refusal};
 pub use policy::{PolicyMode, SessionPolicy};
 pub use server::{CasServer, JournalMode};

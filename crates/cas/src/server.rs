@@ -6,13 +6,13 @@
 //! key's fingerprint is CAS's cryptographic identity — the value
 //! SinClave bakes into instance pages.
 //!
-//! # Concurrency and sharding model
+//! # Concurrency model: two serving paths
 //!
-//! [`CasServer::serve`] runs a bounded **worker pool** (one thread per
-//! slot, capped by [`CasServer::default_workers`] or the explicit
-//! count given to [`CasServer::serve_with_workers`]). The workers
-//! share one listener; each claims the next connection slot from an
-//! atomic counter, accepts, and drives that connection's handshake and
+//! **The worker pool** ([`CasServer::serve`] /
+//! [`CasServer::serve_with_workers`]): one thread per connection slot,
+//! capped by [`CasServer::default_workers`]. The workers share one
+//! listener; each claims the next connection slot from an atomic
+//! counter, accepts, and drives that connection's handshake and
 //! message loop to completion — so a slow or stalled attester occupies
 //! one worker instead of stalling every connection behind it, and up
 //! to `workers` retrievals proceed in parallel. Within one connection
@@ -21,6 +21,30 @@
 //! dispatcher already decodes request `N + 1` (see
 //! [`CasServer::handle_connection`]); replies stay in request order
 //! and dispatch stays sequential, so determinism is unchanged.
+//!
+//! **The reactor** ([`CasServer::serve_reactor`], in
+//! [`crate::reactor`]): a small, connection-count-independent number
+//! of event-loop threads multiplex *all* connections through the
+//! bus's readiness API (`net::Poller`), driving handshakes and message
+//! framing as per-connection state machines and offloading CPU-heavy
+//! work (SigStruct verification, grant signing, reply sealing, journal
+//! group-commit waits) to a compute pool whose completions re-enqueue
+//! the connection. A thousand mostly-idle attesters cost a thousand
+//! parked connections, not a thousand threads. Per connection at most
+//! one request is in flight at a time — dispatch order is receive
+//! order — so the bytes a client observes are identical on both paths
+//! (the `ablation/reactor` bench gates this bit-for-bit).
+//!
+//! Both paths consult the same **admission-control middleware chain**
+//! ([`crate::middleware`], [`CasServer::set_middleware`]), evaluated
+//! per request in fixed order: timeouts (slow-loris defense, at the
+//! connection layer), per-identity token-bucket rate limiting, then
+//! quotas, then panic isolation around dispatch, with a circuit
+//! breaker at the journal/volume append boundary that sheds
+//! journaling requests with a clean refusal while storage is failing.
+//! The default chain disables every layer, and a disabled chain is
+//! never consulted on the reply path — serving stays bit-identical to
+//! the unprotected loop.
 //!
 //! The state the workers touch is sharded so parallel requests do not
 //! contend on a single lock:
@@ -96,6 +120,7 @@
 //! follows arrival order, as it would on a real listening socket.)
 
 use crate::commit::CommitPipe;
+use crate::middleware::{MiddlewareChain, MiddlewareConfig, Refusal};
 use crate::policy::{PolicyMode, SessionPolicy};
 use crate::store::CasStore;
 use rand::rngs::StdRng;
@@ -116,6 +141,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Service counters (observability + test assertions).
 #[derive(Debug, Default)]
@@ -180,6 +206,23 @@ pub struct CasStats {
     /// corruption or detected rollback). Holders must re-request
     /// grants; no token is ever redeemable twice.
     pub tokens_quarantined: AtomicU64,
+    /// Connections dropped by a configured handshake or read deadline
+    /// (the slow-loris defense; see
+    /// [`MiddlewareConfig::handshake_timeout`] /
+    /// [`MiddlewareConfig::idle_timeout`]). Only deadlines the
+    /// middleware configured count here — the transport's own default
+    /// timeout firing is a clean close, as before.
+    pub connections_timed_out: AtomicU64,
+    /// Requests refused by the per-identity token-bucket rate limiter.
+    pub requests_rate_limited: AtomicU64,
+    /// Requests refused by the absolute per-identity quota.
+    pub requests_quota_denied: AtomicU64,
+    /// Journaling requests shed by the open circuit breaker (storage
+    /// is refusing appends; the refusal never touched the volume).
+    pub requests_shed: AtomicU64,
+    /// Dispatch panics contained by panic isolation: the connection
+    /// was closed, the serving thread survived.
+    pub panics_isolated: AtomicU64,
 }
 
 /// Replies the pipelined per-connection loop may buffer ahead of the
@@ -226,7 +269,7 @@ impl JournalMode {
 
 /// The CAS service.
 pub struct CasServer {
-    channel_key: RsaPrivateKey,
+    pub(crate) channel_key: RsaPrivateKey,
     issuer: SingletonIssuer,
     attestation_root: RsaPublicKey,
     /// Policy store; internally sharded and safe for concurrent use
@@ -264,6 +307,21 @@ pub struct CasServer {
     /// by a successful restore or persist) — a clean epoch only
     /// justifies skipping the write when there is something on disk.
     snapshot_on_disk: AtomicBool,
+    /// The admission-control stack both serving paths consult
+    /// (default: every layer off). Swapped whole by
+    /// [`CasServer::set_middleware`].
+    middleware: parking_lot::RwLock<Arc<MiddlewareChain>>,
+    /// Time-based snapshot cadence in microseconds (`0` = off): the
+    /// reactor's timer tick persists when this much time has passed
+    /// since the last persist, so *idle* workloads still bound the
+    /// journal-replay window. The event-count cadence
+    /// ([`CasServer::set_snapshot_cadence`]) remains the floor under
+    /// load.
+    snapshot_interval_micros: AtomicU64,
+    /// Test instrumentation for the panic-isolation layer: when set,
+    /// the next dispatched `Ping` panics (see
+    /// [`CasServer::set_dispatch_panic_for_tests`]).
+    panic_on_next_ping: AtomicBool,
     /// Counters.
     pub stats: CasStats,
 }
@@ -313,6 +371,9 @@ impl CasServer {
             persisted_epoch: AtomicU64::new(0),
             journal_baseline: AtomicU64::new(0),
             snapshot_on_disk: AtomicBool::new(false),
+            middleware: parking_lot::RwLock::new(Arc::new(MiddlewareChain::default())),
+            snapshot_interval_micros: AtomicU64::new(0),
+            panic_on_next_ping: AtomicBool::new(false),
             stats: CasStats::default(),
         };
         server.restore_state();
@@ -649,17 +710,151 @@ impl CasServer {
         JournalMode::from_u8(self.journal_mode.load(Ordering::Relaxed))
     }
 
+    // ---- Admission-control middleware ------------------------------------
+
+    /// Installs the admission-control stack (see [`crate::middleware`]
+    /// for the layers and their fixed order). Replaces the previous
+    /// chain whole — limiter buckets, quota counters and breaker state
+    /// start fresh. The default chain (every layer off) serves
+    /// bit-identically to the unprotected loop.
+    pub fn set_middleware(&self, config: MiddlewareConfig) {
+        *self.middleware.write() = Arc::new(MiddlewareChain::new(config));
+    }
+
+    /// The currently installed middleware chain.
+    #[must_use]
+    pub fn middleware(&self) -> Arc<MiddlewareChain> {
+        self.middleware.read().clone()
+    }
+
+    /// Persist the durable state whenever `interval` has passed since
+    /// the last persist (`None` disables the tick). Driven by the
+    /// reactor's timer wheel, so it only fires on the reactor serving
+    /// path; the event-count cadence
+    /// ([`CasServer::set_snapshot_cadence`]) stays as the floor under
+    /// load, this tick bounds the replay window when *idle*.
+    pub fn set_snapshot_interval(&self, interval: Option<Duration>) {
+        let micros =
+            interval.map_or(0, |i| u64::try_from(i.as_micros()).unwrap_or(u64::MAX).max(1));
+        self.snapshot_interval_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// The configured time-based snapshot cadence, if any.
+    #[must_use]
+    pub fn snapshot_interval(&self) -> Option<Duration> {
+        match self.snapshot_interval_micros.load(Ordering::Relaxed) {
+            0 => None,
+            micros => Some(Duration::from_micros(micros)),
+        }
+    }
+
+    /// The stable identity the rate-limit and quota layers charge a
+    /// request to: the SigStruct signer for grants (one key pair per
+    /// application vendor), the config id for attestations. Control
+    /// messages (ping, challenge) carry no identity and are never
+    /// charged.
+    fn request_identity(message: &Message) -> Option<Digest> {
+        match message {
+            Message::GrantRequest { common_sigstruct, .. } => {
+                SigStruct::from_bytes(common_sigstruct).ok().map(|s| s.mrsigner())
+            }
+            Message::AttestRequest { config_id, .. }
+            | Message::BaselineAttestRequest { config_id, .. } => {
+                Some(sinclave_crypto::sha256::digest_parts(&[config_id.as_bytes()]))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether dispatching `message` will need a journal append (and
+    /// therefore must pass the circuit breaker while journaling is
+    /// enabled): grants journal their token delta, singleton
+    /// attestations journal the redemption.
+    fn needs_journal_append(message: &Message) -> bool {
+        matches!(message, Message::GrantRequest { .. } | Message::AttestRequest { .. })
+    }
+
+    /// Runs the per-request admission layers in fixed order (rate
+    /// limit → quota → breaker); returns the refusal reply if any
+    /// layer refuses, `None` to proceed to dispatch. Shared verbatim
+    /// by both serving paths.
+    pub(crate) fn admission_refusal(
+        &self,
+        chain: &MiddlewareChain,
+        message: &Message,
+    ) -> Option<Message> {
+        let refusal = match Self::request_identity(message) {
+            Some(identity) => chain.admit(&identity).err(),
+            None => None,
+        }
+        .or_else(|| {
+            if Self::needs_journal_append(message) && self.journal_mode() != JournalMode::Disabled {
+                chain.admit_journaling().err()
+            } else {
+                None
+            }
+        })?;
+        match refusal {
+            Refusal::RateLimited => &self.stats.requests_rate_limited,
+            Refusal::QuotaExceeded => &self.stats.requests_quota_denied,
+            Refusal::LoadShed => &self.stats.requests_shed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        // The caller counts the Denied reply in `denials` like any
+        // other refusal; here only the per-layer counter moves.
+        Some(Message::Denied { reason: refusal.reason().into() })
+    }
+
+    /// Dispatches under the panic-isolation layer: a panic anywhere in
+    /// request handling is contained ([`CasStats::panics_isolated`])
+    /// and reported as `None`, upon which the caller closes the
+    /// connection — one poisoned request cannot take down a serving
+    /// thread or an event loop.
+    pub(crate) fn dispatch_isolated(
+        &self,
+        message: Message,
+        outstanding_nonce: &mut Option<[u8; 16]>,
+        transcript: &Digest,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Option<Message> {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.dispatch(message, outstanding_nonce, transcript, rng)
+        }));
+        match caught {
+            Ok(reply) => Some(reply),
+            Err(_) => {
+                self.stats.panics_isolated.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Test instrumentation for the panic-isolation layer: arms a
+    /// one-shot panic in the next dispatched `Ping`. Hidden because it
+    /// exists only so integration tests can prove a dispatch panic is
+    /// contained; it has no production use.
+    #[doc(hidden)]
+    pub fn set_dispatch_panic_for_tests(&self) {
+        self.panic_on_next_ping.store(true, Ordering::Relaxed);
+    }
+
     /// Commits one record through the group-commit pipe (see
     /// [`crate::commit`]); returns once it is durable. In
-    /// [`JournalMode::Disabled`] this is a no-op.
+    /// [`JournalMode::Disabled`] this is a no-op. Every real append
+    /// outcome feeds the middleware circuit breaker — this is the
+    /// storage boundary the breaker guards, shared by both serving
+    /// paths and by [`CasServer::persist_state`]'s checkpoint.
     fn commit_record(&self, record: JournalRecord) -> Result<(), SinclaveError> {
         let mode = self.journal_mode();
         if mode == JournalMode::Disabled {
             return Ok(());
         }
-        self.pipe.commit(mode == JournalMode::GroupCommit, record, &self.stats, |payload| {
-            self.store.append_journal(payload)
-        })
+        let result =
+            self.pipe.commit(mode == JournalMode::GroupCommit, record, &self.stats, |payload| {
+                self.store.append_journal(payload)
+            });
+        self.middleware.read().record_commit(result.is_ok());
+        result
     }
 
     /// Redeems a token durably: the in-memory exactly-once transition
@@ -768,18 +963,34 @@ impl CasServer {
     /// # Errors
     ///
     /// Returns transport/handshake failures; protocol-level rejections
-    /// are answered with [`Message::Denied`] instead. A peer that
-    /// simply goes away (disconnect/timeout) ends the loop cleanly
-    /// with `Ok(())`; a record that fails authentication is counted in
+    /// (middleware refusals included) are answered with
+    /// [`Message::Denied`] instead. A peer that simply goes away
+    /// (disconnect/timeout) ends the loop cleanly with `Ok(())`; a
+    /// record that fails authentication is counted in
     /// [`CasStats::records_rejected`] and surfaces as
     /// [`NetError::RecordCorrupt`] — a tampered transport must be
-    /// distinguishable from a polite hang-up.
+    /// distinguishable from a polite hang-up. A *configured* handshake
+    /// or idle deadline firing is counted in
+    /// [`CasStats::connections_timed_out`]: with deadlines on, a
+    /// stalled client costs one bounded wait instead of pinning the
+    /// worker for the transport default.
     pub fn handle_connection(
         &self,
         conn: Connection,
         rng: &mut (impl RngCore + ?Sized),
     ) -> Result<(), NetError> {
-        let chan = SecureChannel::server_accept(conn, &self.channel_key, rng)?;
+        let chain = self.middleware();
+        conn.set_recv_timeout(chain.config().handshake_timeout);
+        let chan = match SecureChannel::server_accept(conn, &self.channel_key, rng) {
+            Ok(chan) => chan,
+            Err(e) => {
+                if e == NetError::Timeout && chain.config().handshake_timeout.is_some() {
+                    self.stats.connections_timed_out.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+        };
+        chan.set_recv_timeout(chain.config().idle_timeout);
         let transcript = chan.transcript();
         let (mut sender, mut receiver) = chan.split();
         let mut outstanding_nonce: Option<[u8; 16]> = None;
@@ -794,8 +1005,17 @@ impl CasServer {
             let received = loop {
                 let raw = match receiver.recv() {
                     Ok(raw) => raw,
+                    Err(NetError::Timeout) => {
+                        // A configured read deadline firing is the
+                        // slow-loris defense doing its job; the
+                        // transport default firing is a clean close.
+                        if chain.config().idle_timeout.is_some() {
+                            self.stats.connections_timed_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break Ok(());
+                    }
                     // Transport close: the peer is done with us.
-                    Err(NetError::Disconnected | NetError::Timeout) => break Ok(()),
+                    Err(NetError::Disconnected) => break Ok(()),
                     Err(e) => {
                         if e == NetError::RecordCorrupt {
                             self.stats.records_rejected.fetch_add(1, Ordering::Relaxed);
@@ -804,7 +1024,23 @@ impl CasServer {
                     }
                 };
                 let reply = match Message::from_bytes(&raw) {
-                    Ok(message) => self.dispatch(message, &mut outstanding_nonce, &transcript, rng),
+                    Ok(message) => match self.admission_refusal(&chain, &message) {
+                        Some(refused) => refused,
+                        None if chain.config().isolate_panics => {
+                            match self.dispatch_isolated(
+                                message,
+                                &mut outstanding_nonce,
+                                &transcript,
+                                rng,
+                            ) {
+                                Some(reply) => reply,
+                                // Contained panic: close this
+                                // connection, keep the worker.
+                                None => break Ok(()),
+                            }
+                        }
+                        None => self.dispatch(message, &mut outstanding_nonce, &transcript, rng),
+                    },
                     Err(_) => Message::Denied { reason: "malformed message".into() },
                 };
                 if matches!(reply, Message::Denied { .. }) {
@@ -822,7 +1058,7 @@ impl CasServer {
         })
     }
 
-    fn dispatch(
+    pub(crate) fn dispatch(
         &self,
         message: Message,
         outstanding_nonce: &mut Option<[u8; 16]>,
@@ -830,7 +1066,12 @@ impl CasServer {
         rng: &mut (impl RngCore + ?Sized),
     ) -> Message {
         match message {
-            Message::Ping => Message::Pong,
+            Message::Ping => {
+                if self.panic_on_next_ping.swap(false, Ordering::Relaxed) {
+                    panic!("test-armed dispatch panic");
+                }
+                Message::Pong
+            }
             Message::ChallengeRequest => {
                 let mut nonce = [0u8; 16];
                 rng.fill_bytes(&mut nonce);

@@ -7,21 +7,201 @@
 //! listeners and wiretap connection metadata. This is exactly the
 //! capability the SGX-LKL attack needs (§3.3.2: "the invocation
 //! command is intercepted by the adversary").
+//!
+//! # Readiness
+//!
+//! Blocking one thread per connection does not scale to high fan-in,
+//! so the bus also offers an epoll-shaped readiness layer: a
+//! [`Poller`] hands out token-carrying [`Readiness`] handles, a
+//! [`Connection`] or [`Listener`] is [`watch`]ed with one, and every
+//! event that makes the source readable — a message send, a new
+//! connection queued at a listener, a peer endpoint dropping — signals
+//! the handle, which enqueues its token at the poller and wakes it
+//! through a condvar. [`Poller::wait`] therefore *parks*: an idle bus
+//! with thousands of watched connections costs zero CPU until an event
+//! arrives (asserted by a unit test via [`Poller::idle_waits`], which
+//! counts condvar blocks — a busy-poll would show thousands of
+//! iterations where parking shows one).
+//!
+//! Signals are edge-shaped hints, deduplicated per handle while
+//! queued: after draining a token the consumer must read the source
+//! until it reports empty ([`Connection::try_recv`] /
+//! [`Listener::try_accept`]). Watching a source signals once
+//! immediately so anything queued *before* the watch is never lost.
+//!
+//! [`watch`]: Connection::watch
 
 use crate::error::NetError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 /// Default receive timeout: generous for tests, short enough to fail
 /// fast on deadlocks.
 pub const RECV_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// A watch slot: where a source keeps the readiness handle that its
+/// events signal. Shared between the two endpoints of a connection
+/// (each endpoint signals its *peer's* slot).
+type WatchSlot = Mutex<Option<Arc<Readiness>>>;
+
+fn signal_slot(slot: &WatchSlot) {
+    if let Some(readiness) = slot.lock().as_ref() {
+        readiness.signal();
+    }
+}
+
+// ---- Poller ---------------------------------------------------------------
+
+struct PollerShared {
+    state: StdMutex<PollerState>,
+    cv: Condvar,
+}
+
+struct PollerState {
+    /// Handles whose tokens are queued, in signal order.
+    ready: Vec<Arc<Readiness>>,
+    /// Condvar blocks taken by [`Poller::wait`] — the no-busy-poll
+    /// diagnostic: an idle wait parks once (plus rare spurious wakes)
+    /// instead of iterating.
+    idle_waits: u64,
+}
+
+/// A readiness token source: watched connections and listeners signal
+/// their [`Readiness`] handles, the poller's owner drains the queued
+/// tokens with [`Poller::wait`].
+pub struct Poller {
+    shared: Arc<PollerShared>,
+}
+
+impl Default for Poller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Poller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Poller").finish()
+    }
+}
+
+impl Poller {
+    /// Creates an empty poller.
+    #[must_use]
+    pub fn new() -> Poller {
+        Poller {
+            shared: Arc::new(PollerShared {
+                state: StdMutex::new(PollerState { ready: Vec::new(), idle_waits: 0 }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Creates a readiness handle that enqueues `token` at this poller
+    /// when signaled. Hand it to [`Connection::watch`] /
+    /// [`Listener::watch`], or keep it to inject control events.
+    #[must_use]
+    pub fn readiness(&self, token: u64) -> Arc<Readiness> {
+        Arc::new(Readiness { shared: self.shared.clone(), token, queued: AtomicBool::new(false) })
+    }
+
+    /// Waits until at least one token is queued (returning the drained
+    /// tokens in signal order) or `timeout` passes (returning empty).
+    /// Parks on a condvar while idle — never spins.
+    #[must_use]
+    pub fn wait(&self, timeout: Duration) -> Vec<u64> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if !state.ready.is_empty() {
+                return state
+                    .ready
+                    .drain(..)
+                    .map(|readiness| {
+                        // Clear the dedup flag before reporting: a
+                        // signal arriving after this re-queues the
+                        // token (at worst a spurious extra event; the
+                        // consumer drains to empty either way).
+                        readiness.queued.store(false, Ordering::Release);
+                        readiness.token
+                    })
+                    .collect();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Vec::new();
+            }
+            state.idle_waits += 1;
+            state = self
+                .shared
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// How many times [`Poller::wait`] has parked on the condvar.
+    /// Diagnostic for the no-busy-poll contract: an idle wait adds 1
+    /// (plus rare spurious wakeups), a spinning implementation would
+    /// add thousands per second.
+    #[must_use]
+    pub fn idle_waits(&self) -> u64 {
+        self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).idle_waits
+    }
+}
+
+/// A token-carrying readiness handle (see [`Poller::readiness`]).
+///
+/// Signals are deduplicated while queued: however many events fire
+/// between two [`Poller::wait`] drains, the token is reported once.
+pub struct Readiness {
+    shared: Arc<PollerShared>,
+    token: u64,
+    queued: AtomicBool,
+}
+
+impl fmt::Debug for Readiness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Readiness").field("token", &self.token).finish()
+    }
+}
+
+impl Readiness {
+    /// The token this handle enqueues.
+    #[must_use]
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Enqueues the token at the owning poller and wakes it. Idempotent
+    /// while the token is still queued.
+    pub fn signal(self: &Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            let mut state =
+                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.ready.push(self.clone());
+            drop(state);
+            self.shared.cv.notify_one();
+        }
+    }
+}
+
+// ---- Network --------------------------------------------------------------
+
+struct ListenerEntry {
+    tx: Sender<Connection>,
+    /// Signaled when a connection is queued at the listener.
+    watch: Arc<WatchSlot>,
+}
+
 struct NetworkInner {
-    listeners: HashMap<String, Sender<Connection>>,
+    listeners: HashMap<String, ListenerEntry>,
     /// Adversary-installed address rewrites, applied at dial time.
     redirects: HashMap<String, String>,
     /// Count of observed dials per (requested) address.
@@ -70,8 +250,12 @@ impl Network {
     #[must_use]
     pub fn listen(&self, address: &str) -> Listener {
         let (tx, rx) = unbounded();
-        self.inner.lock().listeners.insert(address.to_owned(), tx);
-        Listener { address: address.to_owned(), rx }
+        let watch = Arc::new(Mutex::new(None));
+        self.inner
+            .lock()
+            .listeners
+            .insert(address.to_owned(), ListenerEntry { tx, watch: watch.clone() });
+        Listener { address: address.to_owned(), rx, watch }
     }
 
     /// Dials `address`, returning the caller's end of a fresh
@@ -85,20 +269,18 @@ impl Network {
         let mut inner = self.inner.lock();
         inner.dial_log.push(address.to_owned());
         let effective = inner.redirects.get(address).cloned().unwrap_or_else(|| address.to_owned());
-        let listener_tx = inner
+        let entry = inner
             .listeners
             .get(&effective)
-            .cloned()
             .ok_or_else(|| NetError::AddressUnreachable { address: effective.clone() })?;
+        let (listener_tx, listener_watch) = (entry.tx.clone(), entry.watch.clone());
         drop(inner);
 
-        let (a_tx, b_rx) = unbounded();
-        let (b_tx, a_rx) = unbounded();
-        let server_side = Connection { tx: b_tx, rx: b_rx, peer: format!("dial:{address}") };
-        let client_side = Connection { tx: a_tx, rx: a_rx, peer: effective };
+        let (client_side, server_side) = Connection::wired(effective, format!("dial:{address}"));
         listener_tx
             .send(server_side)
             .map_err(|_| NetError::AddressUnreachable { address: address.to_owned() })?;
+        signal_slot(&listener_watch);
         Ok(client_side)
     }
 
@@ -129,11 +311,16 @@ impl Network {
 /// (behind an `Arc`) and have every worker call [`Listener::accept`]
 /// concurrently — each queued connection is handed to exactly one
 /// accepter, like `accept(2)` on a shared listening socket. The CAS
-/// worker pool relies on this.
+/// worker pool relies on this; the CAS reactor instead [`watch`]es the
+/// listener and drains it with [`Listener::try_accept`].
+///
+/// [`watch`]: Listener::watch
 #[derive(Debug)]
 pub struct Listener {
     address: String,
     rx: Receiver<Connection>,
+    /// Readiness handle signaled when a connection is queued.
+    watch: Arc<WatchSlot>,
 }
 
 impl Listener {
@@ -161,21 +348,96 @@ impl Listener {
     pub fn accept_timeout(&self, timeout: Duration) -> Result<Connection, NetError> {
         self.rx.recv_timeout(timeout).map_err(|_| NetError::Timeout)
     }
+
+    /// Accepts a queued connection without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] when none is queued.
+    pub fn try_accept(&self) -> Result<Connection, NetError> {
+        self.rx.try_recv().map_err(|_| NetError::Timeout)
+    }
+
+    /// Registers `readiness` to be signaled whenever a connection is
+    /// queued at this listener, and signals it once immediately so
+    /// connections queued before the watch are not missed. Replaces
+    /// any previous watch.
+    pub fn watch(&self, readiness: &Arc<Readiness>) {
+        *self.watch.lock() = Some(readiness.clone());
+        readiness.signal();
+    }
 }
 
 /// One endpoint of a bidirectional, message-oriented connection.
 #[derive(Debug)]
 pub struct Connection {
-    tx: Sender<Vec<u8>>,
+    /// `Some` until drop: [`Connection`]'s `Drop` impl must disconnect
+    /// the peer's receive side *before* signaling its watch slot (see
+    /// there), and field drop glue runs after `Drop::drop`.
+    tx: Option<Sender<Vec<u8>>>,
     rx: Receiver<Vec<u8>>,
     peer: String,
+    /// Signaled when *this* endpoint becomes readable (peer sent or
+    /// hung up).
+    watch: Arc<WatchSlot>,
+    /// The peer endpoint's watch slot: signaled by our sends and drop.
+    peer_watch: Arc<WatchSlot>,
+    /// Receive-timeout override in microseconds for [`Connection::recv`]
+    /// (`0` = the [`RECV_TIMEOUT`] default). Lets a server bound how
+    /// long a stalled peer can hold a blocking reader.
+    recv_timeout_micros: AtomicU64,
 }
 
 impl Connection {
+    /// Builds a cross-wired endpoint pair: each side's sends (and
+    /// drop) signal the other side's watch slot.
+    fn wired(peer_a: String, peer_b: String) -> (Connection, Connection) {
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        let a_watch: Arc<WatchSlot> = Arc::new(Mutex::new(None));
+        let b_watch: Arc<WatchSlot> = Arc::new(Mutex::new(None));
+        (
+            Connection {
+                tx: Some(a_tx),
+                rx: a_rx,
+                peer: peer_a,
+                watch: a_watch.clone(),
+                peer_watch: b_watch.clone(),
+                recv_timeout_micros: AtomicU64::new(0),
+            },
+            Connection {
+                tx: Some(b_tx),
+                rx: b_rx,
+                peer: peer_b,
+                watch: b_watch,
+                peer_watch: a_watch,
+                recv_timeout_micros: AtomicU64::new(0),
+            },
+        )
+    }
+
     /// Description of the peer (informational).
     #[must_use]
     pub fn peer(&self) -> &str {
         &self.peer
+    }
+
+    /// Registers `readiness` to be signaled whenever this endpoint
+    /// becomes readable — a message arrives or the peer endpoint is
+    /// dropped — and signals it once immediately so messages queued
+    /// before the watch are not missed. Replaces any previous watch.
+    pub fn watch(&self, readiness: &Arc<Readiness>) {
+        *self.watch.lock() = Some(readiness.clone());
+        readiness.signal();
+    }
+
+    /// Overrides the timeout [`Connection::recv`] blocks for (`None`
+    /// restores the [`RECV_TIMEOUT`] default). This is the pooled
+    /// serving path's stall bound: a handshake or read deadline small
+    /// enough that a slow-loris peer cannot pin a worker.
+    pub fn set_recv_timeout(&self, timeout: Option<Duration>) {
+        let micros = timeout.map_or(0, |t| t.as_micros().try_into().unwrap_or(u64::MAX).max(1));
+        self.recv_timeout_micros.store(micros, Ordering::Relaxed);
     }
 
     /// Sends one message.
@@ -185,7 +447,10 @@ impl Connection {
     /// Returns [`NetError::Disconnected`] if the peer endpoint was
     /// dropped.
     pub fn send(&self, message: Vec<u8>) -> Result<(), NetError> {
-        self.tx.send(message).map_err(|_| NetError::Disconnected)
+        let tx = self.tx.as_ref().ok_or(NetError::Disconnected)?;
+        tx.send(message).map_err(|_| NetError::Disconnected)?;
+        signal_slot(&self.peer_watch);
+        Ok(())
     }
 
     /// Receives one message if one is already queued, without waiting.
@@ -206,10 +471,14 @@ impl Connection {
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::Timeout`] after [`RECV_TIMEOUT`] and
-    /// [`NetError::Disconnected`] if the peer endpoint was dropped.
+    /// Returns [`NetError::Timeout`] after the configured receive
+    /// timeout ([`RECV_TIMEOUT`] unless overridden via
+    /// [`Connection::set_recv_timeout`]) and [`NetError::Disconnected`]
+    /// if the peer endpoint was dropped.
     pub fn recv(&self) -> Result<Vec<u8>, NetError> {
-        match self.rx.recv_timeout(RECV_TIMEOUT) {
+        let micros = self.recv_timeout_micros.load(Ordering::Relaxed);
+        let timeout = if micros == 0 { RECV_TIMEOUT } else { Duration::from_micros(micros) };
+        match self.rx.recv_timeout(timeout) {
             Ok(m) => Ok(m),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
@@ -219,12 +488,20 @@ impl Connection {
     /// Creates a connected pair directly (for tests and local links).
     #[must_use]
     pub fn pair() -> (Connection, Connection) {
-        let (a_tx, b_rx) = unbounded();
-        let (b_tx, a_rx) = unbounded();
-        (
-            Connection { tx: a_tx, rx: a_rx, peer: "pair:b".to_owned() },
-            Connection { tx: b_tx, rx: b_rx, peer: "pair:a".to_owned() },
-        )
+        Connection::wired("pair:b".to_owned(), "pair:a".to_owned())
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        // A watched peer must learn about the hang-up without polling:
+        // its next try_recv reports Disconnected. The sender half MUST
+        // go first: signals are consumed edge-style, so if the wakeup
+        // fired while our sender was still alive, a fast peer could
+        // drain `Empty` (not `Disconnected`), park again, and never be
+        // signaled about this connection again.
+        drop(self.tx.take());
+        signal_slot(&self.peer_watch);
     }
 }
 
@@ -346,5 +623,126 @@ mod tests {
         for i in 0..100u8 {
             assert_eq!(b.recv().unwrap(), vec![i]);
         }
+    }
+
+    #[test]
+    fn recv_timeout_override_bounds_the_stall() {
+        let (a, _b) = Connection::pair();
+        a.set_recv_timeout(Some(Duration::from_millis(20)));
+        let start = Instant::now();
+        assert_eq!(a.recv(), Err(NetError::Timeout));
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(20), "returned early: {elapsed:?}");
+        assert!(elapsed < RECV_TIMEOUT, "override ignored");
+    }
+
+    // ---- Readiness --------------------------------------------------------
+
+    #[test]
+    fn watched_connection_signals_on_send_and_drop() {
+        let poller = Poller::new();
+        let (a, b) = Connection::pair();
+        a.watch(&poller.readiness(7));
+        // The watch itself signals once (catch-up semantics).
+        assert_eq!(poller.wait(Duration::from_millis(100)), vec![7]);
+
+        b.send(b"x".to_vec()).unwrap();
+        assert_eq!(poller.wait(Duration::from_millis(100)), vec![7]);
+        assert_eq!(a.try_recv().unwrap(), b"x");
+        assert_eq!(a.try_recv(), Err(NetError::Timeout));
+
+        drop(b);
+        assert_eq!(poller.wait(Duration::from_millis(100)), vec![7]);
+        assert_eq!(a.try_recv(), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn hang_up_signal_never_precedes_the_disconnect() {
+        // Regression: `Connection`'s `Drop` once signaled the peer's
+        // watch *before* its sender field was dropped. A reactor waking
+        // on that signal could drain `Empty` (the channel still looked
+        // connected), consume the edge, and then park forever — the
+        // disconnect landed after the only wakeup it would ever get.
+        // Now the signal is ordered after the sender drop, so once the
+        // token is reported the disconnect must be observable.
+        for _ in 0..500 {
+            let poller = Poller::new();
+            let (a, b) = Connection::pair();
+            b.watch(&poller.readiness(1));
+            let _ = poller.wait(Duration::from_millis(10)); // catch-up
+            let dropper = std::thread::spawn(move || drop(a));
+            while poller.wait(Duration::from_millis(100)).is_empty() {}
+            assert_eq!(b.try_recv(), Err(NetError::Disconnected), "lost hang-up edge");
+            dropper.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn watch_catches_up_on_messages_sent_before_registration() {
+        let poller = Poller::new();
+        let (a, b) = Connection::pair();
+        b.send(b"early".to_vec()).unwrap();
+        a.watch(&poller.readiness(3));
+        assert_eq!(poller.wait(Duration::from_millis(100)), vec![3]);
+        assert_eq!(a.try_recv().unwrap(), b"early");
+    }
+
+    #[test]
+    fn signals_deduplicate_while_queued() {
+        let poller = Poller::new();
+        let readiness = poller.readiness(9);
+        for _ in 0..100 {
+            readiness.signal();
+        }
+        assert_eq!(poller.wait(Duration::from_millis(100)), vec![9]);
+        assert!(poller.wait(Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn watched_listener_signals_on_connect() {
+        let net = Network::new();
+        let listener = net.listen("svc:reactor");
+        let poller = Poller::new();
+        listener.watch(&poller.readiness(1));
+        let _ = poller.wait(Duration::from_millis(50)); // catch-up signal
+        assert!(matches!(listener.try_accept(), Err(NetError::Timeout)));
+
+        let _client = net.connect("svc:reactor").unwrap();
+        assert_eq!(poller.wait(Duration::from_millis(100)), vec![1]);
+        assert!(listener.try_accept().is_ok());
+    }
+
+    #[test]
+    fn idle_bus_parks_instead_of_spinning() {
+        // The no-busy-poll contract behind the reactor: a poller
+        // watching a 1k-connection idle bus must *park* — one condvar
+        // block for the whole wait, not a poll loop over the sources.
+        let net = Network::new();
+        let listener = net.listen("svc:idle");
+        let poller = Poller::new();
+        listener.watch(&poller.readiness(0));
+        let mut conns = Vec::new();
+        for i in 0..1000u64 {
+            let client = net.connect("svc:idle").unwrap();
+            let server = listener.try_accept().unwrap();
+            server.watch(&poller.readiness(1 + i));
+            conns.push((client, server));
+        }
+        // Drain the registration catch-up signals.
+        while !poller.wait(Duration::from_millis(10)).is_empty() {}
+
+        let baseline = poller.idle_waits();
+        let start = Instant::now();
+        assert!(poller.wait(Duration::from_millis(120)).is_empty(), "idle bus produced events");
+        assert!(start.elapsed() >= Duration::from_millis(120));
+        let blocks = poller.idle_waits() - baseline;
+        assert!(
+            blocks <= 4,
+            "idle 1k-connection wait must park (≤ a few condvar blocks), took {blocks}"
+        );
+
+        // And a single event still wakes it promptly.
+        conns[500].0.send(b"wake".to_vec()).unwrap();
+        assert_eq!(poller.wait(Duration::from_millis(200)), vec![501]);
     }
 }

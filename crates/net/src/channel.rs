@@ -153,8 +153,28 @@ impl ChannelReceiver {
             return Err(NetError::SequenceExhausted);
         }
         let record = self.conn.recv()?;
+        self.open_record(&record)
+    }
+
+    /// Receives one record if one is already queued, without waiting —
+    /// the reactor's drain primitive after a readiness event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] when nothing is queued (no
+    /// sequence number is consumed); otherwise as
+    /// [`ChannelReceiver::recv`].
+    pub fn try_recv(&mut self) -> Result<Vec<u8>, NetError> {
+        if self.seq == u64::MAX {
+            return Err(NetError::SequenceExhausted);
+        }
+        let record = self.conn.try_recv()?;
+        self.open_record(&record)
+    }
+
+    fn open_record(&mut self, record: &[u8]) -> Result<Vec<u8>, NetError> {
         let nonce = Nonce::from_parts(0, self.seq);
-        let plaintext = aead::open(&self.key, nonce, &self.seq.to_be_bytes(), &record)
+        let plaintext = aead::open(&self.key, nonce, &self.seq.to_be_bytes(), record)
             .map_err(|_| NetError::RecordCorrupt)?;
         self.seq += 1;
         Ok(plaintext)
@@ -173,25 +193,14 @@ impl SecureChannel {
         channel_key: &RsaPrivateKey,
         rng: &mut R,
     ) -> Result<SecureChannel, NetError> {
-        let hello = ClientHello::decode_all(&conn.recv()?)?;
-        if hello.version != VERSION {
-            return Err(NetError::HandshakeFailed { reason: "version mismatch" });
+        let conn = Arc::new(conn);
+        let mut handshake = ServerHandshake::new();
+        loop {
+            let raw = conn.recv()?;
+            if let Some(channel) = handshake.on_message(&conn, &raw, channel_key, rng)? {
+                return Ok(channel);
+            }
         }
-        let mut server_nonce = [0u8; 32];
-        rng.fill_bytes(&mut server_nonce);
-        let server_hello =
-            ServerHello { server_key: channel_key.public_key().to_bytes(), server_nonce };
-        conn.send(server_hello.encode())?;
-
-        let kem_ct = Vec::<u8>::decode_all(&conn.recv()?)?;
-        let shared = channel_key
-            .kem_decapsulate(&kem_ct)
-            .map_err(|_| NetError::HandshakeFailed { reason: "kem decapsulation" })?;
-
-        let fingerprint = channel_key.public_key().fingerprint();
-        let (c2s, s2c, transcript) =
-            derive_keys(&shared, &hello.client_nonce, &server_nonce, &fingerprint);
-        Ok(SecureChannel::assemble(conn, s2c, c2s, fingerprint, transcript))
     }
 
     /// Client side of the handshake.
@@ -225,18 +234,17 @@ impl SecureChannel {
         let fingerprint = server_key.fingerprint();
         let (c2s, s2c, transcript) =
             derive_keys(&shared, &client_nonce, &server_hello.server_nonce, &fingerprint);
-        Ok(SecureChannel::assemble(conn, c2s, s2c, fingerprint, transcript))
+        Ok(SecureChannel::assemble(Arc::new(conn), c2s, s2c, fingerprint, transcript))
     }
 
     /// Builds a channel from its derived directional keys.
     fn assemble(
-        conn: Connection,
+        conn: Arc<Connection>,
         send_key: AeadKey,
         recv_key: AeadKey,
         server_key_fingerprint: Digest,
         transcript: Digest,
     ) -> SecureChannel {
-        let conn = Arc::new(conn);
         SecureChannel {
             sender: ChannelSender { conn: conn.clone(), key: send_key, seq: 0 },
             receiver: ChannelReceiver { conn, key: recv_key, seq: 0 },
@@ -272,6 +280,15 @@ impl SecureChannel {
         self.transcript
     }
 
+    /// Overrides the underlying transport's blocking-receive timeout
+    /// (`None` restores the default) — how a server bounds the time a
+    /// stalled peer can hold [`SecureChannel::recv`] /
+    /// [`ChannelReceiver::recv`]. Applies to the shared connection, so
+    /// it survives [`SecureChannel::split`].
+    pub fn set_recv_timeout(&self, timeout: Option<std::time::Duration>) {
+        self.receiver.conn.set_recv_timeout(timeout);
+    }
+
     /// Sends one encrypted, authenticated record.
     ///
     /// # Errors
@@ -288,6 +305,94 @@ impl SecureChannel {
     /// Same as [`ChannelReceiver::recv`].
     pub fn recv(&mut self) -> Result<Vec<u8>, NetError> {
         self.receiver.recv()
+    }
+}
+
+/// The server side of the handshake as an explicit state machine, for
+/// event-driven servers that cannot block in
+/// [`SecureChannel::server_accept`].
+///
+/// A reactor feeds each raw transport message to
+/// [`ServerHandshake::on_message`]; the machine sends its own flight
+/// (the `ServerHello`) inline and yields the established
+/// [`SecureChannel`] when the client's KEM ciphertext arrives. Message
+/// handling is identical to the blocking path — `server_accept` is
+/// implemented on top of this machine — so both serving paths accept
+/// bit-identical handshakes.
+#[derive(Debug)]
+pub struct ServerHandshake {
+    state: HandshakeState,
+}
+
+#[derive(Debug)]
+enum HandshakeState {
+    AwaitHello,
+    AwaitKem { client_nonce: [u8; 32], server_nonce: [u8; 32] },
+    Done,
+}
+
+impl Default for ServerHandshake {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerHandshake {
+    /// A fresh handshake awaiting the client's hello.
+    #[must_use]
+    pub fn new() -> ServerHandshake {
+        ServerHandshake { state: HandshakeState::AwaitHello }
+    }
+
+    /// Advances the handshake with one raw transport message.
+    ///
+    /// Returns `Ok(None)` while the handshake is still in flight and
+    /// `Ok(Some(channel))` when it completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::HandshakeFailed`] on protocol violations —
+    /// including feeding a completed machine — and propagates transport
+    /// errors from sending the `ServerHello`. Any error is terminal:
+    /// the connection should be closed.
+    pub fn on_message<R: RngCore + ?Sized>(
+        &mut self,
+        conn: &Arc<Connection>,
+        raw: &[u8],
+        channel_key: &RsaPrivateKey,
+        rng: &mut R,
+    ) -> Result<Option<SecureChannel>, NetError> {
+        match self.state {
+            HandshakeState::AwaitHello => {
+                let hello = ClientHello::decode_all(raw)?;
+                if hello.version != VERSION {
+                    return Err(NetError::HandshakeFailed { reason: "version mismatch" });
+                }
+                let mut server_nonce = [0u8; 32];
+                rng.fill_bytes(&mut server_nonce);
+                let server_hello =
+                    ServerHello { server_key: channel_key.public_key().to_bytes(), server_nonce };
+                conn.send(server_hello.encode())?;
+                self.state =
+                    HandshakeState::AwaitKem { client_nonce: hello.client_nonce, server_nonce };
+                Ok(None)
+            }
+            HandshakeState::AwaitKem { client_nonce, server_nonce } => {
+                let kem_ct = Vec::<u8>::decode_all(raw)?;
+                let shared = channel_key
+                    .kem_decapsulate(&kem_ct)
+                    .map_err(|_| NetError::HandshakeFailed { reason: "kem decapsulation" })?;
+                self.state = HandshakeState::Done;
+
+                let fingerprint = channel_key.public_key().fingerprint();
+                let (c2s, s2c, transcript) =
+                    derive_keys(&shared, &client_nonce, &server_nonce, &fingerprint);
+                Ok(Some(SecureChannel::assemble(conn.clone(), s2c, c2s, fingerprint, transcript)))
+            }
+            HandshakeState::Done => {
+                Err(NetError::HandshakeFailed { reason: "handshake already complete" })
+            }
+        }
     }
 }
 
@@ -422,6 +527,63 @@ mod tests {
         // shared connection.
         client_tx.send(b"still open").unwrap();
         assert_eq!(server_rx.recv().unwrap(), b"still open");
+    }
+
+    #[test]
+    fn try_recv_reports_empty_without_consuming_sequence() {
+        let key = channel_key(19);
+        let (mut client, server) = handshake(&key);
+        let (_server_tx, mut server_rx) = server.split();
+        assert_eq!(server_rx.try_recv(), Err(NetError::Timeout));
+        client.send(b"after the poll").unwrap();
+        // The failed poll must not have burned a sequence number.
+        assert_eq!(server_rx.try_recv().unwrap(), b"after the poll");
+        assert_eq!(server_rx.try_recv(), Err(NetError::Timeout));
+    }
+
+    #[test]
+    fn stepwise_server_handshake_interoperates_with_blocking_client() {
+        // Drive the server side one message at a time, as the reactor
+        // does, against an unmodified blocking client.
+        let key = channel_key(20);
+        let (client_conn, server_conn) = Connection::pair();
+        let client = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(3000);
+            SecureChannel::client_connect(client_conn, &mut rng).unwrap()
+        });
+
+        let server_conn = Arc::new(server_conn);
+        let mut rng = StdRng::seed_from_u64(3001);
+        let mut hs = ServerHandshake::new();
+        let first = server_conn.recv().unwrap();
+        assert!(hs.on_message(&server_conn, &first, &key, &mut rng).unwrap().is_none());
+        let second = server_conn.recv().unwrap();
+        let mut server = hs.on_message(&server_conn, &second, &key, &mut rng).unwrap().unwrap();
+
+        let mut client = client.join().unwrap();
+        assert_eq!(client.transcript(), server.transcript());
+        client.send(b"via fsm").unwrap();
+        assert_eq!(server.recv().unwrap(), b"via fsm");
+
+        // Feeding a completed machine is a protocol violation.
+        assert!(matches!(
+            hs.on_message(&server_conn, &second, &key, &mut rng),
+            Err(NetError::HandshakeFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn stepwise_handshake_rejects_bad_first_flight() {
+        let key = channel_key(21);
+        let (_client_conn, server_conn) = Connection::pair();
+        let server_conn = Arc::new(server_conn);
+        let mut rng = StdRng::seed_from_u64(3002);
+        let mut hs = ServerHandshake::new();
+        let bad = ClientHello { version: VERSION + 1, client_nonce: [0; 32] }.encode();
+        assert!(matches!(
+            hs.on_message(&server_conn, &bad, &key, &mut rng),
+            Err(NetError::HandshakeFailed { reason: "version mismatch" })
+        ));
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub mod channel;
 pub mod error;
 pub mod wire;
 
-pub use bus::{Connection, Listener, Network};
-pub use channel::{ChannelReceiver, ChannelSender, SecureChannel};
+pub use bus::{Connection, Listener, Network, Poller, Readiness};
+pub use channel::{ChannelReceiver, ChannelSender, SecureChannel, ServerHandshake};
 pub use error::NetError;

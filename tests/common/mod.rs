@@ -103,6 +103,12 @@ impl World {
         self.cas.serve(&self.network, CAS_ADDR, connections, seed)
     }
 
+    /// Spawns the CAS on the reactor path serving `connections`
+    /// connections with the default loop/worker counts.
+    pub fn serve_cas_reactor(&self, connections: usize, seed: u64) -> std::thread::JoinHandle<()> {
+        self.cas.serve_reactor(&self.network, CAS_ADDR, connections, seed)
+    }
+
     /// Gracefully restarts the CAS: persist its durable state, drop
     /// the server, and rebuild one from the *same volume bytes* (a
     /// disk-image round trip, exactly what a redeploy sees). The new

@@ -1,0 +1,247 @@
+//! Admission-control and reactor-path integration tests: high fan-in
+//! serving, slow-loris resilience on both serving paths, the wire
+//! encoding of rate-limit/quota refusals, circuit-breaker shedding,
+//! panic isolation, and the time-based snapshot tick.
+
+mod common;
+
+use common::{World, CAS_ADDR, CONFIG_ID};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave_repro::attack::starvation::{quota_abuse, SlowLoris};
+use sinclave_repro::cas::middleware::{BreakerConfig, MiddlewareConfig, RateLimitConfig};
+use sinclave_repro::cas::policy::PolicyMode;
+use sinclave_repro::core::protocol::Message;
+use sinclave_repro::net::SecureChannel;
+use sinclave_repro::runtime::ProgramImage;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+fn world(seed: u64) -> World {
+    let image = ProgramImage::with_entry("svc", "print ok", 2).sinclave_aware();
+    World::new(seed, image, common::user_config_with_secrets(), PolicyMode::Singleton)
+}
+
+fn ping(world: &World, seed: u64, rounds: usize) {
+    let conn = world.network.connect(CAS_ADDR).expect("connect");
+    // Under high fan-in on few cores the server's debug-mode crypto
+    // serializes; only the *server's* deadlines are under test, so
+    // clients wait patiently.
+    conn.set_recv_timeout(Some(Duration::from_secs(300)));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+    for _ in 0..rounds {
+        chan.send(&Message::Ping.to_bytes()).expect("send");
+        let reply = Message::from_bytes(&chan.recv().expect("recv")).expect("decode");
+        assert_eq!(reply, Message::Pong);
+    }
+}
+
+#[test]
+fn reactor_drives_a_thousand_concurrent_sessions() {
+    let world = world(60);
+    let clients = 1000;
+    let cas = world.serve_cas_reactor(clients, 6000);
+    std::thread::scope(|scope| {
+        for i in 0..clients {
+            let world = &world;
+            scope.spawn(move || ping(world, 7000 + i as u64, 2));
+        }
+    });
+    cas.join().expect("reactor");
+    assert_eq!(world.cas.stats.denials.load(Ordering::Relaxed), 0);
+    assert_eq!(world.cas.stats.connections_timed_out.load(Ordering::Relaxed), 0);
+    assert_eq!(world.cas.stats.records_rejected.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn slow_loris_on_reactor_is_reaped_and_healthy_clients_unaffected() {
+    let world = world(61);
+    world.cas.set_middleware(MiddlewareConfig {
+        handshake_timeout: Some(Duration::from_millis(50)),
+        idle_timeout: Some(Duration::from_millis(100)),
+        ..MiddlewareConfig::default()
+    });
+    let (stalled, holders, healthy) = (16, 8, 8);
+    let cas = world.serve_cas_reactor(stalled + holders + healthy, 6100);
+    let loris = SlowLoris::launch(&world.network, CAS_ADDR, stalled, holders, 6200).expect("loris");
+    assert_eq!(loris.stalled_count(), stalled);
+    assert_eq!(loris.holder_count(), holders);
+
+    // Healthy clients keep getting served while the loris holds
+    // three-quarters of the server's connections hostage.
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..healthy {
+            let world = &world;
+            scope.spawn(move || ping(world, 6300 + i as u64, 3));
+        }
+    });
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "healthy clients stalled behind the loris: {:?}",
+        started.elapsed()
+    );
+    cas.join().expect("reactor");
+    loris.release();
+
+    // Every silent connection was reaped on deadline — and reaping is
+    // a *timeout*, never confused with tampering.
+    assert_eq!(
+        world.cas.stats.connections_timed_out.load(Ordering::Relaxed),
+        (stalled + holders) as u64
+    );
+    assert_eq!(world.cas.stats.records_rejected.load(Ordering::Relaxed), 0);
+    assert_eq!(world.cas.stats.denials.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn slow_loris_on_pool_times_out_instead_of_leaking_the_worker() {
+    let world = world(62);
+    world.cas.set_middleware(MiddlewareConfig {
+        handshake_timeout: Some(Duration::from_millis(50)),
+        idle_timeout: Some(Duration::from_millis(100)),
+        ..MiddlewareConfig::default()
+    });
+    // One worker, two connections: the loris dials first and stalls
+    // mid-handshake. Without the timeout the single worker would block
+    // on it forever and the healthy client would never be served.
+    let cas = world.cas.serve_with_workers(&world.network, CAS_ADDR, 2, 6400, 1);
+    let loris = SlowLoris::launch(&world.network, CAS_ADDR, 1, 0, 6500).expect("loris");
+    ping(&world, 6600, 2);
+    cas.join().expect("pool");
+    loris.release();
+    assert_eq!(world.cas.stats.connections_timed_out.load(Ordering::Relaxed), 1);
+    assert_eq!(world.cas.stats.records_rejected.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn rate_limit_refusals_encode_over_the_wire() {
+    let world = world(63);
+    world.cas.set_middleware(MiddlewareConfig {
+        rate_limit: Some(RateLimitConfig { burst: 2, per_second: 1 }),
+        ..MiddlewareConfig::default()
+    });
+    let cas = world.serve_cas_reactor(1, 6700);
+    let report = quota_abuse(&world.network, CAS_ADDR, CONFIG_ID, 6, 6800).expect("abuser");
+    cas.join().expect("reactor");
+    // The burst gets through to real dispatch; everything after is
+    // refused by the token bucket with the documented reason string.
+    assert_eq!(report.served, 2);
+    assert_eq!(report.rate_limited, 4);
+    assert_eq!(report.quota_denied, 0);
+    assert_eq!(world.cas.stats.requests_rate_limited.load(Ordering::Relaxed), 4);
+}
+
+#[test]
+fn quota_exhausts_an_identity_on_the_pooled_path() {
+    let world = world(64);
+    world.cas.set_middleware(MiddlewareConfig { quota: Some(3), ..MiddlewareConfig::default() });
+    let cas = world.serve_cas(1, 6900);
+    let report = quota_abuse(&world.network, CAS_ADDR, CONFIG_ID, 5, 7000).expect("abuser");
+    cas.join().expect("pool");
+    assert_eq!(report.served, 3);
+    assert_eq!(report.quota_denied, 2);
+    assert_eq!(report.rate_limited, 0);
+    assert_eq!(world.cas.stats.requests_quota_denied.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn open_breaker_sheds_journaling_requests_but_not_pings() {
+    let world = world(65);
+    world.cas.set_middleware(MiddlewareConfig {
+        breaker: Some(BreakerConfig { failure_threshold: 1, cooldown: Duration::from_secs(3600) }),
+        ..MiddlewareConfig::default()
+    });
+    // One failed volume append trips the breaker open.
+    world.cas.middleware().record_commit(false);
+
+    let cas = world.serve_cas_reactor(1, 7100);
+    let conn = world.network.connect(CAS_ADDR).expect("connect");
+    let mut rng = StdRng::seed_from_u64(7200);
+    let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+    // A grant must append to the journal — shed while the breaker is
+    // open, with the retryable reason.
+    chan.send(
+        &Message::GrantRequest {
+            common_sigstruct: world.packaged.signed.common_sigstruct.to_bytes(),
+            base_hash: world.packaged.signed.base_hash.encode().to_vec(),
+        }
+        .to_bytes(),
+    )
+    .expect("send");
+    let reply = Message::from_bytes(&chan.recv().expect("recv")).expect("decode");
+    assert!(
+        matches!(&reply, Message::Denied { reason } if reason.starts_with("service overloaded")),
+        "got {reply:?}"
+    );
+    // Pings touch no storage and keep flowing.
+    chan.send(&Message::Ping.to_bytes()).expect("send");
+    assert_eq!(Message::from_bytes(&chan.recv().expect("recv")).expect("decode"), Message::Pong);
+    drop(chan);
+    cas.join().expect("reactor");
+    assert_eq!(world.cas.stats.requests_shed.load(Ordering::Relaxed), 1);
+    assert_eq!(world.cas.stats.grants_issued.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn panic_isolation_contains_a_poisoned_dispatch_on_both_paths() {
+    for reactor in [true, false] {
+        let world = world(66);
+        world.cas.set_middleware(MiddlewareConfig {
+            isolate_panics: true,
+            ..MiddlewareConfig::default()
+        });
+        let cas = if reactor { world.serve_cas_reactor(2, 7300) } else { world.serve_cas(2, 7300) };
+
+        // First connection trips the poisoned dispatch: the connection
+        // dies, the serving thread survives.
+        world.cas.set_dispatch_panic_for_tests();
+        let conn = world.network.connect(CAS_ADDR).expect("connect");
+        let mut rng = StdRng::seed_from_u64(7400);
+        let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+        chan.send(&Message::Ping.to_bytes()).expect("send");
+        assert!(chan.recv().is_err(), "poisoned dispatch must close the connection, not reply");
+        drop(chan);
+
+        // Second connection is served normally by the same threads.
+        ping(&world, 7500, 2);
+        cas.join().expect("serve");
+        assert_eq!(world.cas.stats.panics_isolated.load(Ordering::Relaxed), 1, "reactor={reactor}");
+    }
+}
+
+#[test]
+fn time_based_snapshot_tick_persists_while_idle() {
+    let world = world(67);
+    world.cas.set_snapshot_interval(Some(Duration::from_millis(50)));
+    assert_eq!(world.cas.snapshot_interval(), Some(Duration::from_millis(50)));
+    let cas = world.serve_cas_reactor(1, 7600);
+
+    let conn = world.network.connect(CAS_ADDR).expect("connect");
+    let mut rng = StdRng::seed_from_u64(7700);
+    let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+    // Dirty the issuer state, then go idle: the event-count cadence
+    // will never fire again, but the reactor's timer must.
+    chan.send(
+        &Message::GrantRequest {
+            common_sigstruct: world.packaged.signed.common_sigstruct.to_bytes(),
+            base_hash: world.packaged.signed.base_hash.encode().to_vec(),
+        }
+        .to_bytes(),
+    )
+    .expect("send");
+    let reply = Message::from_bytes(&chan.recv().expect("recv")).expect("decode");
+    assert!(matches!(reply, Message::GrantResponse { .. }), "got {reply:?}");
+    std::thread::sleep(Duration::from_millis(250));
+    drop(chan);
+    cas.join().expect("reactor");
+
+    assert!(
+        world.cas.stats.snapshot_persisted.load(Ordering::Relaxed) >= 1,
+        "idle period never hit the snapshot tick"
+    );
+    // The persisted snapshot is the real, restorable article.
+    let bytes = world.cas.store().restore_state().expect("read").expect("snapshot present");
+    sinclave_repro::core::snapshot::IssuerSnapshot::from_bytes(&bytes).expect("parses");
+}
