@@ -1,0 +1,109 @@
+//! A replication-stream hijacker.
+//!
+//! The fleet's replication port speaks the same secure-channel
+//! construction as the client port — and that channel authenticates
+//! *a* server key, not *the* server (see `sinclave_net::channel`). An
+//! adversary who controls routing (DNS, ARP, a compromised LB) can
+//! therefore answer a follower's dial, complete the handshake with a
+//! key of their own, and try to feed the follower a forged baseline:
+//! a snapshot minting an adversary-chosen token, stamped with the
+//! fleet's *public* identity values (the verifier identity and signer
+//! fingerprint travel in every signed SigStruct, so the snapshot
+//! identity check alone cannot stop someone who has watched one
+//! deployment).
+//!
+//! The defense is **fleet pinning**: every replica holds the shared
+//! channel key, so a follower knows exactly which fingerprint the real
+//! primary must present and drops a session terminated by any other
+//! key before even sending its hello. This module is the attack side;
+//! `tests/replication.rs` drives it and asserts the pin holds.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sinclave::replication::{ReplicaRole, ReplicationFrame};
+use sinclave::snapshot::{IssuerSnapshot, TokenSnapshotEntry, TokenSnapshotState};
+use sinclave_crypto::rsa::RsaPrivateKey;
+use sinclave_net::{Network, SecureChannel};
+
+/// The token the hijacker tries to mint into a follower's table.
+pub const FORGED_TOKEN: [u8; 32] = [0x66; 32];
+
+/// How far one hijack attempt got, step by step.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HijackReport {
+    /// The victim dialed us and the handshake completed — the channel
+    /// construction itself never stops a key-substitution MITM.
+    pub handshake_completed: bool,
+    /// The victim sent its subscribe hello over the hijacked channel
+    /// (with fleet pinning this must stay `false`: the victim hangs up
+    /// on the wrong fingerprint first).
+    pub hello_received: bool,
+    /// The forged baseline was sent and the victim kept the channel
+    /// open long enough to have received it.
+    pub baseline_delivered: bool,
+}
+
+/// Answers one follower dial on `listen_addr` with an
+/// adversary-terminated channel and a forged baseline carrying
+/// [`FORGED_TOKEN`]. `verifier_identity` and `signer_fingerprint` are
+/// the fleet's public identity values, harvested from any signed
+/// binary. Returns when the victim hangs up (or was fed everything).
+#[must_use]
+pub fn hijack_replication_stream(
+    network: &Network,
+    listen_addr: &str,
+    verifier_identity: [u8; 32],
+    signer_fingerprint: [u8; 32],
+    seed: u64,
+) -> std::thread::JoinHandle<HijackReport> {
+    let listener = network.listen(listen_addr);
+    std::thread::spawn(move || {
+        let mut report = HijackReport::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // The adversary's own channel key — the handshake will happily
+        // bind the session to it.
+        let Ok(evil_key) = RsaPrivateKey::generate(&mut rng, 1024) else { return report };
+        let Ok(conn) = listener.accept() else { return report };
+        let Ok(mut chan) = SecureChannel::server_accept(conn, &evil_key, &mut rng) else {
+            return report;
+        };
+        report.handshake_completed = true;
+        let Ok(raw) = chan.recv() else { return report };
+        let Ok(ReplicationFrame::Hello { role: ReplicaRole::Subscribe, .. }) =
+            ReplicationFrame::from_bytes(&raw)
+        else {
+            return report;
+        };
+        report.hello_received = true;
+        // A baseline whose snapshot mints the forged token as issued,
+        // wearing the fleet's public identity.
+        let snapshot = IssuerSnapshot {
+            verifier_identity,
+            signer_fingerprint,
+            generation: 1,
+            journal_sequence: 1,
+            fence: 0,
+            verified_keys: Vec::new(),
+            tokens: vec![TokenSnapshotEntry {
+                token: FORGED_TOKEN,
+                state: TokenSnapshotState::Issued { expected: FORGED_TOKEN, common: FORGED_TOKEN },
+            }],
+        };
+        let baseline = ReplicationFrame::Baseline {
+            fence: 0,
+            high_seq: 1,
+            baseline_seq: 1,
+            snapshot: snapshot.to_bytes(),
+            chunks: Vec::new(),
+        };
+        if chan.send(&baseline.to_bytes()).is_err() {
+            return report;
+        }
+        // One more exchange proves the victim was still listening
+        // after the baseline landed (sends only fail once the victim's
+        // endpoint is dropped).
+        report.baseline_delivered =
+            chan.send(&ReplicationFrame::Heartbeat { fence: 0, high_seq: 1 }.to_bytes()).is_ok();
+        report
+    })
+}

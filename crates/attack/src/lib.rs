@@ -23,10 +23,14 @@
 //! * [`lkl_attack`] — full §3.3.2 procedure + defense checks.
 //! * [`starvation`] — denial-of-capacity adversaries (slow loris,
 //!   quota abuse) for the admission-control middleware stack.
+//! * [`hijack`] — a replication-stream hijacker that answers a
+//!   follower's dial with an adversary-terminated channel and a
+//!   forged baseline; defeated by the fleet's channel-key pinning.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hijack;
 pub mod impersonator;
 pub mod lkl_attack;
 pub mod malicious;

@@ -57,6 +57,13 @@
 //!     to the 1-worker pool, and a slow-loris fleet is reaped on its
 //!     deadlines without touching healthy clients (and without being
 //!     miscounted as tampering).
+//! 11. **Replicated read scaling.** `ablation/replication` measures a
+//!     read-mostly session burst against one node and against a
+//!     primary plus two live followers (journal streams attached) —
+//!     after a failover-fidelity gate: a follower that adopted the
+//!     primary's baseline promotes under a durable fence, the deposed
+//!     primary refuses further redemptions, and exactly-once holds
+//!     across the handover.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -646,6 +653,142 @@ fn bench_reactor(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_replication(c: &mut Criterion) {
+    use sinclave::protocol::Message;
+    use sinclave_bench::BenchWorld;
+    use sinclave_cas::{follow, serve_replication};
+    use sinclave_net::{Backoff, SecureChannel};
+    use sinclave_runtime::ProgramImage;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    // Gate — failover fidelity. A follower adopts the primary's
+    // baseline, is promoted with a durable fence bump, and the deposed
+    // primary refuses the redemption the new primary now owns:
+    // exactly-once held across the handover, which is the property the
+    // read-scaling numbers below are only allowed to exist under.
+    {
+        let world = BenchWorld::new(0xf10);
+        let packaged = world.package(&ProgramImage::interpreter("python-3.8", 8));
+        let mut rng = StdRng::seed_from_u64(0xf11);
+        let spent = world
+            .cas
+            .issuer()
+            .issue(&mut rng, &packaged.signed.common_sigstruct, &packaged.signed.base_hash)
+            .expect("issue");
+        let open = world
+            .cas
+            .issuer()
+            .issue(&mut rng, &packaged.signed.common_sigstruct, &packaged.signed.base_hash)
+            .expect("issue");
+        world.cas.redeem_token(&spent.token, &spent.expected_mrenclave).expect("redeem");
+        world.cas.persist_state().expect("persist");
+
+        let _repl = serve_replication(&world.cas, &world.network, "cas:abl-repl", 4, 0xf12);
+        let follower = world.new_replica();
+        let pump = follow(
+            follower.clone(),
+            world.network.clone(),
+            "cas:abl-repl".into(),
+            0xf13,
+            Backoff::new(Duration::from_millis(2), Duration::from_millis(20)),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while follower.journal_sequence() != world.cas.journal_sequence() {
+            assert!(std::time::Instant::now() < deadline, "follower never caught up");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        pump.stop();
+        let fence = follower.promote().expect("promote");
+        assert!(world.cas.observe_fence(fence), "old primary not deposed");
+        assert!(
+            world.cas.redeem_token(&open.token, &open.expected_mrenclave).is_err(),
+            "deposed primary still redeems"
+        );
+        assert!(
+            follower.redeem_token(&spent.token, &spent.expected_mrenclave).is_err(),
+            "acked redemption replayed on the new primary"
+        );
+        follower.redeem_token(&open.token, &open.expected_mrenclave).expect("failover redemption");
+    }
+
+    // The measurement: a read-mostly session burst against one node,
+    // then spread across a primary plus two live followers (streams
+    // attached, idling on heartbeats). Followers answer reads from
+    // local replayed state, so read throughput should scale with the
+    // fleet while every write still funnels through one journal.
+    const SESSIONS: usize = 48;
+    const PINGS: usize = 8;
+    const CLIENT_THREADS: usize = 4;
+
+    fn read_burst(world: &BenchWorld, addrs: &[&str], seed: u64) {
+        std::thread::scope(|scope| {
+            for thread in 0..CLIENT_THREADS {
+                let network = world.network.clone();
+                scope.spawn(move || {
+                    for session in (thread..SESSIONS).step_by(CLIENT_THREADS) {
+                        let addr = addrs[session % addrs.len()];
+                        let conn = network.connect(addr).expect("connect");
+                        let mut rng = StdRng::seed_from_u64(seed ^ (session as u64) << 8);
+                        let mut chan =
+                            SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+                        for _ in 0..PINGS {
+                            chan.send(&Message::Ping.to_bytes()).expect("send");
+                            chan.recv().expect("recv");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let world = BenchWorld::new(0xf14);
+    let _repl = serve_replication(&world.cas, &world.network, "cas:abl-repl-live", 4, 0xf15);
+    let followers: Vec<_> = (0..2).map(|_| world.new_replica()).collect();
+    let _pumps: Vec<_> = followers
+        .iter()
+        .enumerate()
+        .map(|(i, follower)| {
+            follow(
+                follower.clone(),
+                world.network.clone(),
+                "cas:abl-repl-live".into(),
+                0xf16 + i as u64,
+                Backoff::new(Duration::from_millis(2), Duration::from_millis(20)),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("ablation/replication");
+    group.throughput(Throughput::Elements((SESSIONS * PINGS) as u64));
+    group.measurement_time(std::time::Duration::from_millis(150));
+    let round = std::sync::atomic::AtomicU64::new(0);
+    group.bench_function("reads-single-node", |b| {
+        b.iter(|| {
+            let seed = 0xf100 + round.fetch_add(1, Ordering::Relaxed);
+            let serve = world.cas.serve(&world.network, "cas:abl-r1", SESSIONS, seed);
+            read_burst(&world, &["cas:abl-r1"], seed);
+            serve.join().expect("serve");
+        });
+    });
+    group.bench_function("reads-primary-plus-2-followers", |b| {
+        b.iter(|| {
+            let seed = 0xf200 + round.fetch_add(1, Ordering::Relaxed);
+            // 48 sessions round-robin over 3 addresses: 16 each.
+            let serves = [
+                world.cas.serve(&world.network, "cas:abl-r3a", SESSIONS / 3, seed),
+                followers[0].serve(&world.network, "cas:abl-r3b", SESSIONS / 3, seed + 1),
+                followers[1].serve(&world.network, "cas:abl-r3c", SESSIONS / 3, seed + 2),
+            ];
+            read_burst(&world, &["cas:abl-r3a", "cas:abl-r3b", "cas:abl-r3c"], seed);
+            for serve in serves {
+                serve.join().expect("serve");
+            }
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     ablations,
     bench_prediction_vs_remeasure,
@@ -657,6 +800,7 @@ criterion_group!(
     bench_verify_cache,
     bench_warm_restart,
     bench_journal,
-    bench_reactor
+    bench_reactor,
+    bench_replication
 );
 criterion_main!(ablations);

@@ -15,7 +15,7 @@ use sinclave_cas::policy::{PolicyMode, SessionPolicy};
 use sinclave_cas::store::CasStore;
 use sinclave_cas::CasServer;
 use sinclave_crypto::aead::AeadKey;
-use sinclave_crypto::rsa::RsaPrivateKey;
+use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use sinclave_net::Network;
 use sinclave_runtime::scone::{package_app, PackagedApp, SconeHost};
 use sinclave_runtime::ProgramImage;
@@ -40,6 +40,11 @@ pub struct BenchWorld {
     pub network: Network,
     /// The signer key (RSA-3072).
     pub signer_key: RsaPrivateKey,
+    /// The fleet channel key (shared by every replica; its fingerprint
+    /// is the replication pin).
+    pub channel_key: RsaPrivateKey,
+    /// The attestation service's root public key.
+    pub attestation_root: RsaPublicKey,
 }
 
 impl BenchWorld {
@@ -60,13 +65,26 @@ impl BenchWorld {
 
         let signer_key = RsaPrivateKey::generate(&mut rng, SIGNER_KEY_BITS).expect("signer key");
         let channel_key = RsaPrivateKey::generate(&mut rng, INFRA_KEY_BITS).expect("channel");
+        let attestation_root = service.root_public_key().clone();
         let cas = CasServer::new(
-            channel_key,
+            channel_key.clone(),
             signer_key.clone(),
-            service.root_public_key().clone(),
+            attestation_root.clone(),
             CasStore::create(AeadKey::new([0xbe; 32])),
         );
-        BenchWorld { host, cas, network, signer_key }
+        BenchWorld { host, cas, network, signer_key, channel_key, attestation_root }
+    }
+
+    /// Builds a follower replica on a fresh store, sharing the fleet's
+    /// channel key, signer key and attestation root.
+    #[must_use]
+    pub fn new_replica(&self) -> Arc<CasServer> {
+        CasServer::new(
+            self.channel_key.clone(),
+            self.signer_key.clone(),
+            self.attestation_root.clone(),
+            CasStore::create(AeadKey::new([0xbf; 32])),
+        )
     }
 
     /// Packages an image under the world's signer.

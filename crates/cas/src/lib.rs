@@ -23,6 +23,15 @@
 //! * [`reactor`] — the readiness-driven serving path: a few event
 //!   loops multiplex every connection, offloading crypto to a compute
 //!   pool.
+//! * [`replica`] — the replicated fleet: a primary streams its sealed
+//!   journal to followers, followers serve read-mostly traffic
+//!   locally and forward writes, and failover is fenced by a
+//!   monotonic generation so a deposed primary can never double-spend
+//!   a token (see that module's docs for the topology, the fencing
+//!   rules, and the honest consistency story).
+//! * [`witness`] — the sealed monotonic rollback witness
+//!   [`CasServer::check_rollback`] compares restored state against,
+//!   kept in its own encrypted volume.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,9 +40,13 @@ pub mod commit;
 pub mod middleware;
 pub mod policy;
 pub mod reactor;
+pub mod replica;
 pub mod server;
 pub mod store;
+pub mod witness;
 
-pub use middleware::{BreakerConfig, MiddlewareConfig, RateLimitConfig, Refusal};
+pub use middleware::{BreakerConfig, DedupConfig, MiddlewareConfig, RateLimitConfig, Refusal};
 pub use policy::{PolicyMode, SessionPolicy};
+pub use replica::{follow, serve_replication, FollowerHandle, ForwardLink};
 pub use server::{CasServer, JournalMode};
+pub use witness::{SealedWitness, WitnessMark};

@@ -16,10 +16,17 @@
 //! 3. **Quotas** — an absolute per-identity request budget. After rate
 //!    limiting so a quota-exhausted identity still pays the rate
 //!    limiter first and cannot use quota probes to bypass it.
-//! 4. **Panic isolation** — dispatch runs under `catch_unwind` so a
+//! 4. **Request deduplication** — a bounded TTL cache of recent grant
+//!    replies keyed by the request's idempotency key (the hash of its
+//!    wire bytes). A client retrying an acked grant — routine during
+//!    failover, when a follower's forward link drops mid-reply — gets
+//!    the identical cached response instead of a second token. After
+//!    quotas (a retry storm still pays admission) and before dispatch
+//!    (a hit skips issuance entirely).
+//! 5. **Panic isolation** — dispatch runs under `catch_unwind` so a
 //!    panic poisons one connection, not the serving thread (enforced
 //!    by the serving paths; configured here).
-//! 5. **Circuit breaker** — wraps the volume/journal append boundary,
+//! 6. **Circuit breaker** — wraps the volume/journal append boundary,
 //!    the one layer that talks to storage. Last, at the resource it
 //!    guards: when appends fail repeatedly the breaker opens and
 //!    journaling requests are shed with a clean refusal instead of
@@ -36,13 +43,21 @@
 //! the unprotected loop (the determinism contract the ablation gates).
 //! [`MiddlewareConfig::hardened`] is the everything-on preset.
 //!
+//! Alongside the per-request layers, the chain carries the fleet's
+//! **degraded flag**: a follower that loses its replication stream
+//! keeps serving reads (stale-bounded, by design) and reconnects with
+//! bounded backoff — the breaker stays closed, because the local
+//! volume is healthy and opening it would shed traffic the replica can
+//! still serve correctly. The flag makes the state observable instead
+//! of silent.
+//!
 //! Time is read from a chain-local clock that tests can step with
 //! [`MiddlewareChain::advance`] — layer tests never sleep.
 
 use parking_lot::Mutex;
 use sinclave_crypto::sha256::Digest;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Token-bucket rate limiting parameters (per client identity).
@@ -52,6 +67,17 @@ pub struct RateLimitConfig {
     pub burst: u32,
     /// Sustained refill rate in requests per second.
     pub per_second: u32,
+}
+
+/// Request-deduplication parameters (the idempotent-retry cache).
+#[derive(Clone, Copy, Debug)]
+pub struct DedupConfig {
+    /// Maximum cached replies; the oldest entry is evicted beyond it.
+    pub capacity: u32,
+    /// How long a cached reply stays replayable. Long enough to cover
+    /// a failover's retry window, short enough that the cache cannot
+    /// serve a reply from a meaningfully different policy epoch.
+    pub ttl: Duration,
 }
 
 /// Circuit-breaker parameters for the journal/volume append boundary.
@@ -82,6 +108,9 @@ pub struct MiddlewareConfig {
     pub rate_limit: Option<RateLimitConfig>,
     /// Absolute per-identity request budget (`None` = off).
     pub quota: Option<u64>,
+    /// Idempotent-retry deduplication for grant requests (`None` =
+    /// off). Sits between quota and panic isolation.
+    pub dedup: Option<DedupConfig>,
     /// Run dispatch under `catch_unwind`, refusing the connection
     /// instead of crashing the serving thread.
     pub isolate_panics: bool,
@@ -101,6 +130,7 @@ impl MiddlewareConfig {
             idle_timeout: Some(Duration::from_secs(2)),
             rate_limit: Some(RateLimitConfig { burst: 64, per_second: 32 }),
             quota: Some(100_000),
+            dedup: Some(DedupConfig { capacity: 1024, ttl: Duration::from_secs(30) }),
             isolate_panics: true,
             breaker: Some(BreakerConfig {
                 failure_threshold: 3,
@@ -214,7 +244,60 @@ impl QuotaTracker {
     }
 }
 
-/// Layer 5: the journal/volume append circuit breaker.
+/// One cached grant reply awaiting a possible retry.
+struct DedupEntry {
+    reply: Vec<u8>,
+    stored_at_micros: u64,
+}
+
+/// Layer 4: the bounded TTL cache of recent grant replies, keyed by
+/// the request's idempotency key (SHA-256 of its wire bytes — the
+/// deterministic codec makes a byte-identical retry the definition of
+/// "the same request").
+struct DedupCache {
+    config: DedupConfig,
+    /// Entries plus their insertion order (for capacity eviction).
+    entries: Mutex<(HashMap<Digest, DedupEntry>, VecDeque<Digest>)>,
+}
+
+impl DedupCache {
+    fn lookup(&self, key: &Digest, now_micros: u64) -> Option<Vec<u8>> {
+        let ttl = u64::try_from(self.config.ttl.as_micros()).unwrap_or(u64::MAX);
+        let mut entries = self.entries.lock();
+        match entries.0.get(key) {
+            Some(entry) if now_micros.saturating_sub(entry.stored_at_micros) <= ttl => {
+                Some(entry.reply.clone())
+            }
+            Some(_) => {
+                // Expired: drop it now so a post-TTL retry re-dispatches
+                // (the order queue self-cleans on eviction).
+                entries.0.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn store(&self, key: Digest, reply: Vec<u8>, now_micros: u64) {
+        let mut entries = self.entries.lock();
+        let (map, order) = &mut *entries;
+        while map.len() >= self.config.capacity.max(1) as usize {
+            // Evict oldest-inserted; keys already removed (TTL expiry,
+            // or re-stored under a fresher entry) are skipped.
+            match order.pop_front() {
+                Some(old) => {
+                    map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        if map.insert(key, DedupEntry { reply, stored_at_micros: now_micros }).is_none() {
+            order.push_back(key);
+        }
+    }
+}
+
+/// Layer 6: the journal/volume append circuit breaker.
 enum BreakerState {
     /// Appends flowing; counts consecutive failures.
     Closed { failures: u32 },
@@ -280,7 +363,12 @@ pub struct MiddlewareChain {
     clock: Clock,
     limiter: Option<RateLimiter>,
     quotas: Option<QuotaTracker>,
+    dedup: Option<DedupCache>,
     breaker: Option<CircuitBreaker>,
+    /// Degraded-but-serving: the replication stream is down and the
+    /// replica is reconnecting with bounded backoff. Observability
+    /// only — reads keep flowing and the breaker stays out of it.
+    degraded: AtomicBool,
 }
 
 impl Default for MiddlewareChain {
@@ -308,10 +396,15 @@ impl MiddlewareChain {
             quotas: config
                 .quota
                 .map(|limit| QuotaTracker { limit, spent: Mutex::new(HashMap::new()) }),
+            dedup: config.dedup.map(|d| DedupCache {
+                config: d,
+                entries: Mutex::new((HashMap::new(), VecDeque::new())),
+            }),
             breaker: config.breaker.map(|b| CircuitBreaker {
                 config: b,
                 state: Mutex::new(BreakerState::Closed { failures: 0 }),
             }),
+            degraded: AtomicBool::new(false),
         }
     }
 
@@ -361,6 +454,37 @@ impl MiddlewareChain {
         if let Some(breaker) = &self.breaker {
             breaker.record(ok, self.clock.now_micros());
         }
+    }
+
+    /// Layer 4 lookup: the cached reply for this idempotency key, if a
+    /// byte-identical request was answered within the TTL. `None` when
+    /// the layer is off or the key is cold/expired.
+    #[must_use]
+    pub fn dedup_lookup(&self, key: &Digest) -> Option<Vec<u8>> {
+        self.dedup.as_ref().and_then(|cache| cache.lookup(key, self.clock.now_micros()))
+    }
+
+    /// Layer 4 store: caches an answered reply under its request's
+    /// idempotency key (no-op when the layer is off).
+    pub fn dedup_store(&self, key: &Digest, reply: Vec<u8>) {
+        if let Some(cache) = &self.dedup {
+            cache.store(*key, reply, self.clock.now_micros());
+        }
+    }
+
+    /// Marks or clears the degraded-but-serving state (replication
+    /// stream lost / restored). Deliberately independent of the
+    /// circuit breaker: the local volume is healthy, so journaling
+    /// writes (on a primary) and reads (on a follower) keep flowing.
+    pub fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::Relaxed);
+    }
+
+    /// Whether the replica is currently serving without a live
+    /// replication stream.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// Steps the chain's clock forward — the test hook that replaces
@@ -520,6 +644,64 @@ mod tests {
     }
 
     #[test]
+    fn dedup_replays_within_ttl_and_expires_after() {
+        let chain = MiddlewareChain::new(MiddlewareConfig {
+            dedup: Some(DedupConfig { capacity: 8, ttl: Duration::from_secs(1) }),
+            ..MiddlewareConfig::default()
+        });
+        let key = identity(1);
+        assert_eq!(chain.dedup_lookup(&key), None, "cold key");
+        chain.dedup_store(&key, b"reply-1".to_vec());
+        assert_eq!(chain.dedup_lookup(&key), Some(b"reply-1".to_vec()));
+        assert_eq!(chain.dedup_lookup(&key), Some(b"reply-1".to_vec()), "replays repeatedly");
+        chain.advance(Duration::from_secs(2));
+        assert_eq!(chain.dedup_lookup(&key), None, "expired");
+        // A re-answered request re-caches under the same key.
+        chain.dedup_store(&key, b"reply-2".to_vec());
+        assert_eq!(chain.dedup_lookup(&key), Some(b"reply-2".to_vec()));
+    }
+
+    #[test]
+    fn dedup_capacity_evicts_oldest_first() {
+        let chain = MiddlewareChain::new(MiddlewareConfig {
+            dedup: Some(DedupConfig { capacity: 2, ttl: Duration::from_secs(60) }),
+            ..MiddlewareConfig::default()
+        });
+        chain.dedup_store(&identity(1), vec![1]);
+        chain.dedup_store(&identity(2), vec![2]);
+        chain.dedup_store(&identity(3), vec![3]);
+        assert_eq!(chain.dedup_lookup(&identity(1)), None, "oldest evicted");
+        assert_eq!(chain.dedup_lookup(&identity(2)), Some(vec![2]));
+        assert_eq!(chain.dedup_lookup(&identity(3)), Some(vec![3]));
+    }
+
+    #[test]
+    fn dedup_disabled_is_inert() {
+        let chain = MiddlewareChain::default();
+        chain.dedup_store(&identity(1), vec![1]);
+        assert_eq!(chain.dedup_lookup(&identity(1)), None);
+    }
+
+    #[test]
+    fn degraded_flag_is_independent_of_the_breaker() {
+        let chain = MiddlewareChain::new(MiddlewareConfig {
+            breaker: Some(BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_millis(100),
+            }),
+            ..MiddlewareConfig::default()
+        });
+        assert!(!chain.is_degraded());
+        chain.set_degraded(true);
+        // A lost replication stream is not a storage failure: the
+        // breaker still admits journaling requests.
+        assert!(chain.is_degraded());
+        assert_eq!(chain.admit_journaling(), Ok(()));
+        chain.set_degraded(false);
+        assert!(!chain.is_degraded());
+    }
+
+    #[test]
     fn refusal_reasons_are_distinct_and_stable() {
         // The wire encoding tests (and clients) rely on these exact
         // strings to tell admission refusals apart.
@@ -535,6 +717,7 @@ mod tests {
         assert!(config.idle_timeout.is_some());
         assert!(config.rate_limit.is_some());
         assert!(config.quota.is_some());
+        assert!(config.dedup.is_some());
         assert!(config.isolate_panics);
         assert!(config.breaker.is_some());
     }

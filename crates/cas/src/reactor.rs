@@ -298,21 +298,13 @@ fn run_job(
     message: Message,
     mut session: Box<Session>,
 ) -> Option<Box<Session>> {
-    let reply = if chain.config().isolate_panics {
-        server.dispatch_isolated(
-            message,
-            &mut session.outstanding_nonce,
-            &session.transcript,
-            &mut session.rng,
-        )?
-    } else {
-        server.dispatch(
-            message,
-            &mut session.outstanding_nonce,
-            &session.transcript,
-            &mut session.rng,
-        )
-    };
+    let reply = server.dispatch_deduped(
+        chain,
+        message,
+        &mut session.outstanding_nonce,
+        &session.transcript,
+        &mut session.rng,
+    )?;
     if matches!(reply, Message::Denied { .. }) {
         server.stats.denials.fetch_add(1, Ordering::Relaxed);
     }

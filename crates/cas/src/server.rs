@@ -122,11 +122,13 @@
 use crate::commit::CommitPipe;
 use crate::middleware::{MiddlewareChain, MiddlewareConfig, Refusal};
 use crate::policy::{PolicyMode, SessionPolicy};
+use crate::replica::{ForwardLink, ReplicationHub};
 use crate::store::CasStore;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use sinclave::journal_record::{decode_batch, JournalRecord};
+use sinclave::journal_record::{decode_batch, encode_batch, JournalRecord};
 use sinclave::protocol::Message;
+use sinclave::snapshot::IssuerSnapshot;
 use sinclave::verifier::SingletonIssuer;
 use sinclave::{AttestationToken, BaseEnclaveHash, SinclaveError};
 use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
@@ -223,6 +225,36 @@ pub struct CasStats {
     /// Dispatch panics contained by panic isolation: the connection
     /// was closed, the serving thread survived.
     pub panics_isolated: AtomicU64,
+    /// Retried grant requests answered from the request-dedup cache
+    /// (byte-identical to a recent request; the cached reply was
+    /// replayed, no second token was issued).
+    pub dedup_hits: AtomicU64,
+    /// Writes refused because this server's fence is outranked (a
+    /// failover promoted a replica past it). Each one is a
+    /// double-redemption the fencing rule prevented.
+    pub writes_fenced: AtomicU64,
+    /// Times a peer presented a fencing generation above the highest
+    /// previously seen (the observation is persisted; see
+    /// [`CasServer::observe_fence`]).
+    pub fences_observed: AtomicU64,
+    /// Writes (grants, redemptions) this replica forwarded to the
+    /// primary for linearization.
+    pub forwarded_writes: AtomicU64,
+    /// Sealed record batches published to live replication
+    /// subscribers (counted once per committed batch, not per
+    /// subscriber).
+    pub replication_batches_streamed: AtomicU64,
+    /// Journal records this replica applied from the replication
+    /// stream (baseline suffix + live batches).
+    pub replication_records_replayed: AtomicU64,
+    /// Replication payloads refused by the frame or batch codec
+    /// (damaged, torn, or tampered) — the stream is dropped and
+    /// resynced, never partially applied.
+    pub replication_frames_rejected: AtomicU64,
+    /// Times the follower pump lost its stream and scheduled a
+    /// reconnect (bounded backoff; the replica keeps serving reads
+    /// as degraded in between).
+    pub replication_reconnects: AtomicU64,
 }
 
 /// Replies the pipelined per-connection loop may buffer ahead of the
@@ -322,6 +354,28 @@ pub struct CasServer {
     /// the next dispatched `Ping` panics (see
     /// [`CasServer::set_dispatch_panic_for_tests`]).
     panic_on_next_ping: AtomicBool,
+    /// This server's own fencing generation: the highest fence it has
+    /// *committed under* (restored from the snapshot stamp and from
+    /// replayed [`JournalRecord::Fence`] records; bumped by
+    /// [`CasServer::promote`]).
+    fence: AtomicU64,
+    /// The highest fencing generation observed fleet-wide — always at
+    /// least [`CasServer::fence`]; strictly above it exactly when this
+    /// server is deposed ([`CasServer::is_fenced`]). Persisted through
+    /// the store so a deposed primary restarting from a pre-failover
+    /// disk image comes back fenced.
+    fence_ceiling: AtomicU64,
+    /// Set while this server is a live replication subscriber: local
+    /// writes are refused (they would collide with the primary's
+    /// sequence numbers) and checkpoints are deferred to promotion.
+    following: AtomicBool,
+    /// A follower's write-forwarding link to the primary; `None` on a
+    /// primary (and on a read-only follower, which refuses writes
+    /// outright).
+    forward: parking_lot::RwLock<Option<Arc<ForwardLink>>>,
+    /// The hub live commit batches are published to while replication
+    /// serving is up ([`crate::replica::serve_replication`]).
+    replication: parking_lot::RwLock<Option<Arc<ReplicationHub>>>,
     /// Counters.
     pub stats: CasStats,
 }
@@ -374,6 +428,11 @@ impl CasServer {
             middleware: parking_lot::RwLock::new(Arc::new(MiddlewareChain::default())),
             snapshot_interval_micros: AtomicU64::new(0),
             panic_on_next_ping: AtomicBool::new(false),
+            fence: AtomicU64::new(0),
+            fence_ceiling: AtomicU64::new(0),
+            following: AtomicBool::new(false),
+            forward: parking_lot::RwLock::new(None),
+            replication: parking_lot::RwLock::new(None),
             stats: CasStats::default(),
         };
         server.restore_state();
@@ -382,6 +441,19 @@ impl CasServer {
         // applies anything beyond the snapshot.
         server.persisted_epoch.store(server.issuer.mutation_epoch(), Ordering::Relaxed);
         server.replay_journal();
+        // The persisted fence ceiling outlives snapshots and journal
+        // replay: a deposed primary restarting from its pre-failover
+        // disk image must come back fenced, even though nothing in
+        // that image's snapshot or journal carries the newer fence.
+        let own = server.fence.load(Ordering::Relaxed);
+        let ceiling = match server.store.restore_fence() {
+            Ok(Some(ceiling)) => ceiling.max(own),
+            Ok(None) => own,
+            // Fail closed: an unreadable ceiling could be hiding a
+            // deposition, so assume one until an operator promotes.
+            Err(_) => own + 1,
+        };
+        server.fence_ceiling.store(ceiling, Ordering::Relaxed);
         Arc::new(server)
     }
 
@@ -447,6 +519,14 @@ impl CasServer {
     ///
     /// Propagates volume failures.
     pub fn persist_state(&self) -> Result<(), SinclaveError> {
+        // A live subscriber must not checkpoint: the checkpoint record
+        // would take a fresh local sequence number and collide with
+        // the primary's stream. Promotion clears the flag.
+        if self.following.load(Ordering::Relaxed) {
+            return Err(SinclaveError::JournalInvalid {
+                context: "replica does not checkpoint while following",
+            });
+        }
         let _persisting = self.persist_lock.lock();
         let epoch = self.issuer.mutation_epoch();
         if self.snapshot_on_disk.load(Ordering::Relaxed)
@@ -483,6 +563,7 @@ impl CasServer {
         let mut snapshot = self.issuer.export_snapshot();
         snapshot.generation = generation;
         snapshot.journal_sequence = journal_sequence;
+        snapshot.fence = self.fence.load(Ordering::Relaxed);
         if let Err(e) = self.store.persist_state(&snapshot.to_bytes()) {
             return fail(e);
         }
@@ -538,15 +619,15 @@ impl CasServer {
                 return;
             }
         };
-        let restored =
-            sinclave::snapshot::IssuerSnapshot::from_bytes(&bytes).and_then(|snapshot| {
-                self.issuer.restore_snapshot(&snapshot)?;
-                Ok((snapshot.generation, snapshot.journal_sequence))
-            });
+        let restored = IssuerSnapshot::from_bytes(&bytes).and_then(|snapshot| {
+            self.issuer.restore_snapshot(&snapshot)?;
+            Ok((snapshot.generation, snapshot.journal_sequence, snapshot.fence))
+        });
         match restored {
-            Ok((generation, journal_sequence)) => {
+            Ok((generation, journal_sequence, fence)) => {
                 self.generation.store(generation, Ordering::Relaxed);
                 self.journal_baseline.store(journal_sequence, Ordering::Relaxed);
+                self.fence.store(fence, Ordering::Relaxed);
                 self.snapshot_on_disk.store(true, Ordering::Relaxed);
                 self.stats.snapshot_restored.fetch_add(1, Ordering::Relaxed);
             }
@@ -582,6 +663,7 @@ impl CasServer {
         };
         let baseline = self.journal_baseline.load(Ordering::Relaxed);
         let mut generation = self.generation.load(Ordering::Relaxed);
+        let mut fence = self.fence.load(Ordering::Relaxed);
         let mut last_seq = 0u64;
         let mut torn = matches!(recovery.damage, Some(JournalDamage::TornTail { .. }));
         let mut corrupt = matches!(recovery.damage, Some(JournalDamage::Corrupt { .. }));
@@ -608,10 +690,12 @@ impl CasServer {
                     break 'replay;
                 }
                 last_seq = sequenced.seq;
-                if let JournalRecord::Checkpoint { generation: g } = sequenced.record {
-                    generation = generation.max(g);
-                } else {
-                    self.issuer.apply_record(&sequenced.record);
+                match sequenced.record {
+                    JournalRecord::Checkpoint { generation: g } => generation = generation.max(g),
+                    JournalRecord::Fence { fence: f } => fence = fence.max(f),
+                    _ => {
+                        self.issuer.apply_record(&sequenced.record);
+                    }
                 }
                 self.stats.journal_replayed.fetch_add(1, Ordering::Relaxed);
             }
@@ -629,6 +713,7 @@ impl CasServer {
             }
         }
         self.generation.store(generation, Ordering::Relaxed);
+        self.fence.store(fence, Ordering::Relaxed);
         self.pipe.resume_after(last_seq.max(baseline));
         if torn || corrupt {
             self.stats.journal_rejected.fetch_add(1, Ordering::Relaxed);
@@ -708,6 +793,243 @@ impl CasServer {
     #[must_use]
     pub fn journal_mode(&self) -> JournalMode {
         JournalMode::from_u8(self.journal_mode.load(Ordering::Relaxed))
+    }
+
+    // ---- Replication & fencing -------------------------------------------
+
+    /// This server's own fencing generation — the highest fence it has
+    /// committed under.
+    #[must_use]
+    pub fn fence(&self) -> u64 {
+        self.fence.load(Ordering::Relaxed)
+    }
+
+    /// The highest fencing generation observed fleet-wide (always at
+    /// least [`CasServer::fence`]).
+    #[must_use]
+    pub fn fence_ceiling(&self) -> u64 {
+        self.fence_ceiling.load(Ordering::Relaxed)
+    }
+
+    /// Whether this server is deposed: a fence above its own has been
+    /// observed (a failover promoted a replica past it). A fenced
+    /// server refuses every write — grants, redemptions, checkpoints —
+    /// while read-only service (policy retrieval, baseline
+    /// attestation) continues.
+    #[must_use]
+    pub fn is_fenced(&self) -> bool {
+        self.fence_ceiling.load(Ordering::Relaxed) > self.fence.load(Ordering::Relaxed)
+    }
+
+    /// Records a fencing generation observed from a peer. A fence
+    /// above the highest previously seen is counted
+    /// ([`CasStats::fences_observed`]) and persisted through the
+    /// store, so restarting from this volume stays fenced. Returns
+    /// whether the server is now fenced.
+    pub fn observe_fence(&self, peer_fence: u64) -> bool {
+        let previous = self.fence_ceiling.fetch_max(peer_fence, Ordering::Relaxed);
+        if peer_fence > previous {
+            self.stats.fences_observed.fetch_add(1, Ordering::Relaxed);
+            // Best-effort durability: even if the write fails, the
+            // live process stays fenced; only a crash-restart of this
+            // exact volume could forget the observation.
+            let _ = self.store.persist_fence(peer_fence);
+        }
+        self.is_fenced()
+    }
+
+    /// Promotes this replica to primary under a fresh fencing
+    /// generation: one above everything it has ever seen. The bump is
+    /// committed durably as a [`JournalRecord::Fence`] record —
+    /// continuing the primary's sequence numbering, so the promoted
+    /// journal is a strict suffix extension — and persisted as the
+    /// fence ceiling. Any still-running old primary that hears this
+    /// fence (over a replication session) refuses all further writes.
+    ///
+    /// The caller must have stopped this replica's follower pump
+    /// first; promotion clears the following flag and drops the
+    /// forward link, so writes are served locally from here on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal/volume failures; the promotion is not
+    /// durable and must not be announced.
+    pub fn promote(&self) -> Result<u64, SinclaveError> {
+        let new_fence =
+            self.fence.load(Ordering::Relaxed).max(self.fence_ceiling.load(Ordering::Relaxed)) + 1;
+        self.following.store(false, Ordering::Relaxed);
+        *self.forward.write() = None;
+        self.fence.store(new_fence, Ordering::Relaxed);
+        self.fence_ceiling.store(new_fence, Ordering::Relaxed);
+        self.commit_record(JournalRecord::Fence { fence: new_fence })?;
+        self.store.persist_fence(new_fence)?;
+        Ok(new_fence)
+    }
+
+    /// Marks this server as a live replication subscriber (set by the
+    /// follower pump). While following, local writes are refused and
+    /// checkpoints are deferred — every durable record must come from
+    /// the primary's stream so sequence numbers stay primary-owned.
+    pub fn set_following(&self, following: bool) {
+        self.following.store(following, Ordering::Relaxed);
+    }
+
+    /// Whether this server is currently a live replication subscriber.
+    #[must_use]
+    pub fn is_following(&self) -> bool {
+        self.following.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or clears) the write-forwarding link a follower uses
+    /// to linearize grants and redemptions through the primary.
+    pub fn set_forward_link(&self, link: Option<Arc<ForwardLink>>) {
+        *self.forward.write() = link;
+    }
+
+    fn forward_link(&self) -> Option<Arc<ForwardLink>> {
+        self.forward.read().clone()
+    }
+
+    /// Installs (or clears) the hub committed batches are published
+    /// to; set by [`crate::replica::serve_replication`].
+    pub(crate) fn set_replication_hub(&self, hub: Option<Arc<ReplicationHub>>) {
+        *self.replication.write() = hub;
+    }
+
+    /// Adopts a primary's bootstrap baseline: raw snapshot bytes plus
+    /// the sealed journal suffix, exactly what the primary's own
+    /// restart would replay.
+    ///
+    /// A replica already at or past `baseline_seq` skips the snapshot
+    /// and applies only the suffix (records at or below its own high
+    /// sequence are skipped idempotently) — the reconnect catch-up
+    /// path. A cold replica adopts the snapshot wholesale and persists
+    /// it before replaying the suffix. A *warm* replica that has
+    /// fallen behind the snapshot cannot catch up by suffix alone and
+    /// is refused — the deployment re-provisions it from a fresh
+    /// store.
+    ///
+    /// Returns the replica's high journal sequence after adoption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ReplicationInvalid`] on a malformed or
+    /// inconsistent baseline, or when this replica is too stale;
+    /// propagates volume failures.
+    pub fn adopt_baseline(
+        &self,
+        fence: u64,
+        baseline_seq: u64,
+        snapshot: &[u8],
+        chunks: &[Vec<u8>],
+    ) -> Result<u64, SinclaveError> {
+        let last = self.pipe.sequence();
+        if last < baseline_seq {
+            if last != 0 || self.snapshot_on_disk.load(Ordering::Relaxed) {
+                return Err(SinclaveError::ReplicationInvalid {
+                    context: "replica too stale for suffix catch-up",
+                });
+            }
+            if snapshot.is_empty() {
+                return Err(SinclaveError::ReplicationInvalid {
+                    context: "baseline sequence without snapshot",
+                });
+            }
+            let parsed = IssuerSnapshot::from_bytes(snapshot)
+                .map_err(|_| SinclaveError::ReplicationInvalid { context: "baseline snapshot" })?;
+            if parsed.journal_sequence != baseline_seq {
+                return Err(SinclaveError::ReplicationInvalid {
+                    context: "baseline sequence mismatch",
+                });
+            }
+            self.issuer
+                .restore_snapshot(&parsed)
+                .map_err(|_| SinclaveError::ReplicationInvalid { context: "baseline snapshot" })?;
+            // Durable bootstrap: persist the adopted snapshot bytes
+            // verbatim, so this replica's own restart replays from
+            // the same baseline instead of coming up cold.
+            self.store.persist_state(snapshot)?;
+            self.generation.store(parsed.generation, Ordering::Relaxed);
+            self.journal_baseline.store(baseline_seq, Ordering::Relaxed);
+            self.persisted_epoch.store(self.issuer.mutation_epoch(), Ordering::Relaxed);
+            self.snapshot_on_disk.store(true, Ordering::Relaxed);
+            self.stats.snapshot_restored.fetch_add(1, Ordering::Relaxed);
+            self.pipe.resume_after(baseline_seq);
+        }
+        // Operate under the primary's fence: the follower is in-sync
+        // authority-wise, not deposed, so both halves rise together.
+        self.fence.fetch_max(fence, Ordering::Relaxed);
+        self.fence_ceiling.fetch_max(fence, Ordering::Relaxed);
+        let _ = self.store.persist_fence(self.fence_ceiling.load(Ordering::Relaxed));
+        for chunk in chunks {
+            self.apply_replicated_batch(chunk)?;
+        }
+        Ok(self.pipe.sequence())
+    }
+
+    /// Applies one sealed record batch from the replication stream:
+    /// journal it locally first (write-ahead, preserving the
+    /// primary's sequence numbers), then replay it through the same
+    /// idempotent [`SingletonIssuer::apply_record`] path restart
+    /// recovery uses. Records at or below the replica's high sequence
+    /// are skipped — re-delivery after a reconnect is a no-op — and a
+    /// gap above it refuses the whole batch, forcing a baseline
+    /// resync.
+    ///
+    /// Returns the replica's high journal sequence after the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ReplicationInvalid`] on a damaged
+    /// batch or a sequence gap (counted in
+    /// [`CasStats::replication_frames_rejected`] for damage);
+    /// propagates append failures.
+    pub fn apply_replicated_batch(&self, payload: &[u8]) -> Result<u64, SinclaveError> {
+        let batch = decode_batch(payload);
+        if batch.damaged.is_some() {
+            self.stats.replication_frames_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SinclaveError::ReplicationInvalid { context: "damaged record batch" });
+        }
+        let mut last = self.pipe.sequence();
+        let mut fresh = Vec::new();
+        for sequenced in &batch.records {
+            if sequenced.seq <= last {
+                continue;
+            }
+            if sequenced.seq != last + 1 {
+                return Err(SinclaveError::ReplicationInvalid {
+                    context: "replication sequence gap",
+                });
+            }
+            last = sequenced.seq;
+            fresh.push(*sequenced);
+        }
+        if fresh.is_empty() {
+            return Ok(last);
+        }
+        // Write-ahead: durable before visible, same as the primary's
+        // commit path. A crash between the append and the in-memory
+        // replay below loses nothing — restart replays the journal.
+        if self.journal_mode() != JournalMode::Disabled {
+            self.store.append_journal(&encode_batch(&fresh))?;
+        }
+        for sequenced in &fresh {
+            match sequenced.record {
+                JournalRecord::Checkpoint { generation } => {
+                    self.generation.fetch_max(generation, Ordering::Relaxed);
+                }
+                JournalRecord::Fence { fence } => {
+                    self.fence.fetch_max(fence, Ordering::Relaxed);
+                    self.fence_ceiling.fetch_max(fence, Ordering::Relaxed);
+                }
+                _ => {
+                    self.issuer.apply_record(&sequenced.record);
+                }
+            }
+            self.stats.replication_records_replayed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.pipe.resume_after(last);
+        Ok(last)
     }
 
     // ---- Admission-control middleware ------------------------------------
@@ -844,14 +1166,35 @@ impl CasServer {
     /// outcome feeds the middleware circuit breaker — this is the
     /// storage boundary the breaker guards, shared by both serving
     /// paths and by [`CasServer::persist_state`]'s checkpoint.
+    /// This is also the **fencing boundary**: a server whose fence is
+    /// outranked (a failover promoted a replica past it) refuses every
+    /// commit here, so a deposed primary that kept serving through a
+    /// partition cannot make a write durable — and therefore cannot
+    /// ack it.
     fn commit_record(&self, record: JournalRecord) -> Result<(), SinclaveError> {
+        if self.is_fenced() {
+            self.stats.writes_fenced.fetch_add(1, Ordering::Relaxed);
+            return Err(SinclaveError::JournalInvalid { context: "journal fenced" });
+        }
+        if self.following.load(Ordering::Relaxed) {
+            return Err(SinclaveError::JournalInvalid { context: "journal following" });
+        }
         let mode = self.journal_mode();
         if mode == JournalMode::Disabled {
             return Ok(());
         }
+        let hub = self.replication.read().clone();
         let result =
             self.pipe.commit(mode == JournalMode::GroupCommit, record, &self.stats, |payload| {
-                self.store.append_journal(payload)
+                self.store.append_journal(payload)?;
+                // Publish exactly the sealed batch that landed on
+                // disk. Flushes are serialized by the pipe, so
+                // subscribers observe batches in sequence order.
+                if let Some(hub) = &hub {
+                    hub.publish(payload);
+                    self.stats.replication_batches_streamed.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
             });
         self.middleware.read().record_commit(result.is_ok());
         result
@@ -875,6 +1218,14 @@ impl CasServer {
         token: &AttestationToken,
         attested_mrenclave: &Measurement,
     ) -> Result<Measurement, SinclaveError> {
+        // Fencing is checked *before* the in-memory transition: a
+        // deposed primary must not even consume the token locally,
+        // because the promoted replica owns the authoritative table
+        // now and may legitimately honor it.
+        if self.is_fenced() {
+            self.stats.writes_fenced.fetch_add(1, Ordering::Relaxed);
+            return Err(SinclaveError::JournalInvalid { context: "journal fenced" });
+        }
         let common = self.issuer.redeem(token, attested_mrenclave)?;
         self.commit_record(SingletonIssuer::redemption_record(token))?;
         let redeemed = self.stats.tokens_redeemed.fetch_add(1, Ordering::Relaxed) + 1;
@@ -1026,20 +1377,18 @@ impl CasServer {
                 let reply = match Message::from_bytes(&raw) {
                     Ok(message) => match self.admission_refusal(&chain, &message) {
                         Some(refused) => refused,
-                        None if chain.config().isolate_panics => {
-                            match self.dispatch_isolated(
-                                message,
-                                &mut outstanding_nonce,
-                                &transcript,
-                                rng,
-                            ) {
-                                Some(reply) => reply,
-                                // Contained panic: close this
-                                // connection, keep the worker.
-                                None => break Ok(()),
-                            }
-                        }
-                        None => self.dispatch(message, &mut outstanding_nonce, &transcript, rng),
+                        None => match self.dispatch_deduped(
+                            &chain,
+                            message,
+                            &mut outstanding_nonce,
+                            &transcript,
+                            rng,
+                        ) {
+                            Some(reply) => reply,
+                            // Contained panic: close this connection,
+                            // keep the worker.
+                            None => break Ok(()),
+                        },
                     },
                     Err(_) => Message::Denied { reason: "malformed message".into() },
                 };
@@ -1058,6 +1407,48 @@ impl CasServer {
         })
     }
 
+    /// Dispatch wrapped in the request-dedup layer (between
+    /// admission and panic isolation; see [`crate::middleware`]): a
+    /// byte-identical retried grant replays the cached reply instead
+    /// of issuing a second token. Shared verbatim by both serving
+    /// paths. Returns `None` on a contained dispatch panic (the
+    /// caller closes the connection).
+    pub(crate) fn dispatch_deduped(
+        &self,
+        chain: &MiddlewareChain,
+        message: Message,
+        outstanding_nonce: &mut Option<[u8; 16]>,
+        transcript: &Digest,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Option<Message> {
+        // Only grants are deduplicated: they are the one request whose
+        // retry mints fresh durable state (a second token). Attested
+        // retrievals are read-mostly, and a redemption retry must be
+        // *refused*, not replayed — exactly-once is the product.
+        let key = (chain.config().dedup.is_some()
+            && matches!(message, Message::GrantRequest { .. }))
+        .then(|| sinclave_crypto::sha256::digest(&message.to_bytes()));
+        if let Some(key) = &key {
+            if let Some(cached) = chain.dedup_lookup(key) {
+                if let Ok(reply) = Message::from_bytes(&cached) {
+                    self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(reply);
+                }
+            }
+        }
+        let reply = if chain.config().isolate_panics {
+            self.dispatch_isolated(message, outstanding_nonce, transcript, rng)?
+        } else {
+            self.dispatch(message, outstanding_nonce, transcript, rng)
+        };
+        if let Some(key) = key {
+            if matches!(reply, Message::GrantResponse { .. }) {
+                chain.dedup_store(&key, reply.to_bytes());
+            }
+        }
+        Some(reply)
+    }
+
     pub(crate) fn dispatch(
         &self,
         message: Message,
@@ -1065,6 +1456,26 @@ impl CasServer {
         transcript: &Digest,
         rng: &mut (impl RngCore + ?Sized),
     ) -> Message {
+        // Write routing: a follower linearizes grants through the
+        // primary; a fenced (deposed) primary refuses them outright.
+        // Reads — ping, challenge, attested retrieval — stay local on
+        // every replica.
+        if matches!(message, Message::GrantRequest { .. }) {
+            if let Some(link) = self.forward_link() {
+                self.stats.forwarded_writes.fetch_add(1, Ordering::Relaxed);
+                return match link.forward(&message) {
+                    Ok(reply) => reply,
+                    Err(reason) => Message::Denied { reason },
+                };
+            }
+            if self.following.load(Ordering::Relaxed) {
+                return Message::Denied { reason: "read-only replica".into() };
+            }
+            if self.is_fenced() {
+                self.stats.writes_fenced.fetch_add(1, Ordering::Relaxed);
+                return Message::Denied { reason: "server fenced".into() };
+            }
+        }
         match message {
             Message::Ping => {
                 if self.panic_on_next_ping.swap(false, Ordering::Relaxed) {
@@ -1187,6 +1598,26 @@ impl CasServer {
         Message::ConfigResponse { config: policy.config.to_bytes() }
     }
 
+    /// The redemption half of a follower's split attestation flow:
+    /// quote verification, channel binding and policy checks all ran
+    /// locally, but the exactly-once token consumption must linearize
+    /// through the primary — only one token table in the fleet is
+    /// authoritative for writes.
+    fn redeem_or_forward(
+        &self,
+        token: &AttestationToken,
+        mrenclave: &Measurement,
+    ) -> Result<Measurement, String> {
+        if let Some(link) = self.forward_link() {
+            self.stats.forwarded_writes.fetch_add(1, Ordering::Relaxed);
+            return link.redeem(token, mrenclave);
+        }
+        if self.following.load(Ordering::Relaxed) {
+            return Err("read-only replica".into());
+        }
+        self.redeem_token(token, mrenclave).map_err(|e| e.to_string())
+    }
+
     fn check_identity(
         &self,
         body: &ReportBody,
@@ -1221,8 +1652,7 @@ impl CasServer {
                 // outlive a crash the redemption does not. Then bind
                 // the singleton to *this* application via its common
                 // measurement.
-                let common =
-                    self.redeem_token(token, &body.mrenclave).map_err(|e| e.to_string())?;
+                let common = self.redeem_or_forward(token, &body.mrenclave)?;
                 if common == policy.expected_common {
                     Ok(())
                 } else {

@@ -49,6 +49,13 @@ pub const SNAPSHOT_PATH: &str = "state/issuer-snapshot";
 /// (epochs live at `<root>/epoch-<n>`).
 pub const JOURNAL_ROOT: &str = "journal/redemption";
 
+/// Path of the fencing-generation ceiling inside the encrypted volume:
+/// the highest fence this server has *observed* (its own or a peer's),
+/// 8 big-endian bytes. Kept separate from the snapshot so observing a
+/// fence — which must durably depose a stale primary — never has to
+/// rewrite the whole issuer state.
+pub const FENCE_PATH: &str = "state/fence";
+
 /// Number of independent cache shards. Config ids hash uniformly, so
 /// a small fixed power of two is enough to keep concurrent retrievals
 /// off each other's locks.
@@ -238,6 +245,41 @@ impl CasStore {
         }
     }
 
+    /// Durably records the highest observed fencing generation (see
+    /// [`FENCE_PATH`]). Written when a server observes a fence — its
+    /// own at promotion, or a peer's outranking one — so a restart
+    /// cannot forget it was deposed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates volume failures as [`SinclaveError::ProtocolDecode`].
+    pub fn persist_fence(&self, fence: u64) -> Result<(), SinclaveError> {
+        self.volume
+            .lock()
+            .write_file(&self.key, FENCE_PATH, &fence.to_be_bytes())
+            .map_err(|_| SinclaveError::ProtocolDecode)
+    }
+
+    /// Reads back the fence ceiling; `Ok(None)` means none was ever
+    /// observed (a pre-replication volume, or a fresh one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ProtocolDecode`] if a fence file exists
+    /// but is unreadable or malformed — the caller fails closed.
+    pub fn restore_fence(&self) -> Result<Option<u64>, SinclaveError> {
+        let volume = self.volume.lock();
+        match volume.read_file(&self.key, FENCE_PATH) {
+            Ok(bytes) => {
+                let raw: [u8; 8] =
+                    bytes.as_slice().try_into().map_err(|_| SinclaveError::ProtocolDecode)?;
+                Ok(Some(u64::from_be_bytes(raw)))
+            }
+            Err(sinclave_fs::FsError::NotFound { .. }) => Ok(None),
+            Err(_) => Err(SinclaveError::ProtocolDecode),
+        }
+    }
+
     // ---- Redemption journal ----------------------------------------------
 
     /// Opens (or reopens) the sealed redemption journal under
@@ -305,6 +347,24 @@ impl CasStore {
         journal
             .remove_epochs(&mut self.volume.lock(), &self.key, epochs)
             .map_err(|_| SinclaveError::JournalInvalid { context: "journal truncate failed" })
+    }
+
+    /// Reads every committed journal chunk in append order **without
+    /// mutating the journal** — no torn-tail reclaim, no epoch roll.
+    /// This is the replication bootstrap export: exactly the sealed
+    /// payloads a restart of this server would replay, safe to call
+    /// while the live journal handle keeps appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates volume failures as [`SinclaveError::JournalInvalid`].
+    pub fn export_journal_chunks(&self) -> Result<Recovery, SinclaveError> {
+        // Lock order journal → volume, as everywhere: holding the
+        // journal lock keeps a concurrent append from landing between
+        // the scan and the caller capturing the high sequence.
+        let _slot = self.journal.lock();
+        Journal::export_chunks(&self.volume.lock(), &self.key, JOURNAL_ROOT)
+            .map_err(|_| SinclaveError::JournalInvalid { context: "journal unreadable" })
     }
 
     /// Number of journal epochs currently on the volume (observability
@@ -421,6 +481,34 @@ mod tests {
             reopened.restore_state(),
             Err(SinclaveError::SnapshotInvalid { context: "snapshot file unreadable" })
         ));
+    }
+
+    #[test]
+    fn fence_ceiling_roundtrips_and_survives_reopen() {
+        let key = AeadKey::new([8; 32]);
+        let store = CasStore::create(key.clone());
+        assert_eq!(store.restore_fence().unwrap(), None, "no fence ever observed");
+        store.persist_fence(3).unwrap();
+        assert_eq!(store.restore_fence().unwrap(), Some(3));
+        store.persist_fence(9).unwrap();
+        let reopened = CasStore::open(store.volume(), key).unwrap();
+        assert_eq!(reopened.restore_fence().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn journal_export_sees_appends_without_rolling_epochs() {
+        let store = CasStore::create(AeadKey::new([9; 32]));
+        store.recover_journal().unwrap();
+        store.append_journal(b"batch-1").unwrap();
+        store.append_journal(b"batch-2").unwrap();
+        let export = store.export_journal_chunks().unwrap();
+        assert_eq!(export.damage, None);
+        let payloads: Vec<&[u8]> = export.chunks.iter().map(|c| c.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![b"batch-1".as_slice(), b"batch-2".as_slice()]);
+        // Exporting did not rotate or consume anything: appends keep
+        // landing in the same epoch and a re-export sees all three.
+        store.append_journal(b"batch-3").unwrap();
+        assert_eq!(store.export_journal_chunks().unwrap().chunks.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! A sealed monotonic rollback witness.
+//!
+//! PR 5's `check_rollback` compares the restored snapshot's
+//! `(generation, sequence)` against a witness counter — but until now
+//! the witness lived in the test harness's memory, standing in for
+//! "a counter the host cannot roll back with the disk". This module
+//! makes it a real artifact: a tiny counter sealed into its **own**
+//! encrypted [`Volume`], separate from the CAS database. Separation is
+//! the point — a host that rolls back the CAS volume image must also
+//! roll back the witness volume to fool the check, and the deployment
+//! story (paper §2.3: SGX monotonic counters, a TPM NV index, or a
+//! quorum of peers) is exactly that the witness medium is *different*
+//! from the database disk. Here both are in-process `Volume`s, but the
+//! harness can now roll back one without the other and watch the alarm
+//! fire — which the test-held integer could never exercise through the
+//! real persistence path.
+//!
+//! The counter only moves forward ([`SealedWitness::advance`] takes a
+//! max), and reads come from the sealed file, so a stale witness image
+//! is itself detectable by comparing against live state.
+
+use sinclave::SinclaveError;
+use sinclave_crypto::aead::AeadKey;
+use sinclave_fs::Volume;
+
+/// Path of the witness counter inside its volume: generation then
+/// sequence, 16 big-endian bytes.
+const WITNESS_PATH: &str = "witness/counter";
+
+/// A `(generation, journal sequence)` pair the witness has attested.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WitnessMark {
+    /// Highest snapshot restore generation witnessed.
+    pub generation: u64,
+    /// Highest journal sequence witnessed.
+    pub sequence: u64,
+}
+
+/// A monotonic `(generation, sequence)` counter sealed in its own
+/// encrypted volume.
+pub struct SealedWitness {
+    volume: Volume,
+    key: AeadKey,
+}
+
+impl SealedWitness {
+    /// Creates a fresh witness volume, starting at `(0, 0)`.
+    #[must_use]
+    pub fn create(key: AeadKey) -> Self {
+        SealedWitness { volume: Volume::format(&key, "cas-witness"), key }
+    }
+
+    /// Reopens a witness from its volume image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ProtocolDecode`] if the key does not
+    /// open the volume.
+    pub fn open(volume: Volume, key: AeadKey) -> Result<Self, SinclaveError> {
+        let witness = SealedWitness { volume, key };
+        witness.volume.verify_key(&witness.key).map_err(|_| SinclaveError::ProtocolDecode)?;
+        Ok(witness)
+    }
+
+    /// The highest mark witnessed so far; `(0, 0)` for a fresh volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ProtocolDecode`] if the counter file
+    /// exists but is unreadable or malformed — the caller fails closed
+    /// (treating an unreadable witness as "no witness" would let a
+    /// tampering host silence the alarm by corrupting it).
+    pub fn read(&self) -> Result<WitnessMark, SinclaveError> {
+        match self.volume.read_file(&self.key, WITNESS_PATH) {
+            Ok(bytes) => {
+                let raw: [u8; 16] =
+                    bytes.as_slice().try_into().map_err(|_| SinclaveError::ProtocolDecode)?;
+                Ok(WitnessMark {
+                    generation: u64::from_be_bytes(raw[..8].try_into().expect("8")),
+                    sequence: u64::from_be_bytes(raw[8..].try_into().expect("8")),
+                })
+            }
+            Err(sinclave_fs::FsError::NotFound { .. }) => Ok(WitnessMark::default()),
+            Err(_) => Err(SinclaveError::ProtocolDecode),
+        }
+    }
+
+    /// Advances the witness to at least `(generation, sequence)`
+    /// (component-wise max — the counter never regresses) and returns
+    /// the stored mark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures and volume write failures as
+    /// [`SinclaveError::ProtocolDecode`].
+    pub fn advance(
+        &mut self,
+        generation: u64,
+        sequence: u64,
+    ) -> Result<WitnessMark, SinclaveError> {
+        let current = self.read()?;
+        let mark = WitnessMark {
+            generation: current.generation.max(generation),
+            sequence: current.sequence.max(sequence),
+        };
+        if mark != current {
+            let mut raw = [0u8; 16];
+            raw[..8].copy_from_slice(&mark.generation.to_be_bytes());
+            raw[8..].copy_from_slice(&mark.sequence.to_be_bytes());
+            self.volume
+                .write_file(&self.key, WITNESS_PATH, &raw)
+                .map_err(|_| SinclaveError::ProtocolDecode)?;
+        }
+        Ok(mark)
+    }
+
+    /// The witness volume image (for host persistence — and for the
+    /// fault harness to roll back independently of the CAS volume).
+    #[must_use]
+    pub fn volume(&self) -> Volume {
+        self.volume.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_only_moves_forward() {
+        let mut w = SealedWitness::create(AeadKey::new([1; 32]));
+        assert_eq!(w.read().unwrap(), WitnessMark::default());
+        assert_eq!(w.advance(3, 10).unwrap(), WitnessMark { generation: 3, sequence: 10 });
+        // A lower mark cannot regress the counter.
+        assert_eq!(w.advance(1, 4).unwrap(), WitnessMark { generation: 3, sequence: 10 });
+        // Components advance independently (a snapshot bumps the
+        // generation; journal appends bump the sequence).
+        assert_eq!(w.advance(2, 25).unwrap(), WitnessMark { generation: 3, sequence: 25 });
+        assert_eq!(w.read().unwrap(), WitnessMark { generation: 3, sequence: 25 });
+    }
+
+    #[test]
+    fn survives_volume_image_roundtrip() {
+        let key = AeadKey::new([2; 32]);
+        let mut w = SealedWitness::create(key.clone());
+        w.advance(5, 77).unwrap();
+        let image = w.volume().to_disk_image();
+        let reopened =
+            SealedWitness::open(Volume::from_disk_image(&image).unwrap(), key.clone()).unwrap();
+        assert_eq!(reopened.read().unwrap(), WitnessMark { generation: 5, sequence: 77 });
+        assert!(SealedWitness::open(w.volume(), AeadKey::new([3; 32])).is_err(), "wrong key");
+    }
+}

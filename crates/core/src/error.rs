@@ -43,6 +43,13 @@ pub enum SinclaveError {
         /// Which check (or operation) refused the record.
         context: &'static str,
     },
+    /// A replication frame was refused (framing, checksum, version,
+    /// body decode, or a sequencing/fencing violation in the stream) —
+    /// the receiving replica rejects the frame as a unit and counts it.
+    ReplicationInvalid {
+        /// Which check refused the frame.
+        context: &'static str,
+    },
     /// An underlying SGX operation failed.
     Sgx(sinclave_sgx::SgxError),
     /// An underlying cryptographic operation failed.
@@ -70,6 +77,9 @@ impl fmt::Display for SinclaveError {
             }
             SinclaveError::JournalInvalid { context } => {
                 write!(f, "redemption journal refused: {context}")
+            }
+            SinclaveError::ReplicationInvalid { context } => {
+                write!(f, "replication frame refused: {context}")
             }
             SinclaveError::Sgx(e) => write!(f, "sgx: {e}"),
             SinclaveError::Crypto(e) => write!(f, "crypto: {e}"),

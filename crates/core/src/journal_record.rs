@@ -58,6 +58,7 @@ const RECORD_CHECKSUM_LEN: usize = 32;
 const TAG_GRANTED: u8 = 0;
 const TAG_REDEEMED: u8 = 1;
 const TAG_CHECKPOINT: u8 = 2;
+const TAG_FENCE: u8 = 3;
 
 /// One durable-state delta the issuer emits and the journal makes
 /// crash-proof.
@@ -90,6 +91,16 @@ pub enum JournalRecord {
         /// The monotonic restore generation of the snapshot.
         generation: u64,
     },
+    /// A fencing-generation bump, written durably by a replica at
+    /// promotion time. The journal boundary refuses appends from a
+    /// server whose fence is below the highest one it has seen, so a
+    /// deposed primary that comes back cannot commit (and therefore
+    /// cannot ack) a redemption the new primary no longer knows about.
+    Fence {
+        /// The new fencing generation. Strictly greater than every
+        /// fence the promoting replica has observed.
+        fence: u64,
+    },
 }
 
 impl Encode for JournalRecord {
@@ -108,6 +119,10 @@ impl Encode for JournalRecord {
             JournalRecord::Checkpoint { generation } => {
                 out.push(TAG_CHECKPOINT);
                 generation.encode_into(out);
+            }
+            JournalRecord::Fence { fence } => {
+                out.push(TAG_FENCE);
+                fence.encode_into(out);
             }
         }
     }
@@ -128,6 +143,7 @@ impl Decode for JournalRecord {
                 Ok(JournalRecord::TokenRedeemed { token: <[u8; TOKEN_LEN]>::decode(reader)? })
             }
             TAG_CHECKPOINT => Ok(JournalRecord::Checkpoint { generation: u64::decode(reader)? }),
+            TAG_FENCE => Ok(JournalRecord::Fence { fence: u64::decode(reader)? }),
             _ => Err(sinclave_net::NetError::Decode { context: "journal record tag" }),
         }
     }
@@ -275,6 +291,7 @@ mod tests {
             },
             SequencedRecord { seq: 2, record: JournalRecord::TokenRedeemed { token: [0x11; 32] } },
             SequencedRecord { seq: 3, record: JournalRecord::Checkpoint { generation: 7 } },
+            SequencedRecord { seq: 4, record: JournalRecord::Fence { fence: 2 } },
         ]
     }
 

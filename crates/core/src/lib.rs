@@ -34,6 +34,9 @@
 //!   codec (token grants/redemptions + snapshot checkpoints), the
 //!   deltas that make exactly-once redemption crash-absolute instead
 //!   of snapshot-relative.
+//! * [`replication`] — the replication wire protocol: the sealed
+//!   journal framed for streaming from a primary CAS to follower
+//!   replicas, plus the fencing handshake that makes failover safe.
 //!
 //! # The mechanism in one paragraph
 //!
@@ -57,6 +60,7 @@ pub mod instance_page;
 pub mod journal_record;
 pub mod layout;
 pub mod protocol;
+pub mod replication;
 pub mod shard;
 pub mod signer;
 pub mod snapshot;

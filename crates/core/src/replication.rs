@@ -1,0 +1,489 @@
+//! The replication wire protocol: sealed-journal streaming between a
+//! primary CAS and its follower replicas.
+//!
+//! PR 5's journal is already a versioned, sequenced, tamper-evident
+//! record stream; this module frames it for the wire so a primary can
+//! ship it to followers over a `SecureChannel`. A replication session
+//! opens with a [`ReplicationFrame::Hello`] declaring the peer's role:
+//!
+//! * **Subscribe** — the primary answers with one
+//!   [`ReplicationFrame::Baseline`] (raw snapshot bytes plus the
+//!   journal suffix, exactly what its own restart would replay) and
+//!   then pushes [`ReplicationFrame::Records`] batches as commits
+//!   happen. The stream is one-way after the baseline.
+//! * **Forward** — a request/response session a follower uses to
+//!   linearize writes through the primary: re-encoded grant requests
+//!   ([`ReplicationFrame::Forward`]) and token redemptions
+//!   ([`ReplicationFrame::Redeem`]).
+//!
+//! Every frame carries the sender's **fencing generation** where it
+//! matters: a primary that observes a higher fence than its own in a
+//! `Hello` answers [`ReplicationFrame::Fenced`] and refuses writes
+//! from then on; a follower adopts the primary's fence from the
+//! baseline. Fences only move forward.
+//!
+//! # Wire format
+//!
+//! Frames use the same framing discipline as the journal's
+//! [`SequencedRecord`](crate::journal_record::SequencedRecord) — and
+//! the same total-rejection bar, because a replication stream crosses
+//! a network an adversary owns (§3):
+//!
+//! ```text
+//! magic     4 bytes   "SRPL"
+//! version   u16 BE    FRAME_VERSION
+//! body_len  u32 BE    exact length of the body that follows
+//! body      body_len  tag byte + wire-codec fields
+//! digest    32 bytes  SHA-256 over everything above
+//! ```
+//!
+//! [`ReplicationFrame::parse_prefix`] rejects any framing, version,
+//! checksum or body failure as a unit and never panics on hostile
+//! input. The trailing digest is not the security boundary (the
+//! secure channel's AEAD is); like the journal codec's, it turns
+//! "plausibly decodes to a different frame" into a counted refusal.
+
+use crate::error::SinclaveError;
+use crate::token::TOKEN_LEN;
+use sinclave_crypto::sha256;
+use sinclave_net::wire::{Decode, Encode, Reader};
+use sinclave_net::NetError;
+
+/// Magic bytes every replication frame starts with.
+pub const FRAME_MAGIC: [u8; 4] = *b"SRPL";
+
+/// The replication frame version this build writes and accepts.
+pub const FRAME_VERSION: u16 = 1;
+
+/// Fixed framing before the body: magic + version + body length.
+const FRAME_HEADER_LEN: usize = 4 + 2 + 4;
+
+/// Trailing SHA-256 over header and body.
+const FRAME_CHECKSUM_LEN: usize = 32;
+
+const TAG_HELLO: u8 = 0;
+const TAG_BASELINE: u8 = 1;
+const TAG_RECORDS: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_FENCED: u8 = 4;
+const TAG_REDEEM: u8 = 5;
+const TAG_REDEEM_OK: u8 = 6;
+const TAG_FORWARD: u8 = 7;
+const TAG_REPLY: u8 = 8;
+const TAG_DENIED: u8 = 9;
+
+const ROLE_SUBSCRIBE: u8 = 0;
+const ROLE_FORWARD: u8 = 1;
+
+/// What a replication session is for, declared in its opening
+/// [`ReplicationFrame::Hello`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Receive the journal stream: baseline, then live record batches.
+    Subscribe,
+    /// Forward writes (grants, redemptions) to be linearized by the
+    /// primary.
+    Forward,
+}
+
+impl Encode for ReplicaRole {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ReplicaRole::Subscribe => ROLE_SUBSCRIBE,
+            ReplicaRole::Forward => ROLE_FORWARD,
+        });
+    }
+}
+
+impl Decode for ReplicaRole {
+    const MIN_ENCODED_LEN: usize = 1;
+
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+        match u8::decode(reader)? {
+            ROLE_SUBSCRIBE => Ok(ReplicaRole::Subscribe),
+            ROLE_FORWARD => Ok(ReplicaRole::Forward),
+            _ => Err(NetError::Decode { context: "replica role" }),
+        }
+    }
+}
+
+/// One message of the replication protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplicationFrame {
+    /// Session opener: the connecting replica's role, the highest
+    /// journal sequence it already holds, and the highest fence it has
+    /// observed.
+    Hello {
+        /// What this session is for.
+        role: ReplicaRole,
+        /// Highest journal sequence durably applied by the sender
+        /// (0 for a cold replica).
+        last_seq: u64,
+        /// Highest fencing generation the sender has observed.
+        fence: u64,
+    },
+    /// The primary's bootstrap reply to a subscriber: its current
+    /// fence, raw on-disk snapshot bytes (possibly empty for a cold
+    /// primary) and the sealed journal-suffix chunks — exactly the
+    /// state the primary's own restart would replay.
+    Baseline {
+        /// The primary's fencing generation; the follower adopts it.
+        fence: u64,
+        /// Highest journal sequence covered by snapshot + chunks.
+        high_seq: u64,
+        /// The snapshot's journal-sequence baseline (records at or
+        /// below it are folded into the snapshot bytes).
+        baseline_seq: u64,
+        /// Raw `IssuerSnapshot` bytes as sealed on the primary's disk;
+        /// empty when the primary has never persisted one.
+        snapshot: Vec<u8>,
+        /// The journal suffix: sealed batch payloads in epoch/index
+        /// order, each a concatenation of framed `SequencedRecord`s.
+        chunks: Vec<Vec<u8>>,
+    },
+    /// A live group-commit batch, pushed after the baseline in commit
+    /// order.
+    Records {
+        /// The primary's fencing generation at commit time.
+        fence: u64,
+        /// One sealed batch payload (framed `SequencedRecord`s).
+        batch: Vec<u8>,
+    },
+    /// Stream liveness + lag signal when no commits are flowing.
+    Heartbeat {
+        /// The primary's fencing generation.
+        fence: u64,
+        /// The primary's highest committed journal sequence.
+        high_seq: u64,
+    },
+    /// Refusal: the receiver has observed a fence outranking the
+    /// sender's. The sender is deposed and must stop writing.
+    Fenced {
+        /// The outranking fence the receiver holds.
+        fence: u64,
+    },
+    /// A follower asks the primary to redeem a token it attested
+    /// locally (the redemption must linearize through the primary).
+    Redeem {
+        /// The token to redeem.
+        token: [u8; TOKEN_LEN],
+        /// The attested `MRENCLAVE` the follower verified.
+        mrenclave: [u8; 32],
+    },
+    /// The primary redeemed the token durably.
+    RedeemOk {
+        /// The common measurement recorded at grant time.
+        common: [u8; 32],
+    },
+    /// A whole client request re-encoded for the primary to dispatch
+    /// (grant requests; the reply goes back verbatim).
+    Forward {
+        /// The client request's protocol-message bytes.
+        request: Vec<u8>,
+    },
+    /// The primary's reply to a forwarded request.
+    Reply {
+        /// The protocol-message bytes to relay to the client.
+        response: Vec<u8>,
+    },
+    /// The primary refused a forwarded write (fenced, journal failure,
+    /// token not redeemable).
+    Denied {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+}
+
+impl Encode for ReplicationFrame {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            ReplicationFrame::Hello { role, last_seq, fence } => {
+                out.push(TAG_HELLO);
+                role.encode_into(out);
+                last_seq.encode_into(out);
+                fence.encode_into(out);
+            }
+            ReplicationFrame::Baseline { fence, high_seq, baseline_seq, snapshot, chunks } => {
+                out.push(TAG_BASELINE);
+                fence.encode_into(out);
+                high_seq.encode_into(out);
+                baseline_seq.encode_into(out);
+                snapshot.encode_into(out);
+                chunks.encode_into(out);
+            }
+            ReplicationFrame::Records { fence, batch } => {
+                out.push(TAG_RECORDS);
+                fence.encode_into(out);
+                batch.encode_into(out);
+            }
+            ReplicationFrame::Heartbeat { fence, high_seq } => {
+                out.push(TAG_HEARTBEAT);
+                fence.encode_into(out);
+                high_seq.encode_into(out);
+            }
+            ReplicationFrame::Fenced { fence } => {
+                out.push(TAG_FENCED);
+                fence.encode_into(out);
+            }
+            ReplicationFrame::Redeem { token, mrenclave } => {
+                out.push(TAG_REDEEM);
+                token.encode_into(out);
+                mrenclave.encode_into(out);
+            }
+            ReplicationFrame::RedeemOk { common } => {
+                out.push(TAG_REDEEM_OK);
+                common.encode_into(out);
+            }
+            ReplicationFrame::Forward { request } => {
+                out.push(TAG_FORWARD);
+                request.encode_into(out);
+            }
+            ReplicationFrame::Reply { response } => {
+                out.push(TAG_REPLY);
+                response.encode_into(out);
+            }
+            ReplicationFrame::Denied { reason } => {
+                out.push(TAG_DENIED);
+                reason.encode_into(out);
+            }
+        }
+    }
+}
+
+impl Decode for ReplicationFrame {
+    /// The smallest body: a tag plus a u64 (fenced).
+    const MIN_ENCODED_LEN: usize = 1 + 8;
+
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+        match u8::decode(reader)? {
+            TAG_HELLO => Ok(ReplicationFrame::Hello {
+                role: ReplicaRole::decode(reader)?,
+                last_seq: u64::decode(reader)?,
+                fence: u64::decode(reader)?,
+            }),
+            TAG_BASELINE => Ok(ReplicationFrame::Baseline {
+                fence: u64::decode(reader)?,
+                high_seq: u64::decode(reader)?,
+                baseline_seq: u64::decode(reader)?,
+                snapshot: Vec::decode(reader)?,
+                chunks: Vec::decode(reader)?,
+            }),
+            TAG_RECORDS => Ok(ReplicationFrame::Records {
+                fence: u64::decode(reader)?,
+                batch: Vec::decode(reader)?,
+            }),
+            TAG_HEARTBEAT => Ok(ReplicationFrame::Heartbeat {
+                fence: u64::decode(reader)?,
+                high_seq: u64::decode(reader)?,
+            }),
+            TAG_FENCED => Ok(ReplicationFrame::Fenced { fence: u64::decode(reader)? }),
+            TAG_REDEEM => Ok(ReplicationFrame::Redeem {
+                token: <[u8; TOKEN_LEN]>::decode(reader)?,
+                mrenclave: <[u8; 32]>::decode(reader)?,
+            }),
+            TAG_REDEEM_OK => Ok(ReplicationFrame::RedeemOk { common: <[u8; 32]>::decode(reader)? }),
+            TAG_FORWARD => Ok(ReplicationFrame::Forward { request: Vec::decode(reader)? }),
+            TAG_REPLY => Ok(ReplicationFrame::Reply { response: Vec::decode(reader)? }),
+            TAG_DENIED => Ok(ReplicationFrame::Denied { reason: String::decode(reader)? }),
+            _ => Err(NetError::Decode { context: "replication frame tag" }),
+        }
+    }
+}
+
+impl ReplicationFrame {
+    /// Serializes the frame with framing: magic, version, body length,
+    /// body, trailing SHA-256.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body = self.encode();
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len() + FRAME_CHECKSUM_LEN);
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.extend_from_slice(&FRAME_VERSION.to_be_bytes());
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&body);
+        let digest = sha256::digest(&out);
+        out.extend_from_slice(digest.as_bytes());
+        out
+    }
+
+    /// Parses one framed frame from the front of `bytes`, returning it
+    /// and the number of bytes consumed. Rejection is total: any
+    /// framing, version, checksum or body failure yields an error and
+    /// consumes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ReplicationInvalid`] naming the first
+    /// check that failed.
+    pub fn parse_prefix(bytes: &[u8]) -> Result<(Self, usize), SinclaveError> {
+        let reject = |context| Err(SinclaveError::ReplicationInvalid { context });
+        if bytes.len() < FRAME_HEADER_LEN + FRAME_CHECKSUM_LEN {
+            return reject("truncated frame header");
+        }
+        if bytes[..4] != FRAME_MAGIC {
+            return reject("bad frame magic");
+        }
+        let version = u16::from_be_bytes(bytes[4..6].try_into().expect("2"));
+        if version != FRAME_VERSION {
+            return reject("unsupported frame version");
+        }
+        let body_len = u32::from_be_bytes(bytes[6..10].try_into().expect("4")) as usize;
+        let total = FRAME_HEADER_LEN
+            .checked_add(body_len)
+            .and_then(|n| n.checked_add(FRAME_CHECKSUM_LEN))
+            .filter(|&n| n <= bytes.len());
+        let Some(total) = total else {
+            return reject("truncated frame body");
+        };
+        let framed = &bytes[..total - FRAME_CHECKSUM_LEN];
+        let checksum = &bytes[total - FRAME_CHECKSUM_LEN..total];
+        if sha256::digest(framed).as_bytes() != checksum {
+            return reject("frame checksum mismatch");
+        }
+        let frame = ReplicationFrame::decode_all(&framed[FRAME_HEADER_LEN..])
+            .map_err(|_| SinclaveError::ReplicationInvalid { context: "frame body" })?;
+        Ok((frame, total))
+    }
+
+    /// Parses exactly one frame that must span the whole buffer (the
+    /// secure channel already delimits frames; trailing bytes mean a
+    /// confused or hostile sender).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ReplicationInvalid`] on any framing,
+    /// body, or trailing-bytes failure.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SinclaveError> {
+        let (frame, consumed) = Self::parse_prefix(bytes)?;
+        if consumed != bytes.len() {
+            return Err(SinclaveError::ReplicationInvalid { context: "trailing bytes" });
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<ReplicationFrame> {
+        vec![
+            ReplicationFrame::Hello { role: ReplicaRole::Subscribe, last_seq: 7, fence: 2 },
+            ReplicationFrame::Hello { role: ReplicaRole::Forward, last_seq: 0, fence: 0 },
+            ReplicationFrame::Baseline {
+                fence: 3,
+                high_seq: 12,
+                baseline_seq: 9,
+                snapshot: vec![0xaa; 40],
+                chunks: vec![vec![0x01, 0x02], vec![], vec![0x03; 17]],
+            },
+            ReplicationFrame::Records { fence: 3, batch: vec![0x44; 66] },
+            ReplicationFrame::Heartbeat { fence: 3, high_seq: 12 },
+            ReplicationFrame::Fenced { fence: 4 },
+            ReplicationFrame::Redeem { token: [0x55; TOKEN_LEN], mrenclave: [0x66; 32] },
+            ReplicationFrame::RedeemOk { common: [0x77; 32] },
+            ReplicationFrame::Forward { request: vec![0x88; 9] },
+            ReplicationFrame::Reply { response: vec![] },
+            ReplicationFrame::Denied { reason: "journal fenced".to_owned() },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_deterministic() {
+        for frame in samples() {
+            let bytes = frame.to_bytes();
+            assert_eq!(ReplicationFrame::from_bytes(&bytes).unwrap(), frame);
+            assert_eq!(frame.to_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        for frame in samples() {
+            let bytes = frame.to_bytes();
+            for i in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut corrupt = bytes.clone();
+                    corrupt[i] ^= 1 << bit;
+                    assert!(
+                        ReplicationFrame::from_bytes(&corrupt).is_err(),
+                        "flip of bit {bit} in byte {i} accepted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        for frame in samples() {
+            let bytes = frame.to_bytes();
+            for cut in 0..bytes.len() {
+                assert!(
+                    ReplicationFrame::from_bytes(&bytes[..cut]).is_err(),
+                    "cut at {cut} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn version_bump_with_valid_checksum_is_rejected() {
+        let mut bytes = samples()[0].to_bytes();
+        let framed = bytes.len() - FRAME_CHECKSUM_LEN;
+        bytes[4..6].copy_from_slice(&(FRAME_VERSION + 1).to_be_bytes());
+        let digest = sha256::digest(&bytes[..framed]);
+        bytes[framed..].copy_from_slice(digest.as_bytes());
+        assert_eq!(
+            ReplicationFrame::from_bytes(&bytes),
+            Err(SinclaveError::ReplicationInvalid { context: "unsupported frame version" })
+        );
+    }
+
+    #[test]
+    fn unknown_tag_and_role_rejected_even_with_valid_checksum() {
+        let reframe = |body: &[u8]| {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&FRAME_MAGIC);
+            bytes.extend_from_slice(&FRAME_VERSION.to_be_bytes());
+            bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            bytes.extend_from_slice(body);
+            let digest = sha256::digest(&bytes);
+            bytes.extend_from_slice(digest.as_bytes());
+            bytes
+        };
+        let mut body = samples()[5].encode();
+        body[0] = 99; // undefined tag
+        assert_eq!(
+            ReplicationFrame::from_bytes(&reframe(&body)),
+            Err(SinclaveError::ReplicationInvalid { context: "frame body" })
+        );
+        let mut body = samples()[0].encode();
+        body[1] = 7; // undefined role
+        assert_eq!(
+            ReplicationFrame::from_bytes(&reframe(&body)),
+            Err(SinclaveError::ReplicationInvalid { context: "frame body" })
+        );
+    }
+
+    #[test]
+    fn hostile_body_length_rejected_without_panic() {
+        let mut bytes = samples()[3].to_bytes();
+        bytes[6..10].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(ReplicationFrame::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = samples()[4].to_bytes();
+        bytes.extend_from_slice(&samples()[4].to_bytes());
+        assert_eq!(
+            ReplicationFrame::from_bytes(&bytes),
+            Err(SinclaveError::ReplicationInvalid { context: "trailing bytes" })
+        );
+        // parse_prefix still recovers the first frame.
+        let (frame, consumed) = ReplicationFrame::parse_prefix(&bytes).unwrap();
+        assert_eq!(frame, samples()[4]);
+        assert_eq!(consumed, bytes.len() / 2);
+    }
+}

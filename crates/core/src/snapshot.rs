@@ -63,9 +63,10 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SINSNAP\0";
 
 /// The snapshot format version this build writes and accepts.
 /// Version 2 added the monotonic restore generation (rollback
-/// freshness); version-1 snapshots are refused like any other unknown
-/// version and degrade to a counted cold start.
-pub const SNAPSHOT_VERSION: u16 = 2;
+/// freshness); version 3 added the fencing generation (split-brain
+/// refusal across failover). Older snapshots are refused like any
+/// other unknown version and degrade to a counted cold start.
+pub const SNAPSHOT_VERSION: u16 = 3;
 
 /// Fixed framing before the body: magic + version + body length.
 const HEADER_LEN: usize = 8 + 2 + 4;
@@ -125,6 +126,12 @@ pub struct IssuerSnapshot {
     /// a whole span of committed records (which storage alone cannot
     /// distinguish from a clean journal) is caught as a sequence gap.
     pub journal_sequence: u64,
+    /// The fencing generation the snapshotting server held. A restored
+    /// server resumes at this fence, so a deposed primary restarting
+    /// from its own (pre-failover) snapshot still carries a fence the
+    /// fleet's current one outranks — and its journal boundary keeps
+    /// refusing writes once it observes the higher fence.
+    pub fence: u64,
     /// Admitted verify-cache keys, oldest admission first (the order
     /// re-admission preserves).
     pub verified_keys: Vec<[u8; KEY_LEN]>,
@@ -174,15 +181,16 @@ impl Encode for IssuerSnapshot {
         self.signer_fingerprint.encode_into(out);
         self.generation.encode_into(out);
         self.journal_sequence.encode_into(out);
+        self.fence.encode_into(out);
         self.verified_keys.encode_into(out);
         self.tokens.encode_into(out);
     }
 }
 
 impl Decode for IssuerSnapshot {
-    /// Two identities, the generation and journal sequence, plus two
-    /// (possibly empty) vectors.
-    const MIN_ENCODED_LEN: usize = 32 + 32 + 8 + 8 + 4 + 4;
+    /// Two identities, the generation, journal sequence and fence,
+    /// plus two (possibly empty) vectors.
+    const MIN_ENCODED_LEN: usize = 32 + 32 + 8 + 8 + 8 + 4 + 4;
 
     fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
         Ok(IssuerSnapshot {
@@ -190,6 +198,7 @@ impl Decode for IssuerSnapshot {
             signer_fingerprint: <[u8; 32]>::decode(reader)?,
             generation: u64::decode(reader)?,
             journal_sequence: u64::decode(reader)?,
+            fence: u64::decode(reader)?,
             verified_keys: Vec::decode(reader)?,
             tokens: Vec::decode(reader)?,
         })
@@ -258,6 +267,7 @@ mod tests {
             signer_fingerprint: [0x22; 32],
             generation: 3,
             journal_sequence: 11,
+            fence: 5,
             verified_keys: vec![[0x33; KEY_LEN], [0x44; KEY_LEN]],
             tokens: vec![
                 TokenSnapshotEntry {
@@ -335,8 +345,9 @@ mod tests {
         // Hand-append an entry with an undefined state tag, then frame
         // it with a valid checksum: the body decode must reject it.
         // (Fix the token count prefix: it sits right after the two
-        // identities, the generation, and the verified-keys vector.)
-        let tokens_prefix = 32 + 32 + 8 + 8 + 4 + snap.verified_keys.len() * KEY_LEN;
+        // identities, the generation, the journal sequence, the fence,
+        // and the verified-keys vector.)
+        let tokens_prefix = 32 + 32 + 8 + 8 + 8 + 4 + snap.verified_keys.len() * KEY_LEN;
         bytes[tokens_prefix..tokens_prefix + 4].copy_from_slice(&1u32.to_be_bytes());
         bytes.extend_from_slice(&[0xaa; TOKEN_LEN]);
         bytes.push(7); // undefined tag

@@ -509,6 +509,7 @@ impl SingletonIssuer {
             // before writing.
             generation: 0,
             journal_sequence: 0,
+            fence: 0,
             verified_keys: self.verified.export_keys(),
             tokens,
         }
@@ -641,7 +642,7 @@ impl SingletonIssuer {
     ///   plants a tombstone for an unknown token (the grant record may
     ///   have been folded into an older, since-rejected snapshot), and
     ///   leaves an already-redeemed token alone;
-    /// * checkpoints carry no token state.
+    /// * checkpoints and fence bumps carry no token state.
     ///
     /// Returns whether any state changed.
     pub fn apply_record(&self, record: &JournalRecord) -> bool {
@@ -663,6 +664,7 @@ impl SingletonIssuer {
                 self.replay_redemption(AttestationToken(*token))
             }
             JournalRecord::Checkpoint { .. } => false,
+            JournalRecord::Fence { .. } => false,
         }
     }
 

@@ -130,25 +130,24 @@ impl Journal {
         Ok(epochs)
     }
 
-    /// Opens the journal under `root`: reads every committed chunk in
-    /// order, classifies any damage, reclaims a benign torn tail, and
-    /// starts a fresh epoch for subsequent appends.
+    /// Reads every committed chunk under `root` in append order
+    /// **without mutating anything** — no torn-tail reclaim, no empty-
+    /// epoch pruning, no fresh epoch. This is the replication export: a
+    /// primary CAS streams exactly the chunks its own restart would
+    /// replay, while its live `Journal` handle keeps appending (the
+    /// scan takes `&Volume`, so it composes with a shared snapshot of
+    /// the volume). Damage is classified identically to
+    /// [`Journal::recover`].
     ///
     /// # Errors
     ///
     /// Propagates volume failures (wrong key, unreadable manifest).
-    pub fn recover(
-        volume: &mut Volume,
-        key: &AeadKey,
-        root: &str,
-    ) -> Result<(Journal, Recovery), FsError> {
+    pub fn export_chunks(volume: &Volume, key: &AeadKey, root: &str) -> Result<Recovery, FsError> {
         let epochs = Self::epochs(volume, key, root)?;
         let mut chunks = Vec::new();
         let mut damage = None;
         'scan: for (pos, &epoch) in epochs.iter().enumerate() {
             let path = epoch_path(root, epoch);
-            // One manifest open per epoch; the per-chunk replay loop
-            // below must not re-open the sealed manifest per record.
             let file_id = volume.log_file_id(key, &path)?;
             let last_present = volume.chunk_indices_of(file_id).last().copied();
             let mut index = 0u32;
@@ -160,13 +159,10 @@ impl Journal {
                     }
                     Ok(None) => {
                         if last_present.is_some_and(|last| last >= index) {
-                            // A gap with committed chunks beyond it:
-                            // appends never skip indices, so a crash
-                            // cannot write this.
                             damage = Some(JournalDamage::Corrupt { epoch, index });
                             break 'scan;
                         }
-                        break; // clean end of this epoch
+                        break;
                     }
                     Err(FsError::IntegrityViolation { .. }) => {
                         let is_final_epoch = pos == epochs.len() - 1;
@@ -182,6 +178,23 @@ impl Journal {
                 }
             }
         }
+        Ok(Recovery { chunks, damage })
+    }
+
+    /// Opens the journal under `root`: reads every committed chunk in
+    /// order, classifies any damage, reclaims a benign torn tail, and
+    /// starts a fresh epoch for subsequent appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates volume failures (wrong key, unreadable manifest).
+    pub fn recover(
+        volume: &mut Volume,
+        key: &AeadKey,
+        root: &str,
+    ) -> Result<(Journal, Recovery), FsError> {
+        let epochs = Self::epochs(volume, key, root)?;
+        let Recovery { chunks, damage } = Self::export_chunks(volume, key, root)?;
         if let Some(JournalDamage::TornTail { epoch, index }) = damage {
             // Reclaim the torn chunk now: later recoveries then see a
             // clean end instead of re-classifying (and the chunk's
@@ -444,6 +457,50 @@ mod tests {
                 "empty epochs accumulated"
             );
         }
+    }
+
+    #[test]
+    fn export_matches_recover_and_mutates_nothing() {
+        let k = key();
+        let mut v = Volume::format(&k, "wal");
+        let (mut journal, _) = Journal::recover(&mut v, &k, "journal").unwrap();
+        journal.append(&mut v, &k, b"one");
+        let (mut journal, _) = Journal::recover(&mut v, &k, "journal").unwrap();
+        journal.append(&mut v, &k, b"two");
+
+        // Export sees exactly what a restart would replay — including
+        // appends made through the still-live handle afterwards.
+        let export = Journal::export_chunks(&v, &k, "journal").unwrap();
+        assert_eq!(export.damage, None);
+        let payloads: Vec<&[u8]> = export.chunks.iter().map(|c| c.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![b"one".as_slice(), b"two".as_slice()]);
+        journal.append(&mut v, &k, b"three");
+        let export = Journal::export_chunks(&v, &k, "journal").unwrap();
+        assert_eq!(export.chunks.len(), 3);
+
+        // Non-mutating: the epoch set is untouched (no pruning, no
+        // fresh epoch), so repeated exports are stable.
+        let epochs_before = Journal::epochs(&v, &k, "journal").unwrap();
+        assert_eq!(Journal::export_chunks(&v, &k, "journal").unwrap().chunks.len(), 3);
+        assert_eq!(Journal::epochs(&v, &k, "journal").unwrap(), epochs_before);
+    }
+
+    #[test]
+    fn export_classifies_torn_tail_without_reclaiming_it() {
+        let k = key();
+        let mut v = Volume::format(&k, "wal");
+        let (mut journal, _) = Journal::recover(&mut v, &k, "journal").unwrap();
+        journal.append(&mut v, &k, b"acked");
+        journal.append_torn(&mut v, &k, b"torn away", 3).unwrap();
+
+        let export = Journal::export_chunks(&v, &k, "journal").unwrap();
+        assert_eq!(export.chunks.len(), 1);
+        assert!(matches!(export.damage, Some(JournalDamage::TornTail { .. })));
+        // The torn chunk is still there: a second export re-classifies
+        // it identically (reclaim belongs to recover, which owns the
+        // journal's mutation lifecycle).
+        let again = Journal::export_chunks(&v, &k, "journal").unwrap();
+        assert_eq!(again, export);
     }
 
     #[test]

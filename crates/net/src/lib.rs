@@ -12,6 +12,8 @@
 //! * [`wire`] — deterministic binary encoding for protocol messages
 //!   (no serde: every byte on the wire must be reproducible because
 //!   some of it is hashed into attestation evidence).
+//! * [`stream`] — long-lived stream session utilities (deterministic
+//!   bounded reconnect backoff for replication subscribers).
 //! * [`channel`] — an attestation-bindable secure channel (RSA-KEM +
 //!   ChaCha20-Poly1305), the stand-in for SCONE's TLS and SGX-LKL's
 //!   wireguard: the server's key fingerprint is what enclaves embed in
@@ -23,8 +25,10 @@
 pub mod bus;
 pub mod channel;
 pub mod error;
+pub mod stream;
 pub mod wire;
 
 pub use bus::{Connection, Listener, Network, Poller, Readiness};
 pub use channel::{ChannelReceiver, ChannelSender, SecureChannel, ServerHandshake};
 pub use error::NetError;
+pub use stream::Backoff;

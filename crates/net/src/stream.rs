@@ -1,0 +1,97 @@
+//! Long-lived stream session utilities.
+//!
+//! A replication subscriber keeps one `SecureChannel` open for the
+//! life of the stream and must survive losing it: the paper's
+//! adversary owns the network (§3), so a partitioned stream is an
+//! expected condition, not an error to crash on. The one policy
+//! decision that lives here is *how fast to retry*: unbounded
+//! hammering turns one partition into a self-inflicted connect storm,
+//! while a fixed long delay turns a blip into minutes of staleness.
+//! [`Backoff`] is the deterministic middle ground — exponential from a
+//! base delay to a cap, with no randomness (every run of a test or a
+//! reproduction schedules identically).
+
+use std::time::Duration;
+
+/// Deterministic bounded exponential backoff: `base * 2^attempt`,
+/// saturating at `cap`.
+///
+/// ```
+/// use sinclave_net::stream::Backoff;
+/// use std::time::Duration;
+///
+/// let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_millis(80));
+/// assert_eq!(backoff.next_delay(), Duration::from_millis(10));
+/// assert_eq!(backoff.next_delay(), Duration::from_millis(20));
+/// assert_eq!(backoff.next_delay(), Duration::from_millis(40));
+/// assert_eq!(backoff.next_delay(), Duration::from_millis(80));
+/// assert_eq!(backoff.next_delay(), Duration::from_millis(80)); // capped
+/// backoff.reset();
+/// assert_eq!(backoff.next_delay(), Duration::from_millis(10));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A backoff starting at `base` and saturating at `cap` (raised to
+    /// `base` if smaller).
+    #[must_use]
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        Backoff { base, cap: cap.max(base), attempt: 0 }
+    }
+
+    /// The delay to sleep before the next attempt; each call advances
+    /// the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let factor = 1u32 << self.attempt.min(20);
+        let delay = self.base.saturating_mul(factor).min(self.cap);
+        if delay < self.cap {
+            self.attempt += 1;
+        }
+        delay
+    }
+
+    /// How many delays have been handed out since the last reset.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Back to the base delay — call on a successful reconnect.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_to_cap_and_stays_there() {
+        let mut b = Backoff::new(Duration::from_micros(100), Duration::from_micros(1000));
+        let delays: Vec<u128> = (0..6).map(|_| b.next_delay().as_micros()).collect();
+        assert_eq!(delays, vec![100, 200, 400, 800, 1000, 1000]);
+        b.reset();
+        assert_eq!(b.next_delay().as_micros(), 100);
+    }
+
+    #[test]
+    fn degenerate_cap_below_base_is_clamped() {
+        let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(1));
+        assert_eq!(b.next_delay(), Duration::from_millis(5));
+        assert_eq!(b.next_delay(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn zero_base_never_overflows() {
+        let mut b = Backoff::new(Duration::ZERO, Duration::ZERO);
+        for _ in 0..100 {
+            assert_eq!(b.next_delay(), Duration::ZERO);
+        }
+    }
+}

@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sinclave_repro::cas::policy::{PolicyMode, SessionPolicy};
 use sinclave_repro::cas::store::CasStore;
+use sinclave_repro::cas::witness::SealedWitness;
 use sinclave_repro::cas::CasServer;
 use sinclave_repro::core::signer::SignerConfig;
 use sinclave_repro::core::AppConfig;
@@ -28,6 +29,10 @@ pub const CAS_ADDR: &str = "cas:443";
 pub const CONFIG_ID: &str = "user-app";
 /// Key protecting the CAS store's encrypted volume in every world.
 pub const STORE_KEY: [u8; 32] = [0x42; 32];
+/// Key protecting the rollback witness's own (separate) volume.
+pub const WITNESS_KEY: [u8; 32] = [0x57; 32];
+/// The primary's replication address in fleet tests.
+pub const REPL_ADDR: &str = "cas-repl:7443";
 
 pub struct World {
     pub host: SconeHost,
@@ -37,15 +42,17 @@ pub struct World {
     pub signer_key: RsaPrivateKey,
     pub channel_key: RsaPrivateKey,
     pub attestation_root: sinclave_repro::crypto::rsa::RsaPublicKey,
-    /// The restore-generation witness a deployment keeps *outside* the
-    /// CAS volume (e.g. a sealed monotonic counter): updated after
-    /// each graceful persist, handed to `CasServer::check_rollback`
-    /// after a restore so a replayed older disk image is detected.
-    pub generation_witness: u64,
-    /// The journal-sequence half of the rollback witness: catches a
-    /// host deleting the journal's committed tail, which generations
-    /// (refreshed only at snapshots) cannot see.
-    pub sequence_witness: u64,
+    /// The session policy registered at build time; fleet tests
+    /// provision it onto follower replicas too (policies are
+    /// configuration, not journaled state — they do not replicate).
+    pub policy: SessionPolicy,
+    /// The rollback witness the deployment keeps *outside* the CAS
+    /// volume: a sealed monotonic `(generation, journal sequence)`
+    /// counter in its **own** encrypted volume, advanced after each
+    /// graceful persist and handed to `CasServer::check_rollback`
+    /// after a restore. Separation is the point — a host must roll
+    /// back both volumes consistently to silence the alarm.
+    pub witness: SealedWitness,
 }
 
 impl World {
@@ -74,7 +81,7 @@ impl World {
             service.root_public_key().clone(),
             store,
         );
-        cas.add_policy(SessionPolicy {
+        let policy = SessionPolicy {
             config_id: CONFIG_ID.to_owned(),
             expected_common: packaged.signed.common_measurement(),
             expected_mrsigner: signer_key.public_key().fingerprint(),
@@ -82,8 +89,8 @@ impl World {
             allow_debug: false,
             mode,
             config,
-        })
-        .expect("policy");
+        };
+        cas.add_policy(policy.clone()).expect("policy");
 
         World {
             host,
@@ -93,8 +100,8 @@ impl World {
             signer_key,
             channel_key,
             attestation_root: service.root_public_key().clone(),
-            generation_witness: 0,
-            sequence_witness: 0,
+            policy,
+            witness: SealedWitness::create(AeadKey::new(WITNESS_KEY)),
         }
     }
 
@@ -116,16 +123,42 @@ impl World {
     /// persisted comes back through the snapshot-restore path.
     pub fn restart_cas(&mut self) {
         self.cas.persist_state().expect("persist state");
-        self.generation_witness = self.generation_witness.max(self.cas.restore_generation());
-        self.sequence_witness = self.sequence_witness.max(self.cas.journal_sequence());
+        self.witness
+            .advance(self.cas.restore_generation(), self.cas.journal_sequence())
+            .expect("advance witness");
+        // Round-trip the witness through *its own* disk image too — a
+        // restart reopens both volumes, and they must stay separable.
+        let witness_image = self.witness.volume().to_disk_image();
+        self.witness = SealedWitness::open(
+            Volume::from_disk_image(&witness_image).expect("witness image"),
+            AeadKey::new(WITNESS_KEY),
+        )
+        .expect("reopen witness");
         let image = self.cas.store().volume().to_disk_image();
         self.rebuild_cas_from_image(&image);
         // A graceful restart restores the image just written; the
         // freshness check against the external witness must pass.
-        assert!(
-            !self.cas.check_rollback(self.generation_witness, self.sequence_witness),
-            "false rollback alarm"
+        let mark = self.witness.read().expect("read witness");
+        assert!(!self.cas.check_rollback(mark.generation, mark.sequence), "false rollback alarm");
+    }
+
+    /// Builds a follower replica for the fleet tests: a fresh CAS on
+    /// its own empty store but sharing this world's channel key,
+    /// signer key, and attestation root (snapshot adoption checks the
+    /// verifier identity, so a fleet is one identity on many
+    /// machines), with the same session policy provisioned out of
+    /// band (policies are configuration — they are not journaled and
+    /// do not replicate).
+    pub fn new_replica(&self) -> Arc<CasServer> {
+        let store = CasStore::create(AeadKey::new(STORE_KEY));
+        let replica = CasServer::new(
+            self.channel_key.clone(),
+            self.signer_key.clone(),
+            self.attestation_root.clone(),
+            store,
         );
+        replica.add_policy(self.policy.clone()).expect("replica policy");
+        replica
     }
 
     /// Crash-restarts the CAS from an explicit volume image — used by

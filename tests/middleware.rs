@@ -9,7 +9,9 @@ use common::{World, CAS_ADDR, CONFIG_ID};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sinclave_repro::attack::starvation::{quota_abuse, SlowLoris};
-use sinclave_repro::cas::middleware::{BreakerConfig, MiddlewareConfig, RateLimitConfig};
+use sinclave_repro::cas::middleware::{
+    BreakerConfig, DedupConfig, MiddlewareConfig, RateLimitConfig,
+};
 use sinclave_repro::cas::policy::PolicyMode;
 use sinclave_repro::core::protocol::Message;
 use sinclave_repro::net::SecureChannel;
@@ -244,4 +246,37 @@ fn time_based_snapshot_tick_persists_while_idle() {
     // The persisted snapshot is the real, restorable article.
     let bytes = world.cas.store().restore_state().expect("read").expect("snapshot present");
     sinclave_repro::core::snapshot::IssuerSnapshot::from_bytes(&bytes).expect("parses");
+}
+
+#[test]
+fn identical_grant_retry_is_answered_from_the_dedup_cache() {
+    let world = world(66);
+    world.cas.set_middleware(MiddlewareConfig {
+        dedup: Some(DedupConfig { capacity: 8, ttl: Duration::from_secs(60) }),
+        ..MiddlewareConfig::default()
+    });
+    let cas = world.serve_cas(2, 8800);
+    // The same client retries a grant it never saw the reply to —
+    // e.g. the response was lost in flight. The retry must be served
+    // from the dedup cache: bit-identical bytes, no second issuance.
+    let request = Message::GrantRequest {
+        common_sigstruct: world.packaged.signed.common_sigstruct.to_bytes(),
+        base_hash: world.packaged.signed.base_hash.encode().to_vec(),
+    }
+    .to_bytes();
+    let replies: Vec<Message> = (0..2u64)
+        .map(|i| {
+            let conn = world.network.connect(CAS_ADDR).expect("connect");
+            let mut rng = StdRng::seed_from_u64(8900 + i);
+            let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+            chan.send(&request).expect("send");
+            Message::from_bytes(&chan.recv().expect("recv")).expect("decode")
+        })
+        .collect();
+    cas.join().expect("serve");
+
+    assert!(matches!(replies[0], Message::GrantResponse { .. }), "got {:?}", replies[0]);
+    assert_eq!(replies[0], replies[1], "retry must replay the cached reply, not mint anew");
+    assert_eq!(world.cas.stats.dedup_hits.load(Ordering::Relaxed), 1);
+    assert_eq!(world.cas.stats.grants_issued.load(Ordering::Relaxed), 1);
 }

@@ -778,6 +778,7 @@ proptest! {
             signer_fingerprint: signer,
             generation: 1,
             journal_sequence: 7,
+            fence: 0,
             verified_keys: keys,
             tokens,
         };
@@ -802,6 +803,7 @@ proptest! {
             signer_fingerprint: [2; 32],
             generation: 1,
             journal_sequence: 7,
+            fence: 0,
             verified_keys: keys,
             tokens: tokens
                 .into_iter()
@@ -909,6 +911,7 @@ proptest! {
             signer_fingerprint: [4; 32],
             generation: 2,
             journal_sequence: 7,
+            fence: 0,
             verified_keys: keys,
             tokens: Vec::new(),
         };

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use sinclave_repro::core::instance_page::InstancePage;
 use sinclave_repro::core::layout::EnclaveLayout;
 use sinclave_repro::core::protocol::Message;
+use sinclave_repro::core::replication::{ReplicaRole, ReplicationFrame};
 use sinclave_repro::core::{AppConfig, AttestationToken, BaseEnclaveHash};
 use sinclave_repro::crypto::aead::AeadKey;
 use sinclave_repro::crypto::rsa::RsaPrivateKey;
@@ -434,5 +435,110 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// An arbitrary replication frame, covering every variant the fleet
+/// protocol speaks.
+fn arb_replication_frame() -> impl Strategy<Value = ReplicationFrame> {
+    let role = prop_oneof![Just(ReplicaRole::Subscribe), Just(ReplicaRole::Forward)];
+    prop_oneof![
+        (role, any::<u64>(), any::<u64>())
+            .prop_map(|(role, last_seq, fence)| ReplicationFrame::Hello { role, last_seq, fence }),
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (
+                proptest::collection::vec(any::<u8>(), 0..600),
+                proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 0..4),
+            ),
+        )
+            .prop_map(|((fence, high_seq, baseline_seq), (snapshot, chunks))| {
+                ReplicationFrame::Baseline { fence, high_seq, baseline_seq, snapshot, chunks }
+            }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..600))
+            .prop_map(|(fence, batch)| ReplicationFrame::Records { fence, batch }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(fence, high_seq)| ReplicationFrame::Heartbeat { fence, high_seq }),
+        any::<u64>().prop_map(|fence| ReplicationFrame::Fenced { fence }),
+        (any::<[u8; 32]>(), any::<[u8; 32]>())
+            .prop_map(|(token, mrenclave)| ReplicationFrame::Redeem { token, mrenclave }),
+        any::<[u8; 32]>().prop_map(|common| ReplicationFrame::RedeemOk { common }),
+        proptest::collection::vec(any::<u8>(), 0..400)
+            .prop_map(|request| ReplicationFrame::Forward { request }),
+        proptest::collection::vec(any::<u8>(), 0..400)
+            .prop_map(|response| ReplicationFrame::Reply { response }),
+        "[ -~]{0,60}".prop_map(|reason| ReplicationFrame::Denied { reason }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fleet protocol's codec is a bijection on valid frames: any
+    /// frame round-trips bit-exactly through its wire form.
+    #[test]
+    fn replication_frame_roundtrip(frame in arb_replication_frame()) {
+        let bytes = frame.to_bytes();
+        prop_assert_eq!(ReplicationFrame::from_bytes(&bytes).unwrap(), frame.clone());
+        // Deterministic: same frame, same bytes.
+        prop_assert_eq!(frame.to_bytes(), bytes);
+    }
+
+    /// Tearing sweep: every strict prefix of an encoded frame is
+    /// rejected — a replication frame cut mid-write can never decode
+    /// as a different valid frame — and trailing garbage is rejected
+    /// too. Either would let a torn transport write masquerade as
+    /// protocol traffic.
+    #[test]
+    fn torn_replication_frames_rejected(frame in arb_replication_frame()) {
+        let bytes = frame.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                ReplicationFrame::from_bytes(&bytes[..cut]).is_err(),
+                "prefix {} decoded", cut
+            );
+        }
+        let mut padded = bytes;
+        padded.push(0);
+        prop_assert!(ReplicationFrame::from_bytes(&padded).is_err(), "trailing byte decoded");
+    }
+
+    /// No input makes the frame decoder panic, and anything it does
+    /// accept re-encodes to exactly the bytes it consumed (no
+    /// ambiguous encodings for an adversary to smuggle through).
+    #[test]
+    fn random_bytes_never_panic_frame_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        if let Ok(frame) = ReplicationFrame::from_bytes(&bytes) {
+            prop_assert_eq!(frame.to_bytes(), bytes);
+        }
+    }
+
+    /// The journal batch decoder recovers exactly the clean prefix of
+    /// a torn group-commit batch: cut at a record boundary it yields
+    /// those records undamaged; cut mid-record it flags damage and
+    /// never invents or mutates a record. This is the exact property
+    /// follower replay leans on when a stream dies mid-batch.
+    #[test]
+    fn torn_batch_recovers_exact_clean_prefix(
+        seqs in proptest::collection::vec(any::<u8>(), 1..5),
+        cut_salt in any::<usize>(),
+    ) {
+        use sinclave_repro::core::journal_record::{decode_batch, encode_batch, JournalRecord, SequencedRecord};
+        let records: Vec<SequencedRecord> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| SequencedRecord {
+                seq: i as u64 + 1,
+                record: JournalRecord::TokenRedeemed { token: [*b; 32] },
+            })
+            .collect();
+        let payload = encode_batch(&records);
+        // Boundaries of each framed record within the payload.
+        let record_len = payload.len() / records.len();
+        let cut = cut_salt % (payload.len() + 1);
+        let decoded = decode_batch(&payload[..cut]);
+        let whole = cut / record_len;
+        prop_assert_eq!(decoded.records.as_slice(), &records[..whole]);
+        prop_assert_eq!(decoded.damaged.is_some(), !cut.is_multiple_of(record_len));
     }
 }
