@@ -1,0 +1,424 @@
+//! A hand-rolled Rust source lexer for the invariant rules.
+//!
+//! The registry is unreachable, so there is no `syn`; the rules only
+//! need a *token* view that is reliable about the things a text grep
+//! gets wrong — string literals (including raw and byte strings),
+//! char literals vs. lifetimes, and nested block comments. The lexer
+//! works on raw bytes, never panics on arbitrary input (unterminated
+//! literals run to end of file), and emits byte-offset spans so every
+//! diagnostic can carry an exact `file:line`.
+//!
+//! Guarantees the proptest corpus pins down:
+//!
+//! * lexing any byte soup terminates without panicking;
+//! * token spans are non-overlapping, strictly ascending, and the
+//!   bytes between consecutive tokens are ASCII whitespace only
+//!   (nothing is silently swallowed or double-counted);
+//! * `//`, `/* */` (nested), `"…"`, `r#"…"#`, `b"…"`, and `'c'`
+//!   content never leaks into identifier or punctuation tokens.
+
+/// Classification of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integer part; `1.5` lexes as `1` `.` `5`).
+    Number,
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// `// …` comment (doc comments included), without the newline.
+    LineComment,
+    /// `/* … */` comment, nesting respected.
+    BlockComment,
+    /// A single punctuation byte (or an unrecognized byte).
+    Punct,
+}
+
+/// One token: kind plus its byte span and 1-based start line.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text. Lossy on invalid UTF-8 boundaries (returns
+    /// the longest valid prefix) — the rules only ever compare against
+    /// ASCII names, so this never affects a verdict.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a [u8]) -> &'a str {
+        let bytes = src.get(self.start..self.end).unwrap_or(&[]);
+        match std::str::from_utf8(bytes) {
+            Ok(text) => text,
+            Err(e) => std::str::from_utf8(&bytes[..e.valid_up_to()]).unwrap_or(""),
+        }
+    }
+
+    /// Whether this token is a comment.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// The lexing cursor.
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advances `n` bytes, counting newlines.
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos >= self.src.len() {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a line comment starting at `//`.
+    fn line_comment(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a (nested) block comment starting at `/*`.
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: runs to EOF
+            }
+        }
+    }
+
+    /// Consumes a `"…"` body (opening quote already peeked), honoring
+    /// backslash escapes. Unterminated runs to EOF.
+    fn quoted(&mut self, quote: u8) {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump_n(2);
+            } else if b == quote {
+                self.bump();
+                return;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a raw string starting at the `r` (after an optional
+    /// `b`), i.e. `r##"…"##`. Returns false if this is not actually a
+    /// raw string opener (caller falls back to identifier lexing).
+    fn raw_string(&mut self, prefix_len: usize) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(prefix_len + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(prefix_len + hashes) != Some(b'"') {
+            return false;
+        }
+        self.bump_n(prefix_len + hashes + 1);
+        // Scan for `"` followed by `hashes` hashes.
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump_n(1 + hashes);
+                    return true;
+                }
+            }
+            self.bump();
+        }
+        true // unterminated: ran to EOF
+    }
+
+    /// Consumes `'…'` or a lifetime; returns the kind. The cursor sits
+    /// on the opening `'`.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char: consume escape then scan to closing
+                // quote on a short leash (handles `'\u{1f600}'`).
+                self.bump_n(2);
+                for _ in 0..12 {
+                    match self.peek(0) {
+                        Some(b'\'') => {
+                            self.bump();
+                            return TokenKind::Char;
+                        }
+                        Some(b'\n') | None => return TokenKind::Char,
+                        Some(_) => self.bump(),
+                    }
+                }
+                TokenKind::Char
+            }
+            Some(b) if is_ident_start(b) => {
+                // `'a'` is a char, `'a`/`'static`/`'_` are lifetimes.
+                let mut len = 0usize;
+                while self.peek(len).is_some_and(is_ident_continue) {
+                    len += 1;
+                }
+                if self.peek(len) == Some(b'\'') {
+                    self.bump_n(len + 1);
+                    TokenKind::Char
+                } else {
+                    self.bump_n(len);
+                    TokenKind::Lifetime
+                }
+            }
+            Some(b'\'') | Some(b'\n') | None => TokenKind::Punct, // stray quote
+            Some(_) => {
+                // `'('`-style single char.
+                if self.peek(1) == Some(b'\'') {
+                    self.bump_n(2);
+                    TokenKind::Char
+                } else {
+                    TokenKind::Punct // stray quote before non-literal
+                }
+            }
+        }
+    }
+}
+
+/// Lexes `src` into tokens. Total: every non-whitespace byte belongs
+/// to exactly one token; never panics.
+#[must_use]
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    let mut cursor = Cursor { src, pos: 0, line: 1 };
+    let mut tokens = Vec::new();
+    while let Some(b) = cursor.peek(0) {
+        if b.is_ascii_whitespace() {
+            cursor.bump();
+            continue;
+        }
+        let (start, line) = (cursor.pos, cursor.line);
+        let kind = match b {
+            b'/' if cursor.peek(1) == Some(b'/') => {
+                cursor.line_comment();
+                TokenKind::LineComment
+            }
+            b'/' if cursor.peek(1) == Some(b'*') => {
+                cursor.block_comment();
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                cursor.quoted(b'"');
+                TokenKind::Str
+            }
+            b'r' | b'b' if string_prefix(&cursor) => {
+                match (b, cursor.peek(1)) {
+                    (b'b', Some(b'\'')) => {
+                        cursor.bump(); // the b
+                        cursor.char_or_lifetime();
+                        TokenKind::Char
+                    }
+                    (b'b', Some(b'"')) => {
+                        cursor.bump();
+                        cursor.quoted(b'"');
+                        TokenKind::Str
+                    }
+                    (b'b', _) => {
+                        // `br…` raw byte string.
+                        cursor.raw_string(2);
+                        TokenKind::Str
+                    }
+                    (_, _) => {
+                        // `r…` raw string.
+                        cursor.raw_string(1);
+                        TokenKind::Str
+                    }
+                }
+            }
+            b'\'' => cursor.char_or_lifetime(),
+            _ if is_ident_start(b) => {
+                while cursor.peek(0).is_some_and(is_ident_continue) {
+                    cursor.bump();
+                }
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                while cursor.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                    cursor.bump();
+                }
+                TokenKind::Number
+            }
+            _ => {
+                cursor.bump();
+                TokenKind::Punct
+            }
+        };
+        if cursor.pos == start {
+            // Defensive: guarantee progress whatever the input.
+            cursor.bump();
+        }
+        tokens.push(Token { kind, start, end: cursor.pos, line });
+    }
+    tokens
+}
+
+/// Whether the cursor (sitting on `r` or `b`) opens a string/char
+/// literal rather than an identifier.
+fn string_prefix(cursor: &Cursor<'_>) -> bool {
+    match (cursor.peek(0), cursor.peek(1)) {
+        (Some(b'b'), Some(b'"' | b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => {
+            // `br"` / `br#`-with-quote.
+            let mut hashes = 0usize;
+            while cursor.peek(2 + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            cursor.peek(2 + hashes) == Some(b'"')
+        }
+        (Some(b'r'), _) => {
+            let mut hashes = 0usize;
+            while cursor.peek(1 + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            cursor.peek(1 + hashes) == Some(b'"')
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src.as_bytes())
+            .into_iter()
+            .map(|t| (t.kind, t.text(src.as_bytes()).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_do_not_hide_in_strings_and_vice_versa() {
+        let toks = kinds(r#"let s = "// not a comment"; // real"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::LineComment).count(),
+            1,
+            "{toks:?}"
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+
+        let toks = kinds("/* \" */ unwrap");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ after");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"r#"raw " body"# b"bytes" br#"both"# rest"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 3);
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "rest".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("'a' 'static '\\n' '_ b'x'");
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count();
+        assert_eq!((chars, lifetimes), (3, 2), "{toks:?}");
+    }
+
+    #[test]
+    fn quote_inside_char_literal_does_not_open_a_string() {
+        let toks = kinds(r#"let q = '"'; let x = 1;"#);
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Str), "{toks:?}");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof_without_panicking() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b\"open", "// eof comment"] {
+            let toks = lex(src.as_bytes());
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().unwrap().end, src.len());
+        }
+    }
+
+    #[test]
+    fn spans_cover_all_non_whitespace_bytes() {
+        let src = b"fn f(){ let x = a.b[0] + 'c'; } // t";
+        let toks = lex(src);
+        let mut pos = 0usize;
+        for t in &toks {
+            assert!(t.start >= pos, "overlap at {}", t.start);
+            assert!(src[pos..t.start].iter().all(u8::is_ascii_whitespace));
+            assert!(t.end > t.start);
+            pos = t.end;
+        }
+        assert!(src[pos..].iter().all(u8::is_ascii_whitespace));
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let src = b"a\nb\n\n  c /* x\ny */ d";
+        let toks = lex(src);
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4, 5]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # sinclave-analysis — workspace invariant linter
+//!
+//! A dependency-free static analyzer that turns the prose invariants
+//! this codebase runs on — panic-freedom on serving paths, lock-order
+//! discipline, journal-before-ack durability, unsafe/secret hygiene,
+//! replay determinism — into a CI gate. See `docs/analysis.md` for the
+//! rule catalog and waiver syntax.
+//!
+//! The pipeline is three layers:
+//!
+//! 1. [`lexer`] — a hand-rolled byte-level Rust lexer that correctly
+//!    skips strings, char literals, raw strings, and nested block
+//!    comments, and never panics on arbitrary input.
+//! 2. [`source`] — the per-file model: code-token view, test-region
+//!    marking, waiver comments.
+//! 3. [`rules`] — the rule implementations and the waiver-aware
+//!    engine ([`rules::analyze`]).
+//!
+//! No `syn`, no `proc-macro2`: the registry is unreachable in the
+//! build environment, and the token-level facts these rules need do
+//! not require a full parse.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use manifest::LockManifest;
+pub use rules::{analyze, analyze_file, Analysis, Config, Finding, Rule};
+pub use source::SourceFile;

@@ -1,0 +1,113 @@
+//! The declared lock-order manifest.
+//!
+//! Format (one class per line, `#` comments, blank lines ignored):
+//!
+//! ```text
+//! <rank> <name>[, <alias>...]
+//! ```
+//!
+//! Rank orders acquisition: a lock may only be acquired while holding
+//! locks of strictly **lower** rank. Aliases share a rank *and* a
+//! class — nesting two same-class guards (two shards of one sharded
+//! map) is a violation too, because shard index order is not a
+//! discipline anyone audits. Lock names are the **field identifiers**
+//! the guard is taken from (`self.volume.lock()` → `volume`), so the
+//! manifest doubles as a naming registry: a new lock either gets a
+//! fresh, unique field name and a manifest line, or it is unranked and
+//! invisible to the rule.
+
+use std::collections::HashMap;
+
+/// One ranked lock class.
+#[derive(Clone, Debug)]
+pub struct LockClass {
+    /// Acquisition rank; lower acquires first.
+    pub rank: u32,
+    /// Canonical name (the first alias on the manifest line).
+    pub name: String,
+}
+
+/// The parsed manifest: field identifier → class.
+#[derive(Clone, Debug, Default)]
+pub struct LockManifest {
+    classes: HashMap<String, LockClass>,
+}
+
+impl LockManifest {
+    /// Parses the manifest text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-prefixed message for unparseable lines or
+    /// duplicate lock names.
+    pub fn parse(text: &str) -> Result<LockManifest, String> {
+        let mut classes = HashMap::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (rank_text, names) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("line {}: expected `<rank> <name>[, ...]`", n + 1))?;
+            let rank: u32 =
+                rank_text.parse().map_err(|_| format!("line {}: bad rank `{rank_text}`", n + 1))?;
+            let aliases: Vec<&str> =
+                names.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            let canonical = (*aliases
+                .first()
+                .ok_or_else(|| format!("line {}: rank without lock names", n + 1))?)
+            .to_owned();
+            for alias in aliases {
+                let class = LockClass { rank, name: canonical.clone() };
+                if classes.insert(alias.to_owned(), class).is_some() {
+                    return Err(format!("line {}: duplicate lock name `{alias}`", n + 1));
+                }
+            }
+        }
+        Ok(LockManifest { classes })
+    }
+
+    /// The class for a receiver field identifier, if ranked.
+    #[must_use]
+    pub fn class_of(&self, field: &str) -> Option<&LockClass> {
+        self.classes.get(field)
+    }
+
+    /// Number of distinct aliases registered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether no locks are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ranks_aliases_and_comments() {
+        let m = LockManifest::parse(
+            "# comment\n10 journal\n20 volume  # trailing\n30 shards, prepared, tokens\n",
+        )
+        .unwrap();
+        assert_eq!(m.class_of("journal").unwrap().rank, 10);
+        assert_eq!(m.class_of("prepared").unwrap().rank, 30);
+        assert_eq!(m.class_of("prepared").unwrap().name, "shards");
+        assert!(m.class_of("unknown").is_none());
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_garbage() {
+        assert!(LockManifest::parse("10 a\n20 a\n").is_err());
+        assert!(LockManifest::parse("ten a\n").is_err());
+        assert!(LockManifest::parse("10\n").is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! SA006 — determinism of replay/decode paths.
+//!
+//! Journal replay and replication decode must be pure functions of the
+//! bytes: a follower replaying a sealed chunk has to reach the exact
+//! state the leader sealed. Reading `Instant::now()` or
+//! `SystemTime::now()` inside those paths smuggles wall-clock state
+//! into recovery, which shows up later as divergent replicas. Clock
+//! reads belong at the call sites that *produce* records, where the
+//! value becomes part of the journaled bytes.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+use super::{Finding, Rule};
+
+/// Type names whose mention means a wall-clock read is nearby.
+const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+pub(super) fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for ci in 0..file.code.len() {
+        if file.in_test[ci] || file.ct(ci).kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.ct_text(ci);
+        if CLOCK_TYPES.contains(&name) {
+            out.push(Finding {
+                rule: Rule::Determinism,
+                path: file.path.clone(),
+                line: file.ct(ci).line,
+                message: format!(
+                    "`{name}` in a replay/decode path — replay must be a pure function of the \
+                     journal bytes; take timestamps at record-producing call sites instead"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! SA003 — journal-before-ack ordering.
+//!
+//! Functions annotated `// invariant: journal-before-ack` promise the
+//! exactly-once contract: no reply, publish, or dedup-store side
+//! effect may happen before the record is appended to the sealed
+//! journal. The rule finds the annotated fn's body and flags any
+//! send-family call that lexically precedes the first journal-family
+//! call. Lexical order is an approximation of dataflow order, but in
+//! this codebase the ack path is straight-line code inside these fns,
+//! so the approximation is exact where it matters — and a false
+//! positive is a prompt to restructure into straight-line form.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+use super::{is_call, Finding, Rule};
+
+/// The annotation comment marker.
+const ANNOTATION: &str = "invariant: journal-before-ack";
+
+/// Calls that make the record durable.
+const JOURNAL_TOKENS: &[&str] = &["append_journal", "commit_record", "append", "commit"];
+
+/// Calls that leak the outcome to a peer or to dedup state.
+const SEND_TOKENS: &[&str] = &["send", "try_send", "publish", "dedup_store"];
+
+/// How many code tokens past the annotation the `fn` keyword may sit
+/// (attributes, visibility, generics headers).
+const FN_SEARCH_WINDOW: usize = 40;
+
+pub(super) fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for ti in 0..file.tokens.len() {
+        let tok = &file.tokens[ti];
+        if !tok.is_comment() {
+            continue;
+        }
+        // The annotation must be the comment's content, not a mention
+        // inside prose (docs discussing the annotation don't bind).
+        let body = tok
+            .text(&file.bytes)
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start_matches('!')
+            .trim();
+        if !body.starts_with(ANNOTATION) {
+            continue;
+        }
+        // First code token after the annotation comment.
+        let Some(first) = (0..file.code.len()).find(|&ci| file.ct(ci).start >= tok.end) else {
+            continue;
+        };
+        let fn_ci = (first..(first + FN_SEARCH_WINDOW).min(file.code.len()))
+            .find(|&ci| file.ct(ci).kind == TokenKind::Ident && file.ct_text(ci) == "fn");
+        let Some(fn_ci) = fn_ci else {
+            out.push(Finding {
+                rule: Rule::JournalBeforeAck,
+                path: file.path.clone(),
+                line: tok.line,
+                message: "`// invariant: journal-before-ack` is not attached to a fn — place it \
+                          directly above the function it constrains"
+                    .to_owned(),
+            });
+            continue;
+        };
+        check_fn_body(file, fn_ci, tok.line, out);
+    }
+}
+
+/// Walks the annotated fn's brace-balanced body and enforces the
+/// ordering.
+fn check_fn_body(file: &SourceFile, fn_ci: usize, annotation_line: u32, out: &mut Vec<Finding>) {
+    let Some(open) = (fn_ci..file.code.len()).find(|&ci| file.is_punct(ci, '{')) else {
+        return;
+    };
+    let mut depth = 0usize;
+    let mut end = open;
+    while end < file.code.len() {
+        if file.is_punct(end, '{') {
+            depth += 1;
+        } else if file.is_punct(end, '}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        end += 1;
+    }
+    let journal_first =
+        (open..end).find(|&ci| JOURNAL_TOKENS.iter().any(|name| is_call(file, ci, name)));
+    let Some(journal_first) = journal_first else {
+        out.push(Finding {
+            rule: Rule::JournalBeforeAck,
+            path: file.path.clone(),
+            line: annotation_line,
+            message: format!(
+                "annotated fn contains no journal-append call (looked for {}) — the invariant \
+                 cannot hold",
+                JOURNAL_TOKENS.join("/")
+            ),
+        });
+        return;
+    };
+    for ci in open..journal_first {
+        if let Some(name) = SEND_TOKENS.iter().find(|name| is_call(file, ci, name)) {
+            out.push(Finding {
+                rule: Rule::JournalBeforeAck,
+                path: file.path.clone(),
+                line: file.ct(ci).line,
+                message: format!(
+                    "`{name}(` before the journal append in a journal-before-ack fn — a crash \
+                     here acks a record that was never made durable"
+                ),
+            });
+        }
+    }
+}

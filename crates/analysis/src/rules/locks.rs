@@ -1,0 +1,164 @@
+//! SA002 — lock-order discipline.
+//!
+//! The manifest ranks every named lock; a guard may only be acquired
+//! while holding guards of strictly lower rank, and never while
+//! holding a guard of the same class. The rule tracks guard lifetimes
+//! lexically:
+//!
+//! - `let g = self.x.lock()…;` — guard `g` lives to the end of its
+//!   enclosing block (or an explicit `drop(g)`).
+//! - `let _ = …` and un-bound acquisitions (`self.x.lock().f();`) —
+//!   the guard is a temporary; it dies at the statement's `;`, or at
+//!   a `{` opening at the same depth (condition-position temporaries).
+//! - Closing a block releases every guard acquired inside it.
+//!
+//! This is deliberately an over-approximation in one direction
+//! (`match x.lock() { … }` extends the temporary through the match,
+//! which we under-hold) and exact for the dominant let-bound idiom the
+//! codebase uses. Receivers are resolved through one level of
+//! indexing: `self.shards[i].write()` classifies as `shards`.
+
+use crate::lexer::TokenKind;
+use crate::manifest::LockManifest;
+use crate::source::SourceFile;
+
+use super::{Finding, Rule};
+
+/// Guard-producing method names.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// One held guard.
+struct Held {
+    /// Let-binding name, when bound.
+    binding: Option<String>,
+    /// Canonical class name from the manifest.
+    class: String,
+    /// Manifest rank.
+    rank: u32,
+    /// Brace depth at acquisition.
+    depth: usize,
+    /// Whether the guard is an unbound temporary.
+    temp: bool,
+}
+
+pub(super) fn check(file: &SourceFile, manifest: &LockManifest, out: &mut Vec<Finding>) {
+    if manifest.is_empty() {
+        return;
+    }
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let mut in_let = false;
+    let mut let_binding: Option<String> = None;
+    for ci in 0..file.code.len() {
+        let tok = file.ct(ci);
+        if tok.kind == TokenKind::Punct {
+            match file.ct_text(ci) {
+                "{" => {
+                    held.retain(|h| !(h.temp && h.depth == depth));
+                    depth += 1;
+                    in_let = false;
+                    let_binding = None;
+                }
+                "}" => {
+                    held.retain(|h| h.depth < depth);
+                    depth = depth.saturating_sub(1);
+                }
+                ";" => {
+                    held.retain(|h| !(h.temp && h.depth == depth));
+                    in_let = false;
+                    let_binding = None;
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.ct_text(ci);
+        if name == "let" && !file.in_test[ci] {
+            in_let = true;
+            let_binding = None;
+            continue;
+        }
+        if in_let && let_binding.is_none() && name != "mut" && name != "ref" {
+            let_binding = Some(name.to_owned());
+        }
+        // `drop(g)` releases the named guard.
+        if name == "drop"
+            && file.punct_at(ci + 1, '(')
+            && ci + 2 < file.code.len()
+            && file.ct(ci + 2).kind == TokenKind::Ident
+            && file.punct_at(ci + 3, ')')
+        {
+            let dropped = file.ct_text(ci + 2);
+            held.retain(|h| h.binding.as_deref() != Some(dropped));
+            continue;
+        }
+        // Acquisition: `<receiver>.lock()` / `.read()` / `.write()`.
+        let is_acquire = ACQUIRE_METHODS.contains(&name)
+            && ci > 0
+            && file.is_punct(ci - 1, '.')
+            && file.punct_at(ci + 1, '(')
+            && file.punct_at(ci + 2, ')');
+        if !is_acquire || file.in_test[ci] {
+            continue;
+        }
+        let Some(receiver) = resolve_receiver(file, ci) else { continue };
+        let Some(class) = manifest.class_of(&receiver) else { continue };
+        for h in &held {
+            if h.rank > class.rank {
+                out.push(Finding {
+                    rule: Rule::LockOrder,
+                    path: file.path.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "acquired `{receiver}` (rank {}) while holding `{}` (rank {}) — the \
+                         manifest orders `{}` before `{}`",
+                        class.rank, h.class, h.rank, class.name, h.class
+                    ),
+                });
+            } else if h.rank == class.rank {
+                out.push(Finding {
+                    rule: Rule::LockOrder,
+                    path: file.path.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "acquired `{receiver}` while already holding a `{}` guard of the same \
+                         rank — same-class nesting deadlocks under contention",
+                        h.class
+                    ),
+                });
+            }
+        }
+        let bound = in_let && let_binding.as_deref() != Some("_");
+        held.push(Held {
+            binding: bound.then(|| let_binding.clone()).flatten(),
+            class: class.name.clone(),
+            rank: class.rank,
+            depth,
+            temp: !bound,
+        });
+    }
+}
+
+/// The field identifier the guard is taken from: the ident directly
+/// before `.lock()`, looking through one balanced `[…]` index
+/// (`self.shards[i].write()` → `shards`).
+fn resolve_receiver(file: &SourceFile, method_ci: usize) -> Option<String> {
+    // method_ci is the `lock`/`read`/`write` ident; method_ci - 1 is `.`.
+    let mut ci = method_ci.checked_sub(2)?;
+    if file.is_punct(ci, ']') {
+        let mut depth = 1usize;
+        while depth > 0 {
+            ci = ci.checked_sub(1)?;
+            if file.is_punct(ci, ']') {
+                depth += 1;
+            } else if file.is_punct(ci, '[') {
+                depth -= 1;
+            }
+        }
+        ci = ci.checked_sub(1)?;
+    }
+    (file.ct(ci).kind == TokenKind::Ident).then(|| file.ct_text(ci).to_owned())
+}

@@ -1,0 +1,48 @@
+//! SA001 — panic-freedom on serving paths.
+//!
+//! `unwrap()` / `expect()` calls and the panic macro family are
+//! forbidden in non-test code of the cas/net/fs/core crates: a panic
+//! in the reactor or replication threads takes down the whole fleet
+//! member, which is exactly the crash-consistency surface the journal
+//! exists to protect. Errors must be returned (so middleware can
+//! degrade) or carry a reasoned waiver.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+use super::{Finding, Rule};
+
+/// Macros whose expansion is an unconditional abort of the thread.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+pub(super) fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for ci in 0..file.code.len() {
+        if file.in_test[ci] || file.ct(ci).kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.ct_text(ci);
+        let method_call = (name == "unwrap" || name == "expect")
+            && ci > 0
+            && file.is_punct(ci - 1, '.')
+            && file.punct_at(ci + 1, '(');
+        let panic_macro = PANIC_MACROS.contains(&name) && file.punct_at(ci + 1, '!');
+        if method_call {
+            out.push(Finding {
+                rule: Rule::Panic,
+                path: file.path.clone(),
+                line: file.ct(ci).line,
+                message: format!(
+                    "`.{name}()` on a serving path — return an error so middleware can degrade, \
+                     or waive with `// lint: allow(panic) — <reason>`"
+                ),
+            });
+        } else if panic_macro {
+            out.push(Finding {
+                rule: Rule::Panic,
+                path: file.path.clone(),
+                line: file.ct(ci).line,
+                message: format!("`{name}!` on a serving path — serving code must not abort"),
+            });
+        }
+    }
+}

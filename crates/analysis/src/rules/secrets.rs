@@ -1,0 +1,218 @@
+//! SA005 — secret hygiene.
+//!
+//! Two sub-checks, both non-test:
+//!
+//! 1. **Derive check** — key-bearing types (`AeadKey`,
+//!    `RsaPrivateKey`) must not `#[derive(Debug)]` or derive
+//!    `Display`: a derived formatter prints the key material field by
+//!    field. Hand-written redacting impls are the sanctioned pattern.
+//! 2. **Format-argument check** — identifiers that look key-bearing
+//!    (`key`, `*_key`, `*secret*`, minus `public`/`fingerprint`
+//!    spellings) must not appear as arguments or inline captures of
+//!    format-family macros, where `{:?}`/`{}` would serialize them
+//!    into logs or error strings.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+use super::{Finding, Rule};
+
+/// Types that own key material.
+const SECRET_TYPES: &[&str] = &["AeadKey", "RsaPrivateKey"];
+
+/// Macros whose arguments end up in formatted output.
+const FMT_MACROS: &[&str] = &[
+    "format",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Whether an identifier names something that plausibly holds secret
+/// bytes.
+fn keyish(name: &str) -> bool {
+    if name.contains("public") || name.contains("fingerprint") {
+        return false;
+    }
+    name == "key" || name.ends_with("_key") || name.contains("secret")
+}
+
+pub(super) fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    check_derives(file, out);
+    check_format_args(file, out);
+}
+
+/// Flags `#[derive(Debug)]` / `#[derive(Display)]`-style attributes on
+/// the secret types. Tracks the most recent derive attribute and pairs
+/// it with the next `struct`/`enum` item.
+fn check_derives(file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut pending: Option<(u32, Vec<String>)> = None;
+    let mut ci = 0usize;
+    while ci < file.code.len() {
+        if file.in_test[ci] {
+            ci += 1;
+            continue;
+        }
+        if file.is_punct(ci, '#') && file.punct_at(ci + 1, '[') {
+            let mut idents = Vec::new();
+            let mut depth = 1usize;
+            let mut j = ci + 2;
+            while j < file.code.len() && depth > 0 {
+                if file.is_punct(j, '[') {
+                    depth += 1;
+                } else if file.is_punct(j, ']') {
+                    depth -= 1;
+                } else if file.ct(j).kind == TokenKind::Ident {
+                    idents.push(file.ct_text(j).to_owned());
+                }
+                j += 1;
+            }
+            if idents.first().is_some_and(|first| first == "derive") {
+                pending = Some((file.ct(ci).line, idents));
+            }
+            ci = j;
+            continue;
+        }
+        if file.ct(ci).kind == TokenKind::Ident {
+            let word = file.ct_text(ci);
+            if word == "struct" || word == "enum" {
+                let name = (ci + 1 < file.code.len() && file.ct(ci + 1).kind == TokenKind::Ident)
+                    .then(|| file.ct_text(ci + 1));
+                if let (Some(type_name), Some((attr_line, idents))) = (name, pending.as_ref()) {
+                    if SECRET_TYPES.contains(&type_name) {
+                        for formatter in ["Debug", "Display"] {
+                            if idents.iter().any(|id| id == formatter) {
+                                out.push(Finding {
+                                    rule: Rule::SecretHygiene,
+                                    path: file.path.clone(),
+                                    line: *attr_line,
+                                    message: format!(
+                                        "`{type_name}` derives `{formatter}` — key-bearing types \
+                                         must use a hand-written redacting impl"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                pending = None;
+            } else if matches!(
+                word,
+                "fn" | "impl" | "trait" | "mod" | "use" | "static" | "const" | "type"
+            ) {
+                pending = None;
+            }
+        }
+        ci += 1;
+    }
+}
+
+/// Flags keyish identifiers inside format-family macro invocations,
+/// both as plain arguments and as `{ident}` inline captures in the
+/// format string.
+fn check_format_args(file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut ci = 0usize;
+    while ci < file.code.len() {
+        let head = file.ct(ci).kind == TokenKind::Ident
+            && FMT_MACROS.contains(&file.ct_text(ci))
+            && file.punct_at(ci + 1, '!');
+        if !head || file.in_test[ci] {
+            ci += 1;
+            continue;
+        }
+        let Some((open, close)) = macro_delims(file, ci + 2) else {
+            ci += 2;
+            continue;
+        };
+        let mut depth = 1usize;
+        let mut j = ci + 3;
+        while j < file.code.len() && depth > 0 {
+            let tok = file.ct(j);
+            if file.is_punct(j, open) {
+                depth += 1;
+            } else if file.is_punct(j, close) {
+                depth -= 1;
+            } else if tok.kind == TokenKind::Ident
+                && keyish(file.ct_text(j))
+                && !file.punct_at(j + 1, '(')
+            {
+                // Idents followed by `(` are calls (`rule.key()`), not
+                // key-material values.
+                out.push(Finding {
+                    rule: Rule::SecretHygiene,
+                    path: file.path.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "`{}` passed to a format macro — key material must never reach logs or \
+                         error strings",
+                        file.ct_text(j)
+                    ),
+                });
+            } else if tok.kind == TokenKind::Str {
+                for capture in inline_captures(file.ct_text(j)) {
+                    if keyish(&capture) {
+                        out.push(Finding {
+                            rule: Rule::SecretHygiene,
+                            path: file.path.clone(),
+                            line: tok.line,
+                            message: format!(
+                                "format string captures `{{{capture}}}` — key material must \
+                                 never reach logs or error strings"
+                            ),
+                        });
+                    }
+                }
+            }
+            j += 1;
+        }
+        ci = j;
+    }
+}
+
+/// The macro's delimiter pair, if code token `ci` opens one.
+fn macro_delims(file: &SourceFile, ci: usize) -> Option<(char, char)> {
+    for (open, close) in [('(', ')'), ('[', ']'), ('{', '}')] {
+        if file.punct_at(ci, open) {
+            return Some((open, close));
+        }
+    }
+    None
+}
+
+/// Identifiers captured inline (`{name}`, `{name:?}`) in a format
+/// string literal. `{{` escapes are skipped; positional and spec-only
+/// captures yield nothing.
+fn inline_captures(literal: &str) -> Vec<String> {
+    let mut captures = Vec::new();
+    let bytes = literal.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'{' {
+            i += 1;
+            continue;
+        }
+        if i + 1 < bytes.len() && bytes[i + 1] == b'{' {
+            i += 2;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if j > i + 1 && !bytes[i + 1].is_ascii_digit() {
+            captures.push(literal[i + 1..j].to_owned());
+        }
+        i = j.max(i + 1);
+    }
+    captures
+}

@@ -1,0 +1,261 @@
+//! Per-file source model shared by every rule: the token stream, a
+//! code-token view (comments stripped), `#[cfg(test)]` / `#[test]`
+//! region marking, and waiver comments.
+
+use crate::lexer::{self, Token, TokenKind};
+
+/// Waiver syntax: `// lint: allow(<rule-key>) — <reason>`. The
+/// separator before the reason may be `—`, `–`, `-`, or `:`.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// The waived rule key (`panic`, `lock-order`, …), lowercase.
+    pub rule: String,
+    /// The stated reason; empty string when missing (itself a finding).
+    pub reason: String,
+}
+
+/// A `// lint:` comment that did not parse as a waiver.
+#[derive(Clone, Debug)]
+pub struct MalformedWaiver {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Why it did not parse.
+    pub problem: &'static str,
+}
+
+/// One analyzed source file.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Raw bytes (lexing is byte-based and lossy-safe).
+    pub bytes: Vec<u8>,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Parallel to `code`: whether that token is inside test-only code
+    /// (`#[cfg(test)]` item, `#[test]`/`#[bench]` fn, or a file under
+    /// a `tests/`, `benches/`, or `examples/` directory).
+    pub in_test: Vec<bool>,
+    /// Parsed waiver comments.
+    pub waivers: Vec<Waiver>,
+    /// `// lint:` comments that failed to parse.
+    pub malformed_waivers: Vec<MalformedWaiver>,
+}
+
+impl SourceFile {
+    /// Lexes and models one file. `path` should be workspace-relative.
+    #[must_use]
+    pub fn parse(path: &str, bytes: Vec<u8>) -> SourceFile {
+        let tokens = lexer::lex(&bytes);
+        let code: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+        let all_test = path_is_test(path);
+        let in_test = if all_test {
+            vec![true; code.len()]
+        } else {
+            mark_test_regions(&tokens, &code, &bytes)
+        };
+        let (waivers, malformed_waivers) = collect_waivers(&tokens, &bytes);
+        SourceFile {
+            path: path.to_owned(),
+            bytes,
+            tokens,
+            code,
+            in_test,
+            waivers,
+            malformed_waivers,
+        }
+    }
+
+    /// The text of token `tokens[i]`.
+    #[must_use]
+    pub fn text(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.bytes)
+    }
+
+    /// The code token at code-index `ci`.
+    #[must_use]
+    pub fn ct(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// The text of the code token at code-index `ci`.
+    #[must_use]
+    pub fn ct_text(&self, ci: usize) -> &str {
+        self.text(self.code[ci])
+    }
+
+    /// Whether code token `ci` is punctuation `p`.
+    #[must_use]
+    pub fn is_punct(&self, ci: usize, p: char) -> bool {
+        let t = self.ct(ci);
+        t.kind == TokenKind::Punct && self.ct_text(ci) == p.to_string().as_str()
+    }
+
+    /// Whether code token `ci` (if present) is punctuation `p`.
+    #[must_use]
+    pub fn punct_at(&self, ci: usize, p: char) -> bool {
+        ci < self.code.len() && self.is_punct(ci, p)
+    }
+}
+
+/// Files whose entire content is test/bench/example context.
+fn path_is_test(path: &str) -> bool {
+    path.split('/').any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Marks code tokens covered by `#[cfg(test)]` / `#[test]` /
+/// `#[bench]` items: from the attribute through the end of the
+/// following item (its matching `}` or, for brace-less items, `;`).
+fn mark_test_regions(tokens: &[Token], code: &[usize], bytes: &[u8]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let text = |ci: usize| tokens[code[ci]].text(bytes);
+    let is_p = |ci: usize, p: &str| tokens[code[ci]].kind == TokenKind::Punct && text(ci) == p;
+    let mut ci = 0usize;
+    while ci < code.len() {
+        if !is_p(ci, "#") || ci + 1 >= code.len() || !is_p(ci + 1, "[") {
+            ci += 1;
+            continue;
+        }
+        // Collect the attribute's tokens (balanced brackets).
+        let attr_start = ci;
+        let mut j = ci + 2;
+        let mut depth = 1usize;
+        let mut attr_idents: Vec<&str> = Vec::new();
+        while j < code.len() && depth > 0 {
+            if is_p(j, "[") {
+                depth += 1;
+            } else if is_p(j, "]") {
+                depth -= 1;
+            } else if tokens[code[j]].kind == TokenKind::Ident {
+                attr_idents.push(text(j));
+            }
+            j += 1;
+        }
+        let first = attr_idents.first().copied().unwrap_or("");
+        let is_test_attr = first == "test"
+            || first == "bench"
+            || (first == "cfg" && attr_idents.contains(&"test"));
+        if !is_test_attr {
+            ci = j;
+            continue;
+        }
+        // The attribute covers the next item: skip further attributes,
+        // then mark through the matching `}` of the first brace block,
+        // or through `;` for brace-less items (`#[cfg(test)] use …;`).
+        let mut k = j;
+        while k + 1 < code.len() && is_p(k, "#") && is_p(k + 1, "[") {
+            let mut d = 1usize;
+            k += 2;
+            while k < code.len() && d > 0 {
+                if is_p(k, "[") {
+                    d += 1;
+                } else if is_p(k, "]") {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        let mut end = k;
+        let mut brace_depth = 0usize;
+        while end < code.len() {
+            if is_p(end, "{") {
+                brace_depth += 1;
+            } else if is_p(end, "}") {
+                brace_depth = brace_depth.saturating_sub(1);
+                if brace_depth == 0 {
+                    end += 1;
+                    break;
+                }
+            } else if is_p(end, ";") && brace_depth == 0 {
+                end += 1;
+                break;
+            }
+            end += 1;
+        }
+        for slot in in_test.iter_mut().take(end.min(code.len())).skip(attr_start) {
+            *slot = true;
+        }
+        ci = end.max(j);
+    }
+    in_test
+}
+
+/// Extracts `// lint: allow(key) — reason` waivers from comments.
+fn collect_waivers(tokens: &[Token], bytes: &[u8]) -> (Vec<Waiver>, Vec<MalformedWaiver>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for tok in tokens.iter().filter(|t| t.is_comment()) {
+        let raw = tok.text(bytes);
+        let body =
+            raw.trim_start_matches('/').trim_start_matches('*').trim_start_matches('!').trim();
+        let Some(rest) = body.strip_prefix("lint:") else { continue };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            malformed.push(MalformedWaiver { line: tok.line, problem: "expected `allow(<rule>)`" });
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            malformed.push(MalformedWaiver { line: tok.line, problem: "unclosed `allow(`" });
+            continue;
+        };
+        let rule = args[..close].trim().to_ascii_lowercase();
+        let reason = args[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim()
+            .trim_end_matches("*/")
+            .trim()
+            .to_owned();
+        waivers.push(Waiver { line: tok.line, rule, reason });
+    }
+    (waivers, malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = b"fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let f = SourceFile::parse("crates/cas/src/x.rs", src.to_vec());
+        let unwraps: Vec<bool> = (0..f.code.len())
+            .filter(|&ci| f.ct_text(ci) == "unwrap")
+            .map(|ci| f.in_test[ci])
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        // Code after the module is live again.
+        let live2 = (0..f.code.len()).find(|&ci| f.ct_text(ci) == "live2").unwrap();
+        assert!(!f.in_test[live2]);
+    }
+
+    #[test]
+    fn test_fn_attr_marks_only_that_fn() {
+        let src = b"#[test]\nfn a() { p(); }\nfn b() { q(); }\n";
+        let f = SourceFile::parse("crates/cas/src/x.rs", src.to_vec());
+        let p = (0..f.code.len()).find(|&ci| f.ct_text(ci) == "p").unwrap();
+        let q = (0..f.code.len()).find(|&ci| f.ct_text(ci) == "q").unwrap();
+        assert!(f.in_test[p]);
+        assert!(!f.in_test[q]);
+    }
+
+    #[test]
+    fn files_under_tests_dir_are_all_test() {
+        let f = SourceFile::parse("tests/persistence.rs", b"fn f() { x.unwrap(); }".to_vec());
+        assert!(f.in_test.iter().all(|&t| t));
+    }
+
+    #[test]
+    fn waiver_parsing() {
+        let src = "// lint: allow(panic) — length checked above\n// lint: allow(secret)\n// lint: deny(panic)\n".as_bytes();
+        let f = SourceFile::parse("crates/cas/src/x.rs", src.to_vec());
+        assert_eq!(f.waivers.len(), 2);
+        assert_eq!(f.waivers[0].rule, "panic");
+        assert_eq!(f.waivers[0].reason, "length checked above");
+        assert_eq!(f.waivers[1].reason, "");
+        assert_eq!(f.malformed_waivers.len(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Workspace file discovery: walks the repository for `.rs` files,
+//! skipping build output, vendored stubs, VCS metadata, and the
+//! analyzer's own rule fixtures (which are violations on purpose).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", ".claude"];
+
+/// Collects workspace-relative paths of every `.rs` file under `root`,
+/// sorted for deterministic output.
+///
+/// # Errors
+///
+/// Propagates directory-read failures with the offending path.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    let entries = fs::read_dir(dir)
+        .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        let file_type = entry.file_type()?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if file_type.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, files)?;
+        } else if file_type.is_file() && name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            files.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}

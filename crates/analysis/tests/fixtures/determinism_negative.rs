@@ -1,0 +1,19 @@
+// Fixture: SA006 negatives, analyzed under a replay-scope path.
+
+fn replay(bytes: &[u8]) -> State {
+    // Timestamps that arrive *in the bytes* are fine — "Instant" and
+    // "SystemTime" in comments and strings are inert.
+    let stamp = u64::from_be_bytes(bytes[..8].try_into().unwrap_or_default());
+    State { stamp, label: "no Instant here" }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time_things() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: SA006 positives, analyzed under a replay-scope path.
+
+use std::time::{Instant, SystemTime}; // EXPECT: SA006 x2
+
+fn replay(bytes: &[u8]) -> State {
+    let started = Instant::now(); // EXPECT: SA006
+    let stamp = SystemTime::now(); // EXPECT: SA006
+    decode(bytes, started, stamp)
+}

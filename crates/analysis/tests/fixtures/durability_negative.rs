@@ -1,0 +1,28 @@
+// Fixture: SA003 negatives — correct ordering, and unannotated fns
+// are never checked.
+
+impl Server {
+    // invariant: journal-before-ack
+    fn journal_then_ack(&self, record: Record) -> Result<(), Error> {
+        self.store.append_journal(&record.bytes())?;
+        self.hub.publish(&record.bytes());
+        self.reply_tx.send(Reply::Ok)?;
+        Ok(())
+    }
+
+    // invariant: journal-before-ack
+    fn commit_counts_as_journal(&self, record: Record) -> Result<(), Error> {
+        self.pipe.commit(record)?;
+        self.reply_tx.send(Reply::Ok)?;
+        Ok(())
+    }
+
+    // Unannotated: send-before-journal here is some other fn's
+    // business (docs discussing `// invariant: journal-before-ack`
+    // do not bind either).
+    fn unannotated(&self, record: Record) -> Result<(), Error> {
+        self.reply_tx.send(Reply::Ok)?;
+        self.store.append_journal(&record.bytes())?;
+        Ok(())
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: SA003 positives. Findings for a missing or detached
+// journal call anchor on the annotation line itself, so those EXPECT
+// markers share the annotation's line.
+
+impl Server {
+    // invariant: journal-before-ack
+    fn ack_then_journal(&self, record: Record) -> Result<(), Error> {
+        self.reply_tx.send(Reply::Ok)?; // EXPECT: SA003
+        self.hub.publish(&record.bytes()); // EXPECT: SA003
+        self.store.append_journal(&record.bytes())?;
+        Ok(())
+    }
+
+    // invariant: journal-before-ack (EXPECT: SA003)
+    fn never_journals(&self, record: Record) -> Result<(), Error> {
+        self.reply_tx.try_send(Reply::Ok)?;
+        Ok(())
+    }
+}
+
+// invariant: journal-before-ack (EXPECT: SA003)
+const DETACHED: u32 = 0;

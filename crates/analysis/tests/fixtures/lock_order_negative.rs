@@ -1,0 +1,40 @@
+// Fixture: SA002 negatives — manifest-ordered nesting, scope-bounded
+// guards, explicit drops, and unranked locks. None may fire.
+
+fn ordered(&self) {
+    let journal = self.journal.lock();
+    let volume = self.volume.lock();
+    let shard = self.shards[0].write();
+    drop(shard);
+    drop(volume);
+    drop(journal);
+}
+
+fn sequential_not_nested(&self) {
+    {
+        let volume = self.volume.lock();
+        volume.flush();
+    }
+    let journal = self.journal.lock();
+    journal.sync();
+}
+
+fn released_by_drop(&self) {
+    let volume = self.volume.lock();
+    drop(volume);
+    let journal = self.journal.lock();
+    journal.sync();
+}
+
+fn temp_dies_at_statement_end(&self) {
+    self.volume.lock().flush();
+    let journal = self.journal.lock();
+    journal.sync();
+}
+
+fn unranked_is_invisible(&self) {
+    let scratch = self.scratch.lock();
+    let journal = self.journal.lock();
+    drop(journal);
+    drop(scratch);
+}

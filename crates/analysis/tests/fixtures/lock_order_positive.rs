@@ -1,0 +1,29 @@
+// Fixture: SA002 positives, checked against the fixture manifest
+// (10 journal / 20 volume / 30 shards,policies / 40 queue).
+
+fn inverted(&self) {
+    let volume = self.volume.lock();
+    let journal = self.journal.lock(); // EXPECT: SA002
+    drop(journal);
+    drop(volume);
+}
+
+fn same_class_nesting(&self, i: usize, j: usize) {
+    let a = self.shards[i].write();
+    let b = self.shards[j].write(); // EXPECT: SA002
+    drop(b);
+    drop(a);
+}
+
+fn alias_same_class(&self, i: usize) {
+    let a = self.shards[i].write();
+    let b = self.policies.read(); // EXPECT: SA002
+    drop(b);
+    drop(a);
+}
+
+fn inverted_through_temp(&self) {
+    let q = self.queue.lock();
+    self.volume.lock().flush(); // EXPECT: SA002
+    drop(q);
+}

@@ -1,0 +1,26 @@
+// Fixture: SA001 negatives — none of these may fire.
+
+fn serve(input: Option<u32>) -> Result<u32, ()> {
+    // unwrap_or / unwrap_or_else / unwrap_or_default are not unwrap.
+    let a = input.unwrap_or(0);
+    let b = input.unwrap_or_else(|| 1);
+    let c = input.unwrap_or_default();
+    // Strings and comments mentioning unwrap() or panic! are inert.
+    let s = "call unwrap() then panic!(now)";
+    /* x.unwrap(); panic!("in a comment") */
+    // A reasoned waiver suppresses the finding on the next line.
+    // lint: allow(panic) — fixture demonstrates a justified waiver
+    let d = input.unwrap();
+    let _ = s;
+    Ok(a + b + c + d)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        Option::<u32>::None.expect_err_is_fine();
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: SA001 positives. Analyzed under the virtual path
+// crates/cas/src/fixture.rs so the serving-path scope applies.
+// EXPECT lines name the rule and the line the finding anchors to.
+
+fn serve(input: Option<u32>) -> u32 {
+    let v = input.unwrap(); // EXPECT: SA001
+    let w = input.expect("configured"); // EXPECT: SA001
+    if v + w == 0 {
+        panic!("zero"); // EXPECT: SA001
+    }
+    if v > 100 {
+        unreachable!(); // EXPECT: SA001
+    }
+    todo!() // EXPECT: SA001
+}

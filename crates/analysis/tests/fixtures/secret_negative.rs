@@ -1,0 +1,36 @@
+// Fixture: SA005 negatives.
+
+// Non-secret types may derive freely.
+#[derive(Clone, Debug)]
+struct PublicParams {
+    modulus_bits: u32,
+}
+
+// Secret types with hand-written redacting impls are the sanctioned
+// pattern.
+struct AeadKey {
+    bytes: [u8; 32],
+}
+
+impl std::fmt::Debug for AeadKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AeadKey(redacted)")
+    }
+}
+
+fn fine(public_key: &[u8], key_fingerprint: &[u8], keyboard: &str) {
+    // public/fingerprint spellings are exempt; `keyboard` is not a
+    // `key` ident; method calls are not value idents.
+    println!("peer {:x?} fp {:x?}", public_key, key_fingerprint);
+    println!("layout {keyboard}");
+    println!("rule {}", rule.key());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_assert_on_keys() {
+        let key = [0u8; 32];
+        assert_eq!(key, [0u8; 32], "mismatch: {:?}", key);
+    }
+}

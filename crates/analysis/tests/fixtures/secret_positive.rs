@@ -1,0 +1,18 @@
+// Fixture: SA005 positives.
+
+#[derive(Clone, Debug)] // EXPECT: SA005
+struct AeadKey {
+    bytes: [u8; 32],
+}
+
+#[derive(Debug, Display)] // EXPECT: SA005 x2
+struct RsaPrivateKey {
+    d: Vec<u8>,
+}
+
+fn log_key(key: &[u8], volume_key: &[u8], shared_secret: &[u8]) {
+    println!("key bytes: {:?}", key); // EXPECT: SA005
+    let msg = format!("volume {:x?}", volume_key); // EXPECT: SA005
+    eprintln!("derived {shared_secret:?}"); // EXPECT: SA005
+    let _ = msg;
+}

@@ -1,0 +1,11 @@
+// Fixture: SA004 negatives under the whitelisted island path.
+
+fn documented(ptr: *const u8) -> u8 {
+    // SAFETY: caller guarantees ptr is valid for one byte.
+    unsafe { *ptr }
+}
+
+fn mentions_only(s: &str) -> bool {
+    // The word unsafe in comments and strings is inert.
+    s == "unsafe"
+}

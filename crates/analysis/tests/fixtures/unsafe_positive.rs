@@ -1,0 +1,13 @@
+// Fixture: SA004 positives, analyzed under the whitelisted island
+// path. (The driver also re-analyzes unsafe_negative.rs under a
+// non-island path, where even a documented `unsafe` fires.)
+
+fn undocumented(ptr: *const u8) -> u8 {
+    // A nearby comment without the marker does not count.
+    unsafe { *ptr } // EXPECT: SA004
+}
+
+fn documented(ptr: *const u8) -> u8 {
+    // SAFETY: caller guarantees ptr is valid for one byte.
+    unsafe { *ptr }
+}

@@ -1,0 +1,20 @@
+// Fixture: SA000 waiver hygiene, analyzed under a serving path.
+
+fn used_with_reason(input: Option<u32>) -> u32 {
+    // lint: allow(panic) — fixture: justified waiver, no SA000
+    input.unwrap()
+}
+
+// lint: allow(panic) — EXPECT: SA000 (this waiver matches nothing)
+fn stale() {}
+
+fn empty_reason(input: Option<u32>) -> u32 {
+    // lint: allow(panic)
+    input.unwrap() // EXPECT@-1: SA000
+}
+
+// lint: allow(spooky) — EXPECT: SA000 (unknown rule key)
+fn unknown_rule() {}
+
+// lint: deny(panic) EXPECT: SA000 (malformed: not allow())
+fn malformed() {}

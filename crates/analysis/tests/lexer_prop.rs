@@ -1,0 +1,84 @@
+//! Property tests for the lexer: it must never panic, must produce
+//! in-bounds ordered spans, and must classify strings and comments
+//! correctly on arbitrary byte soup — the analyzer runs on every file
+//! in the tree, so a lexer crash would take the whole gate down with
+//! it.
+
+use proptest::prelude::*;
+use sinclave_analysis::lexer::{lex, TokenKind};
+
+/// Bytes weighted toward the characters that drive lexer state
+/// transitions (quotes, slashes, stars, hashes, escapes), plus raw
+/// ASCII and arbitrary high bytes.
+fn lexer_soup() -> impl Strategy<Value = Vec<u8>> {
+    let byte =
+        prop_oneof![proptest::sample::select(b"\"'/*#rb\\\n{}().; \t".to_vec()), any::<u8>(),];
+    proptest::collection::vec(byte, 0..200)
+}
+
+proptest! {
+    #[test]
+    fn never_panics_and_spans_are_sane(bytes in lexer_soup()) {
+        let tokens = lex(&bytes);
+        let mut prev_end = 0usize;
+        for tok in &tokens {
+            prop_assert!(tok.start < tok.end, "empty span");
+            prop_assert!(tok.end <= bytes.len(), "span out of bounds");
+            prop_assert!(tok.start >= prev_end, "overlapping or unordered spans");
+            prev_end = tok.end;
+        }
+    }
+
+    #[test]
+    fn gaps_between_tokens_are_whitespace(bytes in lexer_soup()) {
+        let tokens = lex(&bytes);
+        let mut covered = vec![false; bytes.len()];
+        for tok in &tokens {
+            for slot in &mut covered[tok.start..tok.end] {
+                *slot = true;
+            }
+        }
+        for (i, &b) in bytes.iter().enumerate() {
+            if !covered[i] {
+                prop_assert!(
+                    b.is_ascii_whitespace(),
+                    "uncovered non-whitespace byte {b:#x} at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_monotone(bytes in lexer_soup()) {
+        let tokens = lex(&bytes);
+        let mut prev = 1u32;
+        for tok in &tokens {
+            prop_assert!(tok.line >= prev, "line numbers went backwards");
+            prev = tok.line;
+        }
+    }
+
+    #[test]
+    fn code_inside_strings_never_tokenizes(payload in "[a-z_]{1,10}") {
+        // Whatever identifier we embed in a string literal, it must
+        // come back as one Str token, never as an Ident.
+        let src = format!("let x = \"{payload}.unwrap()\";");
+        let bytes = src.as_bytes();
+        let idents: Vec<&str> = lex(bytes)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(bytes))
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "x"]);
+    }
+
+    #[test]
+    fn comments_swallow_their_content(payload in "[a-z_]{1,10}") {
+        let src = format!("a /* {payload}() */ b // {payload}!\n");
+        let bytes = src.as_bytes();
+        let (code, comments): (Vec<_>, Vec<_>) =
+            lex(bytes).into_iter().partition(|t| !t.is_comment());
+        prop_assert_eq!(code.len(), 2, "expected exactly `a` and `b`");
+        prop_assert_eq!(comments.len(), 2, "expected one block + one line comment");
+    }
+}

@@ -35,7 +35,7 @@ use crate::server::CasStats;
 use sinclave::journal_record::{encode_batch, JournalRecord, SequencedRecord};
 use sinclave::SinclaveError;
 use std::sync::atomic::Ordering;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// A flushed batch whose append failed, kept until every committer
 /// waiting on it has read the verdict. Needed because a *later* batch
@@ -110,7 +110,9 @@ impl CommitPipe {
     /// Continues the sequence after a journal replay: the next durable
     /// record gets `last_replayed + 1`. Call before any commit.
     pub fn resume_after(&self, last_replayed: u64) {
-        self.state.lock().expect("commit pipe poisoned").durable_seq = last_replayed;
+        // Recovering a poisoned guard is sound here: the sequence
+        // cursor is overwritten wholesale, not read-modify-written.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).durable_seq = last_replayed;
     }
 
     /// The last sequence number durably on disk. Deployments witness
@@ -119,7 +121,7 @@ impl CommitPipe {
     /// deleting the journal's committed tail — which would otherwise
     /// be indistinguishable from a clean journal end.
     pub fn sequence(&self) -> u64 {
-        self.state.lock().expect("commit pipe poisoned").durable_seq
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).durable_seq
     }
 
     /// The verdict for `ticket` once its batch has completed:
@@ -160,7 +162,13 @@ impl CommitPipe {
         stats: &CasStats,
         append: impl Fn(&[u8]) -> Result<(), SinclaveError>,
     ) -> Result<(), SinclaveError> {
-        let mut state = self.state.lock().expect("commit pipe poisoned");
+        // A poisoned pipe degrades to a refused commit: the caller
+        // reports it to the middleware chain, the circuit breaker
+        // opens, and the server sheds load instead of aborting.
+        let mut state = self
+            .state
+            .lock()
+            .map_err(|_| SinclaveError::JournalInvalid { context: "commit pipe poisoned" })?;
         let ticket = state.next_ticket;
         state.next_ticket += 1;
         state.pending.push((ticket, record));
@@ -169,7 +177,9 @@ impl CommitPipe {
                 return verdict;
             }
             if state.flushing {
-                state = self.flushed.wait(state).expect("commit pipe poisoned");
+                state = self.flushed.wait(state).map_err(|_| SinclaveError::JournalInvalid {
+                    context: "commit pipe poisoned",
+                })?;
                 continue;
             }
             // Become the leader for whatever has accumulated. In
@@ -191,8 +201,12 @@ impl CommitPipe {
                 .collect();
             drop(state);
             let result = append(&encode_batch(&records));
+            // lint: allow(panic) — batch holds at least the leader's own record
             let (first, last) = (batch[0].0, batch.last().expect("non-empty batch").0);
-            state = self.state.lock().expect("commit pipe poisoned");
+            // Re-locking must not bail out early: `flushing` is ours to
+            // clear and the waiters are ours to wake, so recover the
+            // guard even if another thread poisoned the mutex.
+            state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             state.flushing = false;
             state.completed = last;
             if result.is_ok() {

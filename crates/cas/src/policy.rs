@@ -76,14 +76,17 @@ impl SessionPolicy {
             Ok(h)
         }
         fn get(c: &mut &[u8]) -> Result<Vec<u8>, sinclave::SinclaveError> {
-            let len = u32::from_be_bytes(take(c, 4)?.try_into().expect("4")) as usize;
+            let len =
+                u32::from_be_bytes(take(c, 4)?.try_into().map_err(|_| ProtocolDecode)?) as usize;
             Ok(take(c, len)?.to_vec())
         }
         let mut c = bytes;
         let config_id = String::from_utf8(get(&mut c)?).map_err(|_| ProtocolDecode)?;
-        let expected_common = Measurement(Digest(take(&mut c, 32)?.try_into().expect("32")));
-        let expected_mrsigner = Digest(take(&mut c, 32)?.try_into().expect("32"));
-        let min_isv_svn = u16::from_be_bytes(take(&mut c, 2)?.try_into().expect("2"));
+        let expected_common =
+            Measurement(Digest(take(&mut c, 32)?.try_into().map_err(|_| ProtocolDecode)?));
+        let expected_mrsigner = Digest(take(&mut c, 32)?.try_into().map_err(|_| ProtocolDecode)?);
+        let min_isv_svn =
+            u16::from_be_bytes(take(&mut c, 2)?.try_into().map_err(|_| ProtocolDecode)?);
         let allow_debug = match take(&mut c, 1)?[0] {
             0 => false,
             1 => true,

@@ -263,6 +263,7 @@ fn run_reactor(
                 id,
                 server,
                 chain: chain.clone(),
+                // lint: allow(panic) — pollers was constructed with exactly `loops` elements
                 poller: pollers.next().expect("one poller per loop"),
                 inbox: inboxes[id].clone(),
                 jobs: job_tx.clone(),
@@ -566,6 +567,7 @@ fn step_conn(
                 Err(_) => return Step::Close,
             };
             state.last_activity = Instant::now();
+            // lint: allow(panic) — phase variant pinned by the enclosing match arm
             let Phase::Handshake { machine, rng } = &mut state.phase else { unreachable!() };
             // Handshake flights stay on the loop: KEM decapsulation is
             // micro-scale next to the RSA work the compute pool
@@ -578,6 +580,7 @@ fn step_conn(
                     let Phase::Handshake { rng, .. } =
                         std::mem::replace(&mut state.phase, Phase::Busy)
                     else {
+                        // lint: allow(panic) — phase variant pinned by the enclosing match arm
                         unreachable!()
                     };
                     state.phase = Phase::Idle(Box::new(Session {
@@ -612,6 +615,7 @@ fn step_conn(
                     None => {
                         let Phase::Idle(session) = std::mem::replace(&mut state.phase, Phase::Busy)
                         else {
+                            // lint: allow(panic) — phase variant pinned by the enclosing match arm
                             unreachable!()
                         };
                         return if jobs.send(Job { loop_id, token, message, session }).is_err() {

@@ -93,7 +93,7 @@ use sinclave_net::{Backoff, Connection, NetError, Network, SecureChannel};
 use sinclave_sgx::measurement::Measurement;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -123,11 +123,15 @@ impl Subscriber {
     /// The next queued batch, or `None` after `timeout` with an empty
     /// queue (the session sends a heartbeat and asks again).
     fn next(&self, timeout: Duration) -> Option<Vec<u8>> {
-        let queue = self.queue.lock().expect("subscriber queue poisoned");
+        // A poisoned queue degrades to "nothing queued": the session
+        // heartbeats and retries rather than unwinding the follower's
+        // stream thread. The queue itself is a VecDeque of complete
+        // payloads, so a recovered guard never exposes a torn value.
+        let queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
         let (mut queue, _timed_out) = self
             .ready
             .wait_timeout_while(queue, timeout, |queue| queue.is_empty())
-            .expect("subscriber queue poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
         queue.pop_front()
     }
 }
@@ -170,7 +174,14 @@ impl ReplicationHub {
         let mut subscribers = self.subscribers.lock();
         subscribers.retain(|s| !s.closed.load(Ordering::Relaxed));
         for subscriber in subscribers.iter() {
-            subscriber.queue.lock().expect("subscriber queue poisoned").push_back(payload.to_vec());
+            // Publishing runs inside the commit pipe's serialized
+            // flush; a poisoned per-subscriber queue must not take the
+            // whole fan-out down, so recover the guard and keep going.
+            subscriber
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(payload.to_vec());
             subscriber.ready.notify_one();
         }
     }

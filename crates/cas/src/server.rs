@@ -984,6 +984,7 @@ impl CasServer {
     /// batch or a sequence gap (counted in
     /// [`CasStats::replication_frames_rejected`] for damage);
     /// propagates append failures.
+    // invariant: journal-before-ack
     pub fn apply_replicated_batch(&self, payload: &[u8]) -> Result<u64, SinclaveError> {
         let batch = decode_batch(payload);
         if batch.damaged.is_some() {
@@ -1171,6 +1172,7 @@ impl CasServer {
     /// commit here, so a deposed primary that kept serving through a
     /// partition cannot make a write durable — and therefore cannot
     /// ack it.
+    // invariant: journal-before-ack
     fn commit_record(&self, record: JournalRecord) -> Result<(), SinclaveError> {
         if self.is_fenced() {
             self.stats.writes_fenced.fetch_add(1, Ordering::Relaxed);
@@ -1213,6 +1215,7 @@ impl CasServer {
     ///   measurement-mismatched token.
     /// * [`SinclaveError::JournalInvalid`] — the durable append
     ///   failed; the redemption must not be acked.
+    // invariant: journal-before-ack
     pub fn redeem_token(
         &self,
         token: &AttestationToken,
@@ -1402,7 +1405,9 @@ impl CasServer {
                 }
             };
             drop(reply_tx);
-            let written = writer.join().expect("reply writer");
+            // A panicked writer thread is reported as a transport
+            // failure on this connection, not an abort of the server.
+            let written = writer.join().unwrap_or(Err(NetError::Disconnected));
             received.and(written)
         })
     }
@@ -1479,6 +1484,7 @@ impl CasServer {
         match message {
             Message::Ping => {
                 if self.panic_on_next_ping.swap(false, Ordering::Relaxed) {
+                    // lint: allow(panic) — test hook, armed only by crash-recovery tests
                     panic!("test-armed dispatch panic");
                 }
                 Message::Pong

@@ -307,6 +307,7 @@ impl CasStore {
     ///
     /// Returns [`SinclaveError::JournalInvalid`] if the journal was
     /// never recovered or the volume refuses the append.
+    // invariant: journal-before-ack
     pub fn append_journal(&self, payload: &[u8]) -> Result<(), SinclaveError> {
         let mut slot = self.journal.lock();
         let journal = slot

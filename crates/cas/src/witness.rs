@@ -76,8 +76,12 @@ impl SealedWitness {
                 let raw: [u8; 16] =
                     bytes.as_slice().try_into().map_err(|_| SinclaveError::ProtocolDecode)?;
                 Ok(WitnessMark {
-                    generation: u64::from_be_bytes(raw[..8].try_into().expect("8")),
-                    sequence: u64::from_be_bytes(raw[8..].try_into().expect("8")),
+                    generation: u64::from_be_bytes(
+                        raw[..8].try_into().map_err(|_| SinclaveError::ProtocolDecode)?,
+                    ),
+                    sequence: u64::from_be_bytes(
+                        raw[8..].try_into().map_err(|_| SinclaveError::ProtocolDecode)?,
+                    ),
                 })
             }
             Err(sinclave_fs::FsError::NotFound { .. }) => Ok(WitnessMark::default()),

@@ -146,8 +146,12 @@ impl BaseEnclaveHash {
             return Err(SinclaveError::ProtocolDecode);
         }
         let state = Sha256State::decode(&bytes[..40]).map_err(|_| SinclaveError::ProtocolDecode)?;
-        let enclave_size = u64::from_be_bytes(bytes[40..48].try_into().expect("8"));
-        let instance_page_offset = u64::from_be_bytes(bytes[48..56].try_into().expect("8"));
+        let enclave_size = u64::from_be_bytes(
+            bytes[40..48].try_into().map_err(|_| SinclaveError::ProtocolDecode)?,
+        );
+        let instance_page_offset = u64::from_be_bytes(
+            bytes[48..56].try_into().map_err(|_| SinclaveError::ProtocolDecode)?,
+        );
         Ok(BaseEnclaveHash { state, enclave_size, instance_page_offset })
     }
 }

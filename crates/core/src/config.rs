@@ -86,14 +86,18 @@ impl AppConfig {
             Ok(head)
         }
         fn get(cursor: &mut &[u8]) -> Result<Vec<u8>, SinclaveError> {
-            let len = u32::from_be_bytes(take(cursor, 4)?.try_into().expect("4")) as usize;
+            let len = u32::from_be_bytes(
+                take(cursor, 4)?.try_into().map_err(|_| SinclaveError::ProtocolDecode)?,
+            ) as usize;
             Ok(take(cursor, len)?.to_vec())
         }
         fn get_string(cursor: &mut &[u8]) -> Result<String, SinclaveError> {
             String::from_utf8(get(cursor)?).map_err(|_| SinclaveError::ProtocolDecode)
         }
         fn get_count(cursor: &mut &[u8]) -> Result<usize, SinclaveError> {
-            Ok(u32::from_be_bytes(take(cursor, 4)?.try_into().expect("4")) as usize)
+            Ok(u32::from_be_bytes(
+                take(cursor, 4)?.try_into().map_err(|_| SinclaveError::ProtocolDecode)?,
+            ) as usize)
         }
 
         let mut cursor = bytes;
@@ -108,7 +112,9 @@ impl AppConfig {
         }
         let volume_key = match take(&mut cursor, 1)?[0] {
             0 => None,
-            1 => Some(take(&mut cursor, 32)?.try_into().expect("32")),
+            1 => {
+                Some(take(&mut cursor, 32)?.try_into().map_err(|_| SinclaveError::ProtocolDecode)?)
+            }
             _ => return Err(SinclaveError::ProtocolDecode),
         };
         let mut secrets = Vec::new();

@@ -194,12 +194,21 @@ impl SequencedRecord {
         if bytes[..4] != RECORD_MAGIC {
             return reject("bad record magic");
         }
-        let version = u16::from_be_bytes(bytes[4..6].try_into().expect("2"));
+        let version =
+            u16::from_be_bytes(bytes[4..6].try_into().map_err(|_| {
+                SinclaveError::JournalInvalid { context: "truncated record header" }
+            })?);
         if version != RECORD_VERSION {
             return reject("unsupported record version");
         }
-        let seq = u64::from_be_bytes(bytes[6..14].try_into().expect("8"));
-        let body_len = u32::from_be_bytes(bytes[14..18].try_into().expect("4")) as usize;
+        let seq =
+            u64::from_be_bytes(bytes[6..14].try_into().map_err(|_| {
+                SinclaveError::JournalInvalid { context: "truncated record header" }
+            })?);
+        let body_len =
+            u32::from_be_bytes(bytes[14..18].try_into().map_err(|_| {
+                SinclaveError::JournalInvalid { context: "truncated record header" }
+            })?) as usize;
         let total = RECORD_HEADER_LEN
             .checked_add(body_len)
             .and_then(|n| n.checked_add(RECORD_CHECKSUM_LEN))

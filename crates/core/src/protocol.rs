@@ -112,7 +112,8 @@ fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 
 fn get_bytes(cursor: &mut &[u8]) -> Result<Vec<u8>, SinclaveError> {
     let len_bytes = take(cursor, 4)?;
-    let len = u32::from_be_bytes(len_bytes.try_into().expect("4")) as usize;
+    let len = u32::from_be_bytes(len_bytes.try_into().map_err(|_| SinclaveError::ProtocolDecode)?)
+        as usize;
     Ok(take(cursor, len)?.to_vec())
 }
 
@@ -195,10 +196,11 @@ impl Message {
                 base_hash: get_bytes(&mut cursor)?,
             },
             TAG_GRANT_RESP => {
-                let token_bytes: [u8; TOKEN_LEN] =
-                    take(&mut cursor, TOKEN_LEN)?.try_into().expect("token");
+                let token_bytes: [u8; TOKEN_LEN] = take(&mut cursor, TOKEN_LEN)?
+                    .try_into()
+                    .map_err(|_| SinclaveError::ProtocolDecode)?;
                 let verifier_identity: [u8; 32] =
-                    take(&mut cursor, 32)?.try_into().expect("identity");
+                    take(&mut cursor, 32)?.try_into().map_err(|_| SinclaveError::ProtocolDecode)?;
                 Message::GrantResponse {
                     token: AttestationToken(token_bytes),
                     verifier_identity,
@@ -207,8 +209,9 @@ impl Message {
             }
             TAG_ATTEST_REQ => {
                 let quote = get_bytes(&mut cursor)?;
-                let token_bytes: [u8; TOKEN_LEN] =
-                    take(&mut cursor, TOKEN_LEN)?.try_into().expect("token");
+                let token_bytes: [u8; TOKEN_LEN] = take(&mut cursor, TOKEN_LEN)?
+                    .try_into()
+                    .map_err(|_| SinclaveError::ProtocolDecode)?;
                 let config_id = String::from_utf8(get_bytes(&mut cursor)?)
                     .map_err(|_| SinclaveError::ProtocolDecode)?;
                 Message::AttestRequest { quote, token: AttestationToken(token_bytes), config_id }
@@ -219,9 +222,11 @@ impl Message {
                     .map_err(|_| SinclaveError::ProtocolDecode)?,
             },
             TAG_CONFIG_RESP => Message::ConfigResponse { config: get_bytes(&mut cursor)? },
-            TAG_CHALLENGE => {
-                Message::Challenge { nonce: take(&mut cursor, 16)?.try_into().expect("nonce") }
-            }
+            TAG_CHALLENGE => Message::Challenge {
+                nonce: take(&mut cursor, 16)?
+                    .try_into()
+                    .map_err(|_| SinclaveError::ProtocolDecode)?,
+            },
             TAG_CHALLENGE_REQ => Message::ChallengeRequest,
             TAG_DENIED => Message::Denied {
                 reason: String::from_utf8(get_bytes(&mut cursor)?)

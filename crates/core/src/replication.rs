@@ -323,11 +323,16 @@ impl ReplicationFrame {
         if bytes[..4] != FRAME_MAGIC {
             return reject("bad frame magic");
         }
-        let version = u16::from_be_bytes(bytes[4..6].try_into().expect("2"));
+        let version = u16::from_be_bytes(bytes[4..6].try_into().map_err(|_| {
+            SinclaveError::ReplicationInvalid { context: "truncated frame header" }
+        })?);
         if version != FRAME_VERSION {
             return reject("unsupported frame version");
         }
-        let body_len = u32::from_be_bytes(bytes[6..10].try_into().expect("4")) as usize;
+        let body_len =
+            u32::from_be_bytes(bytes[6..10].try_into().map_err(|_| {
+                SinclaveError::ReplicationInvalid { context: "truncated frame header" }
+            })?) as usize;
         let total = FRAME_HEADER_LEN
             .checked_add(body_len)
             .and_then(|n| n.checked_add(FRAME_CHECKSUM_LEN))

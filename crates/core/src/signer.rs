@@ -129,6 +129,7 @@ pub fn sign_enclaves(
                 })
             })
             .collect();
+        // lint: allow(panic) — join() fails only if a worker panicked; propagating it is intended
         handles.into_iter().map(|h| h.join().expect("measurement worker")).collect()
     });
     let mut signed = Vec::with_capacity(layouts.len());

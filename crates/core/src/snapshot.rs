@@ -240,11 +240,19 @@ impl IssuerSnapshot {
         if bytes[..8] != SNAPSHOT_MAGIC {
             return reject("bad magic");
         }
-        let version = u16::from_be_bytes(bytes[8..10].try_into().expect("2"));
+        let version = u16::from_be_bytes(
+            bytes[8..10]
+                .try_into()
+                .map_err(|_| SinclaveError::SnapshotInvalid { context: "truncated header" })?,
+        );
         if version != SNAPSHOT_VERSION {
             return reject("unsupported version");
         }
-        let body_len = u32::from_be_bytes(bytes[10..14].try_into().expect("4")) as usize;
+        let body_len = u32::from_be_bytes(
+            bytes[10..14]
+                .try_into()
+                .map_err(|_| SinclaveError::SnapshotInvalid { context: "truncated header" })?,
+        ) as usize;
         if body_len != bytes.len() - HEADER_LEN - CHECKSUM_LEN {
             return reject("length mismatch");
         }

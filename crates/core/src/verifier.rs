@@ -313,6 +313,7 @@ impl SingletonIssuer {
                             })
                         })
                         .collect();
+                    // lint: allow(panic) — join() fails only if a worker panicked; propagating it is intended
                     handles.into_iter().map(|h| h.join().expect("signing worker")).collect()
                 });
             for result in chunks {

@@ -432,6 +432,9 @@ mod shani {
     };
 
     #[inline(always)]
+    // SAFETY: callers pass `group < 16`, so the 16-byte read at
+    // `K[group * 4]` stays inside K's 64 entries; `_mm_loadu_si128`
+    // tolerates the unaligned pointer.
     unsafe fn load_k(group: usize) -> __m128i {
         _mm_loadu_si128(K.as_ptr().add(group * 4).cast())
     }
@@ -442,6 +445,9 @@ mod shani {
     ///
     /// The CPU must support the `sha`, `ssse3` and `sse4.1` features.
     #[target_feature(enable = "sha,ssse3,sse4.1")]
+    // SAFETY: the caller contract above requires sha/ssse3/sse4.1,
+    // which [`super::Backend`] probes before dispatching here; all
+    // loads/stores use unaligned intrinsics on in-bounds pointers.
     pub(super) unsafe fn compress_blocks(h: &mut [u32; 8], blocks: &[u8]) {
         // Byte shuffle turning the big-endian message into u32 lanes.
         let mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);

@@ -693,7 +693,9 @@ impl Volume {
             Ok(head)
         }
         fn get<'a>(cursor: &mut &'a [u8]) -> Result<&'a [u8], FsError> {
-            let len = u32::from_be_bytes(take(cursor, 4)?.try_into().expect("4")) as usize;
+            let len =
+                u32::from_be_bytes(take(cursor, 4)?.try_into().map_err(|_| FsError::InvalidPath)?)
+                    as usize;
             take(cursor, len)
         }
         let mut cursor = bytes;
@@ -702,14 +704,22 @@ impl Volume {
         }
         let label =
             String::from_utf8(get(&mut cursor)?.to_vec()).map_err(|_| FsError::InvalidPath)?;
-        let manifest_version = u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
-        let next_file_id = u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
+        let manifest_version =
+            u64::from_be_bytes(take(&mut cursor, 8)?.try_into().map_err(|_| FsError::InvalidPath)?);
+        let next_file_id =
+            u64::from_be_bytes(take(&mut cursor, 8)?.try_into().map_err(|_| FsError::InvalidPath)?);
         let superblock = get(&mut cursor)?.to_vec();
-        let chunk_count = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4")) as usize;
+        let chunk_count =
+            u32::from_be_bytes(take(&mut cursor, 4)?.try_into().map_err(|_| FsError::InvalidPath)?)
+                as usize;
         let mut chunks = BTreeMap::new();
         for _ in 0..chunk_count {
-            let file_id = u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("8"));
-            let idx = u32::from_be_bytes(take(&mut cursor, 4)?.try_into().expect("4"));
+            let file_id = u64::from_be_bytes(
+                take(&mut cursor, 8)?.try_into().map_err(|_| FsError::InvalidPath)?,
+            );
+            let idx = u32::from_be_bytes(
+                take(&mut cursor, 4)?.try_into().map_err(|_| FsError::InvalidPath)?,
+            );
             let data = get(&mut cursor)?.to_vec();
             chunks.insert((file_id, idx), data);
         }

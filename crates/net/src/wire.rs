@@ -111,7 +111,7 @@ macro_rules! impl_int {
 
             fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
                 let bytes = reader.take(std::mem::size_of::<$t>())?;
-                Ok(<$t>::from_be_bytes(bytes.try_into().expect("sized take")))
+                Ok(<$t>::from_be_bytes(bytes.try_into().map_err(|_| NetError::Decode { context: "sized take" })?))
             }
         }
     )*};
@@ -173,7 +173,7 @@ impl<const N: usize> Decode for [u8; N] {
 
     fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
         let bytes = reader.take(N)?;
-        Ok(bytes.try_into().expect("sized take"))
+        bytes.try_into().map_err(|_| NetError::Decode { context: "sized take" })
     }
 }
 

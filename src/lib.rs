@@ -13,6 +13,8 @@
 //! * [`cas`] — the verifier (Configuration and Attestation Service)
 //! * [`attack`] — the remote-attestation reuse attack
 
+#![forbid(unsafe_code)]
+
 pub use sinclave as core;
 pub use sinclave_attack as attack;
 pub use sinclave_cas as cas;
