@@ -789,6 +789,119 @@ fn bench_replication(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_status(c: &mut Criterion) {
+    use sinclave::protocol::Message;
+    use sinclave_bench::{fan_in_burst, BenchWorld, ServePath};
+    use sinclave_cas::{serve_status, MiddlewareConfig};
+    use sinclave_net::SecureChannel;
+    use sinclave_runtime::ProgramImage;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // Gate 1 — the views are live and correct under real traffic. One
+    // grant's worth of load must show up in all three views, over both
+    // transports (plaintext probe and protocol opcode), and the
+    // drain-then-persist shutdown must leave exactly one snapshot.
+    {
+        let world = BenchWorld::new(0xaca);
+        let packaged = world.package(&ProgramImage::interpreter("python-3.8", 8));
+        let status = serve_status(&world.cas, &world.network, "cas:abl-status", 8);
+        let server = world.cas.serve(&world.network, "cas:abl-stat-srv", 1, 0xd5);
+        let conn = world.network.connect("cas:abl-stat-srv").expect("connect");
+        let mut rng = StdRng::seed_from_u64(0xd6);
+        let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+        chan.send(
+            &Message::GrantRequest {
+                common_sigstruct: packaged.signed.common_sigstruct.to_bytes(),
+                base_hash: packaged.signed.base_hash.encode().to_vec(),
+            }
+            .to_bytes(),
+        )
+        .expect("send");
+        let reply = Message::from_bytes(&chan.recv().expect("recv")).expect("decode");
+        assert!(matches!(reply, Message::GrantResponse { .. }), "got {reply:?}");
+        // Same views over the regular protocol.
+        chan.send(&Message::StatusRequest { view: "health".into() }.to_bytes()).expect("send");
+        let reply = Message::from_bytes(&chan.recv().expect("recv")).expect("decode");
+        let Message::StatusResponse { body } = reply else { panic!("expected status, {reply:?}") };
+        assert!(body.starts_with("status: healthy\n"), "{body}");
+        drop(chan);
+        server.join().expect("serve");
+
+        let probe = |view: &str| -> String {
+            let conn = world.network.connect("cas:abl-status").expect("probe connect");
+            conn.send(view.as_bytes().to_vec()).expect("probe send");
+            String::from_utf8(conn.recv().expect("probe recv")).expect("utf-8 body")
+        };
+        assert!(probe("health").starts_with("status: healthy\n"));
+        assert!(probe("metrics").contains("\ncas_grants_issued 1\n"));
+        let histograms = probe("histograms");
+        for stage in ["verify", "sign", "seal", "journal_flush", "request"] {
+            assert!(
+                !histograms.contains(&format!("{stage} count=0 ")),
+                "stage {stage} recorded nothing:\n{histograms}"
+            );
+        }
+        world.cas.shutdown().expect("shutdown");
+        status.join().expect("status listener drains");
+        assert_eq!(world.cas.stats.snapshot().snapshot_persisted, 1);
+    }
+
+    // The measurement — operability must be nearly free. The same
+    // mostly-idle fan-in burst with the status plane dark versus lit
+    // (listener up, one probe connection cycling all three views the
+    // whole time). The instrumentation itself — per-stage histogram
+    // records — is always on, so "dark" already pays it; "lit" adds
+    // the rendering load. The acceptance bar is <1% throughput cost;
+    // criterion's report is the evidence (a hard assert on wall-clock
+    // deltas would be flaky on shared CI hardware).
+    const CONNECTIONS: usize = 256;
+    const PINGS: usize = 4;
+    let path = ServePath::Reactor { loops: 2, compute: 2 };
+    let world = BenchWorld::new(0xacb);
+    world.cas.set_middleware(MiddlewareConfig {
+        handshake_timeout: Some(Duration::from_secs(600)),
+        idle_timeout: Some(Duration::from_secs(600)),
+        ..MiddlewareConfig::default()
+    });
+    let mut group = c.benchmark_group("ablation/status");
+    group.throughput(Throughput::Elements((CONNECTIONS * PINGS) as u64));
+    group.measurement_time(std::time::Duration::from_millis(150));
+    let round = AtomicU64::new(0);
+    group.bench_function("fan-in-status-dark", |b| {
+        b.iter(|| {
+            let seed = 0xe400 + round.fetch_add(1, Ordering::Relaxed);
+            fan_in_burst(&world, "cas:abl-sd", CONNECTIONS, PINGS, &path, seed);
+        });
+    });
+    group.bench_function("fan-in-status-lit", |b| {
+        b.iter(|| {
+            let seed = 0xe500 + round.fetch_add(1, Ordering::Relaxed);
+            let status = serve_status(&world.cas, &world.network, "cas:abl-sl", 1);
+            let stop = Arc::new(AtomicBool::new(false));
+            let prober = {
+                let stop = Arc::clone(&stop);
+                let network = world.network.clone();
+                std::thread::spawn(move || {
+                    let conn = network.connect("cas:abl-sl").expect("probe connect");
+                    while !stop.load(Ordering::Relaxed) {
+                        for view in ["health", "metrics", "histograms"] {
+                            conn.send(view.as_bytes().to_vec()).expect("probe send");
+                            conn.recv().expect("probe recv");
+                        }
+                    }
+                })
+            };
+            fan_in_burst(&world, "cas:abl-sl-fan", CONNECTIONS, PINGS, &path, seed);
+            stop.store(true, Ordering::Relaxed);
+            prober.join().expect("prober");
+            status.join().expect("status listener retires");
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     ablations,
     bench_prediction_vs_remeasure,
@@ -801,6 +914,7 @@ criterion_group!(
     bench_warm_restart,
     bench_journal,
     bench_reactor,
-    bench_replication
+    bench_replication,
+    bench_status
 );
 criterion_main!(ablations);

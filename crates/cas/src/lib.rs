@@ -32,21 +32,30 @@
 //! * [`witness`] — the sealed monotonic rollback witness
 //!   [`CasServer::check_rollback`] compares restored state against,
 //!   kept in its own encrypted volume.
+//! * [`histogram`] — fixed-bucket atomic latency histograms, the
+//!   recorders behind the per-stage latency views.
+//! * [`status`] — the operability plane's status wire: the health
+//!   verdict, the counter dump, and the latency histograms, over a
+//!   plaintext probe listener and a protocol opcode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commit;
+pub mod histogram;
 pub mod middleware;
 pub mod policy;
 pub mod reactor;
 pub mod replica;
 pub mod server;
+pub mod status;
 pub mod store;
 pub mod witness;
 
+pub use histogram::{Histogram, HistogramView, StageHistograms};
 pub use middleware::{BreakerConfig, DedupConfig, MiddlewareConfig, RateLimitConfig, Refusal};
 pub use policy::{PolicyMode, SessionPolicy};
 pub use replica::{follow, serve_replication, FollowerHandle, ForwardLink};
-pub use server::{CasServer, JournalMode};
+pub use server::{CasServer, JournalMode, StatsSnapshot};
+pub use status::{serve_status, status_body, Health};
 pub use witness::{SealedWitness, WitnessMark};

@@ -456,6 +456,18 @@ impl MiddlewareChain {
         }
     }
 
+    /// Whether the append circuit breaker is currently open — the
+    /// health probe's read-only view. Unlike
+    /// [`MiddlewareChain::admit_journaling`] this never transitions
+    /// the breaker (an open→half-open probe admission must be spent
+    /// by a real request, not consumed by a monitoring poll).
+    #[must_use]
+    pub fn breaker_open(&self) -> bool {
+        self.breaker
+            .as_ref()
+            .is_some_and(|breaker| matches!(*breaker.state.lock(), BreakerState::Open { .. }))
+    }
+
     /// Layer 4 lookup: the cached reply for this idempotency key, if a
     /// byte-identical request was answered within the TTL. `None` when
     /// the layer is off or the key is cold/expired.

@@ -37,7 +37,7 @@
 //! pooled path.
 
 use crate::middleware::{MiddlewareChain, MiddlewareConfig};
-use crate::server::CasServer;
+use crate::server::{CasServer, ServeGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sinclave::protocol::Message;
@@ -115,6 +115,10 @@ struct Job {
     token: u64,
     message: Message,
     session: Box<Session>,
+    /// When the request's raw frame was read off the connection — the
+    /// start of the end-to-end `request` latency sample the compute
+    /// worker records after sending the reply.
+    received: Instant,
 }
 
 /// Control token: the loop's inbox has messages.
@@ -179,9 +183,11 @@ impl CasServer {
     ) -> JoinHandle<()> {
         let listener = network.listen(addr);
         let server = self.clone();
+        let guard = ServeGuard::register(self);
         let loops = loops.clamp(1, connections.max(1));
         let compute_workers = compute_workers.max(1);
         std::thread::spawn(move || {
+            let _serving = guard;
             run_reactor(&server, listener, connections, seed, loops, compute_workers);
         })
     }
@@ -237,6 +243,12 @@ fn run_reactor(
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
     let job_rx = Arc::new(job_rx);
     let accepting_done = Arc::new(AtomicBool::new(false));
+    // A parked loop can wait out up to 60 s between timer events;
+    // registering the control handles lets shutdown() wake every loop
+    // the moment the drain begins.
+    for control in &controls {
+        server.register_drain_waker(control);
+    }
 
     std::thread::scope(|scope| {
         for _ in 0..compute_workers {
@@ -247,7 +259,8 @@ fn run_reactor(
             let controls = controls.clone();
             scope.spawn(move || {
                 while let Ok(job) = job_rx.recv() {
-                    let completion = run_job(server, &chain, job.message, job.session);
+                    let completion =
+                        run_job(server, &chain, job.message, job.received, job.session);
                     inboxes[job.loop_id]
                         .lock()
                         .push_back(LoopMsg::Completed { token: job.token, session: completion });
@@ -297,6 +310,7 @@ fn run_job(
     server: &CasServer,
     chain: &MiddlewareChain,
     message: Message,
+    received: Instant,
     mut session: Box<Session>,
 ) -> Option<Box<Session>> {
     let reply = server.dispatch_deduped(
@@ -310,7 +324,12 @@ fn run_job(
         server.stats.denials.fetch_add(1, Ordering::Relaxed);
     }
     // A send failure means the peer went away mid-request; close.
+    let sealing = Instant::now();
     session.sender.send(&reply.to_bytes()).ok()?;
+    // The same instrumentation points as the pooled path's writer
+    // thread: sealing cost, then the full received→written span.
+    server.latency().seal.record(sealing.elapsed());
+    server.latency().request.record(received.elapsed());
     Some(session)
 }
 
@@ -321,6 +340,14 @@ impl EventLoop<'_> {
         }
         loop {
             self.drain_inbox();
+            if self.server.is_draining() {
+                // Shutdown: stop accepting and shed every connection
+                // without a request in flight; Busy connections close
+                // at their completion (see `complete`). Checked after
+                // the inbox drain so a routed NewConn is registered,
+                // then immediately shed here.
+                self.begin_drain();
+            }
             if self.id == 0 {
                 self.drain_accepts();
                 self.snapshot_tick();
@@ -441,9 +468,14 @@ impl EventLoop<'_> {
 
     /// A compute completion: return the session (Busy → Idle) and
     /// immediately drain anything that arrived while busy, or close.
+    /// While draining, the in-flight request this completion answers
+    /// was the connection's last — close instead of going Idle.
     fn complete(&mut self, token: u64, session: Option<Box<Session>>) {
         match session {
             Some(session) => {
+                if self.server.is_draining() {
+                    return self.close(token);
+                }
                 let Some(state) = conn_mut(&mut self.conns, token) else { return };
                 state.phase = Phase::Idle(session);
                 state.last_activity = Instant::now();
@@ -517,12 +549,38 @@ impl EventLoop<'_> {
     /// Loop 0: the time-based snapshot cadence — persist when the
     /// configured interval has passed, so an *idle* CAS still bounds
     /// its journal-replay window (the event-count cadence only fires
-    /// under load). Failures are counted inside `persist_state`.
+    /// under load).
     fn snapshot_tick(&mut self) {
         let Some(interval) = self.server.snapshot_interval() else { return };
         if self.last_snapshot_tick.elapsed() >= interval {
+            // The discarded error is not silent: persist_state counts
+            // it and bumps the consecutive-failure gauge that flips
+            // the health verdict to Degraded within this one tick.
             let _ = self.server.persist_state();
             self.last_snapshot_tick = Instant::now();
+        }
+    }
+
+    /// Shutdown (every loop, once [`CasServer::shutdown`] set the
+    /// drain flag): loop 0 performs the same stop-accepting broadcast
+    /// as an exhausted accept budget, and every connection without a
+    /// request in flight closes now. Busy connections finish on the
+    /// compute pool and close in `complete`, so in-flight replies are
+    /// never dropped.
+    fn begin_drain(&mut self) {
+        if self.id == 0 && self.listener.is_some() {
+            self.accepting_done.store(true, Ordering::Release);
+            self.listener = None;
+            for control in &self.all_controls {
+                control.signal();
+            }
+        }
+        for index in 0..self.conns.len() {
+            let busy =
+                self.conns[index].as_ref().is_some_and(|state| matches!(state.phase, Phase::Busy));
+            if self.conns[index].is_some() && !busy {
+                self.close(TOKEN_CONN0 + index as u64);
+            }
         }
     }
 }
@@ -618,7 +676,14 @@ fn step_conn(
                             // lint: allow(panic) — phase variant pinned by the enclosing match arm
                             unreachable!()
                         };
-                        return if jobs.send(Job { loop_id, token, message, session }).is_err() {
+                        // `last_activity` was stamped when this raw
+                        // frame was read — it is the request's receive
+                        // instant for the end-to-end latency sample.
+                        let received = state.last_activity;
+                        return if jobs
+                            .send(Job { loop_id, token, message, session, received })
+                            .is_err()
+                        {
                             Step::Close
                         } else {
                             Step::Drained

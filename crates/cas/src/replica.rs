@@ -81,7 +81,7 @@
 //!
 //! [`apply_record`]: sinclave::verifier::SingletonIssuer::apply_record
 
-use crate::server::CasServer;
+use crate::server::{CasServer, ServeGuard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sinclave::protocol::Message;
@@ -204,11 +204,13 @@ pub fn serve_replication(
     let hub = ReplicationHub::new();
     server.set_replication_hub(Some(hub.clone()));
     let listener = Arc::new(network.listen(addr));
+    let guard = ServeGuard::register(server);
     let server = server.clone();
     std::thread::spawn(move || {
+        let _serving = guard;
         std::thread::scope(|scope| {
             for slot in 0..sessions {
-                let Ok(conn) = listener.accept() else { break };
+                let Some(conn) = server.accept_drainable(&listener) else { break };
                 let server = &server;
                 let hub = &hub;
                 scope.spawn(move || {
@@ -282,6 +284,12 @@ fn serve_subscriber(
     };
     chan.send(&baseline.to_bytes())?;
     loop {
+        // Shutdown drains subscriber streams cleanly: the ≤20ms
+        // heartbeat cadence bounds how long a drain waits on this
+        // session.
+        if server.is_draining() {
+            return Ok(());
+        }
         // A primary deposed mid-stream tells its subscribers before
         // going quiet, so they reconnect (and find the new primary)
         // instead of trusting a stale stream.
@@ -312,12 +320,25 @@ fn serve_forwarder(
         ReplicationFrame::Heartbeat { fence: server.fence(), high_seq: server.journal_sequence() };
     chan.send(&ack.to_bytes())?;
     let transcript = chan.transcript();
+    // Poll the receive in short slices so a shutdown drains this
+    // session within one slice; the transport's default budget still
+    // bounds how long an idle forwarder stays parked.
+    chan.set_recv_timeout(Some(PUMP_POLL));
+    let mut last_frame = std::time::Instant::now();
     loop {
         let raw = match chan.recv() {
             Ok(raw) => raw,
-            Err(NetError::Disconnected | NetError::Timeout) => return Ok(()),
+            Err(NetError::Timeout) => {
+                let idle = last_frame.elapsed() >= sinclave_net::bus::RECV_TIMEOUT;
+                if server.is_draining() || idle {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(NetError::Disconnected) => return Ok(()),
             Err(e) => return Err(e),
         };
+        last_frame = std::time::Instant::now();
         let reply = match ReplicationFrame::from_bytes(&raw) {
             Ok(frame) => forward_reply(server, frame, &transcript, rng),
             Err(_) => {
@@ -415,6 +436,9 @@ pub fn follow(
     backoff: Backoff,
 ) -> FollowerHandle {
     let stop = Arc::new(AtomicBool::new(false));
+    // Shutdown on the follower raises this flag too, so the pump
+    // unsubscribes cleanly instead of racing the drained server.
+    server.register_drain_stop(&stop);
     let pump_stop = stop.clone();
     let handle = std::thread::spawn(move || {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -120,6 +120,7 @@
 //! follows arrival order, as it would on a real listening socket.)
 
 use crate::commit::CommitPipe;
+use crate::histogram::StageHistograms;
 use crate::middleware::{MiddlewareChain, MiddlewareConfig, Refusal};
 use crate::policy::{PolicyMode, SessionPolicy};
 use crate::replica::{ForwardLink, ReplicationHub};
@@ -134,7 +135,7 @@ use sinclave::{AttestationToken, BaseEnclaveHash, SinclaveError};
 use sinclave_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
 use sinclave_crypto::sha256::Digest;
 use sinclave_fs::journal::JournalDamage;
-use sinclave_net::{Connection, NetError, Network, SecureChannel};
+use sinclave_net::{Connection, NetError, Network, Readiness, SecureChannel};
 use sinclave_sgx::measurement::Measurement;
 use sinclave_sgx::quote::Quote;
 use sinclave_sgx::report::ReportBody;
@@ -142,119 +143,167 @@ use sinclave_sgx::sigstruct::SigStruct;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::sync::Weak;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Service counters (observability + test assertions).
-#[derive(Debug, Default)]
-pub struct CasStats {
+/// Defines [`CasStats`] (the live atomics) and [`StatsSnapshot`] (its
+/// coherent read-side copy) from a single field list, so the status
+/// exporter and [`CasStats::snapshot`] can never silently miss a
+/// counter added later — a new counter is one entry here and it shows
+/// up in the struct, the snapshot, and the metrics view at once.
+macro_rules! cas_counters {
+    ($($(#[$doc:meta])* $field:ident,)*) => {
+        /// Service counters (observability + test assertions).
+        #[derive(Debug, Default)]
+        pub struct CasStats {
+            $($(#[$doc])* pub $field: AtomicU64,)*
+        }
+
+        /// A point-in-time copy of every [`CasStats`] counter, taken
+        /// by [`CasStats::snapshot`]. Plain `u64`s: tests assert on
+        /// whole snapshots instead of scattering per-field atomic
+        /// loads, and the status wire renders one of these.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $($(#[$doc])* pub $field: u64,)*
+        }
+
+        impl CasStats {
+            /// Reads every counter at once (relaxed loads — each field
+            /// is individually monotone, which is all monitoring and
+            /// test assertions need).
+            #[must_use]
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($field: self.$field.load(Ordering::Relaxed),)*
+                }
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Every counter as a `(name, value)` row in declaration
+            /// order — the backing of the status wire's metrics view.
+            #[must_use]
+            pub fn named(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($field), self.$field),)*]
+            }
+        }
+    };
+}
+
+cas_counters! {
     /// Singleton grants issued.
-    pub grants_issued: AtomicU64,
+    grants_issued,
     /// Configurations delivered.
-    pub configs_delivered: AtomicU64,
+    configs_delivered,
     /// Requests denied.
-    pub denials: AtomicU64,
+    denials,
     /// Secure-channel records that failed authentication (tampered,
     /// replayed or reordered). A clean peer disconnect is *not* a
     /// rejected record; this counter moving on a production box means
     /// someone is modifying traffic.
-    pub records_rejected: AtomicU64,
+    records_rejected,
     /// Singleton tokens redeemed (exactly-once consumptions). Drives
     /// the redemption half of the snapshot cadence.
-    pub tokens_redeemed: AtomicU64,
+    tokens_redeemed,
     /// Durable-state snapshots written to the encrypted volume
     /// (cadence-triggered and explicit [`CasServer::persist_state`]
     /// calls).
-    pub snapshot_persisted: AtomicU64,
+    snapshot_persisted,
     /// Snapshot writes that failed. Cadence-triggered persists cannot
     /// surface an error to any caller, so this counter is the signal
     /// that durability has silently stopped: it moving (or
     /// `snapshot_persisted` stalling against `grants_issued`) means
     /// the volume is refusing writes and the next restart will fall
     /// back to an old snapshot.
-    pub snapshot_persist_failed: AtomicU64,
+    snapshot_persist_failed,
     /// Snapshots successfully restored at construction — at most 1 per
     /// server lifetime; `0` with `snapshot_rejected == 0` means a cold
     /// volume.
-    pub snapshot_restored: AtomicU64,
+    snapshot_restored,
     /// Snapshots refused at construction (unreadable file, bad
     /// framing/checksum/version, or identity mismatch). The server
     /// starts cold instead; this counter moving on a production box
     /// means the volume was tampered with or rolled back.
-    pub snapshot_rejected: AtomicU64,
+    snapshot_rejected,
     /// Snapshot writes skipped because the durable state was unchanged
     /// since the last persist (the dirty-epoch check) — expected to
     /// move on read-heavy workloads; each skip is a volume rewrite
     /// saved.
-    pub snapshot_skipped_clean: AtomicU64,
+    snapshot_skipped_clean,
     /// Journal records made durable (each one covered an acked grant
     /// or redemption; batches of concurrent commits count per record).
-    pub journal_appended: AtomicU64,
+    journal_appended,
     /// Journal records whose covering append failed — the reply was
     /// denied, the event is not durable. This moving means the volume
     /// refuses writes; redemption service is failing closed.
-    pub journal_append_failed: AtomicU64,
-    /// Journal records replayed onto the restored snapshot at
-    /// construction (checkpoints included).
-    pub journal_replayed: AtomicU64,
+    journal_append_failed,
+    /// State-mutating journal records (grants, redemptions) replayed
+    /// onto the restored snapshot at construction. Checkpoint and
+    /// fence records adjust metadata but do not count: a *clean*
+    /// shutdown's journal holds nothing but its final checkpoint, and
+    /// this counter staying zero is how a restart proves the stop was
+    /// clean.
+    journal_replayed,
     /// Journal damage events at construction: a torn tail degraded to
     /// the last complete record, or corruption/sequence damage that
     /// additionally quarantined outstanding tokens.
-    pub journal_rejected: AtomicU64,
+    journal_rejected,
     /// Whole-disk-image rollbacks detected by
     /// [`CasServer::check_rollback`].
-    pub rollback_detected: AtomicU64,
+    rollback_detected,
     /// Outstanding tokens dropped by fail-closed quarantine (journal
     /// corruption or detected rollback). Holders must re-request
     /// grants; no token is ever redeemable twice.
-    pub tokens_quarantined: AtomicU64,
+    tokens_quarantined,
     /// Connections dropped by a configured handshake or read deadline
     /// (the slow-loris defense; see
     /// [`MiddlewareConfig::handshake_timeout`] /
     /// [`MiddlewareConfig::idle_timeout`]). Only deadlines the
     /// middleware configured count here — the transport's own default
     /// timeout firing is a clean close, as before.
-    pub connections_timed_out: AtomicU64,
+    connections_timed_out,
     /// Requests refused by the per-identity token-bucket rate limiter.
-    pub requests_rate_limited: AtomicU64,
+    requests_rate_limited,
     /// Requests refused by the absolute per-identity quota.
-    pub requests_quota_denied: AtomicU64,
+    requests_quota_denied,
     /// Journaling requests shed by the open circuit breaker (storage
     /// is refusing appends; the refusal never touched the volume).
-    pub requests_shed: AtomicU64,
+    requests_shed,
     /// Dispatch panics contained by panic isolation: the connection
     /// was closed, the serving thread survived.
-    pub panics_isolated: AtomicU64,
+    panics_isolated,
     /// Retried grant requests answered from the request-dedup cache
     /// (byte-identical to a recent request; the cached reply was
     /// replayed, no second token was issued).
-    pub dedup_hits: AtomicU64,
+    dedup_hits,
     /// Writes refused because this server's fence is outranked (a
     /// failover promoted a replica past it). Each one is a
     /// double-redemption the fencing rule prevented.
-    pub writes_fenced: AtomicU64,
+    writes_fenced,
     /// Times a peer presented a fencing generation above the highest
     /// previously seen (the observation is persisted; see
     /// [`CasServer::observe_fence`]).
-    pub fences_observed: AtomicU64,
+    fences_observed,
     /// Writes (grants, redemptions) this replica forwarded to the
     /// primary for linearization.
-    pub forwarded_writes: AtomicU64,
+    forwarded_writes,
     /// Sealed record batches published to live replication
     /// subscribers (counted once per committed batch, not per
     /// subscriber).
-    pub replication_batches_streamed: AtomicU64,
+    replication_batches_streamed,
     /// Journal records this replica applied from the replication
     /// stream (baseline suffix + live batches).
-    pub replication_records_replayed: AtomicU64,
+    replication_records_replayed,
     /// Replication payloads refused by the frame or batch codec
     /// (damaged, torn, or tampered) — the stream is dropped and
     /// resynced, never partially applied.
-    pub replication_frames_rejected: AtomicU64,
+    replication_frames_rejected,
     /// Times the follower pump lost its stream and scheduled a
     /// reconnect (bounded backoff; the replica keeps serving reads
     /// as degraded in between).
-    pub replication_reconnects: AtomicU64,
+    replication_reconnects,
 }
 
 /// Replies the pipelined per-connection loop may buffer ahead of the
@@ -378,6 +427,36 @@ pub struct CasServer {
     replication: parking_lot::RwLock<Option<Arc<ReplicationHub>>>,
     /// Counters.
     pub stats: CasStats,
+    /// Per-stage latency histograms, shared by both serving paths and
+    /// (via the issuer's stage observer) the verify/sign stages. In an
+    /// `Arc` so the observer closure can hold it without borrowing the
+    /// server.
+    latency: Arc<StageHistograms>,
+    /// Consecutive [`CasServer::persist_state`] failures — the
+    /// health verdict's durability signal. Reset by the next
+    /// successful (non-skipped) persist; `> 0` flags the server
+    /// Degraded, which is how cadence- and tick-triggered persists
+    /// (whose callers can only discard the error) surface failures.
+    persist_failures: AtomicU64,
+    /// Set by [`CasServer::shutdown`]: serving paths stop accepting,
+    /// finish in-flight requests, and exit.
+    draining: AtomicBool,
+    /// Wakeup handles of parked reactor event loops, signaled at
+    /// shutdown so a loop waiting out its (up to 60 s) poll tick
+    /// notices the drain immediately.
+    drain_wakers: parking_lot::Mutex<Vec<Weak<Readiness>>>,
+    /// Stop flags of follower pumps attached to this server, raised at
+    /// shutdown so followers unsubscribe cleanly.
+    drain_stops: parking_lot::Mutex<Vec<Weak<AtomicBool>>>,
+    /// Live serving threads (worker pool, reactor, replication
+    /// listener). [`CasServer::shutdown`] waits for this to reach
+    /// zero before persisting.
+    active_serves: AtomicU64,
+    /// The `journal_append_failed` count the last health probe saw —
+    /// the probe reports Degraded while the counter moves between
+    /// probes (appends failing *now*), not forever after one historic
+    /// failure (each failed append already failed its request closed).
+    health_journal_failed_seen: AtomicU64,
 }
 
 impl fmt::Debug for CasServer {
@@ -385,6 +464,49 @@ impl fmt::Debug for CasServer {
         f.debug_struct("CasServer")
             .field("identity", &self.identity().to_hex()[..12].to_owned())
             .finish()
+    }
+}
+
+/// How often drain-aware accept loops poll for new connections — the
+/// upper bound on how long a parked acceptor takes to notice
+/// [`CasServer::shutdown`]. Matches the follower pump's poll interval.
+pub(crate) const DRAIN_POLL: Duration = Duration::from_millis(20);
+
+/// RAII registration of one serving thread with its server. The count
+/// is taken in [`ServeGuard::register`] — *before* the serving thread
+/// spawns, so a [`CasServer::shutdown`] racing the spawn still waits
+/// for it — and released when the serving body ends, panics included.
+pub(crate) struct ServeGuard {
+    server: Arc<CasServer>,
+}
+
+impl ServeGuard {
+    /// Registers one serving thread; move the guard into that thread.
+    pub(crate) fn register(server: &Arc<CasServer>) -> ServeGuard {
+        server.active_serves.fetch_add(1, Ordering::SeqCst);
+        ServeGuard { server: Arc::clone(server) }
+    }
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        self.server.active_serves.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Drop for CasServer {
+    fn drop(&mut self) {
+        // A server dropped without an explicit [`CasServer::shutdown`]
+        // used to lose its in-memory dirty window (everything since
+        // the last cadence persist) to journal-replay-on-restart.
+        // Best-effort persist on the last owner's drop: errors are
+        // deliberately discarded — there is no caller to report to,
+        // and the journal still covers every acked event — and clean
+        // epochs skip the write entirely. Followers and fenced
+        // ex-primaries hold no authoritative state to seal.
+        if !self.following.load(Ordering::Relaxed) && !self.is_fenced() {
+            let _ = self.persist_state();
+        }
     }
 }
 
@@ -434,7 +556,21 @@ impl CasServer {
             forward: parking_lot::RwLock::new(None),
             replication: parking_lot::RwLock::new(None),
             stats: CasStats::default(),
+            latency: Arc::new(StageHistograms::default()),
+            persist_failures: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            drain_wakers: parking_lot::Mutex::new(Vec::new()),
+            drain_stops: parking_lot::Mutex::new(Vec::new()),
+            active_serves: AtomicU64::new(0),
+            health_journal_failed_seen: AtomicU64::new(0),
         };
+        // Feed the issuer's verify/sign stage latencies into the
+        // shared histograms (set-once; absent observers cost nothing).
+        let latency = Arc::clone(&server.latency);
+        server.issuer.set_stage_observer(move |stage, elapsed| match stage {
+            sinclave::verifier::IssueStage::Verify => latency.verify.record(elapsed),
+            sinclave::verifier::IssueStage::Sign => latency.sign.record(elapsed),
+        });
         server.restore_state();
         // The on-disk snapshot covers exactly the state restored so
         // far; journal replay below dirties the epoch again if it
@@ -537,6 +673,11 @@ impl CasServer {
         }
         let fail = |e| {
             self.stats.snapshot_persist_failed.fetch_add(1, Ordering::Relaxed);
+            // The consecutive-failure count is what flips the health
+            // verdict to Degraded: cadence- and reactor-tick-triggered
+            // persists have no caller to report to, so the failure is
+            // routed into [`CasServer::health`] here, at the source.
+            self.persist_failures.fetch_add(1, Ordering::Relaxed);
             Err(e)
         };
         let generation = self.generation.load(Ordering::Relaxed) + 1;
@@ -571,6 +712,8 @@ impl CasServer {
         self.persisted_epoch.store(epoch, Ordering::Relaxed);
         self.snapshot_on_disk.store(true, Ordering::Relaxed);
         self.stats.snapshot_persisted.fetch_add(1, Ordering::Relaxed);
+        // Durability is proven healthy again: clear the Degraded flag.
+        self.persist_failures.store(0, Ordering::Relaxed);
         if journaling {
             // Truncation is best-effort: a failure leaves extra epochs
             // whose replay over the new snapshot is an idempotent
@@ -600,8 +743,116 @@ impl CasServer {
     fn persist_on_cadence(&self, count: u64) {
         let cadence = self.snapshot_cadence.load(Ordering::Relaxed);
         if cadence != 0 && count.is_multiple_of(cadence) {
+            // The discarded error is not silent: persist_state counts
+            // it and bumps the consecutive-failure gauge that flips
+            // [`CasServer::health`] to Degraded.
             let _ = self.persist_state();
         }
+    }
+
+    // ---- Operability: health, latency, graceful shutdown -----------------
+
+    /// The per-stage latency histograms both serving paths feed (see
+    /// [`crate::histogram`]); rendered by the status wire's
+    /// `histograms` view.
+    #[must_use]
+    pub fn latency(&self) -> &StageHistograms {
+        &self.latency
+    }
+
+    /// The health verdict the status wire serves (see
+    /// [`crate::status::Health`] for what each level means and
+    /// `docs/operations.md` for the runbook):
+    ///
+    /// * **FailClosed** — fenced (a failover outranked this server) or
+    ///   the append circuit breaker is open. Writes are refused.
+    /// * **Degraded** — still serving, but durability or replication
+    ///   is impaired: a cadence/tick persist has failed and not yet
+    ///   succeeded again, journal appends failed since the previous
+    ///   probe, or a follower lost its replication stream.
+    /// * **Healthy** — none of the above.
+    pub fn health(&self) -> crate::status::Health {
+        if self.is_fenced() || self.middleware().breaker_open() {
+            return crate::status::Health::FailClosed;
+        }
+        let journal_failed = self.stats.journal_append_failed.load(Ordering::Relaxed);
+        let seen = self.health_journal_failed_seen.swap(journal_failed, Ordering::Relaxed);
+        if self.persist_failures.load(Ordering::Relaxed) > 0
+            || journal_failed > seen
+            || self.middleware().is_degraded()
+        {
+            return crate::status::Health::Degraded;
+        }
+        crate::status::Health::Healthy
+    }
+
+    /// Whether [`CasServer::shutdown`] has begun: serving loops check
+    /// this at their drain points and exit instead of taking new work.
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Registers a parked event loop's wakeup handle so shutdown can
+    /// interrupt its poll wait (weak: a finished loop's handle just
+    /// fails to upgrade).
+    pub(crate) fn register_drain_waker(&self, waker: &Arc<Readiness>) {
+        self.drain_wakers.lock().push(Arc::downgrade(waker));
+    }
+
+    /// Registers a follower pump's stop flag so shutdown makes it
+    /// unsubscribe cleanly (weak: a stopped pump's flag just fails to
+    /// upgrade).
+    pub(crate) fn register_drain_stop(&self, stop: &Arc<AtomicBool>) {
+        self.drain_stops.lock().push(Arc::downgrade(stop));
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests on
+    /// every serving path (worker pool, reactor, replication
+    /// listener), stop follower pumps, then persist the durable state
+    /// — so a clean stop restores from the snapshot with **zero**
+    /// journal replay instead of leaning on recovery.
+    ///
+    /// The commit pipe needs no separate flush: commits are
+    /// synchronous within request handling, so once the serving
+    /// threads have drained there is nothing in flight to seal.
+    ///
+    /// Idempotent; callers typically join their serve handles after
+    /// this returns. On a follower (or a fenced ex-primary) the
+    /// persist is skipped — checkpoints are deferred to promotion, and
+    /// a deposed server's state is no longer authoritative — and the
+    /// drain alone is the shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final persist's volume failure (the drain itself
+    /// cannot fail; serving threads that outlive the drain deadline
+    /// are abandoned to their own timeouts).
+    pub fn shutdown(&self) -> Result<(), SinclaveError> {
+        let was_following = self.following.load(Ordering::Relaxed);
+        self.draining.store(true, Ordering::SeqCst);
+        // Wake parked reactor loops (they may be in a poll wait of up
+        // to 60 s) so the drain is noticed now, not at the next tick.
+        for waker in self.drain_wakers.lock().iter() {
+            if let Some(waker) = waker.upgrade() {
+                waker.signal();
+            }
+        }
+        // Followers unsubscribe cleanly: raise the pump stop flags.
+        for stop in self.drain_stops.lock().iter() {
+            if let Some(stop) = stop.upgrade() {
+                stop.store(true, Ordering::SeqCst);
+            }
+        }
+        // Wait (bounded) for the serving threads to finish in-flight
+        // requests and exit their accept loops.
+        let deadline = Instant::now() + sinclave_net::bus::RECV_TIMEOUT;
+        while self.active_serves.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if was_following || self.is_fenced() {
+            return Ok(());
+        }
+        self.persist_state()
     }
 
     /// Attempts to rehydrate the issuer from the store's snapshot at
@@ -641,8 +892,9 @@ impl CasServer {
     /// snapshot restore produced, at construction time. Never fails
     /// the construction:
     ///
-    /// * every record in the clean prefix is applied idempotently and
-    ///   counted in [`CasStats::journal_replayed`];
+    /// * every record in the clean prefix is applied idempotently;
+    ///   the state-mutating ones are counted in
+    ///   [`CasStats::journal_replayed`];
     /// * a torn tail (the one damage shape a crash can produce; its
     ///   append was never acked) is counted in
     ///   [`CasStats::journal_rejected`] and the state stands at the
@@ -691,13 +943,17 @@ impl CasServer {
                 }
                 last_seq = sequenced.seq;
                 match sequenced.record {
+                    // Metadata records are absorbed, not counted: a
+                    // clean stop leaves exactly one checkpoint behind,
+                    // and `journal_replayed == 0` after a restart is
+                    // the observable proof the stop was clean.
                     JournalRecord::Checkpoint { generation: g } => generation = generation.max(g),
                     JournalRecord::Fence { fence: f } => fence = fence.max(f),
                     _ => {
                         self.issuer.apply_record(&sequenced.record);
+                        self.stats.journal_replayed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                self.stats.journal_replayed.fetch_add(1, Ordering::Relaxed);
             }
             if batch.damaged.is_some() {
                 // Record-level damage inside a committed chunk: benign
@@ -1188,7 +1444,12 @@ impl CasServer {
         let hub = self.replication.read().clone();
         let result =
             self.pipe.commit(mode == JournalMode::GroupCommit, record, &self.stats, |payload| {
+                let flushing = Instant::now();
                 self.store.append_journal(payload)?;
+                // One sample per sealed batch (the group-commit flush
+                // the paper's durability trade-off is priced in), not
+                // per record that rode along.
+                self.latency.journal_flush.record(flushing.elapsed());
                 // Publish exactly the sealed batch that landed on
                 // disk. Flushes are serialized by the pipe, so
                 // subscribers observe batches in sequence order.
@@ -1275,8 +1536,10 @@ impl CasServer {
     ) -> JoinHandle<()> {
         let listener = Arc::new(network.listen(addr));
         let server = self.clone();
+        let guard = ServeGuard::register(self);
         let workers = workers.clamp(1, connections.max(1));
         std::thread::spawn(move || {
+            let _serving = guard;
             let next_slot = AtomicU64::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
@@ -1289,7 +1552,7 @@ impl CasServer {
                         if slot >= connections as u64 {
                             return;
                         }
-                        let Ok(conn) = listener.accept() else { return };
+                        let Some(conn) = server.accept_drainable(&listener) else { return };
                         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(slot));
                         // A failed handshake or protocol error only
                         // affects that one connection.
@@ -1298,6 +1561,26 @@ impl CasServer {
                 }
             });
         })
+    }
+
+    /// Accepts one connection with drain awareness: the transport's
+    /// default accept budget ([`sinclave_net::bus::RECV_TIMEOUT`]) is
+    /// spent in [`DRAIN_POLL`] slices so a worker parked in accept
+    /// notices [`CasServer::shutdown`] within one slice instead of the
+    /// full budget. `None` means stop serving — draining, or the
+    /// budget timed out with no dialer.
+    pub(crate) fn accept_drainable(&self, listener: &sinclave_net::Listener) -> Option<Connection> {
+        let deadline = Instant::now() + sinclave_net::bus::RECV_TIMEOUT;
+        loop {
+            if self.is_draining() {
+                return None;
+            }
+            match listener.accept_timeout(DRAIN_POLL) {
+                Ok(conn) => return Some(conn),
+                Err(NetError::Timeout) if Instant::now() < deadline => {}
+                Err(_) => return None,
+            }
+        }
     }
 
     /// Handles one connection: secure-channel handshake, then a
@@ -1349,10 +1632,19 @@ impl CasServer {
         let (mut sender, mut receiver) = chan.split();
         let mut outstanding_nonce: Option<[u8; 16]> = None;
         std::thread::scope(|scope| {
-            let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel::<Message>(PIPELINE_DEPTH);
+            // Replies travel with the Instant their raw request frame
+            // arrived, so the writer thread can price the full
+            // received→written span (the `request` histogram) after it
+            // times its own sealing work.
+            let (reply_tx, reply_rx) =
+                std::sync::mpsc::sync_channel::<(Message, Instant)>(PIPELINE_DEPTH);
+            let latency = Arc::clone(&self.latency);
             let writer = scope.spawn(move || -> Result<(), NetError> {
-                for reply in reply_rx {
+                for (reply, received_at) in reply_rx {
+                    let sealing = Instant::now();
                     sender.send(&reply.to_bytes())?;
+                    latency.seal.record(sealing.elapsed());
+                    latency.request.record(received_at.elapsed());
                 }
                 Ok(())
             });
@@ -1377,6 +1669,7 @@ impl CasServer {
                         break Err(e);
                     }
                 };
+                let received_at = Instant::now();
                 let reply = match Message::from_bytes(&raw) {
                     Ok(message) => match self.admission_refusal(&chain, &message) {
                         Some(refused) => refused,
@@ -1400,7 +1693,14 @@ impl CasServer {
                 }
                 // A closed queue means the writer already failed on a
                 // transport error; fall through and report that.
-                if reply_tx.send(reply).is_err() {
+                if reply_tx.send((reply, received_at)).is_err() {
+                    break Ok(());
+                }
+                // Drain point: the in-flight request was answered (the
+                // writer flushes everything queued before exiting), so
+                // a draining server closes here rather than take the
+                // next request.
+                if self.is_draining() {
                     break Ok(());
                 }
             };
@@ -1504,6 +1804,14 @@ impl CasServer {
             Message::BaselineAttestRequest { quote, config_id } => {
                 self.handle_attest(&quote, None, &config_id, outstanding_nonce, transcript)
             }
+            // The operability probe: read-only, identity-less, never
+            // journaled — answered even fenced or following, because
+            // an operator must be able to ask a sick server how sick
+            // it is.
+            Message::StatusRequest { view } => match crate::status::status_body(self, &view) {
+                Some(body) => Message::StatusResponse { body },
+                None => Message::Denied { reason: "unknown status view".into() },
+            },
             _ => Message::Denied { reason: "unexpected message".into() },
         }
     }

@@ -387,6 +387,14 @@ impl CasStore {
         self.volume.lock().set_flush_latency_micros(micros);
     }
 
+    /// Injects (or clears) whole-file write failures on the underlying
+    /// volume (see [`Volume::set_file_write_failure`]); used by
+    /// degradation drills to make snapshot persists fail while the
+    /// journal keeps appending.
+    pub fn set_file_write_failure(&self, fail: bool) {
+        self.volume.lock().set_file_write_failure(fail);
+    }
+
     /// A snapshot of the underlying volume (for persistence by the
     /// host).
     #[must_use]

@@ -90,6 +90,20 @@ pub enum Message {
         /// Signature over the channel transcript hash.
         signature: Vec<u8>,
     },
+    /// Operability probe: asks the server for one of its status views
+    /// (`"health"`, `"metrics"`, or `"histograms"`). Read-only and
+    /// identity-less — it touches no durable state and is never
+    /// journaled.
+    StatusRequest {
+        /// Which view to render.
+        view: String,
+    },
+    /// The rendered status view (plain text; see `docs/operations.md`
+    /// for the format of each view).
+    StatusResponse {
+        /// Rendered view body.
+        body: String,
+    },
 }
 
 const TAG_GRANT_REQ: u8 = 1;
@@ -104,6 +118,8 @@ const TAG_PING: u8 = 9;
 const TAG_PONG: u8 = 10;
 const TAG_QUOTE_RESP: u8 = 11;
 const TAG_VERIFIER_AUTH: u8 = 12;
+const TAG_STATUS_REQ: u8 = 13;
+const TAG_STATUS_RESP: u8 = 14;
 
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
@@ -178,6 +194,14 @@ impl Message {
                 put_bytes(&mut out, pubkey);
                 put_bytes(&mut out, signature);
             }
+            Message::StatusRequest { view } => {
+                out.push(TAG_STATUS_REQ);
+                put_bytes(&mut out, view.as_bytes());
+            }
+            Message::StatusResponse { body } => {
+                out.push(TAG_STATUS_RESP);
+                put_bytes(&mut out, body.as_bytes());
+            }
         }
         out
     }
@@ -239,6 +263,14 @@ impl Message {
                 pubkey: get_bytes(&mut cursor)?,
                 signature: get_bytes(&mut cursor)?,
             },
+            TAG_STATUS_REQ => Message::StatusRequest {
+                view: String::from_utf8(get_bytes(&mut cursor)?)
+                    .map_err(|_| SinclaveError::ProtocolDecode)?,
+            },
+            TAG_STATUS_RESP => Message::StatusResponse {
+                body: String::from_utf8(get_bytes(&mut cursor)?)
+                    .map_err(|_| SinclaveError::ProtocolDecode)?,
+            },
             _ => return Err(SinclaveError::ProtocolDecode),
         };
         if !cursor.is_empty() {
@@ -285,6 +317,8 @@ mod tests {
         roundtrip(Message::Pong);
         roundtrip(Message::QuoteResponse { quote: vec![1; 32] });
         roundtrip(Message::VerifierAuth { pubkey: vec![2; 16], signature: vec![3; 128] });
+        roundtrip(Message::StatusRequest { view: "health".to_owned() });
+        roundtrip(Message::StatusResponse { body: "status: healthy\n".to_owned() });
     }
 
     #[test]

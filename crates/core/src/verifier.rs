@@ -30,6 +30,24 @@ use sinclave_sgx::verify_cache::VerifyCache;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The issuing stages an installed stage observer is told about (the
+/// CAS feeds these into its per-stage latency histograms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IssueStage {
+    /// Request validation: SigStruct signature + signer pin + base
+    /// hash check (cache-aware — warm hits report their real, short
+    /// latency).
+    Verify,
+    /// One on-demand RSA SigStruct signature.
+    Sign,
+}
+
+/// A callback observing per-stage issuing latency. Invoked from grant
+/// paths, including batch signing workers, so it must be `Sync`.
+type StageObserver = Box<dyn Fn(IssueStage, Duration) + Send + Sync>;
 
 /// What the verifier returns to the starter: everything needed to
 /// construct and `EINIT` one singleton enclave.
@@ -169,6 +187,11 @@ pub struct SingletonIssuer {
     /// to measurement prefixes). Sharded by encoding so grants for
     /// different enclaves never serialize on one lock.
     prepared: Box<[PreparedShard]>,
+    /// Optional set-once latency observer (see
+    /// [`SingletonIssuer::set_stage_observer`]). When absent the grant
+    /// paths take no timestamps at all — instrumentation costs nothing
+    /// unless an operability plane is attached.
+    stage_hook: OnceLock<StageObserver>,
 }
 
 impl fmt::Debug for SingletonIssuer {
@@ -194,7 +217,52 @@ impl SingletonIssuer {
             mutations: AtomicUsize::new(0),
             verified: VerifyCache::new(),
             prepared: (0..ISSUER_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            stage_hook: OnceLock::new(),
         }
+    }
+
+    /// Installs a per-stage latency observer. Set-once: the first
+    /// observer wins and later calls are ignored, so the hook can be
+    /// read without locking on the grant hot path.
+    pub fn set_stage_observer(
+        &self,
+        observer: impl Fn(IssueStage, Duration) + Send + Sync + 'static,
+    ) {
+        let _ = self.stage_hook.set(Box::new(observer));
+    }
+
+    /// Runs `validate_request`, reporting its latency as
+    /// [`IssueStage::Verify`] when an observer is installed.
+    fn timed_validate(
+        &self,
+        common_sigstruct: &SigStruct,
+        base_hash: &BaseEnclaveHash,
+    ) -> Result<PreparedEntry, SinclaveError> {
+        let Some(hook) = self.stage_hook.get() else {
+            return self.validate_request(common_sigstruct, base_hash);
+        };
+        let started = Instant::now();
+        let entry = self.validate_request(common_sigstruct, base_hash)?;
+        hook(IssueStage::Verify, started.elapsed());
+        Ok(entry)
+    }
+
+    /// Runs `grant_for_token`, reporting its latency as
+    /// [`IssueStage::Sign`] when an observer is installed. Called from
+    /// batch signing workers too — the observer sees every signature.
+    fn timed_grant(
+        &self,
+        common_sigstruct: &SigStruct,
+        entry: &PreparedEntry,
+        token: AttestationToken,
+    ) -> Result<SingletonGrant, SinclaveError> {
+        let Some(hook) = self.stage_hook.get() else {
+            return self.grant_for_token(common_sigstruct, entry, token);
+        };
+        let started = Instant::now();
+        let grant = self.grant_for_token(common_sigstruct, entry, token)?;
+        hook(IssueStage::Sign, started.elapsed());
+        Ok(grant)
     }
 
     /// Returns the prediction state for `base_hash`: the cached entry
@@ -256,9 +324,9 @@ impl SingletonIssuer {
         common_sigstruct: &SigStruct,
         base_hash: &BaseEnclaveHash,
     ) -> Result<SingletonGrant, SinclaveError> {
-        let entry = self.validate_request(common_sigstruct, base_hash)?;
+        let entry = self.timed_validate(common_sigstruct, base_hash)?;
         let token = AttestationToken::generate(rng);
-        let grant = self.grant_for_token(common_sigstruct, &entry, token)?;
+        let grant = self.timed_grant(common_sigstruct, &entry, token)?;
         self.register_token(token, grant.expected_mrenclave, entry.common);
         Ok(grant)
     }
@@ -286,7 +354,7 @@ impl SingletonIssuer {
         base_hash: &BaseEnclaveHash,
         count: usize,
     ) -> Result<Vec<SingletonGrant>, SinclaveError> {
-        let entry = self.validate_request(common_sigstruct, base_hash)?;
+        let entry = self.timed_validate(common_sigstruct, base_hash)?;
         // Draw all tokens up front: the rng is consumed exactly as by
         // sequential issue() calls, keeping batches seed-stable.
         let tokens: Vec<AttestationToken> =
@@ -297,7 +365,7 @@ impl SingletonIssuer {
         let mut grants = Vec::with_capacity(count);
         if workers <= 1 {
             for &token in &tokens {
-                grants.push(self.grant_for_token(common_sigstruct, &entry, token)?);
+                grants.push(self.timed_grant(common_sigstruct, &entry, token)?);
             }
         } else {
             let chunks: Vec<Result<Vec<SingletonGrant>, SinclaveError>> =
@@ -308,7 +376,7 @@ impl SingletonIssuer {
                             scope.spawn(move || {
                                 chunk_tokens
                                     .iter()
-                                    .map(|&t| self.grant_for_token(common_sigstruct, &entry, t))
+                                    .map(|&t| self.timed_grant(common_sigstruct, &entry, t))
                                     .collect()
                             })
                         })

@@ -69,6 +69,11 @@ pub struct Volume {
     /// Runtime knob, not on-disk state: zero by default and not part
     /// of the disk image.
     flush_latency_micros: u64,
+    /// Fault-injection knob (see [`Volume::set_file_write_failure`]):
+    /// while set, whole-file writes fail as a sick device would make
+    /// them fail. Runtime-only, like `flush_latency_micros` — never
+    /// part of the disk image.
+    fail_file_writes: bool,
     /// Human-readable label (host-visible, unauthenticated — like a
     /// partition label).
     pub label: String,
@@ -127,6 +132,7 @@ impl Volume {
             chunks: BTreeMap::new(),
             next_file_id: 1,
             flush_latency_micros: 0,
+            fail_file_writes: false,
             label: label.to_owned(),
         };
         v.write_manifest(key, &BTreeMap::new());
@@ -143,6 +149,17 @@ impl Volume {
     /// all rounding to free.
     pub fn set_flush_latency_micros(&mut self, micros: u64) {
         self.flush_latency_micros = micros;
+    }
+
+    /// Fault injection for degradation drills: while set, every
+    /// [`Volume::write_file`] fails with
+    /// [`FsError::BadKeyOrCorruptSuperblock`] before touching any
+    /// state — the way a device returning write errors makes snapshot
+    /// exports fail — while log-chunk appends keep succeeding (the
+    /// journal lives on, so the failure degrades durability rather
+    /// than stopping the world). Runtime-only; cleared on restore.
+    pub fn set_file_write_failure(&mut self, fail: bool) {
+        self.fail_file_writes = fail;
     }
 
     /// One modeled device flush (no-op at zero latency).
@@ -227,6 +244,12 @@ impl Volume {
     pub fn write_file(&mut self, key: &AeadKey, path: &str, data: &[u8]) -> Result<(), FsError> {
         if path.is_empty() || path.len() > MAX_PATH {
             return Err(FsError::InvalidPath);
+        }
+        if self.fail_file_writes {
+            // Injected device failure (see `set_file_write_failure`):
+            // refuse before staging anything so the volume is left
+            // exactly as it was.
+            return Err(FsError::BadKeyOrCorruptSuperblock);
         }
         let mut files = self.read_manifest(key)?; // also the key check
         let (file_id, _) = self.stage_chunks(key, path, data);
@@ -732,6 +755,7 @@ impl Volume {
             chunks,
             next_file_id,
             flush_latency_micros: 0,
+            fail_file_writes: false,
             label,
         })
     }

@@ -113,9 +113,16 @@ impl Poller {
     /// Waits until at least one token is queued (returning the drained
     /// tokens in signal order) or `timeout` passes (returning empty).
     /// Parks on a condvar while idle — never spins.
+    ///
+    /// A `timeout` too large to land on the monotonic clock (e.g.
+    /// [`Duration::MAX`] as "wait forever") is treated as unbounded:
+    /// the wait parks in long chunks until a token arrives instead of
+    /// panicking on `Instant` overflow.
     #[must_use]
     pub fn wait(&self, timeout: Duration) -> Vec<u64> {
-        let deadline = Instant::now() + timeout;
+        // `None` = effectively infinite: `Instant + timeout` would
+        // overflow, so there is no deadline to miss.
+        let deadline = Instant::now().checked_add(timeout);
         let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if !state.ready.is_empty() {
@@ -133,14 +140,18 @@ impl Poller {
                     .collect();
             }
             let now = Instant::now();
-            if now >= deadline {
-                return Vec::new();
-            }
+            let remaining = match deadline {
+                Some(deadline) if now >= deadline => return Vec::new(),
+                Some(deadline) => deadline - now,
+                // Unbounded: park in hour-long chunks (a signal wakes
+                // the condvar immediately either way).
+                None => Duration::from_secs(3600),
+            };
             state.idle_waits += 1;
             state = self
                 .shared
                 .cv
-                .wait_timeout(state, deadline - now)
+                .wait_timeout(state, remaining)
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .0;
         }
@@ -696,6 +707,23 @@ mod tests {
         }
         assert_eq!(poller.wait(Duration::from_millis(100)), vec![9]);
         assert!(poller.wait(Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn unbounded_wait_survives_duration_max() {
+        // Regression: `wait` computed `Instant::now() + timeout`, which
+        // panics on overflow when a caller passes `Duration::MAX` as
+        // "wait forever". The overflow-checked deadline treats such
+        // timeouts as unbounded — the wait must park (not panic) and
+        // still wake on the next signal.
+        let poller = Poller::new();
+        let readiness = poller.readiness(7);
+        let signaler = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            readiness.signal();
+        });
+        assert_eq!(poller.wait(Duration::MAX), vec![7]);
+        signaler.join().unwrap();
     }
 
     #[test]

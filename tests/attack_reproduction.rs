@@ -19,7 +19,6 @@ use sinclave_repro::cas::policy::PolicyMode;
 use sinclave_repro::core::AttestationToken;
 use sinclave_repro::runtime::scone::SconeHost;
 use sinclave_repro::runtime::RuntimeError;
-use std::sync::atomic::Ordering;
 
 fn environment(world: &World) -> AttackEnvironment {
     AttackEnvironment {
@@ -48,7 +47,7 @@ fn reuse_attack_steals_secrets_from_baseline_deployment() {
     assert_eq!(loot.config.secret("db-password"), Some(b"correct horse battery staple".as_slice()));
     assert_eq!(loot.config.secret("api-key"), Some(b"sk-live-0123456789".as_slice()));
     // The CAS believed it served a legitimate enclave.
-    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 1);
+    assert_eq!(world.cas.stats.snapshot().configs_delivered, 1);
 }
 
 #[test]
@@ -87,7 +86,7 @@ fn sinclave_policy_defeats_impersonation_of_unupgraded_binary() {
         }
         other => panic!("expected denial, got {other:?}"),
     }
-    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 0);
+    assert_eq!(world.cas.stats.snapshot().configs_delivered, 0);
 }
 
 #[test]
@@ -110,7 +109,7 @@ fn sinclave_runtime_refuses_report_server_construction() {
     drop(world.network.connect(CAS_ADDR));
     cas_thread.join().unwrap();
     assert!(matches!(err, RuntimeError::Net(_)), "no report server could be built: {err:?}");
-    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 0);
+    assert_eq!(world.cas.stats.snapshot().configs_delivered, 0);
 }
 
 #[test]
@@ -146,7 +145,7 @@ fn forged_singleton_cannot_redeem_real_tokens() {
         }
         other => panic!("expected denial, got {other:?}"),
     }
-    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 0);
+    assert_eq!(world.cas.stats.snapshot().configs_delivered, 0);
 }
 
 #[test]
@@ -171,8 +170,8 @@ fn token_replay_is_refused() {
         other => panic!("expected token denial, got {other:?}"),
     }
     // Exactly one configuration ever left the CAS.
-    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 1);
-    assert_eq!(world.cas.stats.denials.load(Ordering::Relaxed), 1);
+    assert_eq!(world.cas.stats.snapshot().configs_delivered, 1);
+    assert_eq!(world.cas.stats.snapshot().denials, 1);
 }
 
 #[test]

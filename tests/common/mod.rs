@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use sinclave_repro::cas::policy::{PolicyMode, SessionPolicy};
 use sinclave_repro::cas::store::CasStore;
 use sinclave_repro::cas::witness::SealedWitness;
-use sinclave_repro::cas::CasServer;
+use sinclave_repro::cas::{CasServer, Health};
 use sinclave_repro::core::signer::SignerConfig;
 use sinclave_repro::core::AppConfig;
 use sinclave_repro::crypto::aead::AeadKey;
@@ -33,6 +33,8 @@ pub const STORE_KEY: [u8; 32] = [0x42; 32];
 pub const WITNESS_KEY: [u8; 32] = [0x57; 32];
 /// The primary's replication address in fleet tests.
 pub const REPL_ADDR: &str = "cas-repl:7443";
+/// The plaintext status endpoint's address in operability tests.
+pub const STATUS_ADDR: &str = "cas-status:9443";
 
 pub struct World {
     pub host: SconeHost,
@@ -159,6 +161,46 @@ impl World {
         );
         replica.add_policy(self.policy.clone()).expect("replica policy");
         replica
+    }
+
+    /// Spawns the plaintext status endpoint serving up to `probes`
+    /// probe connections.
+    pub fn serve_status(&self, probes: usize) -> std::thread::JoinHandle<()> {
+        sinclave_repro::cas::serve_status(&self.cas, &self.network, STATUS_ADDR, probes)
+    }
+
+    /// One status probe: connect to the status endpoint, send `view`
+    /// as a raw frame, return the rendered body.
+    pub fn probe_view(&self, view: &str) -> String {
+        let conn = self.network.connect(STATUS_ADDR).expect("status endpoint reachable");
+        conn.send(view.as_bytes().to_vec()).expect("send view name");
+        String::from_utf8(conn.recv().expect("status body")).expect("utf-8 status body")
+    }
+
+    /// Probes the `health` view and parses the verdict line.
+    pub fn probe_health(&self) -> Health {
+        let body = self.probe_view("health");
+        let verdict = body
+            .lines()
+            .find_map(|line| line.strip_prefix("status: "))
+            .unwrap_or_else(|| panic!("no verdict line in health view:\n{body}"));
+        match verdict {
+            "healthy" => Health::Healthy,
+            "degraded" => Health::Degraded,
+            "fail-closed" => Health::FailClosed,
+            other => panic!("unknown health verdict {other:?}"),
+        }
+    }
+
+    /// The deployment's startup probe, mirroring an enclave runtime's
+    /// `/healthz` contract: a controller checks health before routing
+    /// traffic, and **refuses to drive a fail-closed server**. Returns
+    /// the full health body on refusal so the operator sees why.
+    pub fn startup_probe(&self) -> Result<Health, String> {
+        match self.probe_health() {
+            Health::FailClosed => Err(self.probe_view("health")),
+            verdict => Ok(verdict),
+        }
     }
 
     /// Crash-restarts the CAS from an explicit volume image — used by

@@ -16,7 +16,6 @@ use sinclave_repro::crypto::rsa::RsaPrivateKey;
 use sinclave_repro::crypto::sha256::Digest;
 use sinclave_repro::runtime::scone::StartOptions;
 use sinclave_repro::runtime::ProgramImage;
-use std::sync::atomic::Ordering;
 
 fn issuer_with_enclave(
     seed: u64,
@@ -139,9 +138,9 @@ fn parallel_attest_flows_over_worker_pool_keep_stats_consistent() {
     sorted.sort_by_key(|m| *m.as_bytes());
     sorted.dedup();
     assert_eq!(sorted.len(), runs, "all singleton measurements distinct");
-    assert_eq!(world.cas.stats.grants_issued.load(Ordering::Relaxed), runs as u64);
-    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), runs as u64);
-    assert_eq!(world.cas.stats.denials.load(Ordering::Relaxed), 0);
+    assert_eq!(world.cas.stats.snapshot().grants_issued, runs as u64);
+    assert_eq!(world.cas.stats.snapshot().configs_delivered, runs as u64);
+    assert_eq!(world.cas.stats.snapshot().denials, 0);
     assert_eq!(world.cas.issuer().outstanding_tokens(), 0, "every issued token was redeemed");
 }
 
@@ -195,10 +194,10 @@ fn pipelined_requests_on_one_connection_reply_in_order() {
     mrenclaves.sort_unstable();
     mrenclaves.dedup();
     assert_eq!(mrenclaves.len(), burst / 2, "each grant individualized");
-    assert_eq!(world.cas.stats.grants_issued.load(Ordering::Relaxed), (burst / 2) as u64);
+    assert_eq!(world.cas.stats.snapshot().grants_issued, (burst / 2) as u64);
     // One RSA verification of the common SigStruct served the burst.
     assert_eq!(world.cas.issuer().verified_cache_len(), 1);
-    assert_eq!(world.cas.stats.records_rejected.load(Ordering::Relaxed), 0);
+    assert_eq!(world.cas.stats.snapshot().records_rejected, 0);
 }
 
 #[test]

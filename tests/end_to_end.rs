@@ -11,7 +11,6 @@ use sinclave_repro::core::AppConfig;
 use sinclave_repro::runtime::scone::StartOptions;
 use sinclave_repro::runtime::workload;
 use sinclave_repro::runtime::ProgramImage;
-use std::sync::atomic::Ordering;
 
 #[test]
 fn baseline_lifecycle_delivers_and_runs() {
@@ -44,9 +43,9 @@ fn sinclave_lifecycle_delivers_and_runs() {
         .unwrap();
     cas.join().unwrap();
     assert_eq!(app.outcome.stdout, vec!["configured"]);
-    assert_eq!(world.cas.stats.grants_issued.load(Ordering::Relaxed), 1);
-    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), 1);
-    assert_eq!(world.cas.stats.denials.load(Ordering::Relaxed), 0);
+    assert_eq!(world.cas.stats.snapshot().grants_issued, 1);
+    assert_eq!(world.cas.stats.snapshot().configs_delivered, 1);
+    assert_eq!(world.cas.stats.snapshot().denials, 0);
     // Unique, non-common measurement.
     assert_ne!(app.enclave.mrenclave(), world.packaged.signed.common_measurement());
 }
@@ -72,7 +71,7 @@ fn many_singletons_all_distinct_and_all_served() {
     measurements.sort_by_key(|m| *m.as_bytes());
     measurements.dedup();
     assert_eq!(measurements.len(), runs, "every singleton is unique");
-    assert_eq!(world.cas.stats.configs_delivered.load(Ordering::Relaxed), runs as u64);
+    assert_eq!(world.cas.stats.snapshot().configs_delivered, runs as u64);
 }
 
 #[test]

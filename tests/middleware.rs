@@ -16,7 +16,6 @@ use sinclave_repro::cas::policy::PolicyMode;
 use sinclave_repro::core::protocol::Message;
 use sinclave_repro::net::SecureChannel;
 use sinclave_repro::runtime::ProgramImage;
-use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 fn world(seed: u64) -> World {
@@ -51,9 +50,10 @@ fn reactor_drives_a_thousand_concurrent_sessions() {
         }
     });
     cas.join().expect("reactor");
-    assert_eq!(world.cas.stats.denials.load(Ordering::Relaxed), 0);
-    assert_eq!(world.cas.stats.connections_timed_out.load(Ordering::Relaxed), 0);
-    assert_eq!(world.cas.stats.records_rejected.load(Ordering::Relaxed), 0);
+    let stats = world.cas.stats.snapshot();
+    assert_eq!(stats.denials, 0);
+    assert_eq!(stats.connections_timed_out, 0);
+    assert_eq!(stats.records_rejected, 0);
 }
 
 #[test]
@@ -89,12 +89,10 @@ fn slow_loris_on_reactor_is_reaped_and_healthy_clients_unaffected() {
 
     // Every silent connection was reaped on deadline — and reaping is
     // a *timeout*, never confused with tampering.
-    assert_eq!(
-        world.cas.stats.connections_timed_out.load(Ordering::Relaxed),
-        (stalled + holders) as u64
-    );
-    assert_eq!(world.cas.stats.records_rejected.load(Ordering::Relaxed), 0);
-    assert_eq!(world.cas.stats.denials.load(Ordering::Relaxed), 0);
+    let stats = world.cas.stats.snapshot();
+    assert_eq!(stats.connections_timed_out, (stalled + holders) as u64);
+    assert_eq!(stats.records_rejected, 0);
+    assert_eq!(stats.denials, 0);
 }
 
 #[test]
@@ -113,8 +111,9 @@ fn slow_loris_on_pool_times_out_instead_of_leaking_the_worker() {
     ping(&world, 6600, 2);
     cas.join().expect("pool");
     loris.release();
-    assert_eq!(world.cas.stats.connections_timed_out.load(Ordering::Relaxed), 1);
-    assert_eq!(world.cas.stats.records_rejected.load(Ordering::Relaxed), 0);
+    let stats = world.cas.stats.snapshot();
+    assert_eq!(stats.connections_timed_out, 1);
+    assert_eq!(stats.records_rejected, 0);
 }
 
 #[test]
@@ -132,7 +131,7 @@ fn rate_limit_refusals_encode_over_the_wire() {
     assert_eq!(report.served, 2);
     assert_eq!(report.rate_limited, 4);
     assert_eq!(report.quota_denied, 0);
-    assert_eq!(world.cas.stats.requests_rate_limited.load(Ordering::Relaxed), 4);
+    assert_eq!(world.cas.stats.snapshot().requests_rate_limited, 4);
 }
 
 #[test]
@@ -145,7 +144,7 @@ fn quota_exhausts_an_identity_on_the_pooled_path() {
     assert_eq!(report.served, 3);
     assert_eq!(report.quota_denied, 2);
     assert_eq!(report.rate_limited, 0);
-    assert_eq!(world.cas.stats.requests_quota_denied.load(Ordering::Relaxed), 2);
+    assert_eq!(world.cas.stats.snapshot().requests_quota_denied, 2);
 }
 
 #[test]
@@ -182,8 +181,9 @@ fn open_breaker_sheds_journaling_requests_but_not_pings() {
     assert_eq!(Message::from_bytes(&chan.recv().expect("recv")).expect("decode"), Message::Pong);
     drop(chan);
     cas.join().expect("reactor");
-    assert_eq!(world.cas.stats.requests_shed.load(Ordering::Relaxed), 1);
-    assert_eq!(world.cas.stats.grants_issued.load(Ordering::Relaxed), 0);
+    let stats = world.cas.stats.snapshot();
+    assert_eq!(stats.requests_shed, 1);
+    assert_eq!(stats.grants_issued, 0);
 }
 
 #[test]
@@ -209,7 +209,7 @@ fn panic_isolation_contains_a_poisoned_dispatch_on_both_paths() {
         // Second connection is served normally by the same threads.
         ping(&world, 7500, 2);
         cas.join().expect("serve");
-        assert_eq!(world.cas.stats.panics_isolated.load(Ordering::Relaxed), 1, "reactor={reactor}");
+        assert_eq!(world.cas.stats.snapshot().panics_isolated, 1, "reactor={reactor}");
     }
 }
 
@@ -240,7 +240,7 @@ fn time_based_snapshot_tick_persists_while_idle() {
     cas.join().expect("reactor");
 
     assert!(
-        world.cas.stats.snapshot_persisted.load(Ordering::Relaxed) >= 1,
+        world.cas.stats.snapshot().snapshot_persisted >= 1,
         "idle period never hit the snapshot tick"
     );
     // The persisted snapshot is the real, restorable article.
@@ -277,6 +277,7 @@ fn identical_grant_retry_is_answered_from_the_dedup_cache() {
 
     assert!(matches!(replies[0], Message::GrantResponse { .. }), "got {:?}", replies[0]);
     assert_eq!(replies[0], replies[1], "retry must replay the cached reply, not mint anew");
-    assert_eq!(world.cas.stats.dedup_hits.load(Ordering::Relaxed), 1);
-    assert_eq!(world.cas.stats.grants_issued.load(Ordering::Relaxed), 1);
+    let stats = world.cas.stats.snapshot();
+    assert_eq!(stats.dedup_hits, 1);
+    assert_eq!(stats.grants_issued, 1);
 }

@@ -32,7 +32,6 @@ use sinclave_repro::fs::Volume;
 use sinclave_repro::net::SecureChannel;
 use sinclave_repro::sgx::measurement::Measurement;
 use sinclave_repro::sgx::sigstruct::SigStruct;
-use std::sync::atomic::Ordering;
 
 fn world(seed: u64) -> World {
     World::new(
@@ -75,8 +74,8 @@ fn cold_volume_starts_empty() {
     assert_eq!(w.cas.issuer().outstanding_tokens(), 0);
     assert_eq!(w.cas.issuer().token_table_len(), 0);
     // A volume that never saw a snapshot is not a rejected snapshot.
-    assert_eq!(w.cas.stats.snapshot_restored.load(Ordering::Relaxed), 0);
-    assert_eq!(w.cas.stats.snapshot_rejected.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.stats.snapshot().snapshot_restored, 0);
+    assert_eq!(w.cas.stats.snapshot().snapshot_rejected, 0);
 }
 
 #[test]
@@ -94,7 +93,7 @@ fn warm_restart_skips_verification_and_grants_bit_identically() {
     assert_eq!(restarted.cas.issuer().verified_cache_len(), 1);
 
     restarted.restart_cas();
-    assert_eq!(restarted.cas.stats.snapshot_restored.load(Ordering::Relaxed), 1);
+    assert_eq!(restarted.cas.stats.snapshot().snapshot_restored, 1);
     // Warm *before* serving a single request: restore, not re-verify,
     // warmed the cache.
     assert_eq!(restarted.cas.issuer().verified_cache_len(), 1);
@@ -104,7 +103,7 @@ fn warm_restart_skips_verification_and_grants_bit_identically() {
     // The repeat grant was served from the restored cache: still
     // exactly one verified entry, and no snapshot was rejected.
     assert_eq!(restarted.cas.issuer().verified_cache_len(), 1);
-    assert_eq!(restarted.cas.stats.snapshot_rejected.load(Ordering::Relaxed), 0);
+    assert_eq!(restarted.cas.stats.snapshot().snapshot_rejected, 0);
 
     // Policies survived alongside (they were always durable).
     assert_eq!(restarted.cas.store().get_policy(CONFIG_ID).unwrap().config_id, CONFIG_ID);
@@ -162,8 +161,8 @@ fn assert_cold_start_after(w: &mut World, mutate: impl FnOnce(&mut Vec<u8>)) {
     w.cas.store().persist_state(&bytes).expect("write mutated");
     let image = w.cas.store().volume().to_disk_image();
     w.rebuild_cas_from_image(&image);
-    assert_eq!(w.cas.stats.snapshot_rejected.load(Ordering::Relaxed), 1, "rejected exactly once");
-    assert_eq!(w.cas.stats.snapshot_restored.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.stats.snapshot().snapshot_rejected, 1, "rejected exactly once");
+    assert_eq!(w.cas.stats.snapshot().snapshot_restored, 0);
     assert_eq!(w.cas.issuer().verified_cache_len(), 0, "no partially-admitted entries");
     assert_eq!(w.cas.issuer().outstanding_tokens(), 0);
     assert_eq!(w.cas.issuer().token_table_len(), 0);
@@ -222,7 +221,7 @@ fn tampered_snapshot_ciphertext_degrades_to_cold_start() {
         }
     }
     w.rebuild_cas_from_image(&volume.to_disk_image());
-    assert_eq!(w.cas.stats.snapshot_rejected.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot().snapshot_rejected, 1);
     assert_eq!(w.cas.issuer().verified_cache_len(), 0);
     // Policies (untouched files) still load and serving still works.
     assert_eq!(w.cas.store().get_policy(CONFIG_ID).unwrap().config_id, CONFIG_ID);
@@ -246,10 +245,10 @@ fn crash_reexposure_window_is_bounded_by_redemption_cadence() {
         .start_sinclave(&w.packaged, &StartOptions::new(CAS_ADDR, CONFIG_ID).with_seed(3))
         .expect("singleton lifecycle");
     cas.join().expect("serve");
-    assert_eq!(w.cas.stats.tokens_redeemed.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot().tokens_redeemed, 1);
     // Cadence 1 persisted after the grant *and* after the redemption.
-    assert_eq!(w.cas.stats.snapshot_persisted.load(Ordering::Relaxed), 2);
-    assert_eq!(w.cas.stats.snapshot_persist_failed.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.stats.snapshot().snapshot_persisted, 2);
+    assert_eq!(w.cas.stats.snapshot().snapshot_persist_failed, 0);
 
     // Crash: rebuild from the volume as-is, no graceful persist.
     let image = w.cas.store().volume().to_disk_image();
@@ -325,12 +324,8 @@ fn crash_mid_snapshot_restarts_from_previous_good_snapshot() {
         w.rebuild_cas_from_image(&volume.to_disk_image());
         // The previous good snapshot was restored: exactly generation
         // 1's state, no panic, nothing rejected.
-        assert_eq!(
-            w.cas.stats.snapshot_restored.load(Ordering::Relaxed),
-            1,
-            "crash after {crash_after} chunks"
-        );
-        assert_eq!(w.cas.stats.snapshot_rejected.load(Ordering::Relaxed), 0);
+        assert_eq!(w.cas.stats.snapshot().snapshot_restored, 1, "crash after {crash_after} chunks");
+        assert_eq!(w.cas.stats.snapshot().snapshot_rejected, 0);
         assert_eq!(w.cas.issuer().verified_cache_len(), 1);
         assert_eq!(w.cas.issuer().outstanding_tokens(), generation1.tokens.len() - 1);
         assert_eq!(w.cas.issuer().redeemed_tombstones(), 1);
@@ -365,11 +360,11 @@ fn journal_replays_grant_after_crash_without_snapshot() {
     // ever written: the grant delta was journaled before the reply.
     let mut w = world(0x10a1);
     let (token, expected) = grant_token_over_network(&w, 500);
-    assert_eq!(w.cas.stats.journal_appended.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot().journal_appended, 1);
 
     crash(&mut w);
-    assert_eq!(w.cas.stats.journal_replayed.load(Ordering::Relaxed), 1);
-    assert_eq!(w.cas.stats.journal_rejected.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.stats.snapshot().journal_replayed, 1);
+    assert_eq!(w.cas.stats.snapshot().journal_rejected, 0);
     assert_eq!(w.cas.issuer().outstanding_tokens(), 1, "granted token lost by crash");
     // Redeemable exactly once, same as if the crash never happened.
     w.cas.redeem_token(&token, &expected).unwrap();
@@ -386,8 +381,8 @@ fn journal_acked_redemption_is_crash_proof() {
     let mut w = world(0x10a2);
     let (token, expected) = grant_token_over_network(&w, 510);
     w.cas.redeem_token(&token, &expected).expect("redeem");
-    assert_eq!(w.cas.stats.tokens_redeemed.load(Ordering::Relaxed), 1);
-    assert_eq!(w.cas.stats.snapshot_persisted.load(Ordering::Relaxed), 0, "no snapshot involved");
+    assert_eq!(w.cas.stats.snapshot().tokens_redeemed, 1);
+    assert_eq!(w.cas.stats.snapshot().snapshot_persisted, 0, "no snapshot involved");
 
     crash(&mut w);
     assert_eq!(w.cas.issuer().outstanding_tokens(), 0, "crash re-exposed an acked redemption");
@@ -412,11 +407,11 @@ fn journal_group_commit_preserves_concurrent_redemptions() {
         }
     });
     // Every grant and every redemption became a durable record.
-    assert_eq!(w.cas.stats.journal_appended.load(Ordering::Relaxed), 16);
-    assert_eq!(w.cas.stats.journal_append_failed.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.stats.snapshot().journal_appended, 16);
+    assert_eq!(w.cas.stats.snapshot().journal_append_failed, 0);
 
     crash(&mut w);
-    assert_eq!(w.cas.stats.journal_replayed.load(Ordering::Relaxed), 16);
+    assert_eq!(w.cas.stats.snapshot().journal_replayed, 16);
     assert_eq!(w.cas.issuer().outstanding_tokens(), 0);
     for (token, expected) in &grants {
         assert!(w.cas.redeem_token(token, expected).is_err(), "acked redemption replayed");
@@ -452,11 +447,11 @@ fn journal_torn_append_sweep_never_replays_acked_redemptions() {
 
         w.rebuild_cas_from_image(&volume.to_disk_image());
         assert_eq!(
-            w.cas.stats.journal_rejected.load(Ordering::Relaxed),
+            w.cas.stats.snapshot().journal_rejected,
             1,
             "torn tail not counted at keep {keep}"
         );
-        assert_eq!(w.cas.stats.tokens_quarantined.load(Ordering::Relaxed), 0, "keep {keep}");
+        assert_eq!(w.cas.stats.snapshot().tokens_quarantined, 0, "keep {keep}");
         // Both acked redemptions held; the never-acked one rolled back
         // to outstanding (its client never got a reply).
         assert!(w.cas.redeem_token(&t1, &e1).is_err(), "t1 replayed at keep {keep}");
@@ -501,12 +496,8 @@ fn journal_torn_batch_sweep_degrades_to_last_complete_record() {
         w.rebuild_cas_from_image(&volume.to_disk_image());
         let complete = boundaries.iter().filter(|&&b| b <= cut).count();
         let clean = cut == 0 || boundaries.contains(&cut);
-        assert_eq!(
-            w.cas.stats.journal_rejected.load(Ordering::Relaxed),
-            u64::from(!clean),
-            "cut {cut}"
-        );
-        assert_eq!(w.cas.stats.tokens_quarantined.load(Ordering::Relaxed), 0, "cut {cut}");
+        assert_eq!(w.cas.stats.snapshot().journal_rejected, u64::from(!clean), "cut {cut}");
+        assert_eq!(w.cas.stats.snapshot().tokens_quarantined, 0, "cut {cut}");
         assert_eq!(
             w.cas.issuer().outstanding_tokens(),
             grants.len() - complete,
@@ -543,7 +534,7 @@ fn journal_corruption_before_committed_records_fails_closed() {
     assert!(volume.corrupt_chunk(ids[0])); // the first grant's record
 
     w.rebuild_cas_from_image(&volume.to_disk_image());
-    assert_eq!(w.cas.stats.journal_rejected.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot().journal_rejected, 1);
     // Nothing outstanding survived the quarantine; the acked
     // redemption's token is refused either way (unknown), and the
     // quarantined one must be re-granted.
@@ -575,15 +566,15 @@ fn whole_disk_image_rollback_detected_and_quarantined() {
 
     // Graceful restore of the *current* image: no alarm.
     w.restart_cas();
-    assert_eq!(w.cas.stats.rollback_detected.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.stats.snapshot().rollback_detected, 0);
 
     // Restore of the old image: detected, counted, quarantined.
     w.rebuild_cas_from_image(&old_image);
     assert!(w.cas.check_rollback(witness, witness_seq));
-    assert_eq!(w.cas.stats.rollback_detected.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot().rollback_detected, 1);
     assert_eq!(w.cas.issuer().outstanding_tokens(), 0, "rolled-back tokens honored");
     assert!(w.cas.redeem_token(&token, &expected).is_err());
-    assert!(w.cas.stats.tokens_quarantined.load(Ordering::Relaxed) >= 1);
+    assert!(w.cas.stats.snapshot().tokens_quarantined >= 1);
 }
 
 #[test]
@@ -611,12 +602,12 @@ fn deleted_journal_tail_detected_by_sequence_witness() {
 
     w.rebuild_cas_from_image(&volume.to_disk_image());
     // Storage sees a clean end — no journal damage to count…
-    assert_eq!(w.cas.stats.journal_rejected.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.stats.snapshot().journal_rejected, 0);
     // …but the witness does not: rollback detected, outstanding
     // quarantined, and the token whose redemption was deleted can
     // never be redeemed again.
     assert!(w.cas.check_rollback(witness_gen, witness_seq));
-    assert_eq!(w.cas.stats.rollback_detected.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot().rollback_detected, 1);
     assert!(w.cas.redeem_token(&t1, &e1).is_err(), "deleted-tail redemption replayed");
     assert_eq!(w.cas.issuer().outstanding_tokens(), 0);
 }
@@ -650,8 +641,8 @@ fn deleted_middle_epoch_quarantines_via_sequence_gap() {
     }
 
     w.rebuild_cas_from_image(&volume.to_disk_image());
-    assert_eq!(w.cas.stats.journal_rejected.load(Ordering::Relaxed), 1, "gap not counted");
-    assert!(w.cas.stats.tokens_quarantined.load(Ordering::Relaxed) >= 1);
+    assert_eq!(w.cas.stats.snapshot().journal_rejected, 1, "gap not counted");
+    assert!(w.cas.stats.snapshot().tokens_quarantined >= 1);
     assert_eq!(w.cas.issuer().outstanding_tokens(), 0);
     // The acked redemption's token was restored Issued from the
     // snapshot; the quarantine is what keeps it unredeemable.
@@ -683,25 +674,25 @@ fn clean_snapshots_are_skipped_not_rewritten() {
     let mut w = world(0x10a8);
     grant_token_over_network(&w, 570);
     w.cas.persist_state().unwrap();
-    assert_eq!(w.cas.stats.snapshot_persisted.load(Ordering::Relaxed), 1);
-    assert_eq!(w.cas.stats.snapshot_skipped_clean.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.stats.snapshot().snapshot_persisted, 1);
+    assert_eq!(w.cas.stats.snapshot().snapshot_skipped_clean, 0);
 
     w.cas.persist_state().unwrap();
-    assert_eq!(w.cas.stats.snapshot_persisted.load(Ordering::Relaxed), 1, "clean state rewritten");
-    assert_eq!(w.cas.stats.snapshot_skipped_clean.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot().snapshot_persisted, 1, "clean state rewritten");
+    assert_eq!(w.cas.stats.snapshot().snapshot_skipped_clean, 1);
 
     grant_token_over_network(&w, 571);
     w.cas.persist_state().unwrap();
-    assert_eq!(w.cas.stats.snapshot_persisted.load(Ordering::Relaxed), 2);
+    assert_eq!(w.cas.stats.snapshot().snapshot_persisted, 2);
 
     // A graceful restart replays only the checkpoint (no token
     // records beyond the snapshot), so the restored state is clean
     // too: the shutdown persist of the next restart skips.
     w.restart_cas();
-    assert_eq!(w.cas.stats.snapshot_skipped_clean.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.stats.snapshot().snapshot_skipped_clean, 0);
     w.cas.persist_state().unwrap();
-    assert_eq!(w.cas.stats.snapshot_skipped_clean.load(Ordering::Relaxed), 1);
-    assert_eq!(w.cas.stats.snapshot_persisted.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.stats.snapshot().snapshot_skipped_clean, 1);
+    assert_eq!(w.cas.stats.snapshot().snapshot_persisted, 0);
 }
 
 #[test]
@@ -739,7 +730,7 @@ fn disabled_journal_honestly_reopens_the_crash_window() {
     let (token, expected) = grant_token_over_network(&w, 590);
     w.cas.persist_state().unwrap(); // snapshot sees the token as Issued
     w.cas.redeem_token(&token, &expected).unwrap();
-    assert_eq!(w.cas.stats.journal_appended.load(Ordering::Relaxed), 0);
+    assert_eq!(w.cas.stats.snapshot().journal_appended, 0);
 
     crash(&mut w);
     assert_eq!(w.cas.issuer().outstanding_tokens(), 1, "the documented window");

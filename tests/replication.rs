@@ -141,7 +141,7 @@ fn follower_adopts_baseline_and_replays_live_commits() {
     assert_eq!(follower.issuer().outstanding_tokens(), 1);
     assert_eq!(follower.issuer().redeemed_tombstones(), 1);
     assert!(follower.is_following());
-    assert!(follower.stats.replication_records_replayed.load(Ordering::Relaxed) >= 3);
+    assert!(follower.stats.snapshot().replication_records_replayed >= 3);
     // The acked redemption is already un-replayable *on the replica*.
     pump.stop();
     assert!(follower.redeem_token(&t1, &m1).is_err(), "redeemed token replayed on follower");
@@ -250,7 +250,7 @@ fn torn_batch_payloads_never_corrupt_a_follower() {
         }
     }
     assert!(
-        replica.stats.replication_frames_rejected.load(Ordering::Relaxed) > 0,
+        replica.stats.snapshot().replication_frames_rejected > 0,
         "no torn payload was ever rejected"
     );
     replica.apply_replicated_batch(&payload).expect("pristine batch");
@@ -346,7 +346,7 @@ fn partitioned_stream_degrades_reconnects_and_catches_up() {
     w.network.adversary_redirect(RELAY_ADDR, REPL_ADDR);
     wait_for("catch-up after heal", || follower.journal_sequence() == w.cas.journal_sequence());
     assert!(!follower.middleware().is_degraded());
-    assert!(follower.stats.replication_reconnects.load(Ordering::Relaxed) >= 1);
+    assert!(follower.stats.snapshot().replication_reconnects >= 1);
     pump.stop();
     // Exactly-once held across the partition: the redemption that
     // happened while partitioned is present and final…
@@ -380,7 +380,7 @@ fn tampered_stream_frame_drops_the_session_not_the_state() {
     let (t2, m2) = grant_token(&w, 62);
     wait_for("reconnect + converge", || follower.journal_sequence() == w.cas.journal_sequence());
     pump.stop();
-    assert!(follower.stats.replication_reconnects.load(Ordering::Relaxed) >= 1);
+    assert!(follower.stats.snapshot().replication_reconnects >= 1);
     assert!(follower.redeem_token(&t1, &m1).is_err(), "tampering replayed a redemption");
     follower.redeem_token(&t2, &m2).expect("post-tamper grant");
     w.network.adversary_clear_redirect(RELAY_ADDR);
@@ -404,9 +404,9 @@ fn follower_serves_clients_and_linearizes_writes_through_primary() {
     let reply = grant_attempt(&w, FOLLOWER_ADDR, 73);
     serving.join().expect("serve");
     assert!(matches!(reply, Message::GrantResponse { .. }), "forwarded grant refused: {reply:?}");
-    assert_eq!(follower.stats.forwarded_writes.load(Ordering::Relaxed), 1);
+    assert_eq!(follower.stats.snapshot().forwarded_writes, 1);
     // The grant committed on the *primary's* journal…
-    assert_eq!(w.cas.stats.grants_issued.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot().grants_issued, 1);
     assert_eq!(w.cas.journal_sequence(), 1);
     // …and streamed back to the follower that forwarded it.
     wait_for("grant streams back", || follower.journal_sequence() == 1);
@@ -435,10 +435,10 @@ fn retried_forwarded_grant_hits_primary_dedup_once() {
     let second = grant_attempt(&w, FOLLOWER_ADDR, 81);
     serving.join().expect("serve");
     assert_eq!(first.to_bytes(), second.to_bytes(), "retried grant not idempotent");
-    assert_eq!(w.cas.stats.dedup_hits.load(Ordering::Relaxed), 1);
-    assert_eq!(w.cas.stats.grants_issued.load(Ordering::Relaxed), 1);
+    assert_eq!(w.cas.stats.snapshot().dedup_hits, 1);
+    assert_eq!(w.cas.stats.snapshot().grants_issued, 1);
     assert_eq!(w.cas.journal_sequence(), 1, "retry appended a second journal record");
-    assert_eq!(follower.stats.forwarded_writes.load(Ordering::Relaxed), 2);
+    assert_eq!(follower.stats.snapshot().forwarded_writes, 2);
 }
 
 #[test]
@@ -493,7 +493,7 @@ fn stale_primary_is_fenced_and_cannot_double_redeem() {
     let refused = grant_attempt(&w, CAS_ADDR, 93);
     serving.join().expect("serve");
     assert!(matches!(refused, Message::Denied { .. }), "deposed primary granted: {refused:?}");
-    assert!(w.cas.stats.writes_fenced.load(Ordering::Relaxed) >= 2);
+    assert!(w.cas.stats.snapshot().writes_fenced >= 2);
 
     // Exactly-once fleet-wide: the pre-failover acked redemption is
     // final on the new primary…
@@ -533,9 +533,7 @@ fn hijacked_stream_is_dropped_at_the_fingerprint() {
     // its primary.
     let pump =
         follow(follower.clone(), w.network.clone(), "cas-evil:7443".into(), 0xa1, fast_backoff());
-    wait_for("hijack rejected", || {
-        follower.stats.replication_frames_rejected.load(Ordering::Relaxed) >= 1
-    });
+    wait_for("hijack rejected", || follower.stats.snapshot().replication_frames_rejected >= 1);
     pump.stop();
     let report = evil.join().expect("hijacker");
     assert!(report.handshake_completed, "the channel itself never stops a MITM");
