@@ -1,6 +1,6 @@
 //! SA005 — secret hygiene.
 //!
-//! Two sub-checks, both non-test:
+//! Three sub-checks, all non-test:
 //!
 //! 1. **Derive check** — key-bearing types (`AeadKey`,
 //!    `RsaPrivateKey`) must not `#[derive(Debug)]` or derive
@@ -11,6 +11,10 @@
 //!    spellings) must not appear as arguments or inline captures of
 //!    format-family macros, where `{:?}`/`{}` would serialize them
 //!    into logs or error strings.
+//! 3. **Trace-annotation check** — the same keyish identifiers must
+//!    not appear as arguments of `annotate(...)` calls: trace span
+//!    annotations land in the flight recorder and are rendered by the
+//!    status plane's `trace` view, which is exactly a log.
 
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
@@ -50,6 +54,7 @@ fn keyish(name: &str) -> bool {
 pub(super) fn check(file: &SourceFile, out: &mut Vec<Finding>) {
     check_derives(file, out);
     check_format_args(file, out);
+    check_trace_annotations(file, out);
 }
 
 /// Flags `#[derive(Debug)]` / `#[derive(Display)]`-style attributes on
@@ -172,6 +177,51 @@ fn check_format_args(file: &SourceFile, out: &mut Vec<Finding>) {
                         });
                     }
                 }
+            }
+            j += 1;
+        }
+        ci = j;
+    }
+}
+
+/// Flags keyish identifiers inside `annotate(...)` call arguments —
+/// both the free function (`trace::annotate(..)`) and the
+/// `ActiveTrace` method (`t.annotate(..)`). Annotations are captured
+/// into the flight recorder and rendered by the status plane, so a
+/// key-derived value there is a key in a log.
+fn check_trace_annotations(file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut ci = 0usize;
+    while ci < file.code.len() {
+        let head = file.ct(ci).kind == TokenKind::Ident
+            && file.ct_text(ci) == "annotate"
+            && file.punct_at(ci + 1, '(');
+        if !head || file.in_test[ci] {
+            ci += 1;
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut j = ci + 2;
+        while j < file.code.len() && depth > 0 {
+            let tok = file.ct(j);
+            if file.is_punct(j, '(') {
+                depth += 1;
+            } else if file.is_punct(j, ')') {
+                depth -= 1;
+            } else if tok.kind == TokenKind::Ident
+                && keyish(file.ct_text(j))
+                && !file.punct_at(j + 1, '(')
+            {
+                out.push(Finding {
+                    rule: Rule::SecretHygiene,
+                    path: file.path.clone(),
+                    line: tok.line,
+                    message: format!(
+                        "`{}` passed to a trace annotation — span annotations reach the flight \
+                         recorder and the status plane's `trace` view; key material must never \
+                         be annotated",
+                        file.ct_text(j)
+                    ),
+                });
             }
             j += 1;
         }

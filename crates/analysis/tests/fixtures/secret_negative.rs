@@ -26,6 +26,14 @@ fn fine(public_key: &[u8], key_fingerprint: &[u8], keyboard: &str) {
     println!("rule {}", rule.key());
 }
 
+fn annotate_fine(active: &mut ActiveTrace) {
+    // Counts and public spellings never hold key bytes; method calls
+    // are not value idents.
+    active.annotate("batch_len", batch_len);
+    trace::annotate("public_key_bits", public_key_bits);
+    trace::annotate("rule", rule.key());
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

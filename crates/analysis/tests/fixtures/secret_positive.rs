@@ -16,3 +16,8 @@ fn log_key(key: &[u8], volume_key: &[u8], shared_secret: &[u8]) {
     eprintln!("derived {shared_secret:?}"); // EXPECT: SA005
     let _ = msg;
 }
+
+fn annotate_leak(key: u64, shared_secret: u64) {
+    trace::annotate("k", key); // EXPECT: SA005
+    active.annotate("s", shared_secret); // EXPECT: SA005
+}

@@ -64,6 +64,13 @@
 //!     primary's baseline promotes under a durable fence, the deposed
 //!     primary refuses further redemptions, and exactly-once holds
 //!     across the handover.
+//! 12. **Request tracing.** `ablation/trace` gates that the tracing
+//!     layer is invisible to clients — tracing dark (the default)
+//!     serves a scripted session bit-identically to tracing lit for an
+//!     untraced caller, and dark records nothing at all — then
+//!     measures the 256-connection fan-in with the flight recorder
+//!     dark versus lit at keep-everything sampling (the worst-case
+//!     recorder traffic).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -902,6 +909,102 @@ fn bench_status(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_trace(c: &mut Criterion) {
+    use sinclave::protocol::Message;
+    use sinclave_bench::{fan_in_burst, BenchWorld, ServePath};
+    use sinclave_cas::trace::RecorderStats;
+    use sinclave_cas::MiddlewareConfig;
+    use sinclave_net::SecureChannel;
+    use sinclave_runtime::ProgramImage;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    // Gate — bit-identity. Tracing dark (the default) and tracing lit
+    // must both serve a plain, untraced client byte-for-byte like the
+    // pre-trace server did: dark mints nothing at all, and a lit
+    // server only echoes trace context to callers that sent one. Two
+    // worlds from the same seed hold identical keys, so the decrypted
+    // reply records must match exactly.
+    let script = |lit: bool| -> Vec<Vec<u8>> {
+        let world = BenchWorld::new(0xacc);
+        let packaged = world.package(&ProgramImage::interpreter("python-3.8", 8));
+        let addr = if lit { "cas:abl-tr-lit" } else { "cas:abl-tr-dark" };
+        if lit {
+            world.cas.tracer().set_enabled(true);
+            world.cas.tracer().set_sample_every(1);
+        }
+        let server = world.cas.serve_reactor_with(&world.network, addr, 2, 0xd8, 1, 1);
+        let mut replies = Vec::new();
+        for session in 0..2u64 {
+            let conn = world.network.connect(addr).expect("connect");
+            let mut rng = StdRng::seed_from_u64(0x7ace0 + session);
+            let mut chan = SecureChannel::client_connect(conn, &mut rng).expect("handshake");
+            for request in [
+                Message::GrantRequest {
+                    common_sigstruct: packaged.signed.common_sigstruct.to_bytes(),
+                    base_hash: packaged.signed.base_hash.encode().to_vec(),
+                },
+                Message::ChallengeRequest,
+                Message::Ping,
+            ] {
+                chan.send(&request.to_bytes()).expect("send");
+                replies.push(chan.recv().expect("recv"));
+            }
+        }
+        server.join().expect("serve");
+        let stats = world.cas.tracer().recorder().stats();
+        if lit {
+            assert!(stats.sampled > 0, "lit server with keep-everything sampling kept nothing");
+        } else {
+            assert_eq!(stats, RecorderStats::default(), "dark server recorded trace traffic");
+        }
+        replies
+    };
+    assert_eq!(
+        script(false),
+        script(true),
+        "tracing must not change client-visible bytes for untraced callers"
+    );
+
+    // The measurement: the 256-connection mostly-idle fan-in with
+    // tracing dark versus lit at keep-everything sampling. The
+    // acceptance bar matches the status plane's: the lit column must
+    // stay within a few percent; criterion's report is the evidence (a
+    // hard assert on wall-clock deltas would be flaky on shared CI
+    // hardware).
+    const CONNECTIONS: usize = 256;
+    const PINGS: usize = 4;
+    let path = ServePath::Reactor { loops: 2, compute: 2 };
+    let world = BenchWorld::new(0xacd);
+    // Idle sessions are the scenario, not a fault: generous deadlines.
+    world.cas.set_middleware(MiddlewareConfig {
+        handshake_timeout: Some(Duration::from_secs(600)),
+        idle_timeout: Some(Duration::from_secs(600)),
+        ..MiddlewareConfig::default()
+    });
+    let mut group = c.benchmark_group("ablation/trace");
+    group.throughput(Throughput::Elements((CONNECTIONS * PINGS) as u64));
+    group.measurement_time(std::time::Duration::from_millis(150));
+    let round = AtomicU64::new(0);
+    group.bench_function("fan-in-trace-dark", |b| {
+        world.cas.tracer().set_enabled(false);
+        b.iter(|| {
+            let seed = 0xe600 + round.fetch_add(1, Ordering::Relaxed);
+            fan_in_burst(&world, "cas:abl-td", CONNECTIONS, PINGS, &path, seed);
+        });
+    });
+    group.bench_function("fan-in-trace-lit", |b| {
+        world.cas.tracer().set_enabled(true);
+        world.cas.tracer().set_sample_every(1);
+        b.iter(|| {
+            let seed = 0xe700 + round.fetch_add(1, Ordering::Relaxed);
+            fan_in_burst(&world, "cas:abl-tl", CONNECTIONS, PINGS, &path, seed);
+        });
+    });
+    world.cas.tracer().set_enabled(false);
+    group.finish();
+}
+
 criterion_group!(
     ablations,
     bench_prediction_vs_remeasure,
@@ -915,6 +1018,7 @@ criterion_group!(
     bench_journal,
     bench_reactor,
     bench_replication,
-    bench_status
+    bench_status,
+    bench_trace
 );
 criterion_main!(ablations);

@@ -1,0 +1,23 @@
+//! Captures the git description at build time so the status plane can
+//! report exactly which build is serving (`build:` in the `health`
+//! view, `cas_build_info` in `metrics`). Builds outside a git checkout
+//! simply omit the description — the views fall back to the crate
+//! version alone.
+
+use std::process::Command;
+
+fn main() {
+    // Re-describe when HEAD moves (commit, checkout, tag).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    let describe = Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|raw| raw.trim().to_owned())
+        .filter(|described| !described.is_empty());
+    if let Some(describe) = describe {
+        println!("cargo:rustc-env=SINCLAVE_GIT_DESCRIBE={describe}");
+    }
+}

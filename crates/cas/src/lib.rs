@@ -37,6 +37,10 @@
 //! * [`status`] — the operability plane's status wire: the health
 //!   verdict, the counter dump, and the latency histograms, over a
 //!   plaintext probe listener and a protocol opcode.
+//! * [`trace`] — per-request causal tracing: trace ids propagated
+//!   across fleet hops, span records for every instrumented stage,
+//!   and the tail-sampling flight recorder behind the `trace` status
+//!   view.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +54,7 @@ pub mod replica;
 pub mod server;
 pub mod status;
 pub mod store;
+pub mod trace;
 pub mod witness;
 
 pub use histogram::{Histogram, HistogramView, StageHistograms};
@@ -58,4 +63,7 @@ pub use policy::{PolicyMode, SessionPolicy};
 pub use replica::{follow, serve_replication, FollowerHandle, ForwardLink};
 pub use server::{CasServer, JournalMode, StatsSnapshot};
 pub use status::{serve_status, status_body, Health};
+pub use trace::{
+    ActiveTrace, CompletedTrace, FlightRecorder, PinReason, Span, SpanOutcome, Tracer,
+};
 pub use witness::{SealedWitness, WitnessMark};

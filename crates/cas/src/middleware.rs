@@ -166,6 +166,18 @@ impl Refusal {
             Refusal::LoadShed => "service overloaded: retry later",
         }
     }
+
+    /// The trace-span stage name of the refusing layer (see
+    /// [`crate::trace`]): the decision span a refused request's trace
+    /// carries alongside the admission span.
+    #[must_use]
+    pub fn trace_stage(self) -> &'static str {
+        match self {
+            Refusal::RateLimited => "rate_limit",
+            Refusal::QuotaExceeded => "quota",
+            Refusal::LoadShed => "breaker_shed",
+        }
+    }
 }
 
 /// A monotonic clock the tests can step without sleeping.

@@ -38,6 +38,7 @@
 
 use crate::middleware::{MiddlewareChain, MiddlewareConfig};
 use crate::server::{CasServer, ServeGuard};
+use crate::trace::{self, SpanOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sinclave::protocol::Message;
@@ -81,6 +82,10 @@ enum Phase {
 struct ConnState {
     conn: Arc<Connection>,
     phase: Phase,
+    /// The readiness handle watching `conn`, kept so the loop can read
+    /// how long the event it is servicing sat queued
+    /// ([`Readiness::since_signal`] — the traced `queue` leg).
+    ready: Arc<Readiness>,
     /// When the last client flight was received (or the connection
     /// accepted); the base for the phase's inactivity deadline.
     last_activity: Instant,
@@ -119,6 +124,10 @@ struct Job {
     /// start of the end-to-end `request` latency sample the compute
     /// worker records after sending the reply.
     received: Instant,
+    /// The admitted request's trace, checked out alongside the session
+    /// (`None` when tracing is dark). The compute worker installs it
+    /// for dispatch and finishes it after the reply is sent.
+    trace: Option<Box<trace::ActiveTrace>>,
 }
 
 /// Control token: the loop's inbox has messages.
@@ -260,7 +269,7 @@ fn run_reactor(
             scope.spawn(move || {
                 while let Ok(job) = job_rx.recv() {
                     let completion =
-                        run_job(server, &chain, job.message, job.received, job.session);
+                        run_job(server, &chain, job.message, job.received, job.session, job.trace);
                     inboxes[job.loop_id]
                         .lock()
                         .push_back(LoopMsg::Completed { token: job.token, session: completion });
@@ -312,24 +321,50 @@ fn run_job(
     message: Message,
     received: Instant,
     mut session: Box<Session>,
+    active: Option<Box<trace::ActiveTrace>>,
 ) -> Option<Box<Session>> {
-    let reply = server.dispatch_deduped(
+    if let Some(active) = active {
+        trace::install(active);
+    }
+    let Some(reply) = server.dispatch_deduped(
         chain,
         message,
         &mut session.outstanding_nonce,
         &session.transcript,
         &mut session.rng,
-    )?;
+    ) else {
+        // Contained dispatch panic: the connection closes; pin the
+        // orphaned trace as errored so the flight recorder keeps it.
+        if let Some(mut orphan) = trace::take() {
+            orphan.mark_errored();
+            server.tracer().finish(orphan);
+        }
+        return None;
+    };
     if matches!(reply, Message::Denied { .. }) {
         server.stats.denials.fetch_add(1, Ordering::Relaxed);
     }
+    let active = trace::take();
+    // The trace context is echoed only when the request carried one:
+    // untraced clients see the exact bytes of the untraced build.
+    let echo = active.as_ref().filter(|t| t.inherited()).map(|t| t.context());
     // A send failure means the peer went away mid-request; close.
     let sealing = Instant::now();
-    session.sender.send(&reply.to_bytes()).ok()?;
+    if session.sender.send(&reply.to_bytes_traced(echo.as_ref())).is_err() {
+        if let Some(mut orphan) = active {
+            orphan.mark_errored();
+            server.tracer().finish(orphan);
+        }
+        return None;
+    }
     // The same instrumentation points as the pooled path's writer
     // thread: sealing cost, then the full received→written span.
     server.latency().seal.record(sealing.elapsed());
     server.latency().request.record(received.elapsed());
+    if let Some(mut active) = active {
+        active.record_elapsed("seal", sealing.elapsed(), SpanOutcome::Ok);
+        server.tracer().finish(active);
+    }
     Some(session)
 }
 
@@ -454,13 +489,15 @@ impl EventLoop<'_> {
     fn register(&mut self, slot: u64, conn: Connection) {
         let conn = Arc::new(conn);
         let token = TOKEN_CONN0 + self.conns.len() as u64;
-        conn.watch(&self.poller.readiness(token));
+        let ready = self.poller.readiness(token);
+        conn.watch(&ready);
         self.conns.push(Some(ConnState {
             conn,
             phase: Phase::Handshake {
                 machine: ServerHandshake::new(),
                 rng: StdRng::seed_from_u64(self.seed.wrapping_add(slot)),
             },
+            ready,
             last_activity: Instant::now(),
         }));
         self.live += 1;
@@ -664,40 +701,65 @@ fn step_conn(
                 Err(_) => return Step::Close,
             };
             state.last_activity = Instant::now();
-            let reply = match Message::from_bytes(&raw) {
-                Ok(message) => match server.admission_refusal(chain, &message) {
-                    // Admitted: check the session out to the compute
-                    // pool and stop draining — at most one request in
-                    // flight per connection keeps dispatch order equal
-                    // to receive order.
-                    None => {
-                        let Phase::Idle(session) = std::mem::replace(&mut state.phase, Phase::Busy)
-                        else {
-                            // lint: allow(panic) — phase variant pinned by the enclosing match arm
-                            unreachable!()
-                        };
-                        // `last_activity` was stamped when this raw
-                        // frame was read — it is the request's receive
-                        // instant for the end-to-end latency sample.
-                        let received = state.last_activity;
-                        return if jobs
-                            .send(Job { loop_id, token, message, session, received })
-                            .is_err()
-                        {
-                            Step::Close
-                        } else {
-                            Step::Drained
-                        };
+            let queued_for = state.ready.since_signal();
+            let reply = match Message::from_bytes_traced(&raw) {
+                Ok((message, inherited)) => {
+                    if let Some(mut started) = server.tracer().begin(inherited) {
+                        // How long the frame's readiness signal sat
+                        // before this loop serviced it: the reactor's
+                        // `queue` leg. Coarse (see `since_signal`) but
+                        // exactly the wait admission control cannot see.
+                        if let Some(waited) = queued_for {
+                            started.record_elapsed("queue", waited, SpanOutcome::Ok);
+                        }
+                        trace::install(started);
                     }
-                    Some(refused) => refused,
-                },
+                    match server.admission_refusal(chain, &message) {
+                        // Admitted: check the session out to the compute
+                        // pool and stop draining — at most one request in
+                        // flight per connection keeps dispatch order equal
+                        // to receive order.
+                        None => {
+                            let Phase::Idle(session) =
+                                std::mem::replace(&mut state.phase, Phase::Busy)
+                            else {
+                                // lint: allow(panic) — phase variant pinned by the enclosing match arm
+                                unreachable!()
+                            };
+                            // `last_activity` was stamped when this raw
+                            // frame was read — it is the request's receive
+                            // instant for the end-to-end latency sample.
+                            let received = state.last_activity;
+                            let trace = trace::take();
+                            return if jobs
+                                .send(Job { loop_id, token, message, session, received, trace })
+                                .is_err()
+                            {
+                                Step::Close
+                            } else {
+                                Step::Drained
+                            };
+                        }
+                        Some(refused) => refused,
+                    }
+                }
                 Err(_) => Message::Denied { reason: "malformed message".into() },
             };
             // Refusals and malformed messages are answered inline from
-            // the idle session: they must not cost a compute slot.
+            // the idle session: they must not cost a compute slot. A
+            // refused trace still completes (and tail sampling pins it).
             server.stats.denials.fetch_add(1, Ordering::Relaxed);
-            if session.sender.send(&reply.to_bytes()).is_err() {
+            let active = trace::take();
+            let echo = active.as_ref().filter(|t| t.inherited()).map(|t| t.context());
+            if session.sender.send(&reply.to_bytes_traced(echo.as_ref())).is_err() {
+                if let Some(mut orphan) = active {
+                    orphan.mark_errored();
+                    server.tracer().finish(orphan);
+                }
                 return Step::Close;
+            }
+            if let Some(finished) = active {
+                server.tracer().finish(finished);
             }
             Step::Continue
         }

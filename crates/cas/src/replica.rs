@@ -82,10 +82,11 @@
 //! [`apply_record`]: sinclave::verifier::SingletonIssuer::apply_record
 
 use crate::server::{CasServer, ServeGuard};
+use crate::trace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sinclave::protocol::Message;
-use sinclave::replication::{ReplicaRole, ReplicationFrame};
+use sinclave::protocol::{Message, TraceContext};
+use sinclave::replication::{ReplicaRole, ReplicationFrame, WireSpan};
 use sinclave::snapshot::IssuerSnapshot;
 use sinclave::AttestationToken;
 use sinclave_crypto::sha256::Digest;
@@ -117,6 +118,11 @@ struct Subscriber {
     /// Set when the serving session ends; the hub prunes closed
     /// subscribers on the next publish.
     closed: AtomicBool,
+    /// Lag gauges for the `trace` status view: the highest journal
+    /// sequence the session had streamed past as of its last frame,
+    /// and when (trace-clock ns) that frame was written.
+    sent_seq: std::sync::atomic::AtomicU64,
+    last_frame_ns: std::sync::atomic::AtomicU64,
 }
 
 impl Subscriber {
@@ -164,9 +170,29 @@ impl ReplicationHub {
             queue: std::sync::Mutex::new(VecDeque::new()),
             ready: std::sync::Condvar::new(),
             closed: AtomicBool::new(false),
+            sent_seq: std::sync::atomic::AtomicU64::new(0),
+            last_frame_ns: std::sync::atomic::AtomicU64::new(0),
         });
         self.subscribers.lock().push(subscriber.clone());
         subscriber
+    }
+
+    /// Per-subscriber lag gauges for the `trace` status view:
+    /// `(sent_seq, queued_batches, stream_age_ns)` for every live
+    /// session, in registration order.
+    pub(crate) fn peer_gauges(&self) -> Vec<(u64, u64, u64)> {
+        let now = trace::now_ns();
+        let subscribers = self.subscribers.lock();
+        subscribers
+            .iter()
+            .filter(|s| !s.closed.load(Ordering::Relaxed))
+            .map(|s| {
+                let queued = s.queue.lock().unwrap_or_else(PoisonError::into_inner).len() as u64;
+                let last = s.last_frame_ns.load(Ordering::Relaxed);
+                let age = if last == 0 { 0 } else { now.saturating_sub(last) };
+                (s.sent_seq.load(Ordering::Relaxed), queued, age)
+            })
+            .collect()
     }
 
     /// Queues one sealed batch payload for every live subscriber.
@@ -306,6 +332,8 @@ fn serve_subscriber(
             },
         };
         chan.send(&frame.to_bytes())?;
+        subscriber.sent_seq.store(server.journal_sequence(), Ordering::Relaxed);
+        subscriber.last_frame_ns.store(trace::now_ns(), Ordering::Relaxed);
     }
 }
 
@@ -365,19 +393,31 @@ fn forward_reply(
         return ReplicationFrame::Fenced { fence: server.fence_ceiling() };
     }
     match frame {
-        ReplicationFrame::Forward { request } => {
+        ReplicationFrame::Forward { request, ctx } => {
             let Ok(message) = Message::from_bytes(&request) else {
                 return ReplicationFrame::Denied { reason: "malformed forwarded request".into() };
             };
             if !matches!(message, Message::GrantRequest { .. }) {
                 return ReplicationFrame::Denied { reason: "only grants forward".into() };
             }
-            let chain = server.middleware();
-            if let Some(refused) = server.admission_refusal(&chain, &message) {
-                return ReplicationFrame::Reply { response: refused.to_bytes() };
+            // Continue the follower's trace at its propagated hop (a
+            // no-op when this primary's tracer is dark — the context
+            // is still echoed so the follower's tree stays causal).
+            if let Some(started) = ctx.and_then(|c| server.tracer().begin(Some(c))) {
+                trace::install(started);
             }
-            match server.dispatch_deduped(&chain, message, &mut None, transcript, rng) {
-                Some(reply) => ReplicationFrame::Reply { response: reply.to_bytes() },
+            let chain = server.middleware();
+            let response = match server.admission_refusal(&chain, &message) {
+                Some(refused) => Some(refused.to_bytes()),
+                None => server
+                    .dispatch_deduped(&chain, message, &mut None, transcript, rng)
+                    .map(|reply| reply.to_bytes()),
+            };
+            let spans = trace::take()
+                .map(|finished| server.tracer().finish(finished).export_wire_spans())
+                .unwrap_or_default();
+            match response {
+                Some(response) => ReplicationFrame::Reply { response, ctx, spans },
                 None => ReplicationFrame::Denied { reason: "dispatch panicked".into() },
             }
         }
@@ -535,8 +575,11 @@ fn pump_once(
                 if server.apply_replicated_batch(&batch).is_err() {
                     return PumpExit::Lost;
                 }
+                server.note_stream_progress(None);
             }
-            Ok(ReplicationFrame::Heartbeat { .. }) => {}
+            Ok(ReplicationFrame::Heartbeat { fence: _, high_seq }) => {
+                server.note_stream_progress(Some(high_seq));
+            }
             Ok(ReplicationFrame::Fenced { fence }) => {
                 server.observe_fence(fence);
                 return PumpExit::Lost;
@@ -592,17 +635,24 @@ impl ForwardLink {
     }
 
     /// Forwards a whole client request (a grant) and returns the
-    /// primary's reply to relay verbatim.
+    /// primary's reply to relay verbatim, plus any spans the primary
+    /// exported for `ctx` (empty when untraced or the primary's
+    /// tracer is dark) so the caller can merge them into its trace.
     ///
     /// # Errors
     ///
     /// Returns the refusal reason — primary unreachable, fenced, or a
     /// protocol-level denial.
-    pub fn forward(&self, request: &Message) -> Result<Message, String> {
-        match self.roundtrip(&ReplicationFrame::Forward { request: request.to_bytes() })? {
-            ReplicationFrame::Reply { response } => {
-                Message::from_bytes(&response).map_err(|_| "malformed primary reply".to_owned())
-            }
+    pub fn forward(
+        &self,
+        request: &Message,
+        ctx: Option<TraceContext>,
+    ) -> Result<(Message, Vec<WireSpan>), String> {
+        let frame = ReplicationFrame::Forward { request: request.to_bytes(), ctx };
+        match self.roundtrip(&frame)? {
+            ReplicationFrame::Reply { response, ctx: _, spans } => Message::from_bytes(&response)
+                .map(|reply| (reply, spans))
+                .map_err(|_| "malformed primary reply".to_owned()),
             ReplicationFrame::Fenced { .. } => Err("primary fenced".into()),
             ReplicationFrame::Denied { reason } => Err(reason),
             _ => Err("unexpected primary reply".into()),

@@ -125,6 +125,7 @@ use crate::middleware::{MiddlewareChain, MiddlewareConfig, Refusal};
 use crate::policy::{PolicyMode, SessionPolicy};
 use crate::replica::{ForwardLink, ReplicationHub};
 use crate::store::CasStore;
+use crate::trace::{self, SpanOutcome, Tracer};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use sinclave::journal_record::{decode_batch, encode_batch, JournalRecord};
@@ -432,6 +433,22 @@ pub struct CasServer {
     /// `Arc` so the observer closure can hold it without borrowing the
     /// server.
     latency: Arc<StageHistograms>,
+    /// The per-request tracing control plane (see [`crate::trace`]):
+    /// trace-id minting, tail-sampling classification, and the span
+    /// flight recorder behind the `trace` status view. Dark by
+    /// default — serving stays byte-identical until an operator lights
+    /// it ([`Tracer::set_enabled`]).
+    tracer: Tracer,
+    /// Construction time — the status views' `uptime_seconds` gauge.
+    started: Instant,
+    /// The primary's high journal sequence as last heard over the
+    /// replication stream (heartbeats carry it): the follower half of
+    /// the `trace` view's replication-lag gauge.
+    replication_high_seq: AtomicU64,
+    /// Trace-clock nanoseconds of the last replication-stream
+    /// activity this follower observed (batch applied or heartbeat
+    /// heard); `0` until the stream first speaks.
+    replication_stream_ns: AtomicU64,
     /// Consecutive [`CasServer::persist_state`] failures — the
     /// health verdict's durability signal. Reset by the next
     /// successful (non-skipped) persist; `> 0` flags the server
@@ -534,6 +551,8 @@ impl CasServer {
         store: CasStore,
     ) -> Arc<Self> {
         let identity = channel_key.public_key().fingerprint();
+        let latency = Arc::new(StageHistograms::default());
+        let tracer = Tracer::new(Arc::clone(&latency));
         let server = CasServer {
             channel_key,
             issuer: SingletonIssuer::new(signer_key, identity),
@@ -556,7 +575,11 @@ impl CasServer {
             forward: parking_lot::RwLock::new(None),
             replication: parking_lot::RwLock::new(None),
             stats: CasStats::default(),
-            latency: Arc::new(StageHistograms::default()),
+            latency,
+            tracer,
+            started: Instant::now(),
+            replication_high_seq: AtomicU64::new(0),
+            replication_stream_ns: AtomicU64::new(0),
             persist_failures: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             drain_wakers: parking_lot::Mutex::new(Vec::new()),
@@ -568,8 +591,14 @@ impl CasServer {
         // shared histograms (set-once; absent observers cost nothing).
         let latency = Arc::clone(&server.latency);
         server.issuer.set_stage_observer(move |stage, elapsed| match stage {
-            sinclave::verifier::IssueStage::Verify => latency.verify.record(elapsed),
-            sinclave::verifier::IssueStage::Sign => latency.sign.record(elapsed),
+            sinclave::verifier::IssueStage::Verify => {
+                latency.verify.record(elapsed);
+                trace::record_elapsed("verify", elapsed, SpanOutcome::Ok);
+            }
+            sinclave::verifier::IssueStage::Sign => {
+                latency.sign.record(elapsed);
+                trace::record_elapsed("sign", elapsed, SpanOutcome::Ok);
+            }
         });
         server.restore_state();
         // The on-disk snapshot covers exactly the state restored so
@@ -758,6 +787,21 @@ impl CasServer {
     #[must_use]
     pub fn latency(&self) -> &StageHistograms {
         &self.latency
+    }
+
+    /// The tracing control plane (see [`crate::trace`]). Dark by
+    /// default; `tracer().set_enabled(true)` lights it up, and the
+    /// `trace` status view renders what the flight recorder kept.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Time since this server object was constructed — rendered as
+    /// `uptime_seconds` by the `health` and `metrics` status views.
+    #[must_use]
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// The health verdict the status wire serves (see
@@ -1152,6 +1196,39 @@ impl CasServer {
         *self.replication.write() = hub;
     }
 
+    /// The live replication hub, if this server is serving
+    /// subscribers — the primary half of the `trace` view's
+    /// replication-lag gauges.
+    pub(crate) fn replication_hub(&self) -> Option<Arc<ReplicationHub>> {
+        self.replication.read().clone()
+    }
+
+    /// Follower-side stream bookkeeping: stamps the last time the
+    /// replication stream spoke (a batch applied or a heartbeat
+    /// heard) and, when the frame carried it, the primary's high
+    /// journal sequence. Called by the follower pump; feeds
+    /// [`CasServer::follower_lag`].
+    pub(crate) fn note_stream_progress(&self, primary_high_seq: Option<u64>) {
+        self.replication_stream_ns.store(trace::now_ns(), Ordering::Relaxed);
+        if let Some(high) = primary_high_seq {
+            self.replication_high_seq.fetch_max(high, Ordering::Relaxed);
+        }
+    }
+
+    /// A follower's replication-lag gauges as `(local_seq,
+    /// primary_seq, stream_age_ns)`; `None` on a server that is not
+    /// following. `primary_seq` trails reality by at most one
+    /// heartbeat interval, so `primary_seq - local_seq` is the acked
+    /// sequence delta an operator reads as "how far behind".
+    pub(crate) fn follower_lag(&self) -> Option<(u64, u64, u64)> {
+        if !self.is_following() {
+            return None;
+        }
+        let last = self.replication_stream_ns.load(Ordering::Relaxed);
+        let age = if last == 0 { 0 } else { trace::now_ns().saturating_sub(last) };
+        Some((self.journal_sequence(), self.replication_high_seq.load(Ordering::Relaxed), age))
+    }
+
     /// Adopts a primary's bootstrap baseline: raw snapshot bytes plus
     /// the sealed journal suffix, exactly what the primary's own
     /// restart would replay.
@@ -1362,6 +1439,7 @@ impl CasServer {
         chain: &MiddlewareChain,
         message: &Message,
     ) -> Option<Message> {
+        let admitting = Instant::now();
         let refusal = match Self::request_identity(message) {
             Some(identity) => chain.admit(&identity).err(),
             None => None,
@@ -1372,13 +1450,22 @@ impl CasServer {
             } else {
                 None
             }
-        })?;
+        });
+        let Some(refusal) = refusal else {
+            trace::record_elapsed("admission", admitting.elapsed(), SpanOutcome::Ok);
+            return None;
+        };
         match refusal {
             Refusal::RateLimited => &self.stats.requests_rate_limited,
             Refusal::QuotaExceeded => &self.stats.requests_quota_denied,
             Refusal::LoadShed => &self.stats.requests_shed,
         }
         .fetch_add(1, Ordering::Relaxed);
+        // Two spans: the decision span names the refusing layer, the
+        // admission span prices the whole chain walk. Refused spans
+        // pin the trace (tail sampling keeps every shed request).
+        trace::record_elapsed(refusal.trace_stage(), admitting.elapsed(), SpanOutcome::Refused);
+        trace::record_elapsed("admission", admitting.elapsed(), SpanOutcome::Refused);
         // The caller counts the Denied reply in `denials` like any
         // other refusal; here only the per-layer counter moves.
         Some(Message::Denied { reason: refusal.reason().into() })
@@ -1448,8 +1535,11 @@ impl CasServer {
                 self.store.append_journal(payload)?;
                 // One sample per sealed batch (the group-commit flush
                 // the paper's durability trade-off is priced in), not
-                // per record that rode along.
+                // per record that rode along. The span lands on the
+                // leader's trace only — the requests that rode along
+                // paid the wait, not the flush.
                 self.latency.journal_flush.record(flushing.elapsed());
+                trace::record_elapsed("journal_flush", flushing.elapsed(), SpanOutcome::Ok);
                 // Publish exactly the sealed batch that landed on
                 // disk. Flushes are serialized by the pipe, so
                 // subscribers observe batches in sequence order.
@@ -1633,18 +1723,33 @@ impl CasServer {
         let mut outstanding_nonce: Option<[u8; 16]> = None;
         std::thread::scope(|scope| {
             // Replies travel with the Instant their raw request frame
-            // arrived, so the writer thread can price the full
+            // arrived — so the writer thread can price the full
             // received→written span (the `request` histogram) after it
-            // times its own sealing work.
-            let (reply_tx, reply_rx) =
-                std::sync::mpsc::sync_channel::<(Message, Instant)>(PIPELINE_DEPTH);
+            // times its own sealing work — and with the request's
+            // active trace (if lit), which the writer completes after
+            // the reply bytes are on the wire.
+            let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel::<(
+                Message,
+                Instant,
+                Option<Box<trace::ActiveTrace>>,
+            )>(PIPELINE_DEPTH);
             let latency = Arc::clone(&self.latency);
+            let tracer = &self.tracer;
             let writer = scope.spawn(move || -> Result<(), NetError> {
-                for (reply, received_at) in reply_rx {
+                for (reply, received_at, active) in reply_rx {
                     let sealing = Instant::now();
-                    sender.send(&reply.to_bytes())?;
+                    // Only a request that itself carried a trace
+                    // context gets it echoed on the reply — a plain
+                    // client's bytes are untouched even with tracing
+                    // lit, and with it dark `active` is always `None`.
+                    let echo = active.as_ref().filter(|t| t.inherited()).map(|t| t.context());
+                    sender.send(&reply.to_bytes_traced(echo.as_ref()))?;
                     latency.seal.record(sealing.elapsed());
                     latency.request.record(received_at.elapsed());
+                    if let Some(mut active) = active {
+                        active.record_elapsed("seal", sealing.elapsed(), SpanOutcome::Ok);
+                        tracer.finish(active);
+                    }
                 }
                 Ok(())
             });
@@ -1670,30 +1775,48 @@ impl CasServer {
                     }
                 };
                 let received_at = Instant::now();
-                let reply = match Message::from_bytes(&raw) {
-                    Ok(message) => match self.admission_refusal(&chain, &message) {
-                        Some(refused) => refused,
-                        None => match self.dispatch_deduped(
-                            &chain,
-                            message,
-                            &mut outstanding_nonce,
-                            &transcript,
-                            rng,
-                        ) {
-                            Some(reply) => reply,
-                            // Contained panic: close this connection,
-                            // keep the worker.
-                            None => break Ok(()),
-                        },
-                    },
-                    Err(_) => Message::Denied { reason: "malformed message".into() },
+                let (reply, active) = match Message::from_bytes_traced(&raw) {
+                    Ok((message, inherited)) => {
+                        // The trace begins at admission and rides the
+                        // thread-local while this thread dispatches,
+                        // so deep call sites (issuer observer, commit
+                        // flush, admission decisions) record spans
+                        // without signature churn.
+                        if let Some(started) = self.tracer.begin(inherited) {
+                            trace::install(started);
+                        }
+                        match self.admission_refusal(&chain, &message) {
+                            Some(refused) => (refused, trace::take()),
+                            None => match self.dispatch_deduped(
+                                &chain,
+                                message,
+                                &mut outstanding_nonce,
+                                &transcript,
+                                rng,
+                            ) {
+                                Some(reply) => (reply, trace::take()),
+                                // Contained panic: close this
+                                // connection, keep the worker — and
+                                // pin the trace as errored so the
+                                // flight recorder keeps the evidence.
+                                None => {
+                                    if let Some(mut orphan) = trace::take() {
+                                        orphan.mark_errored();
+                                        self.tracer.finish(orphan);
+                                    }
+                                    break Ok(());
+                                }
+                            },
+                        }
+                    }
+                    Err(_) => (Message::Denied { reason: "malformed message".into() }, None),
                 };
                 if matches!(reply, Message::Denied { .. }) {
                     self.stats.denials.fetch_add(1, Ordering::Relaxed);
                 }
                 // A closed queue means the writer already failed on a
                 // transport error; fall through and report that.
-                if reply_tx.send((reply, received_at)).is_err() {
+                if reply_tx.send((reply, received_at, active)).is_err() {
                     break Ok(());
                 }
                 // Drain point: the in-flight request was answered (the
@@ -1734,9 +1857,16 @@ impl CasServer {
             && matches!(message, Message::GrantRequest { .. }))
         .then(|| sinclave_crypto::sha256::digest(&message.to_bytes()));
         if let Some(key) = &key {
+            let replaying = Instant::now();
             if let Some(cached) = chain.dedup_lookup(key) {
                 if let Ok(reply) = Message::from_bytes(&cached) {
                     self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    // Replays get their own latency stage and span so
+                    // a retry storm served from the cache stays
+                    // attributable instead of silently pulling the
+                    // end-to-end p50 down.
+                    self.latency.dedup_replay.record(replaying.elapsed());
+                    trace::record_elapsed("dedup_hit", replaying.elapsed(), SpanOutcome::Ok);
                     return Some(reply);
                 }
             }
@@ -1768,9 +1898,26 @@ impl CasServer {
         if matches!(message, Message::GrantRequest { .. }) {
             if let Some(link) = self.forward_link() {
                 self.stats.forwarded_writes.fetch_add(1, Ordering::Relaxed);
-                return match link.forward(&message) {
-                    Ok(reply) => reply,
-                    Err(reason) => Message::Denied { reason },
+                // The trace context travels on the Forward frame with
+                // hop + 1; the primary's spans come back on the Reply
+                // and are rebased into the forward span's start, so
+                // one causal tree spans both nodes.
+                let ctx = trace::map_active(|t| t.forward_context());
+                let forward_start = trace::now_ns();
+                return match link.forward(&message, ctx) {
+                    Ok((reply, spans)) => {
+                        trace::with_active(|t| {
+                            t.record("forward", forward_start, trace::now_ns(), SpanOutcome::Ok);
+                            t.absorb_remote(&spans, forward_start);
+                        });
+                        reply
+                    }
+                    Err(reason) => {
+                        trace::with_active(|t| {
+                            t.record("forward", forward_start, trace::now_ns(), SpanOutcome::Error);
+                        });
+                        Message::Denied { reason }
+                    }
                 };
             }
             if self.following.load(Ordering::Relaxed) {
@@ -1924,7 +2071,14 @@ impl CasServer {
     ) -> Result<Measurement, String> {
         if let Some(link) = self.forward_link() {
             self.stats.forwarded_writes.fetch_add(1, Ordering::Relaxed);
-            return link.redeem(token, mrenclave);
+            // Redeem forwards ride a compact token frame that carries
+            // no trace context; the local forward span still prices
+            // the hop, without remote detail.
+            let forwarding = Instant::now();
+            let result = link.redeem(token, mrenclave);
+            let out = if result.is_ok() { SpanOutcome::Ok } else { SpanOutcome::Error };
+            trace::record_elapsed("forward", forwarding.elapsed(), out);
+            return result;
         }
         if self.following.load(Ordering::Relaxed) {
             return Err("read-only replica".into());

@@ -1,6 +1,6 @@
 //! The operability plane's status wire (see `docs/operations.md`).
 //!
-//! Two transports serve the same three views:
+//! Two transports serve the same four views:
 //!
 //! * the [`sinclave::protocol::Message::StatusRequest`] opcode on the
 //!   regular secure-channel protocol (handled in dispatch), for
@@ -11,21 +11,27 @@
 //!   controller, test harness) sends a view name as one raw frame and
 //!   receives the rendered view as one raw frame.
 //!
-//! The three views:
+//! The four views:
 //!
 //! * **`health`** — the fail-closed verdict ([`Health`]) plus the
-//!   signals feeding it, one `key: value` per line.
+//!   signals feeding it, one `key: value` per line, topped with the
+//!   build identity and uptime.
 //! * **`metrics`** — every [`crate::server::CasStats`] counter in
-//!   Prometheus text exposition format (`cas_<counter> <value>`).
+//!   Prometheus text exposition format (`cas_<counter> <value>`), plus
+//!   the `cas_uptime_seconds` and `cas_build_info` gauges.
 //! * **`histograms`** — the per-stage latency histograms
 //!   ([`crate::histogram::StageHistograms`]): count, p50/p95/p99, max
 //!   and the non-empty log₂ buckets per stage.
+//! * **`trace`** — the tracing layer ([`crate::trace`]): recorder
+//!   counters, per-follower replication-lag gauges, and the most
+//!   recent pinned traces rendered as indented span trees.
 //!
-//! Rendering reads only atomics (and the breaker's state mutex, off
-//! the hot path) — a probe never touches the volume, the journal, or
-//! the issuer's shards.
+//! Rendering reads only atomics, the breaker's state mutex and the
+//! flight recorder's ring locks (all off the hot path) — a probe never
+//! touches the volume, the journal, or the issuer's shards.
 
 use crate::server::{CasServer, ServeGuard, DRAIN_POLL};
+use crate::trace::{CompletedTrace, Span};
 use sinclave_net::{NetError, Network};
 use std::fmt;
 use std::sync::Arc;
@@ -76,7 +82,17 @@ pub fn status_body(server: &CasServer, view: &str) -> Option<String> {
         "health" => Some(render_health(server)),
         "metrics" => Some(render_metrics(server)),
         "histograms" => Some(render_histograms(server)),
+        "trace" => Some(render_trace(server)),
         _ => None,
+    }
+}
+
+/// The build identity: crate version plus the git description captured
+/// at build time (version alone when built outside a checkout).
+fn build_info() -> String {
+    match option_env!("SINCLAVE_GIT_DESCRIBE") {
+        Some(describe) => format!("{} ({describe})", env!("CARGO_PKG_VERSION")),
+        None => env!("CARGO_PKG_VERSION").to_owned(),
     }
 }
 
@@ -86,6 +102,8 @@ fn render_health(server: &CasServer) -> String {
     let chain = server.middleware();
     let mut out = String::new();
     out.push_str(&format!("status: {}\n", server.health()));
+    out.push_str(&format!("build: {}\n", build_info()));
+    out.push_str(&format!("uptime_seconds: {}\n", server.uptime().as_secs()));
     out.push_str(&format!("fenced: {}\n", server.is_fenced()));
     out.push_str(&format!("following: {}\n", server.is_following()));
     out.push_str(&format!("breaker_open: {}\n", chain.breaker_open()));
@@ -104,6 +122,14 @@ fn render_metrics(server: &CasServer) -> String {
     for (name, value) in server.stats.snapshot().named() {
         out.push_str(&format!("# TYPE cas_{name} counter\ncas_{name} {value}\n"));
     }
+    out.push_str(&format!(
+        "# TYPE cas_uptime_seconds gauge\ncas_uptime_seconds {}\n",
+        server.uptime().as_secs()
+    ));
+    out.push_str(&format!(
+        "# TYPE cas_build_info gauge\ncas_build_info{{build=\"{}\"}} 1\n",
+        build_info()
+    ));
     out
 }
 
@@ -126,6 +152,95 @@ fn render_histograms(server: &CasServer) -> String {
         }
     }
     out
+}
+
+/// How many recent pinned traces the `trace` view renders per probe.
+const TRACE_VIEW_LIMIT: usize = 8;
+
+/// The `trace` view: tracer and recorder state, replication-lag
+/// gauges (per follower on a primary, per stream on a follower), then
+/// the most recent pinned traces as indented span trees. Reads
+/// atomics, the hub's gauge snapshots and the recorder rings — never
+/// the journal or the volume.
+fn render_trace(server: &CasServer) -> String {
+    let tracer = server.tracer();
+    let stats = tracer.recorder().stats();
+    let mut out = String::new();
+    out.push_str(&format!("tracing: {}\n", if tracer.is_enabled() { "lit" } else { "dark" }));
+    out.push_str(&format!("sample_every: {}\n", tracer.sample_every()));
+    out.push_str(&format!(
+        "recorder: pinned={} sampled={} discarded={} dropped={}\n",
+        stats.pinned, stats.sampled, stats.discarded, stats.dropped
+    ));
+    if let Some(hub) = server.replication_hub() {
+        // Primary: one gauge line per subscribed follower. `lag` is
+        // the last-acked sequence delta against the local journal.
+        let high = server.journal_sequence();
+        for (index, (sent_seq, queued, age_ns)) in hub.peer_gauges().into_iter().enumerate() {
+            out.push_str(&format!(
+                "follower {index}: sent_seq={sent_seq} lag={} queued_batches={queued} \
+                 stream_age_ms={}\n",
+                high.saturating_sub(sent_seq),
+                age_ns / 1_000_000,
+            ));
+        }
+    }
+    if let Some((applied, primary_high, age_ns)) = server.follower_lag() {
+        // Follower: how far behind the primary's advertised high
+        // sequence, and how stale the stream is.
+        out.push_str(&format!(
+            "replication: applied_seq={applied} primary_high_seq={primary_high} lag={} \
+             stream_age_ms={}\n",
+            primary_high.saturating_sub(applied),
+            age_ns / 1_000_000,
+        ));
+    }
+    // Pinned traces (slow / errored / shed) lead; recent healthy
+    // samples follow so the view is useful when nothing is pinned.
+    for trace in tracer.recorder().recent_pinned(TRACE_VIEW_LIMIT) {
+        render_span_tree(&mut out, &trace);
+    }
+    for trace in tracer.recorder().recent_sampled(TRACE_VIEW_LIMIT) {
+        render_span_tree(&mut out, &trace);
+    }
+    out
+}
+
+/// One trace as an indented span tree: spans sorted by start (ties
+/// broken longest-first), each span indented under any earlier span
+/// whose interval contains its start. Forwarded requests read as
+/// `request` → `forward` → the primary's absorbed remote spans, each
+/// tagged with its hop.
+fn render_span_tree(out: &mut String, trace: &CompletedTrace) {
+    out.push_str(&format!(
+        "trace {} reason={} total_ns={} spans={}{}\n",
+        trace.id_hex(),
+        trace.reason.label(),
+        trace.total_ns(),
+        trace.spans().len(),
+        if trace.truncated { " truncated" } else { "" },
+    ));
+    let mut spans: Vec<&Span> = trace.spans().iter().collect();
+    spans.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(b.end_ns.cmp(&a.end_ns)));
+    let mut enclosing: Vec<u64> = Vec::new();
+    for span in spans {
+        while enclosing.last().is_some_and(|&end| span.start_ns >= end) {
+            enclosing.pop();
+        }
+        let indent = "  ".repeat(enclosing.len() + 1);
+        out.push_str(&format!(
+            "{indent}{} hop={} start_ns={} dur_ns={} {}\n",
+            span.stage,
+            span.hop,
+            span.start_ns.saturating_sub(trace.begin_ns),
+            span.duration_ns(),
+            span.outcome.label(),
+        ));
+        enclosing.push(span.end_ns);
+    }
+    for (name, value) in trace.notes() {
+        out.push_str(&format!("  note {name}={value}\n"));
+    }
 }
 
 /// Serves the plaintext status endpoint on `addr`: up to `probes`

@@ -106,6 +106,71 @@ pub enum Message {
     },
 }
 
+/// Marker byte introducing an appended trace-context trailer on a
+/// traced frame. Chosen outside the tag range so a traced frame can
+/// never be confused with a second concatenated message.
+const TRACE_MARKER: u8 = 0xC7;
+
+/// Per-request causal trace context, carried as an optional trailer
+/// after a [`Message`]'s own encoding (see [`Message::to_bytes_traced`]).
+///
+/// Absent context means "untraced": a frame without the trailer
+/// decodes exactly as before, so mixed-version fleets interoperate —
+/// an old node simply never sees (or emits) the trailer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 16-byte causal trace id, minted once at first admission and
+    /// preserved across every forward hop.
+    pub trace_id: [u8; 16],
+    /// Hop counter: 0 at the minting node, incremented per forward.
+    pub hop: u8,
+    /// Reserved flag bits (always 0 today; decoders must tolerate any
+    /// value so the field can gain meaning without a version bump).
+    pub flags: u8,
+}
+
+impl TraceContext {
+    /// Encoded size of the context itself (the wire trailer adds one
+    /// marker byte in front).
+    pub const ENCODED_LEN: usize = 18;
+
+    /// Fixed-size encoding: trace id, hop, flags.
+    #[must_use]
+    pub fn encode(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut out = [0u8; Self::ENCODED_LEN];
+        out[..16].copy_from_slice(&self.trace_id);
+        out[16] = self.hop;
+        out[17] = self.flags;
+        out
+    }
+
+    /// Decodes an [`TraceContext::ENCODED_LEN`]-byte encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ProtocolDecode`] when `bytes` is not
+    /// exactly [`TraceContext::ENCODED_LEN`] long.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SinclaveError> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return Err(SinclaveError::ProtocolDecode);
+        }
+        let trace_id: [u8; 16] =
+            bytes[..16].try_into().map_err(|_| SinclaveError::ProtocolDecode)?;
+        Ok(TraceContext { trace_id, hop: bytes[16], flags: bytes[17] })
+    }
+
+    /// Renders the trace id as lowercase hex (for status views and
+    /// logs; the id is not secret).
+    #[must_use]
+    pub fn id_hex(&self) -> String {
+        let mut out = String::with_capacity(32);
+        for byte in &self.trace_id {
+            out.push_str(&format!("{byte:02x}"));
+        }
+        out
+    }
+}
+
 const TAG_GRANT_REQ: u8 = 1;
 const TAG_GRANT_RESP: u8 = 2;
 const TAG_ATTEST_REQ: u8 = 3;
@@ -206,12 +271,58 @@ impl Message {
         out
     }
 
+    /// Serializes the message with an optional trace-context trailer.
+    ///
+    /// With `ctx == None` the output is byte-identical to
+    /// [`Message::to_bytes`] — tracing dark adds nothing to the wire.
+    #[must_use]
+    pub fn to_bytes_traced(&self, ctx: Option<&TraceContext>) -> Vec<u8> {
+        let mut out = self.to_bytes();
+        if let Some(ctx) = ctx {
+            out.push(TRACE_MARKER);
+            out.extend_from_slice(&ctx.encode());
+        }
+        out
+    }
+
     /// Parses a message.
     ///
     /// # Errors
     ///
     /// Returns [`SinclaveError::ProtocolDecode`] for malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SinclaveError> {
+        let (message, rest) = Self::decode_prefix(bytes)?;
+        if !rest.is_empty() {
+            return Err(SinclaveError::ProtocolDecode);
+        }
+        Ok(message)
+    }
+
+    /// Parses a message plus its optional trace-context trailer.
+    ///
+    /// An exhausted buffer after the message body means "untraced"
+    /// (`None`) — frames from nodes that predate tracing decode
+    /// unchanged. Anything trailing that is not exactly one
+    /// well-formed trailer is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinclaveError::ProtocolDecode`] for malformed input.
+    pub fn from_bytes_traced(bytes: &[u8]) -> Result<(Self, Option<TraceContext>), SinclaveError> {
+        let (message, rest) = Self::decode_prefix(bytes)?;
+        if rest.is_empty() {
+            return Ok((message, None));
+        }
+        if rest.len() == 1 + TraceContext::ENCODED_LEN && rest[0] == TRACE_MARKER {
+            let ctx = TraceContext::decode(&rest[1..])?;
+            return Ok((message, Some(ctx)));
+        }
+        Err(SinclaveError::ProtocolDecode)
+    }
+
+    /// Decodes one message from the front of `bytes`, returning the
+    /// unconsumed remainder for the caller to police.
+    fn decode_prefix(bytes: &[u8]) -> Result<(Self, &[u8]), SinclaveError> {
         let mut cursor = bytes;
         let tag = take(&mut cursor, 1)?[0];
         let message = match tag {
@@ -273,10 +384,7 @@ impl Message {
             },
             _ => return Err(SinclaveError::ProtocolDecode),
         };
-        if !cursor.is_empty() {
-            return Err(SinclaveError::ProtocolDecode);
-        }
-        Ok(message)
+        Ok((message, cursor))
     }
 }
 
@@ -331,5 +439,58 @@ mod tests {
         let mut padded = Message::Ping.to_bytes();
         padded.push(0);
         assert!(Message::from_bytes(&padded).is_err());
+    }
+
+    fn ctx() -> TraceContext {
+        TraceContext { trace_id: [0xAB; 16], hop: 2, flags: 0 }
+    }
+
+    #[test]
+    fn traced_roundtrip_carries_context() {
+        let m = Message::GrantRequest { common_sigstruct: vec![1, 2, 3], base_hash: vec![4; 56] };
+        let bytes = m.to_bytes_traced(Some(&ctx()));
+        let (back, got) = Message::from_bytes_traced(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(got, Some(ctx()));
+    }
+
+    #[test]
+    fn untraced_frames_decode_as_none() {
+        let m = Message::Ping;
+        let (back, got) = Message::from_bytes_traced(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn dark_traced_encoding_is_byte_identical() {
+        let m = Message::StatusRequest { view: "health".to_owned() };
+        assert_eq!(m.to_bytes_traced(None), m.to_bytes());
+    }
+
+    #[test]
+    fn strict_decode_rejects_trace_trailer() {
+        // `from_bytes` stays strict: a traced frame is trailing bytes.
+        let bytes = Message::Ping.to_bytes_traced(Some(&ctx()));
+        assert!(Message::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn mangled_trailer_rejected() {
+        let mut bytes = Message::Ping.to_bytes_traced(Some(&ctx()));
+        bytes.pop(); // truncated trailer
+        assert!(Message::from_bytes_traced(&bytes).is_err());
+        let mut wrong_marker = Message::Ping.to_bytes_traced(Some(&ctx()));
+        let marker_at = wrong_marker.len() - 1 - TraceContext::ENCODED_LEN;
+        wrong_marker[marker_at] ^= 0xFF;
+        assert!(Message::from_bytes_traced(&wrong_marker).is_err());
+    }
+
+    #[test]
+    fn context_codec_roundtrip() {
+        let c = ctx();
+        assert_eq!(TraceContext::decode(&c.encode()).unwrap(), c);
+        assert!(TraceContext::decode(&[0; 17]).is_err());
+        assert_eq!(c.id_hex(), "ab".repeat(16));
     }
 }

@@ -44,6 +44,7 @@
 //! "plausibly decodes to a different frame" into a counted refusal.
 
 use crate::error::SinclaveError;
+use crate::protocol::TraceContext;
 use crate::token::TOKEN_LEN;
 use sinclave_crypto::sha256;
 use sinclave_net::wire::{Decode, Encode, Reader};
@@ -74,6 +75,66 @@ const TAG_DENIED: u8 = 9;
 
 const ROLE_SUBSCRIBE: u8 = 0;
 const ROLE_FORWARD: u8 = 1;
+
+impl Encode for TraceContext {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&TraceContext::encode(self));
+    }
+}
+
+impl Decode for TraceContext {
+    const MIN_ENCODED_LEN: usize = TraceContext::ENCODED_LEN;
+
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+        let bytes = reader.take(TraceContext::ENCODED_LEN)?;
+        TraceContext::decode(bytes).map_err(|_| NetError::Decode { context: "trace context" })
+    }
+}
+
+/// One completed span exported across a fleet hop so the node that
+/// minted the trace can render the remote side's latency breakdown in
+/// a single causal tree. Times are nanoseconds on the *remote* node's
+/// monotonic trace clock — consumers rebase them into the enclosing
+/// forward span rather than comparing across nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Stage name (`"verify"`, `"sign"`, `"journal_flush"`, …).
+    pub stage: String,
+    /// Span start on the remote trace clock, in nanoseconds.
+    pub start_ns: u64,
+    /// Span end on the remote trace clock, in nanoseconds.
+    pub end_ns: u64,
+    /// Outcome discriminant: 0 = ok, 1 = error, 2 = refused. Unknown
+    /// values decode (future-proofing) and render as errors.
+    pub outcome: u8,
+    /// Hop index the span was recorded at.
+    pub hop: u8,
+}
+
+impl Encode for WireSpan {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.stage.encode_into(out);
+        self.start_ns.encode_into(out);
+        self.end_ns.encode_into(out);
+        self.outcome.encode_into(out);
+        self.hop.encode_into(out);
+    }
+}
+
+impl Decode for WireSpan {
+    /// Empty stage string (4-byte prefix) + two u64s + two u8s.
+    const MIN_ENCODED_LEN: usize = 4 + 8 + 8 + 1 + 1;
+
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, NetError> {
+        Ok(WireSpan {
+            stage: String::decode(reader)?,
+            start_ns: u64::decode(reader)?,
+            end_ns: u64::decode(reader)?,
+            outcome: u8::decode(reader)?,
+            hop: u8::decode(reader)?,
+        })
+    }
+}
 
 /// What a replication session is for, declared in its opening
 /// [`ReplicationFrame::Hello`].
@@ -177,14 +238,31 @@ pub enum ReplicationFrame {
     },
     /// A whole client request re-encoded for the primary to dispatch
     /// (grant requests; the reply goes back verbatim).
+    ///
+    /// The trace context is an optional *trailing* field: a frame
+    /// without it encodes byte-identically to the pre-tracing format,
+    /// and a decoder treats an exhausted body as "untraced" — so
+    /// mixed-version fleets interoperate without a version bump.
     Forward {
         /// The client request's protocol-message bytes.
         request: Vec<u8>,
+        /// The follower's trace context for the request, when traced.
+        ctx: Option<TraceContext>,
     },
     /// The primary's reply to a forwarded request.
+    ///
+    /// Like [`ReplicationFrame::Forward`], the trace fields are an
+    /// optional trailing extension (present only when `ctx` is
+    /// `Some`): the primary echoes the context and exports the spans
+    /// it recorded while serving the request, so the follower renders
+    /// one causal span tree covering both hops.
     Reply {
         /// The protocol-message bytes to relay to the client.
         response: Vec<u8>,
+        /// Echo of the forwarded trace context, when traced.
+        ctx: Option<TraceContext>,
+        /// The primary's spans for this request (empty when untraced).
+        spans: Vec<WireSpan>,
     },
     /// The primary refused a forwarded write (fenced, journal failure,
     /// token not redeemable).
@@ -234,13 +312,22 @@ impl Encode for ReplicationFrame {
                 out.push(TAG_REDEEM_OK);
                 common.encode_into(out);
             }
-            ReplicationFrame::Forward { request } => {
+            ReplicationFrame::Forward { request, ctx } => {
                 out.push(TAG_FORWARD);
                 request.encode_into(out);
+                // Trailing extension, not an Option prefix: absent
+                // context must reproduce the old format byte for byte.
+                if let Some(ctx) = ctx {
+                    ctx.encode_into(out);
+                }
             }
-            ReplicationFrame::Reply { response } => {
+            ReplicationFrame::Reply { response, ctx, spans } => {
                 out.push(TAG_REPLY);
                 response.encode_into(out);
+                if let Some(ctx) = ctx {
+                    ctx.encode_into(out);
+                    spans.encode_into(out);
+                }
             }
             ReplicationFrame::Denied { reason } => {
                 out.push(TAG_DENIED);
@@ -282,8 +369,22 @@ impl Decode for ReplicationFrame {
                 mrenclave: <[u8; 32]>::decode(reader)?,
             }),
             TAG_REDEEM_OK => Ok(ReplicationFrame::RedeemOk { common: <[u8; 32]>::decode(reader)? }),
-            TAG_FORWARD => Ok(ReplicationFrame::Forward { request: Vec::decode(reader)? }),
-            TAG_REPLY => Ok(ReplicationFrame::Reply { response: Vec::decode(reader)? }),
+            TAG_FORWARD => {
+                let request = Vec::decode(reader)?;
+                let ctx = (reader.remaining() > 0)
+                    .then(|| <TraceContext as Decode>::decode(reader))
+                    .transpose()?;
+                Ok(ReplicationFrame::Forward { request, ctx })
+            }
+            TAG_REPLY => {
+                let response = Vec::decode(reader)?;
+                let (ctx, spans) = if reader.remaining() > 0 {
+                    (Some(<TraceContext as Decode>::decode(reader)?), Vec::decode(reader)?)
+                } else {
+                    (None, Vec::new())
+                };
+                Ok(ReplicationFrame::Reply { response, ctx, spans })
+            }
             TAG_DENIED => Ok(ReplicationFrame::Denied { reason: String::decode(reader)? }),
             _ => Err(NetError::Decode { context: "replication frame tag" }),
         }
@@ -387,10 +488,35 @@ mod tests {
             ReplicationFrame::Fenced { fence: 4 },
             ReplicationFrame::Redeem { token: [0x55; TOKEN_LEN], mrenclave: [0x66; 32] },
             ReplicationFrame::RedeemOk { common: [0x77; 32] },
-            ReplicationFrame::Forward { request: vec![0x88; 9] },
-            ReplicationFrame::Reply { response: vec![] },
+            ReplicationFrame::Forward { request: vec![0x88; 9], ctx: None },
+            ReplicationFrame::Reply { response: vec![], ctx: None, spans: vec![] },
+            ReplicationFrame::Forward { request: vec![0x99; 4], ctx: Some(sample_ctx(1)) },
+            ReplicationFrame::Reply {
+                response: vec![0xaa; 3],
+                ctx: Some(sample_ctx(1)),
+                spans: vec![
+                    WireSpan {
+                        stage: "verify".to_owned(),
+                        start_ns: 100,
+                        end_ns: 250,
+                        outcome: 0,
+                        hop: 1,
+                    },
+                    WireSpan {
+                        stage: "journal_flush".to_owned(),
+                        start_ns: 260,
+                        end_ns: 900,
+                        outcome: 0,
+                        hop: 1,
+                    },
+                ],
+            },
             ReplicationFrame::Denied { reason: "journal fenced".to_owned() },
         ]
+    }
+
+    fn sample_ctx(hop: u8) -> TraceContext {
+        TraceContext { trace_id: [0x5a; 16], hop, flags: 0 }
     }
 
     #[test]
@@ -490,5 +616,54 @@ mod tests {
         let (frame, consumed) = ReplicationFrame::parse_prefix(&bytes).unwrap();
         assert_eq!(frame, samples()[4]);
         assert_eq!(consumed, bytes.len() / 2);
+    }
+
+    #[test]
+    fn untraced_forward_and_reply_match_the_old_format() {
+        // Hand-build the pre-tracing bodies: tag + length-prefixed
+        // payload, nothing else. The new codec must emit exactly these
+        // bytes when the trace fields are absent...
+        let request = vec![0x88u8; 9];
+        let mut old_forward = vec![TAG_FORWARD];
+        request.encode_into(&mut old_forward);
+        let new_forward = ReplicationFrame::Forward { request: request.clone(), ctx: None };
+        assert_eq!(new_forward.encode(), old_forward);
+        let response = vec![0x11u8, 0x22];
+        let mut old_reply = vec![TAG_REPLY];
+        response.encode_into(&mut old_reply);
+        let new_reply =
+            ReplicationFrame::Reply { response: response.clone(), ctx: None, spans: vec![] };
+        assert_eq!(new_reply.encode(), old_reply);
+        // ...and decode old-format bodies as untraced.
+        assert_eq!(ReplicationFrame::decode_all(&old_forward).unwrap(), new_forward);
+        assert_eq!(ReplicationFrame::decode_all(&old_reply).unwrap(), new_reply);
+    }
+
+    #[test]
+    fn traced_forward_and_reply_roundtrip_context() {
+        let forward = ReplicationFrame::Forward { request: vec![1, 2], ctx: Some(sample_ctx(3)) };
+        assert_eq!(ReplicationFrame::from_bytes(&forward.to_bytes()).unwrap(), forward);
+        let reply = ReplicationFrame::Reply {
+            response: vec![4],
+            ctx: Some(sample_ctx(3)),
+            spans: vec![WireSpan {
+                stage: "sign".to_owned(),
+                start_ns: 5,
+                end_ns: 9,
+                outcome: 2,
+                hop: 3,
+            }],
+        };
+        assert_eq!(ReplicationFrame::from_bytes(&reply.to_bytes()).unwrap(), reply);
+    }
+
+    #[test]
+    fn mangled_trace_tail_rejected() {
+        // A truncated trace context after the request is a body error,
+        // not silently "untraced".
+        let traced = ReplicationFrame::Forward { request: vec![7; 3], ctx: Some(sample_ctx(0)) };
+        let mut body = traced.encode();
+        body.pop();
+        assert!(ReplicationFrame::decode_all(&body).is_err());
     }
 }

@@ -37,8 +37,17 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Microseconds on a process-wide monotonic clock, used only to stamp
+/// readiness signals. Never returns 0 — that value is reserved for
+/// "never signaled".
+fn monotonic_micros() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let elapsed = EPOCH.get_or_init(Instant::now).elapsed();
+    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX).max(1)
+}
 
 /// Default receive timeout: generous for tests, short enough to fail
 /// fast on deadlocks.
@@ -107,7 +116,12 @@ impl Poller {
     /// [`Listener::watch`], or keep it to inject control events.
     #[must_use]
     pub fn readiness(&self, token: u64) -> Arc<Readiness> {
-        Arc::new(Readiness { shared: self.shared.clone(), token, queued: AtomicBool::new(false) })
+        Arc::new(Readiness {
+            shared: self.shared.clone(),
+            token,
+            queued: AtomicBool::new(false),
+            signaled_at_micros: AtomicU64::new(0),
+        })
     }
 
     /// Waits until at least one token is queued (returning the drained
@@ -175,6 +189,10 @@ pub struct Readiness {
     shared: Arc<PollerShared>,
     token: u64,
     queued: AtomicBool,
+    /// Monotonic microseconds of the signal that queued the token
+    /// (0 = never signaled). Lets a consumer price how long readiness
+    /// sat unserviced before the drain that delivered the event.
+    signaled_at_micros: AtomicU64,
 }
 
 impl fmt::Debug for Readiness {
@@ -194,11 +212,28 @@ impl Readiness {
     /// while the token is still queued.
     pub fn signal(self: &Arc<Self>) {
         if !self.queued.swap(true, Ordering::AcqRel) {
+            // Stamp only on the queueing transition: later deduplicated
+            // signals belong to the same pending drain, and the age of
+            // the *oldest* undrained event is the wait that matters.
+            self.signaled_at_micros.store(monotonic_micros(), Ordering::Relaxed);
             let mut state =
                 self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             state.ready.push(self.clone());
             drop(state);
             self.shared.cv.notify_one();
+        }
+    }
+
+    /// Time since the signal that queued this token; `None` before the
+    /// first signal. Read after draining an event to measure how long
+    /// readiness sat unserviced (e.g. the queue leg of a traced
+    /// request). The value is a coarse hint: a fresh signal racing the
+    /// drain shortens it.
+    #[must_use]
+    pub fn since_signal(&self) -> Option<Duration> {
+        match self.signaled_at_micros.load(Ordering::Relaxed) {
+            0 => None,
+            at => Some(Duration::from_micros(monotonic_micros().saturating_sub(at))),
         }
     }
 }
@@ -648,6 +683,23 @@ mod tests {
     }
 
     // ---- Readiness --------------------------------------------------------
+
+    #[test]
+    fn since_signal_tracks_the_queueing_transition() {
+        let poller = Poller::new();
+        let ready = poller.readiness(42);
+        assert!(ready.since_signal().is_none(), "unsignaled handle has no age");
+        ready.signal();
+        let first = ready.since_signal().expect("signaled handle has an age");
+        std::thread::sleep(Duration::from_millis(5));
+        // A deduplicated re-signal must not refresh the stamp: the
+        // oldest undrained event defines the wait.
+        ready.signal();
+        let second = ready.since_signal().expect("still signaled");
+        assert!(second >= first, "age went backwards: {first:?} -> {second:?}");
+        assert!(second >= Duration::from_millis(5), "dedup refreshed the stamp");
+        assert_eq!(poller.wait(Duration::from_millis(100)), vec![42]);
+    }
 
     #[test]
     fn watched_connection_signals_on_send_and_drop() {

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use sinclave_repro::core::instance_page::InstancePage;
 use sinclave_repro::core::layout::EnclaveLayout;
-use sinclave_repro::core::protocol::Message;
-use sinclave_repro::core::replication::{ReplicaRole, ReplicationFrame};
+use sinclave_repro::core::protocol::{Message, TraceContext};
+use sinclave_repro::core::replication::{ReplicaRole, ReplicationFrame, WireSpan};
 use sinclave_repro::core::{AppConfig, AttestationToken, BaseEnclaveHash};
 use sinclave_repro::crypto::aead::AeadKey;
 use sinclave_repro::crypto::rsa::RsaPrivateKey;
@@ -129,6 +129,31 @@ proptest! {
             config_id,
         };
         prop_assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    /// The trace trailer is invisible when absent and lossless when
+    /// present: `to_bytes_traced(None)` is bit-identical to the
+    /// untraced encoding, a present context round-trips through
+    /// `from_bytes_traced`, and the strict decoder refuses trailered
+    /// frames — a trailer can never masquerade as message payload.
+    #[test]
+    fn protocol_trace_trailer_roundtrip(
+        quote in proptest::collection::vec(any::<u8>(), 0..128),
+        token in any::<[u8; 32]>(),
+        config_id in "[a-z0-9-]{0,24}",
+        ctx in arb_trace_ctx(),
+    ) {
+        let m = Message::AttestRequest { quote, token: AttestationToken(token), config_id };
+        prop_assert_eq!(m.to_bytes_traced(None), m.to_bytes());
+        let traced = m.to_bytes_traced(Some(&ctx));
+        let (decoded, got) = Message::from_bytes_traced(&traced).unwrap();
+        prop_assert_eq!(decoded, m.clone());
+        prop_assert_eq!(got, Some(ctx));
+        prop_assert!(Message::from_bytes(&traced).is_err());
+        // Untraced bytes pass the tolerant decoder unchanged.
+        let (decoded, got) = Message::from_bytes_traced(&m.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, m);
+        prop_assert_eq!(got, None);
     }
 
     /// All SHA-256 backends produce bit-identical digests for random
@@ -463,12 +488,45 @@ fn arb_replication_frame() -> impl Strategy<Value = ReplicationFrame> {
         (any::<[u8; 32]>(), any::<[u8; 32]>())
             .prop_map(|(token, mrenclave)| ReplicationFrame::Redeem { token, mrenclave }),
         any::<[u8; 32]>().prop_map(|common| ReplicationFrame::RedeemOk { common }),
-        proptest::collection::vec(any::<u8>(), 0..400)
-            .prop_map(|request| ReplicationFrame::Forward { request }),
-        proptest::collection::vec(any::<u8>(), 0..400)
-            .prop_map(|response| ReplicationFrame::Reply { response }),
+        (proptest::collection::vec(any::<u8>(), 0..400), proptest::option::of(arb_trace_ctx()))
+            .prop_map(|(request, ctx)| ReplicationFrame::Forward { request, ctx }),
+        (
+            proptest::collection::vec(any::<u8>(), 0..400),
+            proptest::option::of((
+                arb_trace_ctx(),
+                proptest::collection::vec(arb_wire_span(), 0..4),
+            )),
+        )
+            .prop_map(|(response, traced)| match traced {
+                Some((ctx, spans)) => {
+                    ReplicationFrame::Reply { response, ctx: Some(ctx), spans }
+                }
+                None => ReplicationFrame::Reply { response, ctx: None, spans: vec![] },
+            }),
         "[ -~]{0,60}".prop_map(|reason| ReplicationFrame::Denied { reason }),
     ]
+}
+
+/// An arbitrary trace context for the traced-frame properties.
+fn arb_trace_ctx() -> impl Strategy<Value = TraceContext> {
+    (any::<[u8; 16]>(), any::<u8>(), any::<u8>()).prop_map(|(trace_id, hop, flags)| TraceContext {
+        trace_id,
+        hop,
+        flags,
+    })
+}
+
+/// An arbitrary exported span for the traced-reply properties.
+fn arb_wire_span() -> impl Strategy<Value = WireSpan> {
+    (("[a-z_]{0,12}", any::<u64>(), any::<u64>()), (any::<u8>(), any::<u8>())).prop_map(
+        |((stage, start_ns, end_ns), (outcome, hop))| WireSpan {
+            stage,
+            start_ns,
+            end_ns,
+            outcome,
+            hop,
+        },
+    )
 }
 
 proptest! {
@@ -511,6 +569,25 @@ proptest! {
         if let Ok(frame) = ReplicationFrame::from_bytes(&bytes) {
             prop_assert_eq!(frame.to_bytes(), bytes);
         }
+    }
+
+    /// Tracing is a *trailing extension* of the fleet frames: an
+    /// absent context encodes exactly the pre-trace format (so frames
+    /// from an untraced node still decode, and a traced node talking
+    /// to one emits bytes the old decoder accepts), while a present
+    /// context survives the round trip and changes the bytes.
+    #[test]
+    fn untraced_fleet_frames_speak_the_old_format(
+        request in proptest::collection::vec(any::<u8>(), 0..300),
+        ctx in arb_trace_ctx(),
+    ) {
+        let old = ReplicationFrame::Forward { request: request.clone(), ctx: None };
+        let traced = ReplicationFrame::Forward { request, ctx: Some(ctx) };
+        let old_bytes = old.to_bytes();
+        let traced_bytes = traced.to_bytes();
+        prop_assert_eq!(ReplicationFrame::from_bytes(&old_bytes).unwrap(), old);
+        prop_assert_eq!(ReplicationFrame::from_bytes(&traced_bytes).unwrap(), traced);
+        prop_assert_ne!(old_bytes, traced_bytes);
     }
 
     /// The journal batch decoder recovers exactly the clean prefix of

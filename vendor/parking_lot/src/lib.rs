@@ -29,6 +29,16 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
+    /// Attempts to acquire the lock without blocking; `None` when the
+    /// lock is contended.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Returns a mutable reference to the underlying data.
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
@@ -78,6 +88,17 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_yields_none_under_contention() {
+        let m = Mutex::new(7);
+        {
+            let held = m.lock();
+            assert!(m.try_lock().is_none());
+            assert_eq!(*held, 7);
+        }
+        assert_eq!(*m.try_lock().expect("uncontended"), 7);
     }
 
     #[test]
